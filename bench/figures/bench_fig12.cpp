@@ -1,0 +1,18 @@
+/// Figure 12 of the paper: vary y-dimension (x=320, z=320).
+///
+/// Paper features: Default hits the memory threshold at ~37e6 zones
+/// (9e6 zones/rank) and pays a slope break; MPS and Heterogeneous stay
+/// linear (4x more domains / 4x more active cores). Heterogeneous is
+/// slowest at small y: 12 CPU ranks cannot take less than 12/y of the
+/// zones (15% at y=80), far beyond the CPU's share of node throughput.
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace coop::bench;
+  const auto pts = run_figure_sweep(
+      "Figure 12", "vary y-dimension (x=320, z=320)",
+      sweep_sizes('y', std::vector<long>{40, 80, 120, 160, 200, 240, 280, 320, 360, 400}, {320, 0, 320}));
+  print_shape_summary(pts);
+  return 0;
+}

@@ -1,0 +1,17 @@
+/// Figure 13 of the paper: vary x-dimension (y=240, z=320).
+///
+/// Paper features: Default best until the memory threshold; small x ->
+/// low per-kernel GPU utilization, so MPS recovers by overlapping kernels
+/// from different ranks; y=240 is too small to carve thin CPU slabs
+/// (floor 12/240 = 5%), so Heterogeneous runs long.
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace coop::bench;
+  const auto pts = run_figure_sweep(
+      "Figure 13", "vary x-dimension (y=240, z=320)",
+      sweep_sizes('x', std::vector<long>{50, 100, 150, 200, 250, 300, 350, 400, 450, 500}, {0, 240, 320}));
+  print_shape_summary(pts);
+  return 0;
+}

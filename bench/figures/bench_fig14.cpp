@@ -1,0 +1,16 @@
+/// Figure 14 of the paper: vary x-dimension (y=240, z=160).
+///
+/// Paper features: problems stay below the memory threshold; Default and
+/// MPS perform similarly; y=240 still too small for the Heterogeneous
+/// carve (5% floor), so Heterogeneous runs long.
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace coop::bench;
+  const auto pts = run_figure_sweep(
+      "Figure 14", "vary x-dimension (y=240, z=160)",
+      sweep_sizes('x', std::vector<long>{100, 200, 300, 400, 500, 600, 700}, {0, 240, 160}));
+  print_shape_summary(pts);
+  return 0;
+}

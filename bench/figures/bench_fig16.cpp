@@ -1,0 +1,17 @@
+/// Figure 16 of the paper: vary x-dimension (y=360, z=160).
+///
+/// Paper features: kernels fill the GPU on their own, so MPS cannot
+/// overlap and only pays its sharing tax (worst mode); Default and
+/// Heterogeneous both utilize the GPU well and stay below the memory
+/// threshold over this range.
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace coop::bench;
+  const auto pts = run_figure_sweep(
+      "Figure 16", "vary x-dimension (y=360, z=160)",
+      sweep_sizes('x', std::vector<long>{100, 200, 300, 400, 500, 600}, {0, 360, 160}));
+  print_shape_summary(pts);
+  return 0;
+}

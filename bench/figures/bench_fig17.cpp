@@ -1,0 +1,17 @@
+/// Figure 17 of the paper: vary x-dimension (y=480, z=320).
+///
+/// Paper features: x is small across the whole range, so MPS overlap
+/// helps; y=480 gives the Heterogeneous mode its thin-slab carve
+/// (2.5% floor), keeping it close to MPS; Default is hampered by the
+/// small innermost dimension and crosses the memory threshold.
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace coop::bench;
+  const auto pts = run_figure_sweep(
+      "Figure 17", "vary x-dimension (y=480, z=320)",
+      sweep_sizes('x', std::vector<long>{50, 100, 150, 200, 250, 300}, {0, 480, 320}));
+  print_shape_summary(pts);
+  return 0;
+}

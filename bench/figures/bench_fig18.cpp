@@ -1,0 +1,17 @@
+/// Figure 18 of the paper: vary x-dimension (y=480, z=160).
+///
+/// Paper features: the BEST case for the Heterogeneous mode: y=480 allows
+/// thin CPU slabs (1-2.5% of zones), and past the memory threshold the
+/// Default mode pays the UM pump penalty while Heterogeneous scales
+/// linearly -> up to ~18% gain (the paper's headline number).
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace coop::bench;
+  const auto pts = run_figure_sweep(
+      "Figure 18", "vary x-dimension (y=480, z=160)",
+      sweep_sizes('x', std::vector<long>{100, 200, 300, 400, 500, 600}, {0, 480, 160}));
+  print_shape_summary(pts);
+  return 0;
+}

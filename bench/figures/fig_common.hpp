@@ -1,0 +1,128 @@
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "coop/core/timed_sim.hpp"
+
+/// \file fig_common.hpp
+/// Shared sweep driver for the paper-figure benchmarks (Figs. 12-18).
+///
+/// Every figure in the paper's Section 7 plots total runtime (y axis)
+/// against total problem size in zones (x axis) for the three node modes,
+/// sweeping one mesh dimension while the other two stay fixed.
+/// `run_figure_sweep` prints the same series and flags the qualitative
+/// features the paper calls out (memory-threshold crossing, best mode).
+
+namespace coop::bench {
+
+struct FigurePoint {
+  long x = 0, y = 0, z = 0;
+  double t_default = 0, t_mps = 0, t_hetero = 0;
+  double hetero_cpu_share = 0;
+  [[nodiscard]] long zones() const { return x * y * z; }
+};
+
+/// Builds the sweep sizes for "vary dimension `vary` over `values` with the
+/// other two fixed": fixed = {x?, y?, z?} with the varied slot ignored.
+[[nodiscard]] inline std::vector<std::array<long, 3>> sweep_sizes(
+    char vary, const std::vector<long>& values,
+    std::array<long, 3> fixed) {
+  std::vector<std::array<long, 3>> out;
+  for (long v : values) {
+    std::array<long, 3> s = fixed;
+    s[vary == 'x' ? 0 : (vary == 'y' ? 1 : 2)] = v;
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// When COOPHET_CSV_DIR is set, each sweep additionally writes
+/// `<dir>/<title>.csv` (spaces -> underscores) for plotting.
+inline void maybe_write_csv(const std::string& title,
+                            const std::vector<FigurePoint>& pts) {
+  const char* dir = std::getenv("COOPHET_CSV_DIR");
+  if (dir == nullptr) return;
+  std::string name = title;
+  for (char& c : name)
+    if (c == ' ') c = '_';
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "x,y,z,zones,default_s,mps_s,hetero_s,hetero_cpu_share\n");
+  for (const auto& p : pts)
+    std::fprintf(f, "%ld,%ld,%ld,%ld,%.6f,%.6f,%.6f,%.4f\n", p.x, p.y, p.z,
+                 p.zones(), p.t_default, p.t_mps, p.t_hetero,
+                 p.hetero_cpu_share);
+  std::fclose(f);
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+inline std::vector<FigurePoint> run_figure_sweep(
+    const std::string& title, const std::string& description,
+    const std::vector<std::array<long, 3>>& sizes,
+    int timesteps = devmodel::calib::kPaperTimesteps) {
+  std::vector<FigurePoint> points;
+  std::printf("=== %s: %s — runtime (simulated s), %d timesteps ===\n",
+              title.c_str(), description.c_str(), timesteps);
+  std::printf("%7s %7s %7s %12s | %9s %9s %9s | %9s %-8s\n", "x", "y", "z",
+              "zones", "Default", "MPS", "Hetero", "cpu-share", "best");
+  for (const auto& [x, y, z] : sizes) {
+    FigurePoint p;
+    p.x = x;
+    p.y = y;
+    p.z = z;
+    for (auto mode : {core::NodeMode::kOneRankPerGpu,
+                      core::NodeMode::kMpsPerGpu,
+                      core::NodeMode::kHeterogeneous}) {
+      core::TimedConfig tc;
+      tc.mode = mode;
+      tc.global = {{0, 0, 0}, {x, y, z}};
+      tc.timesteps = timesteps;
+      const auto r = core::run_timed(tc);
+      switch (mode) {
+        case core::NodeMode::kOneRankPerGpu: p.t_default = r.makespan; break;
+        case core::NodeMode::kMpsPerGpu: p.t_mps = r.makespan; break;
+        case core::NodeMode::kHeterogeneous:
+          p.t_hetero = r.makespan;
+          p.hetero_cpu_share = r.final_cpu_fraction;
+          break;
+        default: break;
+      }
+    }
+    const char* best = "Default";
+    double tb = p.t_default;
+    if (p.t_mps < tb) { best = "MPS"; tb = p.t_mps; }
+    if (p.t_hetero < tb) { best = "Hetero"; tb = p.t_hetero; }
+    const bool past_threshold =
+        static_cast<double>(p.zones()) / 4.0 >
+        devmodel::calib::kUmPumpZonesPerCore;
+    std::printf("%7ld %7ld %7ld %12ld | %9.2f %9.2f %9.2f | %9.3f %-8s%s\n",
+                x, y, z, p.zones(), p.t_default, p.t_mps, p.t_hetero,
+                p.hetero_cpu_share, best,
+                past_threshold ? " <past mem threshold>" : "");
+    points.push_back(p);
+  }
+  maybe_write_csv(title, points);
+  return points;
+}
+
+/// Prints the paper-vs-measured summary line consumed by EXPERIMENTS.md.
+inline void print_shape_summary(const std::vector<FigurePoint>& pts) {
+  double best_gain = -1e9;
+  long best_zones = 0;
+  for (const auto& p : pts) {
+    const double gain = (p.t_default - p.t_hetero) / p.t_default;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_zones = p.zones();
+    }
+  }
+  std::printf("--> max Hetero gain over Default: %.1f%% (at %ld zones)\n\n",
+              100.0 * best_gain, best_zones);
+}
+
+}  // namespace coop::bench

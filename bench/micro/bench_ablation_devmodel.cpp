@@ -1,0 +1,94 @@
+/// Ablation bench for the design choices DESIGN.md 7 calls out: which
+/// modelled mechanism produces which feature of the paper's figures.
+/// Each row removes one mechanism and reruns the Fig. 18 top point
+/// (600x480x160, the paper's best case) for all three modes.
+
+#include <cstdio>
+
+#include "coop/core/timed_sim.hpp"
+
+namespace {
+
+using namespace coop;
+
+struct Row {
+  const char* name;
+  bool um_threshold;
+  bool mps_overlap;
+  bool compiler_bug;
+  bool load_balance;
+};
+
+}  // namespace
+
+int main() {
+  const mesh::Box global{{0, 0, 0}, {600, 480, 160}};
+  constexpr int kSteps = 50;
+  const Row rows[] = {
+      {"full model", true, true, true, true},
+      {"- UM pump threshold", false, true, true, true},
+      {"- MPS kernel overlap", true, false, true, true},
+      {"- compiler bug (fixed nvcc)", true, true, false, true},
+      {"- feedback load balance", true, true, true, false},
+  };
+
+  std::printf("=== Ablations at 600x480x160 (%d steps), simulated s ===\n",
+              kSteps);
+  std::printf("%-30s | %9s %9s %9s | %11s\n", "model variant", "Default",
+              "MPS", "Hetero", "hetero gain");
+  for (const Row& row : rows) {
+    double t[3] = {0, 0, 0};
+    int i = 0;
+    for (auto mode : {core::NodeMode::kOneRankPerGpu,
+                      core::NodeMode::kMpsPerGpu,
+                      core::NodeMode::kHeterogeneous}) {
+      core::TimedConfig tc;
+      tc.mode = mode;
+      tc.global = global;
+      tc.timesteps = kSteps;
+      tc.model_um_threshold = row.um_threshold;
+      tc.model_mps_overlap = row.mps_overlap;
+      tc.compiler_bug = row.compiler_bug;
+      tc.load_balance = row.load_balance;
+      t[i++] = core::run_timed(tc).makespan;
+    }
+    std::printf("%-30s | %9.2f %9.2f %9.2f | %9.1f%%\n", row.name, t[0], t[1],
+                t[2], 100.0 * (t[0] - t[2]) / t[0]);
+  }
+  std::printf(
+      "\nReading: the UM threshold drives the Default-vs-Hetero gap; MPS\n"
+      "overlap matters little at this (large-kernel) point; fixing the\n"
+      "compiler bug lets the CPU take more work and widens the gain;\n"
+      "the balancer protects against a mis-sized static split.\n");
+
+  // What-if: the same experiment projected onto a Sierra-EA-like node
+  // (paper 6.2: "changing hardware and software stacks make it difficult
+  // to project performance of Sierra"). Two things happen: (1) ~5x faster
+  // GPUs shrink the CPU's relative throughput so the one-plane-per-rank
+  // carve floor now overloads the bugged CPU — the heterogeneous gain goes
+  // strongly negative; (2) the host-side UM pump threshold still penalizes
+  // the Default mode, which the 16-core MPS mode sidesteps. Both foreshadow
+  // why per-node heterogeneous computing got harder, not easier, on Sierra
+  // hardware until the compiler issue was fixed.
+  std::printf("\n=== What-if: Sierra-EA-like node (same problem) ===\n");
+  std::printf("%-30s | %9s %9s %9s | %11s\n", "node", "Default", "MPS",
+              "Hetero", "hetero gain");
+  for (const bool sierra : {false, true}) {
+    double t[3] = {0, 0, 0};
+    int i = 0;
+    for (auto mode : {core::NodeMode::kOneRankPerGpu,
+                      core::NodeMode::kMpsPerGpu,
+                      core::NodeMode::kHeterogeneous}) {
+      core::TimedConfig tc;
+      tc.mode = mode;
+      tc.global = global;
+      tc.timesteps = kSteps;
+      if (sierra) tc.node = coop::devmodel::NodeSpec::sierra_ea();
+      t[i++] = core::run_timed(tc).makespan;
+    }
+    std::printf("%-30s | %9.2f %9.2f %9.2f | %9.1f%%\n",
+                sierra ? "sierra-ea (4x ~Volta)" : "rzhasgpu (4x K80)", t[0],
+                t[1], t[2], 100.0 * (t[0] - t[2]) / t[0]);
+  }
+  return 0;
+}

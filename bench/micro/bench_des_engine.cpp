@@ -1,0 +1,83 @@
+/// Microbenchmark of the discrete-event engine: event throughput for the
+/// patterns the timed simulation produces (delay chains, channel ping-pong,
+/// resource contention). Establishes that figure sweeps are engine-cheap.
+
+#include <benchmark/benchmark.h>
+
+#include "coop/des/channel.hpp"
+#include "coop/des/engine.hpp"
+#include "coop/des/resource.hpp"
+
+namespace {
+
+namespace des = coop::des;
+
+des::Task<void> delay_chain(des::Engine& eng, int hops) {
+  for (int i = 0; i < hops; ++i) co_await eng.delay(1.0);
+}
+
+void bm_delay_events(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Engine eng;
+    for (int p = 0; p < procs; ++p) eng.spawn(delay_chain(eng, 100));
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * procs * 100);
+}
+
+des::Task<void> pinger(des::Engine&, des::Channel<int>& out,
+                       des::Channel<int>& in, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    out.send(i);
+    (void)co_await in.recv();
+  }
+}
+
+des::Task<void> ponger(des::Engine&, des::Channel<int>& in,
+                       des::Channel<int>& out, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    (void)co_await in.recv();
+    out.send(i);
+  }
+}
+
+void bm_channel_pingpong(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Engine eng;
+    des::Channel<int> a(eng), b(eng);
+    eng.spawn(pinger(eng, a, b, 1000));
+    eng.spawn(ponger(eng, a, b, 1000));
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+
+des::Task<void> contender(des::Engine& eng, des::Resource& res, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    auto lease = co_await res.acquire();
+    co_await eng.delay(0.5);
+  }
+}
+
+void bm_resource_contention(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Engine eng;
+    des::Resource res(eng, 4, "gpu");
+    for (int p = 0; p < procs; ++p) eng.spawn(contender(eng, res, 50));
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * procs * 50);
+}
+
+}  // namespace
+
+BENCHMARK(bm_delay_events)->Arg(16)->Arg(256);
+BENCHMARK(bm_channel_pingpong);
+BENCHMARK(bm_resource_contention)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

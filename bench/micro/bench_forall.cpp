@@ -1,0 +1,78 @@
+/// Microbenchmark of the forall portability layer itself: per-policy loop
+/// overhead for bodies of different arithmetic intensity, and reduction
+/// throughput. Quantifies what the abstraction costs over a raw loop.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "coop/forall/forall.hpp"
+
+namespace {
+
+void bm_raw_loop(benchmark::State& state) {
+  const long n = state.range(0);
+  std::vector<double> y(static_cast<std::size_t>(n), 0.5);
+  double* yp = y.data();
+  for (auto _ : state) {
+    for (long i = 0; i < n; ++i) yp[i] = yp[i] * 1.000001 + 0.25;
+    benchmark::DoNotOptimize(yp[0]);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+template <typename Policy>
+void bm_forall_fma(benchmark::State& state) {
+  const long n = state.range(0);
+  std::vector<double> y(static_cast<std::size_t>(n), 0.5);
+  double* yp = y.data();
+  for (auto _ : state) {
+    coop::forall::forall<Policy>(
+        0, n, [=](long i) { yp[i] = yp[i] * 1.000001 + 0.25; });
+    benchmark::DoNotOptimize(yp[0]);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+template <typename Policy>
+void bm_forall_heavy(benchmark::State& state) {
+  const long n = state.range(0);
+  std::vector<double> y(static_cast<std::size_t>(n), 0.5);
+  double* yp = y.data();
+  for (auto _ : state) {
+    coop::forall::forall<Policy>(
+        0, n, [=](long i) { yp[i] = std::sqrt(std::abs(yp[i]) + 1.0); });
+    benchmark::DoNotOptimize(yp[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+template <typename Policy>
+void bm_reduce_sum(benchmark::State& state) {
+  const long n = state.range(0);
+  std::vector<double> y(static_cast<std::size_t>(n), 0.5);
+  const double* yp = y.data();
+  for (auto _ : state) {
+    double s = coop::forall::forall_reduce_sum<Policy>(
+        0, n, [=](long i) { return yp[i]; });
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+}  // namespace
+
+BENCHMARK(bm_raw_loop)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(bm_forall_fma, coop::forall::seq_exec)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(bm_forall_fma, coop::forall::simd_exec)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(bm_forall_fma, coop::forall::sim_gpu_exec)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(bm_forall_fma, coop::forall::thread_exec)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(bm_forall_heavy, coop::forall::seq_exec)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(bm_forall_heavy, coop::forall::thread_exec)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(bm_reduce_sum, coop::forall::seq_exec)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(bm_reduce_sum, coop::forall::thread_exec)->Arg(1 << 16);
+
+BENCHMARK_MAIN();

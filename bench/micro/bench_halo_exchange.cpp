@@ -1,0 +1,74 @@
+/// Section 6.1 of the paper: communication cost of using more ranks per
+/// node. Runs the timed DES halo exchange (no compute) for the three
+/// decomposition schemes and prints per-step communication time, message
+/// counts and volumes — the experiment behind the paper's statement that
+/// the hierarchical single-dimension subdivision "does in fact minimize the
+/// communication overhead of using additional MPI ranks".
+
+#include <cstdio>
+
+#include "coop/core/timed_sim.hpp"
+#include "coop/decomp/decomposition.hpp"
+#include "coop/des/engine.hpp"
+#include "coop/devmodel/calibration.hpp"
+#include "coop/mesh/halo.hpp"
+#include "coop/simmpi/sim_comm.hpp"
+
+namespace {
+
+using namespace coop;
+
+des::Task<void> halo_rank(des::Engine&, simmpi::SimCommWorld& world,
+                          const decomp::Decomposition& dec,
+                          const std::vector<std::vector<int>>& nbrs, int r,
+                          int steps) {
+  simmpi::SimComm comm = world.comm(r);
+  const auto& mine = dec.domains[static_cast<std::size_t>(r)].box;
+  for (int s = 0; s < steps; ++s) {
+    for (int nbr : nbrs[static_cast<std::size_t>(r)]) {
+      const auto region = mesh::send_region(
+          mine, dec.domains[static_cast<std::size_t>(nbr)].box, 1);
+      comm.post_send(nbr, 0, {},
+                     static_cast<std::size_t>(
+                         static_cast<double>(region.zones()) *
+                         devmodel::calib::kHaloBytesPerFaceZone));
+    }
+    for (int nbr : nbrs[static_cast<std::size_t>(r)])
+      (void)co_await comm.recv(nbr, 0);
+    (void)co_await comm.allreduce_min(1.0);
+  }
+}
+
+void run_case(const char* name, const decomp::Decomposition& dec) {
+  constexpr int kSteps = 100;
+  const auto nbrs = decomp::neighbor_lists(dec);
+  des::Engine eng;
+  simmpi::SimCommWorld world(eng, dec.ranks());
+  for (int r = 0; r < dec.ranks(); ++r)
+    eng.spawn(halo_rank(eng, world, dec, nbrs, r, kSteps));
+  const double t = eng.run();
+  const auto s = decomp::analyze_communication(dec, 1);
+  std::printf("%-24s %5d | %9.3f ms | %8d %8.2f | %10.1f MB\n", name,
+              dec.ranks(), 1e3 * t / kSteps, s.max_neighbors, s.avg_neighbors,
+              static_cast<double>(world.bytes_sent()) / kSteps / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  const mesh::Box global{{0, 0, 0}, {320, 480, 320}};
+  std::printf("=== Halo-exchange cost per step (320x480x320, 100 steps) ===\n");
+  std::printf("%-24s %5s | %12s | %8s %8s | %10s\n", "scheme", "ranks",
+              "comm/step", "max-nbrs", "avg-nbrs", "MB/step");
+  run_case("hierarchical 4", decomp::hierarchical_gpu(global, 4, 1));
+  run_case("square 16", decomp::block_decomposition(global, 16));
+  run_case("hierarchical 16", decomp::hierarchical_gpu(global, 4, 4));
+  run_case("heterogeneous 4+12", decomp::heterogeneous(global, 4, 12, 0.025));
+  std::printf(
+      "\nPaper 6.1: the hierarchical subdivision 'minimizes the\n"
+      "communication overhead of using additional MPI ranks': 16 ranks\n"
+      "cost the same wire time as 4. (A square 16-grid carries less raw\n"
+      "volume — squares are volume-optimal — but pays 2x the neighbors,\n"
+      "halves the innermost extent, and breaks GPU-block locality.)\n");
+  return 0;
+}

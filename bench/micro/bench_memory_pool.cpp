@@ -1,0 +1,62 @@
+/// Section 5.2 of the paper: ARES routes temporary data through cnmem-style
+/// device memory pools. This benchmark measures the pool against raw
+/// malloc/free for the allocation pattern a hydro step produces (a burst of
+/// same-sized scratch arrays allocated and released per kernel), plus a
+/// fragmentation-stress pattern.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "coop/memory/device_pool.hpp"
+
+namespace {
+
+void bm_pool_burst(benchmark::State& state) {
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  coop::memory::DevicePool pool(std::size_t{64} << 20);
+  std::vector<void*> ptrs(16);
+  for (auto _ : state) {
+    for (auto& p : ptrs) p = pool.allocate(block);
+    for (auto& p : ptrs) pool.deallocate(p);
+    benchmark::DoNotOptimize(ptrs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+
+void bm_malloc_burst(benchmark::State& state) {
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  std::vector<void*> ptrs(16);
+  for (auto _ : state) {
+    for (auto& p : ptrs) {
+      p = std::malloc(block);
+      benchmark::DoNotOptimize(p);
+    }
+    for (auto& p : ptrs) std::free(p);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+
+void bm_pool_interleaved(benchmark::State& state) {
+  // Alternating sizes with out-of-order frees: exercises best-fit reuse and
+  // coalescing.
+  coop::memory::DevicePool pool(std::size_t{64} << 20);
+  std::vector<void*> ptrs;
+  for (auto _ : state) {
+    ptrs.clear();
+    for (int i = 0; i < 24; ++i)
+      ptrs.push_back(pool.allocate(static_cast<std::size_t>(1) << (10 + i % 8)));
+    for (std::size_t i = 0; i < ptrs.size(); i += 2) pool.deallocate(ptrs[i]);
+    for (std::size_t i = 1; i < ptrs.size(); i += 2) pool.deallocate(ptrs[i]);
+    benchmark::DoNotOptimize(pool.free_fragments());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(bm_pool_burst)->RangeMultiplier(16)->Range(1 << 12, 1 << 22);
+BENCHMARK(bm_malloc_burst)->RangeMultiplier(16)->Range(1 << 12, 1 << 22);
+BENCHMARK(bm_pool_interleaved);
+
+BENCHMARK_MAIN();

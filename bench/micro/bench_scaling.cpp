@@ -1,0 +1,62 @@
+/// Multi-node scaling of the three node modes. The paper evaluates one node
+/// but runs ARES "on millions of processors"; this bench checks that the
+/// single-node mode comparison (and the heterogeneous gain) survives weak
+/// and strong scaling with z-split node decomposition and an
+/// InfiniBand-like internode link.
+
+#include <cstdio>
+
+#include "coop/core/timed_sim.hpp"
+
+namespace {
+
+using namespace coop;
+
+double run(core::NodeMode mode, long x, long y, long z, int nodes) {
+  core::TimedConfig tc;
+  tc.mode = mode;
+  tc.global = {{0, 0, 0}, {x, y, z}};
+  tc.nodes = nodes;
+  tc.timesteps = 20;
+  return core::run_timed(tc).makespan;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Weak scaling: 600x480x160 zones PER NODE, 20 steps ===\n");
+  std::printf("%7s | %9s %9s %9s | %11s | %10s\n", "nodes", "Default", "MPS",
+              "Hetero", "hetero gain", "weak eff.");
+  double t1_def = 0;
+  for (int nodes : {1, 2, 4, 8, 16}) {
+    const double td =
+        run(core::NodeMode::kOneRankPerGpu, 600, 480, 160L * nodes, nodes);
+    const double tm =
+        run(core::NodeMode::kMpsPerGpu, 600, 480, 160L * nodes, nodes);
+    const double th =
+        run(core::NodeMode::kHeterogeneous, 600, 480, 160L * nodes, nodes);
+    if (nodes == 1) t1_def = td;
+    std::printf("%7d | %9.2f %9.2f %9.2f | %10.1f%% | %9.1f%%\n", nodes, td,
+                tm, th, 100.0 * (td - th) / td, 100.0 * t1_def / td);
+  }
+
+  std::printf("\n=== Strong scaling: 600x480x640 zones TOTAL, 20 steps ===\n");
+  std::printf("%7s | %9s %9s %9s | %10s\n", "nodes", "Default", "MPS",
+              "Hetero", "speedup");
+  double t1 = 0;
+  for (int nodes : {1, 2, 4, 8}) {
+    const double td = run(core::NodeMode::kOneRankPerGpu, 600, 480, 640, nodes);
+    const double tm = run(core::NodeMode::kMpsPerGpu, 600, 480, 640, nodes);
+    const double th =
+        run(core::NodeMode::kHeterogeneous, 600, 480, 640, nodes);
+    if (nodes == 1) t1 = td;
+    std::printf("%7d | %9.2f %9.2f %9.2f | %9.2fx\n", nodes, td, tm, th,
+                t1 / td);
+  }
+  std::printf(
+      "\nReading: the heterogeneous gain is a per-node property and holds\n"
+      "at scale; strong scaling eventually drops each node below the\n"
+      "memory threshold (flattening Default's penalty away) and shrinks\n"
+      "per-kernel occupancy.\n");
+  return 0;
+}

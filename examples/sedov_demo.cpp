@@ -1,0 +1,106 @@
+/// Sedov blast-wave demo: runs the real mini-app physics on a decomposed
+/// heterogeneous node (the paper's Fig. 11 workload) and validates the
+/// result against conservation laws and the analytic Sedov-Taylor solution.
+///
+/// Usage: sedov_demo [N] [steps] [mode] [slice.csv]
+///   N         cube edge in zones      (default 32)
+///   steps     timesteps               (default 45; keeps the shock interior)
+///   mode      cpu|default|mps|hetero  (default hetero)
+///   slice.csv optional: dump the z-midplane density field (the paper's
+///             Fig. 11 rendering; plot with tools/plot_slice.py)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "coop/core/functional_sim.hpp"
+#include "coop/hydro/solver.hpp"
+#include "coop/memory/memory_manager.hpp"
+
+namespace {
+
+coop::core::NodeMode parse_mode(const char* s) {
+  using coop::core::NodeMode;
+  if (std::strcmp(s, "cpu") == 0) return NodeMode::kCpuOnly;
+  if (std::strcmp(s, "default") == 0) return NodeMode::kOneRankPerGpu;
+  if (std::strcmp(s, "mps") == 0) return NodeMode::kMpsPerGpu;
+  if (std::strcmp(s, "hetero") == 0) return NodeMode::kHeterogeneous;
+  std::fprintf(stderr, "unknown mode '%s'\n", s);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coop;
+  const long n = argc > 1 ? std::atol(argv[1]) : 32;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 45;
+  const core::NodeMode mode =
+      argc > 3 ? parse_mode(argv[3]) : core::NodeMode::kHeterogeneous;
+
+  core::FunctionalConfig fc;
+  fc.mode = mode;
+  fc.problem.global = {{0, 0, 0}, {n, n, n}};
+  fc.timesteps = steps;
+  fc.cpu_fraction = 0.25;
+
+  std::printf("Sedov blast wave, %ldx%ldx%ld zones, %d steps, mode=%s\n", n,
+              n, n, steps, to_string(mode));
+  const auto r = core::run_functional(fc);
+
+  std::printf("\nranks               : %d\n", r.ranks);
+  std::printf("physical time       : %.5f\n", r.sim_time);
+  std::printf("mass                : %.8e -> %.8e  (drift %.2e)\n",
+              r.mass_initial, r.mass_final,
+              std::abs(r.mass_final - r.mass_initial) / r.mass_initial);
+  std::printf("total energy        : %.8e -> %.8e  (drift %.2e)\n",
+              r.energy_initial, r.energy_final,
+              std::abs(r.energy_final - r.energy_initial) / r.energy_initial);
+  std::printf("peak density        : %.4f (ambient 1.0)\n", r.max_density);
+  std::printf("shock radius        : measured %.4f | Sedov analytic %.4f "
+              "(%.1f%% off)\n",
+              r.shock_radius_measured, r.shock_radius_analytic,
+              100.0 *
+                  std::abs(r.shock_radius_measured - r.shock_radius_analytic) /
+                  r.shock_radius_analytic);
+  // Conservation is only exact while the shock is interior (outflow
+  // boundaries let material leave once it arrives); the default parameters
+  // keep it interior.
+  const bool ok =
+      std::abs(r.mass_final - r.mass_initial) < 2e-3 * r.mass_initial &&
+      std::abs(r.shock_radius_measured - r.shock_radius_analytic) <
+          0.3 * r.shock_radius_analytic;
+  std::printf("\nvalidation          : %s\n", ok ? "PASS" : "FAIL");
+
+  if (argc > 4) {
+    // Fig. 11 rendering: rerun single-domain and dump the z-midplane
+    // density (single rank keeps the dump trivially globally consistent;
+    // the multi-rank result is bit-identical per the mode-equivalence
+    // tests).
+    memory::MemoryManager::Config mc;
+    mc.target = memory::ExecutionTarget::kCpuCore;
+    mc.host_capacity = std::size_t{4} << 30;
+    memory::MemoryManager mm(mc);
+    hydro::Solver solver(mm, fc.problem, fc.problem.global,
+                         forall::DynamicPolicy{forall::PolicyKind::kSeq});
+    solver.initialize();
+    for (int s = 0; s < steps; ++s) {
+      solver.apply_physical_boundaries();
+      solver.compute_primitives();
+      solver.advance(solver.local_dt());
+    }
+    std::FILE* f = std::fopen(argv[4], "w");
+    if (f != nullptr) {
+      std::fprintf(f, "i,j,rho\n");
+      const long k_mid = n / 2;
+      for (long j = 0; j < n; ++j)
+        for (long i = 0; i < n; ++i)
+          std::fprintf(f, "%ld,%ld,%.6f\n", i, j,
+                       solver.state().rho(i, j, k_mid));
+      std::fclose(f);
+      std::printf("slice written to %s (render: tools/plot_slice.py)\n",
+                  argv[4]);
+    }
+  }
+  return ok ? 0 : 1;
+}

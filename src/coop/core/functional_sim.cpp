@@ -1,0 +1,174 @@
+#include "coop/core/functional_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "coop/mesh/halo.hpp"
+#include "coop/simmpi/thread_comm.hpp"
+
+namespace coop::core {
+
+namespace {
+
+using memory::ExecutionTarget;
+
+/// Exchanges the ghost planes of every conserved field with face neighbors.
+void exchange_halos(hydro::Solver& solver, simmpi::ThreadComm& comm,
+                    const decomp::Decomposition& dec,
+                    const std::vector<int>& nbrs, long ghosts) {
+  const auto fields = solver.state().exchanged_fields();
+  const mesh::Box mine = solver.state().owned;
+  // Buffered sends first (deadlock-free), then receives; the field index
+  // doubles as the message tag.
+  for (int nbr : nbrs) {
+    const mesh::Box region =
+        mesh::send_region(mine, dec.domains[static_cast<std::size_t>(nbr)].box,
+                          ghosts);
+    for (std::size_t f = 0; f < fields.size(); ++f)
+      comm.send(nbr, static_cast<int>(f), mesh::pack(*fields[f], region));
+  }
+  for (int nbr : nbrs) {
+    const mesh::Box region =
+        mesh::recv_region(mine, dec.domains[static_cast<std::size_t>(nbr)].box,
+                          ghosts);
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      const std::vector<double> data = comm.recv(nbr, static_cast<int>(f));
+      mesh::unpack(*fields[f], region, std::span<const double>(data));
+    }
+  }
+}
+
+struct RankOutput {
+  hydro::Diagnostics diag{};
+  double checksum = 0;
+  double sim_time = 0;
+};
+
+void rank_main(const FunctionalConfig& cfg, const decomp::Decomposition& dec,
+               const std::vector<std::vector<int>>& nbrs,
+               simmpi::ThreadComm comm, RankOutput& out,
+               double* mass0, double* energy0, double* scal0) {
+  const int r = comm.rank();
+  const auto& dom = dec.domains[static_cast<std::size_t>(r)];
+
+  // Size the per-rank memory spaces to the subdomain (the device pool
+  // allocates its slab eagerly, so keep it proportional to need).
+  const auto padded_zones =
+      static_cast<std::size_t>(dom.box.grown(1).zones());
+  memory::MemoryManager::Config mc;
+  mc.target = dom.target;
+  mc.host_capacity = std::max<std::size_t>(padded_zones * 16 * sizeof(double),
+                                           std::size_t{1} << 22);
+  mc.device_capacity = mc.host_capacity;
+  mc.pool_capacity = std::max<std::size_t>(padded_zones * 8 * sizeof(double),
+                                           std::size_t{1} << 22);
+  memory::MemoryManager mm(mc);
+
+  const forall::DynamicPolicy policy =
+      forall::select_arch_policy(dom.target, cfg.compiler_bug);
+  hydro::Solver solver(mm, cfg.problem, dom.box, policy);
+  solver.initialize();
+
+  // Initial-state conservation integrals.
+  {
+    const auto d0 = solver.local_diagnostics();
+    const double m0 = comm.allreduce_sum(d0.mass);
+    const double e0 = comm.allreduce_sum(d0.total_energy);
+    const double s0 = cfg.problem.packages.passive_scalar
+                          ? comm.allreduce_sum(d0.scalar_mass)
+                          : 0.0;
+    if (r == 0) {
+      *mass0 = m0;
+      *energy0 = e0;
+      *scal0 = s0;
+    }
+  }
+
+  double t = 0;
+  const auto& my_nbrs = nbrs[static_cast<std::size_t>(r)];
+  for (int step = 0; step < cfg.timesteps; ++step) {
+    exchange_halos(solver, comm, dec, my_nbrs, 1);
+    solver.apply_physical_boundaries();
+    solver.compute_primitives();
+    const double dt = comm.allreduce_min(solver.local_dt());
+    solver.advance(dt);
+    t += dt;
+  }
+  // Final primitives for diagnostics consistency.
+  exchange_halos(solver, comm, dec, my_nbrs, 1);
+  solver.apply_physical_boundaries();
+  solver.compute_primitives();
+
+  out.diag = solver.local_diagnostics();
+  out.sim_time = t;
+  const mesh::Box& o = dom.box;
+  double cs = 0;
+  for (long k = o.lo.z; k < o.hi.z; ++k)
+    for (long j = o.lo.y; j < o.hi.y; ++j)
+      for (long i = o.lo.x; i < o.hi.x; ++i)
+        cs += std::abs(solver.state().rho(i, j, k)) +
+              std::abs(solver.state().ener(i, j, k));
+  out.checksum = cs;
+  comm.barrier();
+}
+
+}  // namespace
+
+FunctionalResult run_functional(const FunctionalConfig& cfg) {
+  decomp::Decomposition dec = make_cluster_decomposition(
+      cfg.mode, cfg.node, cfg.problem.global, cfg.nodes, cfg.ranks_per_gpu,
+      cfg.cpu_fraction);
+  dec.validate();
+  const auto nbrs = decomp::neighbor_lists(dec);
+  const int n = dec.ranks();
+
+  simmpi::ThreadCommWorld world(n);
+  std::vector<RankOutput> outputs(static_cast<std::size_t>(n));
+  double mass0 = 0, energy0 = 0, scal0 = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      rank_main(cfg, dec, nbrs, world.comm(r),
+                outputs[static_cast<std::size_t>(r)], &mass0, &energy0,
+                &scal0);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  FunctionalResult res;
+  res.ranks = n;
+  res.steps = cfg.timesteps;
+  res.mass_initial = mass0;
+  res.energy_initial = energy0;
+  res.scalar_mass_initial = scal0;
+  res.sim_time = outputs[0].sim_time;
+  const bool has_scalar = cfg.problem.packages.passive_scalar;
+  if (has_scalar) {
+    res.scalar_min = std::numeric_limits<double>::max();
+    res.scalar_max = std::numeric_limits<double>::lowest();
+  }
+  for (const auto& o : outputs) {
+    res.mass_final += o.diag.mass;
+    res.energy_final += o.diag.total_energy;
+    res.checksum += o.checksum;
+    if (o.diag.max_density > res.max_density) {
+      res.max_density = o.diag.max_density;
+      res.shock_radius_measured = o.diag.max_density_radius;
+    }
+    if (has_scalar) {
+      res.scalar_mass_final += o.diag.scalar_mass;
+      res.scalar_min = std::min(res.scalar_min, o.diag.scalar_min);
+      res.scalar_max = std::max(res.scalar_max, o.diag.scalar_max);
+    }
+  }
+  res.shock_radius_analytic = hydro::sedov_shock_radius(
+      cfg.problem.blast_energy, cfg.problem.rho0, res.sim_time,
+      cfg.problem.eos.gamma);
+  return res;
+}
+
+}  // namespace coop::core

@@ -1,0 +1,84 @@
+#include "coop/core/node_mode.hpp"
+
+namespace coop::core {
+
+RankLayout make_rank_layout(NodeMode mode, const devmodel::NodeSpec& node,
+                            int ranks_per_gpu) {
+  const int cores = node.cpu.total_cores();
+  const int gpus = node.gpu_count;
+  RankLayout l;
+  switch (mode) {
+    case NodeMode::kCpuOnly:
+      l = {cores, 0, cores, 0, cores};
+      break;
+    case NodeMode::kOneRankPerGpu:
+      l = {gpus, gpus, 0, 1, gpus};
+      break;
+    case NodeMode::kMpsPerGpu:
+      if (ranks_per_gpu < 1)
+        throw std::invalid_argument("make_rank_layout: ranks_per_gpu < 1");
+      if (gpus * ranks_per_gpu > cores)
+        throw std::invalid_argument(
+            "make_rank_layout: not enough cores to drive the GPUs");
+      l = {gpus * ranks_per_gpu, gpus * ranks_per_gpu, 0, ranks_per_gpu,
+           gpus * ranks_per_gpu};
+      break;
+    case NodeMode::kHeterogeneous:
+      l = {cores, gpus, cores - gpus, 1, cores};
+      break;
+  }
+  return l;
+}
+
+decomp::Decomposition make_decomposition(NodeMode mode,
+                                         const devmodel::NodeSpec& node,
+                                         const mesh::Box& global,
+                                         int ranks_per_gpu,
+                                         double cpu_fraction) {
+  const RankLayout l = make_rank_layout(mode, node, ranks_per_gpu);
+  switch (mode) {
+    case NodeMode::kCpuOnly:
+      return decomp::cpu_only(global, l.total_ranks);
+    case NodeMode::kOneRankPerGpu:
+      return decomp::hierarchical_gpu(global, node.gpu_count, 1);
+    case NodeMode::kMpsPerGpu:
+      return decomp::hierarchical_gpu(global, node.gpu_count, l.ranks_per_gpu);
+    case NodeMode::kHeterogeneous:
+      return decomp::heterogeneous(global, node.gpu_count, l.cpu_ranks,
+                                   cpu_fraction);
+  }
+  throw std::logic_error("make_decomposition: unreachable");
+}
+
+decomp::Decomposition make_cluster_decomposition(NodeMode mode,
+                                                 const devmodel::NodeSpec& node,
+                                                 const mesh::Box& global,
+                                                 int nodes, int ranks_per_gpu,
+                                                 double cpu_fraction) {
+  if (nodes <= 0)
+    throw std::invalid_argument("make_cluster_decomposition: nodes <= 0");
+  if (nodes == 1) {
+    return make_decomposition(mode, node, global, ranks_per_gpu,
+                              cpu_fraction);
+  }
+  decomp::Decomposition d;
+  d.scheme = "cluster";
+  d.global = global;
+  int rank_offset = 0;
+  int node_id = 0;
+  for (const mesh::Box& slab :
+       mesh::split_even(global, mesh::Axis::kZ, nodes)) {
+    decomp::Decomposition per =
+        make_decomposition(mode, node, slab, ranks_per_gpu, cpu_fraction);
+    for (auto dom : per.domains) {
+      dom.rank += rank_offset;
+      dom.node_id = node_id;
+      d.domains.push_back(dom);
+    }
+    rank_offset += per.ranks();
+    ++node_id;
+  }
+  return d;
+}
+
+}  // namespace coop::core

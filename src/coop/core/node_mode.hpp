@@ -1,0 +1,69 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "coop/decomp/decomposition.hpp"
+#include "coop/devmodel/specs.hpp"
+#include "coop/mesh/box.hpp"
+
+/// \file node_mode.hpp
+/// The four modes of utilizing a heterogeneous node (paper Figs. 1-4) and
+/// the control code that maps a mode to rank roles and a decomposition.
+
+namespace coop::core {
+
+/// Paper Figs. 1-4.
+enum class NodeMode {
+  kCpuOnly,        ///< Fig. 1: an MPI rank per core, GPUs idle
+  kOneRankPerGpu,  ///< Fig. 2: "Default" — 1 MPI/GPU, other cores idle
+  kMpsPerGpu,      ///< Fig. 3: "MPS" — n MPI/GPU share each GPU via MPS
+  kHeterogeneous,  ///< Fig. 4: 1 MPI/GPU + remaining cores compute on CPU
+};
+
+[[nodiscard]] constexpr const char* to_string(NodeMode m) noexcept {
+  switch (m) {
+    case NodeMode::kCpuOnly: return "cpu-only";
+    case NodeMode::kOneRankPerGpu: return "default-1mpi-per-gpu";
+    case NodeMode::kMpsPerGpu: return "mps-n-mpi-per-gpu";
+    case NodeMode::kHeterogeneous: return "heterogeneous";
+  }
+  return "?";
+}
+
+/// Rank counts implied by a mode on a given node.
+struct RankLayout {
+  int total_ranks = 0;
+  int gpu_ranks = 0;       ///< ranks driving a GPU
+  int cpu_ranks = 0;       ///< ranks computing on CPU cores
+  int ranks_per_gpu = 0;   ///< GPU-sharing factor (MPS)
+  int active_cores = 0;    ///< host cores bound to some rank
+};
+
+/// Computes the rank layout for `mode` on `node`. `ranks_per_gpu` applies to
+/// the MPS mode only (the paper uses 4).
+[[nodiscard]] RankLayout make_rank_layout(NodeMode mode,
+                                          const devmodel::NodeSpec& node,
+                                          int ranks_per_gpu = 4);
+
+/// Builds the decomposition a mode prescribes (paper Fig. 10):
+///  * CpuOnly       — near-cubic blocks, one per core;
+///  * OneRankPerGpu — one y-slab per GPU;
+///  * MpsPerGpu     — hierarchical: GPU slabs then y-subdivision;
+///  * Heterogeneous — GPU slabs with thin CPU y-slabs carved out
+///    (`cpu_fraction` of the zones, subject to the one-plane floor).
+[[nodiscard]] decomp::Decomposition make_decomposition(
+    NodeMode mode, const devmodel::NodeSpec& node, const mesh::Box& global,
+    int ranks_per_gpu = 4, double cpu_fraction = 0.02);
+
+/// Multi-node decomposition: the global box is first split across `nodes`
+/// along z (keeping y free for the per-node hierarchy and x innermost),
+/// then each node slab is decomposed by the mode as in the single-node
+/// case. Rank ids are dense across the cluster; `node_id` records the
+/// placement. ARES's own decomposition works the same way: MPI-spatial
+/// across the machine, then per-node structure.
+[[nodiscard]] decomp::Decomposition make_cluster_decomposition(
+    NodeMode mode, const devmodel::NodeSpec& node, const mesh::Box& global,
+    int nodes, int ranks_per_gpu = 4, double cpu_fraction = 0.02);
+
+}  // namespace coop::core

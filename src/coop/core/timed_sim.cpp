@@ -1,0 +1,315 @@
+#include "coop/core/timed_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "coop/des/engine.hpp"
+#include "coop/devmodel/calibration.hpp"
+#include "coop/devmodel/gpu_server.hpp"
+#include "coop/devmodel/kernel_cost.hpp"
+#include "coop/lb/load_balancer.hpp"
+#include "coop/mesh/halo.hpp"
+#include "coop/simmpi/sim_comm.hpp"
+
+namespace coop::core {
+
+namespace {
+
+namespace calib = devmodel::calib;
+using decomp::Decomposition;
+using memory::ExecutionTarget;
+
+/// Shared (single-threaded DES) state all rank processes see.
+struct World {
+  const TimedConfig* cfg;
+  RankLayout layout;
+  hydro::KernelCatalog catalog;
+  Decomposition dec;
+  std::vector<std::vector<int>> nbrs;
+  lb::FeedbackBalancer balancer{lb::FeedbackBalancer::Config{}};
+  bool lb_active = false;
+
+  // Per-iteration scratch.
+  std::vector<double> compute_time;  // per rank, this iteration
+  double iter_start = 0.0;
+
+  // Optional event-driven GPU backend (one server per physical GPU).
+  std::vector<std::unique_ptr<devmodel::GpuServer>> gpu_servers;
+
+  // Records.
+  std::vector<double> iteration_times;
+  double sum_max_cpu = 0.0, sum_max_gpu = 0.0;
+  int lb_converged_at = -1;
+
+  void rebuild_neighbors() { nbrs = decomp::neighbor_lists(dec); }
+};
+
+/// Per-step UM pump spill charged to each GPU-driving rank on `node_id`
+/// (Fig. 12 knee); the pump is a per-node host resource.
+double um_spill_time(const World& w, int node_id) {
+  const auto& cfg = *w.cfg;
+  if (!cfg.model_um_threshold) return 0.0;
+  double gpu_zones = 0;
+  for (const auto& d : w.dec.domains)
+    if (d.node_id == node_id && d.target == ExecutionTarget::kGpuDevice)
+      gpu_zones += static_cast<double>(d.box.zones());
+  return devmodel::um_spill_time_per_gpu_rank(
+      cfg.node.um, gpu_zones, w.layout.active_cores, w.layout.gpu_ranks);
+}
+
+/// Compute-phase duration for rank `r` in the current decomposition.
+double compute_phase_time(const World& w, int r) {
+  const auto& cfg = *w.cfg;
+  const auto& dom = w.dec.domains[static_cast<std::size_t>(r)];
+  const double zones = static_cast<double>(dom.box.zones());
+  const double nx = static_cast<double>(dom.box.nx());
+  double t = 0.0;
+
+  if (dom.target == ExecutionTarget::kGpuDevice) {
+    const bool mps = cfg.mode == NodeMode::kMpsPerGpu;
+    const int resident = mps ? cfg.ranks_per_gpu : 1;
+    const double launch = devmodel::gpu_launch_overhead(cfg.node.gpu, mps);
+    for (const auto& k : w.catalog.kernels()) {
+      double exec;
+      if (mps && cfg.model_mps_overlap) {
+        exec = devmodel::gpu_kernel_exec_time_mps(cfg.node.gpu, k.work, zones,
+                                                  nx, resident);
+      } else if (mps) {
+        // Ablation: no overlap — co-resident kernels serialize.
+        exec = resident * devmodel::gpu_kernel_exec_time(cfg.node.gpu, k.work,
+                                                         zones, nx);
+      } else {
+        exec = devmodel::gpu_kernel_exec_time(cfg.node.gpu, k.work, zones, nx);
+      }
+      t += launch + exec;
+    }
+    t += um_spill_time(w, dom.node_id);
+  } else {
+    // CPU-only rank. The dispatch penalty applies to GPU-enabled builds
+    // (hetero mode); a pure CPU build has no CUDA decorations (Fig. 1).
+    const double penalty =
+        (cfg.compiler_bug && cfg.mode == NodeMode::kHeterogeneous)
+            ? calib::kCompilerBugFactor
+            : 1.0;
+    for (const auto& k : w.catalog.kernels())
+      t += devmodel::cpu_kernel_exec_time(cfg.node.cpu, k.work, zones,
+                                          penalty);
+  }
+  return t;
+}
+
+/// Compute phase through the event-driven GPU queue: one launch-overhead
+/// delay plus one server submission per catalog kernel.
+des::Task<void> gpu_server_compute(des::Engine& eng, World& w, int r) {
+  const auto& cfg = *w.cfg;
+  const auto& dom = w.dec.domains[static_cast<std::size_t>(r)];
+  const bool mps = cfg.mode == NodeMode::kMpsPerGpu;
+  const double zones = static_cast<double>(dom.box.zones());
+  const double nx = static_cast<double>(dom.box.nx());
+  const double launch = devmodel::gpu_launch_overhead(cfg.node.gpu, mps);
+  auto& gpu = *w.gpu_servers[static_cast<std::size_t>(
+      dom.node_id * cfg.node.gpu_count + dom.gpu_id)];
+  for (const auto& k : w.catalog.kernels()) {
+    co_await eng.delay(launch);
+    co_await gpu.execute(k.work, zones, nx, mps);
+  }
+  co_await eng.delay(um_spill_time(w, dom.node_id));
+}
+
+des::Task<void> rank_process(des::Engine& eng, World& w,
+                             simmpi::SimCommWorld& commw, int r) {
+  simmpi::SimComm comm = commw.comm(r);
+  const long ghosts = w.cfg->ghosts;
+
+  const devmodel::InterconnectSpec gd_net =
+      devmodel::InterconnectSpec::gpu_direct();
+
+  for (int step = 0; step < w.cfg->timesteps; ++step) {
+    if (r == 0) w.iter_start = eng.now();
+
+    const auto& mine = w.dec.domains[static_cast<std::size_t>(r)].box;
+    const auto& my_nbrs = w.nbrs[static_cast<std::size_t>(r)];
+    const bool i_am_gpu =
+        w.dec.domains[static_cast<std::size_t>(r)].target ==
+        ExecutionTarget::kGpuDevice;
+
+    // Posts one halo message per neighbor. With GPU-direct enabled,
+    // GPU-to-GPU messages travel the peer link instead of staging through
+    // host memory (paper 5.3's planned exploration).
+    auto post_halo_sends = [&] {
+      for (int nbr : my_nbrs) {
+        const mesh::Box region = mesh::send_region(
+            mine, w.dec.domains[static_cast<std::size_t>(nbr)].box, ghosts);
+        const auto bytes = static_cast<std::size_t>(
+            static_cast<double>(region.zones()) *
+            calib::kHaloBytesPerFaceZone);
+        const auto& nbr_dom = w.dec.domains[static_cast<std::size_t>(nbr)];
+        const bool nbr_gpu = nbr_dom.target == ExecutionTarget::kGpuDevice;
+        const bool same_node =
+            nbr_dom.node_id ==
+            w.dec.domains[static_cast<std::size_t>(r)].node_id;
+        if (!same_node)
+          comm.post_send(nbr, /*tag=*/0, {}, bytes, w.cfg->node.internode);
+        else if (w.cfg->gpu_direct && i_am_gpu && nbr_gpu)
+          comm.post_send(nbr, /*tag=*/0, {}, bytes, gd_net);
+        else
+          comm.post_send(nbr, /*tag=*/0, {}, bytes);
+      }
+    };
+
+    // --- Compute phase: walk the Sedov kernel catalog. ---
+    const double t_compute_begin = eng.now();
+    if (w.cfg->use_gpu_server && i_am_gpu) {
+      co_await gpu_server_compute(eng, w, r);
+      w.compute_time[static_cast<std::size_t>(r)] =
+          eng.now() - t_compute_begin;
+      post_halo_sends();
+    } else if (const double t_compute = compute_phase_time(w, r);
+               w.cfg->overlap_halo && !my_nbrs.empty()) {
+      w.compute_time[static_cast<std::size_t>(r)] = t_compute;
+      // Boundary-first schedule: compute the halo-adjacent zones, post the
+      // sends, then let interior compute hide the wire time.
+      double halo_zones = 0;
+      for (int nbr : my_nbrs) {
+        halo_zones += static_cast<double>(
+            mesh::send_region(
+                mine, w.dec.domains[static_cast<std::size_t>(nbr)].box,
+                ghosts)
+                .zones());
+      }
+      const double boundary_frac =
+          std::min(1.0, halo_zones / static_cast<double>(mine.zones()));
+      co_await eng.delay(t_compute * boundary_frac);
+      post_halo_sends();
+      co_await eng.delay(t_compute * (1.0 - boundary_frac));
+    } else {
+      w.compute_time[static_cast<std::size_t>(r)] = t_compute;
+      co_await eng.delay(t_compute);
+      post_halo_sends();
+    }
+    if (w.cfg->trace != nullptr)
+      w.cfg->trace->record(r, step, Phase::kCompute, t_compute_begin,
+                           eng.now());
+
+    const double t_halo_begin = eng.now();
+    for (int nbr : my_nbrs) (void)co_await comm.recv(nbr, /*tag=*/0);
+    if (w.cfg->trace != nullptr)
+      w.cfg->trace->record(r, step, Phase::kHaloWait, t_halo_begin,
+                           eng.now());
+
+    // --- dt reduction (the per-step synchronization point). ---
+    const double t_reduce_begin = eng.now();
+    (void)co_await comm.allreduce_min(1.0);
+    if (w.cfg->trace != nullptr)
+      w.cfg->trace->record(r, step, Phase::kReduce, t_reduce_begin,
+                           eng.now());
+
+    // --- Between-iteration load balancing (paper 6.2). ---
+    if (w.lb_active) {
+      if (r == 0) {
+        double max_cpu = 0, max_gpu = 0;
+        for (int q = 0; q < w.dec.ranks(); ++q) {
+          const auto t = w.compute_time[static_cast<std::size_t>(q)];
+          if (w.dec.domains[static_cast<std::size_t>(q)].target ==
+              ExecutionTarget::kGpuDevice)
+            max_gpu = std::max(max_gpu, t);
+          else
+            max_cpu = std::max(max_cpu, t);
+        }
+        w.sum_max_cpu += max_cpu;
+        w.sum_max_gpu += max_gpu;
+        w.balancer.observe(max_cpu, max_gpu, w.dec.cpu_zone_fraction());
+        if (w.balancer.converged() && w.lb_converged_at < 0)
+          w.lb_converged_at = step + 1;
+        // Re-carve the CPU slabs for the next iteration; the single-plane
+        // floor in `heterogeneous` keeps the split feasible.
+        w.dec = make_cluster_decomposition(w.cfg->mode, w.cfg->node,
+                                           w.cfg->global, w.cfg->nodes,
+                                           w.cfg->ranks_per_gpu,
+                                           w.balancer.fraction());
+        w.rebuild_neighbors();
+      }
+      co_await comm.barrier();
+    } else if (r == 0) {
+      double max_cpu = 0, max_gpu = 0;
+      for (int q = 0; q < w.dec.ranks(); ++q) {
+        const auto t = w.compute_time[static_cast<std::size_t>(q)];
+        if (w.dec.domains[static_cast<std::size_t>(q)].target ==
+            ExecutionTarget::kGpuDevice)
+          max_gpu = std::max(max_gpu, t);
+        else
+          max_cpu = std::max(max_cpu, t);
+      }
+      w.sum_max_cpu += max_cpu;
+      w.sum_max_gpu += max_gpu;
+    }
+
+    if (r == 0) w.iteration_times.push_back(eng.now() - w.iter_start);
+  }
+}
+
+}  // namespace
+
+TimedResult run_timed(const TimedConfig& cfg) {
+  if (cfg.global.empty())
+    throw std::invalid_argument("run_timed: empty global box");
+  if (cfg.timesteps <= 0)
+    throw std::invalid_argument("run_timed: timesteps <= 0");
+  if (cfg.nodes <= 0) throw std::invalid_argument("run_timed: nodes <= 0");
+
+  World w;
+  w.cfg = &cfg;
+  w.layout = make_rank_layout(cfg.mode, cfg.node, cfg.ranks_per_gpu);
+  w.catalog = hydro::KernelCatalog::scaled(cfg.catalog_kernels);
+
+  // Initial CPU share: explicit, or the FLOPS-based guess of 6.2.
+  double f0 = cfg.cpu_fraction;
+  if (cfg.mode == NodeMode::kHeterogeneous && f0 < 0) {
+    const double penalty = cfg.compiler_bug ? calib::kCompilerBugFactor : 1.0;
+    f0 = lb::initial_cpu_fraction(cfg.node, w.layout.cpu_ranks,
+                                  w.catalog.total(), penalty);
+  }
+  w.dec = make_cluster_decomposition(cfg.mode, cfg.node, cfg.global,
+                                     cfg.nodes, cfg.ranks_per_gpu,
+                                     std::max(0.0, f0));
+  w.dec.validate();
+  w.rebuild_neighbors();
+  w.lb_active = cfg.load_balance && cfg.mode == NodeMode::kHeterogeneous;
+  if (w.lb_active) {
+    lb::FeedbackBalancer::Config bc;
+    bc.initial_fraction = w.dec.cpu_zone_fraction();
+    // Floor: one plane per CPU rank (decomposition granularity).
+    bc.min_fraction = static_cast<double>(w.layout.cpu_ranks) /
+                      static_cast<double>(cfg.global.ny());
+    bc.max_fraction = 0.5;
+    w.balancer = lb::FeedbackBalancer(bc);
+  }
+  w.compute_time.assign(static_cast<std::size_t>(w.dec.ranks()), 0.0);
+
+  des::Engine eng;
+  if (cfg.use_gpu_server) {
+    for (int g = 0; g < cfg.nodes * cfg.node.gpu_count; ++g)
+      w.gpu_servers.push_back(
+          std::make_unique<devmodel::GpuServer>(eng, cfg.node.gpu));
+  }
+  simmpi::SimCommWorld commw(eng, w.dec.ranks(), cfg.node.net);
+  for (int r = 0; r < w.dec.ranks(); ++r)
+    eng.spawn(rank_process(eng, w, commw, r));
+  const double makespan = eng.run();
+
+  TimedResult res;
+  res.makespan = makespan;
+  res.iteration_times = std::move(w.iteration_times);
+  res.final_cpu_fraction = w.dec.cpu_zone_fraction();
+  res.avg_max_cpu_compute = w.sum_max_cpu / cfg.timesteps;
+  res.avg_max_gpu_compute = w.sum_max_gpu / cfg.timesteps;
+  res.messages = commw.messages_sent();
+  res.bytes = commw.bytes_sent();
+  res.comm_stats = decomp::analyze_communication(w.dec, cfg.ghosts);
+  res.ranks = w.dec.ranks();
+  res.lb_iterations_to_converge = w.lb_converged_at;
+  return res;
+}
+
+}  // namespace coop::core

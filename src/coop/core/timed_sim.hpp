@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coop/core/node_mode.hpp"
+#include "coop/core/trace.hpp"
+#include "coop/decomp/decomposition.hpp"
+#include "coop/devmodel/specs.hpp"
+#include "coop/hydro/kernel_catalog.hpp"
+#include "coop/mesh/box.hpp"
+
+/// \file timed_sim.hpp
+/// Discrete-event timed simulation of the ARES Sedov run on the
+/// heterogeneous node — the engine behind every figure reproduction.
+///
+/// Each MPI rank is a DES process. Per timestep a rank (1) walks the
+/// 80-kernel Sedov catalog charging the device model's per-kernel times
+/// (launch overhead, occupancy/coalescing efficiency, MPS sharing, UM pump
+/// spill), (2) exchanges halos with its face neighbors over the alpha-beta
+/// interconnect, and (3) joins the dt allreduce. In the Heterogeneous mode
+/// the feedback balancer adjusts the CPU slab fraction between iterations
+/// (paper 6.2).
+
+namespace coop::core {
+
+struct TimedConfig {
+  NodeMode mode = NodeMode::kOneRankPerGpu;
+  devmodel::NodeSpec node = devmodel::NodeSpec::rzhasgpu();
+  mesh::Box global{};
+  int timesteps = 20;
+  /// Number of identical nodes; >1 splits the problem across nodes in z and
+  /// routes cross-node halo messages over the internode link.
+  int nodes = 1;
+  int ranks_per_gpu = 4;     ///< GPU-sharing factor for the MPS mode
+  /// Heterogeneous CPU zone share; < 0 selects the FLOPS-based initial
+  /// guess (paper 6.2).
+  double cpu_fraction = -1.0;
+  /// nvcc __host__ __device__-lambda std::function issue present (5.1).
+  bool compiler_bug = true;
+  /// Adjust the heterogeneous split between iterations.
+  bool load_balance = true;
+  int catalog_kernels = devmodel::calib::kAresKernelCount;
+  long ghosts = 1;
+
+  // Ablation toggles (DESIGN.md 7):
+  bool model_um_threshold = true;  ///< host UM pump capacity (Fig. 12 knee)
+  bool model_mps_overlap = true;   ///< kernel overlap under MPS
+
+  // Forward-looking options the paper plans to explore (5.3 / 8):
+  /// GPU-direct: halo messages between two GPU-driving ranks bypass host
+  /// staging and travel over the peer link instead.
+  bool gpu_direct = false;
+  /// Overlap halo communication with interior compute: boundary zones are
+  /// computed first, sends posted, then interior compute hides the wire.
+  bool overlap_halo = false;
+
+  /// Optional phase-level tracing (not owned; may be nullptr). Each rank
+  /// records compute / halo-wait / reduce spans for Gantt visualization.
+  TraceRecorder* trace = nullptr;
+
+  /// Use the event-driven processor-sharing GPU queue (devmodel::GpuServer)
+  /// instead of the closed-form kernel times. Exact for the symmetric
+  /// decompositions the paper uses; additionally captures asymmetric
+  /// sharing. Roughly 80x more DES events per rank-step. Halo overlap is
+  /// not combined with this backend.
+  bool use_gpu_server = false;
+};
+
+struct TimedResult {
+  double makespan = 0.0;  ///< simulated seconds for the full run
+  std::vector<double> iteration_times;
+  double final_cpu_fraction = 0.0;
+  double avg_max_cpu_compute = 0.0;  ///< mean over iters of slowest CPU rank
+  double avg_max_gpu_compute = 0.0;  ///< mean over iters of slowest GPU rank
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  decomp::CommStats comm_stats{};  ///< of the final decomposition
+  int ranks = 0;
+  int lb_iterations_to_converge = -1;  ///< -1: never converged / no LB
+};
+
+/// Runs the timed simulation; deterministic for a given config.
+[[nodiscard]] TimedResult run_timed(const TimedConfig& cfg);
+
+}  // namespace coop::core

@@ -1,0 +1,35 @@
+#include "coop/core/trace.hpp"
+
+namespace coop::core {
+
+double TraceRecorder::total_time(int rank, Phase phase) const {
+  double t = 0;
+  for (const auto& s : spans_)
+    if (s.rank == rank && s.phase == phase) t += s.t_end - s.t_begin;
+  return t;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    // Complete ("X") events; simulated seconds -> microseconds.
+    os << "{\"name\":\"" << to_string(s.phase) << "\",\"cat\":\"step"
+       << s.step << "\",\"ph\":\"X\",\"ts\":" << s.t_begin * 1e6
+       << ",\"dur\":" << (s.t_end - s.t_begin) * 1e6
+       << ",\"pid\":0,\"tid\":" << s.rank << "}";
+  }
+  os << "]}";
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "rank,step,phase,begin,end\n";
+  for (const auto& s : spans_) {
+    os << s.rank << ',' << s.step << ',' << to_string(s.phase) << ','
+       << s.t_begin << ',' << s.t_end << '\n';
+  }
+}
+
+}  // namespace coop::core

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file trace.hpp
+/// Phase-level execution tracing for the timed simulation.
+///
+/// When a `TraceRecorder` is attached to a run, every rank records one span
+/// per phase (compute, halo wait, reduce) per timestep. The result can be
+/// exported as a Chrome-tracing JSON (load in chrome://tracing or Perfetto)
+/// to see the per-rank Gantt chart: GPU ranks computing while CPU slabs lag
+/// or idle is exactly the load-imbalance picture of the paper's 6.2.
+
+namespace coop::core {
+
+enum class Phase : std::uint8_t {
+  kCompute,
+  kHaloWait,
+  kReduce,
+  kRebalance,
+};
+
+[[nodiscard]] constexpr const char* to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kCompute: return "compute";
+    case Phase::kHaloWait: return "halo-wait";
+    case Phase::kReduce: return "reduce";
+    case Phase::kRebalance: return "rebalance";
+  }
+  return "?";
+}
+
+struct TraceSpan {
+  int rank = 0;
+  int step = 0;
+  Phase phase = Phase::kCompute;
+  double t_begin = 0;  ///< simulated seconds
+  double t_end = 0;
+};
+
+class TraceRecorder {
+ public:
+  void record(int rank, int step, Phase phase, double t_begin, double t_end) {
+    spans_.push_back(TraceSpan{rank, step, phase, t_begin, t_end});
+  }
+
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return spans_.empty(); }
+  void clear() { spans_.clear(); }
+
+  /// Total simulated time rank `rank` spent in `phase`.
+  [[nodiscard]] double total_time(int rank, Phase phase) const;
+
+  /// Writes the spans as a Chrome-tracing "traceEvents" JSON array
+  /// (complete events, microsecond timestamps, one row per rank).
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Writes a flat CSV: rank,step,phase,begin,end.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace coop::core
+
+// Implementation kept out-of-line in trace.cpp.

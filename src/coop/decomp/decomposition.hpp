@@ -1,0 +1,104 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coop/memory/memory_manager.hpp"
+#include "coop/mesh/box.hpp"
+
+/// \file decomposition.hpp
+/// Domain decompositions for the heterogeneous node (paper 6.1, Figs. 9-10).
+///
+/// Three families:
+///  * `block_decomposition` — classic near-cubic ("square") blocks; lowest
+///    surface-to-volume per rank but neighbor counts grow quickly with rank
+///    count (Fig. 9's 4-vs-16 comparison).
+///  * `hierarchical_gpu` — the paper's scheme: first split the problem across
+///    the GPUs, then subdivide each GPU block along a *single* dimension (y)
+///    for the extra ranks, keeping the innermost x extent intact and the halo
+///    neighbor count minimal (Fig. 10 a/b).
+///  * `heterogeneous` — hierarchical, plus thin y-slabs carved from each GPU
+///    block for the CPU-only ranks, weighted by the CPU's share of the node
+///    throughput (Fig. 10 c).
+
+namespace coop::decomp {
+
+/// One rank's share of the problem.
+struct RankDomain {
+  int rank = -1;
+  mesh::Box box{};
+  memory::ExecutionTarget target = memory::ExecutionTarget::kCpuCore;
+  /// GPU this rank drives (target == kGpuDevice), or the GPU block a CPU
+  /// rank was carved from (-1 when not associated with any GPU).
+  int gpu_id = -1;
+  /// Node this rank lives on (multi-node runs; 0 for single-node).
+  int node_id = 0;
+};
+
+struct Decomposition {
+  std::string scheme;  ///< "block", "hierarchical", "heterogeneous"
+  mesh::Box global{};
+  std::vector<RankDomain> domains;
+
+  [[nodiscard]] int ranks() const noexcept {
+    return static_cast<int>(domains.size());
+  }
+  [[nodiscard]] long total_zones() const noexcept;
+  /// Fraction of zones owned by CPU-executing ranks.
+  [[nodiscard]] double cpu_zone_fraction() const noexcept;
+  /// Throws std::logic_error unless the domains exactly partition `global`
+  /// (cover it, pairwise disjoint).
+  void validate() const;
+};
+
+/// Near-cubic grid of `ranks` blocks. The grid factorization minimizes total
+/// surface area (communication volume) for the given global extents.
+[[nodiscard]] Decomposition block_decomposition(const mesh::Box& global,
+                                                int ranks);
+
+/// Chooses the (px, py, pz) factorization of `ranks` minimizing halo surface
+/// for `global`. Exposed for testing and for the Fig. 9 analytics.
+[[nodiscard]] std::array<int, 3> choose_grid(const mesh::Box& global,
+                                             int ranks);
+
+/// The paper's hierarchical scheme. Stage 1: `gpu_count` equal y-slabs, one
+/// per GPU. Stage 2: each slab further subdivided in y into `ranks_per_gpu`
+/// sub-slabs (1 for the Default mode, 4 for the MPS mode). All resulting
+/// ranks drive a GPU.
+[[nodiscard]] Decomposition hierarchical_gpu(const mesh::Box& global,
+                                             int gpu_count, int ranks_per_gpu);
+
+/// The heterogeneous scheme: `gpu_count` GPU ranks (one per GPU) plus
+/// `cpu_ranks` CPU ranks. Each GPU block donates a stack of thin y-slabs
+/// (`cpu_ranks / gpu_count` of them, each at least one plane thick) sized so
+/// the CPU ranks own ~`cpu_fraction` of all zones. The achievable fraction
+/// is bounded below by one plane per CPU rank: 12 CPU ranks on a 480-plane
+/// problem cannot take less than 2.5% (the paper's 1-2% at large y, and the
+/// 15% floor that sinks the Heterogeneous mode at y ~ 80).
+[[nodiscard]] Decomposition heterogeneous(const mesh::Box& global,
+                                          int gpu_count, int cpu_ranks,
+                                          double cpu_fraction);
+
+/// Classic CPU-only decomposition (paper Fig. 1): near-cubic blocks, one per
+/// core, all executing on the CPU.
+[[nodiscard]] Decomposition cpu_only(const mesh::Box& global, int cores);
+
+// --- Communication analytics (Fig. 9 / 6.1) --------------------------------
+
+struct CommStats {
+  int total_messages = 0;      ///< directed face-neighbor pairs
+  int max_neighbors = 0;       ///< worst rank's neighbor count
+  double avg_neighbors = 0.0;
+  long total_halo_zones = 0;   ///< sum over directed exchanges
+  long max_halo_zones = 0;     ///< worst rank's received halo zones
+};
+
+/// Face-adjacency neighbor lists (indices into `d.domains`).
+[[nodiscard]] std::vector<std::vector<int>> neighbor_lists(
+    const Decomposition& d);
+
+/// Neighbor-count and halo-volume statistics for ghost width `ghosts`.
+[[nodiscard]] CommStats analyze_communication(const Decomposition& d,
+                                              long ghosts);
+
+}  // namespace coop::decomp

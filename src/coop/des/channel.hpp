@@ -1,0 +1,79 @@
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "coop/des/engine.hpp"
+
+/// \file channel.hpp
+/// Unbounded FIFO message channel between simulation processes.
+///
+/// `send()` never blocks (the channel is unbounded; simulated transfer costs
+/// are modelled explicitly by the sender via `Engine::delay`). `recv()` is an
+/// awaitable that suspends until a value is available. Values are delivered
+/// in FIFO order to receivers in FIFO order, deterministically.
+
+namespace coop::des {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(&engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Deposits a value. If a receiver is waiting, it is scheduled to resume at
+  /// the current simulated time with this value.
+  void send(T value) {
+    if (!waiters_.empty()) {
+      Waiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->slot.emplace(std::move(value));
+      engine_->schedule_now(w->handle);
+    } else {
+      queue_.push_back(std::move(value));
+    }
+  }
+
+  /// Number of values deposited but not yet received.
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+  /// Awaitable receive; resumes with the next value in FIFO order.
+  [[nodiscard]] auto recv() {
+    struct Awaiter : Waiter {
+      Channel* ch;
+      explicit Awaiter(Channel* c) : ch(c) {}
+      bool await_ready() const noexcept {
+        // Only short-circuit when no earlier receiver is queued, to keep
+        // FIFO fairness among receivers.
+        return !ch->queue_.empty() && ch->waiters_.empty();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        this->handle = h;
+        ch->waiters_.push_back(this);
+      }
+      T await_resume() {
+        if (this->slot.has_value()) return std::move(*this->slot);
+        T v = std::move(ch->queue_.front());
+        ch->queue_.pop_front();
+        return v;
+      }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle{};
+    std::optional<T> slot{};
+  };
+
+  Engine* engine_;
+  std::deque<T> queue_;
+  std::deque<Waiter*> waiters_;
+};
+
+}  // namespace coop::des

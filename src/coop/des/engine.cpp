@@ -1,0 +1,54 @@
+#include "coop/des/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coop::des {
+
+void Engine::spawn_at(SimTime at, Task<void> task) {
+  if (!task.valid()) throw std::invalid_argument("Engine::spawn: empty task");
+  if (at < now_) throw std::invalid_argument("Engine::spawn: time in the past");
+  schedule(at, task.native_handle());
+  roots_.push_back(std::move(task));
+}
+
+void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
+  if (t < now_)
+    throw std::invalid_argument("Engine::schedule: time in the past");
+  queue_.push(Event{t, next_seq_++, h});
+}
+
+void Engine::step(const Event& ev) {
+  now_ = ev.t;
+  ++processed_;
+  ev.h.resume();
+}
+
+void Engine::reap_finished_roots() {
+  // Rethrow the first stored exception, then drop completed root frames.
+  for (const auto& r : roots_) r.rethrow_if_failed();
+  std::erase_if(roots_, [](const Task<void>& r) { return r.done(); });
+}
+
+SimTime Engine::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    step(ev);
+  }
+  reap_finished_roots();
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime t_end) {
+  while (!queue_.empty() && queue_.top().t <= t_end) {
+    Event ev = queue_.top();
+    queue_.pop();
+    step(ev);
+  }
+  if (now_ < t_end) now_ = t_end;
+  reap_finished_roots();
+  return now_;
+}
+
+}  // namespace coop::des

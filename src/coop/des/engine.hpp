@@ -1,0 +1,98 @@
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "coop/des/task.hpp"
+#include "coop/des/time.hpp"
+
+/// \file engine.hpp
+/// Single-threaded discrete-event simulation engine.
+///
+/// The engine owns a priority queue of (time, sequence, coroutine-handle)
+/// events. Processes are `Task<void>` coroutines spawned onto the engine;
+/// they advance simulated time only at `co_await` suspension points
+/// (`engine.delay(dt)`, channel receives, resource acquisition). Events at
+/// equal times are processed in the order they were scheduled, which makes
+/// every simulation bitwise deterministic.
+
+namespace coop::des {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time (seconds).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Total number of events processed so far.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+  /// Registers a root simulation process, scheduled to start at `at`
+  /// (default: the current simulated time). The engine takes ownership of
+  /// the coroutine frame; exceptions escaping a root process are rethrown
+  /// from `run()`.
+  void spawn(Task<void> task) { spawn_at(now_, std::move(task)); }
+  void spawn_at(SimTime at, Task<void> task);
+
+  /// Schedules a raw coroutine handle to resume at simulated time `t`.
+  /// Used by awaitable primitives (delay, channel, resource); `t` must be
+  /// >= now().
+  void schedule(SimTime t, std::coroutine_handle<> h);
+
+  /// Schedules `h` to resume at the current simulated time, after all events
+  /// already queued for this instant.
+  void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
+
+  /// Awaitable: suspends the calling process for `dt` simulated seconds.
+  [[nodiscard]] auto delay(SimTime dt) noexcept {
+    struct Awaiter {
+      Engine* eng;
+      SimTime dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eng->schedule(eng->now_ + dt, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, dt < 0 ? 0 : dt};
+  }
+
+  /// Runs until no events remain. Returns the final simulated time.
+  SimTime run();
+
+  /// Runs until the queue is empty or simulated time would exceed `t_end`.
+  /// Events at exactly `t_end` are processed.
+  SimTime run_until(SimTime t_end);
+
+  /// True when no further events are queued.
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime t;
+    EventSeq seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Event& o) const noexcept {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  void step(const Event& ev);
+  void reap_finished_roots();
+
+  SimTime now_ = 0;
+  EventSeq next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Task<void>> roots_;
+};
+
+}  // namespace coop::des

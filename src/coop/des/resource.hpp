@@ -1,0 +1,147 @@
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "coop/des/engine.hpp"
+
+/// \file resource.hpp
+/// Counting resource (semaphore) with FIFO admission and utilization stats.
+///
+/// Models contended hardware: GPU execution contexts, PCIe links, NIC ports,
+/// host memory-bandwidth tokens. A process acquires `n` units with
+/// `co_await res.acquire(n)`, receiving a move-only `Lease` that releases on
+/// destruction (RAII) or via `Lease::release()`.
+
+namespace coop::des {
+
+class Resource;
+
+/// RAII ownership of acquired resource units.
+class Lease {
+ public:
+  Lease() noexcept = default;
+  Lease(Resource* res, std::size_t units) noexcept : res_(res), units_(units) {}
+  Lease(Lease&& o) noexcept
+      : res_(std::exchange(o.res_, nullptr)), units_(std::exchange(o.units_, 0)) {}
+  Lease& operator=(Lease&& o) noexcept {
+    if (this != &o) {
+      release();
+      res_ = std::exchange(o.res_, nullptr);
+      units_ = std::exchange(o.units_, 0);
+    }
+    return *this;
+  }
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+  ~Lease() { release(); }
+
+  void release() noexcept;
+  [[nodiscard]] std::size_t units() const noexcept { return units_; }
+  [[nodiscard]] bool active() const noexcept { return res_ != nullptr; }
+
+ private:
+  Resource* res_ = nullptr;
+  std::size_t units_ = 0;
+};
+
+class Resource {
+ public:
+  Resource(Engine& engine, std::size_t capacity, std::string name = "resource")
+      : engine_(&engine), capacity_(capacity), available_(capacity),
+        name_(std::move(name)) {
+    if (capacity == 0) throw std::invalid_argument("Resource: zero capacity");
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t available() const noexcept { return available_; }
+  [[nodiscard]] std::size_t in_use() const noexcept {
+    return capacity_ - available_;
+  }
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return waiters_.size();
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Time-integral of units-in-use, for utilization reporting:
+  /// utilization = busy_integral / (capacity * elapsed).
+  [[nodiscard]] double busy_integral() const noexcept {
+    return busy_integral_ + static_cast<double>(in_use()) * (engine_->now() - last_change_);
+  }
+
+  /// Awaitable FIFO acquisition of `n` units (n <= capacity).
+  [[nodiscard]] auto acquire(std::size_t n = 1) {
+    if (n == 0 || n > capacity_)
+      throw std::invalid_argument("Resource::acquire: bad unit count for " + name_);
+    struct Awaiter {
+      Resource* res;
+      std::size_t n;
+      bool await_ready() {
+        if (res->waiters_.empty() && res->available_ >= n) {
+          res->take(n);
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        res->waiters_.push_back(Waiter{h, n});
+      }
+      Lease await_resume() noexcept { return Lease{res, n}; }
+    };
+    return Awaiter{this, n};
+  }
+
+ private:
+  friend class Lease;
+
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::size_t units;
+  };
+
+  void account() noexcept {
+    busy_integral_ += static_cast<double>(in_use()) * (engine_->now() - last_change_);
+    last_change_ = engine_->now();
+  }
+
+  void take(std::size_t n) noexcept {
+    account();
+    available_ -= n;
+  }
+
+  void give_back(std::size_t n) {
+    account();
+    available_ += n;
+    // FIFO admission: wake waiters strictly in order; a large request at the
+    // head blocks smaller ones behind it (no starvation).
+    while (!waiters_.empty() && waiters_.front().units <= available_) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      available_ -= w.units;
+      engine_->schedule_now(w.handle);
+    }
+  }
+
+  Engine* engine_;
+  std::size_t capacity_;
+  std::size_t available_;
+  std::string name_;
+  std::deque<Waiter> waiters_;
+  double busy_integral_ = 0;
+  SimTime last_change_ = 0;
+};
+
+inline void Lease::release() noexcept {
+  if (res_ != nullptr) {
+    Resource* r = std::exchange(res_, nullptr);
+    r->give_back(std::exchange(units_, 0));
+  }
+}
+
+}  // namespace coop::des

@@ -1,0 +1,200 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+/// \file task.hpp
+/// Coroutine task type for discrete-event simulation processes.
+///
+/// A `Task<T>` is a lazily-started coroutine. Two ways to run one:
+///  - `Engine::spawn(std::move(task))` makes it a root simulation process;
+///  - `co_await subtask(...)` from inside another task runs it inline (at the
+///    current simulated time) via symmetric transfer and yields its value.
+///
+/// Tasks are move-only owners of their coroutine frame. A task awaited by a
+/// parent is resumed symmetrically when the child reaches final suspend, so
+/// no reference to the engine is required in the promise: simulated time only
+/// advances at explicit `co_await engine/channel/resource` suspension points.
+
+namespace coop::des {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};  ///< parent coroutine, if awaited
+  bool completed = false;
+  std::exception_ptr exception{};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      PromiseBase& p = h.promise();
+      p.completed = true;
+      if (p.continuation) return p.continuation;  // symmetric transfer
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A coroutine task producing a value of type `T` (or `void`).
+template <typename T = void>
+class Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value{};
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept {
+    return handle_ && handle_.promise().completed;
+  }
+
+  /// Awaiting a task starts it immediately (same simulated time) and resumes
+  /// the awaiter when the task completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.promise().completed; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;  // symmetric transfer into the child
+      }
+      T await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+        return std::move(*h.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Engine access; not part of the public API.
+  std::coroutine_handle<promise_type> native_handle() const noexcept {
+    return handle_;
+  }
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, {});
+  }
+
+  /// Rethrows the task's stored exception, if any (used for root tasks).
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  friend promise_type;
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+/// Void specialization.
+template <>
+class Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept {
+    return handle_ && handle_.promise().completed;
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.promise().completed; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> native_handle() const noexcept {
+    return handle_;
+  }
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, {});
+  }
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  friend promise_type;
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+}  // namespace coop::des

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file time.hpp
+/// Simulated-time definitions for the discrete-event engine.
+
+namespace coop::des {
+
+/// Simulated time, in seconds. Double precision is sufficient: the engine
+/// breaks ties deterministically with a sequence number, so exact equality of
+/// event times never affects ordering correctness.
+using SimTime = double;
+
+/// Convenience literals-ish helpers (seconds are the base unit).
+constexpr SimTime microseconds(double us) noexcept { return us * 1e-6; }
+constexpr SimTime milliseconds(double ms) noexcept { return ms * 1e-3; }
+constexpr SimTime seconds(double s) noexcept { return s; }
+
+/// Monotone event sequence number used as the deterministic tie-breaker for
+/// events scheduled at the same simulated time (FIFO among equals).
+using EventSeq = std::uint64_t;
+
+}  // namespace coop::des

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file calibration.hpp
+/// Calibration constants for the RZHasGPU node model, with derivations.
+///
+/// The paper (ICPP'18, Pearce) evaluates on one node of RZHasGPU:
+/// 2x 8-core Intel Xeon E5-2667 v3 (3.2 GHz), 4x NVIDIA Tesla K80,
+/// 128 GB host memory, 12 GB GPU global memory per GPU. Sedov runtimes on
+/// 5e6..5e7-zone problems land in the 20..80 s band. We are not matching the
+/// authors' testbed cycle-for-cycle; these constants are chosen so that each
+/// first-order effect the paper reports appears at the right place and with
+/// roughly the right magnitude:
+///
+///  * Default-mode (1 MPI/GPU) runtime is approximately linear in zones with
+///    ~40e6 zones -> ~70..85 s at 100 timesteps. The ARES hydro kernels are
+///    bandwidth-bound: with ~80 kernels touching ~160 B/zone each
+///    (~12.8 kB/zone/step) and ~150 GB/s sustained K80 bandwidth, a GPU
+///    processes ~1.2e7 zones/s.
+///  * The "memory threshold" (paper Fig. 12) appears when zones/rank exceeds
+///    ~9e6 (37e6 total over 4 ranks). The paper speculates the cause is host
+///    memory bandwidth: modes using more cores "add additional capacity".
+///    We model a unified-memory pump capacity proportional to the number of
+///    active host cores; traffic beyond it spills at PCIe-like speed.
+///  * MPS gains when the innermost (x) extent is small (paper Figs. 13/15/17)
+///    and loses slightly when kernels already fill the GPU (Figs. 16/18):
+///    coalescing efficiency rises with x; concurrent MPS kernels can overlap
+///    to recover lost utilization, but pay a context-sharing tax and higher
+///    launch overhead.
+///  * The nvcc __host__ __device__-lambda std::function dispatch bug makes
+///    CPU-side RAJA loops 100-300x slower in microbenchmarks (paper 5.1).
+///    Amortized over a full hydro step (not every kernel is equally hit) the
+///    effective slowdown we model is ~8x, which reproduces the paper's
+///    statement that only 1-2.5% of zones can be given to 12 CPU cores
+///    (balanced share f* solves f*/R_cpu_bugged = (1-f*)/R_gpu_total).
+
+namespace coop::devmodel::calib {
+
+// --- GPU (Tesla K80, one logical GPU = one GK210) -------------------------
+inline constexpr double kGpuPeakBandwidth = 150.0e9;  ///< sustained B/s
+inline constexpr double kGpuPeakFlops = 935.0e9;      ///< sustained DP flop/s
+inline constexpr double kGpuMemoryBytes = 12.0e9;     ///< global memory
+inline constexpr double kKernelLaunchOverhead = 10.0e-6;  ///< s per launch
+/// Occupancy half-saturation: zones at which a kernel reaches 50% of peak
+/// utilization (a K80 needs ~1e5 resident threads for full occupancy).
+inline constexpr double kOccupancyHalfZones = 3.0e5;
+/// Coalescing half-saturation: innermost-loop extent at which memory
+/// efficiency reaches 50% (warp = 32 lanes; partial warps waste bandwidth).
+inline constexpr double kCoalesceHalfExtent = 16.0;
+/// MPS: launch overhead multiplier (extra hop through the MPS server).
+inline constexpr double kMpsLaunchMultiplier = 2.5;
+/// MPS: throughput tax from context sharing / scheduler time-slicing.
+inline constexpr double kMpsThroughputTax = 0.07;
+/// MPS: maximum concurrently resident client kernels per GPU.
+inline constexpr int kMpsMaxResident = 4;
+
+// --- CPU (2x Xeon E5-2667 v3) ---------------------------------------------
+inline constexpr int kCpuSockets = 2;
+inline constexpr int kCpuCoresPerSocket = 8;
+inline constexpr double kCpuCoreFlops = 51.2e9;     ///< 3.2 GHz * 16 DP/cyc
+inline constexpr double kCpuCoreBandwidth = 8.5e9;  ///< per-core sustained B/s
+inline constexpr double kHostMemoryBytes = 128.0e9;
+/// Effective per-step CPU slowdown from the nvcc std::function-wrapped
+/// lambda issue (paper 5.1 reports 100-300x on affected loops; amortized
+/// across the kernel mix we model 5.5x, which puts the balanced CPU share at
+/// ~3% of the node, bracketing the paper's 1-2.5% and making the one-plane
+/// carve floor at y=360 (3.33%) just feasible, as in the paper's Fig. 16).
+inline constexpr double kCompilerBugFactor = 5.5;
+
+// --- Unified-memory pump (the Fig. 12 memory threshold) --------------------
+/// Zones of UM traffic one active host core can pump per timestep without
+/// stalling the GPU. Default mode activates 4 cores -> node capacity
+/// 4 * 9e6 = 36e6 zones: the paper's observed threshold. MPS/Heterogeneous
+/// activate all 16 cores -> 144e6 zones, beyond the sweep range.
+inline constexpr double kUmPumpZonesPerCore = 9.0e6;
+/// Bytes per excess zone that must migrate over PCIe once the pump
+/// saturates, and the PCIe-like spill bandwidth. 1300 B / 16 GB/s adds ~90% to the
+/// per-total-zone cost slope past the knee, matching the Fig. 12/18 curves
+/// (up to ~18% total-runtime penalty at the top of the sweep range).
+inline constexpr double kUmSpillBytesPerZone = 1300.0;
+inline constexpr double kUmSpillBandwidth = 16.0e9;
+
+// --- Interconnect / halo exchange ------------------------------------------
+inline constexpr double kMsgLatency = 5.0e-6;          ///< s per message
+inline constexpr double kMsgBandwidth = 6.0e9;         ///< B/s staged via host
+inline constexpr double kAllreduceLatencyPerHop = 3.0e-6;
+
+// --- Workload (ARES Sedov proxy) --------------------------------------------
+/// The paper's Sedov problem exercises ~80 kernels. Aggregate per-zone
+/// per-step traffic ~12.8 kB and ~2 kflop; per-kernel averages:
+inline constexpr int kAresKernelCount = 80;
+inline constexpr double kBytesPerZonePerKernel = 160.0;
+inline constexpr double kFlopsPerZonePerKernel = 25.0;
+/// Ghost/halo exchange: bytes per face zone per step (a few fields wide).
+inline constexpr double kHaloBytesPerFaceZone = 64.0;
+/// Timesteps used by the paper-scale runs (runtimes of 20-80 s).
+inline constexpr int kPaperTimesteps = 100;
+
+}  // namespace coop::devmodel::calib

@@ -1,0 +1,20 @@
+#include "coop/devmodel/comm_cost.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace coop::devmodel {
+
+double message_time(const InterconnectSpec& net, std::size_t bytes) {
+  return net.latency_s +
+         static_cast<double>(bytes) / net.bandwidth_bytes_per_s;
+}
+
+double allreduce_time(const InterconnectSpec& net, int ranks) {
+  if (ranks <= 1) return 0.0;
+  const int hops = static_cast<int>(
+      std::ceil(std::log2(static_cast<double>(ranks))));
+  return 2.0 * static_cast<double>(hops) * net.allreduce_hop_latency_s;
+}
+
+}  // namespace coop::devmodel

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+
+#include "coop/devmodel/specs.hpp"
+
+/// \file comm_cost.hpp
+/// Alpha-beta communication cost model for on-node MPI messaging.
+
+namespace coop::devmodel {
+
+/// Time to transfer one point-to-point message of `bytes` (staged through
+/// host memory; the paper notes ARES communicates through the host only).
+[[nodiscard]] double message_time(const InterconnectSpec& net,
+                                  std::size_t bytes);
+
+/// Time for an allreduce of a scalar across `ranks` ranks
+/// (binomial tree: ceil(log2(n)) hops up + down).
+[[nodiscard]] double allreduce_time(const InterconnectSpec& net, int ranks);
+
+}  // namespace coop::devmodel

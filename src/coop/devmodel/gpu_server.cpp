@@ -1,0 +1,104 @@
+#include "coop/devmodel/gpu_server.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace coop::devmodel {
+
+namespace {
+/// Completion tolerance relative to total work (avoids infinite wakeups on
+/// floating-point residue).
+constexpr double kDoneEps = 1e-12;
+}  // namespace
+
+double GpuServer::job_rate(const Job& j, double occ_sum) const {
+  const double pool = std::min(1.0, occ_sum);
+  double r = pool * (j.occupancy / occ_sum) * j.coalescing;
+  if (mps_mode_) r *= (1.0 - spec_.mps_throughput_tax);
+  return r;
+}
+
+des::Task<void> GpuServer::execute(KernelWork work, double zones, double nx,
+                                   bool mps) {
+  if (zones <= 0) co_return;
+  if (!active_.empty() || !queued_.empty()) {
+    if (mps != mps_mode_)
+      throw std::logic_error(
+          "GpuServer: mixing MPS and exclusive kernels on one device");
+  }
+  mps_mode_ = mps;
+
+  des::Channel<double> done(engine_);
+  Job job;
+  job.id = next_id_++;
+  job.remaining_work = roofline_seconds(spec_, work, zones);
+  job.occupancy = occupancy_efficiency(spec_, zones);
+  job.coalescing = coalescing_efficiency(spec_, nx);
+  job.done = &done;
+
+  // Fold elapsed progress into the books, then admit or queue.
+  reschedule();  // advances remaining work to 'now' before the state change
+  const int cap = mps ? spec_.mps_max_resident : 1;
+  if (static_cast<int>(active_.size()) < cap)
+    active_.push_back(job);
+  else
+    queued_.push_back(job);
+  reschedule();
+
+  (void)co_await done.recv();
+}
+
+void GpuServer::reschedule() {
+  const double now = engine_.now();
+  const double elapsed = now - last_update_;
+  last_update_ = now;
+
+  // Drain elapsed progress at the rates in force since the last event.
+  if (elapsed > 0 && !active_.empty()) {
+    double occ_sum = 0;
+    for (const Job& j : active_) occ_sum += j.occupancy;
+    for (Job& j : active_)
+      j.remaining_work -= elapsed * job_rate(j, occ_sum);
+  }
+
+  // Reap completed jobs and promote queued ones (FIFO).
+  const int cap = mps_mode_ ? spec_.mps_max_resident : 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i].remaining_work <= kDoneEps) {
+        active_[i].done->send(now);
+        ++completed_;
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        break;
+      }
+    }
+  }
+  while (static_cast<int>(active_.size()) < cap && !queued_.empty()) {
+    active_.push_back(queued_.front());
+    queued_.erase(queued_.begin());
+  }
+
+  // Schedule the next completion.
+  ++wake_generation_;
+  if (active_.empty()) return;
+  double occ_sum = 0;
+  for (const Job& j : active_) occ_sum += j.occupancy;
+  double next_dt = std::numeric_limits<double>::max();
+  for (const Job& j : active_) {
+    next_dt = std::min(next_dt, std::max(0.0, j.remaining_work) /
+                                    job_rate(j, occ_sum));
+  }
+  engine_.spawn(wakeup(wake_generation_, next_dt));
+}
+
+des::Task<void> GpuServer::wakeup(std::uint64_t generation, double delay) {
+  co_await engine_.delay(delay);
+  if (generation != wake_generation_) co_return;  // superseded by an event
+  reschedule();
+}
+
+}  // namespace coop::devmodel

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "coop/des/channel.hpp"
+#include "coop/des/engine.hpp"
+#include "coop/des/task.hpp"
+#include "coop/devmodel/kernel_cost.hpp"
+#include "coop/devmodel/specs.hpp"
+
+/// \file gpu_server.hpp
+/// Event-driven processor-sharing model of one GPU under MPS.
+///
+/// The analytic MPS formula (`gpu_kernel_exec_time_mps`) assumes all
+/// co-resident kernels are equal and finish together. This server drops that
+/// assumption: kernels arrive whenever their rank launches them, at most
+/// `mps_max_resident` execute concurrently (the rest queue FIFO), and the
+/// device's aggregate utilization — min(1, sum of per-kernel occupancies)
+/// times coalescing and the MPS tax — is split among the resident kernels
+/// in proportion to their single-stream efficiency. Arrivals and departures
+/// re-apportion the rates, which is the classic generalized processor-
+/// sharing construction, solved exactly event by event.
+///
+/// Used by the timed simulation as an opt-in higher-fidelity backend and by
+/// tests to validate the analytic model in its symmetric regime.
+
+namespace coop::devmodel {
+
+class GpuServer {
+ public:
+  GpuServer(des::Engine& engine, GpuSpec spec)
+      : engine_(engine), spec_(spec) {}
+  GpuServer(const GpuServer&) = delete;
+  GpuServer& operator=(const GpuServer&) = delete;
+
+  /// Submits one kernel (roofline work of `work` over `zones` zones with
+  /// innermost extent `nx`) and suspends the caller until it completes.
+  /// `mps` selects shared execution; without MPS the device runs kernels
+  /// one at a time (single context).
+  [[nodiscard]] des::Task<void> execute(KernelWork work, double zones,
+                                        double nx, bool mps);
+
+  [[nodiscard]] int resident() const noexcept {
+    return static_cast<int>(active_.size());
+  }
+  [[nodiscard]] std::uint64_t kernels_completed() const noexcept {
+    return completed_;
+  }
+
+ private:
+  struct Job {
+    std::uint64_t id;
+    double remaining_work;  ///< seconds of full-rate device time left
+    double occupancy;       ///< occupancy efficiency (overlap CAN recover)
+    double coalescing;      ///< memory efficiency (overlap CANNOT recover)
+    des::Channel<double>* done;
+  };
+
+  /// Advances `remaining_work` of all active jobs to the current time and
+  /// recomputes the shared rates; (re)schedules the next-completion wakeup.
+  void reschedule();
+  des::Task<void> wakeup(std::uint64_t generation, double delay);
+  /// Per-job drain rate: the device's occupancy pool min(1, sum occ_i) is
+  /// split in proportion to occ_i; each job then pays its own coalescing
+  /// factor and, under MPS, the sharing tax — the same composition as the
+  /// analytic gpu_kernel_exec_time_mps, of which this is the asymmetric
+  /// generalization.
+  [[nodiscard]] double job_rate(const Job& j, double occ_sum) const;
+
+  des::Engine& engine_;
+  GpuSpec spec_;
+  std::vector<Job> active_;
+  std::vector<Job> queued_;
+  double last_update_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t wake_generation_ = 0;
+  bool mps_mode_ = true;
+};
+
+}  // namespace coop::devmodel

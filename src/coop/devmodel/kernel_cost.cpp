@@ -1,0 +1,91 @@
+#include "coop/devmodel/kernel_cost.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coop::devmodel {
+
+double occupancy_efficiency(const GpuSpec& gpu, double zones) {
+  if (zones <= 0) return 0.0;
+  return zones / (zones + gpu.occupancy_half_zones);
+}
+
+double coalescing_efficiency(const GpuSpec& gpu, double innermost_extent) {
+  if (innermost_extent <= 0) return 0.0;
+  return innermost_extent / (innermost_extent + gpu.coalesce_half_extent);
+}
+
+namespace {
+
+/// Roofline time at full utilization.
+double roofline_time(const GpuSpec& gpu, KernelWork work, double zones) {
+  const double flop_t = work.flops_per_zone * zones / gpu.flops_per_s;
+  const double byte_t = work.bytes_per_zone * zones / gpu.bandwidth_bytes_per_s;
+  return std::max(flop_t, byte_t);
+}
+
+}  // namespace
+
+double roofline_seconds(const GpuSpec& gpu, KernelWork work, double zones) {
+  return roofline_time(gpu, work, zones);
+}
+
+double gpu_kernel_exec_time(const GpuSpec& gpu, KernelWork work, double zones,
+                            double innermost_extent) {
+  if (zones <= 0) return 0.0;
+  const double eta = occupancy_efficiency(gpu, zones) *
+                     coalescing_efficiency(gpu, innermost_extent);
+  return roofline_time(gpu, work, zones) / std::max(eta, 1e-9);
+}
+
+double gpu_kernel_exec_time_mps(const GpuSpec& gpu, KernelWork work,
+                                double zones, double innermost_extent,
+                                int resident) {
+  if (resident < 1)
+    throw std::invalid_argument("gpu_kernel_exec_time_mps: resident < 1");
+  if (zones <= 0) return 0.0;
+  resident = std::min(resident, gpu.mps_max_resident);
+  // Co-resident kernels fill each other's idle SMs, so MPS recovers
+  // *occupancy* underutilization (capped at a fully fed device) — but not
+  // coalescing inefficiency, which wastes bandwidth identically in every
+  // stream — and pays the context-sharing tax on top.
+  const double occ = std::min(
+      1.0, occupancy_efficiency(gpu, zones) * static_cast<double>(resident));
+  const double aggregate = occ * coalescing_efficiency(gpu, innermost_extent) *
+                           (1.0 - gpu.mps_throughput_tax);
+  // `resident` equal kernels finish together after processing the aggregate
+  // work at the aggregate utilization.
+  const double total_work_time =
+      roofline_time(gpu, work, zones * static_cast<double>(resident));
+  return total_work_time / std::max(aggregate, 1e-9);
+}
+
+double gpu_launch_overhead(const GpuSpec& gpu, bool mps) {
+  return mps ? gpu.launch_overhead_s * gpu.mps_launch_multiplier
+             : gpu.launch_overhead_s;
+}
+
+double cpu_kernel_exec_time(const CpuSpec& cpu, KernelWork work, double zones,
+                            double dispatch_penalty) {
+  if (zones <= 0) return 0.0;
+  if (dispatch_penalty < 1.0)
+    throw std::invalid_argument("cpu_kernel_exec_time: penalty < 1");
+  const double flop_t = work.flops_per_zone * zones / cpu.core_flops_per_s;
+  const double byte_t =
+      work.bytes_per_zone * zones / cpu.core_bandwidth_bytes_per_s;
+  return std::max(flop_t, byte_t) * dispatch_penalty;
+}
+
+double um_spill_time_per_gpu_rank(const UmSpec& um, double total_um_zones,
+                                  int active_cores, int gpu_ranks) {
+  if (gpu_ranks <= 0) return 0.0;
+  const double capacity =
+      um.pump_zones_per_core * static_cast<double>(active_cores);
+  const double excess = total_um_zones - capacity;
+  if (excess <= 0) return 0.0;
+  const double spill_t =
+      excess * um.spill_bytes_per_zone / um.spill_bandwidth_bytes_per_s;
+  return spill_t / static_cast<double>(gpu_ranks);
+}
+
+}  // namespace coop::devmodel

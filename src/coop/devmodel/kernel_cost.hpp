@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+
+#include "coop/devmodel/specs.hpp"
+
+/// \file kernel_cost.hpp
+/// Per-kernel cost model for CPU cores and GPUs.
+///
+/// A kernel is summarized by its per-zone arithmetic and memory traffic;
+/// execution time follows a roofline: max(flop time, byte time) divided by
+/// the device's efficiency at this kernel shape.
+
+namespace coop::devmodel {
+
+/// Per-zone resource demands of one kernel.
+struct KernelWork {
+  double flops_per_zone = 0.0;
+  double bytes_per_zone = 0.0;
+};
+
+/// GPU occupancy efficiency: fraction of peak utilization a single kernel of
+/// `zones` iterations achieves (saturating, eta = z / (z + z_half)).
+[[nodiscard]] double occupancy_efficiency(const GpuSpec& gpu, double zones);
+
+/// GPU memory-coalescing efficiency as a function of the innermost loop
+/// extent (short rows waste partial warps / vector loads).
+[[nodiscard]] double coalescing_efficiency(const GpuSpec& gpu,
+                                           double innermost_extent);
+
+/// Roofline execution time at *full* device utilization (the work content
+/// of a kernel in device-seconds); building block for the queue model.
+[[nodiscard]] double roofline_seconds(const GpuSpec& gpu, KernelWork work,
+                                      double zones);
+
+/// Single-stream GPU kernel execution time (excluding launch overhead):
+/// roofline time divided by occupancy * coalescing efficiency.
+[[nodiscard]] double gpu_kernel_exec_time(const GpuSpec& gpu, KernelWork work,
+                                          double zones,
+                                          double innermost_extent);
+
+/// Execution time for one of `resident` equal kernels sharing a GPU through
+/// MPS. All resident kernels run concurrently; aggregate utilization is
+/// min(1, sum of per-stream efficiencies) minus the MPS sharing tax, so small
+/// kernels overlap to recover utilization while large kernels only pay the
+/// tax. Returns the time until *this* rank's kernel completes.
+[[nodiscard]] double gpu_kernel_exec_time_mps(const GpuSpec& gpu,
+                                              KernelWork work, double zones,
+                                              double innermost_extent,
+                                              int resident);
+
+/// Kernel launch overhead for the given mode.
+[[nodiscard]] double gpu_launch_overhead(const GpuSpec& gpu, bool mps);
+
+/// CPU-core kernel execution time. `dispatch_penalty` >= 1 models the nvcc
+/// std::function-wrapped-lambda issue (paper 5.1); 1.0 means a healthy
+/// compiler.
+[[nodiscard]] double cpu_kernel_exec_time(const CpuSpec& cpu, KernelWork work,
+                                          double zones,
+                                          double dispatch_penalty);
+
+/// Host unified-memory pump: extra per-step stall time charged to the
+/// GPU-driving ranks when the zones resident in UM across the node exceed
+/// what the active host cores can pump (the paper's Fig. 12 threshold).
+/// Returns the *per-GPU-rank* extra seconds per timestep.
+[[nodiscard]] double um_spill_time_per_gpu_rank(const UmSpec& um,
+                                                double total_um_zones,
+                                                int active_cores,
+                                                int gpu_ranks);
+
+}  // namespace coop::devmodel

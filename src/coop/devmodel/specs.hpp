@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "coop/devmodel/calibration.hpp"
+
+/// \file specs.hpp
+/// Hardware descriptions for the simulated heterogeneous node.
+
+namespace coop::devmodel {
+
+/// One logical GPU (the paper treats each K80 board as one GPU).
+struct GpuSpec {
+  double bandwidth_bytes_per_s = calib::kGpuPeakBandwidth;
+  double flops_per_s = calib::kGpuPeakFlops;
+  double memory_bytes = calib::kGpuMemoryBytes;
+  double launch_overhead_s = calib::kKernelLaunchOverhead;
+  double occupancy_half_zones = calib::kOccupancyHalfZones;
+  double coalesce_half_extent = calib::kCoalesceHalfExtent;
+  double mps_launch_multiplier = calib::kMpsLaunchMultiplier;
+  double mps_throughput_tax = calib::kMpsThroughputTax;
+  int mps_max_resident = calib::kMpsMaxResident;
+};
+
+/// The host CPU complex (all sockets).
+struct CpuSpec {
+  int sockets = calib::kCpuSockets;
+  int cores_per_socket = calib::kCpuCoresPerSocket;
+  double core_flops_per_s = calib::kCpuCoreFlops;
+  double core_bandwidth_bytes_per_s = calib::kCpuCoreBandwidth;
+  double memory_bytes = calib::kHostMemoryBytes;
+
+  [[nodiscard]] int total_cores() const noexcept {
+    return sockets * cores_per_socket;
+  }
+};
+
+/// Unified-memory pump model (host side of UM page migration).
+struct UmSpec {
+  double pump_zones_per_core = calib::kUmPumpZonesPerCore;
+  double spill_bytes_per_zone = calib::kUmSpillBytesPerZone;
+  double spill_bandwidth_bytes_per_s = calib::kUmSpillBandwidth;
+};
+
+/// Interconnect for MPI messaging (staged through the host; the paper notes
+/// GPU-direct communication was not yet available on its testbed and plans
+/// to explore it — we model it as an optional second network, below).
+struct InterconnectSpec {
+  double latency_s = calib::kMsgLatency;
+  double bandwidth_bytes_per_s = calib::kMsgBandwidth;
+  double allreduce_hop_latency_s = calib::kAllreduceLatencyPerHop;
+
+  /// GPU-direct peer link (NVLink/PCIe P2P-like): GPU-to-GPU messages skip
+  /// the host staging copy. Used only when the run enables GPU-direct.
+  static InterconnectSpec gpu_direct() {
+    InterconnectSpec n;
+    n.latency_s = 1.5e-6;
+    n.bandwidth_bytes_per_s = 20.0e9;
+    return n;
+  }
+};
+
+/// A complete heterogeneous node.
+struct NodeSpec {
+  std::string name = "node";
+  CpuSpec cpu{};
+  GpuSpec gpu{};
+  UmSpec um{};
+  InterconnectSpec net{};
+  /// Link between nodes (EDR InfiniBand-like) for multi-node runs.
+  InterconnectSpec internode{3.0e-6, 10.0e9, 5.0e-6};
+  int gpu_count = 4;
+
+  /// The paper's testbed: one node of RZHasGPU (2x Xeon E5-2667v3,
+  /// 4x Tesla K80, 128 GB host / 12 GB per GPU).
+  static NodeSpec rzhasgpu() {
+    NodeSpec n;
+    n.name = "rzhasgpu";
+    return n;
+  }
+
+  /// A Sierra early-access-like node (2x POWER-ish CPUs, 4 faster GPUs):
+  /// used for what-if ablations only.
+  static NodeSpec sierra_ea() {
+    NodeSpec n;
+    n.name = "sierra-ea";
+    n.cpu.sockets = 2;
+    n.cpu.cores_per_socket = 10;
+    n.gpu.bandwidth_bytes_per_s = 700.0e9;
+    n.gpu.flops_per_s = 7.0e12;
+    n.gpu.memory_bytes = 16.0e9;
+    n.gpu.occupancy_half_zones = 4.0e5;
+    return n;
+  }
+};
+
+}  // namespace coop::devmodel

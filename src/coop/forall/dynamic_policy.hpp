@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "coop/forall/forall.hpp"
+#include "coop/memory/memory_manager.hpp"
+
+/// \file dynamic_policy.hpp
+/// Runtime execution-policy selection (paper Fig. 7).
+///
+/// ARES selects an architecture-specific RAJA policy at runtime from its
+/// control code: GPU-driving MPI processes get the CUDA policy; CPU-only MPI
+/// processes get a sequential policy. `DynamicPolicy` reproduces that
+/// mechanism (the paper notes RAJA's MultiPolicy as the planned successor).
+
+namespace coop::forall {
+
+enum class PolicyKind {
+  kSeq,       ///< sequential CPU execution
+  kSimd,      ///< sequential with vectorization hints
+  kThreads,   ///< worker-pool parallel (OpenMP stand-in)
+  kSimGpu,    ///< simulated CUDA backend
+  kIndirect,  ///< sequential through std::function (the nvcc 5.1 issue)
+};
+
+[[nodiscard]] constexpr const char* to_string(PolicyKind k) noexcept {
+  switch (k) {
+    case PolicyKind::kSeq: return "seq";
+    case PolicyKind::kSimd: return "simd";
+    case PolicyKind::kThreads: return "threads";
+    case PolicyKind::kSimGpu: return "sim_gpu";
+    case PolicyKind::kIndirect: return "indirect";
+  }
+  return "?";
+}
+
+/// A runtime-carried policy; `forall(DynamicPolicy, ...)` dispatches to the
+/// matching static backend.
+struct DynamicPolicy {
+  PolicyKind kind = PolicyKind::kSeq;
+};
+
+template <typename Body>
+inline void forall(DynamicPolicy p, long begin, long end, Body&& body) {
+  switch (p.kind) {
+    case PolicyKind::kSeq:
+      forall(seq_exec{}, begin, end, std::forward<Body>(body));
+      return;
+    case PolicyKind::kSimd:
+      forall(simd_exec{}, begin, end, std::forward<Body>(body));
+      return;
+    case PolicyKind::kThreads:
+      forall(thread_exec{}, begin, end, std::forward<Body>(body));
+      return;
+    case PolicyKind::kSimGpu:
+      forall(sim_gpu_exec{}, begin, end, std::forward<Body>(body));
+      return;
+    case PolicyKind::kIndirect:
+      forall(indirect_exec{}, begin, end, std::forward<Body>(body));
+      return;
+  }
+}
+
+/// The paper's AresArchitecturePolicy selection: maps where a rank executes
+/// (plus whether the nvcc lambda issue is present) to a concrete policy.
+///
+///  * GPU-driving rank  -> the (simulated) CUDA policy.
+///  * CPU-only rank     -> sequential; when the build suffers the
+///    std::function wrapping issue, the indirect policy instead.
+[[nodiscard]] inline DynamicPolicy select_arch_policy(
+    memory::ExecutionTarget target, bool compiler_bug_present) noexcept {
+  if (target == memory::ExecutionTarget::kGpuDevice)
+    return {PolicyKind::kSimGpu};
+  return {compiler_bug_present ? PolicyKind::kIndirect : PolicyKind::kSeq};
+}
+
+}  // namespace coop::forall

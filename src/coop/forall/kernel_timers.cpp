@@ -1,0 +1,17 @@
+#include "coop/forall/kernel_timers.hpp"
+
+#include <algorithm>
+
+namespace coop::forall {
+
+std::vector<std::pair<std::string, KernelTimerRegistry::Entry>>
+KernelTimerRegistry::sorted() const {
+  std::vector<std::pair<std::string, Entry>> out(entries_.begin(),
+                                                 entries_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.seconds > b.second.seconds;
+  });
+  return out;
+}
+
+}  // namespace coop::forall

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file kernel_timers.hpp
+/// Per-kernel wall-clock instrumentation for functional runs.
+///
+/// ARES-style kernel timers: wrap a loop in `ScopedKernelTimer` and the
+/// registry accumulates call counts and wall time per kernel name. The
+/// paper's load balancer is driven by exactly such measurements ("We
+/// measured the respective contributions of CPU vs GPU, and adjusted the
+/// split"); the functional driver uses these to report where a rank's time
+/// goes, and the dispatch-penalty example uses them to show the nvcc
+/// std::function issue kernel by kernel.
+
+namespace coop::forall {
+
+class KernelTimerRegistry {
+ public:
+  struct Entry {
+    std::uint64_t calls = 0;
+    double seconds = 0;
+  };
+
+  void add(const std::string& name, double seconds) {
+    auto& e = entries_[name];
+    e.calls += 1;
+    e.seconds += seconds;
+  }
+
+  [[nodiscard]] const Entry* find(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] double total_seconds() const {
+    double t = 0;
+    for (const auto& [name, e] : entries_) t += e.seconds;
+    return t;
+  }
+
+  /// Entries sorted by descending total time (the "top kernels" report).
+  [[nodiscard]] std::vector<std::pair<std::string, Entry>> sorted() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII wall-clock timer charging its scope to `registry[name]`.
+class ScopedKernelTimer {
+ public:
+  ScopedKernelTimer(KernelTimerRegistry& registry, std::string name)
+      : registry_(&registry), name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+  ScopedKernelTimer(const ScopedKernelTimer&) = delete;
+  ScopedKernelTimer& operator=(const ScopedKernelTimer&) = delete;
+  ~ScopedKernelTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    registry_->add(name_,
+                   std::chrono::duration<double>(end - start_).count());
+  }
+
+ private:
+  KernelTimerRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace coop::forall

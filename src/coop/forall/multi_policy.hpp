@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "coop/forall/dynamic_policy.hpp"
+
+/// \file multi_policy.hpp
+/// RAJA-style MultiPolicy: per-loop runtime policy selection.
+///
+/// The paper (5.1) selects one architecture policy per *rank* and notes:
+/// "In the future, we plan to use the MultiPolicy runtime policy selection
+/// mechanism in RAJA." MultiPolicy selects per *loop invocation* instead: a
+/// user-supplied selector inspects the iteration range and picks the
+/// backend, so e.g. short loops can stay sequential (kernel-launch overhead
+/// would dominate on a device) while long loops go wide.
+
+namespace coop::forall {
+
+class MultiPolicy {
+ public:
+  /// Selector: maps an iteration range to the policy that should run it.
+  using Selector = std::function<PolicyKind(long begin, long end)>;
+
+  explicit MultiPolicy(Selector selector)
+      : selector_(std::move(selector)) {
+    if (!selector_)
+      throw std::invalid_argument("MultiPolicy: empty selector");
+  }
+
+  /// The common RAJA idiom: small ranges run `below`, ranges of at least
+  /// `threshold` iterations run `at_or_above`.
+  static MultiPolicy size_threshold(long threshold, PolicyKind below,
+                                    PolicyKind at_or_above) {
+    return MultiPolicy([=](long begin, long end) {
+      return (end - begin) >= threshold ? at_or_above : below;
+    });
+  }
+
+  /// Selects (and records) the policy for a range.
+  [[nodiscard]] PolicyKind select(long begin, long end) const {
+    last_selected_ = selector_(begin, end);
+    ++selections_;
+    return last_selected_;
+  }
+
+  /// Introspection for tests and instrumentation.
+  [[nodiscard]] PolicyKind last_selected() const noexcept {
+    return last_selected_;
+  }
+  [[nodiscard]] long selections() const noexcept { return selections_; }
+
+ private:
+  Selector selector_;
+  mutable PolicyKind last_selected_ = PolicyKind::kSeq;
+  mutable long selections_ = 0;
+};
+
+/// forall over a MultiPolicy: selects, then dispatches like DynamicPolicy.
+template <typename Body>
+inline void forall(const MultiPolicy& p, long begin, long end, Body&& body) {
+  forall(DynamicPolicy{p.select(begin, end)}, begin, end,
+         std::forward<Body>(body));
+}
+
+}  // namespace coop::forall

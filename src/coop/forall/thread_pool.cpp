@@ -1,0 +1,79 @@
+#include "coop/forall/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coop::forall {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) throw std::invalid_argument("ThreadPool: zero workers");
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Job job{};
+    {
+      std::unique_lock lk(mu_);
+      work_cv_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = jobs_.back();
+      jobs_.pop_back();
+    }
+    std::exception_ptr err;
+    try {
+      (*job.fn)(job.begin, job.end);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard lk(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--jobs_remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(long begin, long end,
+                              const std::function<void(long, long)>& fn) {
+  const long n = end - begin;
+  if (n <= 0) return;
+  const long workers = static_cast<long>(threads_.size());
+  const long chunks = std::min(n, workers);
+  const long base = n / chunks, rem = n % chunks;
+  {
+    std::lock_guard lk(mu_);
+    if (jobs_remaining_ != 0)
+      throw std::logic_error("ThreadPool: nested parallel_for not supported");
+    first_error_ = nullptr;
+    long pos = begin;
+    for (long c = 0; c < chunks; ++c) {
+      const long len = base + (c < rem ? 1 : 0);
+      jobs_.push_back(Job{&fn, pos, pos + len});
+      pos += len;
+    }
+    jobs_remaining_ = static_cast<std::size_t>(chunks);
+  }
+  work_cv_.notify_all();
+  std::unique_lock lk(mu_);
+  done_cv_.wait(lk, [this] { return jobs_remaining_ == 0; });
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace coop::forall

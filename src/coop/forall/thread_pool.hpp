@@ -1,0 +1,56 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// Minimal persistent worker pool backing the `thread_exec` policy
+/// (the stand-in for RAJA's OpenMP backend).
+
+namespace coop::forall {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` persistent threads (>= 1).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) split statically
+  /// across the workers; blocks until all chunks complete. Exceptions from
+  /// chunks propagate (first one wins).
+  void parallel_for(long begin, long end,
+                    const std::function<void(long, long)>& fn);
+
+  /// Process-wide pool sized to the hardware (lazy singleton).
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(long, long)>* fn;
+    long begin;
+    long end;
+  };
+
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<Job> jobs_;
+  std::size_t jobs_remaining_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace coop::forall

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cmath>
+
+/// \file eos.hpp
+/// Ideal-gas (gamma-law) equation of state.
+
+namespace coop::hydro {
+
+struct IdealGas {
+  double gamma = 1.4;
+
+  /// Pressure from density and specific internal energy.
+  [[nodiscard]] double pressure(double rho, double specific_e) const noexcept {
+    return (gamma - 1.0) * rho * specific_e;
+  }
+
+  /// Pressure from conserved variables (total energy density & momentum).
+  [[nodiscard]] double pressure_conserved(double rho, double mx, double my,
+                                          double mz, double E) const noexcept {
+    const double ke = 0.5 * (mx * mx + my * my + mz * mz) / rho;
+    return (gamma - 1.0) * (E - ke);
+  }
+
+  [[nodiscard]] double sound_speed(double rho, double p) const noexcept {
+    return std::sqrt(gamma * p / rho);
+  }
+
+  /// Total energy density from primitives.
+  [[nodiscard]] double total_energy(double rho, double u, double v, double w,
+                                    double p) const noexcept {
+    return p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v + w * w);
+  }
+};
+
+}  // namespace coop::hydro

@@ -1,0 +1,82 @@
+#include "coop/hydro/kernel_catalog.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "coop/devmodel/calibration.hpp"
+
+namespace coop::hydro {
+
+namespace calib = devmodel::calib;
+
+namespace {
+
+/// Deterministic per-kernel variation (xorshift; fixed seed so every build
+/// and run sees the identical catalog).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+  double uniform() {  // in [0.5, 1.5): multiplicative spread around the mean
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return 0.5 + static_cast<double>(s_ % 10000) / 10000.0;
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
+constexpr std::array<const char*, 16> kPhaseNames = {
+    "eos_update",      "sound_speed",    "pressure_gradient",
+    "velocity_update", "position_update","volume_change",
+    "strain_rate",     "artificial_q",   "energy_update",
+    "flux_sweep_x",    "flux_sweep_y",   "flux_sweep_z",
+    "advect_mass",     "advect_momentum","advect_energy",
+    "cfl_courant",
+};
+
+}  // namespace
+
+KernelCatalog KernelCatalog::scaled(int count) {
+  KernelCatalog cat;
+  cat.kernels_.reserve(static_cast<std::size_t>(count));
+  Rng rng(0x9E3779B97F4A7C15ull);
+  double byte_sum = 0, flop_sum = 0;
+  for (int i = 0; i < count; ++i) {
+    KernelDesc k;
+    k.name = std::string(kPhaseNames[static_cast<std::size_t>(i) %
+                                     kPhaseNames.size()]) +
+             "_" + std::to_string(i / static_cast<int>(kPhaseNames.size()));
+    k.work.bytes_per_zone = calib::kBytesPerZonePerKernel * rng.uniform();
+    k.work.flops_per_zone = calib::kFlopsPerZonePerKernel * rng.uniform();
+    byte_sum += k.work.bytes_per_zone;
+    flop_sum += k.work.flops_per_zone;
+    cat.kernels_.push_back(std::move(k));
+  }
+  // Normalize so the totals match the calibrated aggregates exactly.
+  const double byte_scale =
+      calib::kBytesPerZonePerKernel * count / byte_sum;
+  const double flop_scale =
+      calib::kFlopsPerZonePerKernel * count / flop_sum;
+  for (auto& k : cat.kernels_) {
+    k.work.bytes_per_zone *= byte_scale;
+    k.work.flops_per_zone *= flop_scale;
+  }
+  return cat;
+}
+
+KernelCatalog KernelCatalog::ares_sedov() {
+  return scaled(calib::kAresKernelCount);
+}
+
+devmodel::KernelWork KernelCatalog::total() const noexcept {
+  devmodel::KernelWork t;
+  for (const auto& k : kernels_) {
+    t.bytes_per_zone += k.work.bytes_per_zone;
+    t.flops_per_zone += k.work.flops_per_zone;
+  }
+  return t;
+}
+
+}  // namespace coop::hydro

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coop/devmodel/kernel_cost.hpp"
+
+/// \file kernel_catalog.hpp
+/// Cost catalog of the ARES Sedov hydro step.
+///
+/// The paper's Fig. 11 caption states the Sedov problem runs ~80 kernels per
+/// step. Our mini-app implements a representative subset functionally; for
+/// *timed* simulation the full 80-kernel catalog is walked, so launch
+/// overheads and MPS behaviour are exercised at the paper's kernel
+/// granularity. Per-kernel flop/byte intensities vary around the calibrated
+/// means (deterministically), and their totals match the calibrated per-zone
+/// per-step aggregates exactly.
+
+namespace coop::hydro {
+
+struct KernelDesc {
+  std::string name;
+  devmodel::KernelWork work;  ///< per-zone demands of this kernel
+};
+
+class KernelCatalog {
+ public:
+  /// The ARES Sedov step: `calib::kAresKernelCount` kernels whose summed
+  /// per-zone work equals the calibrated totals.
+  static KernelCatalog ares_sedov();
+
+  /// A reduced catalog (for fast tests): `count` kernels, same *average*
+  /// intensity as ares_sedov.
+  static KernelCatalog scaled(int count);
+
+  [[nodiscard]] const std::vector<KernelDesc>& kernels() const noexcept {
+    return kernels_;
+  }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(kernels_.size());
+  }
+  /// Summed per-zone work across all kernels.
+  [[nodiscard]] devmodel::KernelWork total() const noexcept;
+
+ private:
+  std::vector<KernelDesc> kernels_;
+};
+
+}  // namespace coop::hydro

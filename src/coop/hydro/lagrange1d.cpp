@@ -1,0 +1,179 @@
+#include "coop/hydro/lagrange1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace coop::hydro {
+
+std::vector<double> Lagrange1D::viscosity() const {
+  const long n = zones();
+  std::vector<double> q(static_cast<std::size_t>(n), 0.0);
+  for (long j = 0; j < n; ++j) {
+    const double du = u_[static_cast<std::size_t>(j + 1)] -
+                      u_[static_cast<std::size_t>(j)];
+    if (du < 0.0) {  // compression only
+      const double rho = rho_[static_cast<std::size_t>(j)];
+      const double c = cfg_.eos.sound_speed(
+          rho, cfg_.eos.pressure(rho, eint_[static_cast<std::size_t>(j)]));
+      q[static_cast<std::size_t>(j)] =
+          rho * (cfg_.q_quad * cfg_.q_quad * du * du + cfg_.q_lin * c * -du);
+    }
+  }
+  return q;
+}
+
+double Lagrange1D::stable_dt() const {
+  const long n = zones();
+  double dt = std::numeric_limits<double>::max();
+  for (long j = 0; j < n; ++j) {
+    const double dx = x_[static_cast<std::size_t>(j + 1)] -
+                      x_[static_cast<std::size_t>(j)];
+    const double rho = rho_[static_cast<std::size_t>(j)];
+    const double c = cfg_.eos.sound_speed(
+        rho, cfg_.eos.pressure(rho, eint_[static_cast<std::size_t>(j)]));
+    const double du = std::abs(u_[static_cast<std::size_t>(j + 1)] -
+                               u_[static_cast<std::size_t>(j)]);
+    dt = std::min(dt, dx / (c + 4.0 * cfg_.q_quad * du + 1e-30));
+  }
+  return cfg_.cfl * dt;
+}
+
+void Lagrange1D::lagrange_step(double dt) {
+  const long n = zones();
+  const std::vector<double> q = viscosity();
+  std::vector<double> old_vol(static_cast<std::size_t>(n));
+  for (long j = 0; j < n; ++j)
+    old_vol[static_cast<std::size_t>(j)] =
+        x_[static_cast<std::size_t>(j + 1)] - x_[static_cast<std::size_t>(j)];
+
+  // Node accelerations from the pressure + viscosity gradient; rigid walls.
+  std::vector<double> ptot(static_cast<std::size_t>(n));
+  for (long j = 0; j < n; ++j)
+    ptot[static_cast<std::size_t>(j)] =
+        cfg_.eos.pressure(rho_[static_cast<std::size_t>(j)],
+                          eint_[static_cast<std::size_t>(j)]) +
+        q[static_cast<std::size_t>(j)];
+  for (long i = 1; i < n; ++i) {
+    const double m_node = 0.5 * (mass_[static_cast<std::size_t>(i - 1)] +
+                                 mass_[static_cast<std::size_t>(i)]);
+    const double a = -(ptot[static_cast<std::size_t>(i)] -
+                       ptot[static_cast<std::size_t>(i - 1)]) /
+                     m_node;
+    u_[static_cast<std::size_t>(i)] += dt * a;
+  }
+  u_.front() = 0.0;
+  u_.back() = 0.0;
+
+  // Move the mesh with the (updated) node velocities.
+  for (long i = 0; i <= n; ++i)
+    x_[static_cast<std::size_t>(i)] += dt * u_[static_cast<std::size_t>(i)];
+  for (long i = 0; i < n; ++i) {
+    if (x_[static_cast<std::size_t>(i + 1)] <= x_[static_cast<std::size_t>(i)])
+      throw std::runtime_error("Lagrange1D: mesh tangled (dt too large)");
+  }
+
+  // Compatible internal-energy update: de = -(p+q) dV / m, then new density.
+  for (long j = 0; j < n; ++j) {
+    const double new_vol = x_[static_cast<std::size_t>(j + 1)] -
+                           x_[static_cast<std::size_t>(j)];
+    eint_[static_cast<std::size_t>(j)] -=
+        ptot[static_cast<std::size_t>(j)] *
+        (new_vol - old_vol[static_cast<std::size_t>(j)]) /
+        mass_[static_cast<std::size_t>(j)];
+    eint_[static_cast<std::size_t>(j)] =
+        std::max(eint_[static_cast<std::size_t>(j)], 1e-12);
+    rho_[static_cast<std::size_t>(j)] =
+        mass_[static_cast<std::size_t>(j)] / new_vol;
+  }
+}
+
+void Lagrange1D::remap_to_reference() {
+  const long n = zones();
+  // Conserved totals per moved zone (piecewise-constant densities).
+  std::vector<double> mom_density(static_cast<std::size_t>(n));
+  std::vector<double> ene_density(static_cast<std::size_t>(n));
+  std::vector<double> rho_density(static_cast<std::size_t>(n));
+  for (long j = 0; j < n; ++j) {
+    const double vol = x_[static_cast<std::size_t>(j + 1)] -
+                       x_[static_cast<std::size_t>(j)];
+    const double uc = 0.5 * (u_[static_cast<std::size_t>(j)] +
+                             u_[static_cast<std::size_t>(j + 1)]);
+    rho_density[static_cast<std::size_t>(j)] =
+        mass_[static_cast<std::size_t>(j)] / vol;
+    mom_density[static_cast<std::size_t>(j)] =
+        rho_density[static_cast<std::size_t>(j)] * uc;
+    ene_density[static_cast<std::size_t>(j)] =
+        rho_density[static_cast<std::size_t>(j)] *
+        (eint_[static_cast<std::size_t>(j)] + 0.5 * uc * uc);
+  }
+
+  // Overlap integration onto the reference mesh (first-order donor cell).
+  auto integrate = [&](const std::vector<double>& density, long ref_zone) {
+    const double a = ref_x_[static_cast<std::size_t>(ref_zone)];
+    const double b = ref_x_[static_cast<std::size_t>(ref_zone + 1)];
+    double total = 0;
+    for (long j = 0; j < n; ++j) {
+      const double lo = std::max(a, x_[static_cast<std::size_t>(j)]);
+      const double hi = std::min(b, x_[static_cast<std::size_t>(j + 1)]);
+      if (hi > lo) total += density[static_cast<std::size_t>(j)] * (hi - lo);
+    }
+    return total;
+  };
+
+  std::vector<double> uc_new(static_cast<std::size_t>(n));
+  for (long j = 0; j < n; ++j) {
+    const double vol = ref_x_[static_cast<std::size_t>(j + 1)] -
+                       ref_x_[static_cast<std::size_t>(j)];
+    const double m = integrate(rho_density, j);
+    const double mom = integrate(mom_density, j);
+    const double ene = integrate(ene_density, j);
+    mass_[static_cast<std::size_t>(j)] = m;
+    rho_[static_cast<std::size_t>(j)] = m / vol;
+    const double uc = mom / m;
+    uc_new[static_cast<std::size_t>(j)] = uc;
+    eint_[static_cast<std::size_t>(j)] =
+        std::max(ene / m - 0.5 * uc * uc, 1e-12);
+  }
+  // Rebuild node velocities from the remapped zone-centered momentum.
+  for (long i = 1; i < n; ++i)
+    u_[static_cast<std::size_t>(i)] =
+        0.5 * (uc_new[static_cast<std::size_t>(i - 1)] +
+               uc_new[static_cast<std::size_t>(i)]);
+  u_.front() = 0.0;
+  u_.back() = 0.0;
+  x_ = ref_x_;
+}
+
+void Lagrange1D::step(double dt) {
+  lagrange_step(dt);
+  if (cfg_.remap) remap_to_reference();
+}
+
+double Lagrange1D::total_mass() const {
+  double m = 0;
+  for (double mj : mass_) m += mj;
+  return m;
+}
+
+double Lagrange1D::total_momentum() const {
+  double p = 0;
+  for (long j = 0; j < zones(); ++j)
+    p += mass_[static_cast<std::size_t>(j)] * 0.5 *
+         (u_[static_cast<std::size_t>(j)] + u_[static_cast<std::size_t>(j + 1)]);
+  return p;
+}
+
+double Lagrange1D::total_energy() const {
+  double e = 0;
+  for (long j = 0; j < zones(); ++j) {
+    const double uc = 0.5 * (u_[static_cast<std::size_t>(j)] +
+                             u_[static_cast<std::size_t>(j + 1)]);
+    e += mass_[static_cast<std::size_t>(j)] *
+         (eint_[static_cast<std::size_t>(j)] + 0.5 * uc * uc);
+  }
+  return e;
+}
+
+}  // namespace coop::hydro

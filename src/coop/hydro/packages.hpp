@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file packages.hpp
+/// Optional physics packages beyond the hydrodynamics core.
+///
+/// ARES is a *multi-physics* code: the paper lists ALE and Eulerian
+/// hydrodynamics, diffusion, dynamic mixing, and a dozen more packages. The
+/// mini-app reproduces the two cheapest-to-validate ones on top of the
+/// Euler core:
+///
+///  * **Passive scalar advection** (`dynamic mixing` proxy): a mass-fraction
+///    field phi advected conservatively with the *same Rusanov mass flux*
+///    the hydro update uses (donor-cell upwinding on its sign), so the
+///    scalar stays bounded and exactly conserved.
+///  * **Thermal diffusion** (`diffusion` package proxy): explicit
+///    conservative diffusion of internal energy density,
+///    dE/dt = div(kappa grad e_int), with the usual FTCS stability bound
+///    folded into the timestep.
+
+namespace coop::hydro {
+
+struct PackageConfig {
+  /// Enable the passive-scalar (mixing) package.
+  bool passive_scalar = false;
+  /// Enable the thermal-diffusion package.
+  bool diffusion = false;
+  /// Diffusivity kappa (in e_int-density units); only used when enabled.
+  double diffusivity = 1.0e-3;
+  /// Safety factor on the explicit diffusion stability limit dt <= dx^2/6k.
+  double diffusion_safety = 0.9;
+  /// Initial scalar ball radius (fraction of the domain edge) at the center.
+  double scalar_ball_radius = 0.25;
+};
+
+}  // namespace coop::hydro

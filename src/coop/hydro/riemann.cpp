@@ -1,0 +1,128 @@
+#include "coop/hydro/riemann.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace coop::hydro {
+
+namespace {
+
+/// f_K(p): velocity jump across the left or right wave as a function of the
+/// star pressure (shock branch for p > p_K, rarefaction otherwise).
+double wave_fn(double p, const RiemannState& s, double gamma) {
+  const double a = std::sqrt(gamma * s.p / s.rho);
+  if (p > s.p) {  // shock
+    const double A = 2.0 / ((gamma + 1.0) * s.rho);
+    const double B = (gamma - 1.0) / (gamma + 1.0) * s.p;
+    return (p - s.p) * std::sqrt(A / (p + B));
+  }
+  // rarefaction
+  return 2.0 * a / (gamma - 1.0) *
+         (std::pow(p / s.p, (gamma - 1.0) / (2.0 * gamma)) - 1.0);
+}
+
+double wave_fn_deriv(double p, const RiemannState& s, double gamma) {
+  const double a = std::sqrt(gamma * s.p / s.rho);
+  if (p > s.p) {
+    const double A = 2.0 / ((gamma + 1.0) * s.rho);
+    const double B = (gamma - 1.0) / (gamma + 1.0) * s.p;
+    return std::sqrt(A / (B + p)) * (1.0 - (p - s.p) / (2.0 * (B + p)));
+  }
+  return 1.0 / (s.rho * a) *
+         std::pow(p / s.p, -(gamma + 1.0) / (2.0 * gamma));
+}
+
+}  // namespace
+
+RiemannProblem::RiemannProblem(RiemannState left, RiemannState right,
+                               IdealGas eos)
+    : l_(left), r_(right), eos_(eos) {
+  const double g = eos_.gamma;
+  if (l_.rho <= 0 || r_.rho <= 0 || l_.p <= 0 || r_.p <= 0)
+    throw std::invalid_argument("RiemannProblem: nonpositive state");
+  // Two-rarefaction initial guess, then Newton on
+  // f(p) = f_L(p) + f_R(p) + (u_R - u_L).
+  const double al = std::sqrt(g * l_.p / l_.rho);
+  const double ar = std::sqrt(g * r_.p / r_.rho);
+  const double z = (g - 1.0) / (2.0 * g);
+  double p = std::pow((al + ar - 0.5 * (g - 1.0) * (r_.u - l_.u)) /
+                          (al / std::pow(l_.p, z) + ar / std::pow(r_.p, z)),
+                      1.0 / z);
+  p = std::max(p, 1e-14);
+  for (int it = 0; it < 100; ++it) {
+    const double f = wave_fn(p, l_, g) + wave_fn(p, r_, g) + (r_.u - l_.u);
+    const double df = wave_fn_deriv(p, l_, g) + wave_fn_deriv(p, r_, g);
+    const double p_new = std::max(1e-14, p - f / df);
+    if (std::abs(p_new - p) < 1e-12 * (p_new + p)) {
+      p = p_new;
+      break;
+    }
+    p = p_new;
+  }
+  p_star_ = p;
+  u_star_ = 0.5 * (l_.u + r_.u) +
+            0.5 * (wave_fn(p, r_, g) - wave_fn(p, l_, g));
+}
+
+RiemannState RiemannProblem::sample(double xi) const {
+  const double g = eos_.gamma;
+  if (xi <= u_star_) {
+    // Left of the contact.
+    const RiemannState& s = l_;
+    const double a = std::sqrt(g * s.p / s.rho);
+    if (p_star_ > s.p) {  // left shock
+      const double sl =
+          s.u - a * std::sqrt((g + 1.0) / (2.0 * g) * p_star_ / s.p +
+                              (g - 1.0) / (2.0 * g));
+      if (xi < sl) return s;
+      const double r = s.rho *
+                       ((p_star_ / s.p + (g - 1.0) / (g + 1.0)) /
+                        ((g - 1.0) / (g + 1.0) * p_star_ / s.p + 1.0));
+      return {r, u_star_, p_star_};
+    }
+    // left rarefaction
+    const double a_star = a * std::pow(p_star_ / s.p, (g - 1.0) / (2.0 * g));
+    const double head = s.u - a;
+    const double tail = u_star_ - a_star;
+    if (xi < head) return s;
+    if (xi > tail) {
+      const double r = s.rho * std::pow(p_star_ / s.p, 1.0 / g);
+      return {r, u_star_, p_star_};
+    }
+    // inside the fan
+    const double u = 2.0 / (g + 1.0) * (a + (g - 1.0) / 2.0 * s.u + xi);
+    const double af = 2.0 / (g + 1.0) * (a + (g - 1.0) / 2.0 * (s.u - xi));
+    const double r = s.rho * std::pow(af / a, 2.0 / (g - 1.0));
+    const double p = s.p * std::pow(af / a, 2.0 * g / (g - 1.0));
+    return {r, u, p};
+  }
+  // Right of the contact (mirror).
+  const RiemannState& s = r_;
+  const double a = std::sqrt(g * s.p / s.rho);
+  if (p_star_ > s.p) {  // right shock
+    const double sr =
+        s.u + a * std::sqrt((g + 1.0) / (2.0 * g) * p_star_ / s.p +
+                            (g - 1.0) / (2.0 * g));
+    if (xi > sr) return s;
+    const double r = s.rho *
+                     ((p_star_ / s.p + (g - 1.0) / (g + 1.0)) /
+                      ((g - 1.0) / (g + 1.0) * p_star_ / s.p + 1.0));
+    return {r, u_star_, p_star_};
+  }
+  // right rarefaction
+  const double a_star = a * std::pow(p_star_ / s.p, (g - 1.0) / (2.0 * g));
+  const double head = s.u + a;
+  const double tail = u_star_ + a_star;
+  if (xi > head) return s;
+  if (xi < tail) {
+    const double r = s.rho * std::pow(p_star_ / s.p, 1.0 / g);
+    return {r, u_star_, p_star_};
+  }
+  const double u = 2.0 / (g + 1.0) * (-a + (g - 1.0) / 2.0 * s.u + xi);
+  const double af = 2.0 / (g + 1.0) * (a - (g - 1.0) / 2.0 * (s.u - xi));
+  const double r = s.rho * std::pow(af / a, 2.0 / (g - 1.0));
+  const double p = s.p * std::pow(af / a, 2.0 * g / (g - 1.0));
+  return {r, u, p};
+}
+
+}  // namespace coop::hydro

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "coop/hydro/eos.hpp"
+
+/// \file riemann.hpp
+/// Exact solution of the 1D Riemann problem for an ideal gas.
+///
+/// Used as the independent ground truth for the hydro core: the Sod shock
+/// tube has a closed-form (up to one Newton solve) solution with a
+/// rarefaction, contact and shock, so a finite-volume scheme can be
+/// validated against exact densities and wave positions rather than just
+/// conservation. Standard construction (see Toro, "Riemann Solvers and
+/// Numerical Methods for Fluid Dynamics", ch. 4).
+
+namespace coop::hydro {
+
+/// Primitive state on one side of the interface.
+struct RiemannState {
+  double rho = 1.0;
+  double u = 0.0;  ///< velocity normal to the interface
+  double p = 1.0;
+};
+
+/// Exact Riemann solution sampler.
+class RiemannProblem {
+ public:
+  /// Solves the star-region pressure/velocity for the given left/right
+  /// states (Newton iteration on the pressure function).
+  RiemannProblem(RiemannState left, RiemannState right, IdealGas eos = {});
+
+  /// Samples the self-similar solution at x/t (interface at x = 0, t > 0).
+  [[nodiscard]] RiemannState sample(double xi) const;
+
+  [[nodiscard]] double star_pressure() const noexcept { return p_star_; }
+  [[nodiscard]] double star_velocity() const noexcept { return u_star_; }
+
+ private:
+  RiemannState l_, r_;
+  IdealGas eos_;
+  double p_star_ = 0;
+  double u_star_ = 0;
+};
+
+}  // namespace coop::hydro

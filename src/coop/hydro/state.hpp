@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "coop/memory/memory_manager.hpp"
+#include "coop/mesh/array3d.hpp"
+#include "coop/mesh/box.hpp"
+
+/// \file state.hpp
+/// Conserved-variable state for the compressible Euler equations on one
+/// rank's subdomain, plus primitive scratch fields.
+///
+/// Placement follows the paper's Fig. 8: conserved fields are *mesh data*
+/// (unified memory on GPU-driving ranks), primitive scratch is *temporary*
+/// (device pool on GPU-driving ranks, reallocated per step in ARES; we keep
+/// them alive but route them through the same pool).
+
+namespace coop::hydro {
+
+/// Number of core conserved fields: rho, mom_x/y/z, total energy.
+inline constexpr int kNumConserved = 5;
+
+struct HydroState {
+  mesh::Box owned{};
+  long ghosts = 1;
+
+  // Conserved (mesh data): density, momentum density, total energy density.
+  mesh::Array3D<double> rho, mx, my, mz, ener;
+  // Primitive scratch (temporary data): pressure and sound speed.
+  mesh::Array3D<double> prs, snd;
+  // Optional packages: conserved scalar density rho*phi (mixing package).
+  mesh::Array3D<double> scal;  ///< valid() only when the package is enabled
+
+  HydroState(memory::MemoryManager& mm, const mesh::Box& owned_box,
+             long ghost_width = 1, bool with_scalar = false)
+      : owned(owned_box), ghosts(ghost_width),
+        rho(mm, memory::AllocationContext::kMeshData, owned_box, ghost_width),
+        mx(mm, memory::AllocationContext::kMeshData, owned_box, ghost_width),
+        my(mm, memory::AllocationContext::kMeshData, owned_box, ghost_width),
+        mz(mm, memory::AllocationContext::kMeshData, owned_box, ghost_width),
+        ener(mm, memory::AllocationContext::kMeshData, owned_box, ghost_width),
+        prs(mm, memory::AllocationContext::kTemporary, owned_box, ghost_width),
+        snd(mm, memory::AllocationContext::kTemporary, owned_box,
+            ghost_width) {
+    if (with_scalar) {
+      scal = mesh::Array3D<double>(mm, memory::AllocationContext::kMeshData,
+                                   owned_box, ghost_width);
+    }
+  }
+
+  /// The core conserved fields in exchange order (halo packing).
+  [[nodiscard]] std::array<mesh::Array3D<double>*, kNumConserved> conserved() {
+    return {&rho, &mx, &my, &mz, &ener};
+  }
+
+  /// Every field that must participate in halo exchange (core conserved
+  /// plus enabled package fields), in a stable order usable as message tags.
+  [[nodiscard]] std::vector<mesh::Array3D<double>*> exchanged_fields() {
+    std::vector<mesh::Array3D<double>*> f = {&rho, &mx, &my, &mz, &ener};
+    if (scal.valid()) f.push_back(&scal);
+    return f;
+  }
+};
+
+}  // namespace coop::hydro

@@ -1,0 +1,48 @@
+#include "coop/lb/load_balancer.hpp"
+
+#include <cmath>
+
+namespace coop::lb {
+
+double initial_cpu_fraction(const devmodel::NodeSpec& node, int cpu_ranks,
+                            devmodel::KernelWork work_per_step,
+                            double dispatch_penalty) {
+  // Zone rates from the roofline for the aggregate per-step kernel mix.
+  const double cpu_core_rate =
+      std::min(node.cpu.core_flops_per_s / work_per_step.flops_per_zone,
+               node.cpu.core_bandwidth_bytes_per_s /
+                   work_per_step.bytes_per_zone) /
+      dispatch_penalty;
+  const double gpu_rate =
+      std::min(node.gpu.flops_per_s / work_per_step.flops_per_zone,
+               node.gpu.bandwidth_bytes_per_s / work_per_step.bytes_per_zone) *
+      0.9;  // typical occupancy*coalescing at production sizes
+  const double cpu_total = cpu_core_rate * cpu_ranks;
+  const double gpu_total = gpu_rate * node.gpu_count;
+  return cpu_total / (cpu_total + gpu_total);
+}
+
+void FeedbackBalancer::observe(double cpu_time, double gpu_time,
+                               double actual_fraction) {
+  ++observations_;
+  const double f_a = actual_fraction >= 0 ? actual_fraction : fraction_;
+  if (cpu_time <= 0 || gpu_time <= 0 || f_a <= 0 || f_a >= 1) {
+    return;  // nothing measurable this iteration
+  }
+  imbalance_ = std::abs(cpu_time - gpu_time) / std::max(cpu_time, gpu_time);
+
+  // Per-unit-fraction rates observed this iteration; the balanced split
+  // equalizes finish times: f* = r_cpu / (r_cpu + r_gpu).
+  const double r_cpu = f_a / cpu_time;
+  const double r_gpu = (1.0 - f_a) / gpu_time;
+  const double f_star = r_cpu / (r_cpu + r_gpu);
+  const double next = std::clamp(fraction_ + cfg_.gain * (f_star - fraction_),
+                                 cfg_.min_fraction, cfg_.max_fraction);
+  // Converged when the finish times match, or when the split target has
+  // stopped moving (the decomposition granularity limits what is reachable).
+  converged_ = imbalance_ <= cfg_.tolerance ||
+               std::abs(next - fraction_) < 1e-3;
+  fraction_ = next;
+}
+
+}  // namespace coop::lb

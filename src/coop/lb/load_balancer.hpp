@@ -1,0 +1,69 @@
+#pragma once
+
+#include <algorithm>
+
+#include "coop/devmodel/kernel_cost.hpp"
+#include "coop/devmodel/specs.hpp"
+
+/// \file load_balancer.hpp
+/// Heterogeneous CPU/GPU load balancing (paper 6.2).
+///
+/// The paper starts from a FLOPS-proportional guess of the CPU work share,
+/// measures the respective contributions of CPU vs GPU, and adjusts the
+/// split between iterations ("static within an iteration, but the
+/// decomposition can be adjusted between iterations").
+
+namespace coop::lb {
+
+/// FLOPS/roofline-based initial guess of the zone fraction to give the CPU
+/// ranks: both device kinds are rated at their roofline zone rate for the
+/// aggregate kernel mix `work`, the CPU additionally derated by the nvcc
+/// dispatch penalty (paper 5.1/6.2).
+[[nodiscard]] double initial_cpu_fraction(const devmodel::NodeSpec& node,
+                                          int cpu_ranks,
+                                          devmodel::KernelWork work_per_step,
+                                          double dispatch_penalty);
+
+/// Measurement-driven corrector. After each iteration, feed the slowest GPU
+/// and slowest CPU compute times; the balancer re-estimates per-fraction
+/// processing rates and moves the split toward equalizing finish times,
+/// with damping to avoid oscillation around the optimum.
+class FeedbackBalancer {
+ public:
+  struct Config {
+    double initial_fraction = 0.02;
+    double min_fraction = 0.0;   ///< floor (decomposition granularity)
+    double max_fraction = 0.5;
+    double gain = 0.5;           ///< damping: 1 = jump straight to estimate
+    double tolerance = 0.03;     ///< relative imbalance considered converged
+  };
+
+  explicit FeedbackBalancer(const Config& cfg) : cfg_(cfg) {
+    fraction_ = std::clamp(cfg.initial_fraction, cfg.min_fraction,
+                           cfg.max_fraction);
+  }
+
+  [[nodiscard]] double fraction() const noexcept { return fraction_; }
+
+  /// Records the measured times of the slowest CPU rank and slowest GPU
+  /// rank for the iteration just completed and updates the split.
+  /// `actual_fraction` is the zone share the decomposition actually realized
+  /// this iteration (plane quantization makes it differ from `fraction()`);
+  /// pass a negative value to use the continuous target instead.
+  void observe(double cpu_time, double gpu_time, double actual_fraction = -1);
+
+  /// True once the last observed imbalance is within tolerance.
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+  [[nodiscard]] int observations() const noexcept { return observations_; }
+  /// |T_cpu - T_gpu| / max(T_cpu, T_gpu) of the last observation.
+  [[nodiscard]] double last_imbalance() const noexcept { return imbalance_; }
+
+ private:
+  Config cfg_;
+  double fraction_ = 0.02;
+  double imbalance_ = 1.0;
+  bool converged_ = false;
+  int observations_ = 0;
+};
+
+}  // namespace coop::lb

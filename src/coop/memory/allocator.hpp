@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+/// \file allocator.hpp
+/// Allocation interfaces for the heterogeneous memory scheme (paper Fig. 8).
+///
+/// The paper differentiates memory by *context* — control code, mesh data,
+/// temporary data — and by *where the owning rank executes*: a CPU-only rank
+/// allocates everything with malloc; a GPU-driving rank places mesh data in
+/// unified memory and temporary data in device memory pools (cnmem-style).
+
+namespace coop::memory {
+
+/// Memory context, as in the paper's Fig. 8 table.
+enum class AllocationContext {
+  kControlCode,  ///< rank-local bookkeeping, never touched by kernels
+  kMeshData,     ///< persistent mesh fields, touched by kernels
+  kTemporary,    ///< per-kernel scratch, pooled for reuse
+};
+
+[[nodiscard]] constexpr const char* to_string(AllocationContext c) noexcept {
+  switch (c) {
+    case AllocationContext::kControlCode: return "control";
+    case AllocationContext::kMeshData: return "mesh";
+    case AllocationContext::kTemporary: return "temporary";
+  }
+  return "?";
+}
+
+/// Memory space a block physically lives in (simulated placement).
+enum class MemorySpace {
+  kHost,     ///< host DRAM (malloc)
+  kUnified,  ///< CUDA unified memory (migratable host<->device)
+  kDevice,   ///< GPU global memory (cudaMalloc / pool)
+};
+
+[[nodiscard]] constexpr const char* to_string(MemorySpace s) noexcept {
+  switch (s) {
+    case MemorySpace::kHost: return "host";
+    case MemorySpace::kUnified: return "unified";
+    case MemorySpace::kDevice: return "device";
+  }
+  return "?";
+}
+
+/// Abstract allocator with capacity accounting.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Allocates `bytes` (throws std::bad_alloc when the simulated capacity
+  /// would be exceeded). Zero-byte requests return a valid unique pointer.
+  [[nodiscard]] virtual void* allocate(std::size_t bytes) = 0;
+  virtual void deallocate(void* p) = 0;
+
+  [[nodiscard]] virtual MemorySpace space() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t bytes_in_use() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t high_water() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t capacity() const noexcept = 0;
+};
+
+}  // namespace coop::memory

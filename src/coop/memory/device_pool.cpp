@@ -1,0 +1,98 @@
+#include "coop/memory/device_pool.hpp"
+
+#include <new>
+#include <stdexcept>
+
+namespace coop::memory {
+
+namespace {
+std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+}  // namespace
+
+DevicePool::DevicePool(std::size_t capacity, std::size_t alignment)
+    : alignment_(alignment) {
+  if (capacity == 0) throw std::invalid_argument("DevicePool: zero capacity");
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0)
+    throw std::invalid_argument("DevicePool: alignment must be a power of 2");
+  // The slab base must honor the pool alignment, since every block offset
+  // is a multiple of it. aligned_alloc requires a size multiple of align.
+  capacity_ = round_up(capacity, alignment);
+  slab_.reset(static_cast<std::byte*>(
+      std::aligned_alloc(alignment_, capacity_)));
+  if (!slab_) throw std::bad_alloc{};
+  insert_free(0, capacity_);
+}
+
+void DevicePool::insert_free(Offset off, Size size) {
+  free_by_offset_.emplace(off, size);
+  free_by_size_.emplace(size, off);
+}
+
+void DevicePool::erase_free(Offset off, Size size) {
+  free_by_offset_.erase(off);
+  auto [lo, hi] = free_by_size_.equal_range(size);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == off) {
+      free_by_size_.erase(it);
+      return;
+    }
+  }
+  throw std::logic_error("DevicePool: free-list index out of sync");
+}
+
+void* DevicePool::allocate(std::size_t bytes) {
+  const Size need = round_up(bytes == 0 ? 1 : bytes, alignment_);
+  // Best fit: smallest free block that can hold the request.
+  auto it = free_by_size_.lower_bound(need);
+  if (it == free_by_size_.end()) throw std::bad_alloc{};
+  const Size block_size = it->first;
+  const Offset off = it->second;
+  erase_free(off, block_size);
+  if (block_size > need) insert_free(off + need, block_size - need);
+  allocated_.emplace(off, need);
+  in_use_ += need;
+  if (in_use_ > high_water_) high_water_ = in_use_;
+  return slab_.get() + off;
+}
+
+void DevicePool::deallocate(void* p) {
+  if (p == nullptr) return;
+  const auto* bp = static_cast<const std::byte*>(p);
+  if (bp < slab_.get() || bp >= slab_.get() + capacity_)
+    throw std::invalid_argument("DevicePool: pointer not from this pool");
+  const Offset off = static_cast<Offset>(bp - slab_.get());
+  auto it = allocated_.find(off);
+  if (it == allocated_.end())
+    throw std::invalid_argument("DevicePool: double free or bad pointer");
+  Offset free_off = off;
+  Size free_size = it->second;
+  in_use_ -= free_size;
+  allocated_.erase(it);
+
+  // Coalesce with the following free block, if adjacent.
+  auto next = free_by_offset_.lower_bound(free_off);
+  if (next != free_by_offset_.end() && next->first == free_off + free_size) {
+    free_size += next->second;
+    erase_free(next->first, next->second);
+  }
+  // Coalesce with the preceding free block, if adjacent.
+  auto prev = free_by_offset_.lower_bound(free_off);
+  if (prev != free_by_offset_.begin()) {
+    --prev;
+    if (prev->first + prev->second == free_off) {
+      free_off = prev->first;
+      free_size += prev->second;
+      erase_free(prev->first, prev->second);
+    }
+  }
+  insert_free(free_off, free_size);
+}
+
+std::size_t DevicePool::largest_free_block() const noexcept {
+  if (free_by_size_.empty()) return 0;
+  return free_by_size_.rbegin()->first;
+}
+
+}  // namespace coop::memory

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "coop/memory/allocator.hpp"
+
+/// \file device_pool.hpp
+/// cnmem-style device memory pool.
+///
+/// ARES uses memory pools for temporary data so per-kernel scratch buffers do
+/// not pay cudaMalloc/cudaFree (which synchronize the device) on every
+/// launch. The pool grabs one slab up front and services allocations with a
+/// best-fit free list; freed blocks coalesce with free neighbors. Backed here
+/// by real host memory so functional runs can use the returned pointers.
+
+namespace coop::memory {
+
+class DevicePool : public Allocator {
+ public:
+  /// Creates a pool owning a slab of `capacity` bytes.
+  explicit DevicePool(std::size_t capacity, std::size_t alignment = 256);
+  ~DevicePool() override = default;
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+  [[nodiscard]] void* allocate(std::size_t bytes) override;
+  void deallocate(void* p) override;
+
+  [[nodiscard]] MemorySpace space() const noexcept override {
+    return MemorySpace::kDevice;
+  }
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept override {
+    return in_use_;
+  }
+  [[nodiscard]] std::size_t high_water() const noexcept override {
+    return high_water_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept override {
+    return capacity_;
+  }
+
+  /// Number of fragments on the free list (1 when fully coalesced & empty).
+  [[nodiscard]] std::size_t free_fragments() const noexcept {
+    return free_by_offset_.size();
+  }
+  /// Largest single allocation currently satisfiable.
+  [[nodiscard]] std::size_t largest_free_block() const noexcept;
+  [[nodiscard]] std::size_t live_allocations() const noexcept {
+    return allocated_.size();
+  }
+
+ private:
+  using Offset = std::size_t;
+  using Size = std::size_t;
+
+  void insert_free(Offset off, Size size);
+  void erase_free(Offset off, Size size);
+
+  struct AlignedFree {
+    void operator()(std::byte* p) const noexcept { std::free(p); }
+  };
+
+  std::unique_ptr<std::byte[], AlignedFree> slab_;
+  std::size_t capacity_ = 0;
+  std::size_t alignment_;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+  std::map<Offset, Size> free_by_offset_;
+  std::multimap<Size, Offset> free_by_size_;  ///< best-fit index
+  std::map<Offset, Size> allocated_;
+};
+
+}  // namespace coop::memory

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdlib>
+#include <new>
+#include <unordered_map>
+
+#include "coop/memory/allocator.hpp"
+
+/// \file host_allocator.hpp
+/// Capacity-accounted allocators backed by real host memory. The same
+/// implementation serves as "malloc" (host space) and — with a different
+/// space tag and capacity — as the simulated "cudaMallocManaged" (unified).
+
+namespace coop::memory {
+
+class TrackedAllocator : public Allocator {
+ public:
+  /// `capacity` is the simulated capacity of the space; allocations beyond
+  /// it throw std::bad_alloc even though host memory could satisfy them.
+  TrackedAllocator(MemorySpace space, std::size_t capacity)
+      : space_(space), capacity_(capacity) {}
+  ~TrackedAllocator() override {
+    for (auto& [p, sz] : live_) std::free(p);
+  }
+  TrackedAllocator(const TrackedAllocator&) = delete;
+  TrackedAllocator& operator=(const TrackedAllocator&) = delete;
+
+  [[nodiscard]] void* allocate(std::size_t bytes) override {
+    if (in_use_ + bytes > capacity_) throw std::bad_alloc{};
+    void* p = std::malloc(bytes == 0 ? 1 : bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    live_.emplace(p, bytes);
+    in_use_ += bytes;
+    if (in_use_ > high_water_) high_water_ = in_use_;
+    return p;
+  }
+
+  void deallocate(void* p) override {
+    if (p == nullptr) return;
+    auto it = live_.find(p);
+    if (it == live_.end()) throw std::invalid_argument("unknown pointer");
+    in_use_ -= it->second;
+    std::free(p);
+    live_.erase(it);
+  }
+
+  [[nodiscard]] MemorySpace space() const noexcept override { return space_; }
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept override {
+    return in_use_;
+  }
+  [[nodiscard]] std::size_t high_water() const noexcept override {
+    return high_water_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept override {
+    return capacity_;
+  }
+  [[nodiscard]] std::size_t live_allocations() const noexcept {
+    return live_.size();
+  }
+
+ private:
+  MemorySpace space_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+  std::unordered_map<void*, std::size_t> live_;
+};
+
+/// Host DRAM ("Malloc" column of the paper's Fig. 8).
+class HostAllocator : public TrackedAllocator {
+ public:
+  explicit HostAllocator(std::size_t capacity)
+      : TrackedAllocator(MemorySpace::kHost, capacity) {}
+};
+
+/// Simulated cudaMallocManaged: unified memory accessible from CPU and GPU.
+class UnifiedAllocator : public TrackedAllocator {
+ public:
+  explicit UnifiedAllocator(std::size_t capacity)
+      : TrackedAllocator(MemorySpace::kUnified, capacity) {}
+};
+
+}  // namespace coop::memory

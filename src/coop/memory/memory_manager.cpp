@@ -1,0 +1,51 @@
+#include "coop/memory/memory_manager.hpp"
+
+namespace coop::memory {
+
+MemoryManager::MemoryManager(const Config& cfg)
+    : target_(cfg.target), strict_cpu_isolation_(cfg.strict_cpu_isolation),
+      host_(cfg.host_capacity), unified_(cfg.device_capacity),
+      pool_(cfg.pool_capacity) {}
+
+MemorySpace MemoryManager::space_for(AllocationContext ctx) const noexcept {
+  if (target_ == ExecutionTarget::kCpuCore) return MemorySpace::kHost;
+  switch (ctx) {
+    case AllocationContext::kControlCode: return MemorySpace::kHost;
+    case AllocationContext::kMeshData: return MemorySpace::kUnified;
+    case AllocationContext::kTemporary: return MemorySpace::kDevice;
+  }
+  return MemorySpace::kHost;
+}
+
+Allocator& MemoryManager::allocator_for(MemorySpace space) {
+  if (strict_cpu_isolation_ && target_ == ExecutionTarget::kCpuCore &&
+      space != MemorySpace::kHost) {
+    throw std::logic_error(
+        "memory isolation violation: CPU-only rank touching GPU memory "
+        "(the paper 5.2 requires breaking this library assumption)");
+  }
+  switch (space) {
+    case MemorySpace::kHost: return host_;
+    case MemorySpace::kUnified: return unified_;
+    case MemorySpace::kDevice: return pool_;
+  }
+  return host_;
+}
+
+void* MemoryManager::allocate(AllocationContext ctx, std::size_t bytes) {
+  return allocator_for(space_for(ctx)).allocate(bytes);
+}
+
+void MemoryManager::deallocate(AllocationContext ctx, void* p) {
+  allocator_for(space_for(ctx)).deallocate(p);
+}
+
+void* MemoryManager::allocate_in(MemorySpace space, std::size_t bytes) {
+  return allocator_for(space).allocate(bytes);
+}
+
+void MemoryManager::deallocate_in(MemorySpace space, void* p) {
+  allocator_for(space).deallocate(p);
+}
+
+}  // namespace coop::memory

@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "coop/memory/allocator.hpp"
+#include "coop/memory/device_pool.hpp"
+#include "coop/memory/host_allocator.hpp"
+
+/// \file memory_manager.hpp
+/// Per-rank memory manager implementing the paper's Fig. 8 placement table:
+///
+///   context      | rank executes on CPU core | rank offloads to GPU
+///   -------------+---------------------------+---------------------------
+///   control code | malloc                    | malloc
+///   mesh data    | malloc                    | cudaMallocManaged (unified)
+///   temporary    | malloc                    | cudaMalloc via cnmem pool
+///
+/// The paper further notes that libraries compiled for CUDA tended to grab
+/// GPU memory even in processes that never use the GPU, and that touching
+/// GPU memory from CPU-only ranks degraded performance; `MemoryManager`
+/// enforces that isolation (CPU-only ranks cannot allocate device/unified
+/// memory).
+
+namespace coop::memory {
+
+/// Where a rank executes its kernels.
+enum class ExecutionTarget {
+  kCpuCore,    ///< kernels run on the owning CPU core
+  kGpuDevice,  ///< kernels are offloaded to a GPU
+};
+
+[[nodiscard]] constexpr const char* to_string(ExecutionTarget t) noexcept {
+  return t == ExecutionTarget::kCpuCore ? "cpu" : "gpu";
+}
+
+class MemoryManager;
+
+/// Move-only typed array owned by a MemoryManager.
+template <typename T>
+class Buffer {
+ public:
+  Buffer() noexcept = default;
+  Buffer(MemoryManager* mm, AllocationContext ctx, T* data, std::size_t count)
+      : mm_(mm), ctx_(ctx), data_(data), count_(count) {}
+  Buffer(Buffer&& o) noexcept
+      : mm_(std::exchange(o.mm_, nullptr)), ctx_(o.ctx_),
+        data_(std::exchange(o.data_, nullptr)),
+        count_(std::exchange(o.count_, 0)) {}
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      reset();
+      mm_ = std::exchange(o.mm_, nullptr);
+      ctx_ = o.ctx_;
+      data_ = std::exchange(o.data_, nullptr);
+      count_ = std::exchange(o.count_, 0);
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  ~Buffer() { reset(); }
+
+  void reset();
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::span<T> span() noexcept { return {data_, count_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_, count_};
+  }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  MemoryManager* mm_ = nullptr;
+  AllocationContext ctx_ = AllocationContext::kControlCode;
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+class MemoryManager {
+ public:
+  struct Config {
+    ExecutionTarget target = ExecutionTarget::kCpuCore;
+    std::size_t host_capacity = std::size_t{8} << 30;    ///< per-rank share
+    std::size_t device_capacity = std::size_t{12} << 30; ///< GPU global mem
+    std::size_t pool_capacity = std::size_t{2} << 30;    ///< temp-data pool
+    /// Enforce the paper's isolation rule: CPU-only ranks must never touch
+    /// GPU memory (throws std::logic_error on violation).
+    bool strict_cpu_isolation = true;
+  };
+
+  explicit MemoryManager(const Config& cfg);
+
+  /// Allocates `bytes` in the space Fig. 8 prescribes for (target, context).
+  [[nodiscard]] void* allocate(AllocationContext ctx, std::size_t bytes);
+  void deallocate(AllocationContext ctx, void* p);
+
+  /// Typed convenience: value-initialized array of `count` T.
+  template <typename T>
+  [[nodiscard]] Buffer<T> make_buffer(AllocationContext ctx,
+                                      std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "pool buffers must be trivially destructible");
+    T* p = static_cast<T*>(allocate(ctx, count * sizeof(T)));
+    for (std::size_t i = 0; i < count; ++i) new (p + i) T{};
+    return Buffer<T>(this, ctx, p, count);
+  }
+
+  /// The space Fig. 8 maps this (target, context) pair to.
+  [[nodiscard]] MemorySpace space_for(AllocationContext ctx) const noexcept;
+
+  /// Direct space access, modelling third-party libraries that allocate in
+  /// an explicit space regardless of context. Subject to the isolation rule.
+  [[nodiscard]] void* allocate_in(MemorySpace space, std::size_t bytes);
+  void deallocate_in(MemorySpace space, void* p);
+
+  [[nodiscard]] ExecutionTarget target() const noexcept { return target_; }
+  [[nodiscard]] const Allocator& host() const noexcept { return host_; }
+  [[nodiscard]] const Allocator& unified() const noexcept { return unified_; }
+  [[nodiscard]] const Allocator& pool() const noexcept { return pool_; }
+
+ private:
+  [[nodiscard]] Allocator& allocator_for(MemorySpace space);
+
+  ExecutionTarget target_;
+  bool strict_cpu_isolation_;
+  HostAllocator host_;
+  UnifiedAllocator unified_;
+  DevicePool pool_;
+};
+
+template <typename T>
+void Buffer<T>::reset() {
+  if (mm_ != nullptr && data_ != nullptr) {
+    mm_->deallocate(ctx_, data_);
+  }
+  mm_ = nullptr;
+  data_ = nullptr;
+  count_ = 0;
+}
+
+}  // namespace coop::memory

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "coop/memory/memory_manager.hpp"
+#include "coop/mesh/box.hpp"
+
+/// \file array3d.hpp
+/// Ghost-aware 3D field storage over the heterogeneous memory manager.
+///
+/// An `Array3D<T>` covers an owned `Box` plus `g` ghost layers on every side,
+/// stored x-fastest (x is the innermost/unit-stride dimension, as in ARES).
+/// Indexing uses *global* zone indices, so kernels written against the global
+/// index space work unchanged on any rank's subdomain.
+
+namespace coop::mesh {
+
+template <typename T>
+class Array3D {
+ public:
+  Array3D() = default;
+
+  /// Allocates storage for `owned.grown(ghosts)` from `mm` in `ctx`.
+  Array3D(memory::MemoryManager& mm, memory::AllocationContext ctx,
+          const Box& owned, long ghosts)
+      : owned_(owned), padded_(owned.grown(ghosts)), ghosts_(ghosts),
+        buf_(mm.make_buffer<T>(ctx, static_cast<std::size_t>(padded_.zones()))) {
+    assert(!owned.empty());
+  }
+
+  [[nodiscard]] const Box& owned() const noexcept { return owned_; }
+  [[nodiscard]] const Box& padded() const noexcept { return padded_; }
+  [[nodiscard]] long ghosts() const noexcept { return ghosts_; }
+  [[nodiscard]] bool valid() const noexcept { return !buf_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  /// Element at global index (i, j, k); must lie in the padded box.
+  [[nodiscard]] T& operator()(long i, long j, long k) noexcept {
+    return buf_[index(i, j, k)];
+  }
+  [[nodiscard]] const T& operator()(long i, long j, long k) const noexcept {
+    return buf_[index(i, j, k)];
+  }
+
+  /// Linear offset of global (i, j, k) in the padded storage.
+  [[nodiscard]] std::size_t index(long i, long j, long k) const noexcept {
+    assert(padded_.contains({i, j, k}));
+    const long li = i - padded_.lo.x;
+    const long lj = j - padded_.lo.y;
+    const long lk = k - padded_.lo.z;
+    return static_cast<std::size_t>((lk * padded_.ny() + lj) * padded_.nx() +
+                                    li);
+  }
+
+  [[nodiscard]] T* data() noexcept { return buf_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return buf_.data(); }
+
+  void fill(const T& v) {
+    for (std::size_t i = 0; i < buf_.size(); ++i) buf_[i] = v;
+  }
+
+ private:
+  Box owned_{};
+  Box padded_{};
+  long ghosts_ = 0;
+  memory::Buffer<T> buf_{};
+};
+
+}  // namespace coop::mesh

@@ -1,0 +1,99 @@
+#include "coop/mesh/box.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace coop::mesh {
+
+namespace {
+
+void set_axis_range(Box& b, Axis axis, long from, long to) {
+  switch (axis) {
+    case Axis::kX: b.lo.x = from; b.hi.x = to; break;
+    case Axis::kY: b.lo.y = from; b.hi.y = to; break;
+    case Axis::kZ: b.lo.z = from; b.hi.z = to; break;
+  }
+}
+
+long axis_lo(const Box& b, Axis axis) {
+  switch (axis) {
+    case Axis::kX: return b.lo.x;
+    case Axis::kY: return b.lo.y;
+    case Axis::kZ: return b.lo.z;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Box> split_even(const Box& box, Axis axis, int parts) {
+  if (parts <= 0) throw std::invalid_argument("split_even: parts <= 0");
+  const long extent = box.extent(axis);
+  if (extent < parts)
+    throw std::invalid_argument("split_even: extent smaller than parts");
+  std::vector<Box> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  const long base = extent / parts, rem = extent % parts;
+  long pos = axis_lo(box, axis);
+  for (int p = 0; p < parts; ++p) {
+    const long len = base + (p < rem ? 1 : 0);
+    Box piece = box;
+    set_axis_range(piece, axis, pos, pos + len);
+    out.push_back(piece);
+    pos += len;
+  }
+  return out;
+}
+
+std::vector<Box> split_weighted(const Box& box, Axis axis,
+                                const std::vector<double>& weights,
+                                long min_extent) {
+  if (weights.empty()) throw std::invalid_argument("split_weighted: no weights");
+  const double total_w = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total_w <= 0.0)
+    throw std::invalid_argument("split_weighted: nonpositive total weight");
+  const long extent = box.extent(axis);
+  const long n = static_cast<long>(weights.size());
+  if (extent < n * min_extent)
+    throw std::invalid_argument(
+        "split_weighted: extent cannot accommodate minimum piece sizes");
+
+  // Largest-remainder apportionment with a floor of `min_extent`.
+  std::vector<long> planes(weights.size());
+  std::vector<std::pair<double, std::size_t>> fracs;
+  long assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double ideal = extent * weights[i] / total_w;
+    planes[i] = std::max(min_extent, static_cast<long>(std::floor(ideal)));
+    assigned += planes[i];
+    fracs.emplace_back(ideal - std::floor(ideal), i);
+  }
+  std::sort(fracs.rbegin(), fracs.rend());
+  std::size_t next = 0;
+  while (assigned < extent) {
+    planes[fracs[next % fracs.size()].second] += 1;
+    ++assigned;
+    ++next;
+  }
+  while (assigned > extent) {
+    // Shave from the largest pieces, never below the floor.
+    auto it = std::max_element(planes.begin(), planes.end());
+    if (*it <= min_extent)
+      throw std::invalid_argument("split_weighted: over-constrained");
+    *it -= 1;
+    --assigned;
+  }
+
+  std::vector<Box> out;
+  out.reserve(weights.size());
+  long pos = axis_lo(box, axis);
+  for (long p : planes) {
+    Box piece = box;
+    set_axis_range(piece, axis, pos, pos + p);
+    out.push_back(piece);
+    pos += p;
+  }
+  return out;
+}
+
+}  // namespace coop::mesh

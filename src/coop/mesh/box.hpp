@@ -1,0 +1,132 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+/// \file box.hpp
+/// Index-space geometry for the block-structured mesh: 3D integer boxes
+/// (half-open) and the split operations the decompositions are built from.
+
+namespace coop::mesh {
+
+struct Index3 {
+  long x = 0, y = 0, z = 0;
+  friend bool operator==(const Index3&, const Index3&) = default;
+};
+
+/// Axis selector; the paper's decompositions cut along y (axis 1) so the
+/// innermost (x) extent is preserved for every approach (Fig. 10).
+enum class Axis : int { kX = 0, kY = 1, kZ = 2 };
+
+/// Half-open axis-aligned box of zone indices: [lo, hi).
+struct Box {
+  Index3 lo{};
+  Index3 hi{};
+
+  [[nodiscard]] long nx() const noexcept { return hi.x - lo.x; }
+  [[nodiscard]] long ny() const noexcept { return hi.y - lo.y; }
+  [[nodiscard]] long nz() const noexcept { return hi.z - lo.z; }
+  [[nodiscard]] long extent(Axis a) const noexcept {
+    switch (a) {
+      case Axis::kX: return nx();
+      case Axis::kY: return ny();
+      case Axis::kZ: return nz();
+    }
+    return 0;
+  }
+  [[nodiscard]] long zones() const noexcept {
+    return empty() ? 0 : nx() * ny() * nz();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return nx() <= 0 || ny() <= 0 || nz() <= 0;
+  }
+  [[nodiscard]] bool contains(Index3 p) const noexcept {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+
+  /// Largest box contained in both (possibly empty).
+  [[nodiscard]] Box intersect(const Box& o) const noexcept {
+    Box r;
+    r.lo = {std::max(lo.x, o.lo.x), std::max(lo.y, o.lo.y),
+            std::max(lo.z, o.lo.z)};
+    r.hi = {std::min(hi.x, o.hi.x), std::min(hi.y, o.hi.y),
+            std::min(hi.z, o.hi.z)};
+    return r;
+  }
+
+  /// True when the boxes share a full face (touch along exactly one axis and
+  /// overlap on the other two) — the halo-exchange adjacency relation.
+  [[nodiscard]] bool face_adjacent(const Box& o) const noexcept;
+
+  /// Splits at `plane` (global index) along `axis` into [lo, plane) and
+  /// [plane, hi). `plane` must lie strictly inside.
+  [[nodiscard]] std::array<Box, 2> split_at(Axis axis, long plane) const;
+
+  /// Grows the box by `g` in every direction (ghost frame).
+  [[nodiscard]] Box grown(long g) const noexcept {
+    return Box{{lo.x - g, lo.y - g, lo.z - g}, {hi.x + g, hi.y + g, hi.z + g}};
+  }
+
+  friend bool operator==(const Box&, const Box&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Box& b) {
+    return os << "[" << b.lo.x << "," << b.lo.y << "," << b.lo.z << ")..["
+              << b.hi.x << "," << b.hi.y << "," << b.hi.z << ")";
+  }
+};
+
+inline bool Box::face_adjacent(const Box& o) const noexcept {
+  if (empty() || o.empty()) return false;
+  int touching = 0, overlapping = 0;
+  const auto axis_relation = [&](long alo, long ahi, long blo, long bhi) {
+    if (ahi == blo || bhi == alo) ++touching;
+    else if (std::max(alo, blo) < std::min(ahi, bhi)) ++overlapping;
+  };
+  axis_relation(lo.x, hi.x, o.lo.x, o.hi.x);
+  axis_relation(lo.y, hi.y, o.lo.y, o.hi.y);
+  axis_relation(lo.z, hi.z, o.lo.z, o.hi.z);
+  return touching == 1 && overlapping == 2;
+}
+
+inline std::array<Box, 2> Box::split_at(Axis axis, long plane) const {
+  Box a = *this, b = *this;
+  switch (axis) {
+    case Axis::kX:
+      if (plane <= lo.x || plane >= hi.x)
+        throw std::invalid_argument("Box::split_at: plane outside box");
+      a.hi.x = plane;
+      b.lo.x = plane;
+      break;
+    case Axis::kY:
+      if (plane <= lo.y || plane >= hi.y)
+        throw std::invalid_argument("Box::split_at: plane outside box");
+      a.hi.y = plane;
+      b.lo.y = plane;
+      break;
+    case Axis::kZ:
+      if (plane <= lo.z || plane >= hi.z)
+        throw std::invalid_argument("Box::split_at: plane outside box");
+      a.hi.z = plane;
+      b.lo.z = plane;
+      break;
+  }
+  return {a, b};
+}
+
+/// Splits `box` along `axis` into `parts` near-equal pieces (remainder
+/// spread over the leading pieces); used by the "square" block decomposition.
+[[nodiscard]] std::vector<Box> split_even(const Box& box, Axis axis,
+                                          int parts);
+
+/// Splits `box` along `axis` into pieces whose extents are proportional to
+/// `weights` (each piece gets at least `min_extent` planes when its weight is
+/// nonzero). Throws if the extents cannot accommodate the minimums.
+[[nodiscard]] std::vector<Box> split_weighted(const Box& box, Axis axis,
+                                              const std::vector<double>& weights,
+                                              long min_extent = 1);
+
+}  // namespace coop::mesh

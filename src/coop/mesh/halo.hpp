@@ -1,0 +1,61 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coop/mesh/array3d.hpp"
+#include "coop/mesh/box.hpp"
+
+/// \file halo.hpp
+/// Halo (ghost-zone) geometry and pack/unpack for block-structured fields.
+
+namespace coop::mesh {
+
+/// Zones of `mine` that neighbor `nbr` needs for its ghost frame of width
+/// `ghosts` — the region I must send.
+[[nodiscard]] inline Box send_region(const Box& mine, const Box& nbr,
+                                     long ghosts) noexcept {
+  return mine.intersect(nbr.grown(ghosts));
+}
+
+/// Zones of `nbr` that fill my ghost frame — the region I receive.
+[[nodiscard]] inline Box recv_region(const Box& mine, const Box& nbr,
+                                     long ghosts) noexcept {
+  return nbr.intersect(mine.grown(ghosts));
+}
+
+/// Serializes `region` (global indices; must lie inside a.padded()) in
+/// x-fastest order.
+template <typename T>
+[[nodiscard]] std::vector<T> pack(const Array3D<T>& a, const Box& region) {
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(region.zones()));
+  for (long k = region.lo.z; k < region.hi.z; ++k)
+    for (long j = region.lo.y; j < region.hi.y; ++j)
+      for (long i = region.lo.x; i < region.hi.x; ++i)
+        out.push_back(a(i, j, k));
+  return out;
+}
+
+/// Writes `data` (x-fastest) into `region` of `a`.
+template <typename T>
+void unpack(Array3D<T>& a, const Box& region, std::span<const T> data) {
+  std::size_t n = 0;
+  for (long k = region.lo.z; k < region.hi.z; ++k)
+    for (long j = region.lo.y; j < region.hi.y; ++j)
+      for (long i = region.lo.x; i < region.hi.x; ++i)
+        a(i, j, k) = data[n++];
+}
+
+/// Accumulates `data` into `region` of `a` (for nodal force/mass sums on
+/// shared faces).
+template <typename T>
+void unpack_add(Array3D<T>& a, const Box& region, std::span<const T> data) {
+  std::size_t n = 0;
+  for (long k = region.lo.z; k < region.hi.z; ++k)
+    for (long j = region.lo.y; j < region.hi.y; ++j)
+      for (long i = region.lo.x; i < region.hi.x; ++i)
+        a(i, j, k) += data[n++];
+}
+
+}  // namespace coop::mesh

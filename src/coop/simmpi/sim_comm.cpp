@@ -1,0 +1,103 @@
+#include "coop/simmpi/sim_comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coop::simmpi {
+
+SimCommWorld::SimCommWorld(des::Engine& engine, int size,
+                           devmodel::InterconnectSpec net)
+    : engine_(engine), size_(size), net_(net) {
+  if (size <= 0) throw std::invalid_argument("SimCommWorld: size <= 0");
+  reduce_.result_ch.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i)
+    reduce_.result_ch.push_back(std::make_unique<des::Channel<double>>(engine));
+}
+
+SimCommWorld::Mailbox& SimCommWorld::mailbox(int dest, int source, int tag) {
+  auto& slot = mailboxes_[{dest, source, tag}];
+  if (!slot) slot = std::make_unique<Mailbox>(engine_);
+  return *slot;
+}
+
+des::Task<void> SimCommWorld::deliver_message(double delay, Mailbox& box,
+                                              std::vector<double> data) {
+  co_await engine_.delay(delay);
+  box.send(std::move(data));
+}
+
+des::Task<void> SimCommWorld::deliver_reduction(double delay, double value) {
+  co_await engine_.delay(delay);
+  for (auto& ch : reduce_.result_ch) ch->send(value);
+}
+
+int SimComm::size() const noexcept { return world_->size(); }
+
+void SimComm::post_send(int dest, int tag, std::vector<double> data,
+                        std::size_t bytes) {
+  post_send(dest, tag, std::move(data), bytes, world_->net_);
+}
+
+void SimComm::post_send(int dest, int tag, std::vector<double> data,
+                        std::size_t bytes,
+                        const devmodel::InterconnectSpec& net) {
+  if (dest < 0 || dest >= world_->size_)
+    throw std::invalid_argument("SimComm::post_send: bad destination");
+  const double now = world_->engine_.now();
+  // Non-overtaking: a message may not arrive before any earlier message on
+  // the same (source, dest) ordered channel.
+  double arrival = now + devmodel::message_time(net, bytes);
+  auto& floor_t = world_->last_delivery_[{rank_, dest}];
+  arrival = std::max(arrival, floor_t);
+  floor_t = arrival;
+  world_->bytes_sent_ += bytes;
+  world_->messages_sent_ += 1;
+  auto& box = world_->mailbox(dest, rank_, tag);
+  world_->engine_.spawn(
+      world_->deliver_message(arrival - now, box, std::move(data)));
+}
+
+des::Task<std::vector<double>> SimComm::recv(int source, int tag) {
+  if (source < 0 || source >= world_->size_)
+    throw std::invalid_argument("SimComm::recv: bad source");
+  auto& box = world_->mailbox(rank_, source, tag);
+  co_return co_await box.recv();
+}
+
+des::Task<double> SimComm::reduce_impl(double v, ReduceOp op) {
+  auto& red = world_->reduce_;
+  if (red.arrived == 0) {
+    red.accum = v;
+  } else {
+    switch (op) {
+      case ReduceOp::kMin: red.accum = std::min(red.accum, v); break;
+      case ReduceOp::kMax: red.accum = std::max(red.accum, v); break;
+      case ReduceOp::kSum: red.accum += v; break;
+    }
+  }
+  if (++red.arrived == world_->size_) {
+    red.arrived = 0;
+    const double t = devmodel::allreduce_time(world_->net_, world_->size_);
+    world_->engine_.spawn(world_->deliver_reduction(t, red.accum));
+  }
+  co_return co_await world_->reduce_.result_ch[static_cast<std::size_t>(rank_)]
+      ->recv();
+}
+
+des::Task<double> SimComm::allreduce_min(double v) {
+  co_return co_await reduce_impl(v, ReduceOp::kMin);
+}
+
+des::Task<double> SimComm::allreduce_max(double v) {
+  co_return co_await reduce_impl(v, ReduceOp::kMax);
+}
+
+des::Task<double> SimComm::allreduce_sum(double v) {
+  co_return co_await reduce_impl(v, ReduceOp::kSum);
+}
+
+des::Task<void> SimComm::barrier() {
+  (void)co_await allreduce_sum(0.0);
+}
+
+}  // namespace coop::simmpi

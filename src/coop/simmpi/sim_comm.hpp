@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "coop/des/channel.hpp"
+#include "coop/des/engine.hpp"
+#include "coop/des/task.hpp"
+#include "coop/devmodel/comm_cost.hpp"
+#include "coop/devmodel/specs.hpp"
+
+/// \file sim_comm.hpp
+/// MPI-like communicator for discrete-event (timed) simulations.
+///
+/// Each rank is a DES coroutine. `post_send` injects a message onto the
+/// simulated interconnect: the payload arrives at the destination mailbox
+/// after the alpha-beta transfer time (paper 5.3: communication is staged
+/// through the host; no GPU-direct). `recv` awaits arrival. Collectives are
+/// charged a binomial-tree latency.
+///
+/// Payload bytes are accounted separately from the `double` payload length
+/// so timed runs can carry either real field data or zero-copy placeholders.
+
+namespace coop::simmpi {
+
+class SimCommWorld;
+
+/// Per-rank handle (value type; references the world).
+class SimComm {
+ public:
+  SimComm(SimCommWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Non-blocking send: charges the wire asynchronously; the payload shows
+  /// up in the destination mailbox `message_time(bytes)` later. The
+  /// three-argument overload uses the world's interconnect; pass an explicit
+  /// `net` to route a message over a different link (e.g. GPU-direct).
+  void post_send(int dest, int tag, std::vector<double> data,
+                 std::size_t bytes);
+  void post_send(int dest, int tag, std::vector<double> data,
+                 std::size_t bytes, const devmodel::InterconnectSpec& net);
+
+  /// Awaits a message from (source, tag).
+  [[nodiscard]] des::Task<std::vector<double>> recv(int source, int tag);
+
+  /// Awaitable collectives over all ranks of the world.
+  [[nodiscard]] des::Task<double> allreduce_min(double v);
+  [[nodiscard]] des::Task<double> allreduce_max(double v);
+  [[nodiscard]] des::Task<double> allreduce_sum(double v);
+  [[nodiscard]] des::Task<void> barrier();
+
+ private:
+  enum class ReduceOp { kMin, kMax, kSum };
+  [[nodiscard]] des::Task<double> reduce_impl(double v, ReduceOp op);
+
+  SimCommWorld* world_;
+  int rank_;
+};
+
+class SimCommWorld {
+ public:
+  SimCommWorld(des::Engine& engine, int size,
+               devmodel::InterconnectSpec net = {});
+  SimCommWorld(const SimCommWorld&) = delete;
+  SimCommWorld& operator=(const SimCommWorld&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] SimComm comm(int rank) { return SimComm(this, rank); }
+  [[nodiscard]] des::Engine& engine() noexcept { return engine_; }
+
+  /// Total bytes injected onto the interconnect so far.
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_;
+  }
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return messages_sent_;
+  }
+
+ private:
+  friend class SimComm;
+
+  using Mailbox = des::Channel<std::vector<double>>;
+  /// key: (dest, source, tag)
+  using Key = std::tuple<int, int, int>;
+
+  Mailbox& mailbox(int dest, int source, int tag);
+  des::Task<void> deliver_message(double delay, Mailbox& box,
+                                  std::vector<double> data);
+  des::Task<void> deliver_reduction(double delay, double value);
+
+  des::Engine& engine_;
+  int size_;
+  devmodel::InterconnectSpec net_;
+  std::map<Key, std::unique_ptr<Mailbox>> mailboxes_;
+  /// MPI non-overtaking guarantee: per (source, dest) ordered channels may
+  /// not deliver a later message before an earlier one, even when the later
+  /// one is smaller/faster. Tracks the earliest admissible delivery time.
+  std::map<std::pair<int, int>, double> last_delivery_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+
+  // Allreduce rendezvous.
+  struct Reduce {
+    int arrived = 0;
+    double accum = 0;
+    std::vector<std::unique_ptr<des::Channel<double>>> result_ch;
+  };
+  Reduce reduce_;
+};
+
+}  // namespace coop::simmpi

@@ -1,0 +1,83 @@
+#include "coop/simmpi/thread_comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coop::simmpi {
+
+ThreadCommWorld::ThreadCommWorld(int size) : size_(size) {
+  if (size <= 0) throw std::invalid_argument("ThreadCommWorld: size <= 0");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+int ThreadComm::size() const noexcept { return world_->size(); }
+
+void ThreadComm::send(int dest, int tag, std::vector<double> data) {
+  if (dest < 0 || dest >= world_->size_)
+    throw std::invalid_argument("ThreadComm::send: bad destination rank");
+  auto& box = *world_->mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lk(box.mu);
+    box.queues[{rank_, tag}].push(std::move(data));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<double> ThreadComm::recv(int source, int tag) {
+  if (source < 0 || source >= world_->size_)
+    throw std::invalid_argument("ThreadComm::recv: bad source rank");
+  auto& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock lk(box.mu);
+  const auto key = std::pair{source, tag};
+  box.cv.wait(lk, [&] {
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto& q = box.queues[key];
+  std::vector<double> out = std::move(q.front());
+  q.pop();
+  return out;
+}
+
+namespace {
+
+template <typename Fold>
+double rendezvous_reduce(ThreadCommWorld::Collective& c, int world_size,
+                         double v, Fold fold) {
+  std::unique_lock lk(c.mu);
+  if (c.arrived == 0) c.accum = v;
+  else c.accum = fold(c.accum, v);
+  const std::uint64_t my_gen = c.generation;
+  if (++c.arrived == world_size) {
+    c.result = c.accum;
+    c.arrived = 0;
+    ++c.generation;
+    c.cv.notify_all();
+    return c.result;
+  }
+  c.cv.wait(lk, [&] { return c.generation != my_gen; });
+  return c.result;
+}
+
+}  // namespace
+
+double ThreadComm::allreduce_min(double v) {
+  return rendezvous_reduce(world_->reduce_, world_->size_, v,
+                           [](double a, double b) { return std::min(a, b); });
+}
+
+double ThreadComm::allreduce_max(double v) {
+  return rendezvous_reduce(world_->reduce_, world_->size_, v,
+                           [](double a, double b) { return std::max(a, b); });
+}
+
+double ThreadComm::allreduce_sum(double v) {
+  return rendezvous_reduce(world_->reduce_, world_->size_, v,
+                           [](double a, double b) { return a + b; });
+}
+
+void ThreadComm::barrier() { (void)allreduce_sum(0.0); }
+
+}  // namespace coop::simmpi

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+/// \file thread_comm.hpp
+/// In-process MPI-like communicator backed by real threads.
+///
+/// Used for *functional* runs of the mini-app: every rank is a std::thread,
+/// messages are moved between mailboxes, and collectives rendezvous on a
+/// shared state. Semantics follow MPI point-to-point ordering: messages from
+/// the same (source, tag) are received in send order.
+
+namespace coop::simmpi {
+
+class ThreadCommWorld;
+
+/// Per-rank handle; cheap to copy around within the owning rank's thread.
+class ThreadComm {
+ public:
+  ThreadComm(ThreadCommWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Asynchronous-buffered send (never blocks).
+  void send(int dest, int tag, std::vector<double> data);
+  /// Blocks until a message with (source, tag) arrives; returns its payload.
+  [[nodiscard]] std::vector<double> recv(int source, int tag);
+
+  [[nodiscard]] double allreduce_min(double v);
+  [[nodiscard]] double allreduce_max(double v);
+  [[nodiscard]] double allreduce_sum(double v);
+  void barrier();
+
+ private:
+  ThreadCommWorld* world_;
+  int rank_;
+};
+
+/// Shared state for `size` ranks.
+class ThreadCommWorld {
+ public:
+  explicit ThreadCommWorld(int size);
+  ThreadCommWorld(const ThreadCommWorld&) = delete;
+  ThreadCommWorld& operator=(const ThreadCommWorld&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] ThreadComm comm(int rank) {
+    return ThreadComm(this, rank);
+  }
+
+ public:
+  /// Rendezvous state for allreduce collectives (public for the reduction
+  /// helper in the implementation file; not part of the user API).
+  struct Collective {
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    double accum = 0;
+    double result = 0;
+  };
+
+ private:
+  friend class ThreadComm;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    // keyed by (source, tag)
+    std::map<std::pair<int, int>, std::queue<std::vector<double>>> queues;
+  };
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  Collective reduce_;
+};
+
+}  // namespace coop::simmpi

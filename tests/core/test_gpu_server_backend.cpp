@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "coop/core/timed_sim.hpp"
+
+namespace core = coop::core;
+using coop::mesh::Box;
+
+namespace {
+
+core::TimedConfig cfg_for(core::NodeMode mode, bool server) {
+  core::TimedConfig tc;
+  tc.mode = mode;
+  tc.global = Box{{0, 0, 0}, {320, 320, 160}};
+  tc.timesteps = 5;
+  tc.use_gpu_server = server;
+  return tc;
+}
+
+TEST(GpuServerBackend, DefaultModeMatchesAnalytic) {
+  // One exclusive kernel at a time: the queue model must reproduce the
+  // closed-form times exactly (modulo launch-accounting, which both paths
+  // charge identically).
+  const double analytic =
+      core::run_timed(cfg_for(core::NodeMode::kOneRankPerGpu, false)).makespan;
+  const double server =
+      core::run_timed(cfg_for(core::NodeMode::kOneRankPerGpu, true)).makespan;
+  EXPECT_NEAR(server, analytic, 1e-6 * analytic);
+}
+
+TEST(GpuServerBackend, SymmetricMpsMatchesAnalytic) {
+  // Equal co-resident kernels: the PS queue degenerates to the analytic
+  // formula. Kernel launches interleave slightly, so allow 1%.
+  const double analytic =
+      core::run_timed(cfg_for(core::NodeMode::kMpsPerGpu, false)).makespan;
+  const double server =
+      core::run_timed(cfg_for(core::NodeMode::kMpsPerGpu, true)).makespan;
+  EXPECT_NEAR(server, analytic, 0.01 * analytic);
+}
+
+TEST(GpuServerBackend, HeterogeneousRunsAndStaysClose) {
+  const double analytic =
+      core::run_timed(cfg_for(core::NodeMode::kHeterogeneous, false)).makespan;
+  const double server =
+      core::run_timed(cfg_for(core::NodeMode::kHeterogeneous, true)).makespan;
+  EXPECT_NEAR(server, analytic, 0.02 * analytic);
+}
+
+TEST(GpuServerBackend, Deterministic) {
+  const auto a = core::run_timed(cfg_for(core::NodeMode::kMpsPerGpu, true));
+  const auto b = core::run_timed(cfg_for(core::NodeMode::kMpsPerGpu, true));
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(GpuServerBackend, HeadlineGainSurvivesBackendChange) {
+  // The 18% Fig.-18 result must not be an artifact of the analytic model.
+  auto def = cfg_for(core::NodeMode::kOneRankPerGpu, true);
+  def.global = Box{{0, 0, 0}, {600, 480, 160}};
+  auto het = cfg_for(core::NodeMode::kHeterogeneous, true);
+  het.global = def.global;
+  const double t_def = core::run_timed(def).makespan;
+  const double t_het = core::run_timed(het).makespan;
+  const double gain = (t_def - t_het) / t_def;
+  EXPECT_GT(gain, 0.12);
+  EXPECT_LT(gain, 0.25);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coop/core/functional_sim.hpp"
+#include "coop/core/timed_sim.hpp"
+
+namespace core = coop::core;
+namespace dm = coop::devmodel;
+using coop::mesh::Box;
+
+namespace {
+
+const dm::NodeSpec kNode = dm::NodeSpec::rzhasgpu();
+
+TEST(ClusterDecomposition, SingleNodeDegeneratesToPlain) {
+  const Box g{{0, 0, 0}, {320, 480, 320}};
+  const auto one = core::make_cluster_decomposition(
+      core::NodeMode::kHeterogeneous, kNode, g, 1);
+  const auto plain = core::make_decomposition(core::NodeMode::kHeterogeneous,
+                                              kNode, g);
+  ASSERT_EQ(one.ranks(), plain.ranks());
+  for (int r = 0; r < one.ranks(); ++r) {
+    EXPECT_EQ(one.domains[static_cast<std::size_t>(r)].box,
+              plain.domains[static_cast<std::size_t>(r)].box);
+    EXPECT_EQ(one.domains[static_cast<std::size_t>(r)].node_id, 0);
+  }
+}
+
+TEST(ClusterDecomposition, PartitionsAcrossNodes) {
+  const Box g{{0, 0, 0}, {320, 480, 320}};
+  for (int nodes : {2, 4, 8}) {
+    const auto d = core::make_cluster_decomposition(
+        core::NodeMode::kMpsPerGpu, kNode, g, nodes);
+    EXPECT_NO_THROW(d.validate());
+    EXPECT_EQ(d.ranks(), 16 * nodes);
+    std::set<int> node_ids;
+    for (const auto& dom : d.domains) node_ids.insert(dom.node_id);
+    EXPECT_EQ(static_cast<int>(node_ids.size()), nodes);
+  }
+}
+
+TEST(ClusterDecomposition, NodesSplitAlongZ) {
+  const Box g{{0, 0, 0}, {320, 480, 320}};
+  const auto d = core::make_cluster_decomposition(
+      core::NodeMode::kOneRankPerGpu, kNode, g, 4);
+  for (const auto& dom : d.domains) {
+    EXPECT_EQ(dom.box.nx(), 320);          // x preserved everywhere
+    EXPECT_EQ(dom.box.nz(), 320 / 4);      // z carries the node split
+    EXPECT_EQ(dom.node_id, dom.rank / 4);  // 4 GPU ranks per node
+  }
+}
+
+TEST(ClusterDecomposition, RankIdsDense) {
+  const Box g{{0, 0, 0}, {320, 480, 320}};
+  const auto d = core::make_cluster_decomposition(
+      core::NodeMode::kHeterogeneous, kNode, g, 2);
+  std::set<int> ids;
+  for (const auto& dom : d.domains) ids.insert(dom.rank);
+  EXPECT_EQ(static_cast<int>(ids.size()), d.ranks());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), d.ranks() - 1);
+}
+
+TEST(ClusterDecomposition, InvalidNodesRejected) {
+  const Box g{{0, 0, 0}, {64, 64, 64}};
+  EXPECT_THROW((void)core::make_cluster_decomposition(
+                   core::NodeMode::kCpuOnly, kNode, g, 0),
+               std::invalid_argument);
+}
+
+core::TimedConfig cluster_cfg(core::NodeMode mode, int nodes,
+                              long zones_per_node_z) {
+  core::TimedConfig tc;
+  tc.mode = mode;
+  tc.global = Box{{0, 0, 0}, {320, 480, zones_per_node_z * nodes}};
+  tc.nodes = nodes;
+  tc.timesteps = 10;
+  return tc;
+}
+
+TEST(MultiNodeSim, WeakScalingNearlyFlat) {
+  // Fixed work per node: runtime should grow only by the (small) internode
+  // halo cost, well under 10% out to 8 nodes.
+  const double t1 =
+      core::run_timed(cluster_cfg(core::NodeMode::kMpsPerGpu, 1, 160))
+          .makespan;
+  const double t8 =
+      core::run_timed(cluster_cfg(core::NodeMode::kMpsPerGpu, 8, 160))
+          .makespan;
+  EXPECT_GT(t8, t1);          // some internode overhead exists
+  EXPECT_LT(t8, 1.10 * t1);   // but weak scaling holds
+}
+
+TEST(MultiNodeSim, StrongScalingSpeedsUp) {
+  // Fixed total work across 1 vs 4 nodes.
+  core::TimedConfig tc;
+  tc.mode = core::NodeMode::kOneRankPerGpu;
+  tc.global = Box{{0, 0, 0}, {320, 480, 320}};
+  tc.timesteps = 10;
+  const double t1 = core::run_timed(tc).makespan;
+  tc.nodes = 4;
+  const double t4 = core::run_timed(tc).makespan;
+  EXPECT_LT(t4, 0.35 * t1);  // near-linear (comm costs a little)
+}
+
+TEST(MultiNodeSim, HeteroGainPersistsAcrossNodes) {
+  // The paper's heterogeneous benefit is per-node and should survive
+  // weak scaling: the per-node problem is the Fig. 18 best case.
+  core::TimedConfig def;
+  def.mode = core::NodeMode::kOneRankPerGpu;
+  def.global = Box{{0, 0, 0}, {600, 480, 160 * 4}};
+  def.nodes = 4;
+  def.timesteps = 10;
+  auto het = def;
+  het.mode = core::NodeMode::kHeterogeneous;
+  const double t_def = core::run_timed(def).makespan;
+  const double t_het = core::run_timed(het).makespan;
+  const double gain = (t_def - t_het) / t_def;
+  EXPECT_GT(gain, 0.10);
+}
+
+TEST(MultiNodeSim, MessagesIncludeInternodeTraffic) {
+  const auto single =
+      core::run_timed(cluster_cfg(core::NodeMode::kOneRankPerGpu, 1, 160));
+  const auto multi =
+      core::run_timed(cluster_cfg(core::NodeMode::kOneRankPerGpu, 4, 160));
+  // 4x the ranks plus z-face neighbors across node boundaries.
+  EXPECT_GT(multi.messages, 4 * single.messages);
+}
+
+TEST(MultiNodeSim, Deterministic) {
+  const auto a =
+      core::run_timed(cluster_cfg(core::NodeMode::kHeterogeneous, 3, 160));
+  const auto b =
+      core::run_timed(cluster_cfg(core::NodeMode::kHeterogeneous, 3, 160));
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(MultiNodeSim, InvalidNodeCountRejected) {
+  auto tc = cluster_cfg(core::NodeMode::kCpuOnly, 1, 64);
+  tc.nodes = 0;
+  EXPECT_THROW((void)core::run_timed(tc), std::invalid_argument);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(MultiNodeFunctional, ClusterPhysicsMatchesSingleDomain) {
+  // Two-node (32-rank) functional run must reproduce the single-node
+  // 16-rank physics exactly: the node split is just another decomposition
+  // cut, and halo exchange must make it invisible.
+  core::FunctionalConfig fc;
+  fc.mode = core::NodeMode::kMpsPerGpu;
+  fc.problem.global = Box{{0, 0, 0}, {16, 32, 16}};
+  fc.timesteps = 10;
+  const auto one = core::run_functional(fc);
+  fc.nodes = 2;
+  const auto two = core::run_functional(fc);
+  EXPECT_EQ(two.ranks, 2 * one.ranks);
+  EXPECT_DOUBLE_EQ(two.sim_time, one.sim_time);
+  EXPECT_NEAR(two.checksum, one.checksum, 1e-12 * one.checksum);
+  EXPECT_NEAR(two.energy_final, one.energy_final,
+              1e-12 * one.energy_final);
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "coop/core/node_mode.hpp"
+
+namespace core = coop::core;
+namespace dm = coop::devmodel;
+using coop::memory::ExecutionTarget;
+using coop::mesh::Box;
+
+namespace {
+
+const dm::NodeSpec kNode = dm::NodeSpec::rzhasgpu();
+const Box kGlobal{{0, 0, 0}, {320, 480, 320}};
+
+TEST(RankLayout, CpuOnlyUsesAllCores) {
+  const auto l = core::make_rank_layout(core::NodeMode::kCpuOnly, kNode);
+  EXPECT_EQ(l.total_ranks, 16);
+  EXPECT_EQ(l.gpu_ranks, 0);
+  EXPECT_EQ(l.cpu_ranks, 16);
+  EXPECT_EQ(l.active_cores, 16);
+}
+
+TEST(RankLayout, DefaultModeMatchesPaperFig2) {
+  const auto l = core::make_rank_layout(core::NodeMode::kOneRankPerGpu, kNode);
+  EXPECT_EQ(l.total_ranks, 4);   // one per GPU
+  EXPECT_EQ(l.gpu_ranks, 4);
+  EXPECT_EQ(l.cpu_ranks, 0);
+  EXPECT_EQ(l.active_cores, 4);  // 12 cores idle (the paper's Fig. 2 red)
+}
+
+TEST(RankLayout, MpsModeMatchesPaperFig3) {
+  const auto l =
+      core::make_rank_layout(core::NodeMode::kMpsPerGpu, kNode, 4);
+  EXPECT_EQ(l.total_ranks, 16);
+  EXPECT_EQ(l.gpu_ranks, 16);
+  EXPECT_EQ(l.ranks_per_gpu, 4);
+  EXPECT_EQ(l.active_cores, 16);
+}
+
+TEST(RankLayout, HeterogeneousMatchesPaperFig4) {
+  const auto l =
+      core::make_rank_layout(core::NodeMode::kHeterogeneous, kNode);
+  EXPECT_EQ(l.total_ranks, 16);
+  EXPECT_EQ(l.gpu_ranks, 4);    // 1 MPI/GPU drives the GPUs
+  EXPECT_EQ(l.cpu_ranks, 12);   // remaining cores compute on the CPU
+  EXPECT_EQ(l.active_cores, 16);
+}
+
+TEST(RankLayout, MpsOversubscriptionRejected) {
+  EXPECT_THROW({ auto l = core::make_rank_layout(core::NodeMode::kMpsPerGpu,
+                                                 kNode, 5); (void)l; },
+               std::invalid_argument);  // 20 ranks > 16 cores
+  EXPECT_THROW({ auto l = core::make_rank_layout(core::NodeMode::kMpsPerGpu,
+                                                 kNode, 0); (void)l; },
+               std::invalid_argument);
+}
+
+TEST(MakeDecomposition, ModesProduceValidatedSchemes) {
+  for (auto mode : {core::NodeMode::kCpuOnly, core::NodeMode::kOneRankPerGpu,
+                    core::NodeMode::kMpsPerGpu,
+                    core::NodeMode::kHeterogeneous}) {
+    const auto d = core::make_decomposition(mode, kNode, kGlobal);
+    EXPECT_NO_THROW(d.validate()) << to_string(mode);
+    const auto l = core::make_rank_layout(mode, kNode);
+    EXPECT_EQ(d.ranks(), l.total_ranks) << to_string(mode);
+  }
+}
+
+TEST(MakeDecomposition, TargetsMatchLayout) {
+  const auto d = core::make_decomposition(core::NodeMode::kHeterogeneous,
+                                          kNode, kGlobal, 4, 0.025);
+  int gpu = 0, cpu = 0;
+  for (const auto& dom : d.domains)
+    (dom.target == ExecutionTarget::kGpuDevice ? gpu : cpu)++;
+  EXPECT_EQ(gpu, 4);
+  EXPECT_EQ(cpu, 12);
+}
+
+TEST(NodeMode, Names) {
+  EXPECT_STREQ(to_string(core::NodeMode::kHeterogeneous), "heterogeneous");
+  EXPECT_STREQ(to_string(core::NodeMode::kOneRankPerGpu),
+               "default-1mpi-per-gpu");
+}
+
+}  // namespace

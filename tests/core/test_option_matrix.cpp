@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "coop/core/timed_sim.hpp"
+
+namespace core = coop::core;
+using coop::mesh::Box;
+
+namespace {
+
+core::TimedConfig base(core::NodeMode mode) {
+  core::TimedConfig tc;
+  tc.mode = mode;
+  tc.global = Box{{0, 0, 0}, {320, 480, 160}};
+  tc.timesteps = 6;
+  return tc;
+}
+
+TEST(OptionMatrix, GpuServerAcrossMultipleNodes) {
+  // One server per (node, gpu): a mis-indexed server map would serialize
+  // ranks of different nodes onto one device and blow the makespan up.
+  auto cfg = base(core::NodeMode::kMpsPerGpu);
+  cfg.global = Box{{0, 0, 0}, {320, 480, 320}};
+  cfg.nodes = 2;
+  cfg.use_gpu_server = true;
+  const double two_nodes = core::run_timed(cfg).makespan;
+  cfg.global = Box{{0, 0, 0}, {320, 480, 160}};
+  cfg.nodes = 1;
+  const double one_node = core::run_timed(cfg).makespan;
+  // Weak scaling: same per-node work, so the same runtime within 5%.
+  EXPECT_NEAR(two_nodes, one_node, 0.05 * one_node);
+}
+
+TEST(OptionMatrix, GpuServerWithHeteroLoadBalance) {
+  // The event-driven backend must feed the balancer usable compute times.
+  auto cfg = base(core::NodeMode::kHeterogeneous);
+  cfg.use_gpu_server = true;
+  cfg.cpu_fraction = 0.15;  // deliberately bad start
+  cfg.timesteps = 20;
+  const auto r = core::run_timed(cfg);
+  EXPECT_LT(r.final_cpu_fraction, 0.06);  // walked back
+  EXPECT_GT(r.lb_iterations_to_converge, 0);
+}
+
+TEST(OptionMatrix, TraceWithOverlapAndGpuDirect) {
+  core::TraceRecorder trace;
+  auto cfg = base(core::NodeMode::kMpsPerGpu);
+  cfg.overlap_halo = true;
+  cfg.gpu_direct = true;
+  cfg.trace = &trace;
+  const auto r = core::run_timed(cfg);
+  EXPECT_EQ(trace.spans().size(), 16u * 6u * 3u);
+  for (const auto& s : trace.spans()) {
+    EXPECT_LE(s.t_begin, s.t_end);
+    EXPECT_LE(s.t_end, r.makespan + 1e-12);
+  }
+}
+
+TEST(OptionMatrix, TraceWithMultiNode) {
+  core::TraceRecorder trace;
+  auto cfg = base(core::NodeMode::kOneRankPerGpu);
+  cfg.global = Box{{0, 0, 0}, {320, 480, 320}};
+  cfg.nodes = 2;
+  cfg.trace = &trace;
+  (void)core::run_timed(cfg);
+  // 8 ranks (4 per node) x 6 steps x 3 phases.
+  EXPECT_EQ(trace.spans().size(), 8u * 6u * 3u);
+}
+
+TEST(OptionMatrix, ScaledCatalogScalesRuntime) {
+  // A 10-kernel catalog carries 1/8 the per-zone work of the 80-kernel one;
+  // runtime must scale accordingly (launch overhead is negligible here).
+  auto cfg = base(core::NodeMode::kOneRankPerGpu);
+  const double full = core::run_timed(cfg).makespan;
+  cfg.catalog_kernels = 10;
+  const double small = core::run_timed(cfg).makespan;
+  EXPECT_NEAR(small, full / 8.0, 0.03 * full);
+}
+
+TEST(OptionMatrix, WiderGhostsRaiseCommVolumeOnly) {
+  auto cfg = base(core::NodeMode::kMpsPerGpu);
+  const auto g1 = core::run_timed(cfg);
+  cfg.ghosts = 2;
+  const auto g2 = core::run_timed(cfg);
+  EXPECT_NEAR(static_cast<double>(g2.bytes),
+              2.0 * static_cast<double>(g1.bytes),
+              0.01 * static_cast<double>(g1.bytes));
+  EXPECT_EQ(g2.messages, g1.messages);
+  // Compute is untouched; makespan moves by the (small) extra wire time.
+  EXPECT_NEAR(g2.makespan, g1.makespan, 0.02 * g1.makespan);
+}
+
+TEST(OptionMatrix, MpsRanksPerGpuTwo) {
+  // The MPS sharing factor is configurable (the paper used 4; 2 must work).
+  auto cfg = base(core::NodeMode::kMpsPerGpu);
+  cfg.ranks_per_gpu = 2;
+  const auto r = core::run_timed(cfg);
+  EXPECT_EQ(r.ranks, 8);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(OptionMatrix, HeteroWithoutBugUsesSeqPolicyShare) {
+  // compiler_bug=false in the timed path: CPU ranks run at full speed and
+  // the balancer hands them ~5x more work.
+  auto bug = base(core::NodeMode::kHeterogeneous);
+  bug.timesteps = 20;
+  auto fixed = bug;
+  fixed.compiler_bug = false;
+  const auto rb = core::run_timed(bug);
+  const auto rf = core::run_timed(fixed);
+  EXPECT_GT(rf.final_cpu_fraction, 2.0 * rb.final_cpu_fraction);
+  EXPECT_LT(rf.makespan, rb.makespan);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "coop/core/timed_sim.hpp"
+
+namespace core = coop::core;
+using coop::mesh::Box;
+
+namespace {
+
+core::TimedConfig base_config(core::NodeMode mode, long x, long y, long z,
+                              int steps = 10) {
+  core::TimedConfig tc;
+  tc.mode = mode;
+  tc.global = Box{{0, 0, 0}, {x, y, z}};
+  tc.timesteps = steps;
+  return tc;
+}
+
+double runtime(core::NodeMode mode, long x, long y, long z, int steps = 10) {
+  return core::run_timed(base_config(mode, x, y, z, steps)).makespan;
+}
+
+TEST(TimedSim, DeterministicAcrossRuns) {
+  const auto a = core::run_timed(
+      base_config(core::NodeMode::kHeterogeneous, 320, 480, 160));
+  const auto b = core::run_timed(
+      base_config(core::NodeMode::kHeterogeneous, 320, 480, 160));
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.iteration_times, b.iteration_times);
+  EXPECT_DOUBLE_EQ(a.final_cpu_fraction, b.final_cpu_fraction);
+}
+
+TEST(TimedSim, IterationRecordsMatchTimesteps) {
+  const auto r = core::run_timed(
+      base_config(core::NodeMode::kOneRankPerGpu, 320, 240, 160, 7));
+  EXPECT_EQ(r.iteration_times.size(), 7u);
+  double sum = 0;
+  for (double t : r.iteration_times) {
+    EXPECT_GT(t, 0.0);
+    sum += t;
+  }
+  EXPECT_NEAR(sum, r.makespan, 1e-9);
+}
+
+TEST(TimedSim, RuntimeGrowsWithProblemSize) {
+  for (auto mode : {core::NodeMode::kOneRankPerGpu, core::NodeMode::kMpsPerGpu,
+                    core::NodeMode::kHeterogeneous}) {
+    const double small = runtime(mode, 160, 240, 160);
+    const double large = runtime(mode, 320, 240, 160);
+    EXPECT_GT(large, 1.5 * small) << to_string(mode);
+  }
+}
+
+TEST(TimedSim, RuntimesInPaperBallpark) {
+  // Paper Section 7: 1e7..4.6e7 zones run 20..80 s at 100 steps.
+  const double t = runtime(core::NodeMode::kOneRankPerGpu, 320, 320, 320, 100);
+  EXPECT_GT(t, 40.0);
+  EXPECT_LT(t, 110.0);
+}
+
+TEST(TimedSim, MemoryThresholdBendsDefaultCurve) {
+  // Fig. 12: the Default slope increases past 36e6 total zones; the
+  // per-zone cost above the knee must exceed the cost below it by >30%.
+  const double t1 = runtime(core::NodeMode::kOneRankPerGpu, 320, 200, 320);
+  const double t2 = runtime(core::NodeMode::kOneRankPerGpu, 320, 320, 320);
+  const double t3 = runtime(core::NodeMode::kOneRankPerGpu, 320, 440, 320);
+  const double slope_below = (t2 - t1) / (120.0 * 320 * 320);
+  const double slope_above = (t3 - t2) / (120.0 * 320 * 320);
+  EXPECT_GT(slope_above, 1.3 * slope_below);
+}
+
+TEST(TimedSim, MpsAndHeteroAvoidThreshold) {
+  // Past 36e6 zones the Default mode pays the UM spill; the 16-rank modes
+  // do not (4x more active cores), so their per-zone slope stays flat.
+  // Use the Fig. 18 geometry (y=480 keeps Heterogeneous GPU-bound).
+  // Compare converged per-iteration times (the last iteration), so the
+  // heterogeneous mode's pre-convergence load-balancing steps don't
+  // contaminate the slope estimate.
+  auto steady = [](core::NodeMode mode, long x, long y, long z) {
+    return core::run_timed(base_config(mode, x, y, z, 15))
+        .iteration_times.back();
+  };
+  for (auto mode : {core::NodeMode::kMpsPerGpu,
+                    core::NodeMode::kHeterogeneous}) {
+    const double t1 = steady(mode, 240, 480, 160);  // 18.4e6 zones
+    const double t2 = steady(mode, 360, 480, 160);  // 27.6e6 zones
+    const double t3 = steady(mode, 600, 480, 160);  // 46.1e6 zones
+    const double slope_below = (t2 - t1) / (120.0 * 480 * 160);
+    const double slope_above = (t3 - t2) / (240.0 * 480 * 160);
+    EXPECT_LT(slope_above, 1.1 * slope_below) << to_string(mode);
+  }
+  const double d1 = runtime(core::NodeMode::kOneRankPerGpu, 360, 480, 160);
+  const double d2 = runtime(core::NodeMode::kOneRankPerGpu, 600, 480, 160);
+  const double d0 = runtime(core::NodeMode::kOneRankPerGpu, 240, 480, 160);
+  const double d_slope_below = (d1 - d0) / (120.0 * 480 * 160);
+  const double d_slope_above = (d2 - d1) / (240.0 * 480 * 160);
+  EXPECT_GT(d_slope_above, 1.3 * d_slope_below);
+}
+
+TEST(TimedSim, HeteroBestCaseMatchesPaperFig18) {
+  // y=480, z=160, large x, past the threshold: Hetero wins by ~18%.
+  const double t_def = runtime(core::NodeMode::kOneRankPerGpu, 600, 480, 160);
+  const double t_het = runtime(core::NodeMode::kHeterogeneous, 600, 480, 160);
+  const double gain = (t_def - t_het) / t_def;
+  EXPECT_GT(gain, 0.12);
+  EXPECT_LT(gain, 0.25);
+}
+
+TEST(TimedSim, HeteroLosesWhenYTooSmall) {
+  // Fig. 13/14: y=240 forces a 5% CPU share onto cores that can only
+  // handle ~3%; the CPU becomes the bottleneck and Hetero runs long.
+  const double t_def = runtime(core::NodeMode::kOneRankPerGpu, 300, 240, 320);
+  const double t_het = runtime(core::NodeMode::kHeterogeneous, 300, 240, 320);
+  EXPECT_GT(t_het, 1.1 * t_def);
+}
+
+TEST(TimedSim, MpsWinsWhenInnermostDimSmall) {
+  // Fig. 13/15/17: small x -> small kernels -> MPS overlap wins.
+  const double t_def = runtime(core::NodeMode::kOneRankPerGpu, 50, 240, 320);
+  const double t_mps = runtime(core::NodeMode::kMpsPerGpu, 50, 240, 320);
+  EXPECT_LT(t_mps, t_def);
+}
+
+TEST(TimedSim, MpsLosesWhenKernelsFillGpu) {
+  // Fig. 16: large x, below threshold -> MPS only pays its sharing tax.
+  const double t_def = runtime(core::NodeMode::kOneRankPerGpu, 600, 360, 160);
+  const double t_mps = runtime(core::NodeMode::kMpsPerGpu, 600, 360, 160);
+  EXPECT_GT(t_mps, t_def);
+  EXPECT_LT(t_mps, 1.2 * t_def);  // worse, but only modestly
+}
+
+TEST(TimedSim, CpuOnlyFarSlowerThanGpuModes) {
+  const double t_cpu = runtime(core::NodeMode::kCpuOnly, 320, 240, 160);
+  const double t_def = runtime(core::NodeMode::kOneRankPerGpu, 320, 240, 160);
+  EXPECT_GT(t_cpu, 2.5 * t_def);  // GPUs hold ~95% of node FLOPs
+}
+
+TEST(TimedSim, FixedCompilerBugImprovesHetero) {
+  auto cfg = base_config(core::NodeMode::kHeterogeneous, 600, 480, 160);
+  const double t_bug = core::run_timed(cfg).makespan;
+  cfg.compiler_bug = false;
+  const double t_fixed = core::run_timed(cfg).makespan;
+  EXPECT_LT(t_fixed, t_bug);
+}
+
+TEST(TimedSim, LoadBalancerRecoversFromBadSplit) {
+  auto cfg = base_config(core::NodeMode::kHeterogeneous, 600, 480, 160, 30);
+  cfg.cpu_fraction = 0.3;  // absurdly oversized CPU share
+  cfg.load_balance = false;
+  const double t_static = core::run_timed(cfg).makespan;
+  cfg.load_balance = true;
+  const auto r = core::run_timed(cfg);
+  EXPECT_LT(r.makespan, 0.6 * t_static);
+  EXPECT_LT(r.final_cpu_fraction, 0.06);  // walked back toward balance
+  EXPECT_GT(r.lb_iterations_to_converge, 0);
+}
+
+TEST(TimedSim, UmThresholdAblationRemovesKink) {
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 440, 320);
+  const double with_knee = core::run_timed(cfg).makespan;
+  cfg.model_um_threshold = false;
+  const double without = core::run_timed(cfg).makespan;
+  EXPECT_GT(with_knee, 1.1 * without);
+}
+
+TEST(TimedSim, MpsOverlapAblationHurtsSmallKernels) {
+  auto cfg = base_config(core::NodeMode::kMpsPerGpu, 50, 240, 320);
+  const double with_overlap = core::run_timed(cfg).makespan;
+  cfg.model_mps_overlap = false;
+  const double serialized = core::run_timed(cfg).makespan;
+  EXPECT_GT(serialized, 2.0 * with_overlap);
+}
+
+TEST(TimedSim, CommunicationCounted) {
+  const auto r = core::run_timed(
+      base_config(core::NodeMode::kMpsPerGpu, 320, 320, 320, 5));
+  // 16 y-slabs: 30 directed messages per step, 5 steps.
+  EXPECT_EQ(r.messages, 150u);
+  EXPECT_GT(r.bytes, 0u);
+  EXPECT_LE(r.comm_stats.max_neighbors, 2);
+}
+
+TEST(TimedSim, InvalidConfigsRejected) {
+  core::TimedConfig tc;
+  EXPECT_THROW((void)core::run_timed(tc), std::invalid_argument);  // empty box
+  tc.global = Box{{0, 0, 0}, {64, 64, 64}};
+  tc.timesteps = 0;
+  EXPECT_THROW((void)core::run_timed(tc), std::invalid_argument);
+}
+
+TEST(TimedSim, SierraPresetRunsFaster) {
+  auto rz = base_config(core::NodeMode::kOneRankPerGpu, 320, 320, 320);
+  auto sierra = rz;
+  sierra.node = coop::devmodel::NodeSpec::sierra_ea();
+  EXPECT_LT(core::run_timed(sierra).makespan,
+            0.5 * core::run_timed(rz).makespan);
+}
+
+}  // namespace

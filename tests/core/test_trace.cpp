@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "coop/core/timed_sim.hpp"
+#include "coop/core/trace.hpp"
+
+namespace core = coop::core;
+using coop::mesh::Box;
+
+namespace {
+
+core::TimedResult traced_run(core::TraceRecorder& trace,
+                             core::NodeMode mode = core::NodeMode::kMpsPerGpu,
+                             int steps = 4) {
+  core::TimedConfig tc;
+  tc.mode = mode;
+  tc.global = Box{{0, 0, 0}, {320, 320, 160}};
+  tc.timesteps = steps;
+  tc.trace = &trace;
+  return core::run_timed(tc);
+}
+
+TEST(Trace, RecordsAllPhasesForAllRanksAndSteps) {
+  core::TraceRecorder trace;
+  const auto r = traced_run(trace, core::NodeMode::kMpsPerGpu, 4);
+  // 16 ranks x 4 steps x 3 phases (compute, halo-wait, reduce).
+  EXPECT_EQ(trace.spans().size(), 16u * 4u * 3u);
+  (void)r;
+}
+
+TEST(Trace, SpansAreWellFormedAndWithinMakespan) {
+  core::TraceRecorder trace;
+  const auto r = traced_run(trace);
+  for (const auto& s : trace.spans()) {
+    EXPECT_LE(s.t_begin, s.t_end);
+    EXPECT_GE(s.t_begin, 0.0);
+    EXPECT_LE(s.t_end, r.makespan + 1e-12);
+    EXPECT_GE(s.rank, 0);
+    EXPECT_LT(s.rank, 16);
+  }
+}
+
+TEST(Trace, PerRankSpansAreChronologicallyOrdered) {
+  core::TraceRecorder trace;
+  traced_run(trace);
+  for (int rank = 0; rank < 16; ++rank) {
+    double last_end = 0;
+    for (const auto& s : trace.spans()) {
+      if (s.rank != rank) continue;
+      EXPECT_GE(s.t_begin, last_end - 1e-12);
+      last_end = s.t_end;
+    }
+  }
+}
+
+TEST(Trace, ComputeDominatesOnNode) {
+  // On-node halo exchange is cheap (the paper communicates through host
+  // memory): compute must dwarf halo-wait for GPU ranks.
+  core::TraceRecorder trace;
+  traced_run(trace);
+  const double compute = trace.total_time(0, core::Phase::kCompute);
+  const double halo = trace.total_time(0, core::Phase::kHaloWait);
+  EXPECT_GT(compute, 5.0 * halo);
+}
+
+TEST(Trace, HeterogeneousShowsCpuGpuImbalance) {
+  // The Gantt signature of 6.2: GPU ranks (0-3) wait in the reduce while
+  // the CPU slabs (4-15) finish, or vice versa; compute times must differ.
+  core::TraceRecorder trace;
+  core::TimedConfig tc;
+  tc.mode = core::NodeMode::kHeterogeneous;
+  tc.global = Box{{0, 0, 0}, {320, 240, 160}};  // y too small: CPU-bound
+  tc.timesteps = 3;
+  tc.trace = &trace;
+  (void)core::run_timed(tc);
+  const double gpu_compute = trace.total_time(0, core::Phase::kCompute);
+  const double cpu_compute = trace.total_time(10, core::Phase::kCompute);
+  EXPECT_GT(cpu_compute, gpu_compute);  // the paper's small-y bottleneck
+  // The GPU rank absorbs the imbalance waiting for its slow CPU-slab
+  // neighbor's halo message (the reduce then starts nearly synchronized).
+  EXPECT_GT(trace.total_time(0, core::Phase::kHaloWait),
+            trace.total_time(10, core::Phase::kHaloWait));
+}
+
+TEST(Trace, ChromeTraceExportIsValidJsonShape) {
+  core::TraceRecorder trace;
+  traced_run(trace, core::NodeMode::kOneRankPerGpu, 2);
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  const std::string j = os.str();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  // Balanced braces (no nesting surprises in our flat emitter).
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  // One event object per span.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(j.begin(), j.end(), 'X')),
+            trace.spans().size());
+}
+
+TEST(Trace, CsvExportHasHeaderAndOneRowPerSpan) {
+  core::TraceRecorder trace;
+  traced_run(trace, core::NodeMode::kOneRankPerGpu, 2);
+  std::ostringstream os;
+  trace.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("rank,step,phase,begin,end\n", 0), 0u);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            trace.spans().size() + 1);
+}
+
+TEST(Trace, NoTraceByDefault) {
+  core::TimedConfig tc;
+  EXPECT_EQ(tc.trace, nullptr);
+  core::TraceRecorder trace;
+  EXPECT_TRUE(trace.empty());
+  trace.record(0, 0, core::Phase::kCompute, 0.0, 1.0);
+  EXPECT_FALSE(trace.empty());
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "coop/core/node_mode.hpp"
+#include "coop/decomp/decomposition.hpp"
+#include "coop/mesh/halo.hpp"
+
+namespace dc = coop::decomp;
+namespace core = coop::core;
+using coop::mesh::Box;
+
+namespace {
+
+/// Random-geometry property sweep: every scheme must exactly partition any
+/// feasible global box, keep rank ids positional, and produce symmetric
+/// face-neighbor lists whose send/recv regions are conjugate.
+class RandomGeometry : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomGeometry, AllSchemesSatisfyInvariants) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<long> xz(17, 200);
+  std::uniform_int_distribution<long> y(48, 600);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const Box global{{0, 0, 0}, {xz(rng), 48 * (1 + y(rng) / 96), xz(rng)}};
+    const auto node = coop::devmodel::NodeSpec::rzhasgpu();
+
+    for (auto mode : {core::NodeMode::kCpuOnly, core::NodeMode::kOneRankPerGpu,
+                      core::NodeMode::kMpsPerGpu,
+                      core::NodeMode::kHeterogeneous}) {
+      const auto d = core::make_decomposition(mode, node, global, 4, 0.05);
+      ASSERT_NO_THROW(d.validate())
+          << to_string(mode) << " on " << global.nx() << "x" << global.ny()
+          << "x" << global.nz();
+      for (std::size_t i = 0; i < d.domains.size(); ++i)
+        ASSERT_EQ(d.domains[i].rank, static_cast<int>(i));
+
+      const auto nbrs = dc::neighbor_lists(d);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        for (int j : nbrs[i]) {
+          // Symmetry.
+          const auto& back = nbrs[static_cast<std::size_t>(j)];
+          ASSERT_NE(std::find(back.begin(), back.end(), static_cast<int>(i)),
+                    back.end());
+          // Conjugacy: what i sends to j is what j receives from i, and it
+          // is non-empty for face neighbors.
+          const Box s = coop::mesh::send_region(
+              d.domains[i].box, d.domains[static_cast<std::size_t>(j)].box,
+              1);
+          const Box r = coop::mesh::recv_region(
+              d.domains[static_cast<std::size_t>(j)].box, d.domains[i].box,
+              1);
+          ASSERT_EQ(s, r);
+          ASSERT_FALSE(s.empty());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGeometry,
+                         ::testing::Values(11u, 222u, 3333u, 44444u));
+
+/// Heterogeneous fraction sweep: realized share is monotone in the request
+/// and always within one carve quantum below it.
+class FractionSweep : public ::testing::TestWithParam<long> {};
+
+TEST_P(FractionSweep, RealizedShareMonotoneAndTight) {
+  const Box global{{0, 0, 0}, {64, GetParam(), 64}};
+  double prev = 0;
+  for (double f = 0.01; f < 0.6; f += 0.02) {
+    const auto d = dc::heterogeneous(global, 4, 12, f);
+    const double realized = d.cpu_zone_fraction();
+    EXPECT_GE(realized, prev - 1e-12);  // monotone non-decreasing
+    EXPECT_LE(realized, std::max(f, 12.0 / static_cast<double>(GetParam())) +
+                            1e-12);
+    prev = realized;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(YExtents, FractionSweep,
+                         ::testing::Values(48L, 120L, 240L, 480L, 960L));
+
+/// Cluster sweep: node counts partition and keep per-node structure.
+class ClusterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterSweep, PartitionAndPlacement) {
+  const int nodes = GetParam();
+  const Box global{{0, 0, 0}, {100, 480, 64L * nodes}};
+  const auto node = coop::devmodel::NodeSpec::rzhasgpu();
+  const auto d = core::make_cluster_decomposition(
+      core::NodeMode::kHeterogeneous, node, global, nodes);
+  ASSERT_NO_THROW(d.validate());
+  EXPECT_EQ(d.ranks(), 16 * nodes);
+  // Each node hosts exactly 4 GPU ranks and 12 CPU ranks.
+  std::vector<int> gpu_per_node(static_cast<std::size_t>(nodes), 0);
+  std::vector<int> cpu_per_node(static_cast<std::size_t>(nodes), 0);
+  for (const auto& dom : d.domains) {
+    ASSERT_GE(dom.node_id, 0);
+    ASSERT_LT(dom.node_id, nodes);
+    if (dom.target == coop::memory::ExecutionTarget::kGpuDevice)
+      gpu_per_node[static_cast<std::size_t>(dom.node_id)]++;
+    else
+      cpu_per_node[static_cast<std::size_t>(dom.node_id)]++;
+  }
+  for (int n = 0; n < nodes; ++n) {
+    EXPECT_EQ(gpu_per_node[static_cast<std::size_t>(n)], 4);
+    EXPECT_EQ(cpu_per_node[static_cast<std::size_t>(n)], 12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, ClusterSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coop/decomp/decomposition.hpp"
+
+namespace dc = coop::decomp;
+using coop::memory::ExecutionTarget;
+using coop::mesh::Box;
+
+namespace {
+
+const Box kGlobal{{0, 0, 0}, {320, 480, 320}};
+
+TEST(ChooseGrid, MinimizesSurfaceForCube) {
+  // On a cube, 8 ranks should factor 2x2x2, not 1x1x8.
+  const auto g = dc::choose_grid(Box{{0, 0, 0}, {64, 64, 64}}, 8);
+  EXPECT_EQ(g, (std::array<int, 3>{2, 2, 2}));
+}
+
+TEST(ChooseGrid, AdaptsToAnisotropy) {
+  // On a long-x box, prefer cutting x.
+  const auto g = dc::choose_grid(Box{{0, 0, 0}, {1024, 16, 16}}, 4);
+  EXPECT_EQ(g, (std::array<int, 3>{4, 1, 1}));
+}
+
+TEST(ChooseGrid, RejectsImpossible) {
+  EXPECT_THROW((void)dc::choose_grid(Box{{0, 0, 0}, {2, 2, 2}}, 16),
+               std::invalid_argument);
+  EXPECT_THROW((void)dc::choose_grid(kGlobal, 0), std::invalid_argument);
+}
+
+/// Every scheme must exactly partition the global box.
+struct SchemeCase {
+  const char* name;
+  dc::Decomposition dec;
+};
+
+class PartitionInvariant : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionInvariant, AllSchemesPartitionExactly) {
+  const int variant = GetParam();
+  dc::Decomposition d;
+  switch (variant) {
+    case 0: d = dc::block_decomposition(kGlobal, 16); break;
+    case 1: d = dc::hierarchical_gpu(kGlobal, 4, 1); break;
+    case 2: d = dc::hierarchical_gpu(kGlobal, 4, 4); break;
+    case 3: d = dc::heterogeneous(kGlobal, 4, 12, 0.025); break;
+    case 4: d = dc::heterogeneous(kGlobal, 4, 12, 0.3); break;
+    case 5: d = dc::cpu_only(kGlobal, 16); break;
+    case 6: d = dc::block_decomposition(kGlobal, 5); break;  // prime count
+    default: FAIL();
+  }
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(d.total_zones(), kGlobal.zones());
+  // Rank ids are dense 0..n-1 AND positional: the simulators index
+  // `domains[rank]` directly.
+  for (std::size_t i = 0; i < d.domains.size(); ++i)
+    ASSERT_EQ(d.domains[i].rank, static_cast<int>(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PartitionInvariant, ::testing::Range(0, 7));
+
+TEST(Hierarchical, DefaultModeIsOneSlabPerGpu) {
+  const auto d = dc::hierarchical_gpu(kGlobal, 4, 1);
+  EXPECT_EQ(d.ranks(), 4);
+  for (const auto& dom : d.domains) {
+    EXPECT_EQ(dom.target, ExecutionTarget::kGpuDevice);
+    EXPECT_EQ(dom.box.nx(), kGlobal.nx());  // x preserved
+    EXPECT_EQ(dom.box.nz(), kGlobal.nz());  // z preserved
+    EXPECT_EQ(dom.box.ny(), kGlobal.ny() / 4);
+    EXPECT_EQ(dom.gpu_id, dom.rank);
+  }
+}
+
+TEST(Hierarchical, MpsModeSubdividesWithinGpuBlocks) {
+  const auto d = dc::hierarchical_gpu(kGlobal, 4, 4);
+  EXPECT_EQ(d.ranks(), 16);
+  for (const auto& dom : d.domains) {
+    EXPECT_EQ(dom.box.nx(), kGlobal.nx());
+    EXPECT_EQ(dom.box.ny(), kGlobal.ny() / 16);
+    EXPECT_EQ(dom.gpu_id, dom.rank / 4);  // 4 consecutive ranks per GPU
+  }
+}
+
+TEST(Hierarchical, AtMostTwoNeighbors) {
+  // The paper's point: 1-D subdivision keeps the halo neighbor count
+  // minimal.
+  for (int rpg : {1, 2, 4}) {
+    const auto d = dc::hierarchical_gpu(kGlobal, 4, rpg);
+    const auto nbrs = dc::neighbor_lists(d);
+    for (const auto& n : nbrs) EXPECT_LE(n.size(), 2u);
+  }
+}
+
+TEST(Hierarchical, KeepsWorkPerGpuEqualToDefault) {
+  // Paper 9: the hierarchical decomposition keeps the work per GPU the
+  // same as the 1-rank-per-GPU approach.
+  const auto d1 = dc::hierarchical_gpu(kGlobal, 4, 1);
+  const auto d4 = dc::hierarchical_gpu(kGlobal, 4, 4);
+  for (int g = 0; g < 4; ++g) {
+    long z1 = 0, z4 = 0;
+    for (const auto& dom : d1.domains)
+      if (dom.gpu_id == g) z1 += dom.box.zones();
+    for (const auto& dom : d4.domains)
+      if (dom.gpu_id == g) z4 += dom.box.zones();
+    EXPECT_EQ(z1, z4) << "gpu " << g;
+  }
+}
+
+TEST(Heterogeneous, RankRolesAndAssociation) {
+  const auto d = dc::heterogeneous(kGlobal, 4, 12, 0.025);
+  EXPECT_EQ(d.ranks(), 16);
+  int gpu_ranks = 0, cpu_ranks = 0;
+  for (const auto& dom : d.domains) {
+    if (dom.target == ExecutionTarget::kGpuDevice) {
+      ++gpu_ranks;
+      EXPECT_LT(dom.rank, 4);  // GPU ranks numbered first
+    } else {
+      ++cpu_ranks;
+      EXPECT_GE(dom.gpu_id, 0);  // carved from some GPU block
+    }
+    EXPECT_EQ(dom.box.nx(), kGlobal.nx());
+  }
+  EXPECT_EQ(gpu_ranks, 4);
+  EXPECT_EQ(cpu_ranks, 12);
+}
+
+TEST(Heterogeneous, FractionApproximatelyHonored) {
+  for (double f : {0.05, 0.1, 0.2, 0.4}) {
+    const auto d = dc::heterogeneous(kGlobal, 4, 12, f);
+    // floor() carving in quanta of one plane per CPU rank: actual share in
+    // (f - granularity, f].
+    const double granularity = 12.0 / kGlobal.ny();
+    EXPECT_LE(d.cpu_zone_fraction(), f + 1e-12) << f;
+    EXPECT_GT(d.cpu_zone_fraction(), f - granularity - 1e-12) << f;
+  }
+}
+
+TEST(Heterogeneous, OnePlaneFloorBindsSmallFractions) {
+  // 12 CPU ranks cannot take less than 12 planes: 12/480 = 2.5%.
+  const auto d = dc::heterogeneous(kGlobal, 4, 12, 0.001);
+  EXPECT_NEAR(d.cpu_zone_fraction(), 12.0 / 480.0, 1e-12);
+  // The paper's Fig. 12 case: y=80 forces 15% minimum.
+  const Box small_y{{0, 0, 0}, {320, 80, 320}};
+  const auto d2 = dc::heterogeneous(small_y, 4, 12, 0.001);
+  EXPECT_NEAR(d2.cpu_zone_fraction(), 0.15, 1e-12);
+}
+
+TEST(Heterogeneous, CpuSlabsAreThinYSlabs) {
+  const auto d = dc::heterogeneous(kGlobal, 4, 12, 0.025);
+  for (const auto& dom : d.domains) {
+    if (dom.target == ExecutionTarget::kCpuCore) {
+      EXPECT_EQ(dom.box.ny(), 1);  // 2.5% of 480 = 12 planes over 12 ranks
+      EXPECT_EQ(dom.box.nx(), kGlobal.nx());
+      EXPECT_EQ(dom.box.nz(), kGlobal.nz());
+    }
+  }
+}
+
+TEST(Heterogeneous, InvalidArguments) {
+  EXPECT_THROW((void)dc::heterogeneous(kGlobal, 0, 12, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)dc::heterogeneous(kGlobal, 4, 10, 0.1),
+               std::invalid_argument);  // not a multiple of gpu count
+  EXPECT_THROW((void)dc::heterogeneous(kGlobal, 4, 12, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)dc::heterogeneous(kGlobal, 4, 12, -0.1),
+               std::invalid_argument);
+}
+
+TEST(CpuOnly, AllRanksOnCpu) {
+  const auto d = dc::cpu_only(kGlobal, 16);
+  EXPECT_EQ(d.ranks(), 16);
+  for (const auto& dom : d.domains) {
+    EXPECT_EQ(dom.target, ExecutionTarget::kCpuCore);
+    EXPECT_EQ(dom.gpu_id, -1);
+  }
+}
+
+TEST(NeighborLists, Symmetric) {
+  const auto d = dc::block_decomposition(kGlobal, 16);
+  const auto nbrs = dc::neighbor_lists(d);
+  for (std::size_t i = 0; i < nbrs.size(); ++i)
+    for (int j : nbrs[i]) {
+      const auto& back = nbrs[static_cast<std::size_t>(j)];
+      EXPECT_NE(std::find(back.begin(), back.end(), static_cast<int>(i)),
+                back.end());
+    }
+}
+
+TEST(CommAnalytics, HierarchicalSixteenMinimizesNeighborsAndMessages) {
+  // The paper's Fig. 9/10 claim: the hierarchical 1-D subdivision keeps the
+  // number of halo-exchange neighbors (and thus messages, the latency-bound
+  // cost at node scale) minimal. Note squares DO minimize raw halo volume —
+  // that is why they are the classical default — but they multiply neighbor
+  // counts, and every extra neighbor is an extra message per field per step.
+  const auto sq = dc::analyze_communication(
+      dc::block_decomposition(kGlobal, 16), 1);
+  const auto hi = dc::analyze_communication(
+      dc::hierarchical_gpu(kGlobal, 4, 4), 1);
+  EXPECT_GT(sq.max_neighbors, hi.max_neighbors);
+  EXPECT_GT(sq.total_messages, hi.total_messages);
+  EXPECT_LE(hi.max_neighbors, 2);
+}
+
+TEST(CommAnalytics, SixteenRanksCostMoreThanFour) {
+  // Fig. 9: going 4 -> 16 'square' domains raises communication sharply.
+  const auto four = dc::analyze_communication(
+      dc::block_decomposition(kGlobal, 4), 1);
+  const auto sixteen = dc::analyze_communication(
+      dc::block_decomposition(kGlobal, 16), 1);
+  EXPECT_GT(sixteen.total_messages, four.total_messages);
+  EXPECT_GT(sixteen.total_halo_zones, four.total_halo_zones);
+}
+
+TEST(CommAnalytics, MessageCountMatchesNeighborSum) {
+  const auto d = dc::hierarchical_gpu(kGlobal, 4, 4);
+  const auto nbrs = dc::neighbor_lists(d);
+  std::size_t sum = 0;
+  for (const auto& n : nbrs) sum += n.size();
+  EXPECT_EQ(static_cast<std::size_t>(
+                dc::analyze_communication(d, 1).total_messages),
+            sum);
+}
+
+}  // namespace

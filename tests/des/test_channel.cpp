@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "coop/des/channel.hpp"
+#include "coop/des/engine.hpp"
+
+namespace des = coop::des;
+
+namespace {
+
+TEST(Channel, SendThenRecvSameTime) {
+  des::Engine eng;
+  des::Channel<int> ch(eng);
+  std::vector<int> got;
+  auto producer = [](des::Engine& e, des::Channel<int>& c) -> des::Task<void> {
+    co_await e.delay(1.0);
+    c.send(42);
+  };
+  auto consumer = [](des::Channel<int>& c, std::vector<int>& g) -> des::Task<void> {
+    g.push_back(co_await c.recv());
+  };
+  eng.spawn(producer(eng, ch));
+  eng.spawn(consumer(ch, got));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{42}));
+  EXPECT_DOUBLE_EQ(eng.now(), 1.0);
+}
+
+TEST(Channel, BufferedValuesDeliveredFifo) {
+  des::Engine eng;
+  des::Channel<int> ch(eng);
+  std::vector<int> got;
+  auto producer = [](des::Channel<int>& c) -> des::Task<void> {
+    for (int i = 0; i < 5; ++i) c.send(i);
+    co_return;
+  };
+  auto consumer = [](des::Engine& e, des::Channel<int>& c,
+                     std::vector<int>& g) -> des::Task<void> {
+    co_await e.delay(2.0);  // producer runs first; values buffer up
+    for (int i = 0; i < 5; ++i) g.push_back(co_await c.recv());
+  };
+  eng.spawn(producer(ch));
+  eng.spawn(consumer(eng, ch, got));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, MultipleReceiversServedInArrivalOrder) {
+  des::Engine eng;
+  des::Channel<int> ch(eng);
+  std::vector<std::pair<int, int>> got;  // (receiver id, value)
+  auto consumer = [](des::Engine& e, des::Channel<int>& c,
+                     std::vector<std::pair<int, int>>& g, int id,
+                     double arrive) -> des::Task<void> {
+    co_await e.delay(arrive);
+    int v = co_await c.recv();
+    g.emplace_back(id, v);
+  };
+  auto producer = [](des::Engine& e, des::Channel<int>& c) -> des::Task<void> {
+    co_await e.delay(10.0);
+    c.send(100);
+    c.send(200);
+    c.send(300);
+  };
+  eng.spawn(consumer(eng, ch, got, 0, 1.0));
+  eng.spawn(consumer(eng, ch, got, 1, 2.0));
+  eng.spawn(consumer(eng, ch, got, 2, 3.0));
+  eng.spawn(producer(eng, ch));
+  eng.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (std::pair<int, int>{0, 100}));
+  EXPECT_EQ(got[1], (std::pair<int, int>{1, 200}));
+  EXPECT_EQ(got[2], (std::pair<int, int>{2, 300}));
+}
+
+TEST(Channel, SizeReflectsBufferedCount) {
+  des::Engine eng;
+  des::Channel<std::string> ch(eng);
+  EXPECT_TRUE(ch.empty());
+  ch.send("a");
+  ch.send("b");
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(Channel, PingPongTerminates) {
+  des::Engine eng;
+  des::Channel<int> to_b(eng), to_a(eng);
+  int rallies = 0;
+  auto ping = [](des::Engine& e, des::Channel<int>& out, des::Channel<int>& in,
+                 int& r) -> des::Task<void> {
+    out.send(0);
+    for (;;) {
+      int v = co_await in.recv();
+      if (v >= 10) break;
+      ++r;
+      co_await e.delay(0.1);
+      out.send(v + 1);
+    }
+  };
+  auto pong = [](des::Engine& e, des::Channel<int>& in,
+                 des::Channel<int>& out) -> des::Task<void> {
+    for (;;) {
+      int v = co_await in.recv();
+      co_await e.delay(0.1);
+      out.send(v + 1);
+      if (v + 1 >= 10) break;
+    }
+  };
+  eng.spawn(ping(eng, to_b, to_a, rallies));
+  eng.spawn(pong(eng, to_b, to_a));
+  eng.run();
+  EXPECT_EQ(rallies, 5);
+  // 11 messages exchanged after the opener, each preceded by a 0.1 s think.
+  EXPECT_NEAR(eng.now(), 1.1, 1e-9);
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  des::Engine eng;
+  des::Channel<std::unique_ptr<int>> ch(eng);
+  int result = 0;
+  auto producer = [](des::Channel<std::unique_ptr<int>>& c) -> des::Task<void> {
+    c.send(std::make_unique<int>(7));
+    co_return;
+  };
+  auto consumer = [](des::Channel<std::unique_ptr<int>>& c,
+                     int& r) -> des::Task<void> {
+    auto p = co_await c.recv();
+    r = *p;
+  };
+  eng.spawn(consumer(ch, result));
+  eng.spawn(producer(ch));
+  eng.run();
+  EXPECT_EQ(result, 7);
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "coop/des/engine.hpp"
+
+namespace des = coop::des;
+
+namespace {
+
+des::Task<void> ticker(des::Engine& eng, std::vector<double>& out, double dt,
+                       int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await eng.delay(dt);
+    out.push_back(eng.now());
+  }
+}
+
+TEST(Engine, StartsAtZero) {
+  des::Engine eng;
+  EXPECT_DOUBLE_EQ(eng.now(), 0.0);
+  EXPECT_TRUE(eng.idle());
+  EXPECT_EQ(eng.events_processed(), 0u);
+}
+
+TEST(Engine, DelayAdvancesTime) {
+  des::Engine eng;
+  std::vector<double> times;
+  eng.spawn(ticker(eng, times, 1.5, 3));
+  eng.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 1.5);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+  EXPECT_DOUBLE_EQ(times[2], 4.5);
+  EXPECT_DOUBLE_EQ(eng.now(), 4.5);
+}
+
+TEST(Engine, InterleavesProcessesByTime) {
+  des::Engine eng;
+  std::vector<double> a, b;
+  eng.spawn(ticker(eng, a, 2.0, 3));  // 2, 4, 6
+  eng.spawn(ticker(eng, b, 3.0, 2));  // 3, 6
+  eng.run();
+  EXPECT_EQ(a, (std::vector<double>{2, 4, 6}));
+  EXPECT_EQ(b, (std::vector<double>{3, 6}));
+  EXPECT_DOUBLE_EQ(eng.now(), 6.0);
+}
+
+TEST(Engine, EqualTimesAreFifoByScheduleOrder) {
+  des::Engine eng;
+  std::vector<int> order;
+  auto proc = [](des::Engine& e, std::vector<int>& ord, int id) -> des::Task<void> {
+    co_await e.delay(1.0);
+    ord.push_back(id);
+  };
+  for (int i = 0; i < 8; ++i) eng.spawn(proc(eng, order, i));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Engine, ZeroAndNegativeDelayRunAtCurrentTime) {
+  des::Engine eng;
+  std::vector<double> times;
+  auto proc = [](des::Engine& e, std::vector<double>& t) -> des::Task<void> {
+    co_await e.delay(0.0);
+    t.push_back(e.now());
+    co_await e.delay(-5.0);  // clamped to zero
+    t.push_back(e.now());
+  };
+  eng.spawn(proc(eng, times));
+  eng.run();
+  EXPECT_EQ(times, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  des::Engine eng;
+  std::vector<double> times;
+  eng.spawn(ticker(eng, times, 1.0, 10));
+  eng.run_until(3.5);
+  EXPECT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(eng.now(), 3.5);
+  eng.run();
+  EXPECT_EQ(times.size(), 10u);
+}
+
+TEST(Engine, RunUntilProcessesEventsAtExactBoundary) {
+  des::Engine eng;
+  std::vector<double> times;
+  eng.spawn(ticker(eng, times, 1.0, 5));
+  eng.run_until(3.0);
+  EXPECT_EQ(times.size(), 3u);
+}
+
+TEST(Engine, SpawnAtSchedulesFutureStart) {
+  des::Engine eng;
+  std::vector<double> times;
+  eng.spawn_at(10.0, ticker(eng, times, 1.0, 2));
+  eng.run();
+  EXPECT_EQ(times, (std::vector<double>{11.0, 12.0}));
+}
+
+TEST(Engine, SpawnInPastThrows) {
+  des::Engine eng;
+  std::vector<double> times;
+  eng.spawn(ticker(eng, times, 1.0, 1));
+  eng.run();
+  EXPECT_THROW(eng.spawn_at(0.5, ticker(eng, times, 1.0, 1)),
+               std::invalid_argument);
+}
+
+TEST(Engine, RootExceptionPropagatesFromRun) {
+  des::Engine eng;
+  auto proc = [](des::Engine& e) -> des::Task<void> {
+    co_await e.delay(1.0);
+    throw std::runtime_error("boom");
+  };
+  eng.spawn(proc(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, EventsProcessedCounts) {
+  des::Engine eng;
+  std::vector<double> times;
+  eng.spawn(ticker(eng, times, 1.0, 4));
+  eng.run();
+  // 1 start event + 4 delay resumptions.
+  EXPECT_EQ(eng.events_processed(), 5u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = []() {
+    des::Engine eng;
+    std::vector<double> a, b, c;
+    eng.spawn(ticker(eng, a, 0.7, 100));
+    eng.spawn(ticker(eng, b, 1.1, 80));
+    eng.spawn(ticker(eng, c, 0.3, 200));
+    eng.run();
+    std::vector<double> all;
+    all.insert(all.end(), a.begin(), a.end());
+    all.insert(all.end(), b.begin(), b.end());
+    all.insert(all.end(), c.begin(), c.end());
+    return all;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, ManyProcessesStress) {
+  des::Engine eng;
+  std::vector<std::vector<double>> outs(200);
+  for (int i = 0; i < 200; ++i)
+    eng.spawn(ticker(eng, outs[i], 0.01 * (i + 1), 50));
+  eng.run();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(outs[i].size(), 50u);
+    EXPECT_NEAR(outs[i].back(), 0.01 * (i + 1) * 50, 1e-9);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+des::Task<void> spawner(des::Engine& eng, std::vector<double>& out) {
+  co_await eng.delay(1.0);
+  // Processes may spawn further processes mid-run.
+  eng.spawn(ticker(eng, out, 0.5, 2));
+  co_await eng.delay(5.0);
+}
+
+TEST(Engine, SpawnFromRunningTask) {
+  des::Engine eng;
+  std::vector<double> times;
+  eng.spawn(spawner(eng, times));
+  eng.run();
+  EXPECT_EQ(times, (std::vector<double>{1.5, 2.0}));
+  EXPECT_DOUBLE_EQ(eng.now(), 6.0);
+}
+
+TEST(Engine, RunResumableAfterCompletion) {
+  des::Engine eng;
+  std::vector<double> a, b;
+  eng.spawn(ticker(eng, a, 1.0, 2));
+  eng.run();
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+  // A finished engine accepts new work; time continues monotonically.
+  eng.spawn(ticker(eng, b, 1.0, 2));
+  eng.run();
+  EXPECT_EQ(b, (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(Engine, RunUntilThenRunCompletes) {
+  des::Engine eng;
+  std::vector<double> times;
+  eng.spawn(ticker(eng, times, 1.0, 10));
+  eng.run_until(4.5);
+  EXPECT_DOUBLE_EQ(eng.now(), 4.5);
+  eng.run_until(7.0);
+  EXPECT_EQ(times.size(), 7u);
+  eng.run();
+  EXPECT_EQ(times.size(), 10u);
+  EXPECT_DOUBLE_EQ(eng.now(), 10.0);
+}
+
+TEST(Engine, RunUntilPastEndIdlesAtBoundary) {
+  des::Engine eng;
+  std::vector<double> times;
+  eng.spawn(ticker(eng, times, 1.0, 2));
+  eng.run_until(100.0);
+  // Queue drained at t=2; clock parks at the requested horizon.
+  EXPECT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(eng.now(), 100.0);
+}
+
+}  // namespace

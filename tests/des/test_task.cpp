@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "coop/des/engine.hpp"
+#include "coop/des/task.hpp"
+
+namespace des = coop::des;
+
+namespace {
+
+des::Task<int> compute(des::Engine& eng, int x) {
+  co_await eng.delay(1.0);
+  co_return x * x;
+}
+
+TEST(Task, AwaitedSubtaskReturnsValue) {
+  des::Engine eng;
+  int result = 0;
+  auto parent = [](des::Engine& e, int& r) -> des::Task<void> {
+    r = co_await compute(e, 7);
+  };
+  eng.spawn(parent(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 49);
+  EXPECT_DOUBLE_EQ(eng.now(), 1.0);
+}
+
+TEST(Task, NestedSubtasksComposeTimes) {
+  des::Engine eng;
+  double finish = -1;
+  auto inner = [](des::Engine& e) -> des::Task<int> {
+    co_await e.delay(2.0);
+    co_return 1;
+  };
+  auto middle = [&inner](des::Engine& e) -> des::Task<int> {
+    int a = co_await inner(e);
+    int b = co_await inner(e);
+    co_return a + b;
+  };
+  auto outer = [&middle](des::Engine& e, double& f) -> des::Task<void> {
+    int total = co_await middle(e);
+    EXPECT_EQ(total, 2);
+    f = e.now();
+  };
+  eng.spawn(outer(eng, finish));
+  eng.run();
+  EXPECT_DOUBLE_EQ(finish, 4.0);
+}
+
+TEST(Task, SubtaskExceptionPropagatesToParent) {
+  des::Engine eng;
+  bool caught = false;
+  auto failing = [](des::Engine& e) -> des::Task<int> {
+    co_await e.delay(1.0);
+    throw std::runtime_error("inner failure");
+  };
+  auto parent = [&failing](des::Engine& e, bool& c) -> des::Task<void> {
+    try {
+      (void)co_await failing(e);
+    } catch (const std::runtime_error& ex) {
+      c = std::string(ex.what()) == "inner failure";
+    }
+  };
+  eng.spawn(parent(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, ValuelessSubtaskCompletesInline) {
+  des::Engine eng;
+  std::vector<int> trace;
+  auto child = [](std::vector<int>& t) -> des::Task<void> {
+    t.push_back(2);
+    co_return;
+  };
+  auto parent = [&child](std::vector<int>& t) -> des::Task<void> {
+    t.push_back(1);
+    co_await child(t);
+    t.push_back(3);
+  };
+  eng.spawn(parent(trace));
+  eng.run();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  des::Task<int> t;  // default: invalid
+  EXPECT_FALSE(t.valid());
+  des::Engine eng;
+  des::Task<int> u = compute(eng, 3);
+  EXPECT_TRUE(u.valid());
+  des::Task<int> v = std::move(u);
+  EXPECT_FALSE(u.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(v.valid());
+}
+
+TEST(Task, StringResult) {
+  des::Engine eng;
+  std::string result;
+  auto greet = [](des::Engine& e) -> des::Task<std::string> {
+    co_await e.delay(0.5);
+    co_return std::string("hello");
+  };
+  auto parent = [&greet](des::Engine& e, std::string& r) -> des::Task<void> {
+    r = co_await greet(e);
+  };
+  eng.spawn(parent(eng, result));
+  eng.run();
+  EXPECT_EQ(result, "hello");
+}
+
+TEST(Task, DeepRecursionOfSubtasks) {
+  des::Engine eng;
+  int result = 0;
+  // sum(n) = n + sum(n-1), each level taking 0 simulated time.
+  struct Rec {
+    static des::Task<int> sum(des::Engine& e, int n) {
+      if (n == 0) co_return 0;
+      int rest = co_await sum(e, n - 1);
+      co_return n + rest;
+    }
+  };
+  auto parent = [](des::Engine& e, int& r) -> des::Task<void> {
+    r = co_await Rec::sum(e, 200);
+  };
+  eng.spawn(parent(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 200 * 201 / 2);
+}
+
+}  // namespace

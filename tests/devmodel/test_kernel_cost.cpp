@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "coop/devmodel/calibration.hpp"
+#include "coop/devmodel/comm_cost.hpp"
+#include "coop/devmodel/kernel_cost.hpp"
+
+namespace dm = coop::devmodel;
+
+namespace {
+
+const dm::GpuSpec kGpu{};
+const dm::CpuSpec kCpu{};
+const dm::UmSpec kUm{};
+const dm::KernelWork kWork{25.0, 160.0};
+
+TEST(Occupancy, BoundsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(dm::occupancy_efficiency(kGpu, 0), 0.0);
+  double prev = 0;
+  for (double z : {1e3, 1e4, 1e5, 1e6, 1e7, 1e8}) {
+    const double eta = dm::occupancy_efficiency(kGpu, z);
+    EXPECT_GT(eta, prev);
+    EXPECT_LT(eta, 1.0);
+    prev = eta;
+  }
+  EXPECT_GT(dm::occupancy_efficiency(kGpu, 1e9), 0.99);
+}
+
+TEST(Occupancy, HalfSaturationPoint) {
+  EXPECT_NEAR(dm::occupancy_efficiency(kGpu, kGpu.occupancy_half_zones), 0.5,
+              1e-12);
+}
+
+TEST(Coalescing, BoundsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(dm::coalescing_efficiency(kGpu, 0), 0.0);
+  double prev = 0;
+  for (double nx : {4.0, 16.0, 64.0, 320.0, 640.0}) {
+    const double eta = dm::coalescing_efficiency(kGpu, nx);
+    EXPECT_GT(eta, prev);
+    EXPECT_LT(eta, 1.0);
+    prev = eta;
+  }
+}
+
+TEST(Coalescing, HalfSaturationPoint) {
+  EXPECT_NEAR(dm::coalescing_efficiency(kGpu, kGpu.coalesce_half_extent), 0.5,
+              1e-12);
+}
+
+TEST(GpuKernel, ZeroZonesIsFree) {
+  EXPECT_DOUBLE_EQ(dm::gpu_kernel_exec_time(kGpu, kWork, 0, 320), 0.0);
+}
+
+TEST(GpuKernel, BandwidthBoundRoofline) {
+  // Our hydro mix is bandwidth-bound: time ~ bytes / (BW * eta).
+  const double z = 1e7, nx = 320;
+  const double eta = dm::occupancy_efficiency(kGpu, z) *
+                     dm::coalescing_efficiency(kGpu, nx);
+  const double expect = kWork.bytes_per_zone * z /
+                        kGpu.bandwidth_bytes_per_s / eta;
+  EXPECT_NEAR(dm::gpu_kernel_exec_time(kGpu, kWork, z, nx), expect, 1e-12);
+}
+
+TEST(GpuKernel, FlopBoundWhenArithmeticHeavy) {
+  const dm::KernelWork heavy{1.0e4, 8.0};  // 1250 flop/byte
+  const double z = 1e7, nx = 320;
+  const double eta = dm::occupancy_efficiency(kGpu, z) *
+                     dm::coalescing_efficiency(kGpu, nx);
+  const double expect = heavy.flops_per_zone * z / kGpu.flops_per_s / eta;
+  EXPECT_NEAR(dm::gpu_kernel_exec_time(kGpu, heavy, z, nx), expect, 1e-12);
+}
+
+TEST(GpuKernel, ShorterInnerLoopIsSlower) {
+  EXPECT_GT(dm::gpu_kernel_exec_time(kGpu, kWork, 1e7, 50),
+            dm::gpu_kernel_exec_time(kGpu, kWork, 1e7, 500));
+}
+
+TEST(GpuKernel, TimeSuperlinearBelowOccupancySaturation) {
+  // Halving zones less than halves time when occupancy is unsaturated.
+  const double t_full = dm::gpu_kernel_exec_time(kGpu, kWork, 4e5, 320);
+  const double t_half = dm::gpu_kernel_exec_time(kGpu, kWork, 2e5, 320);
+  EXPECT_GT(t_half, 0.5 * t_full);
+}
+
+TEST(MpsKernel, RecoversOccupancyForSmallKernels) {
+  // 4 small kernels sharing the GPU beat 4 sequential single-stream runs.
+  const double z = 1e5, nx = 320;
+  const double t_mps = dm::gpu_kernel_exec_time_mps(kGpu, kWork, z, nx, 4);
+  const double t_serial = 4 * dm::gpu_kernel_exec_time(kGpu, kWork, z, nx);
+  EXPECT_LT(t_mps, t_serial);
+}
+
+TEST(MpsKernel, PaysTaxForLargeKernels) {
+  // When one kernel already fills the GPU, sharing only costs the tax:
+  // 4 ranks with z zones each under MPS are slower than one rank with 4z.
+  const double z = 1e7, nx = 600;
+  const double t_mps = dm::gpu_kernel_exec_time_mps(kGpu, kWork, z, nx, 4);
+  const double t_single = dm::gpu_kernel_exec_time(kGpu, kWork, 4 * z, nx);
+  EXPECT_GT(t_mps, t_single);
+  EXPECT_LT(t_mps, 1.15 * t_single);  // but only by roughly the tax
+}
+
+TEST(MpsKernel, CrossoverExists) {
+  // There is a kernel size below which MPS wins and above which it loses
+  // (the paper's Fig. 13-vs-16 contrast).
+  const double nx = 320;
+  const double small = 2e5, big = 1e7;
+  EXPECT_LT(dm::gpu_kernel_exec_time_mps(kGpu, kWork, small, nx, 4),
+            dm::gpu_kernel_exec_time(kGpu, kWork, 4 * small, nx));
+  EXPECT_GT(dm::gpu_kernel_exec_time_mps(kGpu, kWork, big, nx, 4),
+            dm::gpu_kernel_exec_time(kGpu, kWork, 4 * big, nx));
+}
+
+TEST(MpsKernel, ResidentCountValidated) {
+  EXPECT_THROW({ auto t = dm::gpu_kernel_exec_time_mps(kGpu, kWork, 1e6, 320,
+                                                      0); (void)t; },
+               std::invalid_argument);
+}
+
+TEST(MpsKernel, ResidentCappedAtMpsLimit) {
+  // Residents beyond the MPS limit are clamped to it.
+  EXPECT_DOUBLE_EQ(dm::gpu_kernel_exec_time_mps(kGpu, kWork, 1e6, 320, 8),
+                   dm::gpu_kernel_exec_time_mps(kGpu, kWork, 1e6, 320, 4));
+}
+
+TEST(LaunchOverhead, MpsCostsMore) {
+  EXPECT_GT(dm::gpu_launch_overhead(kGpu, true),
+            dm::gpu_launch_overhead(kGpu, false));
+  EXPECT_DOUBLE_EQ(dm::gpu_launch_overhead(kGpu, false),
+                   kGpu.launch_overhead_s);
+}
+
+TEST(CpuKernel, LinearInZones) {
+  const double t1 = dm::cpu_kernel_exec_time(kCpu, kWork, 1e5, 1.0);
+  const double t2 = dm::cpu_kernel_exec_time(kCpu, kWork, 2e5, 1.0);
+  EXPECT_NEAR(t2, 2 * t1, 1e-15);
+}
+
+TEST(CpuKernel, PenaltyScalesTime) {
+  const double t1 = dm::cpu_kernel_exec_time(kCpu, kWork, 1e5, 1.0);
+  const double t6 = dm::cpu_kernel_exec_time(kCpu, kWork, 1e5, 6.0);
+  EXPECT_NEAR(t6, 6 * t1, 1e-15);
+}
+
+TEST(CpuKernel, PenaltyBelowOneRejected) {
+  EXPECT_THROW({ auto t = dm::cpu_kernel_exec_time(kCpu, kWork, 1e5, 0.5);
+                 (void)t; },
+               std::invalid_argument);
+}
+
+TEST(CpuKernel, BandwidthBoundForHydroMix) {
+  const double expect =
+      kWork.bytes_per_zone * 1e6 / kCpu.core_bandwidth_bytes_per_s;
+  EXPECT_NEAR(dm::cpu_kernel_exec_time(kCpu, kWork, 1e6, 1.0), expect, 1e-12);
+}
+
+TEST(UmSpill, FreeBelowCapacity) {
+  // Default mode: 4 active cores -> 36e6-zone capacity.
+  EXPECT_DOUBLE_EQ(dm::um_spill_time_per_gpu_rank(kUm, 30e6, 4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(dm::um_spill_time_per_gpu_rank(kUm, 36e6, 4, 4), 0.0);
+}
+
+TEST(UmSpill, LinearAboveCapacity) {
+  const double t1 = dm::um_spill_time_per_gpu_rank(kUm, 40e6, 4, 4);
+  const double t2 = dm::um_spill_time_per_gpu_rank(kUm, 44e6, 4, 4);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_NEAR(t2 - t1, dm::um_spill_time_per_gpu_rank(kUm, 40e6, 4, 4),
+              1e-12);  // equal increments: 4e6 excess each
+}
+
+TEST(UmSpill, MoreActiveCoresRaiseCapacity) {
+  // The paper's speculation: more ranks (cores) add pump capacity. 16
+  // active cores push the threshold beyond the sweep range.
+  EXPECT_GT(dm::um_spill_time_per_gpu_rank(kUm, 46e6, 4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(dm::um_spill_time_per_gpu_rank(kUm, 46e6, 16, 4), 0.0);
+}
+
+TEST(UmSpill, SharedAcrossGpuRanks) {
+  const double per4 = dm::um_spill_time_per_gpu_rank(kUm, 44e6, 4, 4);
+  const double per2 = dm::um_spill_time_per_gpu_rank(kUm, 44e6, 4, 2);
+  EXPECT_NEAR(per2, 2 * per4, 1e-12);
+}
+
+TEST(CommCost, MessageTimeAffine) {
+  const dm::InterconnectSpec net{};
+  EXPECT_DOUBLE_EQ(dm::message_time(net, 0), net.latency_s);
+  const double t1 = dm::message_time(net, 1 << 20);
+  const double t2 = dm::message_time(net, 2 << 20);
+  EXPECT_NEAR(t2 - t1, (1 << 20) / net.bandwidth_bytes_per_s, 1e-15);
+}
+
+TEST(CommCost, AllreduceLogarithmic) {
+  const dm::InterconnectSpec net{};
+  EXPECT_DOUBLE_EQ(dm::allreduce_time(net, 1), 0.0);
+  EXPECT_DOUBLE_EQ(dm::allreduce_time(net, 2),
+                   2 * net.allreduce_hop_latency_s);
+  EXPECT_DOUBLE_EQ(dm::allreduce_time(net, 16),
+                   8 * net.allreduce_hop_latency_s);
+  EXPECT_DOUBLE_EQ(dm::allreduce_time(net, 16),
+                   dm::allreduce_time(net, 9));  // same ceil(log2)
+}
+
+TEST(NodeSpec, RzhasgpuMatchesPaperTestbed) {
+  const auto n = dm::NodeSpec::rzhasgpu();
+  EXPECT_EQ(n.cpu.total_cores(), 16);  // 2x 8-core Xeon E5-2667v3
+  EXPECT_EQ(n.gpu_count, 4);           // 4x Tesla K80
+  EXPECT_DOUBLE_EQ(n.gpu.memory_bytes, 12.0e9);
+  EXPECT_DOUBLE_EQ(n.cpu.memory_bytes, 128.0e9);
+}
+
+// Parameterized sweep: MPS recovery factor is monotonically decreasing in
+// kernel size (the bigger the kernel, the less overlap can recover).
+class MpsRecoverySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MpsRecoverySweep, RecoveryShrinksWithKernelSize) {
+  const double z = GetParam();
+  const double ratio_small =
+      4 * dm::gpu_kernel_exec_time(kGpu, kWork, z, 320) /
+      dm::gpu_kernel_exec_time_mps(kGpu, kWork, z, 320, 4);
+  const double ratio_larger =
+      4 * dm::gpu_kernel_exec_time(kGpu, kWork, 2 * z, 320) /
+      dm::gpu_kernel_exec_time_mps(kGpu, kWork, 2 * z, 320, 4);
+  EXPECT_GE(ratio_small, ratio_larger - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MpsRecoverySweep,
+                         ::testing::Values(5e4, 1e5, 3e5, 1e6, 3e6, 1e7));
+
+}  // namespace

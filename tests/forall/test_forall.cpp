@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "coop/forall/dynamic_policy.hpp"
+#include "coop/forall/forall.hpp"
+
+namespace fa = coop::forall;
+
+namespace {
+
+/// All policies must produce identical results for a data-parallel body.
+class PolicyEquivalence : public ::testing::TestWithParam<fa::PolicyKind> {};
+
+TEST_P(PolicyEquivalence, SaxpyMatchesReference) {
+  const long n = 10000;
+  std::vector<double> x(n), y(n), ref(n);
+  for (long i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = 0.5 * static_cast<double>(i);
+    y[static_cast<std::size_t>(i)] = static_cast<double>(i);
+    ref[static_cast<std::size_t>(i)] =
+        y[static_cast<std::size_t>(i)] + 2.0 * x[static_cast<std::size_t>(i)];
+  }
+  double* xp = x.data();
+  double* yp = y.data();
+  fa::forall(fa::DynamicPolicy{GetParam()}, 0, n,
+             [=](long i) { yp[i] += 2.0 * xp[i]; });
+  EXPECT_EQ(y, ref);
+}
+
+TEST_P(PolicyEquivalence, EveryIndexVisitedExactlyOnce) {
+  const long n = 4097;
+  std::vector<std::atomic<int>> hits(n);
+  auto* hp = hits.data();
+  fa::forall(fa::DynamicPolicy{GetParam()}, 0, n,
+             [=](long i) { hp[i].fetch_add(1, std::memory_order_relaxed); });
+  for (long i = 0; i < n; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST_P(PolicyEquivalence, EmptyRangeRunsNothing) {
+  std::atomic<int> count{0};
+  auto* cp = &count;
+  fa::forall(fa::DynamicPolicy{GetParam()}, 5, 5, [=](long) { ++*cp; });
+  fa::forall(fa::DynamicPolicy{GetParam()}, 5, 3, [=](long) { ++*cp; });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST_P(PolicyEquivalence, NonZeroBeginRespected) {
+  std::vector<int> seen;
+  std::mutex mu;
+  fa::forall(fa::DynamicPolicy{GetParam()}, 100, 110, [&](long i) {
+    std::lock_guard lk(mu);
+    seen.push_back(static_cast<int>(i));
+  });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int>{100, 101, 102, 103, 104, 105, 106, 107,
+                                    108, 109}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyEquivalence,
+    ::testing::Values(fa::PolicyKind::kSeq, fa::PolicyKind::kSimd,
+                      fa::PolicyKind::kThreads, fa::PolicyKind::kSimGpu,
+                      fa::PolicyKind::kIndirect),
+    [](const auto& pi) { return to_string(pi.param); });
+
+TEST(ForallStatic, TemplateSpellingMatchesRaja) {
+  // The RAJA-style spelling from the paper's Fig. 5.
+  std::vector<double> y(100, 1.0);
+  double* yp = y.data();
+  fa::forall<fa::seq_exec>(0, 100, [=](long i) { yp[i] += 1.0; });
+  EXPECT_DOUBLE_EQ(y[50], 2.0);
+}
+
+TEST(Reduce, SumMatchesStd) {
+  std::vector<double> v(5000);
+  std::iota(v.begin(), v.end(), 1.0);
+  const double* vp = v.data();
+  const double want = std::accumulate(v.begin(), v.end(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      (fa::forall_reduce_sum<fa::seq_exec>(0, 5000, [=](long i) { return vp[i]; })),
+      want);
+  EXPECT_DOUBLE_EQ((fa::forall_reduce_sum<fa::thread_exec>(
+                       0, 5000, [=](long i) { return vp[i]; })),
+                   want);
+}
+
+TEST(Reduce, MinAndMax) {
+  std::vector<double> v{5, -2, 9, 0, 7.5, -2.5, 3};
+  const double* vp = v.data();
+  const long n = static_cast<long>(v.size());
+  EXPECT_DOUBLE_EQ((fa::forall_reduce_min<fa::seq_exec>(
+                       0, n, [=](long i) { return vp[i]; })),
+                   -2.5);
+  EXPECT_DOUBLE_EQ((fa::forall_reduce_max<fa::thread_exec>(
+                       0, n, [=](long i) { return vp[i]; })),
+                   9.0);
+}
+
+TEST(Reduce, EmptyRangeReturnsIdentity) {
+  EXPECT_DOUBLE_EQ((fa::forall_reduce_sum<fa::seq_exec>(
+                       0, 0, [](long) { return 1.0; })),
+                   0.0);
+  EXPECT_DOUBLE_EQ((fa::forall_reduce_min<fa::seq_exec>(
+                       3, 3, [](long) { return 1.0; })),
+                   std::numeric_limits<double>::max());
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  EXPECT_THROW(fa::forall<fa::thread_exec>(0, 1000,
+                                           [](long i) {
+                                             if (i == 500)
+                                               throw std::runtime_error("x");
+                                           }),
+               std::runtime_error);
+  // Pool must stay usable afterwards.
+  std::atomic<long> sum{0};
+  fa::forall<fa::thread_exec>(0, 100, [&](long i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, WorkerCountPositive) {
+  EXPECT_GE(fa::ThreadPool::global().worker_count(), 1u);
+}
+
+TEST(ThreadPool, ZeroWorkersRejected) {
+  EXPECT_THROW(fa::ThreadPool{0}, std::invalid_argument);
+}
+
+TEST(ThreadPool, LargeIterationCount) {
+  std::atomic<long> sum{0};
+  fa::forall<fa::thread_exec>(0, 1'000'000, [&](long) {
+    sum.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1'000'000);
+}
+
+TEST(DynamicPolicy, ArchSelectionMatchesPaperFig7) {
+  using coop::memory::ExecutionTarget;
+  // GPU-driving rank -> (simulated) CUDA policy.
+  EXPECT_EQ(fa::select_arch_policy(ExecutionTarget::kGpuDevice, false).kind,
+            fa::PolicyKind::kSimGpu);
+  EXPECT_EQ(fa::select_arch_policy(ExecutionTarget::kGpuDevice, true).kind,
+            fa::PolicyKind::kSimGpu);
+  // CPU-only rank -> sequential; with the nvcc issue -> indirect dispatch.
+  EXPECT_EQ(fa::select_arch_policy(ExecutionTarget::kCpuCore, false).kind,
+            fa::PolicyKind::kSeq);
+  EXPECT_EQ(fa::select_arch_policy(ExecutionTarget::kCpuCore, true).kind,
+            fa::PolicyKind::kIndirect);
+}
+
+TEST(DynamicPolicy, PolicyNames) {
+  EXPECT_STREQ(to_string(fa::PolicyKind::kSimGpu), "sim_gpu");
+  EXPECT_STREQ(to_string(fa::PolicyKind::kIndirect), "indirect");
+}
+
+TEST(IndirectPolicy, SemanticallyIdenticalToSeq) {
+  // The nvcc-issue emulation must be a pure pessimization: same results.
+  std::vector<double> a(512, 1.0), b(512, 1.0);
+  double* ap = a.data();
+  double* bp = b.data();
+  fa::forall<fa::seq_exec>(0, 512, [=](long i) { ap[i] = ap[i] * 3 + i; });
+  fa::forall<fa::indirect_exec>(0, 512, [=](long i) { bp[i] = bp[i] * 3 + i; });
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "coop/forall/forall3d.hpp"
+#include "coop/forall/kernel_timers.hpp"
+
+namespace fa = coop::forall;
+using coop::mesh::Box;
+
+namespace {
+
+TEST(ForallBox, VisitsEveryZoneOnce) {
+  const Box b{{2, 3, 4}, {7, 9, 11}};
+  std::vector<int> hits(static_cast<std::size_t>(b.zones()), 0);
+  int* hp = hits.data();
+  const long nx = b.nx(), ny = b.ny();
+  fa::forall_box(fa::DynamicPolicy{fa::PolicyKind::kSeq}, b,
+                 [=](long i, long j, long k) {
+                   const long t = ((k - 4) * ny + (j - 3)) * nx + (i - 2);
+                   hp[t] += 1;
+                 });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ForallBox, EmptyBoxRunsNothing) {
+  const Box b{{0, 0, 0}, {0, 5, 5}};
+  int count = 0;
+  fa::forall_box(fa::DynamicPolicy{fa::PolicyKind::kSeq}, b,
+                 [&](long, long, long) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ForallBox, XIsInnermost) {
+  const Box b{{0, 0, 0}, {3, 2, 2}};
+  std::vector<std::array<long, 3>> order;
+  fa::forall_box(fa::DynamicPolicy{fa::PolicyKind::kSeq}, b,
+                 [&](long i, long j, long k) {
+                   order.push_back({i, j, k});
+                 });
+  ASSERT_EQ(order.size(), 12u);
+  EXPECT_EQ(order[0], (std::array<long, 3>{0, 0, 0}));
+  EXPECT_EQ(order[1], (std::array<long, 3>{1, 0, 0}));  // x advances first
+  EXPECT_EQ(order[3], (std::array<long, 3>{0, 1, 0}));  // then y
+  EXPECT_EQ(order[6], (std::array<long, 3>{0, 0, 1}));  // then z
+}
+
+TEST(ForallBox, StaticPolicySpelling) {
+  const Box b{{0, 0, 0}, {4, 4, 4}};
+  std::atomic<long> sum{0};
+  fa::forall_box<fa::thread_exec>(b, [&](long i, long j, long k) {
+    sum.fetch_add(i + j + k, std::memory_order_relaxed);
+  });
+  // sum over 4^3 grid of (i+j+k) = 3 * 16 * (0+1+2+3) = 288.
+  EXPECT_EQ(sum.load(), 288);
+}
+
+TEST(PolicyKindOf, MapsAllStaticPolicies) {
+  EXPECT_EQ(fa::policy_kind_of<fa::seq_exec>(), fa::PolicyKind::kSeq);
+  EXPECT_EQ(fa::policy_kind_of<fa::simd_exec>(), fa::PolicyKind::kSimd);
+  EXPECT_EQ(fa::policy_kind_of<fa::thread_exec>(), fa::PolicyKind::kThreads);
+  EXPECT_EQ(fa::policy_kind_of<fa::sim_gpu_exec>(), fa::PolicyKind::kSimGpu);
+  EXPECT_EQ(fa::policy_kind_of<fa::indirect_exec>(),
+            fa::PolicyKind::kIndirect);
+}
+
+class TiledEquivalence : public ::testing::TestWithParam<std::pair<long, long>> {
+};
+
+TEST_P(TiledEquivalence, SameResultAsUntiled) {
+  const auto [tj, tk] = GetParam();
+  const Box b{{1, 1, 1}, {9, 12, 10}};
+  std::vector<double> a(static_cast<std::size_t>(b.grown(1).zones()), 0);
+  std::vector<double> c = a;
+  const long snx = b.grown(1).nx(), sny = b.grown(1).ny();
+  auto idx = [=](long i, long j, long k) {
+    return static_cast<std::size_t>(((k)*sny + (j)) * snx + (i));
+  };
+  double* ap = a.data();
+  double* cp = c.data();
+  fa::forall_box(fa::DynamicPolicy{fa::PolicyKind::kSeq}, b,
+                 [=](long i, long j, long k) {
+                   ap[idx(i, j, k)] = 1.0 * i + 2.0 * j + 3.0 * k;
+                 });
+  fa::forall_box_tiled(fa::DynamicPolicy{fa::PolicyKind::kThreads}, b, tj, tk,
+                       [=](long i, long j, long k) {
+                         cp[idx(i, j, k)] = 1.0 * i + 2.0 * j + 3.0 * k;
+                       });
+  EXPECT_EQ(a, c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, TiledEquivalence,
+                         ::testing::Values(std::pair<long, long>{1, 1},
+                                           std::pair<long, long>{4, 4},
+                                           std::pair<long, long>{16, 2},
+                                           std::pair<long, long>{100, 100}));
+
+TEST(TiledForall, BadTileSizesRejected) {
+  const Box b{{0, 0, 0}, {4, 4, 4}};
+  EXPECT_THROW(fa::forall_box_tiled(fa::DynamicPolicy{fa::PolicyKind::kSeq},
+                                    b, 0, 4, [](long, long, long) {}),
+               std::invalid_argument);
+}
+
+TEST(KernelTimers, AccumulatesCallsAndTime) {
+  fa::KernelTimerRegistry reg;
+  for (int rep = 0; rep < 3; ++rep) {
+    fa::ScopedKernelTimer t(reg, "saxpy");
+    volatile double x = 0;
+    for (int i = 0; i < 10000; ++i) x = x + 1.0;
+  }
+  {
+    fa::ScopedKernelTimer t(reg, "eos");
+  }
+  ASSERT_NE(reg.find("saxpy"), nullptr);
+  EXPECT_EQ(reg.find("saxpy")->calls, 3u);
+  EXPECT_GT(reg.find("saxpy")->seconds, 0.0);
+  EXPECT_EQ(reg.find("eos")->calls, 1u);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.find("missing"), nullptr);
+  EXPECT_GE(reg.total_seconds(), reg.find("saxpy")->seconds);
+}
+
+TEST(KernelTimers, SortedByDescendingTime) {
+  fa::KernelTimerRegistry reg;
+  reg.add("cheap", 0.001);
+  reg.add("expensive", 1.0);
+  reg.add("middling", 0.1);
+  const auto sorted = reg.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, "expensive");
+  EXPECT_EQ(sorted[1].first, "middling");
+  EXPECT_EQ(sorted[2].first, "cheap");
+}
+
+TEST(KernelTimers, ClearResets) {
+  fa::KernelTimerRegistry reg;
+  reg.add("k", 1.0);
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_DOUBLE_EQ(reg.total_seconds(), 0.0);
+}
+
+}  // namespace

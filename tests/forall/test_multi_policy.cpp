@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "coop/forall/multi_policy.hpp"
+
+namespace fa = coop::forall;
+
+namespace {
+
+TEST(MultiPolicy, SizeThresholdSelectsPerLoop) {
+  auto mp = fa::MultiPolicy::size_threshold(100, fa::PolicyKind::kSeq,
+                                            fa::PolicyKind::kThreads);
+  std::vector<double> v(1000, 1.0);
+  double* vp = v.data();
+
+  fa::forall(mp, 0, 10, [=](long i) { vp[i] += 1.0; });
+  EXPECT_EQ(mp.last_selected(), fa::PolicyKind::kSeq);
+
+  fa::forall(mp, 0, 1000, [=](long i) { vp[i] += 1.0; });
+  EXPECT_EQ(mp.last_selected(), fa::PolicyKind::kThreads);
+
+  EXPECT_EQ(mp.selections(), 2);
+  // First 10 elements were touched twice, the rest once.
+  EXPECT_DOUBLE_EQ(v[5], 3.0);
+  EXPECT_DOUBLE_EQ(v[500], 2.0);
+}
+
+TEST(MultiPolicy, ThresholdBoundaryIsInclusive) {
+  auto mp = fa::MultiPolicy::size_threshold(64, fa::PolicyKind::kSeq,
+                                            fa::PolicyKind::kSimd);
+  fa::forall(mp, 0, 63, [](long) {});
+  EXPECT_EQ(mp.last_selected(), fa::PolicyKind::kSeq);
+  fa::forall(mp, 0, 64, [](long) {});
+  EXPECT_EQ(mp.last_selected(), fa::PolicyKind::kSimd);
+}
+
+TEST(MultiPolicy, CustomSelectorSeesRange) {
+  // Selector keyed on the *start*, not the length.
+  fa::MultiPolicy mp([](long begin, long) {
+    return begin >= 1000 ? fa::PolicyKind::kSimGpu : fa::PolicyKind::kSeq;
+  });
+  fa::forall(mp, 0, 10, [](long) {});
+  EXPECT_EQ(mp.last_selected(), fa::PolicyKind::kSeq);
+  fa::forall(mp, 1000, 1010, [](long) {});
+  EXPECT_EQ(mp.last_selected(), fa::PolicyKind::kSimGpu);
+}
+
+TEST(MultiPolicy, ResultsIndependentOfSelection) {
+  // Whatever the selector picks, the loop result is identical.
+  std::vector<double> a(5000), b(5000);
+  std::iota(a.begin(), a.end(), 0.0);
+  std::iota(b.begin(), b.end(), 0.0);
+  double* ap = a.data();
+  double* bp = b.data();
+  auto mp = fa::MultiPolicy::size_threshold(2500, fa::PolicyKind::kSeq,
+                                            fa::PolicyKind::kThreads);
+  fa::forall(mp, 0, 2000, [=](long i) { ap[i] *= 2; });  // seq
+  fa::forall(mp, 2000, 5000, [=](long i) { ap[i] *= 2; });  // threads
+  for (long i = 0; i < 5000; ++i)
+    bp[i] *= 2;
+  EXPECT_EQ(a, b);
+}
+
+TEST(MultiPolicy, EmptySelectorRejected) {
+  EXPECT_THROW(fa::MultiPolicy(fa::MultiPolicy::Selector{}),
+               std::invalid_argument);
+}
+
+TEST(MultiPolicy, KernelLaunchAvoidanceIdiom) {
+  // The motivating use in the paper's context: tiny loops should not pay a
+  // (simulated) kernel launch; long loops should go to the device policy.
+  auto mp = fa::MultiPolicy::size_threshold(1024, fa::PolicyKind::kSeq,
+                                            fa::PolicyKind::kSimGpu);
+  int launches = 0;
+  for (long n : {8L, 64L, 512L, 4096L, 65536L}) {
+    fa::forall(mp, 0, n, [](long) {});
+    if (mp.last_selected() == fa::PolicyKind::kSimGpu) ++launches;
+  }
+  EXPECT_EQ(launches, 2);
+}
+
+}  // namespace

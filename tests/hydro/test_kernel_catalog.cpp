@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coop/devmodel/calibration.hpp"
+#include "coop/hydro/kernel_catalog.hpp"
+
+namespace hy = coop::hydro;
+namespace calib = coop::devmodel::calib;
+
+namespace {
+
+TEST(KernelCatalog, AresSedovHasEightyKernels) {
+  const auto cat = hy::KernelCatalog::ares_sedov();
+  EXPECT_EQ(cat.size(), calib::kAresKernelCount);
+  EXPECT_EQ(cat.size(), 80);  // paper Fig. 11 caption
+}
+
+TEST(KernelCatalog, TotalsMatchCalibratedAggregates) {
+  const auto cat = hy::KernelCatalog::ares_sedov();
+  const auto total = cat.total();
+  EXPECT_NEAR(total.bytes_per_zone,
+              calib::kBytesPerZonePerKernel * calib::kAresKernelCount, 1e-6);
+  EXPECT_NEAR(total.flops_per_zone,
+              calib::kFlopsPerZonePerKernel * calib::kAresKernelCount, 1e-6);
+}
+
+TEST(KernelCatalog, Deterministic) {
+  const auto a = hy::KernelCatalog::ares_sedov();
+  const auto b = hy::KernelCatalog::ares_sedov();
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(a.kernels()[idx].name, b.kernels()[idx].name);
+    EXPECT_DOUBLE_EQ(a.kernels()[idx].work.bytes_per_zone,
+                     b.kernels()[idx].work.bytes_per_zone);
+  }
+}
+
+TEST(KernelCatalog, KernelsVaryInIntensity) {
+  // A realistic mix, not 80 copies of the same kernel.
+  const auto cat = hy::KernelCatalog::ares_sedov();
+  std::set<double> distinct;
+  for (const auto& k : cat.kernels()) distinct.insert(k.work.bytes_per_zone);
+  EXPECT_GT(distinct.size(), 40u);
+}
+
+TEST(KernelCatalog, AllKernelsPositiveWork) {
+  const auto cat = hy::KernelCatalog::ares_sedov();
+  for (const auto& k : cat.kernels()) {
+    EXPECT_GT(k.work.bytes_per_zone, 0.0) << k.name;
+    EXPECT_GT(k.work.flops_per_zone, 0.0) << k.name;
+  }
+}
+
+TEST(KernelCatalog, NamesUnique) {
+  const auto cat = hy::KernelCatalog::ares_sedov();
+  std::set<std::string> names;
+  for (const auto& k : cat.kernels()) names.insert(k.name);
+  EXPECT_EQ(static_cast<int>(names.size()), cat.size());
+}
+
+TEST(KernelCatalog, ScaledVariantKeepsAverageIntensity) {
+  const auto small = hy::KernelCatalog::scaled(10);
+  EXPECT_EQ(small.size(), 10);
+  EXPECT_NEAR(small.total().bytes_per_zone,
+              calib::kBytesPerZonePerKernel * 10, 1e-9);
+  EXPECT_NEAR(small.total().flops_per_zone,
+              calib::kFlopsPerZonePerKernel * 10, 1e-9);
+}
+
+}  // namespace

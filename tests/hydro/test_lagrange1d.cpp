@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coop/hydro/lagrange1d.hpp"
+#include "coop/hydro/riemann.hpp"
+
+namespace hy = coop::hydro;
+
+namespace {
+
+hy::Lagrange1D make_sod(long zones, bool remap) {
+  hy::Lagrange1D::Config cfg;
+  cfg.remap = remap;
+  return hy::Lagrange1D(zones, 0.0, 1.0, cfg, [](double x) {
+    return x < 0.5 ? hy::Lagrange1D::Primitives{1.0, 0.0, 1.0}
+                   : hy::Lagrange1D::Primitives{0.125, 0.0, 0.1};
+  });
+}
+
+double run_to(hy::Lagrange1D& sim, double t_end) {
+  double t = 0;
+  while (t < t_end) {
+    const double dt = std::min(sim.stable_dt(), t_end - t);
+    sim.step(dt);
+    t += dt;
+  }
+  return t;
+}
+
+double sod_l1_error(const hy::Lagrange1D& sim, double t) {
+  hy::RiemannProblem exact({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1});
+  double l1 = 0;
+  for (long j = 0; j < sim.zones(); ++j) {
+    const double xi = (sim.zone_center(j) - 0.5) / t;
+    l1 += std::abs(sim.density(j) - exact.sample(xi).rho) /
+          static_cast<double>(sim.zones());
+  }
+  return l1;
+}
+
+TEST(Lagrange1D, UniformGasStaysStatic) {
+  hy::Lagrange1D::Config cfg;
+  hy::Lagrange1D sim(64, 0.0, 1.0, cfg, [](double) {
+    return hy::Lagrange1D::Primitives{1.0, 0.0, 1.0};
+  });
+  for (int s = 0; s < 20; ++s) sim.step(sim.stable_dt());
+  for (long j = 0; j < 64; ++j) {
+    ASSERT_DOUBLE_EQ(sim.density(j), 1.0);
+    ASSERT_DOUBLE_EQ(sim.velocity_node(j), 0.0);
+  }
+}
+
+TEST(Lagrange1D, PureLagrangeSodMatchesExact) {
+  auto sim = make_sod(200, /*remap=*/false);
+  const double t = run_to(sim, 0.2);
+  // VNR Lagrange at N=200: the mesh follows the contact, so the profile is
+  // sharper than the Eulerian Rusanov result (bar there: 0.035).
+  EXPECT_LT(sod_l1_error(sim, t), 0.030);
+}
+
+TEST(Lagrange1D, AleRemapSodMatchesExact) {
+  auto sim = make_sod(200, /*remap=*/true);
+  const double t = run_to(sim, 0.2);
+  // Remap-every-step adds first-order advection diffusion.
+  EXPECT_LT(sod_l1_error(sim, t), 0.045);
+}
+
+TEST(Lagrange1D, LagrangeMeshFollowsTheFlow) {
+  auto sim = make_sod(100, false);
+  run_to(sim, 0.15);
+  // Nodes around the expansion moved right; the reference mesh did not.
+  double moved = 0;
+  for (long i = 0; i <= 100; ++i)
+    moved = std::max(moved, std::abs(sim.node_position(i) -
+                                     static_cast<double>(i) / 100.0));
+  EXPECT_GT(moved, 0.01);
+  // Mesh remains monotone (no tangling).
+  for (long i = 0; i < 100; ++i)
+    ASSERT_LT(sim.node_position(i), sim.node_position(i + 1));
+}
+
+TEST(Lagrange1D, AleKeepsReferenceMesh) {
+  auto sim = make_sod(100, true);
+  run_to(sim, 0.15);
+  for (long i = 0; i <= 100; ++i)
+    ASSERT_NEAR(sim.node_position(i), static_cast<double>(i) / 100.0, 1e-12);
+}
+
+TEST(Lagrange1D, MassExactlyConservedBothModes) {
+  for (bool remap : {false, true}) {
+    auto sim = make_sod(150, remap);
+    const double m0 = sim.total_mass();
+    run_to(sim, 0.18);
+    EXPECT_NEAR(sim.total_mass(), m0, 1e-12 * m0) << "remap=" << remap;
+  }
+}
+
+TEST(Lagrange1D, MomentumMatchesExactSolutionIntegral) {
+  // Total momentum of the tube equals the integral of rho*u over the exact
+  // Riemann solution at the same time (walls exert no force until waves
+  // arrive; pressure on rigid walls is equal at both ends until then).
+  auto sim = make_sod(150, false);
+  const double t = run_to(sim, 0.18);
+  hy::RiemannProblem exact({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1});
+  double p_exact = 0;
+  const int kSamples = 4000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = (i + 0.5) / kSamples;
+    const auto st = exact.sample((x - 0.5) / t);
+    p_exact += st.rho * st.u / kSamples;
+  }
+  EXPECT_NEAR(sim.total_momentum(), p_exact, 0.05 * p_exact);
+}
+
+TEST(Lagrange1D, TotalEnergyDriftSmall) {
+  // The simple (first-order-in-time) p dV energy update is not exactly
+  // conservative across the shock; ~1% on Sod at N=200 is the expected
+  // magnitude for this scheme class, and it converges away with resolution.
+  for (bool remap : {false, true}) {
+    auto sim = make_sod(200, remap);
+    const double e0 = sim.total_energy();
+    run_to(sim, 0.2);
+    EXPECT_NEAR(sim.total_energy(), e0, 1.5e-2 * e0) << "remap=" << remap;
+  }
+  // Convergence check: halving dx must shrink the drift.
+  auto coarse = make_sod(100, false);
+  auto fine = make_sod(400, false);
+  const double e0c = coarse.total_energy(), e0f = fine.total_energy();
+  run_to(coarse, 0.2);
+  run_to(fine, 0.2);
+  EXPECT_LT(std::abs(fine.total_energy() - e0f),
+            std::abs(coarse.total_energy() - e0c));
+}
+
+TEST(Lagrange1D, RemapOfUnmovedMeshIsIdentity) {
+  auto a = make_sod(80, false);
+  auto b = make_sod(80, true);
+  // One zero-size step: Lagrange does nothing, remap must be the identity.
+  a.step(0.0);
+  b.step(0.0);
+  for (long j = 0; j < 80; ++j) {
+    ASSERT_DOUBLE_EQ(a.density(j), b.density(j)) << j;
+    ASSERT_NEAR(a.pressure(j), b.pressure(j), 1e-12) << j;
+  }
+}
+
+TEST(Lagrange1D, StableDtPositiveAndShrinksWithShock) {
+  auto quiet = make_sod(100, false);
+  const double dt0 = quiet.stable_dt();
+  EXPECT_GT(dt0, 0.0);
+  run_to(quiet, 0.1);  // shock formed: compression raises c and |du|
+  EXPECT_LT(quiet.stable_dt(), dt0);
+}
+
+TEST(Lagrange1D, EulerianAndAleAgreeOnWaveSpeeds) {
+  // Both hydro formulations must place the shock at the same position.
+  auto ale = make_sod(200, true);
+  const double t = run_to(ale, 0.2);
+  hy::RiemannProblem exact({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1});
+  // Shock position from the exact solution.
+  const double s =
+      0.0 + std::sqrt(1.4 * 0.1 / 0.125) *
+                std::sqrt((2.4 / 2.8) * exact.star_pressure() / 0.1 +
+                          0.4 / 2.8);
+  const double x_shock = 0.5 + s * t;
+  // Find the steepest density drop near the shock in the ALE result.
+  long j_best = 0;
+  double best = 0;
+  for (long j = 1; j < 200; ++j) {
+    const double grad = std::abs(ale.density(j) - ale.density(j - 1));
+    if (grad > best && ale.zone_center(j) > 0.6) {
+      best = grad;
+      j_best = j;
+    }
+  }
+  EXPECT_NEAR(ale.zone_center(j_best), x_shock, 0.03);
+}
+
+}  // namespace

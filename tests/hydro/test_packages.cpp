@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coop/core/functional_sim.hpp"
+#include "coop/hydro/solver.hpp"
+
+namespace hy = coop::hydro;
+namespace mem = coop::memory;
+using coop::mesh::Box;
+
+namespace {
+
+mem::MemoryManager make_mm() {
+  mem::MemoryManager::Config c;
+  c.target = mem::ExecutionTarget::kCpuCore;
+  c.host_capacity = std::size_t{1} << 30;
+  return mem::MemoryManager(c);
+}
+
+struct Rank {
+  mem::MemoryManager mm = make_mm();
+  hy::ProblemConfig cfg;
+  hy::Solver solver;
+
+  explicit Rank(hy::ProblemConfig c)
+      : cfg(c), solver(mm, cfg, cfg.global,
+                       coop::forall::DynamicPolicy{
+                           coop::forall::PolicyKind::kSeq}) {
+    solver.initialize();
+  }
+
+  double step() {
+    solver.apply_physical_boundaries();
+    solver.compute_primitives();
+    const double dt = solver.local_dt();
+    solver.advance(dt);
+    return dt;
+  }
+};
+
+hy::ProblemConfig scalar_problem(long n) {
+  hy::ProblemConfig cfg;
+  cfg.global = Box{{0, 0, 0}, {n, n, n}};
+  cfg.packages.passive_scalar = true;
+  return cfg;
+}
+
+hy::ProblemConfig diffusion_problem(long n, double kappa) {
+  hy::ProblemConfig cfg;
+  cfg.global = Box{{0, 0, 0}, {n, n, n}};
+  cfg.packages.diffusion = true;
+  cfg.packages.diffusivity = kappa;
+  cfg.blast_energy = 0.0;  // quiescent gas; diffusion only
+  return cfg;
+}
+
+// --- Passive scalar (mixing) package ---------------------------------------
+
+TEST(ScalarPackage, FieldAllocatedOnlyWhenEnabled) {
+  Rank with(scalar_problem(12));
+  EXPECT_TRUE(with.solver.state().scal.valid());
+  hy::ProblemConfig cfg;
+  cfg.global = Box{{0, 0, 0}, {12, 12, 12}};
+  Rank without(cfg);
+  EXPECT_FALSE(without.solver.state().scal.valid());
+  EXPECT_EQ(without.solver.state().exchanged_fields().size(), 5u);
+  EXPECT_EQ(with.solver.state().exchanged_fields().size(), 6u);
+}
+
+TEST(ScalarPackage, InitialBallTagged) {
+  Rank r(scalar_problem(16));
+  const auto d = r.solver.local_diagnostics();
+  EXPECT_GT(d.scalar_mass, 0.0);
+  EXPECT_DOUBLE_EQ(d.scalar_min, 0.0);
+  EXPECT_DOUBLE_EQ(d.scalar_max, 1.0);
+  // Ball of radius 0.25 in a unit cube of unit density: mass ~ 4/3 pi r^3.
+  EXPECT_NEAR(d.scalar_mass, 4.0 / 3.0 * M_PI * 0.25 * 0.25 * 0.25,
+              0.15 * d.scalar_mass);
+}
+
+TEST(ScalarPackage, MassExactlyConserved) {
+  auto cfg = scalar_problem(16);
+  cfg.boundary = hy::BoundaryCondition::kReflecting;  // no outflow losses
+  Rank r(cfg);
+  const double s0 = r.solver.local_diagnostics().scalar_mass;
+  for (int i = 0; i < 20; ++i) r.step();
+  const double s1 = r.solver.local_diagnostics().scalar_mass;
+  EXPECT_NEAR(s1, s0, 1e-12 * s0);  // flux form: machine-level conservation
+}
+
+TEST(ScalarPackage, ConcentrationStaysBounded) {
+  Rank r(scalar_problem(16));
+  for (int i = 0; i < 25; ++i) {
+    r.step();
+    const auto d = r.solver.local_diagnostics();
+    // Donor-cell on the consistent Rusanov mass flux: phi in [0,1] up to
+    // roundoff.
+    ASSERT_GT(d.scalar_min, -1e-10);
+    ASSERT_LT(d.scalar_max, 1.0 + 1e-10);
+  }
+}
+
+TEST(ScalarPackage, BlastSpreadsTheScalar) {
+  // The blast wave should push tagged material outward: the scalar spreads
+  // beyond its initial ball, diluting the peak concentration.
+  Rank r(scalar_problem(20));
+  for (int i = 0; i < 25; ++i) r.step();
+  const auto& st = r.solver.state();
+  // Count zones with phi > 1e-3 and compare with the initial ball volume.
+  long tagged = 0;
+  for (long k = 0; k < 20; ++k)
+    for (long j = 0; j < 20; ++j)
+      for (long i2 = 0; i2 < 20; ++i2)
+        if (st.scal(i2, j, k) / st.rho(i2, j, k) > 1e-3) ++tagged;
+  const double ball_zones = 4.0 / 3.0 * M_PI * std::pow(0.25 * 20, 3);
+  EXPECT_GT(static_cast<double>(tagged), 1.3 * ball_zones);
+}
+
+TEST(ScalarPackage, QuiescentGasDoesNotMix) {
+  auto cfg = scalar_problem(12);
+  cfg.blast_energy = 0.0;  // nothing moves
+  Rank r(cfg);
+  const auto before = r.solver.local_diagnostics();
+  for (int i = 0; i < 10; ++i) r.step();
+  const auto after = r.solver.local_diagnostics();
+  EXPECT_DOUBLE_EQ(after.scalar_mass, before.scalar_mass);
+  EXPECT_DOUBLE_EQ(after.scalar_max, 1.0);
+}
+
+// --- Thermal diffusion package ----------------------------------------------
+
+TEST(DiffusionPackage, TimestepRespectsStabilityBound) {
+  const double kappa = 5e-3;
+  Rank r(diffusion_problem(16, kappa));
+  r.solver.apply_physical_boundaries();
+  r.solver.compute_primitives();
+  const double dx = r.cfg.dx();
+  EXPECT_LE(r.solver.local_dt(),
+            r.cfg.packages.diffusion_safety * dx * dx / (6.0 * kappa) + 1e-15);
+}
+
+TEST(DiffusionPackage, EnergyExactlyConserved) {
+  auto cfg = diffusion_problem(16, 2e-3);
+  cfg.blast_energy = 0.2;  // a hot spot to diffuse
+  cfg.boundary = hy::BoundaryCondition::kReflecting;
+  Rank r(cfg);
+  const double e0 = r.solver.local_diagnostics().total_energy;
+  for (int i = 0; i < 15; ++i) r.step();
+  const double e1 = r.solver.local_diagnostics().total_energy;
+  // Flux-form diffusion conserves energy exactly; hydro floors are the only
+  // (tiny) source.
+  EXPECT_NEAR(e1, e0, 1e-9 * e0);
+}
+
+TEST(DiffusionPackage, HotSpotSpreadsMonotonically) {
+  auto cfg = diffusion_problem(16, 5e-3);
+  cfg.blast_energy = 0.05;  // gentle: hydro stays subdominant
+  Rank r(cfg);
+  auto peak_energy = [&] {
+    double peak = 0;
+    for (long k = 0; k < 16; ++k)
+      for (long j = 0; j < 16; ++j)
+        for (long i = 0; i < 16; ++i)
+          peak = std::max(peak, r.solver.state().ener(i, j, k));
+    return peak;
+  };
+  double prev = peak_energy();
+  for (int burst = 0; burst < 4; ++burst) {
+    for (int i = 0; i < 5; ++i) r.step();
+    const double now = peak_energy();
+    EXPECT_LT(now, prev);  // diffusion always flattens the peak
+    prev = now;
+  }
+}
+
+TEST(DiffusionPackage, SpreadMatchesHeatKernelRate) {
+  // With a near-isothermal gas (gamma -> 1 suppresses the pressure response
+  // so hydro motion stays negligible), the internal-energy perturbation
+  // follows the heat equation: <r^2>(t) = <r^2>(0) + 6 kappa t.
+  const double kappa = 4e-3;
+  auto cfg = diffusion_problem(24, kappa);
+  cfg.eos.gamma = 1.0001;
+  cfg.blast_energy = 0.05;
+  cfg.blast_radius_zones = 2.5;
+  cfg.boundary = hy::BoundaryCondition::kReflecting;
+  Rank r(cfg);
+
+  const double e_amb = cfg.p0 / (cfg.eos.gamma - 1.0);
+  auto second_moment = [&] {
+    double w = 0, m2 = 0;
+    for (long k = 0; k < 24; ++k)
+      for (long j = 0; j < 24; ++j)
+        for (long i = 0; i < 24; ++i) {
+          const double de = r.solver.state().ener(i, j, k) - e_amb;
+          const double x = (i + 0.5) * r.cfg.dx() - 0.5;
+          const double y = (j + 0.5) * r.cfg.dy() - 0.5;
+          const double z = (k + 0.5) * r.cfg.dz() - 0.5;
+          w += de;
+          m2 += de * (x * x + y * y + z * z);
+        }
+    return m2 / w;
+  };
+
+  const double m2_0 = second_moment();
+  double t = 0;
+  for (int i = 0; i < 15; ++i) t += r.step();
+  const double m2_1 = second_moment();
+  // Residual hydro motion and discretization: require agreement to 20%.
+  EXPECT_NEAR(m2_1 - m2_0, 6.0 * kappa * t, 0.2 * 6.0 * kappa * t);
+}
+
+TEST(DiffusionPackage, ZeroDiffusivityMatchesPureHydro) {
+  hy::ProblemConfig plain;
+  plain.global = Box{{0, 0, 0}, {12, 12, 12}};
+  auto diff = plain;
+  diff.packages.diffusion = true;
+  diff.packages.diffusivity = 0.0;
+  Rank a(plain), b(diff);
+  for (int i = 0; i < 8; ++i) {
+    a.step();
+    b.step();
+  }
+  for (long k = 0; k < 12; ++k)
+    for (long j = 0; j < 12; ++j)
+      for (long i = 0; i < 12; ++i)
+        ASSERT_EQ(a.solver.state().ener(i, j, k),
+                  b.solver.state().ener(i, j, k));
+}
+
+// --- Multi-physics integration ----------------------------------------------
+
+TEST(MultiPhysics, AllPackagesTogetherConserve) {
+  hy::ProblemConfig cfg;
+  cfg.global = Box{{0, 0, 0}, {16, 16, 16}};
+  cfg.packages.passive_scalar = true;
+  cfg.packages.diffusion = true;
+  cfg.packages.diffusivity = 1e-3;
+  cfg.boundary = hy::BoundaryCondition::kReflecting;
+  Rank r(cfg);
+  const auto d0 = r.solver.local_diagnostics();
+  for (int i = 0; i < 15; ++i) r.step();
+  const auto d1 = r.solver.local_diagnostics();
+  EXPECT_NEAR(d1.mass, d0.mass, 1e-6 * d0.mass);
+  EXPECT_NEAR(d1.total_energy, d0.total_energy, 1e-6 * d0.total_energy);
+  EXPECT_NEAR(d1.scalar_mass, d0.scalar_mass, 1e-12 * d0.scalar_mass);
+}
+
+TEST(MultiPhysics, MultiRankMatchesSingleRank) {
+  // The decisive halo-correctness property, now with package fields in the
+  // exchange: a 16-rank heterogeneous run must reproduce the single-domain
+  // physics to machine accuracy.
+  coop::core::FunctionalConfig fc;
+  fc.mode = coop::core::NodeMode::kHeterogeneous;
+  fc.cpu_fraction = 0.25;
+  fc.problem.global = Box{{0, 0, 0}, {20, 20, 20}};
+  fc.problem.packages.passive_scalar = true;
+  fc.problem.packages.diffusion = true;
+  fc.problem.packages.diffusivity = 1e-3;
+  fc.timesteps = 12;
+  const auto multi = coop::core::run_functional(fc);
+
+  Rank single([&] {
+    auto cfg = fc.problem;
+    return cfg;
+  }());
+  double t = 0;
+  for (int i = 0; i < fc.timesteps; ++i) t += single.step();
+  const auto d = single.solver.local_diagnostics();
+
+  EXPECT_NEAR(multi.sim_time, t, 1e-13);
+  EXPECT_NEAR(multi.mass_final, d.mass, 1e-12 * d.mass);
+  EXPECT_NEAR(multi.energy_final, d.total_energy, 1e-12 * d.total_energy);
+  EXPECT_NEAR(multi.scalar_mass_final, d.scalar_mass,
+              1e-12 * d.scalar_mass);
+  EXPECT_NEAR(multi.scalar_max, d.scalar_max, 1e-12);
+}
+
+}  // namespace

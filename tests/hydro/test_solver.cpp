@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coop/hydro/solver.hpp"
+
+namespace hy = coop::hydro;
+namespace mem = coop::memory;
+using coop::mesh::Box;
+
+namespace {
+
+mem::MemoryManager make_mm() {
+  mem::MemoryManager::Config c;
+  c.target = mem::ExecutionTarget::kCpuCore;
+  c.host_capacity = std::size_t{1} << 30;
+  return mem::MemoryManager(c);
+}
+
+hy::ProblemConfig cube_problem(long n) {
+  hy::ProblemConfig cfg;
+  cfg.global = Box{{0, 0, 0}, {n, n, n}};
+  return cfg;
+}
+
+struct SingleRank {
+  mem::MemoryManager mm = make_mm();
+  hy::ProblemConfig cfg;
+  hy::Solver solver;
+
+  explicit SingleRank(long n, coop::forall::PolicyKind kind =
+                                  coop::forall::PolicyKind::kSeq)
+      : cfg(cube_problem(n)),
+        solver(mm, cfg, cfg.global, coop::forall::DynamicPolicy{kind}) {
+    solver.initialize();
+  }
+
+  void step() {
+    solver.apply_physical_boundaries();
+    solver.compute_primitives();
+    const double dt = solver.local_dt();
+    solver.advance(dt);
+  }
+};
+
+TEST(Eos, PressureAndEnergyRoundtrip) {
+  const hy::IdealGas eos{1.4};
+  const double rho = 2.0, u = 0.3, v = -0.1, w = 0.2, p = 1.5;
+  const double E = eos.total_energy(rho, u, v, w, p);
+  EXPECT_NEAR(eos.pressure_conserved(rho, rho * u, rho * v, rho * w, E), p,
+              1e-14);
+}
+
+TEST(Eos, SoundSpeed) {
+  const hy::IdealGas eos{1.4};
+  EXPECT_NEAR(eos.sound_speed(1.0, 1.0), std::sqrt(1.4), 1e-15);
+}
+
+TEST(Eos, PressurePositivity) {
+  const hy::IdealGas eos{1.4};
+  EXPECT_GT(eos.pressure(1.0, 1e-6), 0.0);
+}
+
+TEST(Solver, InitialEnergyIntegralMatchesDeposit) {
+  SingleRank s(24);
+  const auto d = s.solver.local_diagnostics();
+  const double ambient =
+      s.cfg.p0 / (s.cfg.eos.gamma - 1.0);  // energy density
+  EXPECT_NEAR(d.total_energy, s.cfg.blast_energy + ambient, 1e-9);
+  EXPECT_NEAR(d.mass, s.cfg.rho0, 1e-12);  // unit cube of unit density
+}
+
+TEST(Solver, DtPositiveAndCflBounded) {
+  SingleRank s(16);
+  s.solver.apply_physical_boundaries();
+  s.solver.compute_primitives();
+  const double dt = s.solver.local_dt();
+  EXPECT_GT(dt, 0.0);
+  // dt <= cfl * dx / c_max; the blast spike dominates c.
+  EXPECT_LT(dt, 0.05);
+}
+
+TEST(Solver, MassConservedWhileShockInterior) {
+  SingleRank s(24);
+  const double m0 = s.solver.local_diagnostics().mass;
+  for (int i = 0; i < 20; ++i) s.step();
+  const double m1 = s.solver.local_diagnostics().mass;
+  EXPECT_NEAR(m1, m0, 1e-4 * m0);
+}
+
+TEST(Solver, EnergyConservedWhileShockInterior) {
+  SingleRank s(24);
+  const double e0 = s.solver.local_diagnostics().total_energy;
+  for (int i = 0; i < 20; ++i) s.step();
+  const double e1 = s.solver.local_diagnostics().total_energy;
+  EXPECT_NEAR(e1, e0, 1e-6 * e0);
+}
+
+TEST(Solver, BlastProducesOutwardShock) {
+  SingleRank s(24);
+  double prev_radius = 0;
+  double t = 0;
+  for (int burst = 0; burst < 3; ++burst) {
+    for (int i = 0; i < 10; ++i) {
+      s.solver.apply_physical_boundaries();
+      s.solver.compute_primitives();
+      const double dt = s.solver.local_dt();
+      s.solver.advance(dt);
+      t += dt;
+    }
+    const auto d = s.solver.local_diagnostics();
+    EXPECT_GT(d.max_density, s.cfg.rho0);          // compression at the shock
+    EXPECT_GE(d.max_density_radius, prev_radius);  // moving outward
+    prev_radius = d.max_density_radius;
+  }
+  EXPECT_GT(prev_radius, 0.05);
+}
+
+TEST(Solver, ShockRadiusTracksSedovScaling) {
+  SingleRank s(32);
+  double t = 0;
+  for (int i = 0; i < 60; ++i) {
+    s.solver.apply_physical_boundaries();
+    s.solver.compute_primitives();
+    const double dt = s.solver.local_dt();
+    s.solver.advance(dt);
+    t += dt;
+  }
+  const auto d = s.solver.local_diagnostics();
+  const double analytic = hy::sedov_shock_radius(s.cfg.blast_energy,
+                                                 s.cfg.rho0, t);
+  // First-order scheme on a coarse grid: 25% agreement is the bar.
+  EXPECT_NEAR(d.max_density_radius, analytic, 0.25 * analytic);
+}
+
+TEST(Solver, FieldStaysSymmetricUnderReflection) {
+  // The blast sits at the center of an even grid: the solution must stay
+  // mirror-symmetric in every axis.
+  SingleRank s(16);
+  for (int i = 0; i < 15; ++i) s.step();
+  const auto& rho = s.solver.state().rho;
+  const long n = 16;
+  for (long k = 0; k < n; ++k)
+    for (long j = 0; j < n; ++j)
+      for (long i = 0; i < n / 2; ++i) {
+        ASSERT_NEAR(rho(i, j, k), rho(n - 1 - i, j, k), 1e-11)
+            << i << "," << j << "," << k;
+        ASSERT_NEAR(rho(j, i, k), rho(j, n - 1 - i, k), 1e-11);
+        ASSERT_NEAR(rho(j, k, i), rho(j, k, n - 1 - i), 1e-11);
+      }
+}
+
+TEST(Solver, AdvanceWithZeroDtIsIdentity) {
+  SingleRank s(12);
+  s.solver.apply_physical_boundaries();
+  s.solver.compute_primitives();
+  const double before = s.solver.local_diagnostics().total_energy;
+  const double rho_probe = s.solver.state().rho(6, 6, 6);
+  s.solver.advance(0.0);
+  EXPECT_DOUBLE_EQ(s.solver.local_diagnostics().total_energy, before);
+  EXPECT_DOUBLE_EQ(s.solver.state().rho(6, 6, 6), rho_probe);
+}
+
+TEST(Solver, QuiescentAmbientStaysQuiescent) {
+  // No blast: a uniform gas must remain exactly uniform.
+  mem::MemoryManager mm = make_mm();
+  hy::ProblemConfig cfg = cube_problem(12);
+  cfg.blast_energy = 0.0;
+  cfg.p0 = 0.7;
+  hy::Solver solver(mm, cfg, cfg.global,
+                    coop::forall::DynamicPolicy{coop::forall::PolicyKind::kSeq});
+  solver.initialize();
+  for (int i = 0; i < 5; ++i) {
+    solver.apply_physical_boundaries();
+    solver.compute_primitives();
+    solver.advance(solver.local_dt());
+  }
+  for (long k = 0; k < 12; ++k)
+    for (long j = 0; j < 12; ++j)
+      for (long i = 0; i < 12; ++i) {
+        ASSERT_DOUBLE_EQ(solver.state().rho(i, j, k), cfg.rho0);
+        ASSERT_DOUBLE_EQ(solver.state().mx(i, j, k), 0.0);
+      }
+}
+
+/// All forall policies must produce identical physics.
+class SolverPolicyEquivalence
+    : public ::testing::TestWithParam<coop::forall::PolicyKind> {};
+
+TEST_P(SolverPolicyEquivalence, SameChecksumAsSeq) {
+  SingleRank ref(12, coop::forall::PolicyKind::kSeq);
+  SingleRank alt(12, GetParam());
+  for (int i = 0; i < 8; ++i) {
+    ref.step();
+    alt.step();
+  }
+  for (long k = 0; k < 12; ++k)
+    for (long j = 0; j < 12; ++j)
+      for (long i = 0; i < 12; ++i)
+        ASSERT_EQ(ref.solver.state().rho(i, j, k),
+                  alt.solver.state().rho(i, j, k))
+            << i << "," << j << "," << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SolverPolicyEquivalence,
+    ::testing::Values(coop::forall::PolicyKind::kSimd,
+                      coop::forall::PolicyKind::kSimGpu,
+                      coop::forall::PolicyKind::kIndirect),
+    [](const auto& pi) { return to_string(pi.param); });
+
+TEST(SedovAnalytic, ScalingLaw) {
+  // R ~ t^(2/5): doubling time scales radius by 2^0.4.
+  const double r1 = hy::sedov_shock_radius(1.0, 1.0, 0.1);
+  const double r2 = hy::sedov_shock_radius(1.0, 1.0, 0.2);
+  EXPECT_NEAR(r2 / r1, std::pow(2.0, 0.4), 1e-12);
+  // R ~ E^(1/5).
+  const double rE = hy::sedov_shock_radius(32.0, 1.0, 0.1);
+  EXPECT_NEAR(rE / r1, 2.0, 1e-12);
+}
+
+TEST(SedovAnalytic, DenserMediumSlowsShock) {
+  EXPECT_LT(hy::sedov_shock_radius(1.0, 8.0, 0.1),
+            hy::sedov_shock_radius(1.0, 1.0, 0.1));
+}
+
+}  // namespace
+
+namespace {
+
+TEST(SolverMemory, Fig8PlacementOfSolverFields) {
+  // The solver's storage must land where the paper's Fig. 8 prescribes.
+  // GPU-driving rank: conserved mesh fields in unified memory, primitive
+  // and update scratch in the device pool, nothing unaccounted.
+  mem::MemoryManager::Config mc;
+  mc.target = mem::ExecutionTarget::kGpuDevice;
+  mc.host_capacity = std::size_t{1} << 28;
+  mc.device_capacity = std::size_t{1} << 28;
+  mc.pool_capacity = std::size_t{1} << 28;
+  mem::MemoryManager mm(mc);
+
+  const long n = 16;
+  hy::ProblemConfig cfg = cube_problem(n);
+  hy::Solver solver(mm, cfg, cfg.global,
+                    coop::forall::DynamicPolicy{
+                        coop::forall::PolicyKind::kSimGpu});
+
+  const std::size_t padded = static_cast<std::size_t>((n + 2) * (n + 2) *
+                                                      (n + 2));
+  const std::size_t owned = static_cast<std::size_t>(n * n * n);
+  // Mesh data: 5 conserved fields, ghost width 1 -> unified memory.
+  EXPECT_EQ(mm.unified().bytes_in_use(), 5 * padded * sizeof(double));
+  // Temporary data: prs + snd (padded) and 5 dU accumulators (owned),
+  // rounded up to the pool's 256-byte blocks -> device pool.
+  const std::size_t temp = 2 * padded * sizeof(double) +
+                           5 * owned * sizeof(double);
+  EXPECT_GE(mm.pool().bytes_in_use(), temp);
+  EXPECT_LE(mm.pool().bytes_in_use(), temp + 7 * 256);
+  // Nothing of the solver's lands in plain host memory.
+  EXPECT_EQ(mm.host().bytes_in_use(), 0u);
+}
+
+TEST(SolverMemory, CpuRankKeepsEverythingOnHost) {
+  mem::MemoryManager::Config mc;
+  mc.target = mem::ExecutionTarget::kCpuCore;
+  mc.host_capacity = std::size_t{1} << 28;
+  mem::MemoryManager mm(mc);
+  hy::ProblemConfig cfg = cube_problem(12);
+  hy::Solver solver(mm, cfg, cfg.global,
+                    coop::forall::DynamicPolicy{coop::forall::PolicyKind::kSeq});
+  EXPECT_GT(mm.host().bytes_in_use(), 0u);
+  EXPECT_EQ(mm.unified().bytes_in_use(), 0u);
+  EXPECT_EQ(mm.pool().bytes_in_use(), 0u);
+}
+
+TEST(SolverMemory, CapacityExceededSurfacesAsBadAlloc) {
+  // A 64^3 solver cannot fit in a 1 MiB unified space: the paper's memory
+  // thresholds are real capacity limits, not silent clamps.
+  mem::MemoryManager::Config mc;
+  mc.target = mem::ExecutionTarget::kGpuDevice;
+  mc.host_capacity = std::size_t{1} << 28;
+  mc.device_capacity = std::size_t{1} << 20;
+  mc.pool_capacity = std::size_t{1} << 28;
+  mem::MemoryManager mm(mc);
+  hy::ProblemConfig cfg = cube_problem(64);
+  EXPECT_THROW(hy::Solver(mm, cfg, cfg.global,
+                          coop::forall::DynamicPolicy{
+                              coop::forall::PolicyKind::kSimGpu}),
+               std::bad_alloc);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "coop/memory/device_pool.hpp"
+
+namespace mem = coop::memory;
+
+namespace {
+
+TEST(DevicePool, BasicAllocateAndFree) {
+  mem::DevicePool pool(1 << 20);
+  void* p = pool.allocate(1000);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(pool.bytes_in_use(), 1000u);
+  pool.deallocate(p);
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+  EXPECT_EQ(pool.free_fragments(), 1u);  // fully coalesced
+}
+
+TEST(DevicePool, MemoryIsWritable) {
+  mem::DevicePool pool(1 << 20);
+  auto* p = static_cast<std::uint8_t*>(pool.allocate(4096));
+  std::memset(p, 0xAB, 4096);
+  EXPECT_EQ(p[0], 0xAB);
+  EXPECT_EQ(p[4095], 0xAB);
+  pool.deallocate(p);
+}
+
+TEST(DevicePool, AlignmentRespected) {
+  mem::DevicePool pool(1 << 20, 256);
+  for (int i = 0; i < 8; ++i) {
+    void* p = pool.allocate(100 + i);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 256, 0u)
+        << "allocation " << i;
+  }
+}
+
+TEST(DevicePool, ZeroByteAllocationIsValidAndUnique) {
+  mem::DevicePool pool(1 << 20);
+  void* a = pool.allocate(0);
+  void* b = pool.allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+  pool.deallocate(a);
+  pool.deallocate(b);
+}
+
+TEST(DevicePool, ExhaustionThrowsBadAlloc) {
+  mem::DevicePool pool(1 << 16);
+  void* p = pool.allocate(1 << 15);
+  EXPECT_THROW((void)pool.allocate(1 << 15 | 1 << 14), std::bad_alloc);
+  pool.deallocate(p);
+  EXPECT_NO_THROW(pool.deallocate(nullptr));
+}
+
+TEST(DevicePool, BestFitPrefersSmallestSufficientBlock) {
+  mem::DevicePool pool(1 << 20, 64);
+  // Create two free holes: 4 KiB and 64 KiB.
+  void* a = pool.allocate(4096);
+  void* sep1 = pool.allocate(64);
+  void* b = pool.allocate(65536);
+  void* sep2 = pool.allocate(64);
+  pool.deallocate(a);
+  pool.deallocate(b);
+  // A 4 KiB request must land exactly in the 4 KiB hole (same address).
+  void* c = pool.allocate(4096);
+  EXPECT_EQ(c, a);
+  pool.deallocate(c);
+  pool.deallocate(sep1);
+  pool.deallocate(sep2);
+}
+
+TEST(DevicePool, CoalescingMergesNeighbors) {
+  mem::DevicePool pool(1 << 20, 64);
+  void* a = pool.allocate(1024);
+  void* b = pool.allocate(1024);
+  void* c = pool.allocate(1024);
+  void* guard = pool.allocate(64);
+  // Free middle, then sides: fragments must merge step by step.
+  pool.deallocate(b);
+  const auto frags_after_b = pool.free_fragments();
+  pool.deallocate(a);  // merges with b's hole
+  EXPECT_EQ(pool.free_fragments(), frags_after_b);
+  pool.deallocate(c);  // merges a+b+c into one hole
+  EXPECT_EQ(pool.free_fragments(), frags_after_b);
+  pool.deallocate(guard);
+  EXPECT_EQ(pool.free_fragments(), 1u);
+  EXPECT_EQ(pool.largest_free_block(), pool.capacity());
+}
+
+TEST(DevicePool, ReuseAfterFreeIsImmediate) {
+  mem::DevicePool pool(1 << 16);
+  void* a = pool.allocate(1 << 15);
+  pool.deallocate(a);
+  void* b = pool.allocate(1 << 15);
+  EXPECT_EQ(b, a);
+  pool.deallocate(b);
+}
+
+TEST(DevicePool, DoubleFreeDetected) {
+  mem::DevicePool pool(1 << 16);
+  void* p = pool.allocate(128);
+  pool.deallocate(p);
+  EXPECT_THROW(pool.deallocate(p), std::invalid_argument);
+}
+
+TEST(DevicePool, ForeignPointerRejected) {
+  mem::DevicePool pool(1 << 16);
+  int x = 0;
+  EXPECT_THROW(pool.deallocate(&x), std::invalid_argument);
+}
+
+TEST(DevicePool, HighWaterTracksPeak) {
+  mem::DevicePool pool(1 << 20, 64);
+  void* a = pool.allocate(1024);
+  void* b = pool.allocate(2048);
+  const auto peak = pool.bytes_in_use();
+  pool.deallocate(a);
+  pool.deallocate(b);
+  EXPECT_EQ(pool.high_water(), peak);
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+}
+
+TEST(DevicePool, InvalidConstruction) {
+  EXPECT_THROW(mem::DevicePool(0), std::invalid_argument);
+  EXPECT_THROW(mem::DevicePool(1 << 20, 0), std::invalid_argument);
+  EXPECT_THROW(mem::DevicePool(1 << 20, 100), std::invalid_argument);  // !pow2
+}
+
+/// Property sweep: random alloc/free traffic preserves the pool invariants
+/// (accounting exact, full coalescing when drained, no overlap).
+class PoolStress : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PoolStress, RandomTrafficPreservesInvariants) {
+  std::mt19937 rng(GetParam());
+  mem::DevicePool pool(1 << 22, 64);
+  std::vector<std::pair<void*, std::size_t>> live;
+  std::uniform_int_distribution<std::size_t> size_dist(1, 16384);
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_alloc = live.empty() || (rng() % 3 != 0);
+    if (do_alloc) {
+      const std::size_t sz = size_dist(rng);
+      try {
+        void* p = pool.allocate(sz);
+        // Write a byte pattern to catch overlapping blocks.
+        std::memset(p, static_cast<int>(step & 0xFF), sz);
+        live.emplace_back(p, sz);
+      } catch (const std::bad_alloc&) {
+        ASSERT_FALSE(live.empty());
+      }
+    } else {
+      const std::size_t i = rng() % live.size();
+      pool.deallocate(live[i].first);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  for (auto& [p, sz] : live) pool.deallocate(p);
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+  EXPECT_EQ(pool.live_allocations(), 0u);
+  EXPECT_EQ(pool.free_fragments(), 1u);
+  EXPECT_EQ(pool.largest_free_block(), pool.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolStress,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <new>
+#include <tuple>
+
+#include "coop/memory/memory_manager.hpp"
+
+namespace mem = coop::memory;
+
+namespace {
+
+mem::MemoryManager::Config small_config(mem::ExecutionTarget t) {
+  mem::MemoryManager::Config c;
+  c.target = t;
+  c.host_capacity = 1 << 20;
+  c.device_capacity = 1 << 20;
+  c.pool_capacity = 1 << 20;
+  return c;
+}
+
+TEST(TrackedAllocator, CapacityEnforced) {
+  mem::HostAllocator a(1024);
+  void* p = a.allocate(1000);
+  EXPECT_THROW((void)a.allocate(100), std::bad_alloc);
+  a.deallocate(p);
+  EXPECT_NO_THROW(a.deallocate(a.allocate(1000)));
+}
+
+TEST(TrackedAllocator, AccountingExact) {
+  mem::HostAllocator a(1 << 20);
+  void* p = a.allocate(300);
+  void* q = a.allocate(500);
+  EXPECT_EQ(a.bytes_in_use(), 800u);
+  EXPECT_EQ(a.live_allocations(), 2u);
+  a.deallocate(p);
+  EXPECT_EQ(a.bytes_in_use(), 500u);
+  a.deallocate(q);
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+  EXPECT_EQ(a.high_water(), 800u);
+}
+
+TEST(TrackedAllocator, UnknownPointerRejected) {
+  mem::HostAllocator a(1 << 20);
+  int x;
+  EXPECT_THROW(a.deallocate(&x), std::invalid_argument);
+}
+
+TEST(TrackedAllocator, SpacesTagged) {
+  mem::HostAllocator h(1);
+  mem::UnifiedAllocator u(1);
+  EXPECT_EQ(h.space(), mem::MemorySpace::kHost);
+  EXPECT_EQ(u.space(), mem::MemorySpace::kUnified);
+}
+
+/// The paper's Fig. 8 placement table, exhaustively.
+using PlacementCase =
+    std::tuple<mem::ExecutionTarget, mem::AllocationContext, mem::MemorySpace>;
+
+class Fig8Placement : public ::testing::TestWithParam<PlacementCase> {};
+
+TEST_P(Fig8Placement, RoutesToPrescribedSpace) {
+  const auto [target, ctx, want] = GetParam();
+  mem::MemoryManager mm(small_config(target));
+  EXPECT_EQ(mm.space_for(ctx), want);
+  void* p = mm.allocate(ctx, 256);
+  ASSERT_NE(p, nullptr);
+  // The allocation must be accounted in exactly the prescribed space.
+  const mem::Allocator& alloc =
+      want == mem::MemorySpace::kHost
+          ? mm.host()
+          : (want == mem::MemorySpace::kUnified
+                 ? mm.unified()
+                 : static_cast<const mem::Allocator&>(mm.pool()));
+  EXPECT_GE(alloc.bytes_in_use(), 256u);
+  mm.deallocate(ctx, p);
+  EXPECT_EQ(alloc.bytes_in_use(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable, Fig8Placement,
+    ::testing::Values(
+        // CPU-executing rank: everything on the host (malloc).
+        PlacementCase{mem::ExecutionTarget::kCpuCore,
+                      mem::AllocationContext::kControlCode,
+                      mem::MemorySpace::kHost},
+        PlacementCase{mem::ExecutionTarget::kCpuCore,
+                      mem::AllocationContext::kMeshData,
+                      mem::MemorySpace::kHost},
+        PlacementCase{mem::ExecutionTarget::kCpuCore,
+                      mem::AllocationContext::kTemporary,
+                      mem::MemorySpace::kHost},
+        // GPU-driving rank: malloc / unified / pooled device.
+        PlacementCase{mem::ExecutionTarget::kGpuDevice,
+                      mem::AllocationContext::kControlCode,
+                      mem::MemorySpace::kHost},
+        PlacementCase{mem::ExecutionTarget::kGpuDevice,
+                      mem::AllocationContext::kMeshData,
+                      mem::MemorySpace::kUnified},
+        PlacementCase{mem::ExecutionTarget::kGpuDevice,
+                      mem::AllocationContext::kTemporary,
+                      mem::MemorySpace::kDevice}));
+
+TEST(MemoryManager, CpuIsolationBlocksGpuSpaces) {
+  // Paper 5.2: libraries compiled for CUDA allocate GPU memory even in
+  // CPU-only processes; that assumption must be broken.
+  mem::MemoryManager mm(small_config(mem::ExecutionTarget::kCpuCore));
+  EXPECT_THROW((void)mm.allocate_in(mem::MemorySpace::kDevice, 64),
+               std::logic_error);
+  EXPECT_THROW((void)mm.allocate_in(mem::MemorySpace::kUnified, 64),
+               std::logic_error);
+  EXPECT_NO_THROW(mm.deallocate_in(mem::MemorySpace::kHost,
+                                   mm.allocate_in(mem::MemorySpace::kHost, 64)));
+}
+
+TEST(MemoryManager, IsolationCanBeDisabled) {
+  auto cfg = small_config(mem::ExecutionTarget::kCpuCore);
+  cfg.strict_cpu_isolation = false;
+  mem::MemoryManager mm(cfg);
+  void* p = nullptr;
+  EXPECT_NO_THROW(p = mm.allocate_in(mem::MemorySpace::kDevice, 64));
+  mm.deallocate_in(mem::MemorySpace::kDevice, p);
+}
+
+TEST(MemoryManager, GpuRankMayTouchAllSpaces) {
+  mem::MemoryManager mm(small_config(mem::ExecutionTarget::kGpuDevice));
+  for (auto space : {mem::MemorySpace::kHost, mem::MemorySpace::kUnified,
+                     mem::MemorySpace::kDevice}) {
+    void* p = mm.allocate_in(space, 64);
+    EXPECT_NE(p, nullptr);
+    mm.deallocate_in(space, p);
+  }
+}
+
+TEST(Buffer, RaiiReleasesOnScopeExit) {
+  mem::MemoryManager mm(small_config(mem::ExecutionTarget::kGpuDevice));
+  {
+    auto buf = mm.make_buffer<double>(mem::AllocationContext::kMeshData, 100);
+    EXPECT_EQ(buf.size(), 100u);
+    EXPECT_EQ(mm.unified().bytes_in_use(), 800u);
+    buf[0] = 1.5;
+    buf[99] = 2.5;
+    EXPECT_DOUBLE_EQ(buf.span()[0], 1.5);
+  }
+  EXPECT_EQ(mm.unified().bytes_in_use(), 0u);
+}
+
+TEST(Buffer, ValueInitialized) {
+  mem::MemoryManager mm(small_config(mem::ExecutionTarget::kCpuCore));
+  auto buf = mm.make_buffer<double>(mem::AllocationContext::kMeshData, 64);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_DOUBLE_EQ(buf[i], 0.0) << i;
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  mem::MemoryManager mm(small_config(mem::ExecutionTarget::kCpuCore));
+  auto a = mm.make_buffer<int>(mem::AllocationContext::kControlCode, 10);
+  a[3] = 7;
+  mem::Buffer<int> b = std::move(a);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b[3], 7);
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(MemoryManager, EnumNames) {
+  EXPECT_STREQ(to_string(mem::AllocationContext::kMeshData), "mesh");
+  EXPECT_STREQ(to_string(mem::MemorySpace::kUnified), "unified");
+  EXPECT_STREQ(to_string(mem::ExecutionTarget::kGpuDevice), "gpu");
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "coop/memory/memory_manager.hpp"
+#include "coop/mesh/array3d.hpp"
+#include "coop/mesh/halo.hpp"
+
+namespace mesh = coop::mesh;
+namespace mem = coop::memory;
+using mesh::Box;
+
+namespace {
+
+mem::MemoryManager make_mm() {
+  mem::MemoryManager::Config c;
+  c.target = mem::ExecutionTarget::kCpuCore;
+  c.host_capacity = 64 << 20;
+  return mem::MemoryManager(c);
+}
+
+TEST(Array3D, AllocatesPaddedExtents) {
+  auto mm = make_mm();
+  const Box owned{{0, 0, 0}, {4, 5, 6}};
+  mesh::Array3D<double> a(mm, mem::AllocationContext::kMeshData, owned, 1);
+  EXPECT_EQ(a.owned(), owned);
+  EXPECT_EQ(a.padded(), owned.grown(1));
+  EXPECT_EQ(a.size(), 6u * 7u * 8u);
+}
+
+TEST(Array3D, GlobalIndexingWithOffsetBox) {
+  auto mm = make_mm();
+  const Box owned{{10, 20, 30}, {14, 24, 34}};
+  mesh::Array3D<double> a(mm, mem::AllocationContext::kMeshData, owned, 1);
+  a.fill(0.0);
+  a(10, 20, 30) = 1.0;   // owned corner
+  a(9, 19, 29) = 2.0;    // ghost corner
+  a(13, 23, 33) = 3.0;   // owned far corner
+  EXPECT_DOUBLE_EQ(a(10, 20, 30), 1.0);
+  EXPECT_DOUBLE_EQ(a(9, 19, 29), 2.0);
+  EXPECT_DOUBLE_EQ(a(13, 23, 33), 3.0);
+}
+
+TEST(Array3D, XIsUnitStride) {
+  auto mm = make_mm();
+  const Box owned{{0, 0, 0}, {8, 4, 4}};
+  mesh::Array3D<double> a(mm, mem::AllocationContext::kMeshData, owned, 0);
+  EXPECT_EQ(a.index(1, 0, 0), a.index(0, 0, 0) + 1);
+  EXPECT_EQ(a.index(0, 1, 0), a.index(0, 0, 0) + 8);
+  EXPECT_EQ(a.index(0, 0, 1), a.index(0, 0, 0) + 32);
+}
+
+TEST(Array3D, DistinctCellsDistinctStorage) {
+  auto mm = make_mm();
+  const Box owned{{0, 0, 0}, {3, 3, 3}};
+  mesh::Array3D<int> a(mm, mem::AllocationContext::kMeshData, owned, 1);
+  a.fill(0);
+  int v = 1;
+  for (long k = -1; k < 4; ++k)
+    for (long j = -1; j < 4; ++j)
+      for (long i = -1; i < 4; ++i) a(i, j, k) = v++;
+  v = 1;
+  for (long k = -1; k < 4; ++k)
+    for (long j = -1; j < 4; ++j)
+      for (long i = -1; i < 4; ++i) ASSERT_EQ(a(i, j, k), v++);
+}
+
+TEST(Halo, SendRecvRegionsAreConjugate) {
+  // What I send to my neighbor is exactly what it receives from me.
+  const Box mine{{0, 0, 0}, {8, 4, 8}};
+  const Box nbr{{0, 4, 0}, {8, 9, 8}};
+  EXPECT_EQ(mesh::send_region(mine, nbr, 1), mesh::recv_region(nbr, mine, 1));
+  EXPECT_EQ(mesh::send_region(nbr, mine, 1), mesh::recv_region(mine, nbr, 1));
+}
+
+TEST(Halo, RegionsAreOnePlaneForUnitGhost) {
+  const Box mine{{0, 0, 0}, {8, 4, 8}};
+  const Box nbr{{0, 4, 0}, {8, 9, 8}};
+  const Box s = mesh::send_region(mine, nbr, 1);
+  EXPECT_EQ(s, (Box{{0, 3, 0}, {8, 4, 8}}));  // my top plane
+  const Box r = mesh::recv_region(mine, nbr, 1);
+  EXPECT_EQ(r, (Box{{0, 4, 0}, {8, 5, 8}}));  // its bottom plane
+}
+
+TEST(Halo, WiderGhostsWidenRegions) {
+  const Box mine{{0, 0, 0}, {8, 8, 8}};
+  const Box nbr{{0, 8, 0}, {8, 16, 8}};
+  EXPECT_EQ(mesh::send_region(mine, nbr, 2).ny(), 2);
+  EXPECT_EQ(mesh::recv_region(mine, nbr, 2).ny(), 2);
+}
+
+TEST(Halo, PackUnpackRoundtrip) {
+  auto mm = make_mm();
+  const Box a_box{{0, 0, 0}, {6, 4, 6}};
+  const Box b_box{{0, 4, 0}, {6, 8, 6}};
+  mesh::Array3D<double> a(mm, mem::AllocationContext::kMeshData, a_box, 1);
+  mesh::Array3D<double> b(mm, mem::AllocationContext::kMeshData, b_box, 1);
+  a.fill(0);
+  b.fill(0);
+  // Fill a's owned zones with a unique pattern.
+  for (long k = 0; k < 6; ++k)
+    for (long j = 0; j < 4; ++j)
+      for (long i = 0; i < 6; ++i)
+        a(i, j, k) = 100.0 * static_cast<double>(k) +
+                     10.0 * static_cast<double>(j) + static_cast<double>(i);
+  const Box send = mesh::send_region(a_box, b_box, 1);
+  const Box recv = mesh::recv_region(b_box, a_box, 1);
+  EXPECT_EQ(send, recv);
+  const auto payload = mesh::pack(a, send);
+  EXPECT_EQ(payload.size(), static_cast<std::size_t>(send.zones()));
+  mesh::unpack(b, recv, std::span<const double>(payload));
+  // b's ghost plane must now mirror a's top owned plane.
+  for (long k = 0; k < 6; ++k)
+    for (long i = 0; i < 6; ++i)
+      EXPECT_DOUBLE_EQ(b(i, 3, k), a(i, 3, k)) << i << "," << k;
+}
+
+TEST(Halo, UnpackAddAccumulates) {
+  auto mm = make_mm();
+  const Box box{{0, 0, 0}, {4, 4, 4}};
+  mesh::Array3D<double> a(mm, mem::AllocationContext::kMeshData, box, 0);
+  a.fill(1.0);
+  const Box region{{0, 0, 0}, {4, 1, 4}};
+  std::vector<double> data(static_cast<std::size_t>(region.zones()), 2.5);
+  mesh::unpack_add(a, region, std::span<const double>(data));
+  EXPECT_DOUBLE_EQ(a(0, 0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(a(3, 0, 3), 3.5);
+  EXPECT_DOUBLE_EQ(a(0, 1, 0), 1.0);  // outside region untouched
+}
+
+TEST(Halo, PackOrderIsXFastest) {
+  auto mm = make_mm();
+  const Box box{{0, 0, 0}, {2, 2, 2}};
+  mesh::Array3D<double> a(mm, mem::AllocationContext::kMeshData, box, 0);
+  a(0, 0, 0) = 0;
+  a(1, 0, 0) = 1;
+  a(0, 1, 0) = 2;
+  a(1, 1, 0) = 3;
+  a(0, 0, 1) = 4;
+  a(1, 0, 1) = 5;
+  a(0, 1, 1) = 6;
+  a(1, 1, 1) = 7;
+  const auto v = mesh::pack(a, box);
+  EXPECT_EQ(v, (std::vector<double>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+}  // namespace

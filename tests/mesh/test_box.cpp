@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "coop/mesh/box.hpp"
+
+namespace mesh = coop::mesh;
+using mesh::Axis;
+using mesh::Box;
+
+namespace {
+
+TEST(Box, ExtentsAndZones) {
+  const Box b{{1, 2, 3}, {5, 7, 11}};
+  EXPECT_EQ(b.nx(), 4);
+  EXPECT_EQ(b.ny(), 5);
+  EXPECT_EQ(b.nz(), 8);
+  EXPECT_EQ(b.zones(), 160);
+  EXPECT_EQ(b.extent(Axis::kY), 5);
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(Box, EmptyWhenDegenerate) {
+  EXPECT_TRUE((Box{{0, 0, 0}, {0, 5, 5}}).empty());
+  EXPECT_TRUE((Box{{2, 0, 0}, {1, 5, 5}}).empty());
+  EXPECT_EQ((Box{{2, 0, 0}, {1, 5, 5}}).zones(), 0);
+}
+
+TEST(Box, Contains) {
+  const Box b{{0, 0, 0}, {4, 4, 4}};
+  EXPECT_TRUE(b.contains({0, 0, 0}));
+  EXPECT_TRUE(b.contains({3, 3, 3}));
+  EXPECT_FALSE(b.contains({4, 0, 0}));  // hi is exclusive
+  EXPECT_FALSE(b.contains({-1, 0, 0}));
+}
+
+TEST(Box, Intersection) {
+  const Box a{{0, 0, 0}, {4, 4, 4}};
+  const Box b{{2, 2, 2}, {6, 6, 6}};
+  const Box i = a.intersect(b);
+  EXPECT_EQ(i, (Box{{2, 2, 2}, {4, 4, 4}}));
+  EXPECT_TRUE(a.intersect(Box{{4, 0, 0}, {8, 4, 4}}).empty());  // touching
+  EXPECT_EQ(a.intersect(a), a);
+}
+
+TEST(Box, FaceAdjacency) {
+  const Box a{{0, 0, 0}, {4, 4, 4}};
+  EXPECT_TRUE(a.face_adjacent(Box{{4, 0, 0}, {8, 4, 4}}));   // +x face
+  EXPECT_TRUE(a.face_adjacent(Box{{0, 4, 0}, {4, 8, 4}}));   // +y face
+  EXPECT_TRUE(a.face_adjacent(Box{{4, 1, 1}, {8, 3, 3}}));   // partial face
+  EXPECT_FALSE(a.face_adjacent(Box{{4, 4, 0}, {8, 8, 4}}));  // edge only
+  EXPECT_FALSE(a.face_adjacent(Box{{4, 4, 4}, {8, 8, 8}}));  // corner only
+  EXPECT_FALSE(a.face_adjacent(Box{{5, 0, 0}, {8, 4, 4}}));  // gap
+  EXPECT_FALSE(a.face_adjacent(Box{{1, 1, 1}, {3, 3, 3}}));  // contained
+  EXPECT_FALSE(a.face_adjacent(a));                          // self-overlap
+}
+
+TEST(Box, SplitAt) {
+  const Box b{{0, 0, 0}, {10, 10, 10}};
+  const auto [lo, hi] = b.split_at(Axis::kY, 4);
+  EXPECT_EQ(lo, (Box{{0, 0, 0}, {10, 4, 10}}));
+  EXPECT_EQ(hi, (Box{{0, 4, 0}, {10, 10, 10}}));
+  EXPECT_EQ(lo.zones() + hi.zones(), b.zones());
+  EXPECT_THROW((void)b.split_at(Axis::kY, 0), std::invalid_argument);
+  EXPECT_THROW((void)b.split_at(Axis::kY, 10), std::invalid_argument);
+}
+
+TEST(Box, Grown) {
+  const Box b{{2, 2, 2}, {4, 4, 4}};
+  EXPECT_EQ(b.grown(1), (Box{{1, 1, 1}, {5, 5, 5}}));
+  EXPECT_EQ(b.grown(0), b);
+}
+
+TEST(SplitEven, ExactDivision) {
+  const Box b{{0, 0, 0}, {12, 8, 8}};
+  const auto parts = split_even(b, Axis::kX, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const auto& p : parts) EXPECT_EQ(p.nx(), 3);
+}
+
+TEST(SplitEven, RemainderSpreadOverLeadingPieces) {
+  const Box b{{0, 0, 0}, {8, 10, 8}};
+  const auto parts = split_even(b, Axis::kY, 3);  // 4, 3, 3
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].ny(), 4);
+  EXPECT_EQ(parts[1].ny(), 3);
+  EXPECT_EQ(parts[2].ny(), 3);
+  long total = 0;
+  for (const auto& p : parts) total += p.zones();
+  EXPECT_EQ(total, b.zones());
+}
+
+TEST(SplitEven, PiecesAreContiguousAndOrdered) {
+  const Box b{{0, 5, 0}, {8, 27, 8}};
+  const auto parts = split_even(b, Axis::kY, 5);
+  long cursor = 5;
+  for (const auto& p : parts) {
+    EXPECT_EQ(p.lo.y, cursor);
+    cursor = p.hi.y;
+  }
+  EXPECT_EQ(cursor, 27);
+}
+
+TEST(SplitEven, Errors) {
+  const Box b{{0, 0, 0}, {4, 4, 4}};
+  EXPECT_THROW((void)split_even(b, Axis::kX, 0), std::invalid_argument);
+  EXPECT_THROW((void)split_even(b, Axis::kX, 5), std::invalid_argument);
+}
+
+TEST(SplitWeighted, ProportionalPieces) {
+  const Box b{{0, 0, 0}, {4, 100, 4}};
+  const auto parts = split_weighted(b, Axis::kY, {1.0, 3.0}, 1);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].ny(), 25);
+  EXPECT_EQ(parts[1].ny(), 75);
+}
+
+TEST(SplitWeighted, MinimumExtentEnforced) {
+  const Box b{{0, 0, 0}, {4, 10, 4}};
+  // Tiny weight still gets one plane.
+  const auto parts = split_weighted(b, Axis::kY, {1e-9, 1.0}, 1);
+  EXPECT_GE(parts[0].ny(), 1);
+  EXPECT_EQ(parts[0].ny() + parts[1].ny(), 10);
+}
+
+TEST(SplitWeighted, CoversExactly) {
+  const Box b{{0, 3, 0}, {4, 40, 4}};
+  const auto parts = split_weighted(b, Axis::kY, {0.2, 0.5, 0.1, 0.7}, 2);
+  long total = 0;
+  long cursor = 3;
+  for (const auto& p : parts) {
+    EXPECT_EQ(p.lo.y, cursor);
+    EXPECT_GE(p.ny(), 2);
+    cursor = p.hi.y;
+    total += p.zones();
+  }
+  EXPECT_EQ(total, b.zones());
+}
+
+TEST(SplitWeighted, Errors) {
+  const Box b{{0, 0, 0}, {4, 4, 4}};
+  EXPECT_THROW((void)split_weighted(b, Axis::kY, {}, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)split_weighted(b, Axis::kY, {0.0, 0.0}, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)split_weighted(b, Axis::kY, {1, 1, 1, 1, 1}, 1),
+               std::invalid_argument);  // 5 pieces, 4 planes
+}
+
+}  // namespace

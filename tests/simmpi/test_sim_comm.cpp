@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coop/des/engine.hpp"
+#include "coop/simmpi/sim_comm.hpp"
+
+namespace mpi = coop::simmpi;
+namespace des = coop::des;
+
+namespace {
+
+TEST(SimComm, MessageArrivesAfterAlphaBetaTime) {
+  des::Engine eng;
+  coop::devmodel::InterconnectSpec net;
+  net.latency_s = 1.0;
+  net.bandwidth_bytes_per_s = 100.0;
+  mpi::SimCommWorld world(eng, 2, net);
+  double recv_time = -1;
+  auto sender = [](mpi::SimComm c) -> des::Task<void> {
+    c.post_send(1, 0, {42.0}, /*bytes=*/300);  // 1 + 300/100 = 4 s
+    co_return;
+  };
+  auto receiver = [](des::Engine& e, mpi::SimComm c,
+                     double& t) -> des::Task<void> {
+    const auto m = co_await c.recv(0, 0);
+    EXPECT_EQ(m, (std::vector<double>{42.0}));
+    t = e.now();
+  };
+  eng.spawn(sender(world.comm(0)));
+  eng.spawn(receiver(eng, world.comm(1), recv_time));
+  eng.run();
+  EXPECT_DOUBLE_EQ(recv_time, 4.0);
+  EXPECT_EQ(world.messages_sent(), 1u);
+  EXPECT_EQ(world.bytes_sent(), 300u);
+}
+
+TEST(SimComm, SenderDoesNotBlock) {
+  // post_send is fire-and-forget: the sender continues at the same time.
+  des::Engine eng;
+  mpi::SimCommWorld world(eng, 2);
+  double sender_done = -1;
+  auto sender = [](des::Engine& e, mpi::SimComm c,
+                   double& t) -> des::Task<void> {
+    c.post_send(1, 0, {}, 1 << 20);
+    c.post_send(1, 0, {}, 1 << 20);
+    t = e.now();
+    co_return;
+  };
+  auto receiver = [](mpi::SimComm c) -> des::Task<void> {
+    (void)co_await c.recv(0, 0);
+    (void)co_await c.recv(0, 0);
+  };
+  eng.spawn(sender(eng, world.comm(0), sender_done));
+  eng.spawn(receiver(world.comm(1)));
+  eng.run();
+  EXPECT_DOUBLE_EQ(sender_done, 0.0);
+}
+
+TEST(SimComm, FifoPerSourceAndTag) {
+  des::Engine eng;
+  mpi::SimCommWorld world(eng, 2);
+  std::vector<double> got;
+  auto sender = [](mpi::SimComm c) -> des::Task<void> {
+    for (int i = 0; i < 10; ++i) c.post_send(1, 0, {double(i)}, 64);
+    co_return;
+  };
+  auto receiver = [](mpi::SimComm c, std::vector<double>& g) -> des::Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      auto m = co_await c.recv(0, 0);
+      g.push_back(m[0]);
+    }
+  };
+  eng.spawn(sender(world.comm(0)));
+  eng.spawn(receiver(world.comm(1), got));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<double>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(SimComm, AllreduceValueAndTiming) {
+  des::Engine eng;
+  coop::devmodel::InterconnectSpec net;
+  net.allreduce_hop_latency_s = 0.5;
+  mpi::SimCommWorld world(eng, 4, net);
+  std::vector<double> results(4, -1);
+  std::vector<double> times(4, -1);
+  auto ranker = [](des::Engine& e, mpi::SimComm c, double v, double& res,
+                   double& t) -> des::Task<void> {
+    co_await e.delay(static_cast<double>(c.rank()));  // staggered arrivals
+    res = co_await c.allreduce_min(v);
+    t = e.now();
+  };
+  for (int r = 0; r < 4; ++r)
+    eng.spawn(ranker(eng, world.comm(r), 10.0 - r,
+                     results[static_cast<std::size_t>(r)],
+                     times[static_cast<std::size_t>(r)]));
+  eng.run();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)], 7.0);
+    // Last arrival at t=3, plus ceil(log2(4))=2 hops * 0.5 up and down = 2.
+    EXPECT_DOUBLE_EQ(times[static_cast<std::size_t>(r)], 5.0);
+  }
+}
+
+TEST(SimComm, AllreduceMaxAndSum) {
+  des::Engine eng;
+  mpi::SimCommWorld world(eng, 3);
+  std::vector<double> maxes(3), sums(3);
+  auto ranker = [](mpi::SimComm c, double& mx, double& sm) -> des::Task<void> {
+    mx = co_await c.allreduce_max(static_cast<double>(c.rank()));
+    sm = co_await c.allreduce_sum(static_cast<double>(c.rank()));
+  };
+  for (int r = 0; r < 3; ++r)
+    eng.spawn(ranker(world.comm(r), maxes[static_cast<std::size_t>(r)],
+                     sums[static_cast<std::size_t>(r)]));
+  eng.run();
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(maxes[static_cast<std::size_t>(r)], 2.0);
+    EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(r)], 3.0);
+  }
+}
+
+TEST(SimComm, RepeatedReductionsIndependent) {
+  des::Engine eng;
+  mpi::SimCommWorld world(eng, 4);
+  std::vector<std::vector<double>> results(4);
+  auto ranker = [](mpi::SimComm c,
+                   std::vector<double>& out) -> des::Task<void> {
+    for (int i = 0; i < 50; ++i)
+      out.push_back(co_await c.allreduce_sum(static_cast<double>(i)));
+  };
+  for (int r = 0; r < 4; ++r)
+    eng.spawn(ranker(world.comm(r), results[static_cast<std::size_t>(r)]));
+  eng.run();
+  for (const auto& out : results) {
+    ASSERT_EQ(out.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+      EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], 4.0 * i);
+  }
+}
+
+TEST(SimComm, BarrierSynchronizesStaggeredRanks) {
+  des::Engine eng;
+  mpi::SimCommWorld world(eng, 5);
+  std::vector<double> exit_times(5, -1);
+  auto ranker = [](des::Engine& e, mpi::SimComm c, double& t) -> des::Task<void> {
+    co_await e.delay(static_cast<double>(c.rank()) * 2.0);
+    co_await c.barrier();
+    t = e.now();
+  };
+  for (int r = 0; r < 5; ++r)
+    eng.spawn(ranker(eng, world.comm(r), exit_times[static_cast<std::size_t>(r)]));
+  eng.run();
+  for (int r = 0; r < 5; ++r)
+    EXPECT_GE(exit_times[static_cast<std::size_t>(r)], 8.0);  // last arrival
+}
+
+TEST(SimComm, InvalidRanksRejected) {
+  des::Engine eng;
+  mpi::SimCommWorld world(eng, 2);
+  auto c = world.comm(0);
+  EXPECT_THROW(c.post_send(7, 0, {}, 0), std::invalid_argument);
+  EXPECT_THROW(mpi::SimCommWorld(eng, 0), std::invalid_argument);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(SimComm, NonOvertakingOnOrderedChannel) {
+  // MPI guarantee: a later (small, fast) message on the same (source, dest)
+  // channel must not arrive before an earlier (large, slow) one.
+  des::Engine eng;
+  coop::devmodel::InterconnectSpec net;
+  net.latency_s = 0.0;
+  net.bandwidth_bytes_per_s = 100.0;
+  mpi::SimCommWorld world(eng, 2, net);
+  std::vector<double> arrivals;
+  auto sender = [](mpi::SimComm c) -> des::Task<void> {
+    c.post_send(1, 0, {1.0}, /*bytes=*/1000);  // 10 s on the wire
+    c.post_send(1, 0, {2.0}, /*bytes=*/10);    // 0.1 s alone -> must wait
+    co_return;
+  };
+  auto receiver = [](des::Engine& e, mpi::SimComm c,
+                     std::vector<double>& a) -> des::Task<void> {
+    const auto m1 = co_await c.recv(0, 0);
+    a.push_back(e.now());
+    EXPECT_EQ(m1[0], 1.0);  // payloads in send order
+    const auto m2 = co_await c.recv(0, 0);
+    a.push_back(e.now());
+    EXPECT_EQ(m2[0], 2.0);
+  };
+  eng.spawn(sender(world.comm(0)));
+  eng.spawn(receiver(eng, world.comm(1), arrivals));
+  eng.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 10.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 10.0);  // held back to the ordering floor
+}
+
+TEST(SimComm, DistinctChannelsMayOvertake) {
+  // Ordering applies per (source, dest); a message from another SOURCE may
+  // still arrive first.
+  des::Engine eng;
+  coop::devmodel::InterconnectSpec net;
+  net.latency_s = 0.0;
+  net.bandwidth_bytes_per_s = 100.0;
+  mpi::SimCommWorld world(eng, 3, net);
+  std::vector<std::pair<int, double>> arrivals;  // (source, time)
+  auto slow_sender = [](mpi::SimComm c) -> des::Task<void> {
+    c.post_send(2, 0, {}, 1000);  // 10 s
+    co_return;
+  };
+  auto fast_sender = [](mpi::SimComm c) -> des::Task<void> {
+    c.post_send(2, 0, {}, 10);  // 0.1 s
+    co_return;
+  };
+  auto receiver = [](des::Engine& e, mpi::SimComm c,
+                     std::vector<std::pair<int, double>>& a) -> des::Task<void> {
+    (void)co_await c.recv(1, 0);
+    a.emplace_back(1, e.now());
+    (void)co_await c.recv(0, 0);
+    a.emplace_back(0, e.now());
+  };
+  eng.spawn(slow_sender(world.comm(0)));
+  eng.spawn(fast_sender(world.comm(1)));
+  eng.spawn(receiver(eng, world.comm(2), arrivals));
+  eng.run();
+  EXPECT_DOUBLE_EQ(arrivals[0].second, 0.1);
+  EXPECT_DOUBLE_EQ(arrivals[1].second, 10.0);
+}
+
+}  // namespace

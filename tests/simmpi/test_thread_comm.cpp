@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "coop/simmpi/thread_comm.hpp"
+
+namespace mpi = coop::simmpi;
+
+namespace {
+
+/// Runs `body(comm)` on `n` rank threads and joins.
+template <typename Body>
+void run_world(int n, Body body) {
+  mpi::ThreadCommWorld world(n);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r)
+    threads.emplace_back([&, r] { body(world.comm(r)); });
+  for (auto& t : threads) t.join();
+}
+
+TEST(ThreadComm, PointToPoint) {
+  std::vector<double> got;
+  run_world(2, [&](mpi::ThreadComm c) {
+    if (c.rank() == 0) c.send(1, 7, {1.0, 2.0, 3.0});
+    else got = c.recv(0, 7);
+  });
+  EXPECT_EQ(got, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(ThreadComm, MessagesFromSameSourceTagKeepOrder) {
+  std::vector<double> got;
+  run_world(2, [&](mpi::ThreadComm c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 50; ++i) c.send(1, 0, {static_cast<double>(i)});
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        auto m = c.recv(0, 0);
+        got.push_back(m[0]);
+      }
+    }
+  });
+  std::vector<double> want(50);
+  std::iota(want.begin(), want.end(), 0.0);
+  EXPECT_EQ(got, want);
+}
+
+TEST(ThreadComm, TagsSeparateStreams) {
+  std::vector<double> a, b;
+  run_world(2, [&](mpi::ThreadComm c) {
+    if (c.rank() == 0) {
+      c.send(1, /*tag=*/2, {22.0});
+      c.send(1, /*tag=*/1, {11.0});
+    } else {
+      // Receive in the opposite order of sending: tags must demultiplex.
+      a = c.recv(0, 1);
+      b = c.recv(0, 2);
+    }
+  });
+  EXPECT_EQ(a, (std::vector<double>{11.0}));
+  EXPECT_EQ(b, (std::vector<double>{22.0}));
+}
+
+TEST(ThreadComm, AllreduceMin) {
+  std::vector<double> results(8);
+  run_world(8, [&](mpi::ThreadComm c) {
+    results[static_cast<std::size_t>(c.rank())] =
+        c.allreduce_min(static_cast<double>(10 - c.rank()));
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 3.0);  // min(10-7..10)
+}
+
+TEST(ThreadComm, AllreduceMax) {
+  std::vector<double> results(8);
+  run_world(8, [&](mpi::ThreadComm c) {
+    results[static_cast<std::size_t>(c.rank())] =
+        c.allreduce_max(static_cast<double>(c.rank() * c.rank()));
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 49.0);
+}
+
+TEST(ThreadComm, AllreduceSum) {
+  std::vector<double> results(16);
+  run_world(16, [&](mpi::ThreadComm c) {
+    results[static_cast<std::size_t>(c.rank())] = c.allreduce_sum(1.5);
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 24.0);
+}
+
+TEST(ThreadComm, RepeatedCollectivesKeepGenerations) {
+  // 100 consecutive reductions must not bleed into each other.
+  std::vector<std::vector<double>> results(4);
+  run_world(4, [&](mpi::ThreadComm c) {
+    for (int i = 0; i < 100; ++i)
+      results[static_cast<std::size_t>(c.rank())].push_back(
+          c.allreduce_sum(static_cast<double>(i)));
+  });
+  for (const auto& r : results) {
+    ASSERT_EQ(r.size(), 100u);
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(r[static_cast<std::size_t>(i)], 4.0 * i);
+  }
+}
+
+TEST(ThreadComm, BarrierCompletes) {
+  std::atomic<int> after{0};
+  run_world(8, [&](mpi::ThreadComm c) {
+    c.barrier();
+    ++after;
+    c.barrier();
+    EXPECT_EQ(after.load(), 8);  // everyone passed the first barrier
+  });
+}
+
+TEST(ThreadComm, HaloPatternAllPairsNoDeadlock) {
+  // Each rank sends to both ring neighbors, then receives: the buffered-send
+  // semantics must make this deadlock-free.
+  const int n = 8;
+  run_world(n, [&](mpi::ThreadComm c) {
+    const int up = (c.rank() + 1) % n;
+    const int dn = (c.rank() + n - 1) % n;
+    for (int step = 0; step < 20; ++step) {
+      c.send(up, 0, {static_cast<double>(c.rank())});
+      c.send(dn, 1, {static_cast<double>(c.rank())});
+      const auto from_dn = c.recv(dn, 0);
+      const auto from_up = c.recv(up, 1);
+      EXPECT_DOUBLE_EQ(from_dn[0], dn);
+      EXPECT_DOUBLE_EQ(from_up[0], up);
+    }
+  });
+}
+
+TEST(ThreadComm, InvalidRanksRejected) {
+  mpi::ThreadCommWorld world(2);
+  auto c = world.comm(0);
+  EXPECT_THROW(c.send(2, 0, {}), std::invalid_argument);
+  EXPECT_THROW(c.send(-1, 0, {}), std::invalid_argument);
+  EXPECT_THROW((void)c.recv(5, 0), std::invalid_argument);
+}
+
+TEST(ThreadCommWorld, SizeValidation) {
+  EXPECT_THROW(mpi::ThreadCommWorld(0), std::invalid_argument);
+  mpi::ThreadCommWorld w(3);
+  EXPECT_EQ(w.size(), 3);
+  EXPECT_EQ(w.comm(2).size(), 3);
+}
+
+}  // namespace

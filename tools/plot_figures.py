@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Render the figure-bench CSVs as standalone SVG line charts.
+
+Pure standard library (no matplotlib): usable in the offline build
+environment. Typical use:
+
+    mkdir -p out/csv
+    for b in build/bench/bench_fig1[2-8]; do COOPHET_CSV_DIR=out/csv $b; done
+    python3 tools/plot_figures.py out/csv out/plots
+
+One SVG per CSV, mirroring the paper's layout: x-axis total zones, y-axis
+runtime (simulated s), one series per node mode.
+"""
+
+import csv
+import os
+import sys
+
+SERIES = [
+    ("default_s", "Default (1 MPI/GPU)", "#1f77b4"),
+    ("mps_s", "MPS (4 MPI/GPU)", "#d62728"),
+    ("hetero_s", "Hetero (4 MPI/GPU)", "#2ca02c"),
+]
+
+W, H = 720, 480
+ML, MR, MT, MB = 70, 30, 40, 55  # margins
+
+
+def nice_ticks(lo, hi, n=6):
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1
+    raw = (hi - lo) / n
+    mag = 10 ** len(str(int(raw))) / 10
+    step = max(1, round(raw / mag)) * mag
+    t = []
+    v = (int(lo / step)) * step
+    while v <= hi + 1e-9 * step:
+        if v >= lo - 1e-9 * step:
+            t.append(v)
+        v += step
+    return t or [lo, hi]
+
+
+def fmt(v):
+    if v >= 1e6:
+        return f"{v/1e6:g}M"
+    if v >= 1e3:
+        return f"{v/1e3:g}k"
+    return f"{v:g}"
+
+
+def plot(csv_path, svg_path):
+    with open(csv_path) as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        return False
+    xs = [float(r["zones"]) for r in rows]
+    all_y = [float(r[k]) for r in rows for k, _, _ in SERIES]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = 0.0, max(all_y) * 1.08
+
+    def px(x):
+        return ML + (x - x0) / (x1 - x0) * (W - ML - MR)
+
+    def py(y):
+        return H - MB - (y - y0) / (y1 - y0) * (H - MT - MB)
+
+    title = os.path.splitext(os.path.basename(csv_path))[0].replace("_", " ")
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" '
+        f'viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{W}" height="{H}" fill="white"/>',
+        f'<text x="{W/2}" y="22" text-anchor="middle" font-size="15" '
+        f'font-weight="bold">{title}</text>',
+    ]
+    # Axes and grid.
+    for v in nice_ticks(x0, x1):
+        out.append(
+            f'<line x1="{px(v):.1f}" y1="{MT}" x2="{px(v):.1f}" '
+            f'y2="{H-MB}" stroke="#eee"/>')
+        out.append(
+            f'<text x="{px(v):.1f}" y="{H-MB+18}" text-anchor="middle">'
+            f"{fmt(v)}</text>")
+    for v in nice_ticks(y0, y1):
+        out.append(
+            f'<line x1="{ML}" y1="{py(v):.1f}" x2="{W-MR}" '
+            f'y2="{py(v):.1f}" stroke="#eee"/>')
+        out.append(
+            f'<text x="{ML-8}" y="{py(v)+4:.1f}" text-anchor="end">'
+            f"{fmt(v)}</text>")
+    out.append(
+        f'<rect x="{ML}" y="{MT}" width="{W-ML-MR}" height="{H-MT-MB}" '
+        f'fill="none" stroke="#666"/>')
+    out.append(
+        f'<text x="{W/2}" y="{H-12}" text-anchor="middle">'
+        "Problem size (zones)</text>")
+    out.append(
+        f'<text x="18" y="{H/2}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {H/2})">Runtime (simulated s)</text>')
+
+    # Series.
+    for key, label, color in SERIES:
+        pts = " ".join(
+            f"{px(float(r['zones'])):.1f},{py(float(r[key])):.1f}"
+            for r in rows)
+        out.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>')
+        for r in rows:
+            out.append(
+                f'<circle cx="{px(float(r["zones"])):.1f}" '
+                f'cy="{py(float(r[key])):.1f}" r="3" fill="{color}"/>')
+
+    # Legend.
+    ly = MT + 10
+    for key, label, color in SERIES:
+        out.append(
+            f'<line x1="{ML+12}" y1="{ly}" x2="{ML+42}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="2"/>')
+        out.append(f'<text x="{ML+48}" y="{ly+4}">{label}</text>')
+        ly += 18
+
+    out.append("</svg>")
+    with open(svg_path, "w") as f:
+        f.write("\n".join(out))
+    return True
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    csv_dir, out_dir = sys.argv[1], sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+    n = 0
+    for name in sorted(os.listdir(csv_dir)):
+        if not name.endswith(".csv"):
+            continue
+        svg = os.path.join(out_dir, name[:-4] + ".svg")
+        if plot(os.path.join(csv_dir, name), svg):
+            print(f"wrote {svg}")
+            n += 1
+    print(f"{n} figure(s) rendered")
+    return 0 if n else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

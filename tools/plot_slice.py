@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Render a sedov_demo z-midplane density slice as an SVG heatmap.
+
+Reproduces the paper's Fig. 11 rendering (the Sedov blast wave) from the
+CSV written by `sedov_demo N steps mode slice.csv`. Standard library only.
+
+    ./build/examples/sedov_demo 48 70 hetero slice.csv
+    python3 tools/plot_slice.py slice.csv fig11.svg
+"""
+
+import csv
+import sys
+
+# Blue -> white -> red diverging ramp anchored at the ambient density 1.0.
+RAMP = [
+    (0.0, (30, 60, 150)),
+    (0.5, (245, 245, 245)),
+    (1.0, (180, 20, 30)),
+]
+
+
+def color(t):
+    t = max(0.0, min(1.0, t))
+    for (t0, c0), (t1, c1) in zip(RAMP, RAMP[1:]):
+        if t <= t1:
+            f = 0 if t1 == t0 else (t - t0) / (t1 - t0)
+            return tuple(int(a + f * (b - a)) for a, b in zip(c0, c1))
+    return RAMP[-1][1]
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    rows = list(csv.DictReader(open(sys.argv[1])))
+    if not rows:
+        print("empty slice")
+        return 1
+    n = max(int(r["i"]) for r in rows) + 1
+    rho = {(int(r["i"]), int(r["j"])): float(r["rho"]) for r in rows}
+    lo, hi = min(rho.values()), max(rho.values())
+    span = (hi - lo) or 1.0
+
+    cell = max(4, 640 // n)
+    size = n * cell
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size + 40}" font-family="sans-serif" font-size="13">',
+        f'<rect width="{size}" height="{size + 40}" fill="white"/>',
+    ]
+    for (i, j), v in rho.items():
+        r, g, b = color((v - lo) / span)
+        out.append(
+            f'<rect x="{i * cell}" y="{(n - 1 - j) * cell}" width="{cell}" '
+            f'height="{cell}" fill="rgb({r},{g},{b})"/>')
+    out.append(
+        f'<text x="{size/2}" y="{size + 25}" text-anchor="middle">'
+        f"Sedov blast, z-midplane density: {lo:.2f} (blue) .. {hi:.2f} (red)"
+        "</text>")
+    out.append("</svg>")
+    with open(sys.argv[2], "w") as f:
+        f.write("\n".join(out))
+    print(f"wrote {sys.argv[2]} ({n}x{n} zones, rho in [{lo:.3f}, {hi:.3f}])")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
