@@ -1,0 +1,76 @@
+/// Resilience sweep: how much makespan the recovery policies give back under
+/// increasing fault pressure, and what checkpoint cadence buys when a GPU
+/// dies late in the run.
+///
+/// Part 1 sweeps the transient-launch / slowdown / halo-drop rates of a
+/// seeded random plan and reports makespan degradation over the clean run,
+/// with the resilience counters that explain where the time went.
+/// Part 2 fixes one GPU death at 70% of the run and sweeps the checkpoint
+/// interval: frequent checkpoints pay steady write overhead but bound the
+/// replayed work; none means replaying only the aborted step from memory.
+
+#include <cstdio>
+
+#include "coop/core/timed_sim.hpp"
+#include "coop/fault/fault_plan.hpp"
+
+int main() {
+  using namespace coop;
+  const mesh::Box global{{0, 0, 0}, {320, 96, 160}};
+  constexpr int kSteps = 40;
+  constexpr std::uint64_t kSeed = 2024;
+
+  core::TimedConfig base;
+  base.mode = core::NodeMode::kOneRankPerGpu;
+  base.global = global;
+  base.timesteps = kSteps;
+  const auto clean = core::run_timed(base);
+  std::printf("=== Fault resilience at 320x96x160, %d steps ===\n", kSteps);
+  std::printf("clean makespan: %.3f s\n\n", clean.makespan);
+
+  std::printf("--- makespan vs fault rate (seed %llu) ---\n",
+              static_cast<unsigned long long>(kSeed));
+  std::printf("%9s | %9s | %7s | %7s | %7s | %7s | %9s\n", "rate (/s)",
+              "makespan", "degrade", "inject", "retry", "retrans", "rework s");
+  for (double rate : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    fault::PlanConfig pc;
+    pc.horizon_s = 2.0 * clean.makespan;
+    pc.ranks = clean.ranks;
+    pc.transient_rate = rate;
+    pc.slowdown_rate = 0.25 * rate;
+    pc.halo_drop_rate = rate;
+    const auto plan = fault::make_random_plan(kSeed, pc);
+    auto tc = base;
+    tc.faults = &plan;
+    const auto r = core::run_timed(tc);
+    std::printf("%9.2f | %7.3f s | %6.1f%% | %7d | %7d | %7d | %9.4f\n", rate,
+                r.makespan, 100.0 * (r.makespan - clean.makespan) / clean.makespan,
+                r.resilience.faults_injected, r.resilience.launch_retries,
+                r.resilience.halo_retransmits, r.resilience.rework_time);
+  }
+
+  std::printf("\n--- checkpoint interval vs GPU death at 70%% of the run ---\n");
+  std::printf("%8s | %9s | %7s | %6s | %6s | %9s | %9s\n", "interval",
+              "makespan", "degrade", "ckpts", "replay", "ckpt s", "rework s");
+  const double death_time = 0.7 * clean.makespan;
+  for (int interval : {0, 2, 4, 8, 16}) {
+    fault::FaultPlan plan;
+    plan.add({.time = death_time, .kind = fault::FaultKind::kGpuDeath,
+              .node = 0, .gpu = 1});
+    auto tc = base;
+    tc.faults = &plan;
+    tc.recovery.checkpoint_interval = interval;
+    const auto r = core::run_timed(tc);
+    std::printf("%8d | %7.3f s | %6.1f%% | %6d | %6d | %9.4f | %9.4f\n",
+                interval, r.makespan,
+                100.0 * (r.makespan - clean.makespan) / clean.makespan,
+                r.resilience.checkpoints_taken,
+                r.resilience.replayed_iterations,
+                r.resilience.checkpoint_time, r.resilience.rework_time);
+  }
+  std::printf(
+      "\nInterval 0 replays only the aborted step (in-memory redundancy);\n"
+      "small intervals trade steady write overhead for a bounded replay\n"
+      "window once the death lands far from the last checkpoint.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// Fault demo: kills one GPU mid-run and shows the graceful-degradation
+/// path end to end — the driving rank flips to the sequential-CPU policy,
+/// the balancer re-carves the surviving devices' y-slabs, the aborted step
+/// replays, and the run completes with a degraded (but bounded) makespan.
+/// Writes a Chrome-tracing JSON so the rebalance is visible as a Gantt
+/// discontinuity (open in chrome://tracing or Perfetto).
+///
+/// Usage: fault_demo [out.json] [death_step] [ckpt_interval]
+///        (default fault_trace.json 8 0)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+
+#include "coop/core/timed_sim.hpp"
+#include "coop/fault/fault_plan.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coop;
+  const char* out = argc > 1 ? argv[1] : "fault_trace.json";
+  const int death_step = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int ckpt = argc > 3 ? std::atoi(argv[3]) : 0;
+
+  core::TimedConfig tc;
+  tc.mode = core::NodeMode::kOneRankPerGpu;
+  tc.global = {{0, 0, 0}, {320, 96, 160}};
+  tc.timesteps = 24;
+
+  // Clean run first: measures the iteration period (to aim the fault at the
+  // middle of `death_step`) and anchors the degradation comparison.
+  const auto clean = core::run_timed(tc);
+  auto reduced = tc;
+  reduced.node.gpu_count = 3;
+  const auto clean3 = core::run_timed(reduced);
+
+  fault::FaultPlan plan;
+  plan.add({.time = (death_step + 0.5) * clean.iteration_times.front(),
+            .kind = fault::FaultKind::kGpuDeath, .node = 0, .gpu = 1});
+  core::TraceRecorder trace;
+  tc.faults = &plan;
+  tc.recovery.checkpoint_interval = ckpt;
+  tc.trace = &trace;
+  const auto r = core::run_timed(tc);
+
+  std::ofstream f(out);
+  trace.write_chrome_trace(f);
+
+  std::printf("=== GPU 1 dies during step %d of %d (ckpt interval %d) ===\n",
+              death_step, tc.timesteps, ckpt);
+  std::printf("%-28s | %8.3f s\n", "clean, 4 GPUs", clean.makespan);
+  std::printf("%-28s | %8.3f s  <- degraded run lands between these\n",
+              "with mid-run death", r.makespan);
+  std::printf("%-28s | %8.3f s\n", "clean, 3 GPUs all along", clean3.makespan);
+
+  const auto& st = r.resilience;
+  std::printf("\ndeaths %d | policy flips %d | rollbacks %d | replayed %d | "
+              "time-to-rebalance %.3g s\n",
+              st.gpu_deaths, st.policy_flips, st.rollbacks,
+              st.replayed_iterations, st.time_to_rebalance());
+
+  std::printf("\nFinal zones per rank (rank 1 lost its GPU):\n");
+  for (int rank = 0; rank < r.ranks; ++rank)
+    std::printf("  rank %d: %ld zones\n", rank,
+                r.final_zones_per_rank[static_cast<std::size_t>(rank)]);
+  const long total = std::accumulate(r.final_zones_per_rank.begin(),
+                                     r.final_zones_per_rank.end(), 0L);
+  std::printf("  total  : %ld (global has %ld — nothing dropped)\n", total,
+              tc.global.zones());
+  std::printf("\nwrote %zu spans to %s (look for the kRebalance marker)\n",
+              trace.spans().size(), out);
+  return 0;
+}

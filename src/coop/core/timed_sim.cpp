@@ -1,11 +1,14 @@
 #include "coop/core/timed_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <numeric>
+#include <utility>
 
 #include "coop/des/engine.hpp"
 #include "coop/devmodel/calibration.hpp"
+#include "coop/devmodel/comm_cost.hpp"
 #include "coop/devmodel/gpu_server.hpp"
 #include "coop/devmodel/kernel_cost.hpp"
 #include "coop/lb/load_balancer.hpp"
@@ -42,8 +45,42 @@ struct World {
   double sum_max_cpu = 0.0, sum_max_gpu = 0.0;
   int lb_converged_at = -1;
 
+  // Fault/recovery state (injector is null on fault-free runs).
+  fault::FaultInjector* injector = nullptr;
+  bool pending_recovery = false;  ///< a device died this iteration
+  bool degraded = false;          ///< at least one device has been lost
+  int aborted_step = 0;           ///< step index of the latest aborted pass
+  int rollback_epoch = 0;         ///< bump => every rank rewinds its step
+  int rollback_target = 0;        ///< first step to replay after a rollback
+  int last_checkpoint_step = 0;   ///< state saved up to (exclusive) this step
+  double rework_start = -1.0;     ///< armed at recovery; cleared on replay end
+  int rework_until = -1;          ///< step whose completed replay ends rework
+  double model_cpu_rate = 0.0;    ///< roofline zones/s per CPU rank
+  double model_gpu_rate = 0.0;    ///< roofline zones/s per surviving GPU rank
+
   void rebuild_neighbors() { nbrs = decomp::neighbor_lists(dec); }
 };
+
+/// Sub-half-plane retirement: a rank whose proportional share of its node's
+/// y extent is under half a plane cannot usefully hold zones (the one-plane
+/// carve floor would overpay it roughly 2x or more); zero its weight so
+/// `reweight_y_slabs` retires it with an empty box.
+void retire_sub_half_plane(const World& w, std::vector<double>& weights) {
+  const double ny = static_cast<double>(w.cfg->global.ny());
+  for (int node = 0; node < w.cfg->nodes; ++node) {
+    double sum = 0.0;
+    for (int q = 0; q < w.dec.ranks(); ++q)
+      if (w.dec.domains[static_cast<std::size_t>(q)].node_id == node)
+        sum += weights[static_cast<std::size_t>(q)];
+    if (sum <= 0.0) continue;
+    for (int q = 0; q < w.dec.ranks(); ++q) {
+      auto& wt = weights[static_cast<std::size_t>(q)];
+      if (w.dec.domains[static_cast<std::size_t>(q)].node_id == node &&
+          wt > 0.0 && wt / sum * ny < 0.5)
+        wt = 0.0;
+    }
+  }
+}
 
 /// Per-step UM pump spill charged to each GPU-driving rank on `node_id`
 /// (Fig. 12 knee); the pump is a per-node host resource.
@@ -59,7 +96,9 @@ double um_spill_time(const World& w, int node_id) {
 }
 
 /// Compute-phase duration for rank `r` in the current decomposition.
-double compute_phase_time(const World& w, int r) {
+/// `mps_serialize` forces the no-overlap MPS path for this call — used the
+/// iteration an MPS daemon restarts (clients cannot overlap meanwhile).
+double compute_phase_time(const World& w, int r, bool mps_serialize = false) {
   const auto& cfg = *w.cfg;
   const auto& dom = w.dec.domains[static_cast<std::size_t>(r)];
   const double zones = static_cast<double>(dom.box.zones());
@@ -72,11 +111,12 @@ double compute_phase_time(const World& w, int r) {
     const double launch = devmodel::gpu_launch_overhead(cfg.node.gpu, mps);
     for (const auto& k : w.catalog.kernels()) {
       double exec;
-      if (mps && cfg.model_mps_overlap) {
+      if (mps && cfg.model_mps_overlap && !mps_serialize) {
         exec = devmodel::gpu_kernel_exec_time_mps(cfg.node.gpu, k.work, zones,
                                                   nx, resident);
       } else if (mps) {
-        // Ablation: no overlap — co-resident kernels serialize.
+        // Ablation / daemon restart: no overlap — co-resident kernels
+        // serialize.
         exec = resident * devmodel::gpu_kernel_exec_time(cfg.node.gpu, k.work,
                                                          zones, nx);
       } else {
@@ -86,12 +126,13 @@ double compute_phase_time(const World& w, int r) {
     }
     t += um_spill_time(w, dom.node_id);
   } else {
-    // CPU-only rank. The dispatch penalty applies to GPU-enabled builds
-    // (hetero mode); a pure CPU build has no CUDA decorations (Fig. 1).
-    const double penalty =
-        (cfg.compiler_bug && cfg.mode == NodeMode::kHeterogeneous)
-            ? calib::kCompilerBugFactor
-            : 1.0;
+    // CPU-only rank. The dispatch penalty applies to GPU-enabled builds —
+    // the heterogeneous mode, and any rank whose policy flipped to
+    // sequential-CPU after a device loss; a pure CPU build has no CUDA
+    // decorations (Fig. 1).
+    const double penalty = (cfg.compiler_bug && cfg.mode != NodeMode::kCpuOnly)
+                               ? calib::kCompilerBugFactor
+                               : 1.0;
     for (const auto& k : w.catalog.kernels())
       t += devmodel::cpu_kernel_exec_time(cfg.node.cpu, k.work, zones,
                                           penalty);
@@ -125,6 +166,8 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
   const devmodel::InterconnectSpec gd_net =
       devmodel::InterconnectSpec::gpu_direct();
 
+  int my_rollback_epoch = 0;
+
   for (int step = 0; step < w.cfg->timesteps; ++step) {
     if (r == 0) w.iter_start = eng.now();
 
@@ -134,11 +177,81 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
         w.dec.domains[static_cast<std::size_t>(r)].target ==
         ExecutionTarget::kGpuDevice;
 
+    // --- Fault detection points (compute start). ---
+    bool abort_compute = false;  ///< device died: post stale halos, no work
+    bool mps_serialize = false;  ///< MPS daemon restarting this iteration
+    if (w.injector != nullptr && i_am_gpu) {
+      auto& st = w.injector->stats();
+      const auto& rec = w.injector->recovery();
+      const auto& dom = w.dec.domains[static_cast<std::size_t>(r)];
+      // Transient launch failures: retry with exponential backoff, each
+      // attempt re-paying the launch overhead; a burst exceeding the
+      // attempt budget escalates to a permanent device death.
+      const int seen_before = st.faults_injected;
+      const int fails = w.injector->take_transient_failures(r, eng.now());
+      const int events = st.faults_injected - seen_before;
+      if (fails >= rec.max_launch_attempts) {
+        w.injector->kill_gpu(dom.node_id, dom.gpu_id, eng.now());
+      } else if (fails > 0) {
+        double wait = 0.0, backoff = rec.backoff_base_s;
+        for (int i = 0; i < fails; ++i) {
+          wait += backoff;
+          backoff *= 2.0;
+        }
+        wait += fails * devmodel::gpu_launch_overhead(
+                            w.cfg->node.gpu,
+                            w.cfg->mode == NodeMode::kMpsPerGpu);
+        st.launch_retries += fails;
+        st.retry_time += wait;
+        st.faults_recovered += events;
+        co_await eng.delay(wait);
+      }
+      (void)w.injector->take_gpu_death(dom.node_id, dom.gpu_id, eng.now());
+      if (w.injector->gpu_dead(dom.node_id, dom.gpu_id, eng.now())) {
+        // Abort this iteration: post stale halos so neighbors do not
+        // deadlock; rank 0 re-carves at the iteration end and the pass is
+        // replayed on the survivors.
+        abort_compute = true;
+        w.pending_recovery = true;
+        w.aborted_step = step;
+      } else {
+        if (w.cfg->mode == NodeMode::kMpsPerGpu &&
+            w.injector->take_mps_crash(dom.node_id, eng.now())) {
+          mps_serialize = true;
+          st.mps_restarts += 1;
+          st.faults_recovered += 1;
+          co_await eng.delay(rec.mps_restart_s);
+        }
+        if (w.injector->take_pool_exhaustion(r, eng.now())) {
+          st.faults_recovered += 1;
+          co_await eng.delay(w.injector->pool_exhaustion_stall(mine.zones()));
+        }
+      }
+    }
+    // Thermal-throttle stragglers stretch this rank's compute phase.
+    double slow = 1.0;
+    if (w.injector != nullptr && !abort_compute) {
+      auto& st = w.injector->stats();
+      const int seen_before = st.faults_injected;
+      slow = w.injector->take_slowdown_factor(r, eng.now());
+      st.faults_recovered += st.faults_injected - seen_before;
+    }
+
     // Posts one halo message per neighbor. With GPU-direct enabled,
     // GPU-to-GPU messages travel the peer link instead of staging through
-    // host memory (paper 5.3's planned exploration).
+    // host memory (paper 5.3's planned exploration). The fault model drops
+    // messages sender-side: each drop costs the receiver one watchdog
+    // timeout plus a retransmission, charged as extra delivery delay.
     auto post_halo_sends = [&] {
-      for (int nbr : my_nbrs) {
+      int drops = 0;
+      if (w.injector != nullptr && !my_nbrs.empty()) {
+        auto& st = w.injector->stats();
+        const int seen_before = st.faults_injected;
+        drops = w.injector->take_halo_drops(r, eng.now());
+        st.faults_recovered += st.faults_injected - seen_before;
+      }
+      for (std::size_t i = 0; i < my_nbrs.size(); ++i) {
+        const int nbr = my_nbrs[i];
         const mesh::Box region = mesh::send_region(
             mine, w.dec.domains[static_cast<std::size_t>(nbr)].box, ghosts);
         const auto bytes = static_cast<std::size_t>(
@@ -149,23 +262,44 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
         const bool same_node =
             nbr_dom.node_id ==
             w.dec.domains[static_cast<std::size_t>(r)].node_id;
-        if (!same_node)
-          comm.post_send(nbr, /*tag=*/0, {}, bytes, w.cfg->node.internode);
-        else if (w.cfg->gpu_direct && i_am_gpu && nbr_gpu)
-          comm.post_send(nbr, /*tag=*/0, {}, bytes, gd_net);
-        else
-          comm.post_send(nbr, /*tag=*/0, {}, bytes);
+        const devmodel::InterconnectSpec& net =
+            !same_node ? w.cfg->node.internode
+            : (w.cfg->gpu_direct && i_am_gpu && nbr_gpu) ? gd_net
+                                                         : w.cfg->node.net;
+        double extra = 0.0;
+        if (drops > 0) {
+          const auto& rec = w.injector->recovery();
+          const int d = std::min(drops, rec.max_retransmits);
+          drops -= d;
+          if (i + 1 == my_nbrs.size() && drops > 0) {
+            // Retransmit budget exhausted on the last message: the watchdog
+            // gives up on the silent peer (tracked; delivery still modeled
+            // so the run completes).
+            w.injector->stats().neighbors_declared_dead += 1;
+            drops = 0;
+          }
+          extra = d * (rec.watchdog_timeout_s +
+                       devmodel::message_time(net, bytes));
+          w.injector->stats().halo_retransmits += d;
+        }
+        comm.post_send(nbr, /*tag=*/0, {}, bytes, net, extra);
       }
     };
 
     // --- Compute phase: walk the Sedov kernel catalog. ---
     const double t_compute_begin = eng.now();
-    if (w.cfg->use_gpu_server && i_am_gpu) {
+    if (abort_compute) {
+      w.compute_time[static_cast<std::size_t>(r)] = 0.0;
+      post_halo_sends();
+    } else if (w.cfg->use_gpu_server && i_am_gpu) {
       co_await gpu_server_compute(eng, w, r);
+      if (slow > 1.0)
+        co_await eng.delay((slow - 1.0) * (eng.now() - t_compute_begin));
       w.compute_time[static_cast<std::size_t>(r)] =
           eng.now() - t_compute_begin;
       post_halo_sends();
-    } else if (const double t_compute = compute_phase_time(w, r);
+    } else if (const double t_compute =
+                   slow * compute_phase_time(w, r, mps_serialize);
                w.cfg->overlap_halo && !my_nbrs.empty()) {
       w.compute_time[static_cast<std::size_t>(r)] = t_compute;
       // Boundary-first schedule: compute the halo-adjacent zones, post the
@@ -204,6 +338,86 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
     if (w.cfg->trace != nullptr)
       w.cfg->trace->record(r, step, Phase::kReduce, t_reduce_begin,
                            eng.now());
+
+    // --- Recovery / degraded rebalance (runs at rank 0's post-reduce slot:
+    // the reduction delivers to rank 0 first, so this completes before any
+    // other rank resumes — no extra barrier, and fault-free runs are
+    // bitwise-identical to runs with an empty plan). ---
+    if (w.injector != nullptr && r == 0 && w.pending_recovery) {
+      auto& st = w.injector->stats();
+      const double t_now = eng.now();
+      // Graceful degradation: flip every rank whose device is gone to the
+      // sequential-CPU policy (the paper's multi-policy dispatch).
+      std::vector<std::pair<int, int>> dead_devices;
+      for (auto& d : w.dec.domains) {
+        if (d.target != ExecutionTarget::kGpuDevice) continue;
+        if (!w.injector->gpu_dead(d.node_id, d.gpu_id, t_now)) continue;
+        d.target = ExecutionTarget::kCpuCore;
+        st.policy_flips += 1;
+        const std::pair<int, int> dev{d.node_id, d.gpu_id};
+        if (std::find(dead_devices.begin(), dead_devices.end(), dev) ==
+            dead_devices.end())
+          dead_devices.push_back(dev);
+      }
+      st.faults_recovered += static_cast<int>(dead_devices.size());
+      // Immediate model-rate re-carve across the survivors; the measured
+      // feedback below refines it on subsequent iterations.
+      std::vector<double> weights(static_cast<std::size_t>(w.dec.ranks()));
+      for (int q = 0; q < w.dec.ranks(); ++q) {
+        weights[static_cast<std::size_t>(q)] =
+            w.dec.domains[static_cast<std::size_t>(q)].target ==
+                    ExecutionTarget::kGpuDevice
+                ? w.model_gpu_rate
+                : w.model_cpu_rate;
+      }
+      retire_sub_half_plane(w, weights);
+      w.dec = decomp::reweight_y_slabs(w.dec, weights);
+      w.rebuild_neighbors();
+      if (st.rebalance_complete_time < 0.0)
+        st.rebalance_complete_time = t_now;
+      // Roll back: to the last checkpoint when checkpointing is on,
+      // otherwise replay only the aborted iteration (in-memory redundancy).
+      const int target = w.injector->recovery().checkpoint_interval > 0
+                             ? w.last_checkpoint_step
+                             : w.aborted_step;
+      w.rollback_epoch += 1;
+      w.rollback_target = target;
+      st.rollbacks += 1;
+      st.replayed_iterations += w.aborted_step - target + 1;
+      if (w.rework_start < 0.0) w.rework_start = t_now;
+      w.rework_until = w.aborted_step;
+      w.pending_recovery = false;
+      w.degraded = true;
+      // Survivor reweighting supersedes the heterogeneous fraction carve
+      // (which would resurrect the dead rank). All ranks observe the flip
+      // this same iteration, so the barrier count stays consistent.
+      w.lb_active = false;
+      if (w.cfg->trace != nullptr)
+        w.cfg->trace->record(r, step, Phase::kRebalance, t_now, eng.now());
+    } else if (w.injector != nullptr && r == 0 && w.degraded &&
+               w.cfg->load_balance) {
+      // Measured-rate survivor rebalance: the feedback balancer's
+      // f* = r_cpu/(r_cpu+r_gpu) rule generalized to per-rank zone rates.
+      std::vector<double> weights(static_cast<std::size_t>(w.dec.ranks()));
+      for (int q = 0; q < w.dec.ranks(); ++q) {
+        const auto& d = w.dec.domains[static_cast<std::size_t>(q)];
+        const long zones = d.box.zones();
+        const double t = w.compute_time[static_cast<std::size_t>(q)];
+        if (zones <= 0) {
+          weights[static_cast<std::size_t>(q)] = 0.0;  // retired: sticky
+        } else if (t > 0.0 && std::isfinite(t)) {
+          weights[static_cast<std::size_t>(q)] =
+              static_cast<double>(zones) / t;
+        } else {
+          weights[static_cast<std::size_t>(q)] =
+              d.target == ExecutionTarget::kGpuDevice ? w.model_gpu_rate
+                                                      : w.model_cpu_rate;
+        }
+      }
+      retire_sub_half_plane(w, weights);
+      w.dec = decomp::reweight_y_slabs(w.dec, weights);
+      w.rebuild_neighbors();
+    }
 
     // --- Between-iteration load balancing (paper 6.2). ---
     if (w.lb_active) {
@@ -245,6 +459,44 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
       w.sum_max_gpu += max_gpu;
     }
 
+    // --- Iteration-boundary checkpoint and rollback application. ---
+    if (w.injector != nullptr) {
+      const auto& rec = w.injector->recovery();
+      if (rec.checkpoint_interval > 0 &&
+          (step + 1) % rec.checkpoint_interval == 0) {
+        // Read the box from the (possibly re-carved) current decomposition:
+        // `mine` may reference the pre-recovery domains vector.
+        const long my_zones =
+            w.dec.domains[static_cast<std::size_t>(r)].box.zones();
+        const double cost = static_cast<double>(my_zones) *
+                            rec.checkpoint_bytes_per_zone /
+                            rec.checkpoint_bandwidth_bytes_per_s;
+        if (r == 0) {
+          auto& st = w.injector->stats();
+          st.checkpoints_taken += 1;
+          long max_zones = 0;
+          for (const auto& d : w.dec.domains)
+            max_zones = std::max(max_zones, d.box.zones());
+          st.checkpoint_time += static_cast<double>(max_zones) *
+                                rec.checkpoint_bytes_per_zone /
+                                rec.checkpoint_bandwidth_bytes_per_s;
+        }
+        co_await eng.delay(cost);
+        if (r == 0) w.last_checkpoint_step = step + 1;
+      }
+      if (my_rollback_epoch < w.rollback_epoch) {
+        // A recovery armed a rollback this pass: rewind so the next loop
+        // pass replays from the rollback target.
+        my_rollback_epoch = w.rollback_epoch;
+        step = w.rollback_target - 1;
+      } else if (r == 0 && w.rework_start >= 0.0 && step == w.rework_until) {
+        // The aborted pass has been replayed to completion on the
+        // survivors; close the rework window.
+        w.injector->stats().rework_time += eng.now() - w.rework_start;
+        w.rework_start = -1.0;
+      }
+    }
+
     if (r == 0) w.iteration_times.push_back(eng.now() - w.iter_start);
   }
 }
@@ -257,6 +509,23 @@ TimedResult run_timed(const TimedConfig& cfg) {
   if (cfg.timesteps <= 0)
     throw std::invalid_argument("run_timed: timesteps <= 0");
   if (cfg.nodes <= 0) throw std::invalid_argument("run_timed: nodes <= 0");
+  if (cfg.ranks_per_gpu <= 0)
+    throw std::invalid_argument("run_timed: ranks_per_gpu <= 0");
+  if (cfg.cpu_fraction > 1.0)
+    throw std::invalid_argument("run_timed: cpu_fraction > 1");
+  if (cfg.ghosts < 0) throw std::invalid_argument("run_timed: ghosts < 0");
+  if (static_cast<long>(cfg.nodes) > cfg.global.nz())
+    throw std::invalid_argument(
+        "run_timed: nodes exceed the global z extent");
+  if (cfg.faults != nullptr) {
+    if (cfg.recovery.max_launch_attempts < 1)
+      throw std::invalid_argument("run_timed: max_launch_attempts < 1");
+    if (cfg.recovery.checkpoint_interval < 0)
+      throw std::invalid_argument("run_timed: checkpoint_interval < 0");
+    if (cfg.recovery.checkpoint_bandwidth_bytes_per_s <= 0.0 ||
+        cfg.recovery.pool_fallback_bandwidth_bytes_per_s <= 0.0)
+      throw std::invalid_argument("run_timed: nonpositive recovery bandwidth");
+  }
 
   World w;
   w.cfg = &cfg;
@@ -287,6 +556,31 @@ TimedResult run_timed(const TimedConfig& cfg) {
   }
   w.compute_time.assign(static_cast<std::size_t>(w.dec.ranks()), 0.0);
 
+  // Fault injection: validate the plan against this topology and pre-compute
+  // the model zone rates the post-death re-carve uses (same roofline as
+  // lb::initial_cpu_fraction, penalty included for GPU-enabled builds).
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (cfg.faults != nullptr) {
+    cfg.faults->validate(w.dec.ranks(), cfg.nodes, cfg.node.gpu_count);
+    injector =
+        std::make_unique<fault::FaultInjector>(*cfg.faults, cfg.recovery);
+    w.injector = injector.get();
+    const auto work = w.catalog.total();
+    const double penalty =
+        (cfg.compiler_bug && cfg.mode != NodeMode::kCpuOnly)
+            ? calib::kCompilerBugFactor
+            : 1.0;
+    w.model_cpu_rate =
+        std::min(cfg.node.cpu.core_flops_per_s / work.flops_per_zone,
+                 cfg.node.cpu.core_bandwidth_bytes_per_s /
+                     work.bytes_per_zone) /
+        penalty;
+    w.model_gpu_rate =
+        std::min(cfg.node.gpu.flops_per_s / work.flops_per_zone,
+                 cfg.node.gpu.bandwidth_bytes_per_s / work.bytes_per_zone) *
+        0.9;
+  }
+
   des::Engine eng;
   if (cfg.use_gpu_server) {
     for (int g = 0; g < cfg.nodes * cfg.node.gpu_count; ++g)
@@ -309,6 +603,10 @@ TimedResult run_timed(const TimedConfig& cfg) {
   res.comm_stats = decomp::analyze_communication(w.dec, cfg.ghosts);
   res.ranks = w.dec.ranks();
   res.lb_iterations_to_converge = w.lb_converged_at;
+  if (w.injector != nullptr) res.resilience = w.injector->stats();
+  res.final_zones_per_rank.reserve(w.dec.domains.size());
+  for (const auto& d : w.dec.domains)
+    res.final_zones_per_rank.push_back(d.box.zones());
   return res;
 }
 

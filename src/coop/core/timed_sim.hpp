@@ -7,6 +7,7 @@
 #include "coop/core/trace.hpp"
 #include "coop/decomp/decomposition.hpp"
 #include "coop/devmodel/specs.hpp"
+#include "coop/fault/fault_injector.hpp"
 #include "coop/hydro/kernel_catalog.hpp"
 #include "coop/mesh/box.hpp"
 
@@ -65,6 +66,13 @@ struct TimedConfig {
   /// sharing. Roughly 80x more DES events per rank-step. Halo overlap is
   /// not combined with this backend.
   bool use_gpu_server = false;
+
+  /// Optional fault schedule (not owned; may be nullptr = fault-free run).
+  /// An empty plan behaves bitwise-identically to a nullptr plan. Same plan
+  /// + same config => bitwise-identical TimedResult (seed determinism).
+  const fault::FaultPlan* faults = nullptr;
+  /// Recovery-policy knobs; only consulted when `faults` is set.
+  fault::RecoveryConfig recovery{};
 };
 
 struct TimedResult {
@@ -78,6 +86,13 @@ struct TimedResult {
   decomp::CommStats comm_stats{};  ///< of the final decomposition
   int ranks = 0;
   int lb_iterations_to_converge = -1;  ///< -1: never converged / no LB
+
+  /// Resilience accounting (all zero on fault-free runs). Note that with
+  /// faults, `iteration_times` includes aborted and replayed passes, so it
+  /// may be longer than `timesteps`.
+  fault::ResilienceStats resilience{};
+  /// Zones each rank owns in the final decomposition (0 = retired rank).
+  std::vector<long> final_zones_per_rank;
 };
 
 /// Runs the timed simulation; deterministic for a given config.

@@ -28,11 +28,14 @@ double Decomposition::cpu_zone_fraction() const noexcept {
   return all == 0 ? 0.0 : static_cast<double>(cpu) / static_cast<double>(all);
 }
 
-void Decomposition::validate() const {
+void Decomposition::validate(bool allow_empty) const {
   long covered = 0;
   for (std::size_t i = 0; i < domains.size(); ++i) {
     const Box& a = domains[i].box;
-    if (a.empty()) throw std::logic_error("decomposition: empty domain");
+    if (a.empty()) {
+      if (!allow_empty) throw std::logic_error("decomposition: empty domain");
+      continue;
+    }
     if (a.intersect(global) != a)
       throw std::logic_error("decomposition: domain outside global box");
     covered += a.zones();
@@ -168,6 +171,74 @@ Decomposition cpu_only(const Box& global, int cores) {
     dom.gpu_id = -1;
   }
   return d;
+}
+
+Decomposition reweight_y_slabs(const Decomposition& base,
+                               const std::vector<double>& weights) {
+  if (static_cast<int>(weights.size()) != base.ranks())
+    throw std::invalid_argument("reweight_y_slabs: one weight per rank");
+  for (double w : weights) {
+    if (!(w >= 0.0))
+      throw std::invalid_argument("reweight_y_slabs: negative weight");
+  }
+
+  Decomposition out = base;
+  // Group ranks by node; each node's non-empty boxes form a y-slab stack.
+  std::vector<int> nodes;
+  for (const auto& dom : base.domains) nodes.push_back(dom.node_id);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  for (int node : nodes) {
+    // Bounding slab of this node's live domains.
+    Box slab{};
+    bool have = false;
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < base.domains.size(); ++i) {
+      if (base.domains[i].node_id != node) continue;
+      members.push_back(i);
+      const Box& b = base.domains[i].box;
+      if (b.empty()) continue;
+      if (!have) {
+        slab = b;
+        have = true;
+      } else {
+        slab.lo = {std::min(slab.lo.x, b.lo.x), std::min(slab.lo.y, b.lo.y),
+                   std::min(slab.lo.z, b.lo.z)};
+        slab.hi = {std::max(slab.hi.x, b.hi.x), std::max(slab.hi.y, b.hi.y),
+                   std::max(slab.hi.z, b.hi.z)};
+      }
+    }
+    if (!have) continue;  // node owns no zones; nothing to carve
+
+    // Carve only ranks with nonzero weight (min one plane each); retired
+    // ranks get an explicit empty box at the slab base. Keep survivors in
+    // base y-order so the new slabs stay spatially local to the old ones.
+    std::vector<std::size_t> live;
+    for (std::size_t i : members) {
+      if (weights[base.domains[i].rank] > 0.0) live.push_back(i);
+    }
+    if (live.empty())
+      throw std::invalid_argument(
+          "reweight_y_slabs: node with zones but zero total weight");
+    std::sort(live.begin(), live.end(), [&](std::size_t a, std::size_t b) {
+      return base.domains[a].box.lo.y < base.domains[b].box.lo.y;
+    });
+    std::vector<double> live_w;
+    live_w.reserve(live.size());
+    for (std::size_t i : live) live_w.push_back(weights[base.domains[i].rank]);
+    const auto pieces = split_weighted(slab, Axis::kY, live_w, 1);
+    for (std::size_t k = 0; k < live.size(); ++k)
+      out.domains[live[k]].box = pieces[k];
+    for (std::size_t i : members) {
+      if (weights[base.domains[i].rank] > 0.0) continue;
+      Box empty_box = slab;
+      empty_box.hi.y = empty_box.lo.y;  // zero y-extent -> empty()
+      out.domains[i].box = empty_box;
+    }
+  }
+  out.validate(/*allow_empty=*/true);
+  return out;
 }
 
 std::vector<std::vector<int>> neighbor_lists(const Decomposition& d) {

@@ -47,8 +47,10 @@ struct Decomposition {
   /// Fraction of zones owned by CPU-executing ranks.
   [[nodiscard]] double cpu_zone_fraction() const noexcept;
   /// Throws std::logic_error unless the domains exactly partition `global`
-  /// (cover it, pairwise disjoint).
-  void validate() const;
+  /// (cover it, pairwise disjoint). With `allow_empty`, empty domains are
+  /// permitted (retired ranks in a degraded decomposition) and only the
+  /// non-empty domains must partition `global`.
+  void validate(bool allow_empty = false) const;
 };
 
 /// Near-cubic grid of `ranks` blocks. The grid factorization minimizes total
@@ -82,6 +84,17 @@ struct Decomposition {
 /// Classic CPU-only decomposition (paper Fig. 1): near-cubic blocks, one per
 /// core, all executing on the CPU.
 [[nodiscard]] Decomposition cpu_only(const mesh::Box& global, int cores);
+
+/// Degraded-mode re-carve used after a device failure: re-splits each node's
+/// y-slab stack so every rank's share is proportional to `weights[rank]`.
+/// A zero weight retires the rank — it receives an empty box (and thereby
+/// drops out of face adjacency and halo exchange). Rank ids, execution
+/// targets, gpu ids and node ids are preserved; only the boxes move. Requires
+/// the per-node domains to be y-slabs (every decomposition the GPU modes
+/// build). Throws std::invalid_argument on a weight-count mismatch, negative
+/// weights, or a node whose weights sum to zero while it still owns zones.
+[[nodiscard]] Decomposition reweight_y_slabs(const Decomposition& base,
+                                             const std::vector<double>& weights);
 
 // --- Communication analytics (Fig. 9 / 6.1) --------------------------------
 

@@ -25,9 +25,16 @@ void Engine::step(const Event& ev) {
 }
 
 void Engine::reap_finished_roots() {
-  // Rethrow the first stored exception, then drop completed root frames.
-  for (const auto& r : roots_) r.rethrow_if_failed();
+  // Steal the first stored exception BEFORE erasing, so the failed frame is
+  // reaped like any completed root: a second run() must not rethrow a stale
+  // exception, and no completed frame may outlive this call.
+  std::exception_ptr first_failure;
+  for (auto& r : roots_) {
+    if (auto e = r.take_exception(); e && !first_failure)
+      first_failure = std::move(e);
+  }
   std::erase_if(roots_, [](const Task<void>& r) { return r.done(); });
+  if (first_failure) std::rethrow_exception(first_failure);
 }
 
 SimTime Engine::run() {

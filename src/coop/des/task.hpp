@@ -116,6 +116,12 @@ class Task {
     if (handle_ && handle_.promise().exception)
       std::rethrow_exception(handle_.promise().exception);
   }
+  /// Steals the stored exception (null when the task succeeded or is empty),
+  /// leaving the task exception-free so it reaps as an ordinary completion.
+  [[nodiscard]] std::exception_ptr take_exception() noexcept {
+    if (!handle_) return nullptr;
+    return std::exchange(handle_.promise().exception, nullptr);
+  }
 
  private:
   explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
@@ -183,6 +189,10 @@ class Task<void> {
   void rethrow_if_failed() const {
     if (handle_ && handle_.promise().exception)
       std::rethrow_exception(handle_.promise().exception);
+  }
+  [[nodiscard]] std::exception_ptr take_exception() noexcept {
+    if (!handle_) return nullptr;
+    return std::exchange(handle_.promise().exception, nullptr);
   }
 
  private:

@@ -84,6 +84,22 @@ inline constexpr double kMsgLatency = 5.0e-6;          ///< s per message
 inline constexpr double kMsgBandwidth = 6.0e9;         ///< B/s staged via host
 inline constexpr double kAllreduceLatencyPerHop = 3.0e-6;
 
+// --- Fault model / recovery costs ------------------------------------------
+/// First retry wait after a failed kernel launch; doubles per attempt.
+inline constexpr double kLaunchRetryBackoffBase = 50.0e-6;
+/// Halo-receive watchdog: silence budget before a retransmit is requested.
+inline constexpr double kHaloWatchdogTimeout = 500.0e-6;
+/// Restarting a crashed MPS control daemon (fork + device re-init).
+inline constexpr double kMpsRestartTime = 1.0e-3;
+/// Checkpoint traffic: field state written per zone, at host-memory speed.
+inline constexpr double kCheckpointBytesPerZone = 128.0;
+inline constexpr double kCheckpointBandwidth = 8.0e9;
+/// Per-kernel scratch demand used by the pool-exhaustion fault path.
+inline constexpr double kScratchBytesPerZone = 256.0;
+/// Fallback path when the device pool is exhausted: per-zone scratch is
+/// staged through host memory at PCIe-like speed instead of pool reuse.
+inline constexpr double kPoolFallbackBandwidth = 16.0e9;
+
 // --- Workload (ARES Sedov proxy) --------------------------------------------
 /// The paper's Sedov problem exercises ~80 kernels. Aggregate per-zone
 /// per-step traffic ~12.8 kB and ~2 kflop; per-kernel averages:

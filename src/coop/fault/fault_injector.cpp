@@ -1,0 +1,139 @@
+#include "coop/fault/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "coop/memory/device_pool.hpp"
+
+namespace coop::fault {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, RecoveryConfig recovery)
+    : recovery_(recovery) {
+  events_.reserve(plan.events.size());
+  for (const FaultEvent& e : plan.events) events_.push_back({e, false});
+}
+
+void FaultInjector::consume(Tracked& t) {
+  t.consumed = true;
+  ++stats_.faults_injected;
+}
+
+bool FaultInjector::gpu_dead(int node, int gpu, double now) const {
+  return std::any_of(events_.begin(), events_.end(), [&](const Tracked& t) {
+    return t.consumed && t.event.kind == FaultKind::kGpuDeath &&
+           t.event.node == node && t.event.gpu == gpu && t.event.time <= now;
+  });
+}
+
+bool FaultInjector::take_gpu_death(int node, int gpu, double now) {
+  for (Tracked& t : events_) {
+    if (t.consumed || t.event.kind != FaultKind::kGpuDeath) continue;
+    if (t.event.node != node || t.event.gpu != gpu) continue;
+    if (t.event.time > now) continue;
+    consume(t);
+    ++stats_.gpu_deaths;
+    if (stats_.first_gpu_death_time < 0.0)
+      stats_.first_gpu_death_time = t.event.time;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::kill_gpu(int node, int gpu, double now) {
+  FaultEvent e;
+  e.time = now;
+  e.kind = FaultKind::kGpuDeath;
+  e.node = node;
+  e.gpu = gpu;
+  Tracked t{e, false};
+  consume(t);
+  ++stats_.gpu_deaths;
+  if (stats_.first_gpu_death_time < 0.0) stats_.first_gpu_death_time = now;
+  events_.push_back(t);
+}
+
+int FaultInjector::take_transient_failures(int rank, double now) {
+  int failures = 0;
+  for (Tracked& t : events_) {
+    if (t.consumed || t.event.kind != FaultKind::kTransientLaunch) continue;
+    if (t.event.rank != rank || t.event.time > now) continue;
+    consume(t);
+    failures += t.event.count;
+  }
+  return failures;
+}
+
+double FaultInjector::slowdown_factor(int rank, double now) const {
+  double factor = 1.0;
+  for (const Tracked& t : events_) {
+    if (t.event.kind != FaultKind::kSlowdown || t.event.rank != rank) continue;
+    if (t.event.time <= now && now < t.event.time + t.event.duration)
+      factor *= t.event.factor;
+  }
+  return factor;
+}
+
+double FaultInjector::take_slowdown_factor(int rank, double now) {
+  double factor = 1.0;
+  for (Tracked& t : events_) {
+    if (t.event.kind != FaultKind::kSlowdown || t.event.rank != rank) continue;
+    if (t.event.time <= now && now < t.event.time + t.event.duration) {
+      if (!t.consumed) consume(t);
+      factor *= t.event.factor;
+    }
+  }
+  return factor;
+}
+
+bool FaultInjector::take_mps_crash(int node, double now) {
+  for (Tracked& t : events_) {
+    if (t.consumed || t.event.kind != FaultKind::kMpsCrash) continue;
+    if (t.event.node != node || t.event.time > now) continue;
+    consume(t);
+    return true;
+  }
+  return false;
+}
+
+int FaultInjector::take_halo_drops(int rank, double now) {
+  int drops = 0;
+  for (Tracked& t : events_) {
+    if (t.consumed || t.event.kind != FaultKind::kHaloDrop) continue;
+    if (t.event.rank != rank || t.event.time > now) continue;
+    consume(t);
+    drops += t.event.count;
+  }
+  return drops;
+}
+
+bool FaultInjector::take_pool_exhaustion(int rank, double now) {
+  for (Tracked& t : events_) {
+    if (t.consumed || t.event.kind != FaultKind::kPoolExhaustion) continue;
+    if (t.event.rank != rank || t.event.time > now) continue;
+    consume(t);
+    ++stats_.pool_exhaustions;
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::pool_exhaustion_stall(long zones) const {
+  if (zones <= 0) return 0.0;
+  const double demand =
+      static_cast<double>(zones) * recovery_.scratch_bytes_per_zone;
+  // Drive the real pool's detectable-failure path: a pool sized at half the
+  // scratch demand cannot satisfy it, try_allocate reports nullptr (never
+  // UB), and the oversubscribed remainder stages through the fallback.
+  const std::size_t pool_bytes =
+      std::max<std::size_t>(1024, static_cast<std::size_t>(demand / 2.0));
+  memory::DevicePool pool(pool_bytes);
+  void* block = pool.try_allocate(static_cast<std::size_t>(demand));
+  if (block != nullptr) {
+    pool.deallocate(block);
+    return 0.0;
+  }
+  const double pooled = static_cast<double>(pool.largest_free_block());
+  const double staged = std::max(0.0, demand - pooled);
+  return staged / recovery_.pool_fallback_bandwidth_bytes_per_s;
+}
+
+}  // namespace coop::fault

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coop/devmodel/calibration.hpp"
+#include "coop/fault/fault_plan.hpp"
+
+/// \file fault_injector.hpp
+/// Run-time side of the fault subsystem.
+///
+/// A `FaultInjector` is owned by one `run_timed` call. Rank processes poll it
+/// at well-defined detection points (compute start, per-launch, halo send) and
+/// it answers from the immutable `FaultPlan`, tracking which events have been
+/// consumed and accumulating `ResilienceStats`. All queries are keyed by the
+/// caller's simulated `now`; the injector itself holds no clock, so replaying
+/// the same plan through the same DES schedule consumes events identically.
+
+namespace coop::fault {
+
+/// Recovery-policy knobs, defaults from devmodel calibration.
+struct RecoveryConfig {
+  /// Kernel-launch attempts before a transient failure escalates to a
+  /// permanent GPU death (first try + retries).
+  int max_launch_attempts = 4;
+  double backoff_base_s = devmodel::calib::kLaunchRetryBackoffBase;
+
+  /// Halo watchdog: silence budget per receive and retransmits granted
+  /// before the sender is declared dead.
+  double watchdog_timeout_s = devmodel::calib::kHaloWatchdogTimeout;
+  int max_retransmits = 3;
+
+  double mps_restart_s = devmodel::calib::kMpsRestartTime;
+
+  /// Checkpoint every N iterations (0 disables checkpointing: a GPU death
+  /// then replays only the aborted iteration, not from a checkpoint).
+  int checkpoint_interval = 0;
+  double checkpoint_bytes_per_zone = devmodel::calib::kCheckpointBytesPerZone;
+  double checkpoint_bandwidth_bytes_per_s =
+      devmodel::calib::kCheckpointBandwidth;
+
+  /// Pool-exhaustion fallback: scratch staged through host memory.
+  double scratch_bytes_per_zone = devmodel::calib::kScratchBytesPerZone;
+  double pool_fallback_bandwidth_bytes_per_s =
+      devmodel::calib::kPoolFallbackBandwidth;
+
+  friend bool operator==(const RecoveryConfig&,
+                         const RecoveryConfig&) = default;
+};
+
+/// Resilience counters reported in `TimedResult`.
+struct ResilienceStats {
+  int faults_injected = 0;   ///< plan events actually consumed by the run
+  int faults_recovered = 0;  ///< consumed events the run survived
+
+  int gpu_deaths = 0;
+  int policy_flips = 0;  ///< CUDA -> sequential-CPU dispatch flips
+  int launch_retries = 0;
+  int mps_restarts = 0;
+  int halo_retransmits = 0;
+  int neighbors_declared_dead = 0;
+  int pool_exhaustions = 0;
+  int checkpoints_taken = 0;
+  int rollbacks = 0;
+  int replayed_iterations = 0;
+
+  double retry_time = 0.0;       ///< simulated seconds spent in backoff waits
+  double checkpoint_time = 0.0;  ///< simulated seconds writing checkpoints
+  double rework_time = 0.0;      ///< abort -> replayed-iteration-complete span
+
+  double first_gpu_death_time = -1.0;
+  double rebalance_complete_time = -1.0;
+
+  /// Span from the first GPU death until the post-death decomposition is in
+  /// place (negative when no death happened or rebalance never finished).
+  [[nodiscard]] double time_to_rebalance() const noexcept {
+    if (first_gpu_death_time < 0.0 || rebalance_complete_time < 0.0)
+      return -1.0;
+    return rebalance_complete_time - first_gpu_death_time;
+  }
+
+  friend bool operator==(const ResilienceStats&,
+                         const ResilienceStats&) = default;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, RecoveryConfig recovery);
+
+  // -- queries (rank processes call these at detection points) --------------
+
+  /// True once (node, gpu) has a due, consumed kGpuDeath event.
+  [[nodiscard]] bool gpu_dead(int node, int gpu, double now) const;
+
+  /// Consumes a due kGpuDeath for (node, gpu). Returns true exactly once per
+  /// event; the driving rank that sees `true` owns the recovery.
+  bool take_gpu_death(int node, int gpu, double now);
+
+  /// Escalation path: a transient launch failure that exceeded
+  /// max_launch_attempts becomes a permanent death of (node, gpu) at `now`.
+  void kill_gpu(int node, int gpu, double now);
+
+  /// Number of consecutive launch failures due for `rank` (sum of due
+  /// kTransientLaunch counts); consumes those events.
+  int take_transient_failures(int rank, double now);
+
+  /// Compute-time multiplier from every kSlowdown window covering `now`
+  /// (>= 1; factors of overlapping windows multiply).
+  [[nodiscard]] double slowdown_factor(int rank, double now) const;
+
+  /// Like `slowdown_factor`, but additionally counts each covering window as
+  /// injected the first time it is observed. Call once per compute phase.
+  double take_slowdown_factor(int rank, double now);
+
+  /// Consumes a due kMpsCrash on `node`. Each crash is returned to exactly
+  /// one caller (the first rank on the node to poll after the crash time).
+  bool take_mps_crash(int node, double now);
+
+  /// Number of sends from `rank` the network will drop (due kHaloDrop
+  /// counts); consumes those events.
+  int take_halo_drops(int rank, double now);
+
+  /// Consumes a due kPoolExhaustion targeting `rank`.
+  bool take_pool_exhaustion(int rank, double now);
+
+  /// Stall charged when the scratch pool is exhausted: `zones` worth of
+  /// per-kernel scratch staged through the fallback path. Exercises a real
+  /// `memory::DevicePool` sized below demand so the detectable-failure path
+  /// (try_allocate -> nullptr) is what triggers the fallback.
+  [[nodiscard]] double pool_exhaustion_stall(long zones) const;
+
+  // -- bookkeeping ----------------------------------------------------------
+
+  [[nodiscard]] ResilienceStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const ResilienceStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const RecoveryConfig& recovery() const noexcept {
+    return recovery_;
+  }
+
+ private:
+  struct Tracked {
+    FaultEvent event;
+    bool consumed = false;
+  };
+
+  /// Marks tracked event `i` consumed and counts it injected.
+  void consume(Tracked& t);
+
+  std::vector<Tracked> events_;
+  RecoveryConfig recovery_;
+  ResilienceStats stats_;
+};
+
+}  // namespace coop::fault

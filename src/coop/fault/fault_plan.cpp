@@ -1,0 +1,131 @@
+#include "coop/fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace coop::fault {
+
+namespace {
+
+/// Private counter-free PRNG so plans are reproducible independent of the
+/// standard library's distribution implementations (std::*_distribution is
+/// not specified bit-for-bit across toolchains).
+struct SplitMix64 {
+  std::uint64_t s;
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, 1) with 53 random bits.
+  double u01() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  /// Exponential with the given mean (inverse CDF; log1p keeps u=0 finite).
+  double expo(double mean) noexcept { return -mean * std::log1p(-u01()); }
+  int below(int n) noexcept {
+    return static_cast<int>(next() % static_cast<std::uint64_t>(n));
+  }
+};
+
+void check(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument("FaultPlan::validate: " + what);
+}
+
+}  // namespace
+
+void FaultPlan::add(const FaultEvent& e) {
+  auto it = std::upper_bound(
+      events.begin(), events.end(), e,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+  events.insert(it, e);
+}
+
+void FaultPlan::validate(int ranks, int nodes, int gpus_per_node) const {
+  for (const FaultEvent& e : events) {
+    check(e.time >= 0.0, "negative event time");
+    check(e.count >= 1, "count < 1");
+    check(e.factor >= 1.0, "slowdown factor < 1");
+    check(e.duration >= 0.0, "negative duration");
+    switch (e.kind) {
+      case FaultKind::kGpuDeath:
+        check(e.node >= 0 && e.node < nodes, "gpu-death node out of range");
+        check(e.gpu >= 0 && e.gpu < gpus_per_node,
+              "gpu-death gpu out of range");
+        break;
+      case FaultKind::kMpsCrash:
+        check(e.node >= 0 && e.node < nodes, "mps-crash node out of range");
+        break;
+      case FaultKind::kTransientLaunch:
+      case FaultKind::kSlowdown:
+      case FaultKind::kHaloDrop:
+      case FaultKind::kPoolExhaustion:
+        check(e.rank >= 0 && e.rank < ranks, "target rank out of range");
+        break;
+    }
+  }
+  check(std::is_sorted(events.begin(), events.end(),
+                       [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.time < b.time;
+                       }),
+        "events not sorted by time");
+}
+
+FaultPlan make_random_plan(std::uint64_t seed, const PlanConfig& cfg) {
+  if (cfg.horizon_s <= 0.0)
+    throw std::invalid_argument("make_random_plan: horizon <= 0");
+  if (cfg.ranks <= 0 || cfg.nodes <= 0 || cfg.gpus_per_node <= 0)
+    throw std::invalid_argument("make_random_plan: nonpositive topology");
+
+  FaultPlan plan;
+  // One independent stream per kind: arrivals of one kind never shift when
+  // another kind's rate changes.
+  const auto sample_kind = [&](FaultKind kind, double rate,
+                               auto&& fill_target) {
+    if (rate <= 0.0) return;
+    SplitMix64 rng{seed ^ (0x5151de5ca7a1ull * (static_cast<std::uint64_t>(kind) + 1))};
+    double t = rng.expo(1.0 / rate);
+    while (t < cfg.horizon_s) {
+      FaultEvent e;
+      e.time = t;
+      e.kind = kind;
+      fill_target(e, rng);
+      plan.add(e);
+      t += rng.expo(1.0 / rate);
+    }
+  };
+
+  sample_kind(FaultKind::kGpuDeath, cfg.gpu_death_rate,
+              [&](FaultEvent& e, SplitMix64& rng) {
+                e.node = rng.below(cfg.nodes);
+                e.gpu = rng.below(cfg.gpus_per_node);
+              });
+  sample_kind(FaultKind::kTransientLaunch, cfg.transient_rate,
+              [&](FaultEvent& e, SplitMix64& rng) {
+                e.rank = rng.below(cfg.ranks);
+                e.count = 1 + rng.below(cfg.max_burst);
+              });
+  sample_kind(FaultKind::kMpsCrash, cfg.mps_crash_rate,
+              [&](FaultEvent& e, SplitMix64& rng) {
+                e.node = rng.below(cfg.nodes);
+              });
+  sample_kind(FaultKind::kSlowdown, cfg.slowdown_rate,
+              [&](FaultEvent& e, SplitMix64& rng) {
+                e.rank = rng.below(cfg.ranks);
+                e.duration = rng.expo(cfg.slowdown_mean_s);
+                e.factor = cfg.slowdown_factor;
+              });
+  sample_kind(FaultKind::kHaloDrop, cfg.halo_drop_rate,
+              [&](FaultEvent& e, SplitMix64& rng) {
+                e.rank = rng.below(cfg.ranks);
+                e.count = 1 + rng.below(cfg.max_burst);
+              });
+  sample_kind(FaultKind::kPoolExhaustion, cfg.pool_exhaustion_rate,
+              [&](FaultEvent& e, SplitMix64& rng) {
+                e.rank = rng.below(cfg.ranks);
+              });
+  return plan;
+}
+
+}  // namespace coop::fault

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file fault_plan.hpp
+/// Deterministic fault schedules for the timed simulation.
+///
+/// A `FaultPlan` is an explicit, time-sorted list of fault events — the
+/// ground truth a resilience experiment runs against. Plans are either built
+/// by hand (tests, demos) or drawn from `make_random_plan`, a seed-driven
+/// Poisson sampler. Determinism guarantee: the same seed and `PlanConfig`
+/// produce the bitwise-identical event list on every run of the same binary,
+/// and feeding the same plan into the same `TimedConfig` produces the
+/// bitwise-identical `TimedResult` (the DES processes events at equal times
+/// in schedule order; no wall-clock or global RNG state is consulted).
+
+namespace coop::fault {
+
+/// What breaks. Matches the hazards heterogeneous co-execution studies
+/// report on shared nodes: lost accelerators, flaky launches, MPS daemon
+/// crashes, thermal stragglers, dropped halo messages, exhausted pools.
+enum class FaultKind : std::uint8_t {
+  kGpuDeath,         ///< permanent device failure (node, gpu)
+  kTransientLaunch,  ///< retriable kernel-launch failure (rank, count)
+  kMpsCrash,         ///< MPS daemon crash on a node (restart + serialize)
+  kSlowdown,         ///< thermal-throttle straggler (rank, window, factor)
+  kHaloDrop,         ///< halo message loss (rank, count drops)
+  kPoolExhaustion,   ///< device scratch-pool exhaustion (rank)
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kGpuDeath: return "gpu-death";
+    case FaultKind::kTransientLaunch: return "transient-launch";
+    case FaultKind::kMpsCrash: return "mps-crash";
+    case FaultKind::kSlowdown: return "slowdown";
+    case FaultKind::kHaloDrop: return "halo-drop";
+    case FaultKind::kPoolExhaustion: return "pool-exhaustion";
+  }
+  return "?";
+}
+
+/// One scheduled fault. Which fields are meaningful depends on `kind`:
+/// kGpuDeath/kMpsCrash target (node[, gpu]); the rank-scoped kinds target
+/// `rank`; kTransientLaunch/kHaloDrop use `count` consecutive failures;
+/// kSlowdown uses `duration`/`factor`.
+struct FaultEvent {
+  double time = 0.0;  ///< simulated seconds at which the fault arms
+  FaultKind kind = FaultKind::kTransientLaunch;
+  int rank = -1;
+  int node = 0;
+  int gpu = 0;
+  int count = 1;
+  double duration = 0.0;
+  double factor = 1.0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  ///< kept sorted by (time, insertion order)
+
+  /// Inserts `e` keeping the time ordering (stable for equal times).
+  void add(const FaultEvent& e);
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(events.size());
+  }
+
+  /// Throws std::invalid_argument when any event is out of bounds for a run
+  /// with `ranks` ranks on `nodes` nodes of `gpus_per_node` GPUs, has a
+  /// negative time, a nonpositive count, a factor < 1, or a negative
+  /// duration.
+  void validate(int ranks, int nodes, int gpus_per_node) const;
+
+  [[nodiscard]] static FaultPlan none() { return {}; }
+};
+
+/// Knobs for the seeded plan generator. Rates are Poisson arrival rates in
+/// events per simulated second over `[0, horizon_s)`.
+struct PlanConfig {
+  double horizon_s = 60.0;
+  int ranks = 4;
+  int nodes = 1;
+  int gpus_per_node = 4;
+
+  double gpu_death_rate = 0.0;
+  double transient_rate = 0.0;
+  double mps_crash_rate = 0.0;
+  double slowdown_rate = 0.0;
+  double halo_drop_rate = 0.0;
+  double pool_exhaustion_rate = 0.0;
+
+  double slowdown_mean_s = 1.0;   ///< mean throttle-window length
+  double slowdown_factor = 3.0;   ///< compute-time multiplier while throttled
+  int max_burst = 3;              ///< max consecutive failures per event
+};
+
+/// Draws a plan from `cfg` with a private splitmix64 stream per fault kind
+/// (so changing one rate never perturbs the arrivals of another kind).
+/// Same (seed, cfg) → bitwise-identical plan.
+[[nodiscard]] FaultPlan make_random_plan(std::uint64_t seed,
+                                         const PlanConfig& cfg);
+
+}  // namespace coop::fault

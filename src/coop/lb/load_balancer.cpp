@@ -26,7 +26,11 @@ void FeedbackBalancer::observe(double cpu_time, double gpu_time,
                                double actual_fraction) {
   ++observations_;
   const double f_a = actual_fraction >= 0 ? actual_fraction : fraction_;
-  if (cpu_time <= 0 || gpu_time <= 0 || f_a <= 0 || f_a >= 1) {
+  // isfinite guards matter: NaN compares false against every threshold below,
+  // so without them a NaN timing would flow straight into fraction_.
+  if (!std::isfinite(cpu_time) || !std::isfinite(gpu_time) ||
+      !std::isfinite(f_a) || cpu_time <= 0 || gpu_time <= 0 || f_a <= 0 ||
+      f_a >= 1) {
     return;  // nothing measurable this iteration
   }
   imbalance_ = std::abs(cpu_time - gpu_time) / std::max(cpu_time, gpu_time);

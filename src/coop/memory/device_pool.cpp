@@ -43,10 +43,16 @@ void DevicePool::erase_free(Offset off, Size size) {
 }
 
 void* DevicePool::allocate(std::size_t bytes) {
+  void* p = try_allocate(bytes);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* DevicePool::try_allocate(std::size_t bytes) noexcept {
   const Size need = round_up(bytes == 0 ? 1 : bytes, alignment_);
   // Best fit: smallest free block that can hold the request.
   auto it = free_by_size_.lower_bound(need);
-  if (it == free_by_size_.end()) throw std::bad_alloc{};
+  if (it == free_by_size_.end()) return nullptr;
   const Size block_size = it->first;
   const Offset off = it->second;
   erase_free(off, block_size);

@@ -29,6 +29,11 @@ class DevicePool : public Allocator {
   [[nodiscard]] void* allocate(std::size_t bytes) override;
   void deallocate(void* p) override;
 
+  /// Non-throwing variant of allocate: returns nullptr when no free block
+  /// can hold `bytes`, so exhaustion is a detectable failure callers can
+  /// recover from (the fault injector's pool-exhaustion path uses this).
+  [[nodiscard]] void* try_allocate(std::size_t bytes) noexcept;
+
   [[nodiscard]] MemorySpace space() const noexcept override {
     return MemorySpace::kDevice;
   }

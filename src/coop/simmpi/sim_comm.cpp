@@ -40,13 +40,16 @@ void SimComm::post_send(int dest, int tag, std::vector<double> data,
 
 void SimComm::post_send(int dest, int tag, std::vector<double> data,
                         std::size_t bytes,
-                        const devmodel::InterconnectSpec& net) {
+                        const devmodel::InterconnectSpec& net,
+                        double extra_delay) {
   if (dest < 0 || dest >= world_->size_)
     throw std::invalid_argument("SimComm::post_send: bad destination");
+  if (extra_delay < 0.0)
+    throw std::invalid_argument("SimComm::post_send: negative extra delay");
   const double now = world_->engine_.now();
   // Non-overtaking: a message may not arrive before any earlier message on
   // the same (source, dest) ordered channel.
-  double arrival = now + devmodel::message_time(net, bytes);
+  double arrival = now + extra_delay + devmodel::message_time(net, bytes);
   auto& floor_t = world_->last_delivery_[{rank_, dest}];
   arrival = std::max(arrival, floor_t);
   floor_t = arrival;

@@ -40,10 +40,14 @@ class SimComm {
   /// up in the destination mailbox `message_time(bytes)` later. The
   /// three-argument overload uses the world's interconnect; pass an explicit
   /// `net` to route a message over a different link (e.g. GPU-direct).
+  /// `extra_delay` adds sender-side latency before injection — the fault
+  /// model charges dropped-and-retransmitted halos this way (the MPI
+  /// non-overtaking floor still applies on top).
   void post_send(int dest, int tag, std::vector<double> data,
                  std::size_t bytes);
   void post_send(int dest, int tag, std::vector<double> data,
-                 std::size_t bytes, const devmodel::InterconnectSpec& net);
+                 std::size_t bytes, const devmodel::InterconnectSpec& net,
+                 double extra_delay = 0.0);
 
   /// Awaits a message from (source, tag).
   [[nodiscard]] des::Task<std::vector<double>> recv(int source, int tag);

@@ -188,6 +188,44 @@ TEST(TimedSim, InvalidConfigsRejected) {
   EXPECT_THROW((void)core::run_timed(tc), std::invalid_argument);
 }
 
+// Checks both that a bad field is rejected and that the message names it, so
+// a misconfigured sweep fails with a diagnosis rather than a generic throw.
+void expect_rejected(const core::TimedConfig& tc, const std::string& needle) {
+  try {
+    (void)core::run_timed(tc);
+    FAIL() << "expected rejection mentioning \"" << needle << "\"";
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_NE(std::string(ex.what()).find(needle), std::string::npos)
+        << "actual message: " << ex.what();
+  }
+}
+
+TEST(TimedSim, RejectsNonPositiveRanksPerGpu) {
+  auto tc = base_config(core::NodeMode::kMpsPerGpu, 64, 64, 64);
+  tc.ranks_per_gpu = 0;
+  expect_rejected(tc, "ranks_per_gpu");
+  tc.ranks_per_gpu = -2;
+  expect_rejected(tc, "ranks_per_gpu");
+}
+
+TEST(TimedSim, RejectsCpuFractionAboveOne) {
+  auto tc = base_config(core::NodeMode::kHeterogeneous, 64, 64, 64);
+  tc.cpu_fraction = 1.5;
+  expect_rejected(tc, "cpu_fraction");
+}
+
+TEST(TimedSim, RejectsNegativeGhosts) {
+  auto tc = base_config(core::NodeMode::kOneRankPerGpu, 64, 64, 64);
+  tc.ghosts = -1;
+  expect_rejected(tc, "ghosts");
+}
+
+TEST(TimedSim, RejectsMoreNodesThanZPlanes) {
+  auto tc = base_config(core::NodeMode::kOneRankPerGpu, 64, 64, 4);
+  tc.nodes = 8;
+  expect_rejected(tc, "z extent");
+}
+
 TEST(TimedSim, SierraPresetRunsFaster) {
   auto rz = base_config(core::NodeMode::kOneRankPerGpu, 320, 320, 320);
   auto sierra = rz;

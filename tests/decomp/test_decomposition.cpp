@@ -214,6 +214,49 @@ TEST(CommAnalytics, SixteenRanksCostMoreThanFour) {
   EXPECT_GT(sixteen.total_halo_zones, four.total_halo_zones);
 }
 
+TEST(ReweightYSlabs, RedistributesProportionallyAndRetiresZeroWeight) {
+  // 4 GPU-style y-slabs; retire rank 1 and split its share among survivors.
+  const auto base = dc::hierarchical_gpu(kGlobal, 4, 1);
+  const auto out = dc::reweight_y_slabs(base, {1.0, 0.0, 1.0, 1.0});
+  ASSERT_EQ(out.ranks(), 4);
+  EXPECT_EQ(out.domains[1].box.zones(), 0);
+  long total = 0;
+  for (const auto& d : out.domains) {
+    total += d.box.zones();
+    // Identity fields survive the re-carve; only the boxes move.
+    EXPECT_EQ(d.rank, base.domains[static_cast<std::size_t>(d.rank)].rank);
+    EXPECT_EQ(d.target,
+              base.domains[static_cast<std::size_t>(d.rank)].target);
+    EXPECT_EQ(d.gpu_id, base.domains[static_cast<std::size_t>(d.rank)].gpu_id);
+  }
+  EXPECT_EQ(total, kGlobal.zones());
+  // Survivors share the y extent roughly equally (within one plane).
+  for (int q : {0, 2, 3}) {
+    const auto& b = out.domains[static_cast<std::size_t>(q)].box;
+    EXPECT_NEAR(static_cast<double>(b.ny()), 480.0 / 3.0, 1.0);
+  }
+  EXPECT_NO_THROW(out.validate(/*allow_empty=*/true));
+}
+
+TEST(ReweightYSlabs, UnevenWeightsShiftPlanes) {
+  const auto base = dc::hierarchical_gpu(kGlobal, 4, 1);
+  const auto out = dc::reweight_y_slabs(base, {3.0, 1.0, 1.0, 1.0});
+  EXPECT_GT(out.domains[0].box.zones(), 2 * out.domains[1].box.zones());
+  long total = 0;
+  for (const auto& d : out.domains) total += d.box.zones();
+  EXPECT_EQ(total, kGlobal.zones());
+}
+
+TEST(ReweightYSlabs, RejectsBadWeights) {
+  const auto base = dc::hierarchical_gpu(kGlobal, 4, 1);
+  EXPECT_THROW((void)dc::reweight_y_slabs(base, {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)dc::reweight_y_slabs(base, {1.0, -0.5, 1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)dc::reweight_y_slabs(base, {0.0, 0.0, 0.0, 0.0}),
+               std::invalid_argument);
+}
+
 TEST(CommAnalytics, MessageCountMatchesNeighborSum) {
   const auto d = dc::hierarchical_gpu(kGlobal, 4, 4);
   const auto nbrs = dc::neighbor_lists(d);

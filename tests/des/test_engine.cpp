@@ -119,6 +119,44 @@ TEST(Engine, RootExceptionPropagatesFromRun) {
   EXPECT_THROW(eng.run(), std::runtime_error);
 }
 
+TEST(Engine, FailedRootIsReapedBeforeRethrow) {
+  des::Engine eng;
+  auto bomb = [](des::Engine& e) -> des::Task<void> {
+    co_await e.delay(1.0);
+    throw std::runtime_error("boom");
+  };
+  eng.spawn(bomb(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+  // The failed root was removed with its exception consumed: a second run()
+  // must not rethrow the stale exception.
+  EXPECT_NO_THROW(eng.run());
+  // And the engine stays usable for fresh processes afterwards.
+  std::vector<double> times;
+  eng.spawn(ticker(eng, times, 1.0, 2));
+  eng.run();
+  EXPECT_EQ(times.size(), 2u);
+}
+
+TEST(Engine, AllFailedRootsReapedWithSingleRethrow) {
+  des::Engine eng;
+  auto bomb = [](des::Engine& e, double at, const char* what)
+      -> des::Task<void> {
+    co_await e.delay(at);
+    throw std::runtime_error(what);
+  };
+  // Both roots fail; run() drains the queue, then rethrows the first spawned
+  // root's exception exactly once. Both frames are reaped.
+  eng.spawn(bomb(eng, 1.0, "first"));
+  eng.spawn(bomb(eng, 2.0, "second"));
+  try {
+    eng.run();
+    FAIL() << "run() should have thrown";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "first");
+  }
+  EXPECT_NO_THROW(eng.run());
+}
+
 TEST(Engine, EventsProcessedCounts) {
   des::Engine eng;
   std::vector<double> times;

@@ -1,0 +1,118 @@
+#include "coop/fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fault = coop::fault;
+
+namespace {
+
+fault::FaultPlan one_event(fault::FaultEvent e) {
+  fault::FaultPlan p;
+  p.add(e);
+  return p;
+}
+
+TEST(FaultInjector, GpuDeathConsumedExactlyOnce) {
+  const auto plan = one_event(
+      {.time = 1.0, .kind = fault::FaultKind::kGpuDeath, .node = 0, .gpu = 2});
+  fault::FaultInjector inj(plan, {});
+  EXPECT_FALSE(inj.take_gpu_death(0, 2, 0.5));  // not due yet
+  EXPECT_FALSE(inj.gpu_dead(0, 2, 0.5));
+  EXPECT_TRUE(inj.take_gpu_death(0, 2, 1.5));
+  EXPECT_FALSE(inj.take_gpu_death(0, 2, 2.0));  // already consumed
+  EXPECT_TRUE(inj.gpu_dead(0, 2, 2.0));         // but stays dead
+  EXPECT_FALSE(inj.gpu_dead(0, 3, 2.0));        // other devices unaffected
+  EXPECT_EQ(inj.stats().gpu_deaths, 1);
+  EXPECT_EQ(inj.stats().faults_injected, 1);
+  EXPECT_DOUBLE_EQ(inj.stats().first_gpu_death_time, 1.0);
+}
+
+TEST(FaultInjector, KillGpuEscalatesToPermanentDeath) {
+  fault::FaultInjector inj(fault::FaultPlan::none(), {});
+  EXPECT_FALSE(inj.gpu_dead(0, 1, 10.0));
+  inj.kill_gpu(0, 1, 3.0);
+  EXPECT_TRUE(inj.gpu_dead(0, 1, 3.0));
+  EXPECT_EQ(inj.stats().gpu_deaths, 1);
+  EXPECT_DOUBLE_EQ(inj.stats().first_gpu_death_time, 3.0);
+}
+
+TEST(FaultInjector, TransientFailuresSumCountsAndConsume) {
+  fault::FaultPlan plan;
+  plan.add({.time = 1.0, .kind = fault::FaultKind::kTransientLaunch,
+            .rank = 2, .count = 2});
+  plan.add({.time = 2.0, .kind = fault::FaultKind::kTransientLaunch,
+            .rank = 2, .count = 1});
+  plan.add({.time = 1.0, .kind = fault::FaultKind::kTransientLaunch,
+            .rank = 0, .count = 5});
+  fault::FaultInjector inj(plan, {});
+  EXPECT_EQ(inj.take_transient_failures(2, 2.5), 3);
+  EXPECT_EQ(inj.take_transient_failures(2, 3.0), 0);  // consumed
+  EXPECT_EQ(inj.take_transient_failures(0, 1.0), 5);
+  EXPECT_EQ(inj.stats().faults_injected, 3);
+}
+
+TEST(FaultInjector, SlowdownWindowsMultiplyAndExpire) {
+  fault::FaultPlan plan;
+  plan.add({.time = 1.0, .kind = fault::FaultKind::kSlowdown, .rank = 0,
+            .duration = 2.0, .factor = 3.0});
+  plan.add({.time = 2.0, .kind = fault::FaultKind::kSlowdown, .rank = 0,
+            .duration = 2.0, .factor = 2.0});
+  fault::FaultInjector inj(plan, {});
+  EXPECT_DOUBLE_EQ(inj.slowdown_factor(0, 0.5), 1.0);   // before both
+  EXPECT_DOUBLE_EQ(inj.slowdown_factor(0, 1.5), 3.0);   // first only
+  EXPECT_DOUBLE_EQ(inj.slowdown_factor(0, 2.5), 6.0);   // overlap
+  EXPECT_DOUBLE_EQ(inj.slowdown_factor(0, 3.5), 2.0);   // second only
+  EXPECT_DOUBLE_EQ(inj.slowdown_factor(0, 4.5), 1.0);   // both expired
+  EXPECT_DOUBLE_EQ(inj.slowdown_factor(1, 1.5), 1.0);   // other rank
+  // take_* counts each window once.
+  EXPECT_DOUBLE_EQ(inj.take_slowdown_factor(0, 2.5), 6.0);
+  EXPECT_EQ(inj.stats().faults_injected, 2);
+  EXPECT_DOUBLE_EQ(inj.take_slowdown_factor(0, 2.6), 6.0);
+  EXPECT_EQ(inj.stats().faults_injected, 2);  // not double-counted
+}
+
+TEST(FaultInjector, MpsCrashDeliveredToFirstPollerOnly) {
+  const auto plan =
+      one_event({.time = 1.0, .kind = fault::FaultKind::kMpsCrash, .node = 1});
+  fault::FaultInjector inj(plan, {});
+  EXPECT_FALSE(inj.take_mps_crash(0, 2.0));  // wrong node
+  EXPECT_TRUE(inj.take_mps_crash(1, 2.0));
+  EXPECT_FALSE(inj.take_mps_crash(1, 3.0));
+}
+
+TEST(FaultInjector, HaloDropsConsume) {
+  fault::FaultPlan plan;
+  plan.add({.time = 1.0, .kind = fault::FaultKind::kHaloDrop, .rank = 3,
+            .count = 2});
+  fault::FaultInjector inj(plan, {});
+  EXPECT_EQ(inj.take_halo_drops(3, 0.5), 0);
+  EXPECT_EQ(inj.take_halo_drops(3, 1.5), 2);
+  EXPECT_EQ(inj.take_halo_drops(3, 2.0), 0);
+}
+
+TEST(FaultInjector, PoolExhaustionStallUsesDetectableFailure) {
+  const auto plan = one_event(
+      {.time = 1.0, .kind = fault::FaultKind::kPoolExhaustion, .rank = 0});
+  fault::FaultInjector inj(plan, {});
+  EXPECT_TRUE(inj.take_pool_exhaustion(0, 1.0));
+  EXPECT_FALSE(inj.take_pool_exhaustion(0, 1.0));
+  // A real pool sized below demand reports failure and the remainder stages
+  // through the fallback path: the stall is positive and grows with zones.
+  const double small = inj.pool_exhaustion_stall(100'000);
+  const double large = inj.pool_exhaustion_stall(1'000'000);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+  EXPECT_DOUBLE_EQ(inj.pool_exhaustion_stall(0), 0.0);
+  EXPECT_EQ(inj.stats().pool_exhaustions, 1);
+}
+
+TEST(ResilienceStats, TimeToRebalance) {
+  fault::ResilienceStats st;
+  EXPECT_DOUBLE_EQ(st.time_to_rebalance(), -1.0);
+  st.first_gpu_death_time = 2.0;
+  EXPECT_DOUBLE_EQ(st.time_to_rebalance(), -1.0);
+  st.rebalance_complete_time = 2.5;
+  EXPECT_DOUBLE_EQ(st.time_to_rebalance(), 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "coop/fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fault = coop::fault;
+
+namespace {
+
+TEST(FaultPlan, AddKeepsTimeOrder) {
+  fault::FaultPlan plan;
+  plan.add({.time = 3.0, .kind = fault::FaultKind::kSlowdown, .rank = 0});
+  plan.add({.time = 1.0, .kind = fault::FaultKind::kGpuDeath});
+  plan.add({.time = 2.0, .kind = fault::FaultKind::kHaloDrop, .rank = 1});
+  ASSERT_EQ(plan.size(), 3);
+  EXPECT_TRUE(std::is_sorted(
+      plan.events.begin(), plan.events.end(),
+      [](const auto& a, const auto& b) { return a.time < b.time; }));
+}
+
+TEST(FaultPlan, AddIsStableForEqualTimes) {
+  fault::FaultPlan plan;
+  fault::FaultEvent a{.time = 1.0, .kind = fault::FaultKind::kHaloDrop,
+                      .rank = 0};
+  fault::FaultEvent b{.time = 1.0, .kind = fault::FaultKind::kHaloDrop,
+                      .rank = 1};
+  plan.add(a);
+  plan.add(b);
+  EXPECT_EQ(plan.events[0].rank, 0);
+  EXPECT_EQ(plan.events[1].rank, 1);
+}
+
+TEST(FaultPlan, ValidateRejectsOutOfRangeTargets) {
+  fault::FaultPlan plan;
+  plan.add({.time = 1.0, .kind = fault::FaultKind::kGpuDeath, .node = 0,
+            .gpu = 7});
+  EXPECT_THROW(plan.validate(4, 1, 4), std::invalid_argument);
+
+  fault::FaultPlan plan2;
+  plan2.add(
+      {.time = 1.0, .kind = fault::FaultKind::kTransientLaunch, .rank = 9});
+  EXPECT_THROW(plan2.validate(4, 1, 4), std::invalid_argument);
+
+  fault::FaultPlan plan3;
+  plan3.add({.time = -1.0, .kind = fault::FaultKind::kGpuDeath});
+  EXPECT_THROW(plan3.validate(4, 1, 4), std::invalid_argument);
+}
+
+TEST(FaultPlan, ValidateAcceptsWellFormedPlan) {
+  fault::FaultPlan plan;
+  plan.add({.time = 0.5, .kind = fault::FaultKind::kGpuDeath, .node = 0,
+            .gpu = 3});
+  plan.add({.time = 1.5, .kind = fault::FaultKind::kSlowdown, .rank = 2,
+            .duration = 0.3, .factor = 2.0});
+  EXPECT_NO_THROW(plan.validate(4, 1, 4));
+}
+
+TEST(MakeRandomPlan, SameSeedSameConfigBitwiseIdentical) {
+  fault::PlanConfig cfg;
+  cfg.horizon_s = 30.0;
+  cfg.ranks = 8;
+  cfg.nodes = 2;
+  cfg.transient_rate = 0.5;
+  cfg.gpu_death_rate = 0.05;
+  cfg.slowdown_rate = 0.2;
+  cfg.halo_drop_rate = 0.3;
+  const auto a = fault::make_random_plan(42, cfg);
+  const auto b = fault::make_random_plan(42, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(a.events == b.events);
+  EXPECT_NO_THROW(a.validate(cfg.ranks, cfg.nodes, cfg.gpus_per_node));
+}
+
+TEST(MakeRandomPlan, DifferentSeedsDiffer) {
+  fault::PlanConfig cfg;
+  cfg.transient_rate = 1.0;
+  const auto a = fault::make_random_plan(1, cfg);
+  const auto b = fault::make_random_plan(2, cfg);
+  EXPECT_FALSE(a.events == b.events);
+}
+
+TEST(MakeRandomPlan, PerKindStreamsAreIndependent) {
+  // Adding a second fault kind must not perturb the first kind's arrivals.
+  fault::PlanConfig base;
+  base.transient_rate = 0.5;
+  fault::PlanConfig both = base;
+  both.slowdown_rate = 0.4;
+
+  const auto only = fault::make_random_plan(7, base);
+  const auto mixed = fault::make_random_plan(7, both);
+  std::vector<fault::FaultEvent> mixed_transients;
+  for (const auto& e : mixed.events)
+    if (e.kind == fault::FaultKind::kTransientLaunch)
+      mixed_transients.push_back(e);
+  EXPECT_TRUE(only.events == mixed_transients);
+}
+
+TEST(MakeRandomPlan, ZeroRatesGiveEmptyPlan) {
+  EXPECT_TRUE(fault::make_random_plan(99, {}).empty());
+}
+
+TEST(MakeRandomPlan, RejectsBadConfig) {
+  fault::PlanConfig cfg;
+  cfg.horizon_s = 0.0;
+  EXPECT_THROW(fault::make_random_plan(1, cfg), std::invalid_argument);
+  fault::PlanConfig cfg2;
+  cfg2.ranks = 0;
+  EXPECT_THROW(fault::make_random_plan(1, cfg2), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "coop/core/timed_sim.hpp"
+#include "coop/fault/fault_plan.hpp"
+
+/// End-to-end resilience tests: faults injected into the timed simulation
+/// and recovered by the policies layered on the DES.
+
+namespace core = coop::core;
+namespace fault = coop::fault;
+using coop::mesh::Box;
+
+namespace {
+
+core::TimedConfig base_config(core::NodeMode mode, long x, long y, long z,
+                              int steps) {
+  core::TimedConfig tc;
+  tc.mode = mode;
+  tc.global = Box{{0, 0, 0}, {x, y, z}};
+  tc.timesteps = steps;
+  return tc;
+}
+
+void expect_identical(const core::TimedResult& a, const core::TimedResult& b) {
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.iteration_times, b.iteration_times);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_TRUE(a.resilience == b.resilience);
+  EXPECT_EQ(a.final_zones_per_rank, b.final_zones_per_rank);
+}
+
+TEST(FaultSim, EmptyPlanMatchesFaultFreeRunBitwise) {
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 96, 160, 8);
+  const auto clean = core::run_timed(cfg);
+  const fault::FaultPlan empty = fault::FaultPlan::none();
+  cfg.faults = &empty;
+  const auto with_empty = core::run_timed(cfg);
+  expect_identical(clean, with_empty);
+  EXPECT_EQ(with_empty.resilience.faults_injected, 0);
+}
+
+TEST(FaultSim, DeterministicReplayOfSeededPlan) {
+  fault::PlanConfig pc;
+  pc.horizon_s = 3.0;
+  pc.ranks = 4;
+  pc.transient_rate = 2.0;
+  pc.slowdown_rate = 1.0;
+  pc.halo_drop_rate = 2.0;
+  pc.pool_exhaustion_rate = 0.5;
+  const auto plan = fault::make_random_plan(1234, pc);
+  ASSERT_FALSE(plan.empty());
+
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 96, 160, 12);
+  cfg.faults = &plan;
+  const auto a = core::run_timed(cfg);
+  const auto b = core::run_timed(cfg);
+  expect_identical(a, b);
+  EXPECT_GT(a.resilience.faults_injected, 0);
+  EXPECT_EQ(a.resilience.faults_recovered, a.resilience.faults_injected);
+}
+
+TEST(FaultSim, GpuDeathDegradesGracefully) {
+  // Clean run on the full device set, to measure the iteration period and
+  // establish the lower bound of the acceptance inequality.
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 96, 160, 24);
+  const auto clean = core::run_timed(cfg);
+  const double iter = clean.iteration_times.front();
+
+  // Clean run on the reduced device set (3 GPUs): the upper bound.
+  auto cfg3 = cfg;
+  cfg3.node.gpu_count = 3;
+  const auto clean_reduced = core::run_timed(cfg3);
+
+  // Kill GPU 1 mid-run (between iterations 8 and 9).
+  fault::FaultPlan plan;
+  plan.add({.time = 8.5 * iter, .kind = fault::FaultKind::kGpuDeath,
+            .node = 0, .gpu = 1});
+  cfg.faults = &plan;
+  const auto degraded = core::run_timed(cfg);
+
+  // The run completes all timesteps (plus the replayed pass).
+  EXPECT_GE(degraded.iteration_times.size(), 25u);
+  EXPECT_EQ(degraded.resilience.gpu_deaths, 1);
+  EXPECT_EQ(degraded.resilience.policy_flips, 1);
+  EXPECT_EQ(degraded.resilience.rollbacks, 1);
+  EXPECT_EQ(degraded.resilience.replayed_iterations, 1);
+  EXPECT_GT(degraded.resilience.rework_time, 0.0);
+  EXPECT_GT(degraded.resilience.time_to_rebalance(), 0.0);
+
+  // The dead rank's zones are absorbed by the survivors: every zone is still
+  // owned, and rank 1 (whose CPU share is below the half-plane floor at
+  // ny = 96) retired with an empty domain.
+  const long total = std::accumulate(degraded.final_zones_per_rank.begin(),
+                                     degraded.final_zones_per_rank.end(), 0L);
+  EXPECT_EQ(total, 320L * 96 * 160);
+  EXPECT_EQ(degraded.final_zones_per_rank[1], 0);
+  for (int q : {0, 2, 3}) {
+    EXPECT_GT(degraded.final_zones_per_rank[static_cast<std::size_t>(q)],
+              320L * 96 * 160 / 4)
+        << "survivor " << q << " should own more than its original share";
+  }
+
+  // Makespan strictly between the clean run and the clean reduced-set run.
+  EXPECT_GT(degraded.makespan, clean.makespan);
+  EXPECT_LT(degraded.makespan, clean_reduced.makespan);
+}
+
+TEST(FaultSim, GpuDeathWithLargeNyKeepsOrphanAsCpuRank) {
+  // At ny = 480 the flipped rank's model share is ~1.8 planes — above the
+  // retirement floor — so it survives as a sequential-CPU rank.
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 160, 480, 80, 10);
+  const auto clean = core::run_timed(cfg);
+  fault::FaultPlan plan;
+  plan.add({.time = 3.5 * clean.iteration_times.front(),
+            .kind = fault::FaultKind::kGpuDeath, .node = 0, .gpu = 2});
+  cfg.faults = &plan;
+  const auto degraded = core::run_timed(cfg);
+  EXPECT_EQ(degraded.resilience.policy_flips, 1);
+  EXPECT_GT(degraded.final_zones_per_rank[2], 0);
+  EXPECT_LT(degraded.final_zones_per_rank[2],
+            degraded.final_zones_per_rank[0] / 10);
+  const long total = std::accumulate(degraded.final_zones_per_rank.begin(),
+                                     degraded.final_zones_per_rank.end(), 0L);
+  EXPECT_EQ(total, 160L * 480 * 80);
+}
+
+TEST(FaultSim, TransientLaunchFailuresRetryWithBackoff) {
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 96, 160, 8);
+  const auto clean = core::run_timed(cfg);
+
+  fault::FaultPlan plan;
+  plan.add({.time = clean.iteration_times.front() * 1.5,
+            .kind = fault::FaultKind::kTransientLaunch, .rank = 0,
+            .count = 2});
+  cfg.faults = &plan;
+  const auto r = core::run_timed(cfg);
+  EXPECT_EQ(r.resilience.launch_retries, 2);
+  EXPECT_GT(r.resilience.retry_time, 0.0);
+  EXPECT_EQ(r.resilience.gpu_deaths, 0);
+  EXPECT_NEAR(r.makespan, clean.makespan + r.resilience.retry_time, 1e-9);
+}
+
+TEST(FaultSim, TransientBurstEscalatesToDeath) {
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 96, 160, 12);
+  const auto clean = core::run_timed(cfg);
+  fault::FaultPlan plan;
+  plan.add({.time = clean.iteration_times.front() * 2.5,
+            .kind = fault::FaultKind::kTransientLaunch, .rank = 3,
+            .count = 10});  // >= default max_launch_attempts
+  cfg.faults = &plan;
+  const auto r = core::run_timed(cfg);
+  EXPECT_EQ(r.resilience.gpu_deaths, 1);
+  EXPECT_EQ(r.resilience.policy_flips, 1);
+  EXPECT_EQ(r.resilience.launch_retries, 0);
+  EXPECT_GT(r.makespan, clean.makespan);
+}
+
+TEST(FaultSim, SlowdownStretchesMakespan) {
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 96, 160, 10);
+  const auto clean = core::run_timed(cfg);
+  fault::FaultPlan plan;
+  plan.add({.time = 0.0, .kind = fault::FaultKind::kSlowdown, .rank = 2,
+            .duration = clean.makespan, .factor = 2.0});
+  cfg.faults = &plan;
+  const auto r = core::run_timed(cfg);
+  EXPECT_GT(r.makespan, 1.5 * clean.makespan);
+  EXPECT_EQ(r.resilience.faults_injected, 1);
+  EXPECT_EQ(r.resilience.faults_recovered, 1);
+}
+
+TEST(FaultSim, HaloDropsChargeWatchdogAndRetransmit) {
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 96, 160, 8);
+  const auto clean = core::run_timed(cfg);
+  fault::FaultPlan plan;
+  plan.add({.time = clean.iteration_times.front() * 1.5,
+            .kind = fault::FaultKind::kHaloDrop, .rank = 1, .count = 2});
+  cfg.faults = &plan;
+  const auto r = core::run_timed(cfg);
+  EXPECT_EQ(r.resilience.halo_retransmits, 2);
+  EXPECT_EQ(r.resilience.neighbors_declared_dead, 0);
+  EXPECT_GT(r.makespan, clean.makespan);
+}
+
+TEST(FaultSim, HaloDropFloodDeclaresNeighborDead) {
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 96, 160, 8);
+  const auto clean = core::run_timed(cfg);
+  fault::FaultPlan plan;
+  // Rank 0 has a single neighbor; its retransmit budget (3) cannot absorb
+  // 5 drops, so the watchdog declares the peer dead.
+  plan.add({.time = clean.iteration_times.front() * 1.5,
+            .kind = fault::FaultKind::kHaloDrop, .rank = 0, .count = 5});
+  cfg.faults = &plan;
+  const auto r = core::run_timed(cfg);
+  EXPECT_EQ(r.resilience.neighbors_declared_dead, 1);
+  EXPECT_EQ(r.resilience.halo_retransmits, 3);
+}
+
+TEST(FaultSim, MpsCrashRestartsAndSerializes) {
+  auto cfg = base_config(core::NodeMode::kMpsPerGpu, 320, 96, 160, 8);
+  const auto clean = core::run_timed(cfg);
+  fault::FaultPlan plan;
+  plan.add({.time = clean.iteration_times.front() * 1.5,
+            .kind = fault::FaultKind::kMpsCrash, .node = 0});
+  cfg.faults = &plan;
+  const auto r = core::run_timed(cfg);
+  EXPECT_EQ(r.resilience.mps_restarts, 1);
+  EXPECT_GT(r.makespan, clean.makespan);
+}
+
+TEST(FaultSim, PoolExhaustionStallsButRunCompletes) {
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 96, 160, 8);
+  const auto clean = core::run_timed(cfg);
+  fault::FaultPlan plan;
+  plan.add({.time = clean.iteration_times.front() * 1.5,
+            .kind = fault::FaultKind::kPoolExhaustion, .rank = 2});
+  cfg.faults = &plan;
+  const auto r = core::run_timed(cfg);
+  EXPECT_EQ(r.resilience.pool_exhaustions, 1);
+  EXPECT_GT(r.makespan, clean.makespan);
+  EXPECT_EQ(r.iteration_times.size(), 8u);
+}
+
+TEST(FaultSim, CheckpointingChargesWritesAndBoundsReplay) {
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 96, 160, 16);
+  const auto clean = core::run_timed(cfg);
+
+  // Checkpointing without faults: monotone overhead, correct count.
+  fault::FaultPlan empty = fault::FaultPlan::none();
+  cfg.faults = &empty;
+  cfg.recovery.checkpoint_interval = 4;
+  const auto ckpt = core::run_timed(cfg);
+  EXPECT_EQ(ckpt.resilience.checkpoints_taken, 4);
+  EXPECT_GT(ckpt.resilience.checkpoint_time, 0.0);
+  EXPECT_GT(ckpt.makespan, clean.makespan);
+
+  // A death detected during step 11 (checkpoints at 8 and 12 bracket it)
+  // replays from the previous checkpoint: 4 passes (steps 8..11), not the
+  // whole prefix. 10.5x the clean iteration period falls between the compute
+  // starts of steps 10 and 11 even with checkpoint overhead added.
+  fault::FaultPlan plan;
+  plan.add({.time = 10.5 * clean.iteration_times.front(),
+            .kind = fault::FaultKind::kGpuDeath, .node = 0, .gpu = 1});
+  cfg.faults = &plan;
+  const auto r = core::run_timed(cfg);
+  EXPECT_EQ(r.resilience.rollbacks, 1);
+  EXPECT_EQ(r.resilience.replayed_iterations, 4);
+  EXPECT_GE(r.iteration_times.size(), 20u);
+}
+
+TEST(FaultSim, HeterogeneousModeSurvivesGpuDeath) {
+  auto cfg = base_config(core::NodeMode::kHeterogeneous, 320, 480, 160, 12);
+  const auto clean = core::run_timed(cfg);
+  fault::FaultPlan plan;
+  plan.add({.time = 4.5 * clean.iteration_times.front(),
+            .kind = fault::FaultKind::kGpuDeath, .node = 0, .gpu = 0});
+  cfg.faults = &plan;
+  const auto r = core::run_timed(cfg);
+  EXPECT_EQ(r.resilience.gpu_deaths, 1);
+  EXPECT_GT(r.makespan, clean.makespan);
+  const long total = std::accumulate(r.final_zones_per_rank.begin(),
+                                     r.final_zones_per_rank.end(), 0L);
+  EXPECT_EQ(total, 320L * 480 * 160);
+}
+
+TEST(FaultSim, PlanValidatedAgainstTopology) {
+  auto cfg = base_config(core::NodeMode::kOneRankPerGpu, 320, 96, 160, 4);
+  fault::FaultPlan plan;
+  plan.add({.time = 0.1, .kind = fault::FaultKind::kGpuDeath, .node = 0,
+            .gpu = 9});
+  cfg.faults = &plan;
+  EXPECT_THROW((void)core::run_timed(cfg), std::invalid_argument);
+}
+
+}  // namespace

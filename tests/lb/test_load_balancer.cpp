@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "coop/lb/load_balancer.hpp"
 
@@ -114,6 +115,43 @@ TEST(Balancer, DampingPreventsOvershoot) {
   lb::FeedbackBalancer bal(cfg);
   bal.observe(50.0, 1.0, 0.5);  // optimum is far below 0.5
   EXPECT_GT(bal.fraction(), 0.25);
+}
+
+TEST(Balancer, IgnoresNonFiniteObservations) {
+  // NaN compares false against every ordering threshold, so a NaN timing
+  // would sail past `<= 0` guards and poison the fraction forever. Each
+  // degenerate input must leave the state exactly as it was.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  lb::FeedbackBalancer::Config cfg;
+  cfg.initial_fraction = 0.25;
+  lb::FeedbackBalancer bal(cfg);
+  const double f0 = bal.fraction();
+  bal.observe(nan, 1.0, 0.25);
+  bal.observe(1.0, nan, 0.25);
+  bal.observe(1.0, 1.0, nan);
+  bal.observe(inf, 1.0, 0.25);
+  bal.observe(1.0, -inf, 0.25);
+  bal.observe(1.0, 1.0, inf);
+  EXPECT_EQ(bal.fraction(), f0);
+  EXPECT_FALSE(std::isnan(bal.fraction()));
+  EXPECT_EQ(bal.observations(), 6);
+  // A good (imbalanced) observation afterwards still updates normally.
+  bal.observe(0.5, 0.1, 0.25);
+  EXPECT_NE(bal.fraction(), f0);
+  EXPECT_TRUE(std::isfinite(bal.fraction()));
+}
+
+TEST(Balancer, IgnoresNonPositiveTimesAndDegenerateFractions) {
+  lb::FeedbackBalancer::Config cfg;
+  cfg.initial_fraction = 0.25;
+  lb::FeedbackBalancer bal(cfg);
+  const double f0 = bal.fraction();
+  bal.observe(0.0, 1.0, 0.25);
+  bal.observe(1.0, -1.0, 0.25);
+  bal.observe(1.0, 1.0, 0.0);   // all-GPU iteration: no rate information
+  bal.observe(1.0, 1.0, 1.0);   // all-CPU iteration
+  EXPECT_EQ(bal.fraction(), f0);
 }
 
 TEST(Balancer, ConvergedFlagOnGranularityLimit) {

@@ -58,6 +58,22 @@ TEST(DevicePool, ExhaustionThrowsBadAlloc) {
   EXPECT_NO_THROW(pool.deallocate(nullptr));
 }
 
+TEST(DevicePool, TryAllocateReturnsNullOnExhaustion) {
+  mem::DevicePool pool(1 << 16);
+  void* p = pool.try_allocate(1 << 15);
+  ASSERT_NE(p, nullptr);
+  const auto peak = pool.high_water();
+  // Detectable failure instead of a throw: nullptr, and no accounting churn.
+  EXPECT_EQ(pool.try_allocate((1 << 15) | (1 << 14)), nullptr);
+  EXPECT_EQ(pool.high_water(), peak);
+  EXPECT_GE(pool.bytes_in_use(), std::size_t{1} << 15);
+  // The pool stays usable: a fitting request still succeeds.
+  void* q = pool.try_allocate(1 << 10);
+  EXPECT_NE(q, nullptr);
+  pool.deallocate(q);
+  pool.deallocate(p);
+}
+
 TEST(DevicePool, BestFitPrefersSmallestSufficientBlock) {
   mem::DevicePool pool(1 << 20, 64);
   // Create two free holes: 4 KiB and 64 KiB.
