@@ -5,29 +5,12 @@
 /// rank per GPU (4 domains) to four per GPU (16 domains) raises both the
 /// number of halo-exchange neighbors and the exchanged volume dramatically —
 /// which motivates the hierarchical single-dimension subdivision of Fig. 10.
+///
+/// The analytics live in coop_sweeps (src/coop/sweeps/figure_sweeps.hpp).
 
-#include <cstdio>
-
-#include "coop/decomp/decomposition.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
 
 int main() {
-  using namespace coop;
-  const mesh::Box global{{0, 0, 0}, {320, 320, 320}};
-  std::printf(
-      "=== Figure 9: 'square' block decomposition, halo stats (g=1) ===\n");
-  std::printf("%8s | %6s %9s %9s | %12s %12s\n", "domains", "grid",
-              "max-nbrs", "avg-nbrs", "halo zones", "messages");
-  for (int ranks : {4, 16, 64}) {
-    const auto d = decomp::block_decomposition(global, ranks);
-    d.validate();
-    const auto g = decomp::choose_grid(global, ranks);
-    const auto s = decomp::analyze_communication(d, 1);
-    std::printf("%8d | %d.%d.%d %8d %9.2f | %12ld %12d\n", ranks, g[0], g[1],
-                g[2], s.max_neighbors, s.avg_neighbors, s.total_halo_zones,
-                s.total_messages);
-  }
-  std::printf(
-      "\nPaper: 16 'square' ranks communicate significantly more than 4\n"
-      "(more neighbors per rank and more total halo surface).\n");
+  coop::sweeps::run_fig09_bench();
   return 0;
 }

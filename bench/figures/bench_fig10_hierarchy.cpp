@@ -7,44 +7,12 @@
 /// neighbor count minimal — the paper experimentally verified it minimizes
 /// the communication overhead of using extra ranks; this bench regenerates
 /// that comparison. Also prints the heterogeneous carve (Fig. 10c).
+///
+/// The analytics live in coop_sweeps (src/coop/sweeps/figure_sweeps.hpp).
 
-#include <cstdio>
-
-#include "coop/decomp/decomposition.hpp"
-
-namespace {
-
-void report(const char* name, const coop::decomp::Decomposition& d) {
-  d.validate();
-  const auto s = coop::decomp::analyze_communication(d, 1);
-  long min_nx = 1 << 30, max_nx = 0;
-  for (const auto& dom : d.domains) {
-    min_nx = std::min(min_nx, dom.box.nx());
-    max_nx = std::max(max_nx, dom.box.nx());
-  }
-  std::printf("%-28s %5d | %8d %9.2f | %12ld | x-extent %ld..%ld\n", name,
-              d.ranks(), s.max_neighbors, s.avg_neighbors, s.total_halo_zones,
-              min_nx, max_nx);
-}
-
-}  // namespace
+#include "coop/sweeps/figure_sweeps.hpp"
 
 int main() {
-  using namespace coop;
-  const mesh::Box global{{0, 0, 0}, {320, 480, 320}};
-  std::printf("=== Figure 10: hierarchical vs 'square' decomposition "
-              "(320x480x320, g=1) ===\n");
-  std::printf("%-28s %5s | %8s %9s | %12s |\n", "scheme", "ranks", "max-nbrs",
-              "avg-nbrs", "halo zones");
-  report("square 4", decomp::block_decomposition(global, 4));
-  report("hierarchical 4 (Fig10a)", decomp::hierarchical_gpu(global, 4, 1));
-  report("square 16", decomp::block_decomposition(global, 16));
-  report("hierarchical 16 (Fig10b)", decomp::hierarchical_gpu(global, 4, 4));
-  report("heterogeneous 4+12 (Fig10c)",
-         decomp::heterogeneous(global, 4, 12, 0.025));
-  std::printf(
-      "\nPaper: the single-dimension subdivision keeps every rank at <= 2\n"
-      "face neighbors and preserves the full x extent for every rank,\n"
-      "unlike the 'square' 16-rank decomposition.\n");
+  coop::sweeps::run_fig10_bench();
   return 0;
 }

@@ -5,14 +5,14 @@
 /// linear (4x more domains / 4x more active cores). Heterogeneous is
 /// slowest at small y: 12 CPU ranks cannot take less than 12/y of the
 /// zones (15% at y=80), far beyond the CPU's share of node throughput.
+///
+/// Sweep definition, driver, and analytics live in coop_sweeps
+/// (src/coop/sweeps/figure_sweeps.hpp); the qualitative claims are locked
+/// by tests/curves/test_figure_shapes.cpp.
 
-#include "fig_common.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
 
 int main() {
-  using namespace coop::bench;
-  const auto pts = run_figure_sweep(
-      "Figure 12", "vary y-dimension (x=320, z=320)",
-      sweep_sizes('y', std::vector<long>{40, 80, 120, 160, 200, 240, 280, 320, 360, 400}, {320, 0, 320}));
-  print_shape_summary(pts);
+  coop::sweeps::run_figure_bench(12);
   return 0;
 }

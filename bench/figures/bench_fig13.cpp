@@ -4,14 +4,14 @@
 /// low per-kernel GPU utilization, so MPS recovers by overlapping kernels
 /// from different ranks; y=240 is too small to carve thin CPU slabs
 /// (floor 12/240 = 5%), so Heterogeneous runs long.
+///
+/// Sweep definition, driver, and analytics live in coop_sweeps
+/// (src/coop/sweeps/figure_sweeps.hpp); the qualitative claims are locked
+/// by tests/curves/test_figure_shapes.cpp.
 
-#include "fig_common.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
 
 int main() {
-  using namespace coop::bench;
-  const auto pts = run_figure_sweep(
-      "Figure 13", "vary x-dimension (y=240, z=320)",
-      sweep_sizes('x', std::vector<long>{50, 100, 150, 200, 250, 300, 350, 400, 450, 500}, {0, 240, 320}));
-  print_shape_summary(pts);
+  coop::sweeps::run_figure_bench(13);
   return 0;
 }

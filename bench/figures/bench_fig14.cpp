@@ -3,14 +3,14 @@
 /// Paper features: problems stay below the memory threshold; Default and
 /// MPS perform similarly; y=240 still too small for the Heterogeneous
 /// carve (5% floor), so Heterogeneous runs long.
+///
+/// Sweep definition, driver, and analytics live in coop_sweeps
+/// (src/coop/sweeps/figure_sweeps.hpp); the qualitative claims are locked
+/// by tests/curves/test_figure_shapes.cpp.
 
-#include "fig_common.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
 
 int main() {
-  using namespace coop::bench;
-  const auto pts = run_figure_sweep(
-      "Figure 14", "vary x-dimension (y=240, z=160)",
-      sweep_sizes('x', std::vector<long>{100, 200, 300, 400, 500, 600, 700}, {0, 240, 160}));
-  print_shape_summary(pts);
+  coop::sweeps::run_figure_bench(14);
   return 0;
 }

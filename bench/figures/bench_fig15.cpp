@@ -3,14 +3,14 @@
 /// Paper features: small x -> MPS overlap wins; y=360 allows a better CPU
 /// carve than Fig. 13 (floor 3.3%), so Heterogeneous improves; the memory
 /// threshold hampers Default at the top of the range.
+///
+/// Sweep definition, driver, and analytics live in coop_sweeps
+/// (src/coop/sweeps/figure_sweeps.hpp); the qualitative claims are locked
+/// by tests/curves/test_figure_shapes.cpp.
 
-#include "fig_common.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
 
 int main() {
-  using namespace coop::bench;
-  const auto pts = run_figure_sweep(
-      "Figure 15", "vary x-dimension (y=360, z=320)",
-      sweep_sizes('x', std::vector<long>{50, 100, 150, 200, 250, 300, 350, 400}, {0, 360, 320}));
-  print_shape_summary(pts);
+  coop::sweeps::run_figure_bench(15);
   return 0;
 }

@@ -4,14 +4,14 @@
 /// overlap and only pays its sharing tax (worst mode); Default and
 /// Heterogeneous both utilize the GPU well and stay below the memory
 /// threshold over this range.
+///
+/// Sweep definition, driver, and analytics live in coop_sweeps
+/// (src/coop/sweeps/figure_sweeps.hpp); the qualitative claims are locked
+/// by tests/curves/test_figure_shapes.cpp.
 
-#include "fig_common.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
 
 int main() {
-  using namespace coop::bench;
-  const auto pts = run_figure_sweep(
-      "Figure 16", "vary x-dimension (y=360, z=160)",
-      sweep_sizes('x', std::vector<long>{100, 200, 300, 400, 500, 600}, {0, 360, 160}));
-  print_shape_summary(pts);
+  coop::sweeps::run_figure_bench(16);
   return 0;
 }

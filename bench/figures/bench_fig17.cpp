@@ -4,14 +4,14 @@
 /// helps; y=480 gives the Heterogeneous mode its thin-slab carve
 /// (2.5% floor), keeping it close to MPS; Default is hampered by the
 /// small innermost dimension and crosses the memory threshold.
+///
+/// Sweep definition, driver, and analytics live in coop_sweeps
+/// (src/coop/sweeps/figure_sweeps.hpp); the qualitative claims are locked
+/// by tests/curves/test_figure_shapes.cpp.
 
-#include "fig_common.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
 
 int main() {
-  using namespace coop::bench;
-  const auto pts = run_figure_sweep(
-      "Figure 17", "vary x-dimension (y=480, z=320)",
-      sweep_sizes('x', std::vector<long>{50, 100, 150, 200, 250, 300}, {0, 480, 320}));
-  print_shape_summary(pts);
+  coop::sweeps::run_figure_bench(17);
   return 0;
 }

@@ -4,14 +4,14 @@
 /// thin CPU slabs (1-2.5% of zones), and past the memory threshold the
 /// Default mode pays the UM pump penalty while Heterogeneous scales
 /// linearly -> up to ~18% gain (the paper's headline number).
+///
+/// Sweep definition, driver, and analytics live in coop_sweeps
+/// (src/coop/sweeps/figure_sweeps.hpp); the qualitative claims are locked
+/// by tests/curves/test_figure_shapes.cpp.
 
-#include "fig_common.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
 
 int main() {
-  using namespace coop::bench;
-  const auto pts = run_figure_sweep(
-      "Figure 18", "vary x-dimension (y=480, z=160)",
-      sweep_sizes('x', std::vector<long>{100, 200, 300, 400, 500, 600}, {0, 480, 160}));
-  print_shape_summary(pts);
+  coop::sweeps::run_figure_bench(18);
   return 0;
 }

@@ -1,0 +1,208 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "coop/core/timed_sim.hpp"
+#include "coop/decomp/decomposition.hpp"
+
+/// \file figure_sweeps.hpp
+/// Shared sweep library for the paper-figure reproductions (Figs. 9-18).
+///
+/// Every runtime figure in the paper's Section 7 plots total runtime (y axis)
+/// against total problem size in zones (x axis) for the three node modes,
+/// sweeping one mesh dimension while the other two stay fixed. This library
+/// owns, in one place:
+///
+///  * the canonical per-figure sweep definitions (`figure_spec`),
+///  * the sweep driver over `core::run_timed` (`run_figure_sweep`),
+///  * curve analytics — winner ordering, crossover location, slope-break
+///    detection, relative gain — used both by the `bench_fig*` binaries and
+///    by the tier-2 curve-lock regression tests (`tests/curves/`),
+///  * table/CSV presentation for the bench binaries,
+///  * the decomposition analytics behind Figs. 9 and 10.
+///
+/// The bench binaries are thin `main`s over these functions; the tier-2
+/// tests assert the analytics on reduced sweeps, so any calibration or model
+/// change that bends a curve fails CI instead of silently rewriting
+/// EXPERIMENTS.md.
+
+namespace coop::sweeps {
+
+/// One sweep size with the three mode runtimes.
+struct SweepPoint {
+  long x = 0, y = 0, z = 0;
+  double t_default = 0, t_mps = 0, t_hetero = 0;  ///< makespans, simulated s
+  /// Converged (final-iteration) per-step times. The heterogeneous mode
+  /// spends its first iterations load balancing; steady-state comparisons
+  /// (slope estimates, asymptotic gains) should use these.
+  double steady_default = 0, steady_mps = 0, steady_hetero = 0;
+  double hetero_cpu_share = 0;  ///< final CPU zone fraction (Heterogeneous)
+
+  [[nodiscard]] long zones() const noexcept { return x * y * z; }
+  /// Makespan of `mode` (one of the three swept modes).
+  [[nodiscard]] double time(core::NodeMode mode) const;
+  /// Final-iteration time of `mode`.
+  [[nodiscard]] double steady(core::NodeMode mode) const;
+};
+
+/// Canonical definition of one paper figure's sweep: vary dimension `vary`
+/// over `values` with the other two extents fixed (the varied slot of
+/// `fixed` is ignored).
+struct FigureSpec {
+  int figure = 0;           ///< paper figure number (12..18)
+  std::string title;        ///< "Figure 12"
+  std::string description;  ///< "vary y-dimension (x=320, z=320)"
+  char vary = 'x';
+  std::vector<long> values;
+  std::array<long, 3> fixed{};
+
+  /// The (x, y, z) extents of each sweep step.
+  [[nodiscard]] std::vector<std::array<long, 3>> sizes() const;
+};
+
+/// The paper's sweep for figure `figure` (12..18); throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] const FigureSpec& figure_spec(int figure);
+
+/// All runtime-figure numbers, in paper order: {12, 13, ..., 18}.
+[[nodiscard]] std::vector<int> figure_numbers();
+
+/// A subsampled copy of `spec` with at most `max_points` sweep values.
+/// Endpoints are always kept and interior values are taken evenly, so
+/// qualitative features at the range ends (small-x MPS wins, past-threshold
+/// gains) survive the reduction. Used by the tier-2 curve-lock tests.
+[[nodiscard]] FigureSpec reduced(const FigureSpec& spec,
+                                 std::size_t max_points);
+
+/// Knobs for a sweep run. The ablation toggles mirror
+/// `core::TimedConfig`; the tier-2 negative tests flip them to prove the
+/// curve locks bite.
+struct SweepOptions {
+  int timesteps = devmodel::calib::kPaperTimesteps;
+  bool model_um_threshold = true;  ///< host UM pump capacity (Fig. 12 knee)
+  bool model_mps_overlap = true;   ///< kernel overlap under MPS
+  bool compiler_bug = true;        ///< nvcc std::function dispatch issue
+  bool verbose = false;            ///< print the per-row table while running
+};
+
+/// One figure's curves: mode -> (dims -> seconds).
+struct SweepCurves {
+  FigureSpec spec;
+  SweepOptions options;
+  std::vector<SweepPoint> points;
+
+  [[nodiscard]] std::vector<long> zones() const;
+  /// Makespans of `mode` across the sweep, in sweep order.
+  [[nodiscard]] std::vector<double> times(core::NodeMode mode) const;
+  /// Final-iteration times of `mode` across the sweep.
+  [[nodiscard]] std::vector<double> steady_times(core::NodeMode mode) const;
+};
+
+/// Runs `spec` through `core::run_timed` for the three node modes.
+[[nodiscard]] SweepCurves run_figure_sweep(const FigureSpec& spec,
+                                           const SweepOptions& options = {});
+
+// --- Curve analytics --------------------------------------------------------
+
+/// The three modes every figure sweeps, in table order.
+[[nodiscard]] const std::array<core::NodeMode, 3>& swept_modes();
+
+/// Fastest mode at one sweep point (ties break toward Default).
+[[nodiscard]] core::NodeMode winner(const SweepPoint& p);
+
+/// Fastest mode at every sweep point, in sweep order.
+[[nodiscard]] std::vector<core::NodeMode> winner_ordering(
+    const SweepCurves& curves);
+
+/// First sweep index at which `challenger` is strictly faster than
+/// `incumbent` (makespans), or -1 if it never is.
+[[nodiscard]] int crossover_index(const SweepCurves& curves,
+                                  core::NodeMode incumbent,
+                                  core::NodeMode challenger);
+
+/// Result of the two-segment slope-break scan.
+struct SlopeBreak {
+  bool found = false;
+  int index = -1;           ///< knee point (sweep index), -1 when not found
+  long zones_at_break = 0;  ///< total zones at the knee point
+  double slope_ratio = 1.0; ///< best secant-slope ratio above/below the knee
+};
+
+/// Scans for a convex knee in runtime-vs-zones: for every interior candidate
+/// knee, compares the secant slope of the segment above it with the segment
+/// below it and reports the candidate with the largest ratio. `found` iff
+/// that ratio reaches `min_ratio`. Used to lock the Fig. 12 memory-threshold
+/// break (Default bends; the 16-rank modes must not). Requires >= 4 points
+/// and strictly increasing zone counts.
+[[nodiscard]] SlopeBreak detect_slope_break(const std::vector<long>& zones,
+                                            const std::vector<double>& times,
+                                            double min_ratio = 1.25);
+
+/// Convenience overload over one mode's makespan curve.
+[[nodiscard]] SlopeBreak detect_slope_break(const SweepCurves& curves,
+                                            core::NodeMode mode,
+                                            double min_ratio = 1.25);
+
+/// (t_base - t_other) / t_base: positive when `other` is faster.
+[[nodiscard]] double relative_gain(double t_base, double t_other);
+
+/// Largest relative makespan gain of `challenger` over `base` across the
+/// sweep; `zones_at` (optional) receives the zone count where it occurs.
+[[nodiscard]] double max_gain(const SweepCurves& curves, core::NodeMode base,
+                              core::NodeMode challenger,
+                              long* zones_at = nullptr);
+
+/// Like `max_gain` but over the converged final-iteration times, which
+/// exclude the heterogeneous mode's load-balancing warmup.
+[[nodiscard]] double max_steady_gain(const SweepCurves& curves,
+                                     core::NodeMode base,
+                                     core::NodeMode challenger,
+                                     long* zones_at = nullptr);
+
+/// True when `p`'s Default-mode ranks sit past the UM pump capacity of their
+/// active host cores (the Fig. 12 memory threshold).
+[[nodiscard]] bool past_memory_threshold(const SweepPoint& p);
+
+// --- Presentation (the bench_fig* binaries) ---------------------------------
+
+/// Prints the paper-series table (same layout the figure benches always
+/// printed) and writes `<COOPHET_CSV_DIR>/<title>.csv` when that environment
+/// variable is set.
+void print_sweep(const SweepCurves& curves);
+
+/// Prints the paper-vs-measured summary line consumed by EXPERIMENTS.md.
+void print_shape_summary(const SweepCurves& curves);
+
+/// Runs one canonical figure end to end with table output — the entire body
+/// of a `bench_fig1[2-8]` binary.
+void run_figure_bench(int figure);
+
+// --- Decomposition analytics (Figs. 9 and 10) -------------------------------
+
+/// Neighbor/halo report of one decomposition scheme.
+struct DecompReport {
+  std::string label;
+  int ranks = 0;
+  decomp::CommStats stats{};
+  long min_nx = 0, max_nx = 0;  ///< innermost-extent range across ranks
+};
+
+[[nodiscard]] DecompReport analyze_decomposition(
+    std::string label, const decomp::Decomposition& d, long ghosts = 1);
+
+/// Fig. 9: "square" block decompositions at growing rank counts communicate
+/// disproportionately more. Validates each decomposition.
+[[nodiscard]] std::vector<DecompReport> fig09_reports(
+    const mesh::Box& global, const std::vector<int>& rank_counts);
+
+/// Fig. 10: square vs hierarchical vs heterogeneous carve at matched rank
+/// counts. Validates each decomposition.
+[[nodiscard]] std::vector<DecompReport> fig10_reports(const mesh::Box& global);
+
+/// The full Fig. 9 / Fig. 10 bench bodies (table output).
+void run_fig09_bench();
+void run_fig10_bench();
+
+}  // namespace coop::sweeps

@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "coop/sweeps/figure_sweeps.hpp"
+
+/// Tier-2 curve-lock regression suite (label `tier2`, `ctest -L tier2`).
+///
+/// The repo's claim to reproducing Pearce '18 is the *shape* of Figures
+/// 12-18: who wins in which regime, the Default-mode slope break at the
+/// ~9 M-zones/rank memory threshold, MPS winning when the innermost
+/// dimension is small, and the ~18% Heterogeneous gain in Fig. 18's
+/// regime. These tests run reduced sweeps through the shared sweep library
+/// (src/coop/sweeps/) and assert each figure's documented qualitative
+/// claims (DESIGN.md section 4, EXPERIMENTS.md), so a calibration or model
+/// change that bends a curve fails CI instead of silently rewriting the
+/// reproduction record. Negative tests flip one model constant and assert
+/// the corresponding lock trips — proof the assertions bite.
+
+namespace sw = coop::sweeps;
+namespace core = coop::core;
+
+namespace {
+
+constexpr auto kDefault = core::NodeMode::kOneRankPerGpu;
+constexpr auto kMps = core::NodeMode::kMpsPerGpu;
+constexpr auto kHetero = core::NodeMode::kHeterogeneous;
+
+/// Points per reduced sweep: endpoints always kept, interior subsampled.
+constexpr std::size_t kReducedPoints = 8;
+
+/// Reduced sweep of figure `n` (cached per process; each sweep is a few
+/// dozen run_timed calls).
+const sw::SweepCurves& fig(int n) {
+  static std::map<int, sw::SweepCurves> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(n, sw::run_figure_sweep(
+                             sw::reduced(sw::figure_spec(n), kReducedPoints)))
+             .first;
+  }
+  return it->second;
+}
+
+double min_time(const sw::SweepPoint& p) {
+  return std::min({p.t_default, p.t_mps, p.t_hetero});
+}
+
+// --- Library semantics on synthetic curves (independent of the model) ------
+
+TEST(SweepLibrary, FigureSpecCoversAllRuntimeFigures) {
+  for (int n : sw::figure_numbers()) {
+    const auto& spec = sw::figure_spec(n);
+    EXPECT_EQ(spec.figure, n);
+    EXPECT_GE(spec.values.size(), 6u);
+    const auto sizes = spec.sizes();
+    ASSERT_EQ(sizes.size(), spec.values.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const std::size_t slot =
+          spec.vary == 'x' ? 0 : (spec.vary == 'y' ? 1 : 2);
+      EXPECT_EQ(sizes[i][slot], spec.values[i]);
+    }
+  }
+  EXPECT_THROW((void)sw::figure_spec(11), std::invalid_argument);
+  EXPECT_THROW((void)sw::figure_spec(19), std::invalid_argument);
+}
+
+TEST(SweepLibrary, ReducedKeepsEndpointsAndOrder) {
+  const auto& spec = sw::figure_spec(13);  // 10 values
+  const auto r = sw::reduced(spec, 5);
+  ASSERT_EQ(r.values.size(), 5u);
+  EXPECT_EQ(r.values.front(), spec.values.front());
+  EXPECT_EQ(r.values.back(), spec.values.back());
+  EXPECT_TRUE(std::is_sorted(r.values.begin(), r.values.end()));
+  // Asking for more points than exist is a no-op.
+  EXPECT_EQ(sw::reduced(spec, 99).values, spec.values);
+}
+
+TEST(SweepLibrary, SlopeBreakFoundOnSyntheticKnee) {
+  // t = z below 40, then slope tripled above: knee must land at z=40.
+  const std::vector<long> z = {10, 20, 30, 40, 50, 60};
+  const std::vector<double> t = {10, 20, 30, 40, 70, 100};
+  const auto brk = sw::detect_slope_break(z, t, 1.25);
+  EXPECT_TRUE(brk.found);
+  EXPECT_EQ(brk.zones_at_break, 40);
+  EXPECT_GT(brk.slope_ratio, 2.0);
+}
+
+TEST(SweepLibrary, SlopeBreakAbsentOnLinearCurve) {
+  const std::vector<long> z = {10, 20, 30, 40, 50};
+  const std::vector<double> t = {11, 21, 31, 41, 51};
+  EXPECT_FALSE(sw::detect_slope_break(z, t, 1.25).found);
+}
+
+TEST(SweepLibrary, SlopeBreakRejectsBadInput) {
+  EXPECT_THROW((void)sw::detect_slope_break({1, 2, 3}, {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)sw::detect_slope_break({1, 2, 2, 4},
+                                            {1.0, 2.0, 3.0, 4.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)sw::detect_slope_break({1, 2, 3, 4}, {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+// --- Fig. 12: vary y (x=320, z=320) -----------------------------------------
+
+TEST(Fig12, DefaultSlopeBreaksAtMemoryThreshold) {
+  // The paper's memory threshold: ~9 M zones/rank (36 M total over the
+  // Default mode's 4 ranks) bends the Default curve upward.
+  const auto brk = sw::detect_slope_break(fig(12), kDefault, 1.25);
+  ASSERT_TRUE(brk.found);
+  // The knee must sit at the last below-threshold sweep point.
+  EXPECT_GT(brk.zones_at_break, 24'000'000);
+  EXPECT_LT(brk.zones_at_break, 38'000'000);
+  EXPECT_GT(brk.slope_ratio, 1.3);
+}
+
+TEST(Fig12, SixteenRankModesStayLinear) {
+  // MPS and Heterogeneous activate 4x more host cores, so their UM pump
+  // never saturates in-range: neither curve has a Default-scale knee. The
+  // bar is 1.4 rather than the Default detector's 1.25 because MPS's
+  // overlap win at small y depresses its first secant segment (a shallow
+  // start, not a memory-threshold break).
+  EXPECT_FALSE(sw::detect_slope_break(fig(12), kMps, 1.4).found);
+  EXPECT_FALSE(sw::detect_slope_break(fig(12), kHetero, 1.4).found);
+  // And the Default knee is sharper than whatever curvature the 16-rank
+  // modes show, so the three curves cannot be confused by the detector.
+  const double dflt = sw::detect_slope_break(fig(12), kDefault, 1.0).slope_ratio;
+  EXPECT_GT(dflt, sw::detect_slope_break(fig(12), kMps, 1.0).slope_ratio);
+}
+
+TEST(Fig12, HeteroWorstAtSmallY) {
+  // 12 CPU ranks cannot take less than one y-plane each: at y=40 that is
+  // far beyond the CPU's share of node throughput.
+  const auto& first = fig(12).points.front();
+  EXPECT_GT(first.t_hetero, 1.5 * first.t_default);
+  EXPECT_GT(first.t_hetero, 1.5 * first.t_mps);
+}
+
+TEST(Fig12, HeteroCrossesOverPastThreshold) {
+  // The paper's crossover: Heterogeneous overtakes Default near the top of
+  // the sweep (y ~ 360-400), once Default pays the UM spill.
+  const int idx = sw::crossover_index(fig(12), kDefault, kHetero);
+  ASSERT_GE(idx, 0) << "Hetero never overtakes Default on Fig. 12";
+  EXPECT_GT(fig(12).points[static_cast<std::size_t>(idx)].zones(),
+            24'000'000);
+}
+
+TEST(Fig12, NegativeUmThresholdAblationRemovesBreak) {
+  // The lock must bite: zeroing the memory-threshold model (the constant
+  // the knee hangs on) has to flip DefaultSlopeBreaksAtMemoryThreshold.
+  sw::SweepOptions opt;
+  opt.model_um_threshold = false;
+  const auto curves = sw::run_figure_sweep(
+      sw::reduced(sw::figure_spec(12), kReducedPoints), opt);
+  EXPECT_FALSE(sw::detect_slope_break(curves, kDefault, 1.25).found)
+      << "slope break detected even with the UM threshold ablated — the "
+         "Fig. 12 lock would never fail";
+}
+
+// --- Fig. 13: vary x (y=240, z=320) -----------------------------------------
+
+TEST(Fig13, MpsWinsAtSmallX) {
+  // Small innermost extent -> poorly coalesced, under-occupied kernels;
+  // MPS recovers utilization by overlapping kernels from 4 ranks per GPU.
+  const auto& first = fig(13).points.front();  // x = 50
+  EXPECT_EQ(sw::winner(first), kMps);
+  EXPECT_GT(sw::relative_gain(first.t_default, first.t_mps), 0.05);
+}
+
+TEST(Fig13, DefaultBestInMidrange) {
+  // Between the small-x MPS regime and the memory threshold, the paper has
+  // Default fastest.
+  bool default_won_midrange = false;
+  for (const auto& p : fig(13).points)
+    if (p.x >= 200 && p.x <= 450 && sw::winner(p) == kDefault)
+      default_won_midrange = true;
+  EXPECT_TRUE(default_won_midrange);
+}
+
+TEST(Fig13, HeteroRunsLongWhenYTooSmall) {
+  // y=240: the one-plane-per-CPU-rank floor is 5% of zones, above the ~3%
+  // the bugged CPU can absorb -> the carve hurts at every mid/large x.
+  for (const auto& p : fig(13).points) {
+    if (p.x >= 150) {
+      EXPECT_GT(p.t_hetero, 1.08 * p.t_default) << "at x=" << p.x;
+    }
+  }
+}
+
+TEST(Fig13, NegativeMpsOverlapAblationKillsSmallXWin) {
+  // Second proof the locks bite: serializing MPS kernels (overlap model
+  // off) must flip MpsWinsAtSmallX.
+  sw::SweepOptions opt;
+  opt.model_mps_overlap = false;
+  const auto curves = sw::run_figure_sweep(
+      sw::reduced(sw::figure_spec(13), kReducedPoints), opt);
+  const auto& first = curves.points.front();
+  EXPECT_NE(sw::winner(first), kMps)
+      << "MPS still wins at small x with overlap ablated — the Fig. 13 "
+         "lock would never fail";
+  EXPECT_GT(first.t_mps, first.t_default);
+}
+
+// --- Fig. 14: vary x (y=240, z=160) -----------------------------------------
+
+TEST(Fig14, DefaultAndMpsTrackBelowThreshold) {
+  // The whole range stays below the memory threshold. MPS still wins at
+  // x=100 (small kernels overlap), but once kernels are large enough the
+  // two modes track each other within a few percent.
+  for (const auto& p : fig(14).points) {
+    EXPECT_FALSE(sw::past_memory_threshold(p)) << "at x=" << p.x;
+    if (p.x >= 300) {
+      EXPECT_LT(std::abs(p.t_default - p.t_mps), 0.05 * p.t_default)
+          << "at x=" << p.x;
+    }
+  }
+  // The MPS advantage fades monotonically in regime: faster at the small-x
+  // end, no longer winning by the top of the sweep.
+  const auto& first = fig(14).points.front();  // x = 100
+  EXPECT_GT(sw::relative_gain(first.t_default, first.t_mps), 0.05);
+  EXPECT_GE(fig(14).points.back().t_mps, fig(14).points.back().t_default);
+}
+
+TEST(Fig14, HeteroSlowerThroughout) {
+  for (const auto& p : fig(14).points)
+    EXPECT_GT(p.t_hetero, 1.03 * p.t_default) << "at x=" << p.x;
+}
+
+// --- Fig. 15: vary x (y=360, z=320) -----------------------------------------
+
+TEST(Fig15, MpsBestAtSmallX) {
+  EXPECT_EQ(sw::winner(fig(15).points.front()), kMps);  // x = 50
+}
+
+TEST(Fig15, HeteroCompetitiveWithBetterCarve) {
+  // y=360 drops the carve floor to 3.3%, close to the balanced share: the
+  // heterogeneous mode stops losing (contrast Fig. 13/14).
+  for (const auto& p : fig(15).points) {
+    if (p.x >= 100) {
+      EXPECT_LT(p.t_hetero, 1.05 * min_time(p)) << "at x=" << p.x;
+    }
+  }
+}
+
+TEST(Fig15, ThresholdHampersDefaultAtTop) {
+  const auto& top = fig(15).points.back();  // x = 400: 46 M zones
+  EXPECT_TRUE(sw::past_memory_threshold(top));
+  EXPECT_GT(top.t_default, top.t_mps);
+  EXPECT_GT(sw::relative_gain(top.t_default, top.t_hetero), 0.10);
+}
+
+// --- Fig. 16: vary x (y=360, z=160) -----------------------------------------
+
+TEST(Fig16, MpsWorstWhenKernelsFillGpu) {
+  // Large x, below threshold: kernels fill the GPU alone, so MPS cannot
+  // overlap and only pays its sharing tax — modestly worse, not a cliff.
+  const auto& top = fig(16).points.back();  // x = 600
+  EXPECT_GT(top.t_mps, top.t_default);
+  EXPECT_LT(top.t_mps, 1.2 * top.t_default);
+  EXPECT_GT(top.t_mps, top.t_hetero);
+}
+
+TEST(Fig16, DefaultAndHeteroCloseAtLargeX) {
+  const auto& top = fig(16).points.back();
+  EXPECT_LT(std::abs(top.t_default - top.t_hetero), 0.05 * top.t_default);
+}
+
+TEST(Fig16, WholeRangeBelowThresholdNoKnee) {
+  for (const auto& p : fig(16).points)
+    EXPECT_FALSE(sw::past_memory_threshold(p)) << "at x=" << p.x;
+  EXPECT_FALSE(sw::detect_slope_break(fig(16), kDefault, 1.25).found);
+}
+
+// --- Fig. 17: vary x (y=480, z=320) -----------------------------------------
+
+TEST(Fig17, MpsBestAtSmallX) {
+  EXPECT_EQ(sw::winner(fig(17).points.front()), kMps);  // x = 50
+}
+
+TEST(Fig17, HeteroCloseToWinnerEverywhere) {
+  // y=480 gives the heterogeneous mode its thin-slab carve; the paper
+  // keeps it within a hair of the winner across the sweep.
+  for (const auto& p : fig(17).points)
+    EXPECT_LT(p.t_hetero, 1.05 * min_time(p)) << "at x=" << p.x;
+}
+
+TEST(Fig17, DefaultWorstAtTop) {
+  const auto& top = fig(17).points.back();  // x = 300: 46 M zones
+  EXPECT_TRUE(sw::past_memory_threshold(top));
+  EXPECT_GT(top.t_default, top.t_mps);
+  EXPECT_GT(top.t_default, top.t_hetero);
+  EXPECT_GT(sw::relative_gain(top.t_default, top.t_hetero), 0.10);
+}
+
+// --- Fig. 18: vary x (y=480, z=160) — the headline figure -------------------
+
+TEST(Fig18, MpsBestBelowThresholdSmallX) {
+  EXPECT_EQ(sw::winner(fig(18).points.front()), kMps);  // x = 100: 7.7 M
+}
+
+TEST(Fig18, HeteroWinsPastThreshold) {
+  for (const auto& p : fig(18).points) {
+    if (sw::past_memory_threshold(p)) {
+      EXPECT_EQ(sw::winner(p), kHetero) << "at x=" << p.x;
+    }
+  }
+}
+
+TEST(Fig18, HeadlineHeteroGainAtLeast15Percent) {
+  // The paper's abstract: "up to an 18% performance benefit". Locked as a
+  // >= 15% makespan gain in the documented regime (past the threshold at
+  // large x), and bounded above so a calibration drift that inflates the
+  // gain also fails.
+  long zones_at = 0;
+  const double gain = sw::max_gain(fig(18), kDefault, kHetero, &zones_at);
+  EXPECT_GE(gain, 0.15);
+  EXPECT_LE(gain, 0.25);
+  EXPECT_GT(zones_at, 36'000'000);  // past the memory threshold
+}
+
+TEST(Fig18, SteadyStateGainAtLeast15Percent) {
+  // Same lock on the converged per-iteration times, which exclude the
+  // heterogeneous mode's load-balancing warmup.
+  const double gain = sw::max_steady_gain(fig(18), kDefault, kHetero);
+  EXPECT_GE(gain, 0.15);
+  EXPECT_LE(gain, 0.30);
+}
+
+TEST(Fig18, SixteenRankModesScaleLinearly) {
+  EXPECT_FALSE(sw::detect_slope_break(fig(18), kMps, 1.25).found);
+  EXPECT_FALSE(sw::detect_slope_break(fig(18), kHetero, 1.25).found);
+}
+
+// --- Decomposition figures (9 and 10) ---------------------------------------
+
+TEST(Fig09, SixteenSquareDomainsCommunicateFarMore) {
+  const coop::mesh::Box global{{0, 0, 0}, {320, 320, 320}};
+  const auto reports = sw::fig09_reports(global, {4, 16});
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_GE(reports[1].stats.total_messages,
+            4 * reports[0].stats.total_messages);
+  EXPECT_GE(reports[1].stats.total_halo_zones,
+            2 * reports[0].stats.total_halo_zones);
+  EXPECT_GT(reports[1].stats.max_neighbors, reports[0].stats.max_neighbors);
+}
+
+TEST(Fig10, HierarchicalKeepsNeighborsAndInnerExtent) {
+  const coop::mesh::Box global{{0, 0, 0}, {320, 480, 320}};
+  const auto reports = sw::fig10_reports(global);
+  for (const auto& r : reports) {
+    if (r.label.rfind("square", 0) == 0) continue;
+    EXPECT_LE(r.stats.max_neighbors, 2) << r.label;
+    EXPECT_EQ(r.min_nx, global.nx()) << r.label;
+    EXPECT_EQ(r.max_nx, global.nx()) << r.label;
+  }
+  // The square 16-rank decomposition halves the innermost extent and
+  // doubles the worst-case neighbor count.
+  const auto& square16 = reports[2];
+  ASSERT_EQ(square16.label, "square 16");
+  EXPECT_GE(square16.stats.max_neighbors, 4);
+  EXPECT_LT(square16.max_nx, global.nx());
+}
+
+}  // namespace

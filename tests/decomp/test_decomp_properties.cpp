@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <random>
 
 #include "coop/core/node_mode.hpp"
 #include "coop/decomp/decomposition.hpp"
 #include "coop/mesh/halo.hpp"
+#include "support/prop.hpp"
 
 namespace dc = coop::decomp;
 namespace core = coop::core;
@@ -111,5 +113,166 @@ TEST_P(ClusterSweep, PartitionAndPlacement) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Nodes, ClusterSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+
+namespace {
+
+namespace prop = coop::prop;
+
+/// Fully randomized geometry/mode/rank-count draw for the seeded property
+/// harness (replayable via COOPHET_PROP_SEED, unlike the fixed mt19937
+/// sweeps above).
+struct DecompCase {
+  long nx = 64, ny = 96, nz = 64;
+  core::NodeMode mode = core::NodeMode::kOneRankPerGpu;
+  int ranks_per_gpu = 4;
+  double cpu_fraction = 0.02;
+};
+
+DecompCase generate_case(prop::Gen& g) {
+  DecompCase c;
+  c.nx = g.int_in(17, 200);
+  c.ny = 48 * g.int_in(1, 12);  // y must fit the per-GPU slab hierarchy
+  c.nz = g.int_in(17, 200);
+  c.mode = g.pick(std::vector<core::NodeMode>{
+      core::NodeMode::kCpuOnly, core::NodeMode::kOneRankPerGpu,
+      core::NodeMode::kMpsPerGpu, core::NodeMode::kHeterogeneous});
+  c.ranks_per_gpu = static_cast<int>(g.int_in(1, 4));
+  c.cpu_fraction = g.real_in(0.01, 0.3);
+  return c;
+}
+
+prop::Property<DecompCase> decomposition_invariants() {
+  prop::Property<DecompCase> p;
+  p.name = "every mode exactly partitions any feasible box";
+  p.generate = generate_case;
+  p.holds = [](const DecompCase& c, std::ostream& why) {
+    const Box global{{0, 0, 0}, {c.nx, c.ny, c.nz}};
+    const auto node = coop::devmodel::NodeSpec::rzhasgpu();
+    const auto d = core::make_decomposition(c.mode, node, global,
+                                            c.ranks_per_gpu, c.cpu_fraction);
+    try {
+      d.validate();
+    } catch (const std::exception& e) {
+      why << "validate threw: " << e.what();
+      return false;
+    }
+    if (d.total_zones() != global.zones()) {
+      why << "partition lost zones: " << d.total_zones() << " of "
+          << global.zones();
+      return false;
+    }
+    for (std::size_t i = 0; i < d.domains.size(); ++i)
+      if (d.domains[i].rank != static_cast<int>(i)) {
+        why << "rank ids not positional at " << i;
+        return false;
+      }
+    const auto nbrs = dc::neighbor_lists(d);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      for (int j : nbrs[i]) {
+        const auto& back = nbrs[static_cast<std::size_t>(j)];
+        if (std::find(back.begin(), back.end(), static_cast<int>(i)) ==
+            back.end()) {
+          why << "asymmetric neighbor pair (" << i << ", " << j << ")";
+          return false;
+        }
+      }
+    return true;
+  };
+  p.shrink = [](const DecompCase& c) {
+    std::vector<DecompCase> out;
+    if (c.nx > 17 || c.nz > 17 || c.ny > 48) {
+      DecompCase t = c;
+      t.nx = t.nz = 17;
+      t.ny = 48;
+      out.push_back(t);
+    }
+    if (c.ranks_per_gpu > 1) {
+      DecompCase t = c;
+      t.ranks_per_gpu = 1;
+      out.push_back(t);
+    }
+    return out;
+  };
+  p.show = [](const DecompCase& c, std::ostream& os) {
+    os << to_string(c.mode) << " on " << c.nx << "x" << c.ny << "x" << c.nz
+       << ", ranks_per_gpu=" << c.ranks_per_gpu
+       << ", cpu_fraction=" << c.cpu_fraction;
+  };
+  return p;
+}
+
+TEST(DecompProps, RandomizedModesPartitionExactly) {
+  prop::Config cfg;
+  cfg.cases = 30;
+  prop::check(decomposition_invariants(), cfg);
+}
+
+/// Randomized reweighting draw: a heterogeneous base plus positive per-rank
+/// weights for the degraded-mode re-carve.
+struct ReweightCase {
+  long ny = 480;
+  std::vector<double> weights;
+};
+
+prop::Property<ReweightCase> reweight_invariants() {
+  prop::Property<ReweightCase> p;
+  p.name = "reweight_y_slabs repartitions exactly and scale-invariantly";
+  p.generate = [](prop::Gen& g) {
+    ReweightCase c;
+    c.ny = 48 * g.int_in(4, 12);
+    // Strictly positive, boundedly skewed weights: the carve quantum is one
+    // y-plane, so a weight small enough to round a rank to zero planes
+    // yields an (intentionally) invalid decomposition.
+    for (int r = 0; r < 16; ++r) c.weights.push_back(g.real_in(0.5, 2.0));
+    return c;
+  };
+  p.holds = [](const ReweightCase& c, std::ostream& why) {
+    const Box global{{0, 0, 0}, {64, c.ny, 64}};
+    const auto base = dc::heterogeneous(global, 4, 12, 0.1);
+    if (static_cast<int>(c.weights.size()) != base.ranks()) {
+      why << "generator bug: " << c.weights.size() << " weights for "
+          << base.ranks() << " ranks";
+      return false;
+    }
+    const auto re = dc::reweight_y_slabs(base, c.weights);
+    try {
+      re.validate();
+    } catch (const std::exception& e) {
+      why << "validate threw: " << e.what();
+      return false;
+    }
+    if (re.total_zones() != global.zones()) {
+      why << "reweight lost zones: " << re.total_zones() << " of "
+          << global.zones();
+      return false;
+    }
+    // Scale invariance: weights are relative, so doubling them all must
+    // reproduce the identical carve.
+    std::vector<double> doubled = c.weights;
+    for (double& w : doubled) w *= 2.0;
+    const auto re2 = dc::reweight_y_slabs(base, doubled);
+    for (int r = 0; r < re.ranks(); ++r)
+      if (re.domains[static_cast<std::size_t>(r)].box !=
+          re2.domains[static_cast<std::size_t>(r)].box) {
+        why << "doubling all weights changed rank " << r << "'s box";
+        return false;
+      }
+    return true;
+  };
+  p.show = [](const ReweightCase& c, std::ostream& os) {
+    os << "ny=" << c.ny << ", weights=[";
+    for (double w : c.weights) os << w << " ";
+    os << "]";
+  };
+  return p;
+}
+
+TEST(DecompProps, RandomizedReweightingKeepsInvariants) {
+  prop::Config cfg;
+  cfg.cases = 25;
+  prop::check(reweight_invariants(), cfg);
+}
 
 }  // namespace

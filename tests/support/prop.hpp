@@ -1,0 +1,187 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// \file prop.hpp
+/// Minimal seeded property-testing harness over GTest.
+///
+/// A property is: a generator (drawing an Input from a seeded `Gen`), a
+/// predicate (`holds`), and optionally a shrinker and a printer. `check`
+/// runs `cases` generated inputs; on the first falsified case it greedily
+/// shrinks the counterexample and reports one GTest failure that includes
+/// the case seed and a rerun recipe:
+///
+///     COOPHET_PROP_SEED=<seed> ctest -R <test> ...
+///
+/// Replay is exact: the case seed alone determines the generated input
+/// (SplitMix64 is the only entropy source; no global RNG or clock is
+/// consulted), so a CI failure reproduces locally from the printed seed.
+/// Without the environment override the master seed is a fixed constant —
+/// test runs are deterministic unless a new seed is chosen on purpose
+/// (COOPHET_PROP_SEED=<master> runs the whole suite from that master).
+
+namespace coop::prop {
+
+/// SplitMix64 (Steele et al.): tiny, seedable, and splittable enough for
+/// test-case generation. Matches the generator the fault-plan sampler uses,
+/// so "replayable from a printed seed" means the same thing everywhere.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Seeded value source handed to generators.
+class Gen {
+ public:
+  explicit Gen(std::uint64_t seed) : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t bits() { return splitmix64_next(state_); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] long int_in(long lo, long hi) {
+    if (lo > hi) throw std::invalid_argument("Gen::int_in: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<long>(bits() % span);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double real_in(double lo, double hi) {
+    const double u =
+        static_cast<double>(bits() >> 11) * 0x1.0p-53;  // [0, 1)
+    return lo + u * (hi - lo);
+  }
+
+  [[nodiscard]] bool coin(double p = 0.5) { return real_in(0.0, 1.0) < p; }
+
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& options) {
+    if (options.empty()) throw std::invalid_argument("Gen::pick: empty");
+    return options[static_cast<std::size_t>(
+        int_in(0, static_cast<long>(options.size()) - 1))];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+template <typename Input>
+struct Property {
+  std::string name;
+  std::function<Input(Gen&)> generate;
+  /// Returns true when the property holds; may write a diagnosis to `why`.
+  std::function<bool(const Input&, std::ostream& why)> holds;
+  /// Optional: smaller candidate inputs to try while shrinking (most
+  /// aggressive first). The harness keeps a candidate only if it still
+  /// falsifies the property.
+  std::function<std::vector<Input>(const Input&)> shrink;
+  /// Optional: pretty-printer for the (shrunk) counterexample.
+  std::function<void(const Input&, std::ostream&)> show;
+};
+
+struct Config {
+  int cases = 25;
+  /// Master seed; every case i derives its own seed from it. Overridden by
+  /// COOPHET_PROP_SEED (which, for a single-case replay, IS the case seed).
+  std::uint64_t seed = 0xC00FE75EEDULL;
+  int max_shrink_steps = 200;
+};
+
+/// COOPHET_PROP_SEED, when set: replay exactly one case with that seed.
+inline std::optional<std::uint64_t> env_seed() {
+  const char* s = std::getenv("COOPHET_PROP_SEED");
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  return std::strtoull(s, nullptr, 0);
+}
+
+/// The seed of case `index` under master seed `master`.
+inline std::uint64_t case_seed(std::uint64_t master, int index) {
+  std::uint64_t s = master ^ (0xA5A5A5A5DEADBEEFULL *
+                              (static_cast<std::uint64_t>(index) + 1));
+  return splitmix64_next(s);
+}
+
+template <typename Input>
+struct Counterexample {
+  Input input;
+  std::uint64_t seed = 0;   ///< case seed that generated the original input
+  int case_index = -1;      ///< -1 when replayed from COOPHET_PROP_SEED
+  int shrink_steps = 0;     ///< successful shrink steps applied
+  std::string why;          ///< diagnosis from the final falsifying run
+};
+
+/// Core search loop, exposed separately so the harness itself is testable
+/// without spawning GTest failures: runs the property, returns the shrunk
+/// counterexample of the first falsified case, or nullopt when all pass.
+template <typename Input>
+std::optional<Counterexample<Input>> find_counterexample(
+    const Property<Input>& prop, const Config& cfg = {}) {
+  const auto replay = env_seed();
+  const int cases = replay ? 1 : cfg.cases;
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed = replay ? *replay : case_seed(cfg.seed, i);
+    Gen gen(seed);
+    Input input = prop.generate(gen);
+    std::ostringstream why;
+    if (prop.holds(input, why)) continue;
+
+    Counterexample<Input> cex{std::move(input), seed, replay ? -1 : i, 0,
+                              why.str()};
+    if (prop.shrink) {
+      bool shrunk = true;
+      while (shrunk && cex.shrink_steps < cfg.max_shrink_steps) {
+        shrunk = false;
+        for (Input& candidate : prop.shrink(cex.input)) {
+          std::ostringstream cand_why;
+          if (!prop.holds(candidate, cand_why)) {
+            cex.input = std::move(candidate);
+            cex.why = cand_why.str();
+            ++cex.shrink_steps;
+            shrunk = true;
+            break;
+          }
+        }
+      }
+    }
+    return cex;
+  }
+  return std::nullopt;
+}
+
+/// Runs the property under GTest: all cases pass silently; a falsified case
+/// produces one non-fatal failure carrying the seed, the rerun recipe, and
+/// the shrunk counterexample.
+template <typename Input>
+void check(const Property<Input>& prop, const Config& cfg = {}) {
+  const auto cex = find_counterexample(prop, cfg);
+  if (!cex) return;
+  std::ostringstream msg;
+  msg << "property \"" << prop.name << "\" falsified";
+  if (cex->case_index >= 0)
+    msg << " (case " << cex->case_index << " of " << cfg.cases << ")";
+  else
+    msg << " (replayed from COOPHET_PROP_SEED)";
+  msg << "\n  case seed: " << cex->seed << "\n  rerun:     COOPHET_PROP_SEED="
+      << cex->seed << " <test binary> --gtest_filter=<this test>";
+  if (cex->shrink_steps > 0)
+    msg << "\n  shrunk:    " << cex->shrink_steps
+        << " step(s); seed regenerates the ORIGINAL (unshrunk) input";
+  if (prop.show) {
+    msg << "\n  input:     ";
+    prop.show(cex->input, msg);
+  }
+  if (!cex->why.empty()) msg << "\n  because:   " << cex->why;
+  ADD_FAILURE() << msg.str();
+}
+
+}  // namespace coop::prop

@@ -1,0 +1,145 @@
+#include "support/prop.hpp"
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace prop = coop::prop;
+
+namespace {
+
+TEST(PropGen, SameSeedSameStream) {
+  prop::Gen a(42), b(42);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.bits(), b.bits());
+}
+
+TEST(PropGen, DifferentSeedsDiverge) {
+  prop::Gen a(1), b(2);
+  bool differed = false;
+  for (int i = 0; i < 10; ++i) differed |= a.bits() != b.bits();
+  EXPECT_TRUE(differed);
+}
+
+TEST(PropGen, IntInRespectsBoundsAndHitsEndpoints) {
+  prop::Gen g(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const long v = g.int_in(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(PropGen, RealInHalfOpen) {
+  prop::Gen g(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = g.real_in(2.0, 5.0);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(PropHarness, CaseSeedsAreDistinct) {
+  EXPECT_NE(prop::case_seed(1, 0), prop::case_seed(1, 1));
+  EXPECT_NE(prop::case_seed(1, 0), prop::case_seed(2, 0));
+}
+
+prop::Property<long> threshold_property() {
+  // Holds iff x < 10; generator draws up to 1000, so most cases falsify.
+  prop::Property<long> p;
+  p.name = "x-below-10";
+  p.generate = [](prop::Gen& g) { return g.int_in(0, 1000); };
+  p.holds = [](const long& x, std::ostream& why) {
+    if (x < 10) return true;
+    why << x << " >= 10";
+    return false;
+  };
+  p.shrink = [](const long& x) {
+    std::vector<long> out;
+    if (x / 2 < x) out.push_back(x / 2);
+    if (x > 0) out.push_back(x - 1);
+    return out;
+  };
+  p.show = [](const long& x, std::ostream& os) { os << x; };
+  return p;
+}
+
+TEST(PropHarness, HoldingPropertyFindsNoCounterexample) {
+  prop::Property<long> p;
+  p.name = "tautology";
+  p.generate = [](prop::Gen& g) { return g.int_in(0, 100); };
+  p.holds = [](const long&, std::ostream&) { return true; };
+  EXPECT_FALSE(prop::find_counterexample(p).has_value());
+}
+
+TEST(PropHarness, ShrinksToMinimalCounterexample) {
+  const auto cex = prop::find_counterexample(threshold_property());
+  ASSERT_TRUE(cex.has_value());
+  // Greedy halving + decrement must land exactly on the boundary.
+  EXPECT_EQ(cex->input, 10);
+  EXPECT_FALSE(cex->why.empty());
+}
+
+TEST(PropHarness, SearchIsDeterministic) {
+  const auto a = prop::find_counterexample(threshold_property());
+  const auto b = prop::find_counterexample(threshold_property());
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->input, b->input);
+  EXPECT_EQ(a->seed, b->seed);
+  EXPECT_EQ(a->case_index, b->case_index);
+}
+
+TEST(PropHarness, ReplaysExactCaseFromEnvSeed) {
+  // First find a failure normally, then replay it through the env override:
+  // the same seed must regenerate the same (unshrunk) original input, so a
+  // printed CI seed reproduces locally.
+  const auto found = prop::find_counterexample(threshold_property());
+  ASSERT_TRUE(found.has_value());
+
+  prop::Property<long> no_shrink = threshold_property();
+  no_shrink.shrink = nullptr;
+  const auto original = prop::find_counterexample(no_shrink);
+  ASSERT_TRUE(original.has_value());
+
+  ASSERT_EQ(setenv("COOPHET_PROP_SEED",
+                   std::to_string(found->seed).c_str(), 1),
+            0);
+  const auto replayed = prop::find_counterexample(no_shrink);
+  unsetenv("COOPHET_PROP_SEED");
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->seed, found->seed);
+  EXPECT_EQ(replayed->case_index, -1);
+  EXPECT_EQ(replayed->input, original->input);
+}
+
+TEST(PropHarness, CheckPrintsSeedAndRerunRecipeOnFailure) {
+  EXPECT_NONFATAL_FAILURE(
+      { prop::check(threshold_property()); }, "COOPHET_PROP_SEED=");
+  EXPECT_NONFATAL_FAILURE({ prop::check(threshold_property()); },
+                          "case seed");
+}
+
+TEST(PropHarness, CheckIsSilentWhenPropertyHolds) {
+  prop::Property<long> p;
+  p.name = "tautology";
+  p.generate = [](prop::Gen& g) { return g.int_in(0, 100); };
+  p.holds = [](const long&, std::ostream&) { return true; };
+  prop::check(p);  // must not add a failure
+}
+
+TEST(PropHarness, ShrinkBudgetBoundsWork) {
+  prop::Config cfg;
+  cfg.max_shrink_steps = 1;
+  const auto cex = prop::find_counterexample(threshold_property(), cfg);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_LE(cex->shrink_steps, 1);
+  EXPECT_GE(cex->input, 10);  // partially shrunk but still a counterexample
+}
+
+}  // namespace
