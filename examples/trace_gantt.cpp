@@ -1,21 +1,32 @@
-/// Trace demo: runs the timed heterogeneous simulation with phase tracing
-/// and writes a Chrome-tracing JSON (open in chrome://tracing or Perfetto)
-/// showing the per-rank Gantt chart — GPU ranks 0-3 computing while the CPU
-/// slabs 4-15 run their thin y-slabs, with halo waits absorbing imbalance.
+/// Trace demo: runs the timed heterogeneous simulation with the unified
+/// tracer and writes a Chrome-tracing / Perfetto JSON showing the per-rank
+/// Gantt chart — GPU ranks 0-3 computing while the CPU slabs 4-15 run their
+/// thin y-slabs, halo waits absorbing imbalance — with per-kernel sub-spans
+/// under each compute phase, counter tracks (cpu_fraction, modeled pool
+/// bytes, halo bytes, DES queue depth), and, with faults enabled, the
+/// injection/recovery instant events. Also prints the machine-readable run
+/// report's human table.
 ///
-/// Usage: trace_gantt [out.json] [mode] [y]   (default trace.json hetero 480)
+/// Usage: trace_gantt [out.json] [mode] [y] [faults]
+///        (defaults: trace.json hetero 480 0; faults=1 adds the exemplar
+///         fault plan — GPU death, straggler, launch retries, halo drop)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
+#include "coop/core/report.hpp"
 #include "coop/core/timed_sim.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
 
 int main(int argc, char** argv) {
   using namespace coop;
   const char* out = argc > 1 ? argv[1] : "trace.json";
   const char* mode_s = argc > 2 ? argv[2] : "hetero";
   const long y = argc > 3 ? std::atol(argv[3]) : 480;
+  const bool faults = argc > 4 && std::atoi(argv[4]) != 0;
 
   core::NodeMode mode = core::NodeMode::kHeterogeneous;
   if (std::strcmp(mode_s, "default") == 0)
@@ -23,29 +34,41 @@ int main(int argc, char** argv) {
   else if (std::strcmp(mode_s, "mps") == 0)
     mode = core::NodeMode::kMpsPerGpu;
 
-  core::TraceRecorder trace;
+  obs::Tracer tracer;
+  const fault::FaultPlan plan =
+      faults ? sweeps::exemplar_fault_plan() : fault::FaultPlan::none();
   core::TimedConfig tc;
   tc.mode = mode;
   tc.global = {{0, 0, 0}, {600, y, 160}};
   tc.timesteps = 6;
-  tc.trace = &trace;
+  tc.tracer = &tracer;
+  if (faults) {
+    tc.faults = &plan;
+    tc.recovery.checkpoint_interval = 2;
+  }
   const auto r = core::run_timed(tc);
 
   std::ofstream f(out);
-  trace.write_chrome_trace(f);
+  tracer.write_chrome_trace(f);
 
-  std::printf("mode=%s 600x%ldx160, %d steps: %.2f simulated s\n",
-              to_string(mode), y, tc.timesteps, r.makespan);
-  std::printf("wrote %zu spans to %s (open in chrome://tracing)\n",
-              trace.spans().size(), out);
-  std::printf("\nPer-rank phase totals (s):\n");
-  std::printf("%6s | %9s %10s %8s\n", "rank", "compute", "halo-wait",
-              "reduce");
-  for (int rank = 0; rank < r.ranks; ++rank) {
-    std::printf("%6d | %9.3f %10.3f %8.3f\n", rank,
-                trace.total_time(rank, core::Phase::kCompute),
-                trace.total_time(rank, core::Phase::kHaloWait),
-                trace.total_time(rank, core::Phase::kReduce));
-  }
+  std::printf("mode=%s 600x%ldx160, %d steps%s: %.2f simulated s\n",
+              to_string(mode), y, tc.timesteps,
+              faults ? " (exemplar faults)" : "", r.makespan);
+  std::printf(
+      "wrote %zu spans, %zu instants, %zu counter samples to %s\n"
+      "(open in https://ui.perfetto.dev or chrome://tracing)\n\n",
+      tracer.spans().size(), tracer.instants().size(),
+      tracer.counters().size(), out);
+
+  auto report = core::build_run_report(tc, r, &tracer);
+  report.label = "trace_gantt exemplar";
+  std::ofstream rf("trace_gantt_report.json");
+  report.write_json(rf);
+  rf << '\n';
+
+  std::ostringstream table;
+  report.write_table(table);
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("(report written to trace_gantt_report.json)\n");
   return 0;
 }

@@ -1,0 +1,149 @@
+#include "coop/core/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace coop::core {
+
+obs::RunReport build_run_report(const TimedConfig& cfg, const TimedResult& res,
+                                const obs::Tracer* tracer,
+                                std::size_t top_n) {
+  obs::RunReport rep;
+  rep.mode = to_string(cfg.mode);
+  rep.nx = cfg.global.nx();
+  rep.ny = cfg.global.ny();
+  rep.nz = cfg.global.nz();
+  rep.timesteps = cfg.timesteps;
+  rep.ranks = res.ranks;
+  rep.nodes = cfg.nodes;
+  rep.makespan_s = res.makespan;
+  rep.messages = res.messages;
+  rep.halo_bytes = res.bytes;
+  rep.cpu_fraction_final = res.final_cpu_fraction;
+  rep.lb_iterations_to_converge = res.lb_iterations_to_converge;
+
+  // Fault tallies straight from the resilience stats.
+  const auto& rs = res.resilience;
+  rep.faults.injected = rs.faults_injected;
+  rep.faults.recovered = rs.faults_recovered;
+  rep.faults.gpu_deaths = rs.gpu_deaths;
+  rep.faults.policy_flips = rs.policy_flips;
+  rep.faults.launch_retries = rs.launch_retries;
+  rep.faults.mps_restarts = rs.mps_restarts;
+  rep.faults.halo_retransmits = rs.halo_retransmits;
+  rep.faults.pool_exhaustions = rs.pool_exhaustions;
+  rep.faults.checkpoints_taken = rs.checkpoints_taken;
+  rep.faults.rollbacks = rs.rollbacks;
+  rep.faults.replayed_iterations = rs.replayed_iterations;
+  rep.faults.retry_time_s = rs.retry_time;
+  rep.faults.checkpoint_time_s = rs.checkpoint_time;
+  rep.faults.rework_time_s = rs.rework_time;
+
+  // Achieved vs. roofline-peak FLOPS. "Achieved" counts useful work only
+  // (the configured mesh times the configured steps); replayed iterations
+  // stretch the makespan without adding useful zones, so faults depress it.
+  const auto work = hydro::KernelCatalog::scaled(cfg.catalog_kernels).total();
+  const double zones = static_cast<double>(cfg.global.zones());
+  if (res.makespan > 0.0)
+    rep.achieved_flops =
+        zones * cfg.timesteps * work.flops_per_zone / res.makespan;
+  const RankLayout layout =
+      make_rank_layout(cfg.mode, cfg.node, cfg.ranks_per_gpu);
+  const double cpu_peak = static_cast<double>(layout.active_cores) *
+                          cfg.node.cpu.core_flops_per_s;
+  const double gpu_peak =
+      static_cast<double>(cfg.node.gpu_count) * cfg.node.gpu.flops_per_s;
+  double node_peak = 0.0;
+  switch (cfg.mode) {
+    case NodeMode::kCpuOnly: node_peak = cpu_peak; break;
+    case NodeMode::kOneRankPerGpu:
+    case NodeMode::kMpsPerGpu: node_peak = gpu_peak; break;
+    case NodeMode::kHeterogeneous: node_peak = cpu_peak + gpu_peak; break;
+  }
+  rep.model_peak_flops = node_peak * cfg.nodes;
+  if (rep.model_peak_flops > 0.0)
+    rep.flops_efficiency_pct =
+        100.0 * rep.achieved_flops / rep.model_peak_flops;
+
+  if (tracer == nullptr || tracer->spans().empty()) {
+    // No trace: the coarse imbalance from the per-iteration maxima.
+    const double hi =
+        std::max(res.avg_max_cpu_compute, res.avg_max_gpu_compute);
+    const double lo =
+        std::min(res.avg_max_cpu_compute, res.avg_max_gpu_compute);
+    if (hi > 0.0 && lo > 0.0) rep.imbalance_pct = 100.0 * (hi - lo) / hi;
+    return rep;
+  }
+
+  // Per-rank phase totals from the trace's "phase" spans.
+  std::vector<obs::PhaseBreakdown> phases(
+      static_cast<std::size_t>(std::max(res.ranks, 0)));
+  for (const auto& s : tracer->spans()) {
+    if (s.cat != "phase") continue;
+    if (s.tid < 0 || s.tid >= res.ranks) continue;
+    auto& p = phases[static_cast<std::size_t>(s.tid)];
+    const double d = s.t_end - s.t_begin;
+    if (s.name == "compute") p.compute_s += d;
+    else if (s.name == "halo-wait") p.halo_wait_s += d;
+    else if (s.name == "reduce") p.reduce_s += d;
+    else if (s.name == "rebalance") p.rebalance_s += d;
+  }
+
+  rep.per_rank.reserve(phases.size());
+  double compute_max = 0.0, compute_sum = 0.0;
+  int active = 0;
+  double util_sum = 0.0, util_min = 0.0;
+  for (int q = 0; q < res.ranks; ++q) {
+    obs::RankReport rr;
+    rr.rank = q;
+    const auto uq = static_cast<std::size_t>(q);
+    rr.zones = uq < res.final_zones_per_rank.size()
+                   ? res.final_zones_per_rank[uq]
+                   : 0;
+    const bool gpu = uq < res.final_rank_is_gpu.size() &&
+                     res.final_rank_is_gpu[uq] != 0;
+    rr.device = gpu ? "gpu" : "cpu";
+    rr.phases = phases[uq];
+    if (res.makespan > 0.0)
+      rr.utilization_pct = 100.0 * rr.phases.compute_s / res.makespan;
+    if (rr.zones > 0) {
+      compute_max = std::max(compute_max, rr.phases.compute_s);
+      compute_sum += rr.phases.compute_s;
+      util_sum += rr.utilization_pct;
+      util_min = active == 0 ? rr.utilization_pct
+                             : std::min(util_min, rr.utilization_pct);
+      ++active;
+    }
+    rep.per_rank.push_back(std::move(rr));
+  }
+  if (active > 0 && compute_max > 0.0) {
+    const double mean = compute_sum / active;
+    rep.imbalance_pct = 100.0 * (compute_max - mean) / compute_max;
+    rep.mean_utilization_pct = util_sum / active;
+    rep.min_utilization_pct = util_min;
+  }
+
+  // Top-N kernels by summed simulated time over every rank and step.
+  std::map<std::string, obs::KernelReport> by_name;
+  for (const auto& s : tracer->spans()) {
+    if (s.cat != "kernel") continue;
+    auto& k = by_name[s.name];
+    k.name = s.name;
+    k.calls += 1;
+    k.seconds += s.t_end - s.t_begin;
+  }
+  rep.top_kernels.reserve(by_name.size());
+  for (auto& [name, k] : by_name) rep.top_kernels.push_back(std::move(k));
+  std::sort(rep.top_kernels.begin(), rep.top_kernels.end(),
+            [](const obs::KernelReport& a, const obs::KernelReport& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              return a.name < b.name;
+            });
+  if (rep.top_kernels.size() > top_n) rep.top_kernels.resize(top_n);
+
+  return rep;
+}
+
+}  // namespace coop::core

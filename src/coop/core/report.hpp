@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+#include "coop/core/timed_sim.hpp"
+#include "coop/obs/run_report.hpp"
+#include "coop/obs/trace.hpp"
+
+/// \file report.hpp
+/// Builds the machine-readable `obs::RunReport` from a timed run.
+///
+/// The report layer closes the loop the paper's methodology implies but
+/// never shows: every figure reproduction also emits per-rank utilization,
+/// imbalance %, phase breakdown, top-N kernels, fault tallies and achieved
+/// vs. roofline FLOPS, versioned so regressions are diffable run to run.
+
+namespace coop::core {
+
+/// Summarizes `res` (and, when `tracer` is non-null, its per-rank phase
+/// totals and per-kernel aggregation) into a `RunReport`.
+///
+/// With a tracer the per-rank table is populated from "phase"-category
+/// spans and `imbalance_pct` is (max - mean) / max of per-rank compute
+/// totals over ranks that still own zones; `top_kernels` aggregates
+/// "kernel"-category spans by name (ties broken by name for determinism).
+/// Without a tracer those sections are empty and imbalance falls back to
+/// the avg_max compute times of `res`.
+[[nodiscard]] obs::RunReport build_run_report(const TimedConfig& cfg,
+                                              const TimedResult& res,
+                                              const obs::Tracer* tracer,
+                                              std::size_t top_n = 10);
+
+}  // namespace coop::core

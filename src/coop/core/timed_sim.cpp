@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <utility>
 
 #include "coop/des/engine.hpp"
@@ -13,6 +14,8 @@
 #include "coop/devmodel/kernel_cost.hpp"
 #include "coop/lb/load_balancer.hpp"
 #include "coop/mesh/halo.hpp"
+#include "coop/obs/metrics.hpp"
+#include "coop/obs/trace.hpp"
 #include "coop/simmpi/sim_comm.hpp"
 
 namespace coop::core {
@@ -36,6 +39,11 @@ struct World {
   // Per-iteration scratch.
   std::vector<double> compute_time;  // per rank, this iteration
   double iter_start = 0.0;
+
+  // Unified observability (both optional; convenience copies of cfg).
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  double pool_high_water = 0.0;  ///< modeled device-pool bytes, run maximum
 
   // Optional event-driven GPU backend (one server per physical GPU).
   std::vector<std::unique_ptr<devmodel::GpuServer>> gpu_servers;
@@ -98,7 +106,12 @@ double um_spill_time(const World& w, int node_id) {
 /// Compute-phase duration for rank `r` in the current decomposition.
 /// `mps_serialize` forces the no-overlap MPS path for this call — used the
 /// iteration an MPS daemon restarts (clients cannot overlap meanwhile).
-double compute_phase_time(const World& w, int r, bool mps_serialize = false) {
+/// When `kernel_times` is non-null it receives one entry per catalog kernel
+/// (launch + exec for GPU ranks, exec for CPU ranks) so the tracer can place
+/// per-kernel sub-spans; the UM spill residual is the return value minus the
+/// entries' sum.
+double compute_phase_time(const World& w, int r, bool mps_serialize = false,
+                          std::vector<double>* kernel_times = nullptr) {
   const auto& cfg = *w.cfg;
   const auto& dom = w.dec.domains[static_cast<std::size_t>(r)];
   const double zones = static_cast<double>(dom.box.zones());
@@ -123,6 +136,7 @@ double compute_phase_time(const World& w, int r, bool mps_serialize = false) {
         exec = devmodel::gpu_kernel_exec_time(cfg.node.gpu, k.work, zones, nx);
       }
       t += launch + exec;
+      if (kernel_times != nullptr) kernel_times->push_back(launch + exec);
     }
     t += um_spill_time(w, dom.node_id);
   } else {
@@ -133,11 +147,25 @@ double compute_phase_time(const World& w, int r, bool mps_serialize = false) {
     const double penalty = (cfg.compiler_bug && cfg.mode != NodeMode::kCpuOnly)
                                ? calib::kCompilerBugFactor
                                : 1.0;
-    for (const auto& k : w.catalog.kernels())
-      t += devmodel::cpu_kernel_exec_time(cfg.node.cpu, k.work, zones,
-                                          penalty);
+    for (const auto& k : w.catalog.kernels()) {
+      const double exec =
+          devmodel::cpu_kernel_exec_time(cfg.node.cpu, k.work, zones, penalty);
+      t += exec;
+      if (kernel_times != nullptr) kernel_times->push_back(exec);
+    }
   }
   return t;
+}
+
+/// Device-pool scratch demand modeled from the current decomposition: every
+/// GPU-driving rank stages `kScratchBytesPerZone` of per-kernel temporaries
+/// through its node's pool (the cnmem-style pool of 5.2).
+double modeled_pool_bytes(const World& w) {
+  double zones = 0.0;
+  for (const auto& d : w.dec.domains)
+    if (d.target == ExecutionTarget::kGpuDevice)
+      zones += static_cast<double>(d.box.zones());
+  return zones * calib::kScratchBytesPerZone;
 }
 
 /// Compute phase through the event-driven GPU queue: one launch-overhead
@@ -151,11 +179,18 @@ des::Task<void> gpu_server_compute(des::Engine& eng, World& w, int r) {
   const double launch = devmodel::gpu_launch_overhead(cfg.node.gpu, mps);
   auto& gpu = *w.gpu_servers[static_cast<std::size_t>(
       dom.node_id * cfg.node.gpu_count + dom.gpu_id)];
+  const bool trace_kernels = w.tracer != nullptr && w.tracer->kernel_spans;
   for (const auto& k : w.catalog.kernels()) {
+    const double t0 = eng.now();
     co_await eng.delay(launch);
     co_await gpu.execute(k.work, zones, nx, mps);
+    if (trace_kernels)
+      w.tracer->span(dom.node_id, r, k.name, "kernel", t0, eng.now());
   }
+  const double t_spill = eng.now();
   co_await eng.delay(um_spill_time(w, dom.node_id));
+  if (trace_kernels && eng.now() > t_spill)
+    w.tracer->span(dom.node_id, r, "um-spill", "kernel", t_spill, eng.now());
 }
 
 des::Task<void> rank_process(des::Engine& eng, World& w,
@@ -176,6 +211,9 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
     const bool i_am_gpu =
         w.dec.domains[static_cast<std::size_t>(r)].target ==
         ExecutionTarget::kGpuDevice;
+    // Trace track: pid groups by node, tid is the rank (stable across
+    // re-carves — reweighting never migrates a rank between nodes).
+    const int my_node = w.dec.domains[static_cast<std::size_t>(r)].node_id;
 
     // --- Fault detection points (compute start). ---
     bool abort_compute = false;  ///< device died: post stale halos, no work
@@ -287,6 +325,10 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
     };
 
     // --- Compute phase: walk the Sedov kernel catalog. ---
+    std::vector<double> kernel_times;  ///< closed-form per-kernel durations
+    std::vector<double>* const want_kernels =
+        (w.tracer != nullptr && w.tracer->kernel_spans) ? &kernel_times
+                                                        : nullptr;
     const double t_compute_begin = eng.now();
     if (abort_compute) {
       w.compute_time[static_cast<std::size_t>(r)] = 0.0;
@@ -299,7 +341,8 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
           eng.now() - t_compute_begin;
       post_halo_sends();
     } else if (const double t_compute =
-                   slow * compute_phase_time(w, r, mps_serialize);
+                   slow *
+                   compute_phase_time(w, r, mps_serialize, want_kernels);
                w.cfg->overlap_halo && !my_nbrs.empty()) {
       w.compute_time[static_cast<std::size_t>(r)] = t_compute;
       // Boundary-first schedule: compute the halo-adjacent zones, post the
@@ -325,12 +368,32 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
     if (w.cfg->trace != nullptr)
       w.cfg->trace->record(r, step, Phase::kCompute, t_compute_begin,
                            eng.now());
+    if (w.tracer != nullptr && !abort_compute) {
+      w.tracer->span(my_node, r, "compute", "phase", t_compute_begin,
+                     eng.now());
+      if (!kernel_times.empty()) {
+        // Sub-spans at cumulative offsets; the straggler stretch scales each
+        // kernel uniformly, and any GPU residual is the UM pump spill.
+        double t0 = t_compute_begin;
+        const auto& ks = w.catalog.kernels();
+        for (std::size_t i = 0; i < kernel_times.size(); ++i) {
+          const double t1 = t0 + slow * kernel_times[i];
+          w.tracer->span(my_node, r, ks[i].name, "kernel", t0, t1);
+          t0 = t1;
+        }
+        if (eng.now() - t0 > 1e-15)
+          w.tracer->span(my_node, r, "um-spill", "kernel", t0, eng.now());
+      }
+    }
 
     const double t_halo_begin = eng.now();
     for (int nbr : my_nbrs) (void)co_await comm.recv(nbr, /*tag=*/0);
     if (w.cfg->trace != nullptr)
       w.cfg->trace->record(r, step, Phase::kHaloWait, t_halo_begin,
                            eng.now());
+    if (w.tracer != nullptr)
+      w.tracer->span(my_node, r, "halo-wait", "phase", t_halo_begin,
+                     eng.now());
 
     // --- dt reduction (the per-step synchronization point). ---
     const double t_reduce_begin = eng.now();
@@ -338,6 +401,9 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
     if (w.cfg->trace != nullptr)
       w.cfg->trace->record(r, step, Phase::kReduce, t_reduce_begin,
                            eng.now());
+    if (w.tracer != nullptr)
+      w.tracer->span(my_node, r, "reduce", "phase", t_reduce_begin,
+                     eng.now());
 
     // --- Recovery / degraded rebalance (runs at rank 0's post-reduce slot:
     // the reduction delivers to rank 0 first, so this completes before any
@@ -394,6 +460,19 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
       w.lb_active = false;
       if (w.cfg->trace != nullptr)
         w.cfg->trace->record(r, step, Phase::kRebalance, t_now, eng.now());
+      if (w.tracer != nullptr) {
+        w.tracer->span(my_node, r, "rebalance", "phase", t_now, eng.now());
+        w.tracer->instant(
+            my_node, r, "recovery:rebalance", "recovery", t_now,
+            obs::InstantScope::kGlobal,
+            {{"dead_devices", static_cast<double>(dead_devices.size())},
+             {"step", static_cast<double>(step)}});
+        w.tracer->instant(
+            my_node, r, "recovery:rollback", "recovery", eng.now(),
+            obs::InstantScope::kGlobal,
+            {{"target_step", static_cast<double>(target)},
+             {"replayed", static_cast<double>(w.aborted_step - target + 1)}});
+      }
     } else if (w.injector != nullptr && r == 0 && w.degraded &&
                w.cfg->load_balance) {
       // Measured-rate survivor rebalance: the feedback balancer's
@@ -434,8 +513,21 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
         w.sum_max_cpu += max_cpu;
         w.sum_max_gpu += max_gpu;
         w.balancer.observe(max_cpu, max_gpu, w.dec.cpu_zone_fraction());
-        if (w.balancer.converged() && w.lb_converged_at < 0)
+        if (w.balancer.converged() && w.lb_converged_at < 0) {
           w.lb_converged_at = step + 1;
+          if (w.tracer != nullptr)
+            w.tracer->instant(
+                my_node, r, "lb:converged", "lb", eng.now(),
+                obs::InstantScope::kGlobal,
+                {{"step", static_cast<double>(step + 1)},
+                 {"cpu_fraction", w.balancer.fraction()}});
+        }
+        if (w.tracer != nullptr)
+          w.tracer->instant(
+              my_node, r, "lb:adjust", "lb", eng.now(),
+              obs::InstantScope::kProcess,
+              {{"cpu_fraction", w.balancer.fraction()},
+               {"imbalance", w.balancer.last_imbalance()}});
         // Re-carve the CPU slabs for the next iteration; the single-plane
         // floor in `heterogeneous` keeps the split feasible.
         w.dec = make_cluster_decomposition(w.cfg->mode, w.cfg->node,
@@ -482,7 +574,14 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
                                 rec.checkpoint_bandwidth_bytes_per_s;
         }
         co_await eng.delay(cost);
-        if (r == 0) w.last_checkpoint_step = step + 1;
+        if (r == 0) {
+          w.last_checkpoint_step = step + 1;
+          if (w.tracer != nullptr)
+            w.tracer->instant(
+                my_node, r, "checkpoint", "recovery", eng.now(),
+                obs::InstantScope::kGlobal,
+                {{"through_step", static_cast<double>(step + 1)}});
+        }
       }
       if (my_rollback_epoch < w.rollback_epoch) {
         // A recovery armed a rollback this pass: rewind so the next loop
@@ -497,7 +596,38 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
       }
     }
 
-    if (r == 0) w.iteration_times.push_back(eng.now() - w.iter_start);
+    if (r == 0) {
+      const double iter_s = eng.now() - w.iter_start;
+      w.iteration_times.push_back(iter_s);
+
+      // Per-step observability sampling (pure observation, no co_awaits).
+      const double pool_bytes = modeled_pool_bytes(w);
+      w.pool_high_water = std::max(w.pool_high_water, pool_bytes);
+      if (w.tracer != nullptr) {
+        const double tn = eng.now();
+        w.tracer->counter(my_node, "cpu_fraction", tn,
+                          w.dec.cpu_zone_fraction());
+        w.tracer->counter(my_node, "pool_bytes_in_use", tn, pool_bytes);
+        w.tracer->counter(my_node, "pool_high_water_bytes", tn,
+                          w.pool_high_water);
+        w.tracer->counter(my_node, "halo_bytes_sent", tn,
+                          static_cast<double>(commw.bytes_sent()));
+        w.tracer->counter(my_node, "des_queue_depth", tn,
+                          static_cast<double>(eng.queue_depth()));
+      }
+      if (w.metrics != nullptr) {
+        auto& m = *w.metrics;
+        m.histogram("sim.iteration_seconds",
+                    {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0})
+            .observe(iter_s);
+        m.counter("sim.iterations").add();
+        m.gauge("sim.cpu_fraction").set(w.dec.cpu_zone_fraction());
+        m.gauge("comm.bytes_sent")
+            .set(static_cast<double>(commw.bytes_sent()));
+        m.gauge("pool.modeled_bytes_in_use").set(pool_bytes);
+        m.gauge("pool.modeled_high_water_bytes").set_max(w.pool_high_water);
+      }
+    }
   }
 }
 
@@ -529,6 +659,8 @@ TimedResult run_timed(const TimedConfig& cfg) {
 
   World w;
   w.cfg = &cfg;
+  w.tracer = cfg.tracer;
+  w.metrics = cfg.metrics;
   w.layout = make_rank_layout(cfg.mode, cfg.node, cfg.ranks_per_gpu);
   w.catalog = hydro::KernelCatalog::scaled(cfg.catalog_kernels);
 
@@ -544,6 +676,18 @@ TimedResult run_timed(const TimedConfig& cfg) {
                                      std::max(0.0, f0));
   w.dec.validate();
   w.rebuild_neighbors();
+  if (cfg.tracer != nullptr) {
+    for (int n = 0; n < cfg.nodes; ++n)
+      cfg.tracer->set_process_name(n, "node" + std::to_string(n));
+    for (int q = 0; q < w.dec.ranks(); ++q) {
+      const auto& d = w.dec.domains[static_cast<std::size_t>(q)];
+      cfg.tracer->set_thread_name(
+          d.node_id, q,
+          "rank " + std::to_string(q) +
+              (d.target == ExecutionTarget::kGpuDevice ? " (gpu)"
+                                                       : " (cpu)"));
+    }
+  }
   w.lb_active = cfg.load_balance && cfg.mode == NodeMode::kHeterogeneous;
   if (w.lb_active) {
     lb::FeedbackBalancer::Config bc;
@@ -553,6 +697,7 @@ TimedResult run_timed(const TimedConfig& cfg) {
                       static_cast<double>(cfg.global.ny());
     bc.max_fraction = 0.5;
     w.balancer = lb::FeedbackBalancer(bc);
+    if (cfg.metrics != nullptr) w.balancer.bind_metrics(*cfg.metrics);
   }
   w.compute_time.assign(static_cast<std::size_t>(w.dec.ranks()), 0.0);
 
@@ -564,6 +709,7 @@ TimedResult run_timed(const TimedConfig& cfg) {
     cfg.faults->validate(w.dec.ranks(), cfg.nodes, cfg.node.gpu_count);
     injector =
         std::make_unique<fault::FaultInjector>(*cfg.faults, cfg.recovery);
+    if (cfg.tracer != nullptr) injector->bind_tracer(cfg.tracer);
     w.injector = injector.get();
     const auto work = w.catalog.total();
     const double penalty =
@@ -605,8 +751,12 @@ TimedResult run_timed(const TimedConfig& cfg) {
   res.lb_iterations_to_converge = w.lb_converged_at;
   if (w.injector != nullptr) res.resilience = w.injector->stats();
   res.final_zones_per_rank.reserve(w.dec.domains.size());
-  for (const auto& d : w.dec.domains)
+  res.final_rank_is_gpu.reserve(w.dec.domains.size());
+  for (const auto& d : w.dec.domains) {
     res.final_zones_per_rank.push_back(d.box.zones());
+    res.final_rank_is_gpu.push_back(
+        d.target == ExecutionTarget::kGpuDevice ? 1 : 0);
+  }
   return res;
 }
 

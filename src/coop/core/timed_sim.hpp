@@ -23,6 +23,11 @@
 /// the feedback balancer adjusts the CPU slab fraction between iterations
 /// (paper 6.2).
 
+namespace coop::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace coop::obs
+
 namespace coop::core {
 
 struct TimedConfig {
@@ -60,6 +65,20 @@ struct TimedConfig {
   /// records compute / halo-wait / reduce spans for Gantt visualization.
   TraceRecorder* trace = nullptr;
 
+  /// Optional unified tracer (not owned; may be nullptr). Superset of
+  /// `trace`: phase spans (cat "phase") plus per-kernel sub-spans (cat
+  /// "kernel", gated by `Tracer::kernel_spans`), fault/recovery/checkpoint/
+  /// rebalance instant events, and per-step counter tracks (cpu_fraction,
+  /// modeled pool bytes, halo bytes on wire, DES queue depth). Tracks are
+  /// grouped pid = node, tid = rank. Pure observation: attaching a tracer
+  /// never changes the simulated schedule.
+  obs::Tracer* tracer = nullptr;
+
+  /// Optional metrics registry (not owned; may be nullptr). run_timed
+  /// publishes per-iteration simulation metrics (sim.*, comm.*, pool.*) and
+  /// binds the feedback balancer's lb.* metrics. Pure observation.
+  obs::MetricsRegistry* metrics = nullptr;
+
   /// Use the event-driven processor-sharing GPU queue (devmodel::GpuServer)
   /// instead of the closed-form kernel times. Exact for the symmetric
   /// decompositions the paper uses; additionally captures asymmetric
@@ -93,6 +112,9 @@ struct TimedResult {
   fault::ResilienceStats resilience{};
   /// Zones each rank owns in the final decomposition (0 = retired rank).
   std::vector<long> final_zones_per_rank;
+  /// 1 when the rank drives a GPU in the final decomposition (a policy flip
+  /// after a device death clears it). Parallel to `final_zones_per_rank`.
+  std::vector<std::uint8_t> final_rank_is_gpu;
 };
 
 /// Runs the timed simulation; deterministic for a given config.

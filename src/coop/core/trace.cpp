@@ -1,5 +1,10 @@
 #include "coop/core/trace.hpp"
 
+#include <set>
+#include <string>
+
+#include "coop/obs/trace.hpp"
+
 namespace coop::core {
 
 double TraceRecorder::total_time(int rank, Phase phase) const {
@@ -9,19 +14,25 @@ double TraceRecorder::total_time(int rank, Phase phase) const {
   return t;
 }
 
-void TraceRecorder::write_chrome_trace(std::ostream& os) const {
-  os << "{\"traceEvents\":[";
-  bool first = true;
+void TraceRecorder::export_to(obs::Tracer& tracer) const {
+  tracer.set_process_name(0, "timed_sim");
+  std::set<int> ranks;
   for (const auto& s : spans_) {
-    if (!first) os << ",";
-    first = false;
-    // Complete ("X") events; simulated seconds -> microseconds.
-    os << "{\"name\":\"" << to_string(s.phase) << "\",\"cat\":\"step"
-       << s.step << "\",\"ph\":\"X\",\"ts\":" << s.t_begin * 1e6
-       << ",\"dur\":" << (s.t_end - s.t_begin) * 1e6
-       << ",\"pid\":0,\"tid\":" << s.rank << "}";
+    if (ranks.insert(s.rank).second)
+      tracer.set_thread_name(0, s.rank, "rank " + std::to_string(s.rank));
+    tracer.span(0, s.rank, to_string(s.phase),
+                "step" + std::to_string(s.step), s.t_begin, s.t_end);
   }
-  os << "]}";
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  // Thin adapter onto the unified tracer: same span layout as before, but
+  // the exporter's fixed-precision timestamps survive long runs (the default
+  // ostream 6-significant-digit formatting collapsed distinct microsecond
+  // values past ~100 simulated seconds).
+  obs::Tracer tracer;
+  export_to(tracer);
+  tracer.write_chrome_trace(os);
 }
 
 void TraceRecorder::write_csv(std::ostream& os) const {

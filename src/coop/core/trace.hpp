@@ -13,6 +13,16 @@
 /// exported as a Chrome-tracing JSON (load in chrome://tracing or Perfetto)
 /// to see the per-rank Gantt chart: GPU ranks computing while CPU slabs lag
 /// or idle is exactly the load-imbalance picture of the paper's 6.2.
+///
+/// This class predates `obs::Tracer` and is kept as a thin adapter: the
+/// phase-span API is unchanged, but Chrome-trace export routes through the
+/// unified tracer (fixed-precision timestamps, proper escaping, metadata).
+/// New instrumentation should use `obs::Tracer` directly via
+/// `TimedConfig::tracer`.
+
+namespace coop::obs {
+class Tracer;
+}  // namespace coop::obs
 
 namespace coop::core {
 
@@ -56,8 +66,14 @@ class TraceRecorder {
   /// Total simulated time rank `rank` spent in `phase`.
   [[nodiscard]] double total_time(int rank, Phase phase) const;
 
+  /// Replays every span into `tracer` (pid 0, tid = rank, cat = "step<N>"),
+  /// registering process/thread names. The adapter bridge to the unified
+  /// observability layer.
+  void export_to(obs::Tracer& tracer) const;
+
   /// Writes the spans as a Chrome-tracing "traceEvents" JSON array
-  /// (complete events, microsecond timestamps, one row per rank).
+  /// (complete events, microsecond timestamps at fixed 3-decimal precision,
+  /// one row per rank). Implemented via `export_to` + `obs::Tracer`.
   void write_chrome_trace(std::ostream& os) const;
 
   /// Writes a flat CSV: rank,step,phase,begin,end.

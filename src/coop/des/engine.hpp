@@ -74,6 +74,12 @@ class Engine {
   /// True when no further events are queued.
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
 
+  /// Number of events currently pending in the queue. Pure observation
+  /// (an observability counter track samples this once per timestep).
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+
  private:
   struct Event {
     SimTime t;

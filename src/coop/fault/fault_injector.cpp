@@ -15,6 +15,21 @@ FaultInjector::FaultInjector(const FaultPlan& plan, RecoveryConfig recovery)
 void FaultInjector::consume(Tracked& t) {
   t.consumed = true;
   ++stats_.faults_injected;
+  if (tracer_ != nullptr) {
+    const FaultEvent& e = t.event;
+    std::vector<std::pair<std::string, double>> args;
+    if (e.rank >= 0) args.emplace_back("rank", e.rank);
+    args.emplace_back("node", e.node);
+    if (e.kind == FaultKind::kGpuDeath) args.emplace_back("gpu", e.gpu);
+    if (e.count != 1) args.emplace_back("count", e.count);
+    if (e.kind == FaultKind::kSlowdown) {
+      args.emplace_back("factor", e.factor);
+      args.emplace_back("duration_s", e.duration);
+    }
+    tracer_->instant(trace_pid_, 0,
+                     std::string("fault:") + to_string(e.kind), "fault",
+                     e.time, obs::InstantScope::kGlobal, std::move(args));
+  }
 }
 
 bool FaultInjector::gpu_dead(int node, int gpu, double now) const {

@@ -5,6 +5,7 @@
 
 #include "coop/devmodel/calibration.hpp"
 #include "coop/fault/fault_plan.hpp"
+#include "coop/obs/trace.hpp"
 
 /// \file fault_injector.hpp
 /// Run-time side of the fault subsystem.
@@ -139,6 +140,15 @@ class FaultInjector {
     return recovery_;
   }
 
+  /// Mirrors every consumed fault into `tracer` as a global-scope instant
+  /// event ("fault:<kind>", cat "fault") at the event's scheduled time, with
+  /// the targeting fields as args. Pure observation — attaching a tracer
+  /// never changes which events are consumed or when.
+  void bind_tracer(obs::Tracer* tracer, int pid = 0) noexcept {
+    tracer_ = tracer;
+    trace_pid_ = pid;
+  }
+
  private:
   struct Tracked {
     FaultEvent event;
@@ -151,6 +161,8 @@ class FaultInjector {
   std::vector<Tracked> events_;
   RecoveryConfig recovery_;
   ResilienceStats stats_;
+  obs::Tracer* tracer_ = nullptr;  ///< not owned; may be nullptr
+  int trace_pid_ = 0;
 };
 
 }  // namespace coop::fault

@@ -9,7 +9,9 @@ KernelTimerRegistry::sorted() const {
   std::vector<std::pair<std::string, Entry>> out(entries_.begin(),
                                                  entries_.end());
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    return a.second.seconds > b.second.seconds;
+    if (a.second.seconds != b.second.seconds)
+      return a.second.seconds > b.second.seconds;
+    return a.first < b.first;  // deterministic order for equal-time kernels
   });
   return out;
 }

@@ -46,6 +46,8 @@ class KernelTimerRegistry {
   }
 
   /// Entries sorted by descending total time (the "top kernels" report).
+  /// Equal-time entries tie-break by name so the order is deterministic —
+  /// `std::sort` is not stable, and report diffs must not churn on ties.
   [[nodiscard]] std::vector<std::pair<std::string, Entry>> sorted() const;
 
   void clear() { entries_.clear(); }

@@ -22,9 +22,18 @@ double initial_cpu_fraction(const devmodel::NodeSpec& node, int cpu_ranks,
   return cpu_total / (cpu_total + gpu_total);
 }
 
+void FeedbackBalancer::bind_metrics(obs::MetricsRegistry& reg) {
+  m_fraction_ = &reg.gauge("lb.cpu_fraction");
+  m_imbalance_ = &reg.histogram(
+      "lb.imbalance", {0.01, 0.02, 0.05, 0.1, 0.2, 0.5});
+  m_observations_ = &reg.counter("lb.observations");
+  m_fraction_->set(fraction_);
+}
+
 void FeedbackBalancer::observe(double cpu_time, double gpu_time,
                                double actual_fraction) {
   ++observations_;
+  if (m_observations_ != nullptr) m_observations_->add();
   const double f_a = actual_fraction >= 0 ? actual_fraction : fraction_;
   // isfinite guards matter: NaN compares false against every threshold below,
   // so without them a NaN timing would flow straight into fraction_.
@@ -34,6 +43,7 @@ void FeedbackBalancer::observe(double cpu_time, double gpu_time,
     return;  // nothing measurable this iteration
   }
   imbalance_ = std::abs(cpu_time - gpu_time) / std::max(cpu_time, gpu_time);
+  if (m_imbalance_ != nullptr) m_imbalance_->observe(imbalance_);
 
   // Per-unit-fraction rates observed this iteration; the balanced split
   // equalizes finish times: f* = r_cpu / (r_cpu + r_gpu).
@@ -47,6 +57,7 @@ void FeedbackBalancer::observe(double cpu_time, double gpu_time,
   converged_ = imbalance_ <= cfg_.tolerance ||
                std::abs(next - fraction_) < 1e-3;
   fraction_ = next;
+  if (m_fraction_ != nullptr) m_fraction_->set(fraction_);
 }
 
 }  // namespace coop::lb

@@ -4,6 +4,7 @@
 
 #include "coop/devmodel/kernel_cost.hpp"
 #include "coop/devmodel/specs.hpp"
+#include "coop/obs/metrics.hpp"
 
 /// \file load_balancer.hpp
 /// Heterogeneous CPU/GPU load balancing (paper 6.2).
@@ -58,12 +59,21 @@ class FeedbackBalancer {
   /// |T_cpu - T_gpu| / max(T_cpu, T_gpu) of the last observation.
   [[nodiscard]] double last_imbalance() const noexcept { return imbalance_; }
 
+  /// Publishes balancer state into `reg` on every `observe` call:
+  /// gauge `lb.cpu_fraction`, histogram `lb.imbalance`, counter
+  /// `lb.observations`. Pure observation; `reg` must outlive the balancer.
+  void bind_metrics(obs::MetricsRegistry& reg);
+
  private:
   Config cfg_;
   double fraction_ = 0.02;
   double imbalance_ = 1.0;
   bool converged_ = false;
   int observations_ = 0;
+
+  obs::MetricsRegistry::Gauge* m_fraction_ = nullptr;
+  obs::MetricsRegistry::Histogram* m_imbalance_ = nullptr;
+  obs::MetricsRegistry::Counter* m_observations_ = nullptr;
 };
 
 }  // namespace coop::lb

@@ -48,11 +48,23 @@ void* DevicePool::allocate(std::size_t bytes) {
   return p;
 }
 
+void DevicePool::bind_metrics(obs::MetricsRegistry& reg,
+                              const obs::Labels& labels) {
+  m_in_use_ = &reg.gauge("pool.bytes_in_use", labels);
+  m_high_water_ = &reg.gauge("pool.high_water_bytes", labels);
+  m_alloc_failures_ = &reg.counter("pool.alloc_failures", labels);
+  m_in_use_->set(static_cast<double>(in_use_));
+  m_high_water_->set_max(static_cast<double>(high_water_));
+}
+
 void* DevicePool::try_allocate(std::size_t bytes) noexcept {
   const Size need = round_up(bytes == 0 ? 1 : bytes, alignment_);
   // Best fit: smallest free block that can hold the request.
   auto it = free_by_size_.lower_bound(need);
-  if (it == free_by_size_.end()) return nullptr;
+  if (it == free_by_size_.end()) {
+    if (m_alloc_failures_ != nullptr) m_alloc_failures_->add();
+    return nullptr;
+  }
   const Size block_size = it->first;
   const Offset off = it->second;
   erase_free(off, block_size);
@@ -60,6 +72,10 @@ void* DevicePool::try_allocate(std::size_t bytes) noexcept {
   allocated_.emplace(off, need);
   in_use_ += need;
   if (in_use_ > high_water_) high_water_ = in_use_;
+  if (m_in_use_ != nullptr) {
+    m_in_use_->set(static_cast<double>(in_use_));
+    m_high_water_->set_max(static_cast<double>(high_water_));
+  }
   return slab_.get() + off;
 }
 
@@ -76,6 +92,7 @@ void DevicePool::deallocate(void* p) {
   Size free_size = it->second;
   in_use_ -= free_size;
   allocated_.erase(it);
+  if (m_in_use_ != nullptr) m_in_use_->set(static_cast<double>(in_use_));
 
   // Coalesce with the following free block, if adjacent.
   auto next = free_by_offset_.lower_bound(free_off);

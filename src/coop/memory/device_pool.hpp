@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "coop/memory/allocator.hpp"
+#include "coop/obs/metrics.hpp"
 
 /// \file device_pool.hpp
 /// cnmem-style device memory pool.
@@ -47,6 +48,12 @@ class DevicePool : public Allocator {
     return capacity_;
   }
 
+  /// Publishes pool state into `reg` (labels identify the pool, e.g.
+  /// {device, rank}): gauges `pool.bytes_in_use` / `pool.high_water_bytes`
+  /// and counter `pool.alloc_failures`, updated on every allocate /
+  /// deallocate. Pure observation; `reg` must outlive the pool.
+  void bind_metrics(obs::MetricsRegistry& reg, const obs::Labels& labels = {});
+
   /// Number of fragments on the free list (1 when fully coalesced & empty).
   [[nodiscard]] std::size_t free_fragments() const noexcept {
     return free_by_offset_.size();
@@ -76,6 +83,10 @@ class DevicePool : public Allocator {
   std::map<Offset, Size> free_by_offset_;
   std::multimap<Size, Offset> free_by_size_;  ///< best-fit index
   std::map<Offset, Size> allocated_;
+
+  obs::MetricsRegistry::Gauge* m_in_use_ = nullptr;
+  obs::MetricsRegistry::Gauge* m_high_water_ = nullptr;
+  obs::MetricsRegistry::Counter* m_alloc_failures_ = nullptr;
 };
 
 }  // namespace coop::memory

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+/// \file json.hpp
+/// Shared JSON emission helpers for every observability exporter.
+///
+/// All machine-readable output of the obs layer (Perfetto traces, metric
+/// snapshots, run reports) funnels through these three functions so the
+/// invariants hold everywhere at once: strings are escaped per RFC 8259,
+/// numbers are never NaN/Inf (JSON cannot represent them), and timestamps
+/// keep fixed sub-microsecond precision instead of ostream's default
+/// 6-significant-digit float formatting.
+
+namespace coop::obs {
+
+/// Writes `s` as a JSON string literal, quotes included. Escapes the two
+/// mandatory characters (`"`, `\`), the short-form control characters
+/// (\b \f \n \r \t) and every other byte < 0x20 as \u00XX.
+void write_json_string(std::ostream& os, std::string_view s);
+
+/// Writes `v` as a JSON number with shortest round-trip precision (%.17g).
+/// NaN and Inf are not representable in JSON; they are written as 0 so an
+/// exporter bug degrades to a wrong value rather than an unparseable file
+/// (the test-side checker additionally rejects any literal that slips out).
+void write_json_number(std::ostream& os, double v);
+
+/// Writes `v` in fixed-point notation with `decimals` fractional digits.
+/// Trace exporters use this for `ts`/`dur` (microseconds, 3 decimals =
+/// nanosecond resolution) so multi-hour simulated runs do not collapse to 6
+/// significant digits. Non-finite values degrade to 0 as above.
+void write_json_fixed(std::ostream& os, double v, int decimals);
+
+}  // namespace coop::obs

@@ -1,0 +1,189 @@
+#include "coop/obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "coop/obs/json.hpp"
+
+namespace coop::obs {
+
+Labels& Labels::set(const std::string& key, const std::string& value) {
+  auto it = std::lower_bound(
+      kv_.begin(), kv_.end(), key,
+      [](const auto& p, const std::string& k) { return p.first < k; });
+  if (it != kv_.end() && it->first == key)
+    it->second = value;
+  else
+    kv_.insert(it, {key, value});
+  return *this;
+}
+
+std::string Labels::render() const {
+  if (kv_.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < kv_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += kv_[i].first + "=\"" + kv_[i].second + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+MetricsRegistry::Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void MetricsRegistry::Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  count_ += 1;
+  sum_ += v;
+}
+
+void MetricsRegistry::check_kind(const std::string& name, Kind kind) {
+  const auto [it, inserted] = kinds_.emplace(name, kind);
+  if (!inserted && it->second != kind)
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as a different kind");
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name,
+                                                   const Labels& labels) {
+  check_kind(name, Kind::kCounter);
+  auto& cell = counters_[{name, labels}];
+  if (!cell) cell = std::make_unique<Counter>();
+  return *cell;
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(const std::string& name,
+                                               const Labels& labels) {
+  check_kind(name, Kind::kGauge);
+  auto& cell = gauges_[{name, labels}];
+  if (!cell) cell = std::make_unique<Gauge>();
+  return *cell;
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram(
+    const std::string& name, std::vector<double> bounds,
+    const Labels& labels) {
+  check_kind(name, Kind::kHistogram);
+  auto& cell = histograms_[{name, labels}];
+  if (!cell) {
+    cell = std::make_unique<Histogram>(std::move(bounds));
+  } else if (!bounds.empty() && bounds != cell->bounds()) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' re-registered with different bounds");
+  }
+  return *cell;
+}
+
+std::size_t MetricsRegistry::size() const noexcept {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::clear() {
+  kinds_.clear();
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot(double sim_time) const {
+  Snapshot snap;
+  snap.sim_time = sim_time;
+  snap.samples.reserve(size());
+  for (const auto& [key, cell] : counters_) {
+    Sample s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.kind = "counter";
+    s.value = cell->value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [key, cell] : gauges_) {
+    Sample s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.kind = "gauge";
+    s.value = cell->value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [key, cell] : histograms_) {
+    Sample s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.kind = "histogram";
+    s.value = cell->sum();
+    s.count = cell->count();
+    s.bucket_bounds = cell->bounds();
+    s.bucket_counts = cell->counts();
+    snap.samples.push_back(std::move(s));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const Sample& a, const Sample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+void MetricsRegistry::write_json(std::ostream& os, double sim_time) const {
+  const Snapshot snap = snapshot(sim_time);
+  os << "{\"schema\":\"coophet.metrics\",\"schema_version\":1,\"sim_time_s\":";
+  write_json_number(os, snap.sim_time);
+  os << ",\"metrics\":[";
+  for (std::size_t i = 0; i < snap.samples.size(); ++i) {
+    const Sample& s = snap.samples[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":";
+    write_json_string(os, s.name);
+    os << ",\"kind\":";
+    write_json_string(os, s.kind);
+    os << ",\"labels\":{";
+    for (std::size_t j = 0; j < s.labels.items().size(); ++j) {
+      if (j > 0) os << ',';
+      write_json_string(os, s.labels.items()[j].first);
+      os << ':';
+      write_json_string(os, s.labels.items()[j].second);
+    }
+    os << '}';
+    if (s.kind == "histogram") {
+      os << ",\"sum\":";
+      write_json_number(os, s.value);
+      os << ",\"count\":" << s.count << ",\"bounds\":[";
+      for (std::size_t j = 0; j < s.bucket_bounds.size(); ++j) {
+        if (j > 0) os << ',';
+        write_json_number(os, s.bucket_bounds[j]);
+      }
+      os << "],\"counts\":[";
+      for (std::size_t j = 0; j < s.bucket_counts.size(); ++j) {
+        if (j > 0) os << ',';
+        os << s.bucket_counts[j];
+      }
+      os << ']';
+    } else {
+      os << ",\"value\":";
+      write_json_number(os, s.value);
+    }
+    os << '}';
+  }
+  os << "]}";
+}
+
+void MetricsRegistry::write_table(std::ostream& os) const {
+  const Snapshot snap = snapshot(0.0);
+  for (const Sample& s : snap.samples) {
+    os << s.name << s.labels.render() << " (" << s.kind << ") = ";
+    if (s.kind == "histogram")
+      os << "count " << s.count << ", sum " << s.value << ", mean "
+         << (s.count ? s.value / static_cast<double>(s.count) : 0.0);
+    else
+      os << s.value;
+    os << '\n';
+  }
+}
+
+}  // namespace coop::obs

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file metrics.hpp
+/// Label-aware metrics registry for the simulation stack.
+///
+/// The paper's method is measurement-driven ("we measured the respective
+/// contributions of CPU vs GPU and adjusted the split"); this registry is the
+/// one place those measurements accumulate. Three metric kinds:
+///
+///  * Counter   — monotonically increasing total (halo bytes, faults seen)
+///  * Gauge     — last-set value (cpu_fraction, pool bytes in use)
+///  * Histogram — fixed upper-bound buckets + sum/count (iteration seconds)
+///
+/// Every metric is keyed by (name, labels); labels are sorted key=value
+/// pairs (rank, device, kernel, ...) so the same name can fan out per
+/// device kind without string mangling. Cell references returned by the
+/// registry stay valid for the registry's lifetime — hot paths look a cell
+/// up once and hit it directly. `snapshot(sim_time)` freezes everything at a
+/// simulated instant; `write_json` emits the snapshot machine-readably.
+
+namespace coop::obs {
+
+/// Sorted, deduplicated label set. Ordering is part of the metric key, so
+/// {rank=3, device=gpu} and {device=gpu, rank=3} name the same cell.
+class Labels {
+ public:
+  Labels() = default;
+  Labels(std::initializer_list<std::pair<std::string, std::string>> kv) {
+    for (auto& p : kv) set(p.first, p.second);
+  }
+
+  /// Sets (or overwrites) one label; returns *this for chaining.
+  Labels& set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  items() const noexcept {
+    return kv_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return kv_.empty(); }
+
+  /// Prometheus-style rendering: {device="gpu",rank="3"} ("" when empty).
+  [[nodiscard]] std::string render() const;
+
+  friend bool operator==(const Labels&, const Labels&) = default;
+  friend auto operator<=>(const Labels&, const Labels&) = default;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;  ///< sorted by key
+};
+
+class MetricsRegistry {
+ public:
+  class Counter {
+   public:
+    void add(double delta = 1.0) noexcept { value_ += delta; }
+    [[nodiscard]] double value() const noexcept { return value_; }
+
+   private:
+    double value_ = 0.0;
+  };
+
+  class Gauge {
+   public:
+    void set(double v) noexcept { value_ = v; }
+    /// Keeps the running maximum (high-water gauges).
+    void set_max(double v) noexcept {
+      if (v > value_) value_ = v;
+    }
+    [[nodiscard]] double value() const noexcept { return value_; }
+
+   private:
+    double value_ = 0.0;
+  };
+
+  /// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+  /// first N buckets; one implicit overflow bucket catches the rest.
+  class Histogram {
+   public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v) noexcept;
+
+    [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+      return bounds_;
+    }
+    /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+    [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+      return counts_;
+    }
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+    [[nodiscard]] double mean() const noexcept {
+      return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+   private:
+    std::vector<double> bounds_;  ///< sorted ascending
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+  };
+
+  /// Finds or creates the cell. A name registered as one kind cannot be
+  /// reused as another (throws std::invalid_argument), and a histogram
+  /// re-registered with different non-empty bounds throws too — silent
+  /// aliasing is how dashboards end up lying.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {});
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  void clear();
+
+  /// One frozen metric value (histograms carry their buckets).
+  struct Sample {
+    std::string name;
+    Labels labels;
+    std::string kind;  ///< "counter" | "gauge" | "histogram"
+    double value = 0.0;  ///< counter/gauge value; histogram sum
+    std::uint64_t count = 0;                 ///< histogram only
+    std::vector<double> bucket_bounds;       ///< histogram only
+    std::vector<std::uint64_t> bucket_counts;  ///< histogram only
+  };
+
+  struct Snapshot {
+    double sim_time = 0.0;
+    std::vector<Sample> samples;  ///< deterministic (name, labels) order
+  };
+
+  /// Freezes every cell at simulated time `sim_time`.
+  [[nodiscard]] Snapshot snapshot(double sim_time) const;
+
+  /// Writes `snapshot(sim_time)` as one JSON object
+  /// ({"schema":"coophet.metrics","schema_version":1,...}).
+  void write_json(std::ostream& os, double sim_time) const;
+
+  /// Human-readable one-metric-per-line dump (debugging aid).
+  void write_table(std::ostream& os) const;
+
+ private:
+  using Key = std::pair<std::string, Labels>;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  void check_kind(const std::string& name, Kind kind);
+
+  std::map<std::string, Kind> kinds_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace coop::obs

@@ -1,0 +1,200 @@
+#include "coop/obs/run_report.hpp"
+
+#include <iomanip>
+
+#include "coop/obs/json.hpp"
+
+namespace coop::obs {
+
+namespace {
+
+void kv(std::ostream& os, const char* key, double v, bool lead_comma = true) {
+  if (lead_comma) os << ',';
+  os << '"' << key << "\":";
+  write_json_number(os, v);
+}
+
+void kv(std::ostream& os, const char* key, long v, bool lead_comma = true) {
+  if (lead_comma) os << ',';
+  os << '"' << key << "\":" << v;
+}
+
+void kv(std::ostream& os, const char* key, int v, bool lead_comma = true) {
+  kv(os, key, static_cast<long>(v), lead_comma);
+}
+
+void kv(std::ostream& os, const char* key, std::uint64_t v,
+        bool lead_comma = true) {
+  if (lead_comma) os << ',';
+  os << '"' << key << "\":" << v;
+}
+
+void kv(std::ostream& os, const char* key, const std::string& v,
+        bool lead_comma = true) {
+  if (lead_comma) os << ',';
+  os << '"' << key << "\":";
+  write_json_string(os, v);
+}
+
+}  // namespace
+
+void RunReport::write_json(std::ostream& os) const {
+  os << "{\"schema\":\"" << kRunReportSchemaName
+     << "\",\"schema_version\":" << kRunReportSchemaVersion;
+  kv(os, "label", label);
+  kv(os, "mode", mode);
+  kv(os, "figure", figure);
+  os << ",\"mesh\":{";
+  kv(os, "nx", nx, false);
+  kv(os, "ny", ny);
+  kv(os, "nz", nz);
+  kv(os, "zones", nx * ny * nz);
+  os << '}';
+  kv(os, "timesteps", timesteps);
+  kv(os, "ranks", ranks);
+  kv(os, "nodes", nodes);
+  kv(os, "makespan_s", makespan_s);
+  kv(os, "messages", messages);
+  kv(os, "halo_bytes", halo_bytes);
+  kv(os, "cpu_fraction_final", cpu_fraction_final);
+  kv(os, "lb_iterations_to_converge", lb_iterations_to_converge);
+  kv(os, "imbalance_pct", imbalance_pct);
+  kv(os, "mean_utilization_pct", mean_utilization_pct);
+  kv(os, "min_utilization_pct", min_utilization_pct);
+
+  os << ",\"per_rank\":[";
+  for (std::size_t i = 0; i < per_rank.size(); ++i) {
+    const RankReport& r = per_rank[i];
+    if (i > 0) os << ',';
+    os << '{';
+    kv(os, "rank", r.rank, false);
+    kv(os, "device", r.device);
+    kv(os, "zones", r.zones);
+    kv(os, "compute_s", r.phases.compute_s);
+    kv(os, "halo_wait_s", r.phases.halo_wait_s);
+    kv(os, "reduce_s", r.phases.reduce_s);
+    kv(os, "rebalance_s", r.phases.rebalance_s);
+    kv(os, "utilization_pct", r.utilization_pct);
+    os << '}';
+  }
+  os << ']';
+
+  os << ",\"top_kernels\":[";
+  for (std::size_t i = 0; i < top_kernels.size(); ++i) {
+    const KernelReport& k = top_kernels[i];
+    if (i > 0) os << ',';
+    os << '{';
+    kv(os, "name", k.name, false);
+    kv(os, "calls", k.calls);
+    kv(os, "seconds", k.seconds);
+    os << '}';
+  }
+  os << ']';
+
+  os << ",\"faults\":{";
+  kv(os, "injected", faults.injected, false);
+  kv(os, "recovered", faults.recovered);
+  kv(os, "gpu_deaths", faults.gpu_deaths);
+  kv(os, "policy_flips", faults.policy_flips);
+  kv(os, "launch_retries", faults.launch_retries);
+  kv(os, "mps_restarts", faults.mps_restarts);
+  kv(os, "halo_retransmits", faults.halo_retransmits);
+  kv(os, "pool_exhaustions", faults.pool_exhaustions);
+  kv(os, "checkpoints_taken", faults.checkpoints_taken);
+  kv(os, "rollbacks", faults.rollbacks);
+  kv(os, "replayed_iterations", faults.replayed_iterations);
+  kv(os, "retry_time_s", faults.retry_time_s);
+  kv(os, "checkpoint_time_s", faults.checkpoint_time_s);
+  kv(os, "rework_time_s", faults.rework_time_s);
+  os << '}';
+
+  os << ",\"flops\":{";
+  kv(os, "achieved", achieved_flops, false);
+  kv(os, "model_peak", model_peak_flops);
+  kv(os, "efficiency_pct", flops_efficiency_pct);
+  os << '}';
+
+  os << ",\"sweep\":[";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& row = sweep[i];
+    if (i > 0) os << ',';
+    os << '{';
+    kv(os, "x", row.x, false);
+    kv(os, "y", row.y);
+    kv(os, "z", row.z);
+    kv(os, "zones", row.zones);
+    kv(os, "t_default_s", row.t_default);
+    kv(os, "t_mps_s", row.t_mps);
+    kv(os, "t_hetero_s", row.t_hetero);
+    kv(os, "hetero_cpu_share", row.hetero_cpu_share);
+    os << '}';
+  }
+  os << ']';
+  kv(os, "max_hetero_gain_pct", max_hetero_gain_pct);
+  kv(os, "gain_at_zones", gain_at_zones);
+  os << '}';
+}
+
+void RunReport::write_table(std::ostream& os) const {
+  const auto flags = os.flags();
+  const auto prec = os.precision();
+
+  os << "== Run report: " << label << " (" << mode << ") ==\n";
+  os << "  mesh " << nx << " x " << ny << " x " << nz << " ("
+     << (nx * ny * nz) << " zones), " << timesteps << " steps, " << ranks
+     << " ranks on " << nodes << " node(s)\n";
+  os << std::fixed << std::setprecision(4);
+  os << "  makespan " << makespan_s << " s, " << messages << " msgs, "
+     << halo_bytes << " halo bytes\n";
+  os << "  cpu_fraction " << cpu_fraction_final << ", lb converged after "
+     << lb_iterations_to_converge << " steps\n";
+  os << std::setprecision(2);
+  os << "  imbalance " << imbalance_pct << " %, utilization mean "
+     << mean_utilization_pct << " % / min " << min_utilization_pct << " %\n";
+  os << "  flops achieved " << std::scientific << std::setprecision(3)
+     << achieved_flops << " / model peak " << model_peak_flops << " ("
+     << std::fixed << std::setprecision(1) << flops_efficiency_pct << " %)\n";
+
+  if (!per_rank.empty()) {
+    os << "  rank  dev  " << std::setw(10) << "zones" << std::setw(11)
+       << "compute_s" << std::setw(11) << "halo_s" << std::setw(11)
+       << "reduce_s" << std::setw(11) << "rebal_s" << std::setw(8)
+       << "util%" << '\n';
+    os << std::setprecision(4);
+    for (const RankReport& r : per_rank) {
+      os << "  " << std::setw(4) << r.rank << "  " << std::setw(3) << r.device
+         << std::setw(11) << r.zones << std::setw(11) << r.phases.compute_s
+         << std::setw(11) << r.phases.halo_wait_s << std::setw(11)
+         << r.phases.reduce_s << std::setw(11) << r.phases.rebalance_s
+         << std::setw(7) << std::setprecision(1) << r.utilization_pct << '%'
+         << std::setprecision(4) << '\n';
+    }
+  }
+
+  if (!top_kernels.empty()) {
+    os << "  top kernels (by summed simulated time):\n";
+    for (const KernelReport& k : top_kernels)
+      os << "    " << std::setw(28) << std::left << k.name << std::right
+         << std::setw(8) << k.calls << " calls  " << std::setprecision(5)
+         << k.seconds << " s\n";
+  }
+
+  if (faults.injected > 0 || faults.recovered > 0) {
+    os << "  faults: " << faults.injected << " injected, " << faults.recovered
+       << " recovered (" << faults.gpu_deaths << " gpu deaths, "
+       << faults.launch_retries << " retries, " << faults.rollbacks
+       << " rollbacks, " << faults.replayed_iterations
+       << " replayed iterations)\n";
+  }
+
+  if (!sweep.empty()) {
+    os << "  sweep: " << sweep.size() << " points, max hetero gain "
+       << std::setprecision(1) << max_hetero_gain_pct << " % at "
+       << gain_at_zones << " zones\n";
+  }
+
+  os.flags(flags);
+  os.precision(prec);
+}
+
+}  // namespace coop::obs

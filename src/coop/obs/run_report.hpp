@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file run_report.hpp
+/// Machine-readable end-of-run performance report.
+///
+/// One `RunReport` summarizes one timed-simulation run (optionally plus the
+/// figure sweep it anchors): per-rank utilization and phase breakdown,
+/// load-imbalance percentage, top-N kernels, fault/recovery tallies, and
+/// achieved-vs-model FLOPS. Two outputs from the same struct:
+///
+///  * `write_table`  — the human summary the bench binaries print;
+///  * `write_json`   — a versioned schema ("coophet.run_report", version
+///    below) written as `BENCH_<fig>.json` so per-PR perf trajectories are
+///    diffable by machines, not eyeballs.
+///
+/// The struct is plain data; `core::build_run_report` fills it from a
+/// `TimedResult` + `obs::Tracer`, and `sweeps::make_bench_artifacts` adds
+/// the sweep rows. Bump `kRunReportSchemaVersion` on any key change.
+
+namespace coop::obs {
+
+inline constexpr const char* kRunReportSchemaName = "coophet.run_report";
+inline constexpr int kRunReportSchemaVersion = 1;
+
+struct PhaseBreakdown {
+  double compute_s = 0.0;
+  double halo_wait_s = 0.0;
+  double reduce_s = 0.0;
+  double rebalance_s = 0.0;
+};
+
+struct RankReport {
+  int rank = 0;
+  std::string device;  ///< "gpu" | "cpu" (final decomposition target)
+  long zones = 0;      ///< final decomposition (0 = retired rank)
+  PhaseBreakdown phases;
+  double utilization_pct = 0.0;  ///< compute_s / makespan * 100
+};
+
+struct KernelReport {
+  std::string name;
+  std::uint64_t calls = 0;
+  double seconds = 0.0;  ///< summed simulated span time across ranks/steps
+};
+
+struct FaultReport {
+  int injected = 0;
+  int recovered = 0;
+  int gpu_deaths = 0;
+  int policy_flips = 0;
+  int launch_retries = 0;
+  int mps_restarts = 0;
+  int halo_retransmits = 0;
+  int pool_exhaustions = 0;
+  int checkpoints_taken = 0;
+  int rollbacks = 0;
+  int replayed_iterations = 0;
+  double retry_time_s = 0.0;
+  double checkpoint_time_s = 0.0;
+  double rework_time_s = 0.0;
+};
+
+struct SweepRow {
+  long x = 0, y = 0, z = 0, zones = 0;
+  double t_default = 0.0, t_mps = 0.0, t_hetero = 0.0;
+  double hetero_cpu_share = 0.0;
+};
+
+struct RunReport {
+  // Identity.
+  std::string label;  ///< e.g. "Figure 18"
+  std::string mode;   ///< core::to_string(NodeMode)
+  int figure = 0;     ///< paper figure number, 0 = none
+
+  // Configuration echo.
+  long nx = 0, ny = 0, nz = 0;
+  int timesteps = 0;
+  int ranks = 0;
+  int nodes = 1;
+
+  // Totals.
+  double makespan_s = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t halo_bytes = 0;
+
+  // Load balancing.
+  double cpu_fraction_final = 0.0;
+  int lb_iterations_to_converge = -1;
+
+  // Per-rank breakdown (empty when the run was not traced).
+  std::vector<RankReport> per_rank;
+  /// (max - mean)/max of per-rank compute totals over active ranks, %.
+  double imbalance_pct = 0.0;
+  double mean_utilization_pct = 0.0;
+  double min_utilization_pct = 0.0;
+
+  /// Top kernels by summed simulated time (already truncated to N).
+  std::vector<KernelReport> top_kernels;
+
+  FaultReport faults;
+
+  // Achieved vs model FLOPS (useful zones only; replayed work excluded).
+  double achieved_flops = 0.0;
+  double model_peak_flops = 0.0;
+  double flops_efficiency_pct = 0.0;
+
+  /// Optional figure-sweep summary (the per-PR perf trajectory rows).
+  std::vector<SweepRow> sweep;
+  double max_hetero_gain_pct = 0.0;
+  long gain_at_zones = 0;
+
+  void write_json(std::ostream& os) const;
+  void write_table(std::ostream& os) const;
+};
+
+}  // namespace coop::obs

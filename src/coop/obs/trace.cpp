@@ -1,0 +1,169 @@
+#include "coop/obs/trace.hpp"
+
+#include <algorithm>
+
+#include "coop/obs/json.hpp"
+
+namespace coop::obs {
+
+namespace {
+
+constexpr double kMicro = 1e6;  ///< simulated seconds -> trace microseconds
+
+void write_ts(std::ostream& os, double seconds) {
+  write_json_fixed(os, seconds * kMicro, 3);
+}
+
+}  // namespace
+
+void Tracer::set_process_name(int pid, std::string name) {
+  for (auto& n : names_)
+    if (!n.thread && n.pid == pid) {
+      n.name = std::move(name);
+      return;
+    }
+  names_.push_back({pid, 0, false, std::move(name)});
+}
+
+void Tracer::set_thread_name(int pid, int tid, std::string name) {
+  for (auto& n : names_)
+    if (n.thread && n.pid == pid && n.tid == tid) {
+      n.name = std::move(name);
+      return;
+    }
+  names_.push_back({pid, tid, true, std::move(name)});
+}
+
+void Tracer::span(int pid, int tid, std::string_view name,
+                  std::string_view cat, double t_begin, double t_end) {
+  spans_.push_back(SpanEvent{pid, tid, std::string(name), std::string(cat),
+                             t_begin, t_end});
+}
+
+void Tracer::instant(int pid, int tid, std::string_view name,
+                     std::string_view cat, double t, InstantScope scope,
+                     std::vector<std::pair<std::string, double>> args) {
+  instants_.push_back(InstantEvent{pid, tid, std::string(name),
+                                   std::string(cat), t, scope,
+                                   std::move(args)});
+}
+
+void Tracer::counter(int pid, std::string_view track, double t, double value) {
+  counters_.push_back(CounterEvent{pid, std::string(track), t, value});
+}
+
+void Tracer::clear() {
+  names_.clear();
+  spans_.clear();
+  instants_.clear();
+  counters_.clear();
+}
+
+double Tracer::total_time(std::string_view name, int pid, int tid) const {
+  double t = 0.0;
+  for (const auto& s : spans_) {
+    if (pid >= 0 && s.pid != pid) continue;
+    if (tid >= 0 && s.tid != tid) continue;
+    if (s.name == name) t += s.t_end - s.t_begin;
+  }
+  return t;
+}
+
+std::size_t Tracer::span_count(std::string_view cat, int pid, int tid) const {
+  std::size_t n = 0;
+  for (const auto& s : spans_) {
+    if (pid >= 0 && s.pid != pid) continue;
+    if (tid >= 0 && s.tid != tid) continue;
+    if (s.cat == cat) ++n;
+  }
+  return n;
+}
+
+std::size_t Tracer::instant_count(std::string_view cat) const {
+  std::size_t n = 0;
+  for (const auto& e : instants_)
+    if (e.cat == cat) ++n;
+  return n;
+}
+
+std::vector<std::string> Tracer::counter_tracks() const {
+  std::vector<std::string> out;
+  for (const auto& c : counters_) out.push_back(c.track);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Tracer::has_counter_track(std::string_view track) const {
+  return std::any_of(counters_.begin(), counters_.end(),
+                     [&](const CounterEvent& c) { return c.track == track; });
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+
+  for (const auto& n : names_) {
+    sep();
+    os << "{\"name\":\"" << (n.thread ? "thread_name" : "process_name")
+       << "\",\"ph\":\"M\",\"pid\":" << n.pid;
+    if (n.thread) os << ",\"tid\":" << n.tid;
+    os << ",\"args\":{\"name\":";
+    write_json_string(os, n.name);
+    os << "}}";
+  }
+
+  for (const auto& s : spans_) {
+    sep();
+    os << "{\"name\":";
+    write_json_string(os, s.name);
+    os << ",\"cat\":";
+    write_json_string(os, s.cat);
+    os << ",\"ph\":\"X\",\"ts\":";
+    write_ts(os, s.t_begin);
+    os << ",\"dur\":";
+    write_ts(os, s.t_end - s.t_begin);
+    os << ",\"pid\":" << s.pid << ",\"tid\":" << s.tid << '}';
+  }
+
+  for (const auto& e : instants_) {
+    sep();
+    os << "{\"name\":";
+    write_json_string(os, e.name);
+    os << ",\"cat\":";
+    write_json_string(os, e.cat);
+    os << ",\"ph\":\"i\",\"s\":\"" << to_char(e.scope) << "\",\"ts\":";
+    write_ts(os, e.t);
+    os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) os << ',';
+        write_json_string(os, e.args[i].first);
+        os << ':';
+        write_json_number(os, e.args[i].second);
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+
+  for (const auto& c : counters_) {
+    sep();
+    os << "{\"name\":";
+    write_json_string(os, c.track);
+    os << ",\"ph\":\"C\",\"pid\":" << c.pid << ",\"ts\":";
+    write_ts(os, c.t);
+    os << ",\"args\":{\"value\":";
+    write_json_number(os, c.value);
+    os << "}}";
+  }
+
+  os << "]}";
+}
+
+}  // namespace coop::obs

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file trace.hpp
+/// Structured run tracer with Perfetto/Chrome-trace export.
+///
+/// Extends the phase-level picture of `core::TraceRecorder` (which now
+/// adapts onto this class) with everything a co-execution diagnosis needs in
+/// one timeline:
+///
+///  * duration spans on (pid, tid) tracks — phases, and per-kernel sub-spans
+///    under each compute phase;
+///  * instant events — fault injections, retries, GPU deaths, checkpoints,
+///    rollbacks, rebalance decisions;
+///  * counter tracks — cpu_fraction over time, device-pool bytes in use and
+///    high-water, halo bytes on the wire, DES queue depth;
+///  * process/thread name metadata so Perfetto labels tracks "node0" /
+///    "rank 5 (cpu)" instead of bare ids.
+///
+/// Times are simulated seconds everywhere; the exporter converts to the
+/// trace format's microseconds with fixed 3-decimal precision (nanosecond
+/// resolution), so long runs never lose span boundaries to float formatting.
+/// All strings are JSON-escaped on export.
+
+namespace coop::obs {
+
+struct SpanEvent {
+  int pid = 0;  ///< track group (node id in the timed sim)
+  int tid = 0;  ///< track (rank id in the timed sim)
+  std::string name;
+  std::string cat;  ///< "phase", "kernel", ... (filterable in Perfetto)
+  double t_begin = 0.0;  ///< simulated seconds
+  double t_end = 0.0;
+};
+
+enum class InstantScope { kThread, kProcess, kGlobal };
+
+[[nodiscard]] constexpr char to_char(InstantScope s) noexcept {
+  switch (s) {
+    case InstantScope::kThread: return 't';
+    case InstantScope::kProcess: return 'p';
+    case InstantScope::kGlobal: return 'g';
+  }
+  return 't';
+}
+
+struct InstantEvent {
+  int pid = 0;
+  int tid = 0;
+  std::string name;
+  std::string cat;  ///< "fault", "recovery", "lb", ...
+  double t = 0.0;
+  InstantScope scope = InstantScope::kThread;
+  /// Numeric payload rendered into the event's args object.
+  std::vector<std::pair<std::string, double>> args;
+};
+
+struct CounterEvent {
+  int pid = 0;
+  std::string track;  ///< counter name ("cpu_fraction", ...)
+  double t = 0.0;
+  double value = 0.0;
+};
+
+class Tracer {
+ public:
+  /// Emitters consult this before recording per-kernel sub-spans (~80 spans
+  /// per rank-step); flip off for long runs where phase granularity is
+  /// enough.
+  bool kernel_spans = true;
+
+  // -- metadata ---------------------------------------------------------------
+
+  void set_process_name(int pid, std::string name);
+  void set_thread_name(int pid, int tid, std::string name);
+
+  // -- event recording (times in simulated seconds) ---------------------------
+
+  void span(int pid, int tid, std::string_view name, std::string_view cat,
+            double t_begin, double t_end);
+  void instant(int pid, int tid, std::string_view name, std::string_view cat,
+               double t, InstantScope scope = InstantScope::kThread,
+               std::vector<std::pair<std::string, double>> args = {});
+  void counter(int pid, std::string_view track, double t, double value);
+
+  // -- queries ---------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<SpanEvent>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] const std::vector<InstantEvent>& instants() const noexcept {
+    return instants_;
+  }
+  [[nodiscard]] const std::vector<CounterEvent>& counters() const noexcept {
+    return counters_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return spans_.empty() && instants_.empty() && counters_.empty();
+  }
+  void clear();
+
+  /// Summed duration of spans named `name`; pid/tid of -1 are wildcards.
+  [[nodiscard]] double total_time(std::string_view name, int pid = -1,
+                                  int tid = -1) const;
+
+  /// Number of spans whose category is `cat` (wildcards as above).
+  [[nodiscard]] std::size_t span_count(std::string_view cat, int pid = -1,
+                                       int tid = -1) const;
+
+  /// Number of instant events in category `cat`.
+  [[nodiscard]] std::size_t instant_count(std::string_view cat) const;
+
+  /// Sorted unique counter-track names.
+  [[nodiscard]] std::vector<std::string> counter_tracks() const;
+  [[nodiscard]] bool has_counter_track(std::string_view track) const;
+
+  // -- export ----------------------------------------------------------------
+
+  /// Writes one Chrome-tracing / Perfetto JSON object: metadata events
+  /// first, then spans ("X"), instants ("i") and counters ("C"), with
+  /// microsecond timestamps at fixed 3-decimal precision.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  struct TrackName {
+    int pid = 0;
+    int tid = 0;   ///< meaningful only when thread == true
+    bool thread = false;
+    std::string name;
+  };
+
+  std::vector<TrackName> names_;
+  std::vector<SpanEvent> spans_;
+  std::vector<InstantEvent> instants_;
+  std::vector<CounterEvent> counters_;
+};
+
+}  // namespace coop::obs

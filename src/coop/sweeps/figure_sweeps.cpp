@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "coop/core/report.hpp"
 
 namespace coop::sweeps {
 
@@ -367,12 +371,138 @@ void print_shape_summary(const SweepCurves& curves) {
               100.0 * gain, zones_at);
 }
 
+fault::FaultPlan exemplar_fault_plan() {
+  fault::FaultPlan plan;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kTransientLaunch;
+  e.time = 0.0;
+  e.rank = 1;
+  e.count = 2;
+  plan.add(e);
+
+  e = {};
+  e.kind = fault::FaultKind::kHaloDrop;
+  e.time = 0.0;
+  e.rank = 2;
+  e.count = 1;
+  plan.add(e);
+
+  e = {};
+  e.kind = fault::FaultKind::kSlowdown;
+  e.time = 0.0;
+  e.rank = 5;
+  e.duration = 1e12;  // covers the whole run: a permanent straggler
+  e.factor = 1.3;
+  plan.add(e);
+
+  e = {};
+  e.kind = fault::FaultKind::kGpuDeath;
+  e.time = 0.0;
+  e.node = 0;
+  e.gpu = 3;
+  plan.add(e);
+  return plan;
+}
+
+BenchArtifacts make_bench_artifacts(const SweepCurves& curves,
+                                    const fault::FaultPlan* faults,
+                                    int exemplar_timesteps) {
+  if (curves.points.empty())
+    throw std::invalid_argument("make_bench_artifacts: empty sweep");
+  const SweepPoint* biggest = &curves.points.front();
+  for (const auto& p : curves.points)
+    if (p.zones() > biggest->zones()) biggest = &p;
+
+  BenchArtifacts a;
+  core::TimedConfig tc;
+  tc.mode = core::NodeMode::kHeterogeneous;
+  tc.global = {{0, 0, 0}, {biggest->x, biggest->y, biggest->z}};
+  tc.timesteps = exemplar_timesteps;
+  tc.model_um_threshold = curves.options.model_um_threshold;
+  tc.model_mps_overlap = curves.options.model_mps_overlap;
+  tc.compiler_bug = curves.options.compiler_bug;
+  tc.tracer = &a.tracer;
+  if (faults != nullptr && !faults->empty()) {
+    tc.faults = faults;
+    tc.recovery.checkpoint_interval = 2;
+  }
+  a.exemplar = core::run_timed(tc);
+
+  a.report = core::build_run_report(tc, a.exemplar, &a.tracer);
+  a.report.label = curves.spec.title;
+  a.report.figure = curves.spec.figure;
+  for (const auto& p : curves.points) {
+    obs::SweepRow row;
+    row.x = p.x;
+    row.y = p.y;
+    row.z = p.z;
+    row.zones = p.zones();
+    row.t_default = p.t_default;
+    row.t_mps = p.t_mps;
+    row.t_hetero = p.t_hetero;
+    row.hetero_cpu_share = p.hetero_cpu_share;
+    a.report.sweep.push_back(row);
+  }
+  long zones_at = 0;
+  a.report.max_hetero_gain_pct =
+      100.0 * max_gain(curves, core::NodeMode::kOneRankPerGpu,
+                       core::NodeMode::kHeterogeneous, &zones_at);
+  a.report.gain_at_zones = zones_at;
+  return a;
+}
+
+std::string write_bench_artifacts(const BenchArtifacts& artifacts,
+                                  const std::string& dir) {
+  const std::string fig = std::to_string(artifacts.report.figure);
+  const std::string report_path = dir + "/BENCH_fig" + fig + ".json";
+  {
+    std::ofstream os(report_path);
+    if (!os) {
+      throw std::runtime_error("write_bench_artifacts: cannot open " +
+                               report_path);
+    }
+    artifacts.report.write_json(os);
+    os << '\n';
+  }
+  const std::string trace_path = dir + "/trace_fig" + fig + ".json";
+  {
+    std::ofstream os(trace_path);
+    if (!os) {
+      throw std::runtime_error("write_bench_artifacts: cannot open " +
+                               trace_path);
+    }
+    artifacts.tracer.write_chrome_trace(os);
+    os << '\n';
+  }
+  std::printf("(report written to %s, trace to %s)\n", report_path.c_str(),
+              trace_path.c_str());
+  return report_path;
+}
+
 void run_figure_bench(int figure) {
   SweepOptions options;
   options.verbose = true;
-  const auto curves = run_figure_sweep(figure_spec(figure), options);
+  if (const char* ts = std::getenv("COOPHET_BENCH_TIMESTEPS"))
+    options.timesteps = std::max(1, std::atoi(ts));
+  FigureSpec spec = figure_spec(figure);
+  if (const char* mp = std::getenv("COOPHET_BENCH_MAX_POINTS"))
+    spec = reduced(spec, static_cast<std::size_t>(std::max(2, std::atoi(mp))));
+  const auto curves = run_figure_sweep(spec, options);
   maybe_write_csv(curves);
   print_shape_summary(curves);
+
+  if (const char* dir = std::getenv("COOPHET_REPORT_DIR")) {
+    const char* with_faults = std::getenv("COOPHET_BENCH_FAULTS");
+    fault::FaultPlan plan;
+    if (with_faults != nullptr && with_faults[0] == '1')
+      plan = exemplar_fault_plan();
+    const auto artifacts =
+        make_bench_artifacts(curves, plan.empty() ? nullptr : &plan);
+    std::ostringstream table;
+    artifacts.report.write_table(table);
+    std::fputs(table.str().c_str(), stdout);
+    write_bench_artifacts(artifacts, dir);
+  }
 }
 
 // --- Decomposition analytics (Figs. 9 and 10) -------------------------------

@@ -6,6 +6,9 @@
 
 #include "coop/core/timed_sim.hpp"
 #include "coop/decomp/decomposition.hpp"
+#include "coop/fault/fault_plan.hpp"
+#include "coop/obs/run_report.hpp"
+#include "coop/obs/trace.hpp"
 
 /// \file figure_sweeps.hpp
 /// Shared sweep library for the paper-figure reproductions (Figs. 9-18).
@@ -175,8 +178,47 @@ void print_sweep(const SweepCurves& curves);
 /// Prints the paper-vs-measured summary line consumed by EXPERIMENTS.md.
 void print_shape_summary(const SweepCurves& curves);
 
+// --- Observability artifacts -------------------------------------------------
+
+/// Small deterministic fault schedule for the bench exemplar run: a
+/// transient-launch burst on GPU rank 1, one dropped halo send from rank 2,
+/// a permanent thermal straggler on CPU rank 5, and the death of GPU 3 on
+/// node 0 — every recovery path of DESIGN.md 8 exercised in one short run.
+[[nodiscard]] fault::FaultPlan exemplar_fault_plan();
+
+/// One figure bench's machine-readable outputs: the traced exemplar run
+/// (largest sweep point, Heterogeneous mode) plus the run report carrying
+/// the full sweep rows.
+struct BenchArtifacts {
+  obs::Tracer tracer;        ///< Perfetto-exportable trace of the exemplar
+  core::TimedResult exemplar;
+  obs::RunReport report;
+};
+
+/// Re-runs the largest sweep point of `curves` in Heterogeneous mode for
+/// `exemplar_timesteps` steps with the unified tracer attached (and, when
+/// `faults` is non-null and non-empty, the fault plan plus a 2-step
+/// checkpoint cadence), then builds the run report: per-rank phase
+/// breakdown from the trace, top kernels, fault tallies, and the sweep rows
+/// of `curves` with the max heterogeneous gain.
+[[nodiscard]] BenchArtifacts make_bench_artifacts(
+    const SweepCurves& curves, const fault::FaultPlan* faults = nullptr,
+    int exemplar_timesteps = 6);
+
+/// Writes `<dir>/BENCH_fig<NN>.json` (the run report) and
+/// `<dir>/trace_fig<NN>.json` (the Chrome/Perfetto trace); returns the
+/// report path. Throws std::runtime_error when a file cannot be opened.
+std::string write_bench_artifacts(const BenchArtifacts& artifacts,
+                                  const std::string& dir);
+
 /// Runs one canonical figure end to end with table output — the entire body
-/// of a `bench_fig1[2-8]` binary.
+/// of a `bench_fig1[2-8]` binary. Environment knobs:
+///  * COOPHET_BENCH_TIMESTEPS  — override the per-run timestep count
+///  * COOPHET_BENCH_MAX_POINTS — subsample the sweep via `reduced`
+///  * COOPHET_CSV_DIR          — also write the sweep table as CSV
+///  * COOPHET_REPORT_DIR       — also write BENCH_<fig>.json + trace JSON
+///  * COOPHET_BENCH_FAULTS=1   — run the traced exemplar with
+///                               `exemplar_fault_plan` enabled
 void run_figure_bench(int figure);
 
 // --- Decomposition analytics (Figs. 9 and 10) -------------------------------

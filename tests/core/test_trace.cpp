@@ -115,6 +115,24 @@ TEST(Trace, CsvExportHasHeaderAndOneRowPerSpan) {
             trace.spans().size() + 1);
 }
 
+TEST(Trace, ChromeTraceKeepsSubMicrosecondPrecisionLateInRun) {
+  // Regression: the exporter used to stream doubles at the default ostream
+  // precision (6 significant digits), so a span 1 hour into a run
+  // (ts = 3.6e9 us) lost everything below ~1000 us — late spans collapsed
+  // onto each other and Perfetto rendered them zero-width. Timestamps are
+  // now written in fixed notation with nanosecond resolution.
+  core::TraceRecorder trace;
+  const double t0 = 3600.0001234;  // 1 h + 123.4 us into the run
+  trace.record(0, 0, core::Phase::kCompute, t0, t0 + 0.0003);
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  const std::string j = os.str();
+  // Full-resolution fixed-point microseconds, not "3.6e+09".
+  EXPECT_NE(j.find("\"ts\":3600000123.400"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"dur\":300.000"), std::string::npos) << j;
+  EXPECT_EQ(j.find("e+"), std::string::npos) << j;
+}
+
 TEST(Trace, NoTraceByDefault) {
   core::TimedConfig tc;
   EXPECT_EQ(tc.trace, nullptr);

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "coop/forall/kernel_timers.hpp"
+
+namespace fa = coop::forall;
+
+namespace {
+
+TEST(KernelTimerRegistry, AccumulatesCallsAndSeconds) {
+  fa::KernelTimerRegistry reg;
+  reg.add("flux", 0.5);
+  reg.add("flux", 0.25);
+  reg.add("eos", 1.0);
+  ASSERT_EQ(reg.size(), 2u);
+  const auto* flux = reg.find("flux");
+  ASSERT_NE(flux, nullptr);
+  EXPECT_EQ(flux->calls, 2u);
+  EXPECT_DOUBLE_EQ(flux->seconds, 0.75);
+  EXPECT_DOUBLE_EQ(reg.total_seconds(), 1.75);
+  EXPECT_EQ(reg.find("missing"), nullptr);
+}
+
+TEST(KernelTimerRegistry, SortedOrdersByDescendingTime) {
+  fa::KernelTimerRegistry reg;
+  reg.add("small", 0.1);
+  reg.add("big", 3.0);
+  reg.add("mid", 1.0);
+  const auto sorted = reg.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, "big");
+  EXPECT_EQ(sorted[1].first, "mid");
+  EXPECT_EQ(sorted[2].first, "small");
+}
+
+// Regression: std::sort is not stable, so entries with identical totals used
+// to come back in an unspecified (libstdc++-internals-dependent) order,
+// churning "top kernels" reports between runs. Ties must break by name.
+TEST(KernelTimerRegistry, SortedBreaksTimeTiesByName) {
+  fa::KernelTimerRegistry reg;
+  // Insert in non-alphabetical order; all share the same total time.
+  for (const char* name : {"zeta", "alpha", "mid", "beta", "omega"})
+    reg.add(name, 2.0);
+  reg.add("fastest", 5.0);
+  reg.add("slowest", 0.5);
+
+  const auto sorted = reg.sorted();
+  const std::vector<std::string> expect = {"fastest", "alpha", "beta", "mid",
+                                           "omega",   "zeta",  "slowest"};
+  ASSERT_EQ(sorted.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_EQ(sorted[i].first, expect[i]) << "position " << i;
+}
+
+TEST(KernelTimerRegistry, ScopedTimerChargesItsScope) {
+  fa::KernelTimerRegistry reg;
+  {
+    fa::ScopedKernelTimer t(reg, "scoped");
+  }
+  const auto* e = reg.find("scoped");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->calls, 1u);
+  EXPECT_GE(e->seconds, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "coop/sweeps/figure_sweeps.hpp"
+#include "support/json_check.hpp"
+
+/// ISSUE acceptance test: a reduced Fig. 18 heterogeneous run with the
+/// exemplar fault plan must produce one Perfetto-loadable trace with
+/// per-kernel spans, >= 3 counter tracks, fault/rebalance instants, and a
+/// schema-valid BENCH_fig18.json whose imbalance figure is consistent with
+/// the trace's own per-rank phase totals.
+
+namespace obs = coop::obs;
+namespace sweeps = coop::sweeps;
+namespace cj = coophet_test::json;
+
+namespace {
+
+const sweeps::BenchArtifacts& artifacts() {
+  static const sweeps::BenchArtifacts a = [] {
+    sweeps::SweepOptions opt;
+    opt.timesteps = 6;
+    const auto curves =
+        sweeps::run_figure_sweep(sweeps::reduced(sweeps::figure_spec(18), 2),
+                                 opt);
+    const auto plan = sweeps::exemplar_fault_plan();
+    return sweeps::make_bench_artifacts(curves, &plan, 6);
+  }();
+  return a;
+}
+
+TEST(Fig18Acceptance, TraceHasPerKernelSpansUnderComputePhases) {
+  const auto& t = artifacts().tracer;
+  EXPECT_GT(t.span_count("phase"), 0u);
+  EXPECT_GT(t.span_count("kernel"), 0u);
+  // Kernel sub-spans outnumber phases (~80-kernel catalog under each
+  // compute phase).
+  EXPECT_GT(t.span_count("kernel"), t.span_count("phase"));
+}
+
+TEST(Fig18Acceptance, TraceHasAtLeastThreeCounterTracks) {
+  const auto& t = artifacts().tracer;
+  EXPECT_GE(t.counter_tracks().size(), 3u);
+  EXPECT_TRUE(t.has_counter_track("cpu_fraction"));
+  EXPECT_TRUE(t.has_counter_track("pool_bytes_in_use"));
+  EXPECT_TRUE(t.has_counter_track("halo_bytes_sent"));
+}
+
+TEST(Fig18Acceptance, TraceHasFaultAndRecoveryInstants) {
+  const auto& t = artifacts().tracer;
+  EXPECT_GT(t.instant_count("fault"), 0u);
+  EXPECT_GT(t.instant_count("recovery"), 0u);
+  bool saw_death = false, saw_rebalance = false;
+  for (const auto& i : t.instants()) {
+    if (i.name == "fault:gpu-death") saw_death = true;
+    if (i.name == "recovery:rebalance") saw_rebalance = true;
+  }
+  EXPECT_TRUE(saw_death);
+  EXPECT_TRUE(saw_rebalance);
+}
+
+TEST(Fig18Acceptance, TraceExportIsPerfettoLoadableJson) {
+  std::ostringstream os;
+  artifacts().tracer.write_chrome_trace(os);
+  const auto p = cj::parse(os.str());
+  ASSERT_TRUE(p.ok) << p.error << " at offset " << p.offset;
+  const auto* events = p.value.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GT(events->array.size(), 100u);
+}
+
+TEST(Fig18Acceptance, ReportJsonPassesTheSchemaCheck) {
+  std::ostringstream os;
+  artifacts().report.write_json(os);
+  const auto p = cj::parse(os.str());
+  ASSERT_TRUE(p.ok) << p.error << " at offset " << p.offset;
+  EXPECT_EQ(p.value.find("schema")->str, obs::kRunReportSchemaName);
+  EXPECT_DOUBLE_EQ(p.value.find("schema_version")->number,
+                   obs::kRunReportSchemaVersion);
+  EXPECT_EQ(p.value.find("figure")->number, 18.0);
+  EXPECT_EQ(p.value.find("per_rank")->array.size(), 16u);
+  EXPECT_FALSE(p.value.find("top_kernels")->array.empty());
+  EXPECT_EQ(p.value.find("sweep")->array.size(), 2u);
+  EXPECT_GT(p.value.find("faults")->find("injected")->number, 0.0);
+}
+
+TEST(Fig18Acceptance, ReportImbalanceMatchesTracePhaseTotals) {
+  const auto& a = artifacts();
+  // Recompute per-rank compute totals straight from the trace spans...
+  std::map<int, double> compute;
+  for (const auto& s : a.tracer.spans())
+    if (s.cat == "phase" && s.name == "compute")
+      compute[s.tid] += s.t_end - s.t_begin;
+  // ...over the ranks the report considers active.
+  double max_c = 0.0, sum_c = 0.0;
+  int active = 0;
+  for (const auto& r : a.report.per_rank) {
+    if (r.zones <= 0) continue;
+    const double c = compute[r.rank];
+    max_c = std::max(max_c, c);
+    sum_c += c;
+    ++active;
+  }
+  ASSERT_GT(active, 0);
+  ASSERT_GT(max_c, 0.0);
+  const double imbalance =
+      100.0 * (max_c - sum_c / active) / max_c;
+  EXPECT_NEAR(a.report.imbalance_pct, imbalance, 1e-6);
+}
+
+TEST(Fig18Acceptance, ReportFlopsAndGainAreInternallyConsistent) {
+  const auto& r = artifacts().report;
+  EXPECT_GT(r.achieved_flops, 0.0);
+  EXPECT_GT(r.model_peak_flops, r.achieved_flops);
+  EXPECT_NEAR(r.flops_efficiency_pct,
+              100.0 * r.achieved_flops / r.model_peak_flops, 1e-9);
+  EXPECT_GT(r.makespan_s, 0.0);
+  EXPECT_EQ(r.mode, "heterogeneous");
+  // The reduced sweep keeps its endpoints, so the largest Fig. 18 point
+  // (600x480x160) anchors the exemplar.
+  EXPECT_EQ(r.nx, 600);
+  EXPECT_EQ(r.ny, 480);
+  EXPECT_EQ(r.nz, 160);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "coop/obs/metrics.hpp"
+#include "support/json_check.hpp"
+
+namespace obs = coop::obs;
+namespace cj = coophet_test::json;
+
+namespace {
+
+TEST(Labels, SortsAndDeduplicatesKeys) {
+  obs::Labels a{{"rank", "3"}, {"device", "gpu"}};
+  obs::Labels b{{"device", "gpu"}, {"rank", "3"}};
+  EXPECT_EQ(a, b);  // insertion order must not matter
+  EXPECT_EQ(a.render(), "{device=\"gpu\",rank=\"3\"}");
+  a.set("rank", "5");  // overwrite, not append
+  EXPECT_EQ(a.items().size(), 2u);
+  EXPECT_EQ(a.render(), "{device=\"gpu\",rank=\"5\"}");
+  EXPECT_EQ(obs::Labels{}.render(), "");
+}
+
+TEST(Metrics, CounterAccumulates) {
+  obs::MetricsRegistry reg;
+  auto& c = reg.counter("comm.bytes_sent");
+  c.add(100);
+  c.add();
+  EXPECT_DOUBLE_EQ(c.value(), 101.0);
+  // Same (name, labels) returns the same cell.
+  EXPECT_EQ(&reg.counter("comm.bytes_sent"), &c);
+  // Different labels -> different cell.
+  auto& c2 = reg.counter("comm.bytes_sent", {{"rank", "1"}});
+  EXPECT_NE(&c2, &c);
+  EXPECT_DOUBLE_EQ(c2.value(), 0.0);
+}
+
+TEST(Metrics, GaugeSetAndHighWater) {
+  obs::MetricsRegistry reg;
+  auto& g = reg.gauge("pool.bytes_in_use");
+  g.set(10);
+  g.set(4);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  auto& hw = reg.gauge("pool.high_water_bytes");
+  hw.set_max(10);
+  hw.set_max(4);
+  EXPECT_DOUBLE_EQ(hw.value(), 10.0);
+}
+
+TEST(Metrics, HistogramBucketsObservations) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("sim.iteration_seconds", {0.1, 1.0, 10.0});
+  h.observe(0.05);   // bucket 0 (<= 0.1)
+  h.observe(0.1);    // bucket 0 (inclusive upper bound)
+  h.observe(0.5);    // bucket 1
+  h.observe(100.0);  // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 0u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.65);
+  EXPECT_DOUBLE_EQ(h.mean(), 100.65 / 4.0);
+}
+
+TEST(Metrics, RejectsUnsortedHistogramBounds) {
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad", {1.0, 0.5}), std::invalid_argument);
+}
+
+TEST(Metrics, RejectsKindCollisions) {
+  obs::MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::invalid_argument);
+  reg.histogram("h", {1.0, 2.0});
+  // Re-lookup with empty or identical bounds is fine...
+  EXPECT_NO_THROW(reg.histogram("h", {}));
+  EXPECT_NO_THROW(reg.histogram("h", {1.0, 2.0}));
+  // ...but different bounds would silently alias buckets: refuse.
+  EXPECT_THROW(reg.histogram("h", {5.0}), std::invalid_argument);
+}
+
+TEST(Metrics, SnapshotIsDeterministicallyOrdered) {
+  obs::MetricsRegistry reg;
+  reg.gauge("zeta").set(1);
+  reg.counter("alpha").add(2);
+  reg.counter("alpha", {{"rank", "1"}}).add(3);
+  reg.histogram("mid", {1.0}).observe(0.5);
+  const auto snap = reg.snapshot(42.0);
+  EXPECT_DOUBLE_EQ(snap.sim_time, 42.0);
+  ASSERT_EQ(snap.samples.size(), 4u);
+  EXPECT_EQ(snap.samples[0].name, "alpha");  // unlabeled before labeled
+  EXPECT_TRUE(snap.samples[0].labels.empty());
+  EXPECT_EQ(snap.samples[1].name, "alpha");
+  EXPECT_EQ(snap.samples[2].name, "mid");
+  EXPECT_EQ(snap.samples[3].name, "zeta");
+  EXPECT_EQ(snap.samples[2].kind, "histogram");
+  EXPECT_EQ(snap.samples[2].count, 1u);
+}
+
+TEST(Metrics, WriteJsonIsStrictlyValidWithSchemaKeys) {
+  obs::MetricsRegistry reg;
+  reg.counter("comm.bytes_sent", {{"rank", "0"}}).add(1 << 20);
+  reg.gauge("lb.cpu_fraction").set(0.0437);
+  reg.histogram("sim.iteration_seconds", {0.1, 1.0}).observe(0.3);
+  std::ostringstream os;
+  reg.write_json(os, 1.5);
+
+  const auto r = cj::parse(os.str());
+  ASSERT_TRUE(r.ok) << r.error << " at " << r.offset << "\n" << os.str();
+  EXPECT_EQ(cj::first_missing_key(
+                r.value, {"schema", "schema_version", "sim_time_s", "metrics"}),
+            "");
+  EXPECT_EQ(r.value.find("schema")->str, "coophet.metrics");
+  EXPECT_DOUBLE_EQ(r.value.find("sim_time_s")->number, 1.5);
+  const auto* metrics = r.value.find("metrics");
+  ASSERT_TRUE(metrics->is_array());
+  ASSERT_EQ(metrics->array.size(), 3u);
+  for (const auto& m : metrics->array) {
+    EXPECT_EQ(cj::first_missing_key(m, {"name", "kind", "labels"}), "");
+    if (m.find("kind")->str == "histogram")
+      EXPECT_EQ(cj::first_missing_key(m, {"sum", "count", "bounds", "counts"}),
+                "");
+    else
+      EXPECT_NE(m.find("value"), nullptr);
+  }
+}
+
+TEST(Metrics, ClearResetsEverything) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").add(1);
+  reg.gauge("b").set(2);
+  EXPECT_EQ(reg.size(), 2u);
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+  // Names are reusable as a different kind after clear.
+  EXPECT_NO_THROW(reg.gauge("a"));
+}
+
+}  // namespace

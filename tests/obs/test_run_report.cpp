@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "coop/obs/run_report.hpp"
+#include "support/json_check.hpp"
+
+namespace obs = coop::obs;
+namespace cj = coophet_test::json;
+
+namespace {
+
+obs::RunReport sample_report() {
+  obs::RunReport r;
+  r.label = "Figure 18";
+  r.mode = "heterogeneous";
+  r.figure = 18;
+  r.nx = 600;
+  r.ny = 480;
+  r.nz = 160;
+  r.timesteps = 6;
+  r.ranks = 16;
+  r.nodes = 1;
+  r.makespan_s = 10.82;
+  r.messages = 210;
+  r.halo_bytes = 1290240000ull;
+  r.cpu_fraction_final = 0.0437;
+  r.lb_iterations_to_converge = 4;
+  r.imbalance_pct = 15.1;
+  r.mean_utilization_pct = 81.1;
+  r.min_utilization_pct = 51.4;
+  r.per_rank.push_back({0, "gpu", 14688000, {8.9, 0.0, 1.2, 0.0}, 82.1});
+  r.per_rank.push_back({4, "cpu", 96000, {5.6, 3.8, 1.2, 0.0}, 51.4});
+  r.top_kernels.push_back({"cfl_courant_1", 111, 2.59});
+  r.faults.injected = 4;
+  r.faults.recovered = 4;
+  r.faults.gpu_deaths = 1;
+  r.achieved_flops = 5.1e10;
+  r.model_peak_flops = 4.6e12;
+  r.flops_efficiency_pct = 1.1;
+  r.sweep.push_back({100, 480, 160, 7680000, 1.0, 1.1, 0.9, 0.04});
+  r.max_hetero_gain_pct = 18.5;
+  r.gain_at_zones = 46080000;
+  return r;
+}
+
+TEST(RunReport, JsonIsStrictlyValidAndCarriesTheSchema) {
+  std::ostringstream os;
+  sample_report().write_json(os);
+  const auto p = cj::parse(os.str());
+  ASSERT_TRUE(p.ok) << p.error << " at offset " << p.offset << "\n" << os.str();
+
+  const auto& v = p.value;
+  EXPECT_EQ(cj::first_missing_key(
+                v, {"schema", "schema_version", "label", "mode", "figure",
+                    "mesh", "timesteps", "ranks", "nodes", "makespan_s",
+                    "messages", "halo_bytes", "cpu_fraction_final",
+                    "lb_iterations_to_converge", "imbalance_pct",
+                    "mean_utilization_pct", "min_utilization_pct", "per_rank",
+                    "top_kernels", "faults", "flops", "sweep",
+                    "max_hetero_gain_pct", "gain_at_zones"}),
+            "");
+  EXPECT_EQ(v.find("schema")->str, obs::kRunReportSchemaName);
+  EXPECT_DOUBLE_EQ(v.find("schema_version")->number,
+                   obs::kRunReportSchemaVersion);
+  EXPECT_DOUBLE_EQ(v.find("mesh")->find("zones")->number, 600.0 * 480 * 160);
+  EXPECT_DOUBLE_EQ(v.find("halo_bytes")->number, 1290240000.0);
+
+  const auto& rank0 = v.find("per_rank")->array.at(0);
+  EXPECT_EQ(cj::first_missing_key(
+                rank0, {"rank", "device", "zones", "compute_s", "halo_wait_s",
+                        "reduce_s", "rebalance_s", "utilization_pct"}),
+            "");
+  EXPECT_EQ(rank0.find("device")->str, "gpu");
+
+  const auto& kern = v.find("top_kernels")->array.at(0);
+  EXPECT_EQ(cj::first_missing_key(kern, {"name", "calls", "seconds"}), "");
+
+  EXPECT_EQ(cj::first_missing_key(
+                *v.find("faults"),
+                {"injected", "recovered", "gpu_deaths", "policy_flips",
+                 "launch_retries", "mps_restarts", "halo_retransmits",
+                 "pool_exhaustions", "checkpoints_taken", "rollbacks",
+                 "replayed_iterations", "retry_time_s", "checkpoint_time_s",
+                 "rework_time_s"}),
+            "");
+  EXPECT_EQ(cj::first_missing_key(
+                *v.find("flops"), {"achieved", "model_peak", "efficiency_pct"}),
+            "");
+
+  const auto& row = v.find("sweep")->array.at(0);
+  EXPECT_EQ(cj::first_missing_key(
+                row, {"x", "y", "z", "zones", "t_default_s", "t_mps_s",
+                      "t_hetero_s", "hetero_cpu_share"}),
+            "");
+}
+
+TEST(RunReport, JsonSurvivesHostileLabelStrings) {
+  obs::RunReport r = sample_report();
+  r.label = "quote \" backslash \\ newline \n done";
+  r.top_kernels[0].name = "kern\"el";
+  std::ostringstream os;
+  r.write_json(os);
+  const auto p = cj::parse(os.str());
+  ASSERT_TRUE(p.ok) << p.error << "\n" << os.str();
+  EXPECT_EQ(p.value.find("label")->str, r.label);
+  EXPECT_EQ(p.value.find("top_kernels")->array.at(0).find("name")->str,
+            "kern\"el");
+}
+
+TEST(RunReport, TableMentionsTheHeadlineNumbers) {
+  std::ostringstream os;
+  sample_report().write_table(os);
+  const std::string t = os.str();
+  EXPECT_NE(t.find("Figure 18"), std::string::npos);
+  EXPECT_NE(t.find("heterogeneous"), std::string::npos);
+  EXPECT_NE(t.find("cfl_courant_1"), std::string::npos);
+  EXPECT_NE(t.find("imbalance"), std::string::npos);
+  EXPECT_NE(t.find("gpu"), std::string::npos);
+}
+
+TEST(RunReport, TableRestoresStreamFormatting) {
+  std::ostringstream os;
+  os.precision(3);
+  const auto before_flags = os.flags();
+  sample_report().write_table(os);
+  EXPECT_EQ(os.precision(), 3);
+  EXPECT_EQ(os.flags(), before_flags);
+}
+
+}  // namespace

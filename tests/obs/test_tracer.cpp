@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "coop/obs/trace.hpp"
+#include "support/json_check.hpp"
+
+namespace obs = coop::obs;
+namespace cj = coophet_test::json;
+
+namespace {
+
+obs::Tracer small_trace() {
+  obs::Tracer t;
+  t.set_process_name(0, "node0");
+  t.set_thread_name(0, 0, "rank 0 (gpu)");
+  t.set_thread_name(0, 4, "rank 4 (cpu)");
+  t.span(0, 0, "compute", "phase", 0.0, 1.5);
+  t.span(0, 0, "flux_sweep_x", "kernel", 0.0, 0.7);
+  t.span(0, 4, "compute", "phase", 0.0, 2.0);
+  t.instant(0, 0, "fault:gpu-death", "fault", 0.5, obs::InstantScope::kGlobal,
+            {{"node", 0.0}, {"gpu", 3.0}});
+  t.instant(0, 0, "checkpoint", "recovery", 1.0, obs::InstantScope::kProcess);
+  t.counter(0, "cpu_fraction", 0.0, 0.2);
+  t.counter(0, "cpu_fraction", 1.0, 0.25);
+  t.counter(0, "halo_bytes_sent", 1.0, 1024.0);
+  return t;
+}
+
+TEST(Tracer, QueriesAggregateAcrossTracks) {
+  const obs::Tracer t = small_trace();
+  EXPECT_DOUBLE_EQ(t.total_time("compute"), 3.5);        // both ranks
+  EXPECT_DOUBLE_EQ(t.total_time("compute", 0, 4), 2.0);  // one rank
+  EXPECT_DOUBLE_EQ(t.total_time("nothing"), 0.0);
+  EXPECT_EQ(t.span_count("phase"), 2u);
+  EXPECT_EQ(t.span_count("kernel"), 1u);
+  EXPECT_EQ(t.instant_count("fault"), 1u);
+  EXPECT_EQ(t.instant_count("recovery"), 1u);
+  EXPECT_EQ(t.counter_tracks(),
+            (std::vector<std::string>{"cpu_fraction", "halo_bytes_sent"}));
+  EXPECT_TRUE(t.has_counter_track("cpu_fraction"));
+  EXPECT_FALSE(t.has_counter_track("des_queue_depth"));
+}
+
+TEST(Tracer, ClearEmptiesAllEventKinds) {
+  obs::Tracer t = small_trace();
+  EXPECT_FALSE(t.empty());
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.counter_tracks().size(), 0u);
+}
+
+TEST(Tracer, ChromeExportIsStrictlyValidJson) {
+  const obs::Tracer t = small_trace();
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const auto r = cj::parse(os.str());
+  ASSERT_TRUE(r.ok) << r.error << " at offset " << r.offset;
+  const auto* events = r.value.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 3 metadata + 3 spans + 2 instants + 3 counters.
+  EXPECT_EQ(events->array.size(), 11u);
+
+  std::size_t meta = 0, spans = 0, instants = 0, counters = 0;
+  for (const auto& e : events->array) {
+    const std::string ph = e.find("ph")->str;
+    if (ph == "M") ++meta;
+    if (ph == "X") {
+      ++spans;
+      EXPECT_EQ(cj::first_missing_key(
+                    e, {"name", "cat", "ts", "dur", "pid", "tid"}),
+                "");
+    }
+    if (ph == "i") {
+      ++instants;
+      ASSERT_NE(e.find("s"), nullptr);  // scope required by Perfetto
+    }
+    if (ph == "C") {
+      ++counters;
+      const auto* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_NE(args->find("value"), nullptr);
+    }
+  }
+  EXPECT_EQ(meta, 3u);
+  EXPECT_EQ(spans, 3u);
+  EXPECT_EQ(instants, 2u);
+  EXPECT_EQ(counters, 3u);
+}
+
+TEST(Tracer, ExportCarriesMetadataScopesAndArgs) {
+  const obs::Tracer t = small_trace();
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const auto r = cj::parse(os.str());
+  ASSERT_TRUE(r.ok) << r.error;
+  bool saw_process = false, saw_thread = false, saw_global = false;
+  for (const auto& e : r.value.find("traceEvents")->array) {
+    const std::string ph = e.find("ph")->str;
+    if (ph == "M" && e.find("name")->str == "process_name") {
+      saw_process = true;
+      EXPECT_EQ(e.find("args")->find("name")->str, "node0");
+    }
+    if (ph == "M" && e.find("name")->str == "thread_name" &&
+        e.find("tid")->number == 4.0) {
+      saw_thread = true;
+      EXPECT_EQ(e.find("args")->find("name")->str, "rank 4 (cpu)");
+    }
+    if (ph == "i" && e.find("name")->str == "fault:gpu-death") {
+      saw_global = true;
+      EXPECT_EQ(e.find("s")->str, "g");
+      EXPECT_DOUBLE_EQ(e.find("args")->find("gpu")->number, 3.0);
+    }
+  }
+  EXPECT_TRUE(saw_process);
+  EXPECT_TRUE(saw_thread);
+  EXPECT_TRUE(saw_global);
+}
+
+TEST(Tracer, ExportEscapesHostileStrings) {
+  obs::Tracer t;
+  t.set_process_name(0, "quote\" backslash\\ newline\n tab\t bell\x07");
+  t.span(0, 0, "name with \"quotes\"", "cat\\path", 0.0, 1.0);
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const auto r = cj::parse(os.str());
+  ASSERT_TRUE(r.ok) << r.error << "\n" << os.str();
+  // Round-trips intact through the strict parser.
+  const auto& events = r.value.find("traceEvents")->array;
+  EXPECT_EQ(events[0].find("args")->find("name")->str,
+            "quote\" backslash\\ newline\n tab\t bell\x07");
+  EXPECT_EQ(events[1].find("name")->str, "name with \"quotes\"");
+  EXPECT_EQ(events[1].find("cat")->str, "cat\\path");
+}
+
+TEST(Tracer, ExportUsesFixedMicrosecondTimestamps) {
+  obs::Tracer t;
+  const double hour = 3600.0;
+  t.span(0, 0, "late", "phase", hour + 1.234e-4, hour + 4.234e-4);
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"ts\":3600000123.400"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"dur\":300.000"), std::string::npos) << j;
+  EXPECT_EQ(j.find("e+"), std::string::npos) << j;
+}
+
+TEST(Tracer, NonFiniteValuesNeverReachTheJson) {
+  obs::Tracer t;
+  t.counter(0, "bad", 0.0, std::numeric_limits<double>::quiet_NaN());
+  t.counter(0, "bad", 1.0, std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const auto r = cj::parse(os.str());
+  ASSERT_TRUE(r.ok) << r.error << "\n" << os.str();  // parser rejects NaN/Inf
+}
+
+}  // namespace

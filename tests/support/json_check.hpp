@@ -1,0 +1,308 @@
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file json_check.hpp
+/// Strict recursive-descent JSON parser for validating the repo's emitted
+/// artifacts (Chrome/Perfetto traces, metrics snapshots, BENCH_*.json run
+/// reports) in tests and CI.
+///
+/// This is deliberately *stricter* than a typical reader:
+///  * rejects NaN/Infinity literals and numbers that overflow a double —
+///    the obs writers must never emit them (Perfetto/`json.load` choke);
+///  * rejects raw control characters and bad escapes inside strings, and
+///    malformed \uXXXX sequences — the escaping bugs the writers guard
+///    against;
+///  * rejects trailing commas, duplicate object keys, and trailing garbage;
+///  * enforces a recursion depth limit so a corrupt file cannot blow the
+///    test stack.
+///
+/// The DOM is a small ordered tree (`Value`) with object `find()` so tests
+/// can assert schema keys without a JSON library dependency.
+
+namespace coophet_test::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;                                   // Kind::kString
+  std::vector<Value> array;                          // Kind::kArray
+  std::vector<std::pair<std::string, Value>> object; // Kind::kObject, ordered
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+struct ParseResult {
+  bool ok = false;
+  Value value;
+  std::string error;      ///< human-readable message when !ok
+  std::size_t offset = 0; ///< byte offset of the error
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  Parser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  ParseResult run() {
+    ParseResult r;
+    skip_ws();
+    if (!parse_value(r.value, 0)) {
+      r.error = error_;
+      r.offset = pos_;
+      return r;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      r.error = "trailing characters after top-level value";
+      r.offset = pos_;
+      return r;
+    }
+    r.ok = true;
+    return r;
+  }
+
+ private:
+  std::string_view text_;
+  int max_depth_;
+  std::size_t pos_ = 0;
+  std::string error_;
+
+  bool fail(std::string msg) {
+    if (error_.empty()) error_ = std::move(msg);
+    return false;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > max_depth_) return fail("nesting depth limit exceeded");
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': out.kind = Value::Kind::kString;
+                return parse_string(out.str);
+      case 't': out.kind = Value::Kind::kBool; out.boolean = true;
+                return literal("true");
+      case 'f': out.kind = Value::Kind::kBool; out.boolean = false;
+                return literal("false");
+      case 'n': out.kind = Value::Kind::kNull;
+                return literal("null");
+      default:  return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out, int depth) {
+    out.kind = Value::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail("expected object key string");
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (out.find(key) != nullptr)
+        return fail("duplicate object key \"" + key + "\"");
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      Value v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(Value& out, int depth) {
+    out.kind = Value::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  static bool is_hex(char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+           (c >= 'A' && c <= 'F');
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening '"'
+    out.clear();
+    while (!eof()) {
+      const char c = peek();
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string (must be escaped)");
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return fail("unterminated escape");
+        const char e = peek();
+        switch (e) {
+          case '"':  out.push_back('"');  break;
+          case '\\': out.push_back('\\'); break;
+          case '/':  out.push_back('/');  break;
+          case 'b':  out.push_back('\b'); break;
+          case 'f':  out.push_back('\f'); break;
+          case 'n':  out.push_back('\n'); break;
+          case 'r':  out.push_back('\r'); break;
+          case 't':  out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              if (!is_hex(h)) return fail("non-hex digit in \\u escape");
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         h <= '9' ? h - '0'
+                                  : (h | 0x20) - 'a' + 10);
+            }
+            pos_ += 4;
+            // Keep validation simple: decode BMP code points as UTF-8 and
+            // reject unpaired surrogates outright (the writers only ever
+            // emit \u00XX for control characters).
+            if (code >= 0xD800 && code <= 0xDFFF)
+              return fail("surrogate \\u escape not supported");
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return fail("invalid escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    // Validate the strict JSON number grammar first; strtod alone accepts
+    // "inf", "nan", hex floats and leading '+', all of which are invalid.
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+      if (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("leading zero in number");
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("missing digits after decimal point");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("missing exponent digits");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size())
+      return fail("invalid number");
+    if (errno == ERANGE && (v > 1.0 || v < -1.0))
+      return fail("number overflows double: " + token);
+    out.kind = Value::Kind::kNumber;
+    out.number = v;
+    return true;
+  }
+};
+
+}  // namespace detail
+
+/// Parses `text` as one strict JSON document.
+[[nodiscard]] inline ParseResult parse(std::string_view text,
+                                       int max_depth = 64) {
+  return detail::Parser(text, max_depth).run();
+}
+
+/// First key of `keys` missing from object `v`; "" when all are present,
+/// "<not an object>" when `v` is not an object at all.
+[[nodiscard]] inline std::string first_missing_key(
+    const Value& v, const std::vector<std::string>& keys) {
+  if (!v.is_object()) return "<not an object>";
+  for (const auto& k : keys)
+    if (v.find(k) == nullptr) return k;
+  return "";
+}
+
+}  // namespace coophet_test::json

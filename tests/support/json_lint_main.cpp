@@ -1,0 +1,82 @@
+/// json_lint — strict JSON validator over the tests/support/json_check.hpp
+/// parser, used by CI to lint the emitted observability artifacts (Perfetto
+/// traces, BENCH_*.json run reports) before uploading them.
+///
+/// Usage: json_lint [--schema NAME] file.json [more.json ...]
+///
+/// Every file must parse under the strict grammar (no NaN/Inf, no bad
+/// escapes, no duplicate keys, no trailing garbage). With --schema NAME the
+/// top level must additionally be an object carrying "schema" == NAME and a
+/// numeric "schema_version". Exits non-zero on the first class of failure,
+/// after reporting every file.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json_check.hpp"
+
+namespace cj = coophet_test::json;
+
+namespace {
+
+bool lint(const std::string& path, const std::string& schema) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "json_lint: %s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const cj::ParseResult r = cj::parse(text);
+  if (!r.ok) {
+    std::fprintf(stderr, "json_lint: %s: offset %zu: %s\n", path.c_str(),
+                 r.offset, r.error.c_str());
+    return false;
+  }
+  if (!schema.empty()) {
+    const cj::Value* name = r.value.find("schema");
+    const cj::Value* version = r.value.find("schema_version");
+    if (name == nullptr || !name->is_string() || name->str != schema) {
+      std::fprintf(stderr, "json_lint: %s: \"schema\" is not \"%s\"\n",
+                   path.c_str(), schema.c_str());
+      return false;
+    }
+    if (version == nullptr || !version->is_number()) {
+      std::fprintf(stderr, "json_lint: %s: missing numeric \"schema_version\"\n",
+                   path.c_str());
+      return false;
+    }
+  }
+  std::printf("json_lint: %s: OK (%zu bytes)\n", path.c_str(), text.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--schema" && i + 1 < argc) {
+      schema = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: json_lint [--schema NAME] file.json ...\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "json_lint: no input files\n");
+    return 2;
+  }
+  bool ok = true;
+  for (const auto& f : files) ok = lint(f, schema) && ok;
+  return ok ? 0 : 1;
+}

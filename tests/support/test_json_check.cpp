@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/json_check.hpp"
+
+namespace cj = coophet_test::json;
+
+namespace {
+
+TEST(JsonCheck, ParsesScalarsAndStructure) {
+  const auto r = cj::parse(
+      R"({"a": 1, "b": -2.5e3, "c": "hi", "d": true, "e": null,)"
+      R"( "f": [1, 2, {"g": false}]})");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.value.is_object());
+  EXPECT_DOUBLE_EQ(r.value.find("a")->number, 1.0);
+  EXPECT_DOUBLE_EQ(r.value.find("b")->number, -2500.0);
+  EXPECT_EQ(r.value.find("c")->str, "hi");
+  EXPECT_TRUE(r.value.find("d")->boolean);
+  EXPECT_TRUE(r.value.find("e")->is_null());
+  const auto* f = r.value.find("f");
+  ASSERT_TRUE(f->is_array());
+  ASSERT_EQ(f->array.size(), 3u);
+  EXPECT_FALSE(f->array[2].find("g")->boolean);
+  EXPECT_EQ(r.value.find("missing"), nullptr);
+}
+
+TEST(JsonCheck, DecodesEscapes) {
+  const auto r = cj::parse(R"(["a\"b", "c\\d", "\n\t", "A", "é"])");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.array[0].str, "a\"b");
+  EXPECT_EQ(r.value.array[1].str, "c\\d");
+  EXPECT_EQ(r.value.array[2].str, "\n\t");
+  EXPECT_EQ(r.value.array[3].str, "A");
+  EXPECT_EQ(r.value.array[4].str, "\xc3\xa9");  // é as UTF-8
+}
+
+TEST(JsonCheck, RejectsNonFiniteNumbers) {
+  EXPECT_FALSE(cj::parse("NaN").ok);
+  EXPECT_FALSE(cj::parse("Infinity").ok);
+  EXPECT_FALSE(cj::parse("-Infinity").ok);
+  EXPECT_FALSE(cj::parse("nan").ok);
+  EXPECT_FALSE(cj::parse("inf").ok);
+  EXPECT_FALSE(cj::parse("[1e999]").ok);  // overflows double
+}
+
+TEST(JsonCheck, RejectsMalformedNumbers) {
+  EXPECT_FALSE(cj::parse("01").ok);
+  EXPECT_FALSE(cj::parse("+1").ok);
+  EXPECT_FALSE(cj::parse("1.").ok);
+  EXPECT_FALSE(cj::parse(".5").ok);
+  EXPECT_FALSE(cj::parse("1e").ok);
+  EXPECT_FALSE(cj::parse("0x10").ok);
+  EXPECT_TRUE(cj::parse("0").ok);
+  EXPECT_TRUE(cj::parse("-0.5e-3").ok);
+}
+
+TEST(JsonCheck, RejectsBadStrings) {
+  EXPECT_FALSE(cj::parse("\"raw\ncontrol\"").ok);
+  EXPECT_FALSE(cj::parse(R"("bad \q escape")").ok);
+  EXPECT_FALSE(cj::parse(R"("truncated \u00")").ok);
+  EXPECT_FALSE(cj::parse(R"("nonhex \u00zz")").ok);
+  EXPECT_FALSE(cj::parse(R"("surrogate \ud800")").ok);
+  EXPECT_FALSE(cj::parse("\"unterminated").ok);
+}
+
+TEST(JsonCheck, RejectsStructuralErrors) {
+  EXPECT_FALSE(cj::parse("[1, 2,]").ok);       // trailing comma
+  EXPECT_FALSE(cj::parse(R"({"a": 1,})").ok);  // trailing comma
+  EXPECT_FALSE(cj::parse(R"({"a": 1 "b": 2})").ok);
+  EXPECT_FALSE(cj::parse("[1, 2] tail").ok);   // trailing garbage
+  EXPECT_FALSE(cj::parse(R"({"a": 1, "a": 2})").ok);  // duplicate key
+  EXPECT_FALSE(cj::parse("").ok);
+  EXPECT_FALSE(cj::parse("{").ok);
+}
+
+TEST(JsonCheck, EnforcesDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(cj::parse(deep, 64).ok);
+  EXPECT_TRUE(cj::parse(deep, 128).ok);
+}
+
+TEST(JsonCheck, FirstMissingKeyReportsSchemaGaps) {
+  const auto r = cj::parse(R"({"schema": "s", "schema_version": 1})");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(cj::first_missing_key(r.value, {"schema", "schema_version"}), "");
+  EXPECT_EQ(cj::first_missing_key(r.value, {"schema", "label"}), "label");
+  cj::Value arr;
+  arr.kind = cj::Value::Kind::kArray;
+  EXPECT_EQ(cj::first_missing_key(arr, {"schema"}), "<not an object>");
+}
+
+}  // namespace
