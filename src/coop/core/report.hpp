@@ -3,6 +3,7 @@
 #include <cstddef>
 
 #include "coop/core/timed_sim.hpp"
+#include "coop/obs/analysis/report.hpp"
 #include "coop/obs/run_report.hpp"
 #include "coop/obs/trace.hpp"
 
@@ -29,5 +30,14 @@ namespace coop::core {
                                               const TimedResult& res,
                                               const obs::Tracer* tracer,
                                               std::size_t top_n = 10);
+
+/// Runs the wait-state and critical-path analyzer (`obs::analysis`) over a
+/// traced run that also recorded a happens-before log (`cfg.hb` bound to
+/// `hb` during the run), stamps config identity, and cross-checks the
+/// FeedbackBalancer's observed CPU/GPU gap against the attributed waits.
+/// Exported as `coophet.critical_path` v1 JSON next to the run report.
+[[nodiscard]] obs::analysis::CritPathReport build_critical_path_report(
+    const TimedConfig& cfg, const TimedResult& res, const obs::Tracer& tracer,
+    const obs::analysis::HbLog& hb);
 
 }  // namespace coop::core

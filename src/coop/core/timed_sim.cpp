@@ -14,6 +14,7 @@
 #include "coop/devmodel/kernel_cost.hpp"
 #include "coop/lb/load_balancer.hpp"
 #include "coop/mesh/halo.hpp"
+#include "coop/obs/analysis/hb_log.hpp"
 #include "coop/obs/metrics.hpp"
 #include "coop/obs/trace.hpp"
 #include "coop/simmpi/sim_comm.hpp"
@@ -40,9 +41,10 @@ struct World {
   std::vector<double> compute_time;  // per rank, this iteration
   double iter_start = 0.0;
 
-  // Unified observability (both optional; convenience copies of cfg).
+  // Unified observability (all optional; convenience copies of cfg).
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  obs::analysis::HbLog* hb = nullptr;
   double pool_high_water = 0.0;  ///< modeled device-pool bytes, run maximum
 
   // Optional event-driven GPU backend (one server per physical GPU).
@@ -183,9 +185,12 @@ des::Task<void> gpu_server_compute(des::Engine& eng, World& w, int r) {
   for (const auto& k : w.catalog.kernels()) {
     const double t0 = eng.now();
     co_await eng.delay(launch);
-    co_await gpu.execute(k.work, zones, nx, mps);
+    double drain = 0.0;
+    co_await gpu.execute(k.work, zones, nx, mps, &drain);
     if (trace_kernels)
       w.tracer->span(dom.node_id, r, k.name, "kernel", t0, eng.now());
+    if (w.hb != nullptr && drain > 0.0)
+      w.hb->gpu_drain(r, t0, eng.now(), drain);
   }
   const double t_spill = eng.now();
   co_await eng.delay(um_spill_time(w, dom.node_id));
@@ -536,7 +541,14 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
                                            w.balancer.fraction());
         w.rebuild_neighbors();
       }
+      // The LB barrier is a synchronization wait like the dt reduce; trace
+      // it as its own phase so measured wait covers every collective the
+      // happens-before log records (analysis matches them one-to-one).
+      const double t_barrier_begin = eng.now();
       co_await comm.barrier();
+      if (w.tracer != nullptr)
+        w.tracer->span(my_node, r, "barrier", "phase", t_barrier_begin,
+                       eng.now());
     } else if (r == 0) {
       double max_cpu = 0, max_gpu = 0;
       for (int q = 0; q < w.dec.ranks(); ++q) {
@@ -661,6 +673,7 @@ TimedResult run_timed(const TimedConfig& cfg) {
   w.cfg = &cfg;
   w.tracer = cfg.tracer;
   w.metrics = cfg.metrics;
+  w.hb = cfg.hb;
   w.layout = make_rank_layout(cfg.mode, cfg.node, cfg.ranks_per_gpu);
   w.catalog = hydro::KernelCatalog::scaled(cfg.catalog_kernels);
 
@@ -734,9 +747,11 @@ TimedResult run_timed(const TimedConfig& cfg) {
           std::make_unique<devmodel::GpuServer>(eng, cfg.node.gpu));
   }
   simmpi::SimCommWorld commw(eng, w.dec.ranks(), cfg.node.net);
+  if (cfg.hb != nullptr) commw.bind_hb_log(cfg.hb);
   for (int r = 0; r < w.dec.ranks(); ++r)
     eng.spawn(rank_process(eng, w, commw, r));
   const double makespan = eng.run();
+  if (cfg.tracer != nullptr) cfg.tracer->close_counter_tracks(makespan);
 
   TimedResult res;
   res.makespan = makespan;

@@ -28,6 +28,10 @@ class MetricsRegistry;
 class Tracer;
 }  // namespace coop::obs
 
+namespace coop::obs::analysis {
+class HbLog;
+}  // namespace coop::obs::analysis
+
 namespace coop::core {
 
 struct TimedConfig {
@@ -78,6 +82,13 @@ struct TimedConfig {
   /// publishes per-iteration simulation metrics (sim.*, comm.*, pool.*) and
   /// binds the feedback balancer's lb.* metrics. Pure observation.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional happens-before log (not owned; may be nullptr). When set,
+  /// the comm world records send posts/arrivals, recv windows and
+  /// collective arrival/return times, and the event-driven GPU backend
+  /// records queue-drain waits — the causal edges `obs::analysis` matches
+  /// into wait states and the critical path. Pure observation.
+  obs::analysis::HbLog* hb = nullptr;
 
   /// Use the event-driven processor-sharing GPU queue (devmodel::GpuServer)
   /// instead of the closed-form kernel times. Exact for the symmetric

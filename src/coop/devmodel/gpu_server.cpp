@@ -20,7 +20,8 @@ double GpuServer::job_rate(const Job& j, double occ_sum) const {
 }
 
 des::Task<void> GpuServer::execute(KernelWork work, double zones, double nx,
-                                   bool mps) {
+                                   bool mps, double* drain_wait_s) {
+  if (drain_wait_s != nullptr) *drain_wait_s = 0.0;
   if (zones <= 0) co_return;
   if (!active_.empty() || !queued_.empty()) {
     if (mps != mps_mode_)
@@ -35,6 +36,10 @@ des::Task<void> GpuServer::execute(KernelWork work, double zones, double nx,
   job.remaining_work = roofline_seconds(spec_, work, zones);
   job.occupancy = occupancy_efficiency(spec_, zones);
   job.coalescing = coalescing_efficiency(spec_, nx);
+  job.t_submit = engine_.now();
+  // Alone on the device occ_sum == occupancy, so job_rate gives the solo
+  // rate (mps_mode_ is already set for this submission).
+  job.solo_s = job.remaining_work / job_rate(job, job.occupancy);
   job.done = &done;
 
   // Fold elapsed progress into the books, then admit or queue.
@@ -46,7 +51,8 @@ des::Task<void> GpuServer::execute(KernelWork work, double zones, double nx,
     queued_.push_back(job);
   reschedule();
 
-  (void)co_await done.recv();
+  const double wait = co_await done.recv();
+  if (drain_wait_s != nullptr) *drain_wait_s = wait;
 }
 
 void GpuServer::reschedule() {
@@ -69,7 +75,10 @@ void GpuServer::reschedule() {
     changed = false;
     for (std::size_t i = 0; i < active_.size(); ++i) {
       if (active_[i].remaining_work <= kDoneEps) {
-        active_[i].done->send(now);
+        const double wait =
+            std::max(0.0, (now - active_[i].t_submit) - active_[i].solo_s);
+        drain_wait_total_ += wait;
+        active_[i].done->send(wait);
         ++completed_;
         active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
         changed = true;

@@ -38,15 +38,23 @@ class GpuServer {
   /// Submits one kernel (roofline work of `work` over `zones` zones with
   /// innermost extent `nx`) and suspends the caller until it completes.
   /// `mps` selects shared execution; without MPS the device runs kernels
-  /// one at a time (single context).
+  /// one at a time (single context). When `drain_wait_s` is non-null it
+  /// receives the kernel's queue-drain wait: actual latency minus the time
+  /// the same kernel would have taken running alone on the device — the
+  /// co-scheduling loss the wait-state analyzer attributes as "gpu-drain".
   [[nodiscard]] des::Task<void> execute(KernelWork work, double zones,
-                                        double nx, bool mps);
+                                        double nx, bool mps,
+                                        double* drain_wait_s = nullptr);
 
   [[nodiscard]] int resident() const noexcept {
     return static_cast<int>(active_.size());
   }
   [[nodiscard]] std::uint64_t kernels_completed() const noexcept {
     return completed_;
+  }
+  /// Summed queue-drain wait over all completed kernels.
+  [[nodiscard]] double drain_wait_total_s() const noexcept {
+    return drain_wait_total_;
   }
 
  private:
@@ -55,7 +63,9 @@ class GpuServer {
     double remaining_work;  ///< seconds of full-rate device time left
     double occupancy;       ///< occupancy efficiency (overlap CAN recover)
     double coalescing;      ///< memory efficiency (overlap CANNOT recover)
-    des::Channel<double>* done;
+    double t_submit;        ///< submission time (for drain-wait accounting)
+    double solo_s;          ///< service time if the job ran alone
+    des::Channel<double>* done;  ///< completion delivers the drain wait
   };
 
   /// Advances `remaining_work` of all active jobs to the current time and
@@ -76,6 +86,7 @@ class GpuServer {
   double last_update_ = 0;
   std::uint64_t next_id_ = 0;
   std::uint64_t completed_ = 0;
+  double drain_wait_total_ = 0;
   std::uint64_t wake_generation_ = 0;
   bool mps_mode_ = true;
 };

@@ -1,0 +1,79 @@
+#include "coop/obs/analysis/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "coop/obs/run_report.hpp"
+
+namespace coop::obs::analysis {
+
+CompareResult compare_reports(
+    const MetricMap& baseline, const MetricMap& current,
+    const std::map<std::string, Tolerance>& tolerances, Tolerance fallback) {
+  CompareResult out;
+  for (const auto& [name, base] : baseline) {
+    MetricCheck c;
+    c.name = name;
+    c.baseline = base;
+    const auto tit = tolerances.find(name);
+    c.tol = tit != tolerances.end() ? tit->second : fallback;
+
+    const auto cit =
+        std::find_if(current.begin(), current.end(),
+                     [&](const auto& p) { return p.first == name; });
+    if (cit == current.end()) {
+      c.missing = true;
+      c.ok = false;
+    } else {
+      c.current = cit->second;
+      const double band =
+          std::max(c.tol.abs, c.tol.rel * std::abs(c.baseline));
+      c.ok = std::isfinite(c.current) &&
+             std::abs(c.current - c.baseline) <= band;
+    }
+    if (!c.ok) ++out.failures;
+    out.checks.push_back(std::move(c));
+  }
+  return out;
+}
+
+void CompareResult::write_table(std::ostream& os) const {
+  const auto flags = os.flags();
+  const auto prec = os.precision();
+  os << "== Perf baseline comparison: " << checks.size() << " metrics, "
+     << failures << " failure(s) ==\n";
+  for (const MetricCheck& c : checks) {
+    os << (c.ok ? "  ok   " : "  FAIL ") << std::left << std::setw(34)
+       << c.name << std::right;
+    if (c.missing) {
+      os << " missing from current report\n";
+      continue;
+    }
+    const double band = std::max(c.tol.abs, c.tol.rel * std::abs(c.baseline));
+    os << " base " << std::setprecision(6) << c.baseline << "  cur "
+       << c.current << "  |d| " << std::abs(c.current - c.baseline)
+       << "  band " << band << '\n';
+  }
+  os.flags(flags);
+  os.precision(prec);
+}
+
+MetricMap report_metrics(const RunReport& r) {
+  MetricMap m;
+  m.emplace_back("makespan_s", r.makespan_s);
+  m.emplace_back("imbalance_pct", r.imbalance_pct);
+  m.emplace_back("mean_utilization_pct", r.mean_utilization_pct);
+  m.emplace_back("cpu_fraction_final", r.cpu_fraction_final);
+  m.emplace_back("flops_efficiency_pct", r.flops_efficiency_pct);
+  m.emplace_back("max_hetero_gain_pct", r.max_hetero_gain_pct);
+  for (const SweepRow& row : r.sweep) {
+    const std::string key = "sweep." + std::to_string(row.zones) + ".";
+    m.emplace_back(key + "t_default_s", row.t_default);
+    m.emplace_back(key + "t_mps_s", row.t_mps);
+    m.emplace_back(key + "t_hetero_s", row.t_hetero);
+  }
+  return m;
+}
+
+}  // namespace coop::obs::analysis

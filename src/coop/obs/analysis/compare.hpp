@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file compare.hpp
+/// Perf-baseline regression gate: compare two sets of named metrics under
+/// per-metric tolerance bands.
+///
+/// The DES is bitwise-deterministic, so the checked-in baselines
+/// (`bench/baselines/BENCH_fig*.json`) are stable values, not noisy
+/// samples; tolerances exist to absorb cross-toolchain floating-point
+/// wobble and intentional model refinements, not run-to-run variance. A
+/// tolerance of rel = abs = 0 therefore demands exact equality — that is
+/// how CI proves the gate can fail.
+///
+/// `report_metrics` flattens a `RunReport` into the gated metric set; the
+/// `tools/compare_reports` CLI extracts the identical names from the JSON
+/// artifacts (locked together by a test), so in-process and on-disk gating
+/// can never drift apart.
+
+namespace coop::obs {
+
+struct RunReport;
+
+namespace analysis {
+
+/// Band: a metric passes when |current - baseline| <=
+/// max(abs, rel * |baseline|).
+struct Tolerance {
+  double rel = 0.0;
+  double abs = 0.0;
+};
+
+struct MetricCheck {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  Tolerance tol;
+  bool missing = false;  ///< metric absent from the current report
+  bool ok = false;
+};
+
+struct CompareResult {
+  std::vector<MetricCheck> checks;
+  int failures = 0;
+  [[nodiscard]] bool ok() const noexcept { return failures == 0; }
+  /// One line per metric, failures marked; the CI log format.
+  void write_table(std::ostream& os) const;
+};
+
+/// Ordered (name, value) pairs; order follows the baseline in comparisons.
+using MetricMap = std::vector<std::pair<std::string, double>>;
+
+/// Every baseline metric must exist in `current` and fall inside its band
+/// (per-metric override, else `fallback`). Metrics only present in
+/// `current` are ignored — adding metrics must not break old baselines.
+[[nodiscard]] CompareResult compare_reports(
+    const MetricMap& baseline, const MetricMap& current,
+    const std::map<std::string, Tolerance>& tolerances, Tolerance fallback);
+
+/// The gated metric set of a run report: makespan_s, imbalance_pct,
+/// mean_utilization_pct, cpu_fraction_final, flops_efficiency_pct,
+/// max_hetero_gain_pct, and per sweep row
+/// `sweep.<zones>.t_{default,mps,hetero}_s`.
+[[nodiscard]] MetricMap report_metrics(const RunReport& r);
+
+}  // namespace analysis
+}  // namespace coop::obs

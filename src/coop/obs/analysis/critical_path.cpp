@@ -1,0 +1,252 @@
+#include "coop/obs/analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+
+namespace coop::obs::analysis {
+
+namespace {
+
+struct PhaseSpan {
+  double t_begin, t_end;
+  SegmentKind kind;
+};
+
+struct CollPart {
+  double arrive, ret;
+  double t_last;
+  int last_rank;
+};
+
+SegmentKind kind_of(const std::string& name) {
+  if (name == "compute") return SegmentKind::kCompute;
+  if (name == "halo-wait") return SegmentKind::kHalo;
+  if (name == "reduce" || name == "barrier") return SegmentKind::kReduce;
+  if (name == "rebalance") return SegmentKind::kRebalance;
+  return SegmentKind::kOther;
+}
+
+}  // namespace
+
+const char* to_string(SegmentKind k) noexcept {
+  switch (k) {
+    case SegmentKind::kCompute: return "compute";
+    case SegmentKind::kHalo: return "halo";
+    case SegmentKind::kReduce: return "reduce";
+    case SegmentKind::kRebalance: return "rebalance";
+    case SegmentKind::kOther: return "other";
+  }
+  return "other";
+}
+
+CriticalPath compute_critical_path(const Tracer& tracer, const MatchResult& m,
+                                   int ranks) {
+  CriticalPath cp;
+  if (ranks <= 0) return cp;
+  const auto n = static_cast<std::size_t>(ranks);
+  cp.per_rank_s.assign(n, 0.0);
+
+  // -- per-rank indices ------------------------------------------------------
+  std::vector<std::vector<PhaseSpan>> phases(n);
+  std::vector<std::vector<const SpanEvent*>> kernels(n);
+  bool any = false;
+  double t_floor = 0.0, t_ceil = 0.0;
+  for (const auto& s : tracer.spans()) {
+    if (s.tid < 0 || s.tid >= ranks) continue;
+    const auto r = static_cast<std::size_t>(s.tid);
+    if (s.cat == "phase") {
+      phases[r].push_back(PhaseSpan{s.t_begin, s.t_end, kind_of(s.name)});
+      if (!any || s.t_begin < t_floor) t_floor = s.t_begin;
+      if (!any || s.t_end > t_ceil) {
+        t_ceil = s.t_end;
+        cp.end_rank = s.tid;
+      }
+      any = true;
+    } else if (s.cat == "kernel") {
+      kernels[r].push_back(&s);
+    }
+  }
+  if (!any) return cp;
+  for (auto& v : phases)
+    std::sort(v.begin(), v.end(), [](const PhaseSpan& a, const PhaseSpan& b) {
+      return a.t_begin < b.t_begin;
+    });
+  for (auto& v : kernels)
+    std::sort(v.begin(), v.end(), [](const SpanEvent* a, const SpanEvent* b) {
+      return a->t_begin < b->t_begin;
+    });
+
+  std::vector<std::vector<const MatchedRecv*>> recvs(n);
+  for (const auto& r : m.recvs)
+    if (r.dst >= 0 && r.dst < ranks)
+      recvs[static_cast<std::size_t>(r.dst)].push_back(&r);
+  for (auto& v : recvs)
+    std::sort(v.begin(), v.end(),
+              [](const MatchedRecv* a, const MatchedRecv* b) {
+                return a->t_end != b->t_end ? a->t_end < b->t_end
+                                            : a->t_begin < b->t_begin;
+              });
+
+  std::vector<std::vector<CollPart>> colls(n);
+  for (const auto& op : m.collectives) {
+    for (std::size_t r = 0; r < n; ++r) {
+      if (op.arrive[r] < 0.0 || op.ret[r] < 0.0) continue;
+      colls[r].push_back(
+          CollPart{op.arrive[r], op.ret[r], op.t_last, op.last_rank});
+    }
+  }
+  for (auto& v : colls)
+    std::sort(v.begin(), v.end(), [](const CollPart& a, const CollPart& b) {
+      return a.ret < b.ret;
+    });
+
+  // -- backward walk ---------------------------------------------------------
+  const double eps = 1e-9 * std::max(1.0, t_ceil);
+  cp.t_start = t_floor;
+  cp.t_end = t_ceil;
+
+  std::map<std::string, double> kernel_share;
+  std::vector<CritSegment> back;  ///< segments in reverse time order
+
+  const auto emit = [&](int rank, double b, double e, SegmentKind kind) {
+    if (e - b <= 0.0) return;
+    back.push_back(CritSegment{rank, b, e, kind});
+  };
+  /// Apportions a compute segment [b, e] of `rank` to the kernel sub-spans
+  /// it overlaps.
+  const auto credit_kernels = [&](int rank, double b, double e) {
+    for (const SpanEvent* k : kernels[static_cast<std::size_t>(rank)]) {
+      const double lo = std::max(b, k->t_begin);
+      const double hi = std::min(e, k->t_end);
+      if (hi > lo) kernel_share[k->name] += hi - lo;
+    }
+  };
+
+  int cur = cp.end_rank;
+  double t = t_ceil;
+  std::size_t guard = 16 + m.recvs.size() + m.collectives.size() * n;
+  for (const auto& v : phases) guard += 4 * v.size();
+
+  while (t > t_floor + eps) {
+    if (guard-- == 0) {
+      cp.complete = false;
+      break;
+    }
+    const auto& ph = phases[static_cast<std::size_t>(cur)];
+    // Latest span of `cur` starting strictly before t.
+    const auto it = std::upper_bound(
+        ph.begin(), ph.end(), t - eps,
+        [](double v, const PhaseSpan& s) { return v < s.t_begin; });
+    if (it == ph.begin()) {
+      // Nothing earlier on this rank: charge the head to "other".
+      emit(cur, t_floor, t, SegmentKind::kOther);
+      t = t_floor;
+      break;
+    }
+    const PhaseSpan& span = *(it - 1);
+    if (span.t_end < t - eps) {
+      // Untraced gap (fault stall, checkpoint I/O, delayed start).
+      emit(cur, span.t_end, t, SegmentKind::kOther);
+      t = span.t_end;
+      continue;
+    }
+
+    switch (span.kind) {
+      case SegmentKind::kReduce: {
+        // The collective op matching this span: the first participation of
+        // `cur` returning at or after t is the one covering it (one op per
+        // reduce/barrier span, and spans do not overlap).
+        const auto& cl = colls[static_cast<std::size_t>(cur)];
+        const auto cit = std::lower_bound(
+            cl.begin(), cl.end(), t - eps,
+            [](const CollPart& c, double v) { return c.ret < v; });
+        const CollPart* op =
+            (cit != cl.end() && cit->arrive >= span.t_begin - eps &&
+             cit->ret <= span.t_end + eps)
+                ? &*cit
+                : nullptr;
+        if (op != nullptr && op->last_rank >= 0 && op->last_rank != cur &&
+            op->t_last < t - eps && op->t_last > span.t_begin - eps) {
+          // Path runs through the last arriver.
+          emit(cur, op->t_last, t, SegmentKind::kReduce);
+          t = op->t_last;
+          cur = op->last_rank;
+        } else {
+          emit(cur, span.t_begin, t, SegmentKind::kReduce);
+          t = span.t_begin;
+        }
+        break;
+      }
+      case SegmentKind::kHalo: {
+        // The recv covering t: last recv of `cur` ending at or after t - eps
+        // (ties broken toward the latest-starting one).
+        const auto& rv = recvs[static_cast<std::size_t>(cur)];
+        auto rit = std::lower_bound(
+            rv.begin(), rv.end(), t - eps,
+            [](const MatchedRecv* r, double v) { return r->t_end < v; });
+        const MatchedRecv* rec = nullptr;
+        for (; rit != rv.end() && (*rit)->t_end <= t + eps; ++rit)
+          rec = *rit;
+        if (rec != nullptr && rec->wait() > eps && rec->t_begin < t - eps &&
+            rec->t_post < t - eps && rec->src != cur) {
+          // Wait + wire, then hop to the sender at its post time.
+          emit(cur, rec->t_post, t, SegmentKind::kHalo);
+          t = rec->t_post;
+          cur = rec->src;
+        } else {
+          emit(cur, span.t_begin, t, SegmentKind::kHalo);
+          t = span.t_begin;
+        }
+        break;
+      }
+      case SegmentKind::kCompute: {
+        emit(cur, span.t_begin, t, SegmentKind::kCompute);
+        credit_kernels(cur, span.t_begin, t);
+        t = span.t_begin;
+        break;
+      }
+      case SegmentKind::kRebalance:
+      case SegmentKind::kOther: {
+        emit(cur, span.t_begin, t, span.kind);
+        t = span.t_begin;
+        break;
+      }
+    }
+  }
+
+  // -- assemble forward, merge touching same-(rank, kind) neighbors ----------
+  std::reverse(back.begin(), back.end());
+  for (const auto& s : back) {
+    if (!cp.segments.empty()) {
+      auto& last = cp.segments.back();
+      if (last.rank == s.rank && last.kind == s.kind &&
+          s.t_begin <= last.t_end + eps) {
+        last.t_end = s.t_end;
+        continue;
+      }
+    }
+    cp.segments.push_back(s);
+  }
+  for (const auto& s : cp.segments) {
+    const double d = s.seconds();
+    cp.length_s += d;
+    cp.per_rank_s[static_cast<std::size_t>(s.rank)] += d;
+    switch (s.kind) {
+      case SegmentKind::kCompute: cp.compute_s += d; break;
+      case SegmentKind::kHalo: cp.halo_s += d; break;
+      case SegmentKind::kReduce: cp.reduce_s += d; break;
+      case SegmentKind::kRebalance: cp.rebalance_s += d; break;
+      case SegmentKind::kOther: cp.other_s += d; break;
+    }
+  }
+  cp.kernels.assign(kernel_share.begin(), kernel_share.end());
+  std::sort(cp.kernels.begin(), cp.kernels.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  return cp;
+}
+
+}  // namespace coop::obs::analysis

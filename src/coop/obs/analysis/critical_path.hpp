@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coop/obs/analysis/wait_states.hpp"
+#include "coop/obs/trace.hpp"
+
+/// \file critical_path.hpp
+/// Critical-path extraction over a finished trace + happens-before log.
+///
+/// The walk starts at the last-finishing rank's final span end and replays
+/// the dependency graph backward:
+///
+///  * inside a compute / rebalance span, the predecessor is local — walk to
+///    the span's begin (compute time on the path is further apportioned to
+///    the per-kernel sub-spans it overlaps);
+///  * inside a halo-wait span, the covering recv's wait means the path runs
+///    through the sender: attribute the wait + wire up to the current point,
+///    then hop to the sender's timeline at its post time;
+///  * inside a reduce / barrier span, the path runs through the collective's
+///    last arriver: attribute the tail after the last arrival, then hop to
+///    that rank at its arrival time;
+///  * in untraced gaps (fault stalls, checkpoint I/O), attribute "other"
+///    back to the previous local span.
+///
+/// Hops never move time — segments tile [t_start, t_end] contiguously, so
+/// the path length equals the traced makespan by construction: at least the
+/// busiest rank's busy time, at most the wall time (the acceptance
+/// inequality), with every second blamed on a phase, rank, and kernel.
+
+namespace coop::obs::analysis {
+
+enum class SegmentKind { kCompute, kHalo, kReduce, kRebalance, kOther };
+
+[[nodiscard]] const char* to_string(SegmentKind k) noexcept;
+
+struct CritSegment {
+  int rank = -1;
+  double t_begin = 0.0, t_end = 0.0;
+  SegmentKind kind = SegmentKind::kOther;
+  [[nodiscard]] double seconds() const noexcept { return t_end - t_begin; }
+};
+
+struct CriticalPath {
+  double t_start = 0.0, t_end = 0.0;
+  double length_s = 0.0;  ///< sum of segment durations
+  int end_rank = -1;      ///< rank whose span finishes the run
+  /// False when the backward walk hit its iteration guard before reaching
+  /// the trace start (malformed input); segments then cover only a suffix.
+  bool complete = true;
+  std::vector<CritSegment> segments;  ///< forward time order, contiguous
+
+  // Shares of length_s.
+  double compute_s = 0.0, halo_s = 0.0, reduce_s = 0.0, rebalance_s = 0.0,
+         other_s = 0.0;
+  std::vector<double> per_rank_s;  ///< indexed by rank
+  /// Per-kernel share of the path's compute segments, sorted by seconds
+  /// descending (name ascending on ties).
+  std::vector<std::pair<std::string, double>> kernels;
+};
+
+/// `ranks` must cover every tid appearing in the trace's phase spans.
+[[nodiscard]] CriticalPath compute_critical_path(const Tracer& tracer,
+                                                 const MatchResult& m,
+                                                 int ranks);
+
+}  // namespace coop::obs::analysis

@@ -1,0 +1,34 @@
+#include "coop/obs/analysis/hb_log.hpp"
+
+namespace coop::obs::analysis {
+
+void HbLog::send(int src, int dst, int tag, std::uint64_t bytes, double t_post,
+                 double t_arrival) {
+  sends_.push_back(MsgSend{src, dst, tag, bytes, t_post, t_arrival});
+}
+
+void HbLog::recv(int dst, int src, int tag, double t_begin, double t_end) {
+  recvs_.push_back(MsgRecv{dst, src, tag, t_begin, t_end});
+}
+
+void HbLog::collective_arrive(int rank, double t) {
+  arrivals_.push_back(CollEvent{rank, t});
+}
+
+void HbLog::collective_return(int rank, double t) {
+  returns_.push_back(CollEvent{rank, t});
+}
+
+void HbLog::gpu_drain(int rank, double t_begin, double t_end, double wait_s) {
+  gpu_drains_.push_back(GpuDrain{rank, t_begin, t_end, wait_s});
+}
+
+void HbLog::clear() {
+  sends_.clear();
+  recvs_.clear();
+  arrivals_.clear();
+  returns_.clear();
+  gpu_drains_.clear();
+}
+
+}  // namespace coop::obs::analysis

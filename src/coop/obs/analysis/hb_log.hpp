@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file hb_log.hpp
+/// Happens-before event log for cross-rank wait-state attribution.
+///
+/// The tracer (obs/trace.hpp) records *where time went* on each rank's
+/// timeline; this log records *why* — the causal edges between ranks that
+/// the wait-state classifier and the critical-path walk need:
+///
+///  * point-to-point messages: when the sender posted, when the payload
+///    arrived at the destination mailbox, and when the receiver's recv
+///    actually began/returned (`simmpi::SimComm` records both ends);
+///  * collective rendezvous: each rank's arrival at an allreduce/barrier
+///    and the time the result was delivered back to it;
+///  * GPU queue drain: time a kernel spent delayed beyond its solo
+///    execution in the event-driven `devmodel::GpuServer` backend.
+///
+/// Recording is append-only and pure observation — binding a log never
+/// moves a DES event. Matching (k-th send to k-th recv per channel, arrival
+/// k to collective op k) is done offline by `analysis::match_events`.
+
+namespace coop::obs::analysis {
+
+/// One posted point-to-point message (sender side).
+struct MsgSend {
+  int src = 0, dst = 0, tag = 0;
+  std::uint64_t bytes = 0;
+  double t_post = 0.0;     ///< when the sender injected it
+  double t_arrival = 0.0;  ///< when it reached the destination mailbox
+};
+
+/// One completed receive (receiver side).
+struct MsgRecv {
+  int dst = 0, src = 0, tag = 0;
+  double t_begin = 0.0;  ///< when recv was posted
+  double t_end = 0.0;    ///< when recv returned with the payload
+};
+
+/// One rank's arrival at (or return from) a collective.
+struct CollEvent {
+  int rank = 0;
+  double t = 0.0;
+};
+
+/// One kernel's excess delay in the event-driven GPU queue.
+struct GpuDrain {
+  int rank = 0;
+  double t_begin = 0.0, t_end = 0.0;
+  double wait_s = 0.0;  ///< (t_end - t_begin) minus the solo service time
+};
+
+class HbLog {
+ public:
+  void send(int src, int dst, int tag, std::uint64_t bytes, double t_post,
+            double t_arrival);
+  void recv(int dst, int src, int tag, double t_begin, double t_end);
+  void collective_arrive(int rank, double t);
+  void collective_return(int rank, double t);
+  void gpu_drain(int rank, double t_begin, double t_end, double wait_s);
+
+  [[nodiscard]] const std::vector<MsgSend>& sends() const noexcept {
+    return sends_;
+  }
+  [[nodiscard]] const std::vector<MsgRecv>& recvs() const noexcept {
+    return recvs_;
+  }
+  [[nodiscard]] const std::vector<CollEvent>& arrivals() const noexcept {
+    return arrivals_;
+  }
+  [[nodiscard]] const std::vector<CollEvent>& returns() const noexcept {
+    return returns_;
+  }
+  [[nodiscard]] const std::vector<GpuDrain>& gpu_drains() const noexcept {
+    return gpu_drains_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return sends_.empty() && recvs_.empty() && arrivals_.empty() &&
+           returns_.empty() && gpu_drains_.empty();
+  }
+  void clear();
+
+ private:
+  std::vector<MsgSend> sends_;
+  std::vector<MsgRecv> recvs_;
+  std::vector<CollEvent> arrivals_;
+  std::vector<CollEvent> returns_;
+  std::vector<GpuDrain> gpu_drains_;
+};
+
+}  // namespace coop::obs::analysis

@@ -1,0 +1,352 @@
+#include "coop/obs/analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+
+#include "coop/obs/json.hpp"
+
+namespace coop::obs::analysis {
+
+namespace {
+
+void kv(std::ostream& os, const char* key, double v, bool lead_comma = true) {
+  if (lead_comma) os << ',';
+  os << '"' << key << "\":";
+  write_json_number(os, v);
+}
+
+void kv(std::ostream& os, const char* key, long v, bool lead_comma = true) {
+  if (lead_comma) os << ',';
+  os << '"' << key << "\":" << v;
+}
+
+void kv(std::ostream& os, const char* key, int v, bool lead_comma = true) {
+  kv(os, key, static_cast<long>(v), lead_comma);
+}
+
+void kv(std::ostream& os, const char* key, const std::string& v,
+        bool lead_comma = true) {
+  if (lead_comma) os << ',';
+  os << '"' << key << "\":";
+  write_json_string(os, v);
+}
+
+void kv(std::ostream& os, const char* key, bool v, bool lead_comma = true) {
+  if (lead_comma) os << ',';
+  os << '"' << key << "\":" << (v ? "true" : "false");
+}
+
+void write_breakdown(std::ostream& os, const WaitBreakdown& b) {
+  kv(os, "late_sender_s", b.late_sender_s);
+  kv(os, "transfer_s", b.transfer_s);
+  kv(os, "wait_at_allreduce_s", b.wait_at_allreduce_s);
+  kv(os, "collective_transfer_s", b.collective_transfer_s);
+  kv(os, "gpu_drain_s", b.gpu_drain_s);
+}
+
+}  // namespace
+
+void CritPathReport::cross_check_balancer(double sum_max_cpu_s,
+                                          double sum_max_gpu_s) {
+  balancer_checked = false;
+  balancer_explained = false;
+  if (sum_max_cpu_s <= 0.0 || sum_max_gpu_s <= 0.0) return;
+
+  observed_gap_s = std::abs(sum_max_cpu_s - sum_max_gpu_s);
+  // The faster kind's busiest rank is the one whose idle the balancer
+  // reacts to; its blamed wait (late-sender + wait-at-allreduce) is the
+  // analyzer's independent account of the same gap.
+  const bool fast_is_cpu = sum_max_cpu_s < sum_max_gpu_s;
+  const RankWaitRow* straggler = nullptr;
+  for (const auto& r : per_rank) {
+    if (r.device != (fast_is_cpu ? "cpu" : "gpu")) continue;
+    if (r.busy_s <= 0.0) continue;
+    if (straggler == nullptr || r.busy_s > straggler->busy_s) straggler = &r;
+  }
+  if (straggler == nullptr) return;
+  attributed_gap_s = straggler->waits.late_sender_s +
+                     straggler->waits.wait_at_allreduce_s;
+  balancer_checked = true;
+  // Absolute floor: when the balancer has converged, both gaps shrink
+  // toward the wire noise; relative agreement on near-zero numbers is
+  // meaningless.
+  const double tol = std::max(balancer_tolerance_pct / 100.0 * observed_gap_s,
+                              0.01 * makespan_s);
+  balancer_explained = std::abs(attributed_gap_s - observed_gap_s) <= tol;
+}
+
+CritPathReport analyze_run(const Tracer& tracer, const HbLog& hb, int ranks,
+                           double makespan_s,
+                           const std::vector<std::uint8_t>* rank_is_gpu) {
+  CritPathReport rep;
+  rep.ranks = ranks;
+  rep.makespan_s = makespan_s;
+  if (ranks <= 0) return rep;
+  const auto n = static_cast<std::size_t>(ranks);
+
+  const MatchResult m = match_events(hb, ranks);
+  const WaitStates ws = classify_waits(m, hb, ranks);
+  rep.path = compute_critical_path(tracer, m, ranks);
+  rep.unmatched_events = m.unmatched_sends + m.unmatched_recvs;
+
+  rep.per_rank.resize(n);
+  int max_node = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    auto& row = rep.per_rank[r];
+    row.rank = static_cast<int>(r);
+    if (rank_is_gpu != nullptr && r < rank_is_gpu->size())
+      row.device = (*rank_is_gpu)[r] != 0 ? "gpu" : "cpu";
+    row.waits = ws.per_rank[r];
+    row.blame_received_s = ws.blamed_on(static_cast<int>(r));
+    row.critical_path_s = rep.path.per_rank_s[r];
+  }
+  for (const auto& s : tracer.spans()) {
+    if (s.tid < 0 || s.tid >= ranks) continue;
+    max_node = std::max(max_node, s.pid);
+    auto& row = rep.per_rank[static_cast<std::size_t>(s.tid)];
+    if (s.cat == "phase") {
+      const double d = s.t_end - s.t_begin;
+      if (s.name == "compute")
+        row.busy_s += d;
+      else if (s.name == "halo-wait" || s.name == "reduce" ||
+               s.name == "barrier")
+        row.measured_wait_s += d;
+    } else if (s.cat == "kernel" && s.name == "um-spill") {
+      // Closed-form UM pump spill: GPU idle waiting on the host pump, the
+      // same co-scheduling loss the event-driven backend reports as queue
+      // drain.
+      row.waits.gpu_drain_s += s.t_end - s.t_begin;
+    }
+  }
+  rep.nodes = max_node + 1;
+
+  for (const auto& row : rep.per_rank) {
+    rep.measured_wait_s += row.measured_wait_s;
+    rep.attributed_wait_s += row.waits.comm_total();
+    rep.max_rank_busy_s = std::max(rep.max_rank_busy_s, row.busy_s);
+    rep.totals.late_sender_s += row.waits.late_sender_s;
+    rep.totals.transfer_s += row.waits.transfer_s;
+    rep.totals.wait_at_allreduce_s += row.waits.wait_at_allreduce_s;
+    rep.totals.collective_transfer_s += row.waits.collective_transfer_s;
+    rep.totals.gpu_drain_s += row.waits.gpu_drain_s;
+  }
+  rep.coverage_pct = rep.measured_wait_s > 0.0
+                         ? rep.attributed_wait_s / rep.measured_wait_s * 100.0
+                         : 100.0;
+
+  for (int v = 0; v < ranks; ++v)
+    for (int c = 0; c < ranks; ++c)
+      if (ws.blame_of(v, c) > 0.0)
+        rep.top_blame.push_back(BlameEdge{v, c, ws.blame_of(v, c)});
+  std::sort(rep.top_blame.begin(), rep.top_blame.end(),
+            [](const BlameEdge& a, const BlameEdge& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              if (a.victim != b.victim) return a.victim < b.victim;
+              return a.culprit < b.culprit;
+            });
+  if (rep.top_blame.size() > 10) rep.top_blame.resize(10);
+  return rep;
+}
+
+void annotate_trace(Tracer& tracer, const HbLog& hb,
+                    const CritPathReport& rep, std::size_t max_late_flows) {
+  // tid -> pid mapping from the spans already in the trace.
+  std::map<int, int> node_of;
+  for (const auto& s : tracer.spans())
+    if (s.cat == "phase") node_of.emplace(s.tid, s.pid);
+  const auto pid_of = [&](int rank) {
+    const auto it = node_of.find(rank);
+    return it != node_of.end() ? it->second : 0;
+  };
+
+  for (std::size_t i = 1; i < rep.path.segments.size(); ++i) {
+    const auto& a = rep.path.segments[i - 1];
+    const auto& b = rep.path.segments[i];
+    if (a.rank == b.rank) continue;
+    tracer.flow(pid_of(a.rank), a.rank, b.t_begin, pid_of(b.rank), b.rank,
+                b.t_begin, "critpath-hop", "critpath");
+  }
+
+  const MatchResult m = match_events(hb, rep.ranks);
+  std::vector<const MatchedRecv*> late;
+  for (const auto& r : m.recvs)
+    if (r.t_post > r.t_begin && r.wait() > 0.0) late.push_back(&r);
+  std::sort(late.begin(), late.end(),
+            [](const MatchedRecv* a, const MatchedRecv* b) {
+              const double la = a->t_post - a->t_begin;
+              const double lb = b->t_post - b->t_begin;
+              if (la != lb) return la > lb;
+              return a->t_begin < b->t_begin;
+            });
+  if (late.size() > max_late_flows) late.resize(max_late_flows);
+  for (const MatchedRecv* r : late)
+    tracer.flow(pid_of(r->src), r->src, r->t_post, pid_of(r->dst), r->dst,
+                r->t_end, "late-sender", "late-sender");
+}
+
+void CritPathReport::write_json(std::ostream& os) const {
+  os << "{\"schema\":\"" << kCritPathSchemaName
+     << "\",\"schema_version\":" << kCritPathSchemaVersion;
+  kv(os, "label", label);
+  kv(os, "mode", mode);
+  kv(os, "figure", figure);
+  kv(os, "ranks", ranks);
+  kv(os, "nodes", nodes);
+  kv(os, "makespan_s", makespan_s);
+
+  os << ",\"wait_attribution\":{";
+  kv(os, "measured_wait_s", measured_wait_s, false);
+  kv(os, "attributed_wait_s", attributed_wait_s);
+  kv(os, "coverage_pct", coverage_pct);
+  kv(os, "unmatched_events", static_cast<long>(unmatched_events));
+  write_breakdown(os, totals);
+  os << '}';
+
+  os << ",\"per_rank\":[";
+  for (std::size_t i = 0; i < per_rank.size(); ++i) {
+    const RankWaitRow& r = per_rank[i];
+    if (i > 0) os << ',';
+    os << '{';
+    kv(os, "rank", r.rank, false);
+    kv(os, "device", r.device);
+    kv(os, "busy_s", r.busy_s);
+    kv(os, "measured_wait_s", r.measured_wait_s);
+    write_breakdown(os, r.waits);
+    kv(os, "blame_received_s", r.blame_received_s);
+    kv(os, "critical_path_s", r.critical_path_s);
+    os << '}';
+  }
+  os << ']';
+
+  os << ",\"top_blame\":[";
+  for (std::size_t i = 0; i < top_blame.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '{';
+    kv(os, "victim", top_blame[i].victim, false);
+    kv(os, "culprit", top_blame[i].culprit);
+    kv(os, "seconds", top_blame[i].seconds);
+    os << '}';
+  }
+  os << ']';
+
+  os << ",\"critical_path\":{";
+  kv(os, "length_s", path.length_s, false);
+  kv(os, "t_start", path.t_start);
+  kv(os, "t_end", path.t_end);
+  kv(os, "end_rank", path.end_rank);
+  kv(os, "complete", path.complete);
+  kv(os, "compute_s", path.compute_s);
+  kv(os, "halo_s", path.halo_s);
+  kv(os, "reduce_s", path.reduce_s);
+  kv(os, "rebalance_s", path.rebalance_s);
+  kv(os, "other_s", path.other_s);
+  kv(os, "max_rank_busy_s", max_rank_busy_s);
+  os << ",\"per_rank_s\":[";
+  for (std::size_t i = 0; i < path.per_rank_s.size(); ++i) {
+    if (i > 0) os << ',';
+    write_json_number(os, path.per_rank_s[i]);
+  }
+  os << ']';
+  os << ",\"segments\":[";
+  for (std::size_t i = 0; i < path.segments.size(); ++i) {
+    const CritSegment& s = path.segments[i];
+    if (i > 0) os << ',';
+    os << '{';
+    kv(os, "rank", s.rank, false);
+    kv(os, "kind", std::string(to_string(s.kind)));
+    kv(os, "t_begin", s.t_begin);
+    kv(os, "t_end", s.t_end);
+    os << '}';
+  }
+  os << ']';
+  os << ",\"top_kernels\":[";
+  const std::size_t nk = std::min<std::size_t>(path.kernels.size(), 10);
+  for (std::size_t i = 0; i < nk; ++i) {
+    if (i > 0) os << ',';
+    os << '{';
+    kv(os, "name", path.kernels[i].first, false);
+    kv(os, "seconds", path.kernels[i].second);
+    os << '}';
+  }
+  os << "]}";
+
+  os << ",\"balancer_check\":{";
+  kv(os, "checked", balancer_checked, false);
+  kv(os, "explained", balancer_explained);
+  kv(os, "observed_gap_s", observed_gap_s);
+  kv(os, "attributed_gap_s", attributed_gap_s);
+  kv(os, "tolerance_pct", balancer_tolerance_pct);
+  os << "}}";
+}
+
+void CritPathReport::write_table(std::ostream& os) const {
+  const auto flags = os.flags();
+  const auto prec = os.precision();
+
+  os << "== Critical path & wait states: " << label << " (" << mode
+     << ") ==\n";
+  os << std::fixed << std::setprecision(4);
+  os << "  makespan " << makespan_s << " s; critical path " << path.length_s
+     << " s = compute " << path.compute_s << " + halo " << path.halo_s
+     << " + reduce " << path.reduce_s << " + rebalance " << path.rebalance_s
+     << " + other " << path.other_s << (path.complete ? "" : "  [INCOMPLETE]")
+     << '\n';
+  os << "  wait attribution: measured " << measured_wait_s << " s, attributed "
+     << attributed_wait_s << " s (" << std::setprecision(1) << coverage_pct
+     << " % coverage";
+  if (unmatched_events > 0) os << ", " << unmatched_events << " unmatched";
+  os << ")\n" << std::setprecision(4);
+  os << "  totals: late-sender " << totals.late_sender_s << " | transfer "
+     << totals.transfer_s << " | wait-at-allreduce "
+     << totals.wait_at_allreduce_s << " | coll-transfer "
+     << totals.collective_transfer_s << " | gpu-drain " << totals.gpu_drain_s
+     << '\n';
+
+  if (!per_rank.empty()) {
+    os << "  rank  dev" << std::setw(10) << "busy_s" << std::setw(10)
+       << "wait_s" << std::setw(10) << "late_snd" << std::setw(10) << "wire"
+       << std::setw(10) << "wait_ar" << std::setw(10) << "coll_tx"
+       << std::setw(10) << "gpu_drn" << std::setw(10) << "blamed"
+       << std::setw(10) << "cp_s" << '\n';
+    for (const RankWaitRow& r : per_rank) {
+      os << "  " << std::setw(4) << r.rank << "  " << std::setw(3)
+         << (r.device.empty() ? "?" : r.device) << std::setw(10) << r.busy_s
+         << std::setw(10) << r.measured_wait_s << std::setw(10)
+         << r.waits.late_sender_s << std::setw(10) << r.waits.transfer_s
+         << std::setw(10) << r.waits.wait_at_allreduce_s << std::setw(10)
+         << r.waits.collective_transfer_s << std::setw(10)
+         << r.waits.gpu_drain_s << std::setw(10) << r.blame_received_s
+         << std::setw(10) << r.critical_path_s << '\n';
+    }
+  }
+
+  if (!top_blame.empty()) {
+    os << "  top blame (victim <- culprit):\n";
+    for (const BlameEdge& b : top_blame)
+      os << "    rank " << std::setw(3) << b.victim << " <- rank "
+         << std::setw(3) << b.culprit << " : " << b.seconds << " s\n";
+  }
+
+  if (!path.kernels.empty()) {
+    os << "  critical-path kernels:\n";
+    const std::size_t nk = std::min<std::size_t>(path.kernels.size(), 10);
+    for (std::size_t i = 0; i < nk; ++i)
+      os << "    " << std::setw(28) << std::left << path.kernels[i].first
+         << std::right << std::setprecision(5) << path.kernels[i].second
+         << " s\n";
+  }
+
+  if (balancer_checked) {
+    os << std::setprecision(4) << "  balancer cross-check: observed gap "
+       << observed_gap_s << " s, attributed " << attributed_gap_s << " s -> "
+       << (balancer_explained ? "explained" : "NOT explained") << " (tol "
+       << std::setprecision(0) << balancer_tolerance_pct << " %)\n";
+  }
+
+  os.flags(flags);
+  os.precision(prec);
+}
+
+}  // namespace coop::obs::analysis

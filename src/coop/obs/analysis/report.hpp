@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "coop/obs/analysis/critical_path.hpp"
+#include "coop/obs/analysis/wait_states.hpp"
+
+/// \file report.hpp
+/// The `coophet.critical_path` report: wait-state attribution + critical
+/// path for one traced run, with the FeedbackBalancer cross-check.
+///
+/// `analyze_run` is the one-call front end over `match_events`,
+/// `classify_waits` and `compute_critical_path`; `core::
+/// build_critical_path_report` wraps it with config identity. The JSON
+/// schema is versioned like `coophet.run_report` — bump
+/// `kCritPathSchemaVersion` on any key change.
+///
+/// The balancer cross-check turns the feedback balancer's heuristic into a
+/// verified one: the balancer observes per-iteration max CPU vs max GPU
+/// compute times and shifts zones toward whichever kind idles; the analyzer
+/// independently attributes that idle as late-sender + wait-at-allreduce
+/// blamed on concrete ranks. `cross_check_balancer` demands the two views
+/// of the same gap agree within tolerance.
+
+namespace coop::obs::analysis {
+
+inline constexpr const char* kCritPathSchemaName = "coophet.critical_path";
+inline constexpr int kCritPathSchemaVersion = 1;
+
+struct RankWaitRow {
+  int rank = 0;
+  std::string device;  ///< "gpu" | "cpu" | "" (unknown)
+  double busy_s = 0.0;           ///< compute-phase span total
+  double measured_wait_s = 0.0;  ///< halo-wait + reduce + barrier span total
+  WaitBreakdown waits;           ///< attribution of that wait (+ gpu drain)
+  double blame_received_s = 0.0; ///< wait this rank caused on other ranks
+  double critical_path_s = 0.0;  ///< time the critical path spent here
+};
+
+struct BlameEdge {
+  int victim = 0, culprit = 0;
+  double seconds = 0.0;
+};
+
+struct CritPathReport {
+  // Identity (filled by the core wrapper / bench drivers).
+  std::string label;
+  std::string mode;
+  int figure = 0;
+
+  int ranks = 0;
+  int nodes = 1;
+  double makespan_s = 0.0;
+
+  // Attribution coverage: attributed communication wait vs the wait the
+  // phase spans measured (the tier-1 acceptance bound is |100 - coverage|
+  // <= 5).
+  double measured_wait_s = 0.0;
+  double attributed_wait_s = 0.0;
+  double coverage_pct = 0.0;
+  std::size_t unmatched_events = 0;
+
+  WaitBreakdown totals;
+  std::vector<RankWaitRow> per_rank;
+  std::vector<BlameEdge> top_blame;  ///< seconds descending, truncated
+
+  CriticalPath path;
+  double max_rank_busy_s = 0.0;
+
+  // FeedbackBalancer cross-check (see cross_check_balancer).
+  bool balancer_checked = false;
+  bool balancer_explained = false;
+  double observed_gap_s = 0.0;
+  double attributed_gap_s = 0.0;
+  double balancer_tolerance_pct = 30.0;
+
+  /// Compares the balancer's observed CPU/GPU compute gap (summed
+  /// per-iteration maxima, seconds) against the wait the analyzer blames on
+  /// the other kind for the faster kind's busiest rank. No-op (checked
+  /// stays false) unless both kinds did work.
+  void cross_check_balancer(double sum_max_cpu_s, double sum_max_gpu_s);
+
+  void write_json(std::ostream& os) const;
+  void write_table(std::ostream& os) const;
+};
+
+/// Builds the full report from a finished run's tracer + happens-before
+/// log. `rank_is_gpu` (optional, size `ranks`) labels the device column.
+[[nodiscard]] CritPathReport analyze_run(
+    const Tracer& tracer, const HbLog& hb, int ranks, double makespan_s,
+    const std::vector<std::uint8_t>* rank_is_gpu = nullptr);
+
+/// Merges the analysis back into the trace for Perfetto: one "critpath"
+/// flow per inter-rank hop of the critical path, plus "late-sender" flows
+/// (send post -> recv completion) for the `max_late_flows` largest
+/// late-sender waits.
+void annotate_trace(Tracer& tracer, const HbLog& hb,
+                    const CritPathReport& rep,
+                    std::size_t max_late_flows = 50);
+
+}  // namespace coop::obs::analysis

@@ -1,0 +1,137 @@
+#include "coop/obs/analysis/wait_states.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <tuple>
+
+namespace coop::obs::analysis {
+
+MatchResult match_events(const HbLog& hb, int ranks) {
+  MatchResult out;
+
+  // -- point-to-point: FIFO zip per (src, dst, tag) channel ------------------
+  using Key = std::tuple<int, int, int>;
+  std::map<Key, std::vector<const MsgSend*>> sends;
+  for (const auto& s : hb.sends())
+    sends[{s.src, s.dst, s.tag}].push_back(&s);
+
+  std::map<Key, std::size_t> consumed;
+  for (const auto& r : hb.recvs()) {
+    const Key key{r.src, r.dst, r.tag};
+    auto it = sends.find(key);
+    const std::size_t k = consumed[key]++;
+    if (it == sends.end() || k >= it->second.size()) {
+      ++out.unmatched_recvs;
+      continue;
+    }
+    const MsgSend& s = *it->second[k];
+    out.recvs.push_back(MatchedRecv{r.dst, r.src, r.tag, s.bytes, s.t_post,
+                                    s.t_arrival, r.t_begin, r.t_end});
+  }
+  for (const auto& [key, v] : sends) {
+    const auto used = consumed.count(key) ? consumed[key] : 0;
+    if (used < v.size()) out.unmatched_sends += v.size() - used;
+  }
+
+  // -- collectives: k-th arrival of rank r belongs to op k -------------------
+  if (ranks <= 0) return out;
+  const auto n = static_cast<std::size_t>(ranks);
+  std::size_t ops = 0;
+  std::vector<std::size_t> arr_count(n, 0), ret_count(n, 0);
+  for (const auto& e : hb.arrivals())
+    if (e.rank >= 0 && e.rank < ranks)
+      ops = std::max(ops, ++arr_count[static_cast<std::size_t>(e.rank)]);
+
+  out.collectives.resize(ops);
+  for (auto& op : out.collectives) {
+    op.arrive.assign(n, -1.0);
+    op.ret.assign(n, -1.0);
+  }
+  std::fill(arr_count.begin(), arr_count.end(), 0);
+  for (const auto& e : hb.arrivals()) {
+    if (e.rank < 0 || e.rank >= ranks) continue;
+    const auto r = static_cast<std::size_t>(e.rank);
+    out.collectives[arr_count[r]++].arrive[r] = e.t;
+  }
+  for (const auto& e : hb.returns()) {
+    if (e.rank < 0 || e.rank >= ranks) continue;
+    const auto r = static_cast<std::size_t>(e.rank);
+    if (ret_count[r] < ops) out.collectives[ret_count[r]++].ret[r] = e.t;
+  }
+  for (auto& op : out.collectives) {
+    op.t_last = 0.0;
+    op.last_rank = -1;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (op.arrive[r] < 0.0) continue;
+      if (op.last_rank < 0 || op.arrive[r] > op.t_last) {
+        op.t_last = op.arrive[r];
+        op.last_rank = static_cast<int>(r);
+      }
+    }
+  }
+  return out;
+}
+
+double WaitStates::blamed_on(int culprit) const {
+  double t = 0.0;
+  for (int v = 0; v < ranks; ++v) t += blame_of(v, culprit);
+  return t;
+}
+
+WaitStates classify_waits(const MatchResult& m, const HbLog& hb, int ranks) {
+  WaitStates ws;
+  ws.ranks = ranks;
+  if (ranks <= 0) return ws;
+  const auto n = static_cast<std::size_t>(ranks);
+  ws.per_rank.assign(n, WaitBreakdown{});
+  ws.blame.assign(n * n, 0.0);
+
+  const auto in_world = [ranks](int r) { return r >= 0 && r < ranks; };
+
+  for (const auto& r : m.recvs) {
+    if (!in_world(r.dst) || !in_world(r.src)) continue;
+    const double w = r.wait();
+    if (w <= 0.0) continue;
+    auto& b = ws.per_rank[static_cast<std::size_t>(r.dst)];
+    // Idle until the sender posted is the sender's fault; the remainder up
+    // to delivery is wire time. A send posted before the recv began leaves
+    // only wire time.
+    const double late = std::clamp(r.t_post - r.t_begin, 0.0, w);
+    b.late_sender_s += late;
+    b.transfer_s += w - late;
+    if (late > 0.0 && r.src != r.dst)
+      ws.blame[static_cast<std::size_t>(r.dst) * n +
+               static_cast<std::size_t>(r.src)] += late;
+  }
+
+  for (const auto& op : m.collectives) {
+    for (std::size_t r = 0; r < n; ++r) {
+      if (op.arrive[r] < 0.0 || op.ret[r] < 0.0) continue;
+      const double wait = op.ret[r] - op.arrive[r];
+      if (wait <= 0.0) continue;
+      const double waa =
+          std::clamp(op.t_last - op.arrive[r], 0.0, wait);
+      ws.per_rank[r].wait_at_allreduce_s += waa;
+      ws.per_rank[r].collective_transfer_s += wait - waa;
+      if (waa > 0.0 && op.last_rank >= 0 &&
+          op.last_rank != static_cast<int>(r))
+        ws.blame[r * n + static_cast<std::size_t>(op.last_rank)] += waa;
+    }
+  }
+
+  for (const auto& g : hb.gpu_drains())
+    if (in_world(g.rank))
+      ws.per_rank[static_cast<std::size_t>(g.rank)].gpu_drain_s += g.wait_s;
+
+  for (const auto& b : ws.per_rank) {
+    ws.totals.late_sender_s += b.late_sender_s;
+    ws.totals.transfer_s += b.transfer_s;
+    ws.totals.wait_at_allreduce_s += b.wait_at_allreduce_s;
+    ws.totals.collective_transfer_s += b.collective_transfer_s;
+    ws.totals.gpu_drain_s += b.gpu_drain_s;
+  }
+  return ws;
+}
+
+}  // namespace coop::obs::analysis

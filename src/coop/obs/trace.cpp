@@ -52,11 +52,51 @@ void Tracer::counter(int pid, std::string_view track, double t, double value) {
   counters_.push_back(CounterEvent{pid, std::string(track), t, value});
 }
 
+void Tracer::flow(int pid_src, int tid_src, double t_src, int pid_dst,
+                  int tid_dst, double t_dst, std::string_view name,
+                  std::string_view cat) {
+  flows_.push_back(FlowEvent{pid_src, tid_src, t_src, pid_dst, tid_dst, t_dst,
+                             std::string(name), std::string(cat)});
+}
+
+void Tracer::close_counter_tracks(double t) {
+  // Last sample per (pid, track): counters are appended in nondecreasing
+  // time order per track, but scan for the max defensively.
+  struct Last {
+    int pid;
+    const std::string* track;
+    double t;
+    double value;
+  };
+  std::vector<Last> last;
+  for (const auto& c : counters_) {
+    bool found = false;
+    for (auto& l : last) {
+      if (l.pid == c.pid && *l.track == c.track) {
+        found = true;
+        if (c.t >= l.t) {
+          l.t = c.t;
+          l.value = c.value;
+        }
+        break;
+      }
+    }
+    if (!found) last.push_back(Last{c.pid, &c.track, c.t, c.value});
+  }
+  // Appending invalidates the `track` pointers into counters_, so copy the
+  // pending samples out first.
+  std::vector<CounterEvent> closing;
+  for (const auto& l : last)
+    if (l.t < t) closing.push_back(CounterEvent{l.pid, *l.track, t, l.value});
+  for (auto& c : closing) counters_.push_back(std::move(c));
+}
+
 void Tracer::clear() {
   names_.clear();
   spans_.clear();
   instants_.clear();
   counters_.clear();
+  flows_.clear();
 }
 
 double Tracer::total_time(std::string_view name, int pid, int tid) const {
@@ -83,6 +123,13 @@ std::size_t Tracer::instant_count(std::string_view cat) const {
   std::size_t n = 0;
   for (const auto& e : instants_)
     if (e.cat == cat) ++n;
+  return n;
+}
+
+std::size_t Tracer::flow_count(std::string_view cat) const {
+  std::size_t n = 0;
+  for (const auto& f : flows_)
+    if (f.cat == cat) ++n;
   return n;
 }
 
@@ -161,6 +208,30 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     os << ",\"args\":{\"value\":";
     write_json_number(os, c.value);
     os << "}}";
+  }
+
+  // Flow ids are 1-based indices; "bp":"e" binds the finish to the
+  // enclosing slice so the arrow lands on the span under the endpoint.
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const auto& f = flows_[i];
+    sep();
+    os << "{\"name\":";
+    write_json_string(os, f.name);
+    os << ",\"cat\":";
+    write_json_string(os, f.cat);
+    os << ",\"ph\":\"s\",\"id\":" << (i + 1) << ",\"pid\":" << f.pid_src
+       << ",\"tid\":" << f.tid_src << ",\"ts\":";
+    write_ts(os, f.t_src);
+    os << '}';
+    sep();
+    os << "{\"name\":";
+    write_json_string(os, f.name);
+    os << ",\"cat\":";
+    write_json_string(os, f.cat);
+    os << ",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << (i + 1)
+       << ",\"pid\":" << f.pid_dst << ",\"tid\":" << f.tid_dst << ",\"ts\":";
+    write_ts(os, f.t_dst);
+    os << '}';
   }
 
   os << "]}";

@@ -67,6 +67,19 @@ struct CounterEvent {
   double value = 0.0;
 };
 
+/// A directed arrow between two timeline points — Perfetto draws it as a
+/// flow connecting the slices under each endpoint. Used by the critical-path
+/// annotator ("critpath" category: path hops between ranks) and the
+/// wait-state annotator ("late-sender": send post -> recv completion).
+struct FlowEvent {
+  int pid_src = 0, tid_src = 0;
+  double t_src = 0.0;
+  int pid_dst = 0, tid_dst = 0;
+  double t_dst = 0.0;
+  std::string name;
+  std::string cat;
+};
+
 class Tracer {
  public:
   /// Emitters consult this before recording per-kernel sub-spans (~80 spans
@@ -87,6 +100,17 @@ class Tracer {
                double t, InstantScope scope = InstantScope::kThread,
                std::vector<std::pair<std::string, double>> args = {});
   void counter(int pid, std::string_view track, double t, double value);
+  void flow(int pid_src, int tid_src, double t_src, int pid_dst, int tid_dst,
+            double t_dst, std::string_view name, std::string_view cat);
+
+  /// Appends, for every (pid, track) pair, one final sample at `t`
+  /// repeating the track's last value. Chrome-trace counter tracks are
+  /// step-interpolated from the previous sample onward, so without a
+  /// closing sample Perfetto extrapolates the *last recorded* value across
+  /// any trailing spans — misleading when the final sample landed well
+  /// before the run end. Tracks whose last sample is already at >= `t` are
+  /// left untouched. `run_timed` calls this with the makespan.
+  void close_counter_tracks(double t);
 
   // -- queries ---------------------------------------------------------------
 
@@ -99,9 +123,13 @@ class Tracer {
   [[nodiscard]] const std::vector<CounterEvent>& counters() const noexcept {
     return counters_;
   }
+  [[nodiscard]] const std::vector<FlowEvent>& flows() const noexcept {
+    return flows_;
+  }
 
   [[nodiscard]] bool empty() const noexcept {
-    return spans_.empty() && instants_.empty() && counters_.empty();
+    return spans_.empty() && instants_.empty() && counters_.empty() &&
+           flows_.empty();
   }
   void clear();
 
@@ -116,6 +144,9 @@ class Tracer {
   /// Number of instant events in category `cat`.
   [[nodiscard]] std::size_t instant_count(std::string_view cat) const;
 
+  /// Number of flow arrows in category `cat`.
+  [[nodiscard]] std::size_t flow_count(std::string_view cat) const;
+
   /// Sorted unique counter-track names.
   [[nodiscard]] std::vector<std::string> counter_tracks() const;
   [[nodiscard]] bool has_counter_track(std::string_view track) const;
@@ -123,8 +154,9 @@ class Tracer {
   // -- export ----------------------------------------------------------------
 
   /// Writes one Chrome-tracing / Perfetto JSON object: metadata events
-  /// first, then spans ("X"), instants ("i") and counters ("C"), with
-  /// microsecond timestamps at fixed 3-decimal precision.
+  /// first, then spans ("X"), instants ("i"), counters ("C") and flow
+  /// start/finish pairs ("s"/"f"), with microsecond timestamps at fixed
+  /// 3-decimal precision.
   void write_chrome_trace(std::ostream& os) const;
 
  private:
@@ -139,6 +171,7 @@ class Tracer {
   std::vector<SpanEvent> spans_;
   std::vector<InstantEvent> instants_;
   std::vector<CounterEvent> counters_;
+  std::vector<FlowEvent> flows_;
 };
 
 }  // namespace coop::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "coop/obs/analysis/hb_log.hpp"
+
 namespace coop::simmpi {
 
 SimCommWorld::SimCommWorld(des::Engine& engine, int size,
@@ -55,6 +57,8 @@ void SimComm::post_send(int dest, int tag, std::vector<double> data,
   floor_t = arrival;
   world_->bytes_sent_ += bytes;
   world_->messages_sent_ += 1;
+  if (world_->hb_ != nullptr)
+    world_->hb_->send(rank_, dest, tag, bytes, now, arrival);
   auto& box = world_->mailbox(dest, rank_, tag);
   world_->engine_.spawn(
       world_->deliver_message(arrival - now, box, std::move(data)));
@@ -64,11 +68,17 @@ des::Task<std::vector<double>> SimComm::recv(int source, int tag) {
   if (source < 0 || source >= world_->size_)
     throw std::invalid_argument("SimComm::recv: bad source");
   auto& box = world_->mailbox(rank_, source, tag);
-  co_return co_await box.recv();
+  const double t_begin = world_->engine_.now();
+  auto data = co_await box.recv();
+  if (world_->hb_ != nullptr)
+    world_->hb_->recv(rank_, source, tag, t_begin, world_->engine_.now());
+  co_return data;
 }
 
 des::Task<double> SimComm::reduce_impl(double v, ReduceOp op) {
   auto& red = world_->reduce_;
+  if (world_->hb_ != nullptr)
+    world_->hb_->collective_arrive(rank_, world_->engine_.now());
   if (red.arrived == 0) {
     red.accum = v;
   } else {
@@ -83,8 +93,12 @@ des::Task<double> SimComm::reduce_impl(double v, ReduceOp op) {
     const double t = devmodel::allreduce_time(world_->net_, world_->size_);
     world_->engine_.spawn(world_->deliver_reduction(t, red.accum));
   }
-  co_return co_await world_->reduce_.result_ch[static_cast<std::size_t>(rank_)]
-      ->recv();
+  const double result =
+      co_await world_->reduce_.result_ch[static_cast<std::size_t>(rank_)]
+          ->recv();
+  if (world_->hb_ != nullptr)
+    world_->hb_->collective_return(rank_, world_->engine_.now());
+  co_return result;
 }
 
 des::Task<double> SimComm::allreduce_min(double v) {

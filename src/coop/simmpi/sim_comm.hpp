@@ -23,6 +23,15 @@
 ///
 /// Payload bytes are accounted separately from the `double` payload length
 /// so timed runs can carry either real field data or zero-copy placeholders.
+///
+/// An optional `obs::analysis::HbLog` can be bound to the world; the
+/// communicator then records the happens-before edges (send post/arrival,
+/// recv begin/end, collective arrive/return) that the wait-state and
+/// critical-path analyzers consume. Recording never changes the schedule.
+
+namespace coop::obs::analysis {
+class HbLog;
+}  // namespace coop::obs::analysis
 
 namespace coop::simmpi {
 
@@ -85,6 +94,10 @@ class SimCommWorld {
     return messages_sent_;
   }
 
+  /// Attach a happens-before log (not owned; nullptr detaches). Pure
+  /// observation.
+  void bind_hb_log(obs::analysis::HbLog* hb) noexcept { hb_ = hb; }
+
  private:
   friend class SimComm;
 
@@ -107,6 +120,7 @@ class SimCommWorld {
   std::map<std::pair<int, int>, double> last_delivery_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
+  obs::analysis::HbLog* hb_ = nullptr;
 
   // Allreduce rendezvous.
   struct Reduce {

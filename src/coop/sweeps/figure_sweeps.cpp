@@ -404,29 +404,52 @@ fault::FaultPlan exemplar_fault_plan() {
   return plan;
 }
 
+core::TimedResult run_traced_exemplar(const FigureSpec& spec,
+                                      const SweepOptions& options,
+                                      const fault::FaultPlan* faults,
+                                      int timesteps, obs::Tracer& tracer,
+                                      obs::analysis::HbLog* hb,
+                                      core::TimedConfig* config_out) {
+  const auto sizes = spec.sizes();
+  if (sizes.empty())
+    throw std::invalid_argument("run_traced_exemplar: empty sweep spec");
+  std::array<long, 3> biggest = sizes.front();
+  for (const auto& s : sizes)
+    if (s[0] * s[1] * s[2] > biggest[0] * biggest[1] * biggest[2]) biggest = s;
+
+  core::TimedConfig tc;
+  tc.mode = core::NodeMode::kHeterogeneous;
+  tc.global = {{0, 0, 0}, {biggest[0], biggest[1], biggest[2]}};
+  tc.timesteps = timesteps;
+  tc.model_um_threshold = options.model_um_threshold;
+  tc.model_mps_overlap = options.model_mps_overlap;
+  tc.compiler_bug = options.compiler_bug;
+  tc.tracer = &tracer;
+  tc.hb = hb;
+  if (faults != nullptr && !faults->empty()) {
+    tc.faults = faults;
+    tc.recovery.checkpoint_interval = 2;
+  }
+  core::TimedResult res = core::run_timed(tc);
+  if (config_out != nullptr) {
+    *config_out = tc;
+    config_out->tracer = nullptr;
+    config_out->hb = nullptr;
+    config_out->faults = nullptr;
+  }
+  return res;
+}
+
 BenchArtifacts make_bench_artifacts(const SweepCurves& curves,
                                     const fault::FaultPlan* faults,
                                     int exemplar_timesteps) {
   if (curves.points.empty())
     throw std::invalid_argument("make_bench_artifacts: empty sweep");
-  const SweepPoint* biggest = &curves.points.front();
-  for (const auto& p : curves.points)
-    if (p.zones() > biggest->zones()) biggest = &p;
 
   BenchArtifacts a;
   core::TimedConfig tc;
-  tc.mode = core::NodeMode::kHeterogeneous;
-  tc.global = {{0, 0, 0}, {biggest->x, biggest->y, biggest->z}};
-  tc.timesteps = exemplar_timesteps;
-  tc.model_um_threshold = curves.options.model_um_threshold;
-  tc.model_mps_overlap = curves.options.model_mps_overlap;
-  tc.compiler_bug = curves.options.compiler_bug;
-  tc.tracer = &a.tracer;
-  if (faults != nullptr && !faults->empty()) {
-    tc.faults = faults;
-    tc.recovery.checkpoint_interval = 2;
-  }
-  a.exemplar = core::run_timed(tc);
+  a.exemplar = run_traced_exemplar(curves.spec, curves.options, faults,
+                                   exemplar_timesteps, a.tracer, &a.hb, &tc);
 
   a.report = core::build_run_report(tc, a.exemplar, &a.tracer);
   a.report.label = curves.spec.title;
@@ -448,6 +471,11 @@ BenchArtifacts make_bench_artifacts(const SweepCurves& curves,
       100.0 * max_gain(curves, core::NodeMode::kOneRankPerGpu,
                        core::NodeMode::kHeterogeneous, &zones_at);
   a.report.gain_at_zones = zones_at;
+
+  a.critpath = core::build_critical_path_report(tc, a.exemplar, a.tracer, a.hb);
+  a.critpath.label = curves.spec.title;
+  a.critpath.figure = curves.spec.figure;
+  obs::analysis::annotate_trace(a.tracer, a.hb, a.critpath);
   return a;
 }
 
@@ -474,8 +502,18 @@ std::string write_bench_artifacts(const BenchArtifacts& artifacts,
     artifacts.tracer.write_chrome_trace(os);
     os << '\n';
   }
-  std::printf("(report written to %s, trace to %s)\n", report_path.c_str(),
-              trace_path.c_str());
+  const std::string critpath_path = dir + "/critpath_fig" + fig + ".json";
+  {
+    std::ofstream os(critpath_path);
+    if (!os) {
+      throw std::runtime_error("write_bench_artifacts: cannot open " +
+                               critpath_path);
+    }
+    artifacts.critpath.write_json(os);
+    os << '\n';
+  }
+  std::printf("(report written to %s, trace to %s, critical path to %s)\n",
+              report_path.c_str(), trace_path.c_str(), critpath_path.c_str());
   return report_path;
 }
 
@@ -500,6 +538,7 @@ void run_figure_bench(int figure) {
         make_bench_artifacts(curves, plan.empty() ? nullptr : &plan);
     std::ostringstream table;
     artifacts.report.write_table(table);
+    artifacts.critpath.write_table(table);
     std::fputs(table.str().c_str(), stdout);
     write_bench_artifacts(artifacts, dir);
   }

@@ -7,6 +7,8 @@
 #include "coop/core/timed_sim.hpp"
 #include "coop/decomp/decomposition.hpp"
 #include "coop/fault/fault_plan.hpp"
+#include "coop/obs/analysis/hb_log.hpp"
+#include "coop/obs/analysis/report.hpp"
 #include "coop/obs/run_report.hpp"
 #include "coop/obs/trace.hpp"
 
@@ -188,26 +190,45 @@ void print_shape_summary(const SweepCurves& curves);
 
 /// One figure bench's machine-readable outputs: the traced exemplar run
 /// (largest sweep point, Heterogeneous mode) plus the run report carrying
-/// the full sweep rows.
+/// the full sweep rows, the happens-before log of the exemplar, and the
+/// wait-state/critical-path analysis built from both.
 struct BenchArtifacts {
   obs::Tracer tracer;        ///< Perfetto-exportable trace of the exemplar
+  obs::analysis::HbLog hb;   ///< send/recv/collective ordering of the same run
   core::TimedResult exemplar;
   obs::RunReport report;
+  obs::analysis::CritPathReport critpath;
 };
 
+/// Runs the sweep spec's largest point in Heterogeneous mode for
+/// `timesteps` steps with `tracer` (and `hb`, when non-null) attached;
+/// when `faults` is non-null and non-empty the fault plan plus a 2-step
+/// checkpoint cadence are applied. When `config_out` is non-null it
+/// receives the exact `TimedConfig` used, with the observability pointers
+/// nulled (so callers can rebuild reports without dangling pointers).
+/// Shared by `make_bench_artifacts` and the `critpath_report` CLI.
+[[nodiscard]] core::TimedResult run_traced_exemplar(
+    const FigureSpec& spec, const SweepOptions& options,
+    const fault::FaultPlan* faults, int timesteps, obs::Tracer& tracer,
+    obs::analysis::HbLog* hb, core::TimedConfig* config_out = nullptr);
+
 /// Re-runs the largest sweep point of `curves` in Heterogeneous mode for
-/// `exemplar_timesteps` steps with the unified tracer attached (and, when
-/// `faults` is non-null and non-empty, the fault plan plus a 2-step
-/// checkpoint cadence), then builds the run report: per-rank phase
-/// breakdown from the trace, top kernels, fault tallies, and the sweep rows
-/// of `curves` with the max heterogeneous gain.
+/// `exemplar_timesteps` steps with the unified tracer and happens-before
+/// log attached (and, when `faults` is non-null and non-empty, the fault
+/// plan plus a 2-step checkpoint cadence), then builds the run report
+/// (per-rank phase breakdown from the trace, top kernels, fault tallies,
+/// sweep rows of `curves` with the max heterogeneous gain) and the
+/// critical-path report (wait-state attribution, critical path, balancer
+/// cross-check), annotating the trace with critical-path and late-sender
+/// flow arrows.
 [[nodiscard]] BenchArtifacts make_bench_artifacts(
     const SweepCurves& curves, const fault::FaultPlan* faults = nullptr,
     int exemplar_timesteps = 6);
 
-/// Writes `<dir>/BENCH_fig<NN>.json` (the run report) and
-/// `<dir>/trace_fig<NN>.json` (the Chrome/Perfetto trace); returns the
-/// report path. Throws std::runtime_error when a file cannot be opened.
+/// Writes `<dir>/BENCH_fig<NN>.json` (the run report),
+/// `<dir>/trace_fig<NN>.json` (the Chrome/Perfetto trace, flow-annotated)
+/// and `<dir>/critpath_fig<NN>.json` (the critical-path report); returns
+/// the report path. Throws std::runtime_error when a file cannot be opened.
 std::string write_bench_artifacts(const BenchArtifacts& artifacts,
                                   const std::string& dir);
 

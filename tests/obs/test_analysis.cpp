@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coop/obs/analysis/compare.hpp"
+#include "coop/obs/analysis/critical_path.hpp"
+#include "coop/obs/analysis/hb_log.hpp"
+#include "coop/obs/analysis/report.hpp"
+#include "coop/obs/analysis/wait_states.hpp"
+#include "coop/obs/run_report.hpp"
+#include "coop/obs/trace.hpp"
+#include "support/json_check.hpp"
+#include "support/metric_extract.hpp"
+
+namespace obs = coop::obs;
+namespace ana = coop::obs::analysis;
+namespace cj = coophet_test::json;
+
+namespace {
+
+// --- match_events ------------------------------------------------------------
+
+TEST(MatchEvents, PairsKthSendWithKthRecvPerChannel) {
+  ana::HbLog hb;
+  // Two messages on channel (0 -> 1, tag 7), recorded out of recv order
+  // relative to a second channel (2 -> 1, tag 7).
+  hb.send(0, 1, 7, 100, 0.0, 0.1);
+  hb.send(0, 1, 7, 200, 1.0, 1.2);
+  hb.send(2, 1, 7, 300, 0.5, 0.6);
+  hb.recv(1, 0, 7, 0.05, 0.1);
+  hb.recv(1, 2, 7, 0.55, 0.6);
+  hb.recv(1, 0, 7, 1.1, 1.2);
+
+  const ana::MatchResult m = ana::match_events(hb, 3);
+  ASSERT_EQ(m.recvs.size(), 3u);
+  EXPECT_EQ(m.unmatched_sends, 0u);
+  EXPECT_EQ(m.unmatched_recvs, 0u);
+
+  // FIFO channels: the first (0,1,7) recv got the 100-byte send, the second
+  // got the 200-byte one.
+  const auto* first = &m.recvs[0];
+  for (const auto& r : m.recvs)
+    if (r.src == 0 && r.t_begin == 0.05) first = &r;
+  EXPECT_EQ(first->bytes, 100u);
+  EXPECT_DOUBLE_EQ(first->t_post, 0.0);
+  bool saw_second = false;
+  for (const auto& r : m.recvs)
+    if (r.src == 0 && r.bytes == 200u) {
+      saw_second = true;
+      EXPECT_DOUBLE_EQ(r.t_begin, 1.1);
+      EXPECT_DOUBLE_EQ(r.t_post, 1.0);
+    }
+  EXPECT_TRUE(saw_second);
+}
+
+TEST(MatchEvents, CountsDanglingEventsInsteadOfInventingPairs) {
+  ana::HbLog hb;
+  hb.send(0, 1, 7, 100, 0.0, 0.1);  // never received
+  hb.recv(1, 2, 9, 0.0, 0.5);      // never sent
+  const ana::MatchResult m = ana::match_events(hb, 3);
+  EXPECT_TRUE(m.recvs.empty());
+  EXPECT_EQ(m.unmatched_sends, 1u);
+  EXPECT_EQ(m.unmatched_recvs, 1u);
+}
+
+TEST(MatchEvents, GroupsKthArrivalsIntoCollectiveOps) {
+  ana::HbLog hb;
+  // Two allreduces over 2 ranks; rank 1 is last in the first, rank 0 in the
+  // second.
+  hb.collective_arrive(0, 1.0);
+  hb.collective_arrive(1, 2.0);
+  hb.collective_return(0, 2.5);
+  hb.collective_return(1, 2.5);
+  hb.collective_arrive(1, 3.0);
+  hb.collective_arrive(0, 4.0);
+  hb.collective_return(0, 4.5);
+  hb.collective_return(1, 4.5);
+
+  const ana::MatchResult m = ana::match_events(hb, 2);
+  ASSERT_EQ(m.collectives.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.collectives[0].t_last, 2.0);
+  EXPECT_EQ(m.collectives[0].last_rank, 1);
+  EXPECT_DOUBLE_EQ(m.collectives[1].t_last, 4.0);
+  EXPECT_EQ(m.collectives[1].last_rank, 0);
+}
+
+// --- classify_waits ----------------------------------------------------------
+
+TEST(ClassifyWaits, LateSenderBlamedOnTheSender) {
+  ana::HbLog hb;
+  // Rank 1 posts its recv at t=1.0; rank 0 only posts the send at t=3.0 and
+  // the payload lands at t=3.5. Receiver waited 2.5 s: 2.0 s of late sender
+  // plus 0.5 s of wire.
+  hb.send(0, 1, 7, 100, 3.0, 3.5);
+  hb.recv(1, 0, 7, 1.0, 3.5);
+
+  const auto m = ana::match_events(hb, 2);
+  const ana::WaitStates w = ana::classify_waits(m, hb, 2);
+  EXPECT_DOUBLE_EQ(w.per_rank[1].late_sender_s, 2.0);
+  EXPECT_DOUBLE_EQ(w.per_rank[1].transfer_s, 0.5);
+  EXPECT_DOUBLE_EQ(w.per_rank[0].comm_total(), 0.0);
+  EXPECT_DOUBLE_EQ(w.totals.late_sender_s, 2.0);
+  // Blame: receiver 1 idled because of sender 0 — wire time blames nobody.
+  EXPECT_DOUBLE_EQ(w.blame_of(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(w.blamed_on(0), 2.0);
+  EXPECT_DOUBLE_EQ(w.blamed_on(1), 0.0);
+}
+
+TEST(ClassifyWaits, EarlySenderIsAllTransferNoBlame) {
+  ana::HbLog hb;
+  // Send posted long before the recv: the receiver only pays the residual
+  // wire time, nobody is blamed.
+  hb.send(0, 1, 7, 100, 0.0, 2.0);
+  hb.recv(1, 0, 7, 1.5, 2.0);
+  const auto m = ana::match_events(hb, 2);
+  const ana::WaitStates w = ana::classify_waits(m, hb, 2);
+  EXPECT_DOUBLE_EQ(w.per_rank[1].late_sender_s, 0.0);
+  EXPECT_DOUBLE_EQ(w.per_rank[1].transfer_s, 0.5);
+  EXPECT_DOUBLE_EQ(w.blamed_on(0), 0.0);
+}
+
+TEST(ClassifyWaits, WaitAtAllreduceBlamedOnLastArriver) {
+  ana::HbLog hb;
+  for (int q : {0, 1, 2}) hb.collective_arrive(q, 1.0 + 2.0 * q);  // 1, 3, 5
+  for (int q : {0, 1, 2}) hb.collective_return(q, 5.5);
+  const auto m = ana::match_events(hb, 3);
+  const ana::WaitStates w = ana::classify_waits(m, hb, 3);
+  EXPECT_DOUBLE_EQ(w.per_rank[0].wait_at_allreduce_s, 4.0);
+  EXPECT_DOUBLE_EQ(w.per_rank[1].wait_at_allreduce_s, 2.0);
+  EXPECT_DOUBLE_EQ(w.per_rank[2].wait_at_allreduce_s, 0.0);
+  for (int q : {0, 1, 2})
+    EXPECT_DOUBLE_EQ(w.per_rank[q].collective_transfer_s, 0.5);
+  EXPECT_DOUBLE_EQ(w.blamed_on(2), 6.0);  // 4 + 2 from the earlier arrivers
+  EXPECT_DOUBLE_EQ(w.blame_of(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(w.blame_of(1, 2), 2.0);
+}
+
+TEST(ClassifyWaits, GpuDrainIsSeparateFromCommWait) {
+  ana::HbLog hb;
+  hb.gpu_drain(0, 1.0, 2.0, 0.3);
+  hb.gpu_drain(0, 2.0, 3.0, 0.2);
+  const auto m = ana::match_events(hb, 1);
+  const ana::WaitStates w = ana::classify_waits(m, hb, 1);
+  EXPECT_DOUBLE_EQ(w.per_rank[0].gpu_drain_s, 0.5);
+  EXPECT_DOUBLE_EQ(w.per_rank[0].comm_total(), 0.0);
+}
+
+// --- compute_critical_path ---------------------------------------------------
+
+/// Two-rank late-sender scenario: rank 0 computes until 2.0 and sends; rank
+/// 1 finishes its own compute at 1.0, stalls in halo-wait until the payload
+/// lands at 2.2, computes again until 3.0 and ends the run. The critical
+/// path must run 0's compute -> hop -> 1's tail.
+struct LateSenderRun {
+  obs::Tracer tracer;
+  ana::HbLog hb;
+  LateSenderRun() {
+    tracer.span(0, 0, "compute", "phase", 0.0, 2.0);
+    tracer.span(0, 0, "flux_sweep_x", "kernel", 0.0, 2.0);
+    tracer.span(0, 1, "compute", "phase", 0.0, 1.0);
+    tracer.span(0, 1, "halo-wait", "phase", 1.0, 2.2);
+    tracer.span(0, 1, "compute", "phase", 2.2, 3.0);
+    tracer.span(0, 1, "eos_lookup", "kernel", 2.2, 3.0);
+    hb.send(0, 1, 7, 100, 2.0, 2.2);
+    hb.recv(1, 0, 7, 1.0, 2.2);
+  }
+};
+
+TEST(CriticalPath, SegmentsTileTheTracedMakespanContiguously) {
+  LateSenderRun run;
+  const auto m = ana::match_events(run.hb, 2);
+  const ana::CriticalPath cp =
+      ana::compute_critical_path(run.tracer, m, 2);
+  ASSERT_TRUE(cp.complete);
+  EXPECT_EQ(cp.end_rank, 1);
+  EXPECT_DOUBLE_EQ(cp.t_start, 0.0);
+  EXPECT_DOUBLE_EQ(cp.t_end, 3.0);
+  EXPECT_NEAR(cp.length_s, 3.0, 1e-9);
+
+  ASSERT_FALSE(cp.segments.empty());
+  // Contiguous forward tiling, no overlaps or gaps.
+  double prev = cp.t_start;
+  for (const auto& s : cp.segments) {
+    EXPECT_NEAR(s.t_begin, prev, 1e-9);
+    EXPECT_GE(s.t_end, s.t_begin);
+    prev = s.t_end;
+  }
+  EXPECT_NEAR(prev, cp.t_end, 1e-9);
+  // Kind shares sum to the length.
+  EXPECT_NEAR(cp.compute_s + cp.halo_s + cp.reduce_s + cp.rebalance_s +
+                  cp.other_s,
+              cp.length_s, 1e-9);
+}
+
+TEST(CriticalPath, LateSenderPathHopsThroughTheSender) {
+  LateSenderRun run;
+  const auto m = ana::match_events(run.hb, 2);
+  const ana::CriticalPath cp =
+      ana::compute_critical_path(run.tracer, m, 2);
+  ASSERT_EQ(cp.per_rank_s.size(), 2u);
+  // Rank 0's compute is on the path (the receiver idled for it)...
+  EXPECT_GT(cp.per_rank_s[0], 0.0);
+  // ...as is rank 1's closing compute.
+  EXPECT_GT(cp.per_rank_s[1], 0.0);
+  EXPECT_NEAR(cp.per_rank_s[0] + cp.per_rank_s[1], cp.length_s, 1e-9);
+  // The sender-side kernel dominates the path's kernel attribution.
+  ASSERT_FALSE(cp.kernels.empty());
+  EXPECT_EQ(cp.kernels[0].first, "flux_sweep_x");
+}
+
+TEST(CriticalPath, SoloRankPathIsItsOwnTimeline) {
+  obs::Tracer t;
+  t.span(0, 0, "compute", "phase", 0.0, 2.0);
+  t.span(0, 0, "reduce", "phase", 2.0, 2.5);
+  ana::HbLog hb;
+  const auto m = ana::match_events(hb, 1);
+  const ana::CriticalPath cp = ana::compute_critical_path(t, m, 1);
+  ASSERT_TRUE(cp.complete);
+  EXPECT_EQ(cp.end_rank, 0);
+  EXPECT_NEAR(cp.length_s, 2.5, 1e-9);
+  EXPECT_NEAR(cp.per_rank_s[0], cp.length_s, 1e-9);
+}
+
+TEST(CriticalPath, EmptyTraceYieldsEmptyPath) {
+  obs::Tracer t;
+  ana::HbLog hb;
+  const auto m = ana::match_events(hb, 2);
+  const ana::CriticalPath cp = ana::compute_critical_path(t, m, 2);
+  EXPECT_TRUE(cp.segments.empty());
+  EXPECT_DOUBLE_EQ(cp.length_s, 0.0);
+}
+
+// --- analyze_run / report ----------------------------------------------------
+
+TEST(CritPathReport, AnalyzeRunCoversTheMeasuredWait) {
+  LateSenderRun run;
+  const ana::CritPathReport rep =
+      ana::analyze_run(run.tracer, run.hb, 2, 3.0);
+  EXPECT_EQ(rep.ranks, 2);
+  // Rank 1's halo-wait span is 1.2 s; late-sender (1.0) + transfer (0.2)
+  // attribute all of it.
+  EXPECT_NEAR(rep.measured_wait_s, 1.2, 1e-9);
+  EXPECT_NEAR(rep.attributed_wait_s, 1.2, 1e-9);
+  EXPECT_NEAR(rep.coverage_pct, 100.0, 1e-6);
+  EXPECT_EQ(rep.unmatched_events, 0u);
+  ASSERT_EQ(rep.per_rank.size(), 2u);
+  EXPECT_NEAR(rep.per_rank[0].blame_received_s, 1.0, 1e-9);
+  EXPECT_NEAR(rep.per_rank[1].waits.late_sender_s, 1.0, 1e-9);
+  EXPECT_NEAR(rep.max_rank_busy_s, 2.0, 1e-9);  // rank 0's compute
+  EXPECT_GE(rep.path.length_s, rep.max_rank_busy_s - 1e-9);
+  EXPECT_LE(rep.path.length_s, rep.makespan_s + 1e-9);
+  ASSERT_FALSE(rep.top_blame.empty());
+  EXPECT_EQ(rep.top_blame[0].victim, 1);
+  EXPECT_EQ(rep.top_blame[0].culprit, 0);
+}
+
+TEST(CritPathReport, JsonIsSchemaValidUnderTheStrictParser) {
+  LateSenderRun run;
+  ana::CritPathReport rep = ana::analyze_run(run.tracer, run.hb, 2, 3.0);
+  rep.label = "unit";
+  rep.mode = "heterogeneous";
+  rep.figure = 18;
+  std::ostringstream os;
+  rep.write_json(os);
+  const auto p = cj::parse(os.str());
+  ASSERT_TRUE(p.ok) << p.error << " at offset " << p.offset;
+  EXPECT_EQ(cj::check_artifact_schema(p.value, ana::kCritPathSchemaName), "");
+  EXPECT_EQ(cj::first_missing_key(
+                p.value, {"wait_attribution", "per_rank", "top_blame",
+                          "critical_path", "balancer_check"}),
+            "");
+  const auto* cp = p.value.find("critical_path");
+  ASSERT_NE(cp, nullptr);
+  EXPECT_FALSE(cp->find("segments")->array.empty());
+}
+
+TEST(CritPathReport, AnnotateTraceAddsFlowArrowsAndStaysValidJson) {
+  LateSenderRun run;
+  const ana::CritPathReport rep =
+      ana::analyze_run(run.tracer, run.hb, 2, 3.0);
+  ana::annotate_trace(run.tracer, run.hb, rep);
+  EXPECT_GE(run.tracer.flow_count("critpath"), 1u);   // rank hops
+  EXPECT_GE(run.tracer.flow_count("late-sender"), 1u);
+  std::ostringstream os;
+  run.tracer.write_chrome_trace(os);
+  const auto p = cj::parse(os.str());
+  ASSERT_TRUE(p.ok) << p.error << " at offset " << p.offset;
+  // Flow events export as matched s/f pairs with ids.
+  std::size_t starts = 0, finishes = 0;
+  for (const auto& e : p.value.find("traceEvents")->array) {
+    const std::string ph = e.find("ph")->str;
+    if (ph == "s") ++starts;
+    if (ph == "f") {
+      ++finishes;
+      EXPECT_EQ(e.find("bp")->str, "e");
+    }
+  }
+  EXPECT_GT(starts, 0u);
+  EXPECT_EQ(starts, finishes);
+}
+
+TEST(CritPathReport, BalancerCrossCheckAgreesOnItsOwnAttribution) {
+  LateSenderRun run;
+  const std::vector<std::uint8_t> is_gpu = {1, 0};  // rank 0 gpu, rank 1 cpu
+  ana::CritPathReport rep =
+      ana::analyze_run(run.tracer, run.hb, 2, 3.0, &is_gpu);
+  // One kind idle the whole run: the check refuses to engage.
+  rep.cross_check_balancer(0.0, 2.0);
+  EXPECT_FALSE(rep.balancer_checked);
+  // CPU rank 1 was the 1.0 s-late receiver of GPU rank 0's send, so the
+  // analyzer's attributed gap (its late-sender wait) explains a matching
+  // observed gap.
+  rep.cross_check_balancer(1.0, 2.0);
+  EXPECT_TRUE(rep.balancer_checked);
+  EXPECT_NEAR(rep.observed_gap_s, 1.0, 1e-9);
+  EXPECT_NEAR(rep.attributed_gap_s, 1.0, 1e-9);
+  EXPECT_TRUE(rep.balancer_explained);
+}
+
+// --- compare_reports ---------------------------------------------------------
+
+TEST(CompareReports, BandsAreMaxOfAbsAndRel) {
+  ana::MetricMap base = {{"a", 10.0}, {"b", 5.0}};
+  ana::MetricMap cur = {{"a", 10.15}, {"b", 5.0}};
+  std::map<std::string, ana::Tolerance> tol;
+  tol["a"] = {0.02, 0.0};  // 2% of 10 = 0.2 band
+  auto r = ana::compare_reports(base, cur, tol, {});
+  EXPECT_TRUE(r.ok()) << [&] {
+    std::ostringstream os;
+    r.write_table(os);
+    return os.str();
+  }();
+  // Tighten to zero: the same drift must fail — this is how CI proves the
+  // gate can fire.
+  tol["a"] = {0.0, 0.0};
+  r = ana::compare_reports(base, cur, tol, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.failures, 1);
+}
+
+TEST(CompareReports, MissingAndNonFiniteCurrentMetricsFail) {
+  ana::MetricMap base = {{"a", 1.0}, {"b", 2.0}};
+  ana::MetricMap cur = {{"a", std::nan("")}};
+  const auto r = ana::compare_reports(base, cur, {}, {0.5, 0.5});
+  EXPECT_EQ(r.failures, 2);
+  ASSERT_EQ(r.checks.size(), 2u);
+  EXPECT_FALSE(r.checks[0].ok);  // NaN never passes
+  EXPECT_TRUE(r.checks[1].missing);
+}
+
+TEST(CompareReports, ExtraCurrentMetricsAreIgnored) {
+  ana::MetricMap base = {{"a", 1.0}};
+  ana::MetricMap cur = {{"a", 1.0}, {"new_metric", 99.0}};
+  const auto r = ana::compare_reports(base, cur, {}, {});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.checks.size(), 1u);
+}
+
+/// The CLI gate reads metrics from JSON with
+/// `coophet_test::json::extract_report_metrics`; the in-process gate uses
+/// `report_metrics` on the live struct. Lock them to each other through the
+/// actual serializer so the two can never drift.
+TEST(CompareReports, DomExtractorMatchesReportMetricsExactly) {
+  obs::RunReport r;
+  r.label = "lock";
+  r.mode = "heterogeneous";
+  r.makespan_s = 12.5;
+  r.imbalance_pct = 3.25;
+  r.mean_utilization_pct = 91.0;
+  r.min_utilization_pct = 80.0;
+  r.cpu_fraction_final = 0.22;
+  r.achieved_flops = 1e12;
+  r.model_peak_flops = 4e12;
+  r.flops_efficiency_pct = 25.0;
+  r.max_hetero_gain_pct = 37.5;
+  for (long zones : {1000L, 8000L}) {
+    obs::SweepRow row;
+    row.x = zones / 10;
+    row.y = 10;
+    row.z = 1;
+    row.zones = zones;
+    row.t_default = 1.0 + zones;
+    row.t_mps = 2.0 + zones;
+    row.t_hetero = 0.5 + zones;
+    r.sweep.push_back(row);
+  }
+
+  std::ostringstream os;
+  r.write_json(os);
+  const auto p = cj::parse(os.str());
+  ASSERT_TRUE(p.ok) << p.error;
+
+  const auto from_struct = ana::report_metrics(r);
+  const auto from_dom = cj::extract_report_metrics(p.value);
+  ASSERT_EQ(from_struct.size(), from_dom.size());
+  for (std::size_t i = 0; i < from_struct.size(); ++i) {
+    EXPECT_EQ(from_struct[i].first, from_dom[i].first) << "index " << i;
+    // %.17g serialization round-trips doubles exactly.
+    EXPECT_DOUBLE_EQ(from_struct[i].second, from_dom[i].second)
+        << from_struct[i].first;
+  }
+}
+
+// --- HbLog -------------------------------------------------------------------
+
+TEST(HbLog, ClearEmptiesEveryEventKind) {
+  ana::HbLog hb;
+  hb.send(0, 1, 0, 1, 0.0, 0.1);
+  hb.recv(1, 0, 0, 0.0, 0.1);
+  hb.collective_arrive(0, 0.2);
+  hb.collective_return(0, 0.3);
+  hb.gpu_drain(0, 0.0, 0.1, 0.05);
+  EXPECT_FALSE(hb.empty());
+  hb.clear();
+  EXPECT_TRUE(hb.empty());
+  EXPECT_TRUE(hb.sends().empty());
+  EXPECT_TRUE(hb.gpu_drains().empty());
+}
+
+}  // namespace

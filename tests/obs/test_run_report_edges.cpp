@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "coop/core/report.hpp"
+#include "coop/core/timed_sim.hpp"
+#include "coop/fault/fault_plan.hpp"
+#include "support/json_check.hpp"
+
+/// RunReport edge cases: degenerate inputs — a zero-timestep run, a rank
+/// that traced no kernel spans, every GPU on the node dead — must still
+/// produce finite (never NaN/Inf) report fields and strictly valid JSON.
+/// Division hazards live in imbalance (max compute 0), utilization
+/// (makespan 0) and FLOPS efficiency (peak 0).
+
+namespace core = coop::core;
+namespace obs = coop::obs;
+namespace fault = coop::fault;
+namespace cj = coophet_test::json;
+using coop::mesh::Box;
+
+namespace {
+
+void expect_all_finite(const obs::RunReport& r) {
+  for (double v :
+       {r.makespan_s, r.cpu_fraction_final, r.imbalance_pct,
+        r.mean_utilization_pct, r.min_utilization_pct, r.achieved_flops,
+        r.model_peak_flops, r.flops_efficiency_pct, r.max_hetero_gain_pct,
+        r.faults.retry_time_s, r.faults.checkpoint_time_s,
+        r.faults.rework_time_s})
+    EXPECT_TRUE(std::isfinite(v)) << v;
+  for (const auto& rr : r.per_rank) {
+    EXPECT_TRUE(std::isfinite(rr.utilization_pct));
+    EXPECT_TRUE(std::isfinite(rr.phases.compute_s));
+    EXPECT_TRUE(std::isfinite(rr.phases.halo_wait_s));
+    EXPECT_TRUE(std::isfinite(rr.phases.reduce_s));
+    EXPECT_TRUE(std::isfinite(rr.phases.rebalance_s));
+  }
+  for (const auto& k : r.top_kernels) EXPECT_TRUE(std::isfinite(k.seconds));
+
+  std::ostringstream os;
+  r.write_json(os);
+  const auto p = cj::parse(os.str());
+  EXPECT_TRUE(p.ok) << p.error << " at offset " << p.offset;
+}
+
+TEST(RunReportEdges, ZeroTimestepRunYieldsFiniteEmptyReport) {
+  // `run_timed` rejects timesteps <= 0, so a zero-length run reaches the
+  // report builder only as a config + default result; every derived rate
+  // must degrade to 0, not NaN.
+  core::TimedConfig cfg;
+  cfg.mode = core::NodeMode::kHeterogeneous;
+  cfg.global = Box{{0, 0, 0}, {64, 32, 16}};
+  cfg.timesteps = 0;
+  const core::TimedResult res;  // makespan 0, no ranks
+  const obs::RunReport rep = core::build_run_report(cfg, res, nullptr);
+  EXPECT_EQ(rep.makespan_s, 0.0);
+  EXPECT_EQ(rep.achieved_flops, 0.0);
+  EXPECT_EQ(rep.imbalance_pct, 0.0);
+  expect_all_finite(rep);
+}
+
+TEST(RunReportEdges, RankWithoutKernelOrComputeSpansStaysFinite) {
+  // Rank 1 appears in the result but traced nothing (e.g. it was starved of
+  // zones the whole run): utilization must be a finite 0, not 0/0.
+  core::TimedConfig cfg;
+  cfg.mode = core::NodeMode::kHeterogeneous;
+  cfg.global = Box{{0, 0, 0}, {64, 32, 16}};
+  cfg.timesteps = 2;
+  core::TimedResult res;
+  res.ranks = 2;
+  res.makespan = 1.0;
+  res.final_zones_per_rank = {64L * 32 * 16, 0};
+  res.final_rank_is_gpu = {1, 0};
+  obs::Tracer tracer;
+  tracer.span(0, 0, "compute", "phase", 0.0, 0.8);
+  tracer.span(0, 0, "flux_sweep_x", "kernel", 0.0, 0.4);
+  const obs::RunReport rep = core::build_run_report(cfg, res, &tracer);
+  ASSERT_EQ(rep.per_rank.size(), 2u);
+  EXPECT_EQ(rep.per_rank[1].phases.compute_s, 0.0);
+  EXPECT_EQ(rep.per_rank[1].utilization_pct, 0.0);
+  expect_all_finite(rep);
+}
+
+TEST(RunReportEdges, AllGpusDeadRunStaysFiniteAndSchemaValid) {
+  core::TimedConfig cfg;
+  cfg.mode = core::NodeMode::kHeterogeneous;
+  cfg.global = Box{{0, 0, 0}, {320, 96, 160}};
+  cfg.timesteps = 4;
+  obs::Tracer tracer;
+  cfg.tracer = &tracer;
+  fault::FaultPlan plan;
+  for (int g = 0; g < cfg.node.gpu_count; ++g)
+    plan.add({.time = 0.01 * (g + 1), .kind = fault::FaultKind::kGpuDeath,
+              .node = 0, .gpu = g});
+  cfg.faults = &plan;
+  cfg.recovery.checkpoint_interval = 2;
+  const core::TimedResult res = core::run_timed(cfg);
+  EXPECT_EQ(res.resilience.gpu_deaths, cfg.node.gpu_count);
+
+  const obs::RunReport rep = core::build_run_report(cfg, res, &tracer);
+  EXPECT_GT(rep.makespan_s, 0.0);
+  expect_all_finite(rep);
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <tuple>
 
 #include "coop/obs/trace.hpp"
 #include "support/json_check.hpp"
@@ -146,6 +147,46 @@ TEST(Tracer, ExportUsesFixedMicrosecondTimestamps) {
   EXPECT_NE(j.find("\"ts\":3600000123.400"), std::string::npos) << j;
   EXPECT_NE(j.find("\"dur\":300.000"), std::string::npos) << j;
   EXPECT_EQ(j.find("e+"), std::string::npos) << j;
+}
+
+TEST(Tracer, CloseCounterTracksEmitsFinalSampleOnEveryTrack) {
+  obs::Tracer t;
+  t.counter(0, "cpu_fraction", 0.0, 0.20);
+  t.counter(0, "cpu_fraction", 1.0, 0.25);
+  t.counter(1, "cpu_fraction", 0.5, 0.50);
+  t.counter(0, "pool_bytes", 0.2, 4096.0);
+  const double makespan = 4.0;
+  t.close_counter_tracks(makespan);
+
+  // One closing sample per (pid, track), repeating the last value at the
+  // run end — without it Perfetto step-extrapolates the last recorded value
+  // across the trailing spans.
+  ASSERT_EQ(t.counters().size(), 7u);
+  for (const auto& want :
+       {std::tuple{0, "cpu_fraction", 0.25}, std::tuple{1, "cpu_fraction", 0.5},
+        std::tuple{0, "pool_bytes", 4096.0}}) {
+    bool found = false;
+    for (const auto& c : t.counters())
+      if (c.pid == std::get<0>(want) && c.track == std::get<1>(want) &&
+          c.t == makespan && c.value == std::get<2>(want))
+        found = true;
+    EXPECT_TRUE(found) << std::get<1>(want) << " pid " << std::get<0>(want);
+  }
+}
+
+TEST(Tracer, CloseCounterTracksIsIdempotentAndSkipsLaterSamples) {
+  obs::Tracer t;
+  t.counter(0, "a", 0.0, 1.0);
+  t.counter(0, "late", 5.0, 7.0);  // already sampled past the close time
+  t.close_counter_tracks(4.0);
+  ASSERT_EQ(t.counters().size(), 3u);  // only "a" gained a closing sample
+  t.close_counter_tracks(4.0);         // closing again adds nothing
+  EXPECT_EQ(t.counters().size(), 3u);
+
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const auto r = cj::parse(os.str());
+  ASSERT_TRUE(r.ok) << r.error;
 }
 
 TEST(Tracer, NonFiniteValuesNeverReachTheJson) {

@@ -305,4 +305,55 @@ class Parser {
   return "";
 }
 
+// --- Artifact schema registry ------------------------------------------------
+
+/// One versioned artifact family the repo emits.
+struct SchemaSpec {
+  std::string name;          ///< "coophet.run_report"
+  std::vector<int> versions; ///< every version a reader must accept
+};
+
+/// Every `coophet.*` artifact schema the writers emit, with the versions a
+/// consumer is allowed to see. A writer-side schema bump without a matching
+/// entry here fails `json_lint` and the schema tests — by design: readers
+/// (CI gates, the compare CLI, Perfetto post-processing) must be taught
+/// about a new version before it ships.
+[[nodiscard]] inline const std::vector<SchemaSpec>& known_artifact_schemas() {
+  static const std::vector<SchemaSpec> kSchemas = {
+      {"coophet.metrics", {1}},
+      {"coophet.run_report", {1}},
+      {"coophet.critical_path", {1}},
+      {"coophet.perf_tolerances", {1}},
+  };
+  return kSchemas;
+}
+
+/// Validates the "schema" / "schema_version" header of artifact `v`.
+/// The schema must be registered in `known_artifact_schemas()` and the
+/// version must be one the registry lists; with a non-empty `expect_name`
+/// the schema must additionally be exactly that. Returns "" when valid,
+/// otherwise a human-readable error.
+[[nodiscard]] inline std::string check_artifact_schema(
+    const Value& v, std::string_view expect_name = "") {
+  if (!v.is_object()) return "top level is not an object";
+  const Value* name = v.find("schema");
+  if (name == nullptr || !name->is_string())
+    return "missing string \"schema\" field";
+  const Value* version = v.find("schema_version");
+  if (version == nullptr || !version->is_number())
+    return "missing numeric \"schema_version\" field";
+  if (!expect_name.empty() && name->str != expect_name)
+    return "\"schema\" is \"" + name->str + "\", expected \"" +
+           std::string(expect_name) + "\"";
+  for (const SchemaSpec& s : known_artifact_schemas()) {
+    if (s.name != name->str) continue;
+    const double ver = version->number;
+    for (int known : s.versions)
+      if (ver == static_cast<double>(known)) return "";
+    return "unknown version " + std::to_string(ver) + " of schema \"" +
+           name->str + "\"";
+  }
+  return "unknown schema \"" + name->str + "\"";
+}
+
 }  // namespace coophet_test::json

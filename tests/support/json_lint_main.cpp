@@ -6,9 +6,11 @@
 ///
 /// Every file must parse under the strict grammar (no NaN/Inf, no bad
 /// escapes, no duplicate keys, no trailing garbage). With --schema NAME the
-/// top level must additionally be an object carrying "schema" == NAME and a
-/// numeric "schema_version". Exits non-zero on the first class of failure,
-/// after reporting every file.
+/// top level must additionally be an object carrying "schema" == NAME with a
+/// version registered in `known_artifact_schemas()`. Even without --schema,
+/// any top-level object declaring a "coophet.*" schema is validated against
+/// the registry, so an unknown schema name or version fails the lint. Exits
+/// non-zero on the first class of failure, after reporting every file.
 
 #include <cstdio>
 #include <fstream>
@@ -38,17 +40,19 @@ bool lint(const std::string& path, const std::string& schema) {
                  r.offset, r.error.c_str());
     return false;
   }
-  if (!schema.empty()) {
+  std::string expect = schema;
+  if (expect.empty()) {
+    // Opportunistic validation: any artifact that *claims* a coophet schema
+    // must carry a registered name and version.
     const cj::Value* name = r.value.find("schema");
-    const cj::Value* version = r.value.find("schema_version");
-    if (name == nullptr || !name->is_string() || name->str != schema) {
-      std::fprintf(stderr, "json_lint: %s: \"schema\" is not \"%s\"\n",
-                   path.c_str(), schema.c_str());
-      return false;
-    }
-    if (version == nullptr || !version->is_number()) {
-      std::fprintf(stderr, "json_lint: %s: missing numeric \"schema_version\"\n",
-                   path.c_str());
+    if (name != nullptr && name->is_string() &&
+        name->str.rfind("coophet.", 0) == 0)
+      expect = name->str;
+  }
+  if (!expect.empty()) {
+    const std::string err = cj::check_artifact_schema(r.value, expect);
+    if (!err.empty()) {
+      std::fprintf(stderr, "json_lint: %s: %s\n", path.c_str(), err.c_str());
       return false;
     }
   }

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/json_check.hpp"
+
+/// \file metric_extract.hpp
+/// Flattens a `coophet.run_report` JSON DOM into the ordered (name, value)
+/// metric list the perf-baseline gate compares.
+///
+/// This is the DOM-side twin of `obs::analysis::report_metrics` (which reads
+/// a live `RunReport`): the `compare_reports` CLI parses the checked-in
+/// baseline and the freshly regenerated report with the strict parser, then
+/// diffs the two flattened lists. The metric *names* produced here must stay
+/// in lockstep with `report_metrics` — `tests/obs/test_analysis.cpp` locks
+/// the correspondence.
+
+namespace coophet_test::json {
+
+using MetricList = std::vector<std::pair<std::string, double>>;
+
+/// The comparable metrics of one run-report DOM, in schema order. Missing
+/// or non-numeric fields are skipped (the comparison then reports them as
+/// missing against a baseline that has them).
+[[nodiscard]] inline MetricList extract_report_metrics(const Value& v) {
+  MetricList m;
+  auto top = [&](const char* key) {
+    const Value* p = v.find(key);
+    if (p != nullptr && p->is_number()) m.emplace_back(key, p->number);
+  };
+  top("makespan_s");
+  top("imbalance_pct");
+  top("mean_utilization_pct");
+  top("cpu_fraction_final");
+  if (const Value* flops = v.find("flops");
+      flops != nullptr && flops->is_object()) {
+    const Value* eff = flops->find("efficiency_pct");
+    if (eff != nullptr && eff->is_number())
+      m.emplace_back("flops_efficiency_pct", eff->number);
+  }
+  top("max_hetero_gain_pct");
+  if (const Value* sweep = v.find("sweep");
+      sweep != nullptr && sweep->is_array()) {
+    for (const Value& row : sweep->array) {
+      const Value* zones = row.find("zones");
+      if (zones == nullptr || !zones->is_number()) continue;
+      const std::string key =
+          "sweep." + std::to_string(static_cast<long>(zones->number)) + ".";
+      for (const char* t : {"t_default_s", "t_mps_s", "t_hetero_s"}) {
+        const Value* p = row.find(t);
+        if (p != nullptr && p->is_number()) m.emplace_back(key + t, p->number);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace coophet_test::json

@@ -93,4 +93,64 @@ TEST(JsonCheck, FirstMissingKeyReportsSchemaGaps) {
   EXPECT_EQ(cj::first_missing_key(arr, {"schema"}), "<not an object>");
 }
 
+TEST(ArtifactSchema, RegistryAcceptsEveryKnownSchemaAtItsVersions) {
+  for (const cj::SchemaSpec& spec : cj::known_artifact_schemas()) {
+    for (int v : spec.versions) {
+      const auto r = cj::parse("{\"schema\": \"" + spec.name +
+                               "\", \"schema_version\": " +
+                               std::to_string(v) + "}");
+      ASSERT_TRUE(r.ok);
+      EXPECT_EQ(cj::check_artifact_schema(r.value), "") << spec.name;
+      EXPECT_EQ(cj::check_artifact_schema(r.value, spec.name), "");
+    }
+  }
+}
+
+TEST(ArtifactSchema, EveryEmittedSchemaNameIsRegistered) {
+  // The writers' schema constants; a new artifact family must be added to
+  // known_artifact_schemas() (and this list) before it ships.
+  for (const char* name : {"coophet.metrics", "coophet.run_report",
+                           "coophet.critical_path",
+                           "coophet.perf_tolerances"}) {
+    bool found = false;
+    for (const cj::SchemaSpec& spec : cj::known_artifact_schemas())
+      if (spec.name == name) found = true;
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(ArtifactSchema, RejectsUnknownVersionsAndNames) {
+  const auto v2 =
+      cj::parse(R"({"schema": "coophet.run_report", "schema_version": 2})");
+  ASSERT_TRUE(v2.ok);
+  EXPECT_NE(cj::check_artifact_schema(v2.value), "");
+
+  const auto bogus =
+      cj::parse(R"({"schema": "coophet.bogus", "schema_version": 1})");
+  ASSERT_TRUE(bogus.ok);
+  EXPECT_NE(cj::check_artifact_schema(bogus.value), "");
+}
+
+TEST(ArtifactSchema, RejectsMissingOrMistypedHeader) {
+  const auto no_ver = cj::parse(R"({"schema": "coophet.metrics"})");
+  ASSERT_TRUE(no_ver.ok);
+  EXPECT_NE(cj::check_artifact_schema(no_ver.value), "");
+
+  const auto str_ver = cj::parse(
+      R"({"schema": "coophet.metrics", "schema_version": "1"})");
+  ASSERT_TRUE(str_ver.ok);
+  EXPECT_NE(cj::check_artifact_schema(str_ver.value), "");
+
+  cj::Value arr;
+  arr.kind = cj::Value::Kind::kArray;
+  EXPECT_NE(cj::check_artifact_schema(arr), "");
+
+  // Wrong expected name: parses and is registered, but not what the caller
+  // demanded.
+  const auto ok = cj::parse(
+      R"({"schema": "coophet.metrics", "schema_version": 1})");
+  ASSERT_TRUE(ok.ok);
+  EXPECT_NE(cj::check_artifact_schema(ok.value, "coophet.run_report"), "");
+}
+
 }  // namespace

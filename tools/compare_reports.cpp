@@ -1,0 +1,144 @@
+/// compare_reports — the perf-baseline regression gate.
+///
+/// Parses a checked-in baseline run report (bench/baselines/BENCH_*.json)
+/// and a freshly regenerated one with the strict JSON checker, flattens
+/// both into the comparable metric list (makespan, imbalance, utilization,
+/// FLOPS efficiency, hetero gain, per-size sweep times) and diffs them
+/// under per-metric tolerance bands. Exits non-zero when any metric drifts
+/// outside its band or disappeared from the current report — the CI
+/// `perf-baselines` job fails on that.
+///
+/// Usage: compare_reports baseline.json current.json [--tolerances tol.json]
+///
+/// The tolerance file is a `coophet.perf_tolerances` v1 artifact:
+///   {"schema":"coophet.perf_tolerances","schema_version":1,
+///    "default":{"rel_pct":2.0,"abs":0.0},
+///    "metrics":{"imbalance_pct":{"rel_pct":0.0,"abs":2.0}, ...}}
+/// A metric's band is max(abs, rel_pct/100 * |baseline|); a tolerance of 0
+/// demands bitwise-identical values (the DES is deterministic, so that is a
+/// meaningful setting).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "coop/obs/analysis/compare.hpp"
+#include "support/json_check.hpp"
+#include "support/metric_extract.hpp"
+
+namespace cj = coophet_test::json;
+namespace ca = coop::obs::analysis;
+
+namespace {
+
+bool load_json(const std::string& path, cj::Value& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "compare_reports: %s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const cj::ParseResult r = cj::parse(buf.str());
+  if (!r.ok) {
+    std::fprintf(stderr, "compare_reports: %s: offset %zu: %s\n", path.c_str(),
+                 r.offset, r.error.c_str());
+    return false;
+  }
+  out = r.value;
+  return true;
+}
+
+ca::Tolerance parse_tolerance(const cj::Value& v) {
+  ca::Tolerance t;
+  if (const cj::Value* rel = v.find("rel_pct");
+      rel != nullptr && rel->is_number())
+    t.rel = rel->number / 100.0;
+  if (const cj::Value* abs = v.find("abs"); abs != nullptr && abs->is_number())
+    t.abs = abs->number;
+  return t;
+}
+
+bool load_tolerances(const std::string& path,
+                     std::map<std::string, ca::Tolerance>& per_metric,
+                     ca::Tolerance& fallback) {
+  cj::Value v;
+  if (!load_json(path, v)) return false;
+  const std::string err =
+      cj::check_artifact_schema(v, "coophet.perf_tolerances");
+  if (!err.empty()) {
+    std::fprintf(stderr, "compare_reports: %s: %s\n", path.c_str(),
+                 err.c_str());
+    return false;
+  }
+  if (const cj::Value* def = v.find("default");
+      def != nullptr && def->is_object())
+    fallback = parse_tolerance(*def);
+  if (const cj::Value* metrics = v.find("metrics");
+      metrics != nullptr && metrics->is_object())
+    for (const auto& [name, tol] : metrics->object)
+      if (tol.is_object()) per_metric[name] = parse_tolerance(tol);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path, tol_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerances" && i + 1 < argc) {
+      tol_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: compare_reports baseline.json current.json "
+          "[--tolerances tol.json]\n");
+      return 0;
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      std::fprintf(stderr, "compare_reports: unexpected argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: compare_reports baseline.json current.json "
+                 "[--tolerances tol.json]\n");
+    return 2;
+  }
+
+  cj::Value baseline, current;
+  if (!load_json(baseline_path, baseline) || !load_json(current_path, current))
+    return 2;
+  for (const auto* p : {&baseline, &current}) {
+    const std::string err = cj::check_artifact_schema(*p, "coophet.run_report");
+    if (!err.empty()) {
+      std::fprintf(stderr, "compare_reports: %s: %s\n",
+                   (p == &baseline ? baseline_path : current_path).c_str(),
+                   err.c_str());
+      return 2;
+    }
+  }
+
+  std::map<std::string, ca::Tolerance> per_metric;
+  ca::Tolerance fallback;  // exact match unless a tolerance file says else
+  if (!tol_path.empty() && !load_tolerances(tol_path, per_metric, fallback))
+    return 2;
+
+  const ca::CompareResult result = ca::compare_reports(
+      cj::extract_report_metrics(baseline), cj::extract_report_metrics(current),
+      per_metric, fallback);
+  std::printf("compare_reports: %s vs %s\n", baseline_path.c_str(),
+              current_path.c_str());
+  std::ostringstream table;
+  result.write_table(table);
+  std::fputs(table.str().c_str(), stdout);
+  return result.ok() ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+/// critpath_report — wait-state and critical-path analysis of one figure's
+/// traced exemplar run.
+///
+/// Re-runs a paper figure's largest sweep point (Heterogeneous mode) with
+/// the unified tracer and the happens-before log attached, then prints the
+/// analyzer's table: per-rank wait-state attribution (late-sender /
+/// wait-at-allreduce / GPU drain) with blame, the critical path through the
+/// run with its per-phase and per-kernel shares, and the FeedbackBalancer
+/// cross-check.
+///
+/// Usage: critpath_report [--figure N] [--timesteps N] [--faults]
+///                        [--json-out FILE] [--trace-out FILE]
+///
+///  --figure N      paper figure whose sweep defines the mesh (default 18)
+///  --timesteps N   exemplar timestep count (default 6)
+///  --faults        inject the DESIGN.md 8 exemplar fault schedule
+///  --json-out F    write the coophet.critical_path v1 report to F
+///  --trace-out F   write the Chrome/Perfetto trace, annotated with
+///                  critical-path hop and late-sender flow arrows, to F
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "coop/core/report.hpp"
+#include "coop/fault/fault_plan.hpp"
+#include "coop/obs/analysis/hb_log.hpp"
+#include "coop/obs/analysis/report.hpp"
+#include "coop/obs/trace.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
+
+namespace {
+
+int usage(int code) {
+  std::printf(
+      "usage: critpath_report [--figure N] [--timesteps N] [--faults]\n"
+      "                       [--json-out FILE] [--trace-out FILE]\n");
+  return code;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "critpath_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  os << body;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int figure = 18;
+  int timesteps = 6;
+  bool with_faults = false;
+  std::string json_out, trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--figure" && i + 1 < argc) {
+      figure = std::atoi(argv[++i]);
+    } else if (arg == "--timesteps" && i + 1 < argc) {
+      timesteps = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--faults") {
+      with_faults = true;
+    } else if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else {
+      std::fprintf(stderr, "critpath_report: unknown argument %s\n",
+                   arg.c_str());
+      return usage(2);
+    }
+  }
+
+  try {
+    const coop::sweeps::FigureSpec& spec = coop::sweeps::figure_spec(figure);
+    coop::fault::FaultPlan plan;
+    if (with_faults) plan = coop::sweeps::exemplar_fault_plan();
+
+    coop::obs::Tracer tracer;
+    coop::obs::analysis::HbLog hb;
+    coop::core::TimedConfig cfg;
+    const coop::core::TimedResult res = coop::sweeps::run_traced_exemplar(
+        spec, coop::sweeps::SweepOptions{}, plan.empty() ? nullptr : &plan,
+        timesteps, tracer, &hb, &cfg);
+
+    coop::obs::analysis::CritPathReport rep =
+        coop::core::build_critical_path_report(cfg, res, tracer, hb);
+    rep.label = spec.title;
+    rep.figure = spec.figure;
+
+    std::ostringstream table;
+    rep.write_table(table);
+    std::fputs(table.str().c_str(), stdout);
+
+    if (!json_out.empty()) {
+      std::ostringstream body;
+      rep.write_json(body);
+      body << '\n';
+      if (!write_file(json_out, body.str())) return 1;
+      std::printf("(critical-path report written to %s)\n", json_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      coop::obs::analysis::annotate_trace(tracer, hb, rep);
+      std::ostringstream body;
+      tracer.write_chrome_trace(body);
+      body << '\n';
+      if (!write_file(trace_out, body.str())) return 1;
+      std::printf("(annotated trace written to %s)\n", trace_out.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "critpath_report: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
