@@ -1,16 +1,33 @@
 /// Microbenchmark of the discrete-event engine: event throughput for the
 /// patterns the timed simulation produces (delay chains, channel ping-pong,
-/// resource contention). Establishes that figure sweeps are engine-cheap.
+/// resource contention, and the GpuServer's same-instant submission bursts).
+/// Establishes that figure sweeps are engine-cheap.
+///
+/// Besides the google-benchmark cases, the binary measures raw events/sec on
+/// the simulation-shaped workloads and — when COOPHET_REPORT_DIR is set —
+/// writes `<dir>/BENCH_des_engine.json` (coophet.metrics schema v1) so CI can
+/// track engine throughput as an artifact. `--benchmark_filter=^$` skips the
+/// google-benchmark pass when only the artifact is wanted.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "coop/des/channel.hpp"
 #include "coop/des/engine.hpp"
 #include "coop/des/resource.hpp"
+#include "coop/devmodel/gpu_server.hpp"
+#include "coop/devmodel/specs.hpp"
+#include "coop/obs/metrics.hpp"
 
 namespace {
 
 namespace des = coop::des;
+namespace devmodel = coop::devmodel;
 
 des::Task<void> delay_chain(des::Engine& eng, int hops) {
   for (int i = 0; i < hops; ++i) co_await eng.delay(1.0);
@@ -74,10 +91,133 @@ void bm_resource_contention(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * procs * 50);
 }
 
+// --- GpuServer-shaped burst workload ----------------------------------------
+//
+// The event-driven GPU backend's signature pattern: every MPS-sharing rank
+// submits its next kernel the instant the previous one completes, so each
+// completion fans out a burst of same-instant channel wakeups
+// (`schedule_now`) and processor-sharing rate updates. This is the pattern
+// the engine's same-time FIFO ring exists for.
+
+des::Task<void> burst_rank(des::Engine& eng, devmodel::GpuServer& srv,
+                           int steps, int kernels_per_step) {
+  const devmodel::KernelWork work{6.0, 48.0};
+  for (int s = 0; s < steps; ++s) {
+    for (int k = 0; k < kernels_per_step; ++k)
+      co_await srv.execute(work, 40000.0, 100.0, /*mps=*/true);
+    co_await eng.delay(1e-3);  // halo/reduce gap between timesteps
+  }
+}
+
+std::uint64_t run_gpu_server_burst(int ranks, int steps,
+                                   int kernels_per_step) {
+  des::Engine eng;
+  devmodel::GpuServer srv(eng, devmodel::NodeSpec::rzhasgpu().gpu);
+  for (int r = 0; r < ranks; ++r)
+    eng.spawn(burst_rank(eng, srv, steps, kernels_per_step));
+  eng.run();
+  return eng.events_processed();
+}
+
+void bm_gpu_server_burst(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    events = run_gpu_server_burst(ranks, 10, 20);
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+}
+
+// --- events/sec report -------------------------------------------------------
+
+struct Throughput {
+  std::uint64_t events = 0;  ///< per repetition
+  double events_per_sec = 0.0;
+};
+
+/// Repeats `workload` (which returns its engine's events_processed) until
+/// ~0.3 s of wall time has accumulated and reports steady-state events/sec.
+template <typename Workload>
+Throughput measure(Workload&& workload) {
+  using clock = std::chrono::steady_clock;
+  Throughput t;
+  t.events = workload();  // warmup, and the per-rep event count
+  std::uint64_t total = 0;
+  double wall = 0.0;
+  while (wall < 0.3) {
+    const auto t0 = clock::now();
+    total += workload();
+    wall += std::chrono::duration<double>(clock::now() - t0).count();
+  }
+  t.events_per_sec = static_cast<double>(total) / wall;
+  return t;
+}
+
+void report_events_per_sec() {
+  struct Case {
+    const char* name;
+    Throughput t;
+  };
+  Case cases[] = {
+      {"gpu_server_burst", measure([] {
+         return run_gpu_server_burst(16, 10, 20);
+       })},
+      {"delay_chain", measure([] {
+         des::Engine eng;
+         for (int p = 0; p < 256; ++p) eng.spawn(delay_chain(eng, 100));
+         eng.run();
+         return eng.events_processed();
+       })},
+      {"channel_pingpong", measure([] {
+         des::Engine eng;
+         des::Channel<int> a(eng), b(eng);
+         eng.spawn(pinger(eng, a, b, 1000));
+         eng.spawn(ponger(eng, a, b, 1000));
+         eng.run();
+         return eng.events_processed();
+       })},
+  };
+
+  std::printf("--- engine throughput (events/sec) ---\n");
+  for (const auto& c : cases)
+    std::printf("%-18s %12.0f events/s (%llu events/rep)\n", c.name,
+                c.t.events_per_sec,
+                static_cast<unsigned long long>(c.t.events));
+
+  const char* dir = std::getenv("COOPHET_REPORT_DIR");
+  if (dir == nullptr) return;
+  coop::obs::MetricsRegistry reg;
+  for (const auto& c : cases) {
+    const coop::obs::Labels labels{{"workload", c.name}};
+    reg.gauge("des.events_per_sec", labels).set(c.t.events_per_sec);
+    reg.counter("des.events_per_rep", labels)
+        .add(static_cast<double>(c.t.events));
+  }
+  const std::string path = std::string(dir) + "/BENCH_des_engine.json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "bench_des_engine: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  reg.write_json(os, 0.0);
+  os << '\n';
+  std::printf("(engine throughput written to %s)\n", path.c_str());
+}
+
 }  // namespace
 
 BENCHMARK(bm_delay_events)->Arg(16)->Arg(256);
 BENCHMARK(bm_channel_pingpong);
 BENCHMARK(bm_resource_contention)->Arg(16)->Arg(64);
+BENCHMARK(bm_gpu_server_burst)->Arg(4)->Arg(16);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  report_events_per_sec();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

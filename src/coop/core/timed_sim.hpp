@@ -129,6 +129,19 @@ struct TimedResult {
 };
 
 /// Runs the timed simulation; deterministic for a given config.
+///
+/// Re-entrancy contract: `run_timed` is safe to call concurrently from
+/// multiple threads (the parallel sweep executor depends on this). Every
+/// piece of mutable state — the DES engine, world, ranks, GPU servers,
+/// communication fabric, kernel-timer registry, device pool, feedback
+/// balancer, fault injector — is constructed inside the call and owned by
+/// it; the only statics reachable from here are immutable lookup tables
+/// (kernel catalogs, node specs, figure specs). The caller must keep each
+/// concurrent call's observability sinks (`trace`/`tracer`/`metrics`/`hb`)
+/// distinct: sinks are not internally synchronized, and sharing one across
+/// calls is a data race. Any code added here must preserve this contract —
+/// no mutable statics, no thread-locals carrying state across calls, no
+/// writes through shared globals.
 [[nodiscard]] TimedResult run_timed(const TimedConfig& cfg);
 
 }  // namespace coop::core

@@ -1,9 +1,10 @@
 #pragma once
 
 #include <coroutine>
-#include <deque>
+#include <cstddef>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "coop/des/engine.hpp"
 
@@ -14,6 +15,12 @@
 /// are modelled explicitly by the sender via `Engine::delay`). `recv()` is an
 /// awaitable that suspends until a value is available. Values are delivered
 /// in FIFO order to receivers in FIFO order, deterministically.
+///
+/// Queues are head-indexed vectors rather than deques: channels are created
+/// per kernel submission on the GpuServer hot path, and a default-constructed
+/// vector performs no allocation (libstdc++'s deque allocates its first chunk
+/// eagerly). Capacity recycles once the queue drains, mirroring the engine's
+/// same-instant event ring.
 
 namespace coop::des {
 
@@ -27,9 +34,12 @@ class Channel {
   /// Deposits a value. If a receiver is waiting, it is scheduled to resume at
   /// the current simulated time with this value.
   void send(T value) {
-    if (!waiters_.empty()) {
-      Waiter* w = waiters_.front();
-      waiters_.pop_front();
+    if (waiter_head_ < waiters_.size()) {
+      Waiter* w = waiters_[waiter_head_++];
+      if (waiter_head_ == waiters_.size()) {
+        waiters_.clear();
+        waiter_head_ = 0;
+      }
       w->slot.emplace(std::move(value));
       engine_->schedule_now(w->handle);
     } else {
@@ -38,8 +48,12 @@ class Channel {
   }
 
   /// Number of values deposited but not yet received.
-  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return queue_.size() - queue_head_;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return queue_head_ == queue_.size();
+  }
 
   /// Awaitable receive; resumes with the next value in FIFO order.
   [[nodiscard]] auto recv() {
@@ -49,7 +63,7 @@ class Channel {
       bool await_ready() const noexcept {
         // Only short-circuit when no earlier receiver is queued, to keep
         // FIFO fairness among receivers.
-        return !ch->queue_.empty() && ch->waiters_.empty();
+        return !ch->empty() && ch->waiter_head_ == ch->waiters_.size();
       }
       void await_suspend(std::coroutine_handle<> h) {
         this->handle = h;
@@ -57,8 +71,11 @@ class Channel {
       }
       T await_resume() {
         if (this->slot.has_value()) return std::move(*this->slot);
-        T v = std::move(ch->queue_.front());
-        ch->queue_.pop_front();
+        T v = std::move(ch->queue_[ch->queue_head_++]);
+        if (ch->queue_head_ == ch->queue_.size()) {
+          ch->queue_.clear();
+          ch->queue_head_ = 0;
+        }
         return v;
       }
     };
@@ -72,8 +89,10 @@ class Channel {
   };
 
   Engine* engine_;
-  std::deque<T> queue_;
-  std::deque<Waiter*> waiters_;
+  std::vector<T> queue_;
+  std::size_t queue_head_ = 0;
+  std::vector<Waiter*> waiters_;
+  std::size_t waiter_head_ = 0;
 };
 
 }  // namespace coop::des

@@ -1,7 +1,8 @@
 #include "coop/des/engine.hpp"
 
-#include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace coop::des {
 
@@ -15,7 +16,80 @@ void Engine::spawn_at(SimTime at, Task<void> task) {
 void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
   if (t < now_)
     throw std::invalid_argument("Engine::schedule: time in the past");
-  queue_.push(Event{t, next_seq_++, h});
+  if (t == now_) {
+    // Same-instant fast path (zero-delay hops, channel/resource wakeups):
+    // FIFO append, no heap traffic. Sequence numbers are monotonic, so the
+    // ring is internally (t, seq)-sorted by construction.
+    ring_.push_back(Event{t, next_seq_++, h});
+    return;
+  }
+  heap_push(Event{t, next_seq_++, h});
+}
+
+// Both heap walks are hole-based: the displaced Event is held in a register
+// while parents (or children) shift into the hole, then stored once — half
+// the element traffic of a swap-at-every-level walk.
+
+void Engine::heap_push(const Event& ev) {
+  std::size_t i = heap_.size();
+  heap_.push_back(ev);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(ev, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = ev;
+}
+
+void Engine::heap_sift_down(std::size_t i) {
+  // Bottom-up variant (the libstdc++ __adjust_heap trick): walk the hole to
+  // the leaf level following the smaller child — one comparison per level —
+  // then bubble the displaced value back up. The displaced value is the old
+  // last leaf, which almost always belongs near the bottom, so the bubble-up
+  // step is short and the down-walk saves a value-vs-child comparison per
+  // level over the textbook sift.
+  const std::size_t n = heap_.size();
+  const Event v = heap_[i];
+  const std::size_t top = i;
+  std::size_t child = 2 * i + 1;
+  while (child < n) {
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    heap_[i] = heap_[child];
+    i = child;
+    child = 2 * i + 1;
+  }
+  while (i > top) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = v;
+}
+
+bool Engine::pop_next(SimTime t_max, Event& out) {
+  const bool ring_live = ring_head_ < ring_.size();
+  // Ring entries all sit at t == now(). A heap entry at that same time was
+  // necessarily pushed while now() was still smaller — same-instant pushes
+  // go to the ring — so EVERY same-time heap entry precedes EVERY ring entry
+  // in seq order. The tie therefore resolves on time alone: the heap wins
+  // unless its top is strictly in the future.
+  if (ring_live && (heap_.empty() || heap_.front().t > ring_[ring_head_].t)) {
+    if (ring_[ring_head_].t > t_max) return false;
+    out = ring_[ring_head_++];
+    if (ring_head_ == ring_.size()) {
+      ring_.clear();  // recycle capacity; O(1), Event is trivial
+      ring_head_ = 0;
+    }
+    return true;
+  }
+  if (heap_.empty() || heap_.front().t > t_max) return false;
+  out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) heap_sift_down(0);
+  return true;
 }
 
 void Engine::step(const Event& ev) {
@@ -25,34 +99,39 @@ void Engine::step(const Event& ev) {
 }
 
 void Engine::reap_finished_roots() {
-  // Steal the first stored exception BEFORE erasing, so the failed frame is
-  // reaped like any completed root: a second run() must not rethrow a stale
-  // exception, and no completed frame may outlive this call.
+  // Batched: nothing can have completed (or failed) unless events ran since
+  // the last reap — root frames only advance inside step().
+  if (processed_ == reaped_at_) return;
+  reaped_at_ = processed_;
+  // Single compaction pass: steal the first stored exception BEFORE erasing,
+  // so the failed frame is reaped like any completed root — a second run()
+  // must not rethrow a stale exception, and no completed frame may outlive
+  // this call.
   std::exception_ptr first_failure;
+  std::size_t keep = 0;
   for (auto& r : roots_) {
     if (auto e = r.take_exception(); e && !first_failure)
       first_failure = std::move(e);
+    if (!r.done()) {
+      if (keep != static_cast<std::size_t>(&r - roots_.data()))
+        roots_[keep] = std::move(r);
+      ++keep;
+    }
   }
-  std::erase_if(roots_, [](const Task<void>& r) { return r.done(); });
+  roots_.resize(keep);
   if (first_failure) std::rethrow_exception(first_failure);
 }
 
 SimTime Engine::run() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    step(ev);
-  }
+  Event ev;
+  while (pop_next(std::numeric_limits<SimTime>::infinity(), ev)) step(ev);
   reap_finished_roots();
   return now_;
 }
 
 SimTime Engine::run_until(SimTime t_end) {
-  while (!queue_.empty() && queue_.top().t <= t_end) {
-    Event ev = queue_.top();
-    queue_.pop();
-    step(ev);
-  }
+  Event ev;
+  while (pop_next(t_end, ev)) step(ev);
   if (now_ < t_end) now_ = t_end;
   reap_finished_roots();
   return now_;

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "coop/des/frame_pool.hpp"
 
 /// \file task.hpp
 /// Coroutine task type for discrete-event simulation processes.
@@ -26,6 +29,14 @@ class Task;
 namespace detail {
 
 struct PromiseBase {
+  // Every Task<T> frame is drawn from the per-thread frame pool: the DES hot
+  // path spawns and retires a frame per process (GpuServer wakeups, channel
+  // hops), and pooling replaces that malloc churn with free-list pops.
+  static void* operator new(std::size_t n) { return frame_pool().allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    frame_pool().deallocate(p, n);
+  }
+
   std::coroutine_handle<> continuation{};  ///< parent coroutine, if awaited
   bool completed = false;
   std::exception_ptr exception{};

@@ -42,20 +42,27 @@ des::Task<void> GpuServer::execute(KernelWork work, double zones, double nx,
   job.solo_s = job.remaining_work / job_rate(job, job.occupancy);
   job.done = &done;
 
-  // Fold elapsed progress into the books, then admit or queue.
-  reschedule();  // advances remaining work to 'now' before the state change
+  // Fold elapsed progress into the books, then admit or queue. The wakeup is
+  // armed once, after the admission — arming before it would spawn a frame
+  // that the post-admission arm supersedes on the spot.
+  sync_to_now();
   const int cap = mps ? spec_.mps_max_resident : 1;
   if (static_cast<int>(active_.size()) < cap)
     active_.push_back(job);
   else
     queued_.push_back(job);
-  reschedule();
+  arm_wakeup();
 
   const double wait = co_await done.recv();
   if (drain_wait_s != nullptr) *drain_wait_s = wait;
 }
 
 void GpuServer::reschedule() {
+  sync_to_now();
+  arm_wakeup();
+}
+
+void GpuServer::sync_to_now() {
   const double now = engine_.now();
   const double elapsed = now - last_update_;
   last_update_ = now;
@@ -68,29 +75,37 @@ void GpuServer::reschedule() {
       j.remaining_work -= elapsed * job_rate(j, occ_sum);
   }
 
-  // Reap completed jobs and promote queued ones (FIFO).
+  // Reap completed jobs in one stable compaction pass (no quadratic
+  // erase-and-rescan: time does not advance inside this loop, so a job
+  // passed over once stays unfinished; completions are still delivered in
+  // ascending slot order, exactly as the rescanning loop did) and promote
+  // queued ones FIFO with a single batched splice.
   const int cap = mps_mode_ ? spec_.mps_max_resident : 1;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t i = 0; i < active_.size(); ++i) {
-      if (active_[i].remaining_work <= kDoneEps) {
-        const double wait =
-            std::max(0.0, (now - active_[i].t_submit) - active_[i].solo_s);
-        drain_wait_total_ += wait;
-        active_[i].done->send(wait);
-        ++completed_;
-        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
-        changed = true;
-        break;
-      }
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    Job& j = active_[i];
+    if (j.remaining_work <= kDoneEps) {
+      const double wait = std::max(0.0, (now - j.t_submit) - j.solo_s);
+      drain_wait_total_ += wait;
+      j.done->send(wait);
+      ++completed_;
+    } else {
+      if (keep != i) active_[keep] = j;
+      ++keep;
     }
   }
-  while (static_cast<int>(active_.size()) < cap && !queued_.empty()) {
-    active_.push_back(queued_.front());
-    queued_.erase(queued_.begin());
+  active_.resize(keep);
+  if (static_cast<int>(active_.size()) < cap && !queued_.empty()) {
+    const auto take = std::min(queued_.size(),
+                               static_cast<std::size_t>(cap) - active_.size());
+    const auto first = queued_.begin();
+    const auto last = first + static_cast<std::ptrdiff_t>(take);
+    active_.insert(active_.end(), first, last);
+    queued_.erase(first, last);
   }
+}
 
+void GpuServer::arm_wakeup() {
   // Schedule the next completion.
   ++wake_generation_;
   if (active_.empty()) return;

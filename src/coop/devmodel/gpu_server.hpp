@@ -68,8 +68,16 @@ class GpuServer {
     des::Channel<double>* done;  ///< completion delivers the drain wait
   };
 
-  /// Advances `remaining_work` of all active jobs to the current time and
-  /// recomputes the shared rates; (re)schedules the next-completion wakeup.
+  /// Advances `remaining_work` of all active jobs to the current time,
+  /// reaps completed jobs, and promotes queued ones. Does NOT arm a wakeup:
+  /// callers that are about to change the job set call this first, mutate,
+  /// then `arm_wakeup()` once — spawning a wakeup before the mutation would
+  /// just create a frame that the post-mutation arm immediately supersedes
+  /// (the dominant per-kernel overhead in the submission burst pattern).
+  void sync_to_now();
+  /// Supersedes any pending wakeup and schedules the next completion.
+  void arm_wakeup();
+  /// `sync_to_now()` + `arm_wakeup()`: full re-apportioning at an event.
   void reschedule();
   des::Task<void> wakeup(std::uint64_t generation, double delay);
   /// Per-job drain rate: the device's occupancy pool min(1, sum occ_i) is

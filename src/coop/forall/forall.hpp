@@ -2,9 +2,10 @@
 
 #include <functional>
 #include <limits>
-#include <mutex>
+#include <optional>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "coop/forall/thread_pool.hpp"
 
@@ -81,6 +82,32 @@ inline void forall(long begin, long end, Body&& body) {
 // provide the equivalent capability as explicit reduction entry points.
 // ---------------------------------------------------------------------------
 
+namespace detail {
+
+/// Ordered parallel reduction over `pool`: each chunk folds its own partial
+/// (seeded with `init`) into a per-chunk slot, and the slots are combined in
+/// chunk-index order after the join. Combining in chunk order — never in
+/// lock-acquisition/completion order — makes the result bitwise reproducible
+/// run to run even for combines that are only approximately commutative
+/// (floating-point sums), which is the documented `forall_reduce` contract.
+template <typename T, typename Map, typename Combine>
+inline T ordered_chunk_reduce(ThreadPool& pool, long begin, long end, T init,
+                              Map&& map, Combine&& combine) {
+  std::vector<std::optional<T>> partials(
+      pool.chunk_spans(begin, end).size());
+  pool.parallel_for_indexed(
+      begin, end, [&](std::size_t chunk, long b, long e) {
+        T partial = init;
+        for (long i = b; i < e; ++i) partial = combine(partial, map(i));
+        partials[chunk].emplace(std::move(partial));
+      });
+  T acc = init;
+  for (auto& p : partials) acc = combine(acc, *p);
+  return acc;
+}
+
+}  // namespace detail
+
 /// forall_reduce<Policy>(begin, end, init, map, combine):
 /// combine(acc, map(i)) over the range; `combine` must be associative and
 /// commutative (parallel backends reduce per-chunk partials in rank order).
@@ -88,16 +115,9 @@ template <typename Policy, typename T, typename Map, typename Combine>
 inline T forall_reduce(long begin, long end, T init, Map&& map,
                        Combine&& combine) {
   if constexpr (std::is_same_v<Policy, thread_exec>) {
-    std::mutex mu;
-    T acc = init;
-    ThreadPool::global().parallel_for(
-        begin, end, [&](long b, long e) {
-          T partial = init;
-          for (long i = b; i < e; ++i) partial = combine(partial, map(i));
-          std::lock_guard lk(mu);
-          acc = combine(acc, partial);
-        });
-    return acc;
+    return detail::ordered_chunk_reduce(ThreadPool::global(), begin, end,
+                                        init, std::forward<Map>(map),
+                                        std::forward<Combine>(combine));
   } else {
     T acc = init;
     forall<Policy>(begin, end,

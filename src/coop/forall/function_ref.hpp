@@ -1,0 +1,49 @@
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+/// \file function_ref.hpp
+/// Non-owning, trivially-copyable callable reference (a `std::function_ref`
+/// stand-in until C++26). Two words: a type-erased object pointer and an
+/// invoke thunk — no allocation, no virtual dispatch through a fat wrapper.
+///
+/// The referenced callable must outlive every invocation. That is exactly
+/// the `ThreadPool::parallel_for` contract (the call blocks until all chunks
+/// complete), which is why the pool takes its chunk body as a FunctionRef
+/// instead of a `std::function`: the old signature paid a heap-allocating
+/// `std::function` conversion on every loop launch, visible on tight
+/// `forall<thread_exec>` loops.
+
+namespace coop::forall {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = delete;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace coop::forall

@@ -33,7 +33,7 @@ void ThreadPool::worker_loop() {
     }
     std::exception_ptr err;
     try {
-      (*job.fn)(job.begin, job.end);
+      (*job.fn)(job.index, job.begin, job.end);
     } catch (...) {
       err = std::current_exception();
     }
@@ -45,25 +45,48 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(long begin, long end,
-                              const std::function<void(long, long)>& fn) {
+std::vector<std::pair<long, long>> ThreadPool::chunk_spans(long begin,
+                                                           long end,
+                                                           long grain) const {
+  std::vector<std::pair<long, long>> spans;
   const long n = end - begin;
-  if (n <= 0) return;
+  if (n <= 0) return spans;
   const long workers = static_cast<long>(threads_.size());
-  const long chunks = std::min(n, workers);
+  long chunks = std::min(n, workers);
+  if (grain > 1) chunks = std::min(chunks, std::max(1L, n / grain));
   const long base = n / chunks, rem = n % chunks;
+  spans.reserve(static_cast<std::size_t>(chunks));
+  long pos = begin;
+  for (long c = 0; c < chunks; ++c) {
+    const long len = base + (c < rem ? 1 : 0);
+    spans.emplace_back(pos, pos + len);
+    pos += len;
+  }
+  return spans;
+}
+
+void ThreadPool::parallel_for(long begin, long end,
+                              FunctionRef<void(long, long)> fn, long grain) {
+  parallel_for_indexed(
+      begin, end,
+      [&fn](std::size_t, long b, long e) { fn(b, e); }, grain);
+}
+
+void ThreadPool::parallel_for_indexed(
+    long begin, long end, FunctionRef<void(std::size_t, long, long)> fn,
+    long grain) {
+  const auto spans = chunk_spans(begin, end, grain);
+  if (spans.empty()) return;
   {
     std::lock_guard lk(mu_);
     if (jobs_remaining_ != 0)
       throw std::logic_error("ThreadPool: nested parallel_for not supported");
     first_error_ = nullptr;
-    long pos = begin;
-    for (long c = 0; c < chunks; ++c) {
-      const long len = base + (c < rem ? 1 : 0);
-      jobs_.push_back(Job{&fn, pos, pos + len});
-      pos += len;
-    }
-    jobs_remaining_ = static_cast<std::size_t>(chunks);
+    // Push in reverse so the LIFO worker pop claims chunk 0 first; the chunk
+    // index carried in the Job keeps reductions order-independent anyway.
+    for (std::size_t c = spans.size(); c-- > 0;)
+      jobs_.push_back(Job{&fn, c, spans[c].first, spans[c].second});
+    jobs_remaining_ = spans.size();
   }
   work_cv_.notify_all();
   std::unique_lock lk(mu_);

@@ -2,14 +2,17 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "coop/forall/function_ref.hpp"
 
 /// \file thread_pool.hpp
 /// Minimal persistent worker pool backing the `thread_exec` policy
-/// (the stand-in for RAJA's OpenMP backend).
+/// (the stand-in for RAJA's OpenMP backend) and the parallel sweep
+/// executor (`coop::sweeps::SweepExecutor`).
 
 namespace coop::forall {
 
@@ -25,18 +28,40 @@ class ThreadPool {
     return static_cast<unsigned>(threads_.size());
   }
 
+  /// The static chunking `parallel_for` uses: contiguous `[begin, end)`
+  /// sub-ranges in index order, each at least `grain` iterations long
+  /// (except possibly when fewer than `grain` remain in total), at most one
+  /// per worker. `grain <= 1` reproduces the historical one-chunk-per-worker
+  /// split. Exposed so reduction callers (and tests) can size per-chunk
+  /// slot vectors to exactly the spans the pool will execute.
+  [[nodiscard]] std::vector<std::pair<long, long>> chunk_spans(
+      long begin, long end, long grain = 1) const;
+
   /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) split statically
-  /// across the workers; blocks until all chunks complete. Exceptions from
-  /// chunks propagate (first one wins).
-  void parallel_for(long begin, long end,
-                    const std::function<void(long, long)>& fn);
+  /// across the workers per `chunk_spans`; blocks until all chunks complete.
+  /// Exceptions from chunks propagate (first one wins). A `grain` > 1 keeps
+  /// tiny ranges from fanning out across every worker: a 10-iteration loop
+  /// with grain 8 wakes at most two threads instead of all of them. The body
+  /// is taken by non-owning reference — no `std::function` allocation per
+  /// call; the callable must stay alive for the (blocking) duration.
+  void parallel_for(long begin, long end, FunctionRef<void(long, long)> fn,
+                    long grain = 1);
+
+  /// Like `parallel_for`, but the body also receives the chunk's index in
+  /// `chunk_spans` order. Deterministic reductions hang on this: partials
+  /// land in per-chunk slots and are combined in chunk-index order, never in
+  /// completion order.
+  void parallel_for_indexed(
+      long begin, long end,
+      FunctionRef<void(std::size_t, long, long)> fn, long grain = 1);
 
   /// Process-wide pool sized to the hardware (lazy singleton).
   static ThreadPool& global();
 
  private:
   struct Job {
-    const std::function<void(long, long)>* fn;
+    FunctionRef<void(std::size_t, long, long)>* fn;
+    std::size_t index;
     long begin;
     long end;
   };

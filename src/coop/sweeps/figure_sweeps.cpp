@@ -1,6 +1,7 @@
 #include "coop/sweeps/figure_sweeps.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -170,50 +171,115 @@ const std::array<core::NodeMode, 3>& swept_modes() {
 }
 
 SweepCurves run_figure_sweep(const FigureSpec& spec,
-                             const SweepOptions& options) {
+                             const SweepOptions& options,
+                             SweepObservability* obs) {
   if (options.timesteps <= 0)
     throw std::invalid_argument("run_figure_sweep: timesteps must be >= 1");
   SweepCurves curves;
   curves.spec = spec;
   curves.options = options;
-  if (options.verbose) print_table_header(spec, options);
-  for (const auto& [x, y, z] : spec.sizes()) {
-    SweepPoint p;
-    p.x = x;
-    p.y = y;
-    p.z = z;
-    for (auto mode : swept_modes()) {
-      core::TimedConfig tc;
-      tc.mode = mode;
-      tc.global = {{0, 0, 0}, {x, y, z}};
-      tc.timesteps = options.timesteps;
-      tc.model_um_threshold = options.model_um_threshold;
-      tc.model_mps_overlap = options.model_mps_overlap;
-      tc.compiler_bug = options.compiler_bug;
-      const auto r = core::run_timed(tc);
-      const double last =
-          r.iteration_times.empty() ? r.makespan : r.iteration_times.back();
-      switch (mode) {
-        case core::NodeMode::kOneRankPerGpu:
-          p.t_default = r.makespan;
-          p.steady_default = last;
-          break;
-        case core::NodeMode::kMpsPerGpu:
-          p.t_mps = r.makespan;
-          p.steady_mps = last;
-          break;
-        case core::NodeMode::kHeterogeneous:
-          p.t_hetero = r.makespan;
-          p.steady_hetero = last;
-          p.hetero_cpu_share = r.final_cpu_fraction;
-          break;
-        default: break;
-      }
-    }
-    if (options.verbose) print_table_row(p);
-    curves.points.push_back(p);
+  const auto sizes = spec.sizes();
+  curves.points.resize(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    curves.points[i].x = sizes[i][0];
+    curves.points[i].y = sizes[i][1];
+    curves.points[i].z = sizes[i][2];
   }
+  if (obs != nullptr) {
+    obs->points.clear();
+    for (std::size_t i = 0; i < sizes.size(); ++i) obs->points.emplace_back();
+  }
+
+  const auto& modes = swept_modes();
+  // One sweep cell = one `run_timed` call. Every write lands in distinct
+  // members of `curves.points[pi]` (or `obs->points[pi]`), and `run_timed`
+  // itself is re-entrant (see the contract in timed_sim.hpp), so cells may
+  // run in any order or concurrently and the curves stay bitwise identical.
+  auto run_cell = [&](std::size_t pi, std::size_t mi) {
+    SweepPoint& p = curves.points[pi];
+    const core::NodeMode mode = modes[mi];
+    core::TimedConfig tc;
+    tc.mode = mode;
+    tc.global = {{0, 0, 0}, {p.x, p.y, p.z}};
+    tc.timesteps = options.timesteps;
+    tc.model_um_threshold = options.model_um_threshold;
+    tc.model_mps_overlap = options.model_mps_overlap;
+    tc.compiler_bug = options.compiler_bug;
+    if (obs != nullptr && mode == core::NodeMode::kHeterogeneous) {
+      tc.tracer = &obs->points[pi].tracer;
+      tc.metrics = &obs->points[pi].metrics;
+      tc.hb = &obs->points[pi].hb;
+    }
+    const auto r = core::run_timed(tc);
+    const double last =
+        r.iteration_times.empty() ? r.makespan : r.iteration_times.back();
+    switch (mode) {
+      case core::NodeMode::kOneRankPerGpu:
+        p.t_default = r.makespan;
+        p.steady_default = last;
+        break;
+      case core::NodeMode::kMpsPerGpu:
+        p.t_mps = r.makespan;
+        p.steady_mps = last;
+        break;
+      case core::NodeMode::kHeterogeneous:
+        p.t_hetero = r.makespan;
+        p.steady_hetero = last;
+        p.hetero_cpu_share = r.final_cpu_fraction;
+        break;
+      default: break;
+    }
+  };
+
+  SweepExecutor ex(options.jobs);
+  if (ex.jobs() <= 1) {
+    // Serial reference path: point-major order with progressive row output.
+    if (options.verbose) print_table_header(spec, options);
+    for (std::size_t pi = 0; pi < curves.points.size(); ++pi) {
+      for (std::size_t mi = 0; mi < modes.size(); ++mi) run_cell(pi, mi);
+      if (options.verbose) print_table_row(curves.points[pi]);
+    }
+    return curves;
+  }
+
+  // Parallel path: fan the (point, mode) cells across the executor, ordered
+  // most-expensive-first. A cell's wall cost scales with its rank count x
+  // timesteps (zones change *simulated* time, not event count per rank, so
+  // they only break ties); claiming the 16-rank MPS/Heterogeneous cells
+  // first keeps the join from dragging behind one late expensive cell.
+  struct Cell {
+    std::size_t point;
+    std::size_t mode;
+  };
+  const devmodel::NodeSpec node = core::TimedConfig{}.node;
+  std::array<long, 3> mode_cost{};
+  for (std::size_t mi = 0; mi < modes.size(); ++mi)
+    mode_cost[mi] = core::make_rank_layout(modes[mi], node).total_ranks;
+  std::vector<Cell> cells;
+  cells.reserve(curves.points.size() * modes.size());
+  for (std::size_t pi = 0; pi < curves.points.size(); ++pi)
+    for (std::size_t mi = 0; mi < modes.size(); ++mi)
+      cells.push_back(Cell{pi, mi});
+  std::stable_sort(cells.begin(), cells.end(),
+                   [&](const Cell& a, const Cell& b) {
+                     if (mode_cost[a.mode] != mode_cost[b.mode])
+                       return mode_cost[a.mode] > mode_cost[b.mode];
+                     return curves.points[a.point].zones() >
+                            curves.points[b.point].zones();
+                   });
+  if (options.verbose) print_table_header(spec, options);
+  ex.for_each_index(
+      cells.size(),
+      [&](std::size_t ci) { run_cell(cells[ci].point, cells[ci].mode); },
+      static_cast<std::size_t>(options.grain < 1 ? 1 : options.grain));
+  if (options.verbose)
+    for (const auto& p : curves.points) print_table_row(p);
   return curves;
+}
+
+SweepCurves run_figure_sweep(const FigureSpec& spec,
+                             const SweepOptions& options) {
+  return run_figure_sweep(spec, options, nullptr);
 }
 
 std::vector<long> SweepCurves::zones() const {
@@ -525,7 +591,14 @@ void run_figure_bench(int figure) {
   FigureSpec spec = figure_spec(figure);
   if (const char* mp = std::getenv("COOPHET_BENCH_MAX_POINTS"))
     spec = reduced(spec, static_cast<std::size_t>(std::max(2, std::atoi(mp))));
+  const auto t0 = std::chrono::steady_clock::now();
   const auto curves = run_figure_sweep(spec, options);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("(sweep: %zu points x 3 modes, %d job%s, %.2f s wall)\n",
+              curves.points.size(), resolve_sweep_jobs(options.jobs),
+              resolve_sweep_jobs(options.jobs) == 1 ? "" : "s", wall);
   maybe_write_csv(curves);
   print_shape_summary(curves);
 

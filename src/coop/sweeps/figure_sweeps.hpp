@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -9,8 +10,10 @@
 #include "coop/fault/fault_plan.hpp"
 #include "coop/obs/analysis/hb_log.hpp"
 #include "coop/obs/analysis/report.hpp"
+#include "coop/obs/metrics.hpp"
 #include "coop/obs/run_report.hpp"
 #include "coop/obs/trace.hpp"
+#include "coop/sweeps/sweep_executor.hpp"
 
 /// \file figure_sweeps.hpp
 /// Shared sweep library for the paper-figure reproductions (Figs. 9-18).
@@ -90,6 +93,16 @@ struct SweepOptions {
   bool model_mps_overlap = true;   ///< kernel overlap under MPS
   bool compiler_bug = true;        ///< nvcc std::function dispatch issue
   bool verbose = false;            ///< print the per-row table while running
+  /// Sweep fan-out width: every (point, mode) pair is an independent
+  /// deterministic `run_timed` call, executed across a worker pool.
+  /// 0 resolves via COOPHET_SWEEP_JOBS, then hardware concurrency; 1 runs
+  /// serially on the calling thread. Any value yields bitwise-identical
+  /// `SweepCurves` — results are collected by point index, never by
+  /// completion order.
+  int jobs = 0;
+  /// (point, mode) tasks claimed per worker grab; >1 trades load balance
+  /// for fewer cursor round-trips on very large sweeps.
+  int grain = 1;
 };
 
 /// One figure's curves: mode -> (dims -> seconds).
@@ -105,7 +118,36 @@ struct SweepCurves {
   [[nodiscard]] std::vector<double> steady_times(core::NodeMode mode) const;
 };
 
+/// Per-point observability sinks for a sweep run. When handed to
+/// `run_figure_sweep`, each sweep point's *heterogeneous* run gets its own
+/// tracer, metrics registry, and happens-before log (point i lands in
+/// `points[i]`), so per-point traces and wait-state analysis keep working
+/// under the parallel executor — sinks are never shared across concurrent
+/// points. Attachment is pure observation: the simulated schedule, and
+/// therefore `SweepCurves`, is bitwise unchanged.
+struct SweepObservability {
+  struct Point {
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    obs::analysis::HbLog hb;
+  };
+  /// One slot per sweep point (deque: slots keep stable addresses while the
+  /// executor runs). Sized by `run_figure_sweep`.
+  std::deque<Point> points;
+};
+
 /// Runs `spec` through `core::run_timed` for the three node modes.
+///
+/// Execution is fanned out across `options.jobs` workers, one task per
+/// (point, mode) pair, most-expensive-first; results are collected by point
+/// index so the returned `SweepCurves` is bitwise identical to a serial
+/// (`jobs = 1`) run. `run_timed` is re-entrant (see its contract in
+/// timed_sim.hpp), which is what makes the fan-out sound. When `obs` is
+/// non-null it is resized to one slot per point and each point's
+/// heterogeneous run is traced into its slot.
+[[nodiscard]] SweepCurves run_figure_sweep(const FigureSpec& spec,
+                                           const SweepOptions& options,
+                                           SweepObservability* obs);
 [[nodiscard]] SweepCurves run_figure_sweep(const FigureSpec& spec,
                                            const SweepOptions& options = {});
 

@@ -1,0 +1,55 @@
+#include "coop/sweeps/sweep_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "coop/forall/thread_pool.hpp"
+
+namespace coop::sweeps {
+
+int resolve_sweep_jobs(int requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("COOPHET_SWEEP_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs >= 1) return jobs;
+  }
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+SweepExecutor::SweepExecutor(int jobs) : jobs_(resolve_sweep_jobs(jobs)) {}
+
+void SweepExecutor::for_each_index(std::size_t n,
+                                   forall::FunctionRef<void(std::size_t)> fn,
+                                   std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(jobs_), (n + grain - 1) / grain);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // A pool sized to the request rather than `ThreadPool::global()`: the
+  // global pool is hardware-sized, and a sweep pinned to COOPHET_SWEEP_JOBS
+  // must get exactly that many concurrent points — including more workers
+  // than cores, which the determinism suite uses to force interleaving.
+  // Worker threads cost microseconds against sweep points that cost
+  // milliseconds to seconds each.
+  forall::ThreadPool pool(static_cast<unsigned>(workers));
+  std::atomic<std::size_t> cursor{0};
+  pool.parallel_for(
+      0, static_cast<long>(workers),
+      [&](long, long) {
+        for (;;) {
+          const std::size_t start = cursor.fetch_add(grain);
+          if (start >= n) return;
+          const std::size_t stop = std::min(n, start + grain);
+          for (std::size_t i = start; i < stop; ++i) fn(i);
+        }
+      },
+      /*grain=*/1);
+}
+
+}  // namespace coop::sweeps

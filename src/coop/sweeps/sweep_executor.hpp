@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+
+#include "coop/forall/function_ref.hpp"
+
+/// \file sweep_executor.hpp
+/// Worker-pool fan-out for embarrassingly-parallel sweep work.
+///
+/// Every figure reproduction, curve-lock test, and the CI perf-baselines
+/// gate funnels through `run_figure_sweep`, whose (x, y, z, mode) points are
+/// independent deterministic `core::run_timed` calls. The executor fans an
+/// index space across a worker pool (`coop::forall::ThreadPool`) with a
+/// dynamic cursor so expensive points don't serialize behind cheap ones;
+/// callers collect results *by index*, which keeps parallel output bitwise
+/// identical to the serial run regardless of completion order.
+///
+/// Concurrency resolution, in precedence order:
+///   1. an explicit `jobs >= 1` passed by the caller,
+///   2. the `COOPHET_SWEEP_JOBS` environment variable (>= 1),
+///   3. `std::thread::hardware_concurrency()`.
+/// `jobs == 1` runs inline on the calling thread — no pool, no handoff —
+/// and is the bitwise-reference execution the determinism suite compares
+/// against.
+
+namespace coop::sweeps {
+
+/// Resolves the effective worker count for a sweep fan-out (see file
+/// comment). Always >= 1.
+[[nodiscard]] int resolve_sweep_jobs(int requested = 0);
+
+class SweepExecutor {
+ public:
+  /// `jobs` <= 0 resolves via `resolve_sweep_jobs`.
+  explicit SweepExecutor(int jobs = 0);
+
+  [[nodiscard]] int jobs() const noexcept { return jobs_; }
+
+  /// Runs `fn(i)` for every i in [0, n). With more than one job, workers
+  /// claim `grain` consecutive indices at a time from a shared atomic
+  /// cursor, so callers that order their work items most-expensive-first
+  /// get LPT-style balance. `fn` must be re-entrant: it is invoked
+  /// concurrently for distinct indices and must not touch shared mutable
+  /// state (distinct result slots are fine). The first exception thrown by
+  /// any index is rethrown after all workers drain.
+  void for_each_index(std::size_t n, forall::FunctionRef<void(std::size_t)> fn,
+                      std::size_t grain = 1);
+
+ private:
+  int jobs_;
+};
+
+}  // namespace coop::sweeps

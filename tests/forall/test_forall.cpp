@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
 #include <limits>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "coop/forall/dynamic_policy.hpp"
@@ -111,6 +116,135 @@ TEST(Reduce, EmptyRangeReturnsIdentity) {
   EXPECT_DOUBLE_EQ((fa::forall_reduce_min<fa::seq_exec>(
                        3, 3, [](long) { return 1.0; })),
                    std::numeric_limits<double>::max());
+}
+
+// Magnitude-staggered data: double addition over it is associative only on
+// paper, so regrouping the combine changes the result's bits. The pre-fix
+// `forall_reduce<thread_exec>` combined partials in lock-acquisition
+// (completion) order and was nondeterministic run to run on exactly this
+// kind of input. Mixed signs and exponents spanning ~2^80 make the chunk
+// partials wildly different magnitudes, so their association order matters.
+std::vector<double> fp_noncommutative_data(long n) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  std::uint64_t s = 0x9E3779B97F4A7C15ULL ^ static_cast<std::uint64_t>(n);
+  for (auto& x : v) {
+    s += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    const double mant = 1.0 + static_cast<double>(z >> 11) * 0x1.0p-53;
+    const int exp = static_cast<int>(z % 81) - 40;
+    x = std::ldexp((z & 128) != 0 ? -mant : mant, exp);
+  }
+  return v;
+}
+
+std::uint64_t bits_of(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+TEST(Reduce, ThreadSumIsBitwiseReproducible) {
+  const long n = 100003;
+  const auto v = fp_noncommutative_data(n);
+  const double* vp = v.data();
+  // A 4-worker pool regardless of the host's core count: the global pool on
+  // a 1-core machine would have a single chunk and prove nothing.
+  fa::ThreadPool pool(4);
+  const auto reduce_once = [&] {
+    return fa::detail::ordered_chunk_reduce(
+        pool, 0, n, 0.0, [=](long i) { return vp[i]; },
+        [](double a, double b) { return a + b; });
+  };
+
+  // The documented contract: partials combine in chunk-index order, so the
+  // result equals the serial fold over chunk_spans...
+  const auto spans = pool.chunk_spans(0, n);
+  ASSERT_GT(spans.size(), 1u);
+  double want = 0.0;
+  for (const auto& [b, e] : spans) {
+    double partial = 0.0;
+    for (long i = b; i < e; ++i) partial += vp[i];
+    want += partial;
+  }
+  const double first = reduce_once();
+  EXPECT_EQ(bits_of(first), bits_of(want));
+
+  // ...bitwise identically on every run, however the workers interleave.
+  for (int run = 0; run < 50; ++run)
+    ASSERT_EQ(bits_of(reduce_once()), bits_of(first)) << "run " << run;
+
+  // Sanity that the input discriminates orderings at all: folding the same
+  // partials back to front lands on different bits, so a completion-order
+  // combine could not have passed the loop above by luck.
+  double reversed = 0.0;
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+    double partial = 0.0;
+    for (long i = it->first; i < it->second; ++i) partial += vp[i];
+    reversed += partial;
+  }
+  EXPECT_NE(bits_of(reversed), bits_of(first));
+}
+
+TEST(ThreadPool, ChunkSpansPartitionTheRangeInOrder) {
+  fa::ThreadPool pool(4);
+  for (const auto& [begin, end, grain] :
+       {std::array<long, 3>{0, 1000, 1}, {0, 1000, 400}, {5, 8, 1},
+        {0, 3, 1}, {100, 110, 8}, {0, 0, 1}, {7, 7, 3}}) {
+    const auto spans = pool.chunk_spans(begin, end, grain);
+    long expect_next = begin;
+    for (const auto& [b, e] : spans) {
+      EXPECT_EQ(b, expect_next);
+      EXPECT_LT(b, e);
+      expect_next = e;
+    }
+    EXPECT_EQ(expect_next, begin <= end ? end : begin);
+    EXPECT_LE(spans.size(), 4u);
+    if (grain > 1 && end > begin) {
+      EXPECT_LE(spans.size(), static_cast<std::size_t>(
+                                  std::max(1L, (end - begin) / grain)));
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForWithGrainVisitsEveryIndexOnce) {
+  fa::ThreadPool pool(4);
+  const long n = 4097;
+  std::vector<std::atomic<int>> hits(n);
+  for (long grain : {1L, 7L, 1024L, 8192L}) {
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(
+        0, n,
+        [&](long b, long e) {
+          for (long i = b; i < e; ++i)
+            hits[static_cast<std::size_t>(i)].fetch_add(
+                1, std::memory_order_relaxed);
+        },
+        grain);
+    for (long i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "i=" << i << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForIndexedReportsChunkSpansExactly) {
+  fa::ThreadPool pool(3);
+  const auto spans = pool.chunk_spans(10, 271, 16);
+  std::vector<std::pair<long, long>> seen(spans.size(), {-1, -1});
+  pool.parallel_for_indexed(
+      10, 271,
+      [&](std::size_t chunk, long b, long e) {
+        seen[chunk] = {b, e};
+      },
+      16);
+  EXPECT_EQ(seen, spans);
+}
+
+TEST(FunctionRef, InvokesCapturesWithoutAllocation) {
+  int calls = 0;
+  auto body = [&calls](long b, long e) { calls += static_cast<int>(e - b); };
+  fa::FunctionRef<void(long, long)> ref = body;
+  ref(0, 3);
+  ref(3, 10);
+  EXPECT_EQ(calls, 10);
 }
 
 TEST(ThreadPool, ExceptionPropagates) {

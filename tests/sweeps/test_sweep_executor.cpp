@@ -1,0 +1,229 @@
+/// SweepExecutor unit tests plus the parallel-sweep determinism suite: the
+/// fanned-out `run_figure_sweep` must be *bitwise* identical to the serial
+/// run — same curves, same per-point traces — for the figure specs the
+/// curve locks and the CI perf gate depend on. Also pins the `run_timed`
+/// re-entrancy contract the executor is built on (timed_sim.hpp).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coop/sweeps/figure_sweeps.hpp"
+#include "coop/sweeps/sweep_executor.hpp"
+
+namespace sweeps = coop::sweeps;
+
+namespace {
+
+/// Scoped COOPHET_SWEEP_JOBS override (restores the prior value).
+class ScopedJobsEnv {
+ public:
+  explicit ScopedJobsEnv(const char* value) {
+    const char* old = std::getenv("COOPHET_SWEEP_JOBS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr)
+      ::setenv("COOPHET_SWEEP_JOBS", value, 1);
+    else
+      ::unsetenv("COOPHET_SWEEP_JOBS");
+  }
+  ~ScopedJobsEnv() {
+    if (had_old_)
+      ::setenv("COOPHET_SWEEP_JOBS", old_.c_str(), 1);
+    else
+      ::unsetenv("COOPHET_SWEEP_JOBS");
+  }
+  ScopedJobsEnv(const ScopedJobsEnv&) = delete;
+  ScopedJobsEnv& operator=(const ScopedJobsEnv&) = delete;
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ResolveSweepJobs, ExplicitRequestWins) {
+  ScopedJobsEnv env("7");
+  EXPECT_EQ(sweeps::resolve_sweep_jobs(3), 3);
+  EXPECT_EQ(sweeps::resolve_sweep_jobs(1), 1);
+}
+
+TEST(ResolveSweepJobs, EnvOverrideAppliesWhenUnspecified) {
+  ScopedJobsEnv env("7");
+  EXPECT_EQ(sweeps::resolve_sweep_jobs(0), 7);
+  EXPECT_EQ(sweeps::resolve_sweep_jobs(-2), 7);
+}
+
+TEST(ResolveSweepJobs, GarbageEnvFallsThroughToHardware) {
+  ScopedJobsEnv env("0");
+  EXPECT_GE(sweeps::resolve_sweep_jobs(0), 1);
+  ScopedJobsEnv env2("banana");
+  EXPECT_GE(sweeps::resolve_sweep_jobs(0), 1);
+}
+
+TEST(SweepExecutor, VisitsEveryIndexExactlyOnce) {
+  sweeps::SweepExecutor ex(4);
+  EXPECT_EQ(ex.jobs(), 4);
+  for (std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+    const std::size_t n = 41;
+    std::vector<std::atomic<int>> hits(n);
+    ex.for_each_index(
+        n, [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "i=" << i << " grain=" << grain;
+  }
+}
+
+TEST(SweepExecutor, EmptyRangeRunsNothing) {
+  sweeps::SweepExecutor ex(4);
+  std::atomic<int> calls{0};
+  ex.for_each_index(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(SweepExecutor, SingleJobRunsInlineInOrder) {
+  sweeps::SweepExecutor ex(1);
+  std::vector<std::size_t> order;
+  ex.for_each_index(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SweepExecutor, ExceptionPropagatesAndExecutorSurvives) {
+  sweeps::SweepExecutor ex(4);
+  EXPECT_THROW(ex.for_each_index(100,
+                                 [&](std::size_t i) {
+                                   if (i == 50)
+                                     throw std::runtime_error("cell failed");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> calls{0};
+  ex.for_each_index(10, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+// --- Parallel sweep determinism ---------------------------------------------
+
+std::uint64_t bits_of(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_bitwise_equal(const sweeps::SweepCurves& serial,
+                          const sweeps::SweepCurves& parallel) {
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    const auto& s = serial.points[i];
+    const auto& p = parallel.points[i];
+    EXPECT_EQ(s.x, p.x);
+    EXPECT_EQ(s.y, p.y);
+    EXPECT_EQ(s.z, p.z);
+    EXPECT_EQ(bits_of(s.t_default), bits_of(p.t_default)) << "point " << i;
+    EXPECT_EQ(bits_of(s.t_mps), bits_of(p.t_mps)) << "point " << i;
+    EXPECT_EQ(bits_of(s.t_hetero), bits_of(p.t_hetero)) << "point " << i;
+    EXPECT_EQ(bits_of(s.steady_default), bits_of(p.steady_default))
+        << "point " << i;
+    EXPECT_EQ(bits_of(s.steady_mps), bits_of(p.steady_mps)) << "point " << i;
+    EXPECT_EQ(bits_of(s.steady_hetero), bits_of(p.steady_hetero))
+        << "point " << i;
+    EXPECT_EQ(bits_of(s.hetero_cpu_share), bits_of(p.hetero_cpu_share))
+        << "point " << i;
+  }
+}
+
+/// The figures the CI perf gate and curve locks sweep, reduced to 3 points
+/// at few timesteps so the tier-1 suite stays fast; 3 points x 3 modes = 9
+/// cells across 4 jobs still exercises concurrent claiming.
+class ParallelSweepDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelSweepDeterminism, BitwiseEqualToSerialRun) {
+  const auto spec = sweeps::reduced(sweeps::figure_spec(GetParam()), 3);
+  sweeps::SweepOptions options;
+  options.timesteps = 4;
+  options.jobs = 1;
+  const auto serial = sweeps::run_figure_sweep(spec, options);
+  options.jobs = 4;  // deliberately more workers than this machine may have
+  const auto parallel = sweeps::run_figure_sweep(spec, options);
+  expect_bitwise_equal(serial, parallel);
+}
+
+TEST_P(ParallelSweepDeterminism, ObservabilityAttachedStaysBitwiseEqual) {
+  const auto spec = sweeps::reduced(sweeps::figure_spec(GetParam()), 3);
+  sweeps::SweepOptions options;
+  options.timesteps = 4;
+
+  options.jobs = 1;
+  sweeps::SweepObservability serial_obs;
+  const auto serial = sweeps::run_figure_sweep(spec, options, &serial_obs);
+  options.jobs = 4;
+  sweeps::SweepObservability parallel_obs;
+  const auto parallel = sweeps::run_figure_sweep(spec, options, &parallel_obs);
+
+  expect_bitwise_equal(serial, parallel);
+
+  // Per-point sinks must also match run for run: attaching them under the
+  // parallel executor neither perturbs the schedule nor cross-wires points.
+  ASSERT_EQ(serial_obs.points.size(), serial.points.size());
+  ASSERT_EQ(parallel_obs.points.size(), serial.points.size());
+  for (std::size_t i = 0; i < serial_obs.points.size(); ++i) {
+    auto& s = serial_obs.points[i];
+    auto& p = parallel_obs.points[i];
+    std::ostringstream s_trace, p_trace;
+    s.tracer.write_chrome_trace(s_trace);
+    p.tracer.write_chrome_trace(p_trace);
+    EXPECT_FALSE(s_trace.str().empty());
+    EXPECT_EQ(s_trace.str(), p_trace.str()) << "trace of point " << i;
+
+    std::ostringstream s_metrics, p_metrics;
+    s.metrics.write_json(s_metrics, 0.0);
+    p.metrics.write_json(p_metrics, 0.0);
+    EXPECT_EQ(s_metrics.str(), p_metrics.str()) << "metrics of point " << i;
+
+    EXPECT_FALSE(s.hb.empty());
+    EXPECT_EQ(s.hb.sends().size(), p.hb.sends().size());
+    EXPECT_EQ(s.hb.recvs().size(), p.hb.recvs().size());
+    EXPECT_EQ(s.hb.arrivals().size(), p.hb.arrivals().size());
+    EXPECT_EQ(s.hb.returns().size(), p.hb.returns().size());
+    EXPECT_EQ(s.hb.gpu_drains().size(), p.hb.gpu_drains().size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PerfGateFigures, ParallelSweepDeterminism,
+                         ::testing::Values(12, 13, 18),
+                         [](const auto& pi) {
+                           return "Fig" + std::to_string(pi.param);
+                         });
+
+// --- run_timed re-entrancy (the contract the executor depends on) -----------
+
+TEST(RunTimedReentrancy, ConcurrentCallsMatchSerialBitwise) {
+  coop::core::TimedConfig tc;
+  tc.mode = coop::core::NodeMode::kHeterogeneous;
+  tc.global = {{0, 0, 0}, {100, 480, 160}};
+  tc.timesteps = 3;
+  const auto serial = coop::core::run_timed(tc);
+
+  constexpr int kThreads = 4;
+  std::vector<coop::core::TimedResult> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back(
+        [&, t] { results[static_cast<std::size_t>(t)] = run_timed(tc); });
+  for (auto& th : threads) th.join();
+
+  for (const auto& r : results) {
+    EXPECT_EQ(bits_of(r.makespan), bits_of(serial.makespan));
+    ASSERT_EQ(r.iteration_times.size(), serial.iteration_times.size());
+    for (std::size_t i = 0; i < r.iteration_times.size(); ++i)
+      EXPECT_EQ(bits_of(r.iteration_times[i]),
+                bits_of(serial.iteration_times[i]));
+    EXPECT_EQ(bits_of(r.final_cpu_fraction),
+              bits_of(serial.final_cpu_fraction));
+  }
+}
+
+}  // namespace

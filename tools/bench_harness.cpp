@@ -1,0 +1,167 @@
+/// Harness benchmark: measures the two hot paths this repo's PR 5 optimized
+/// and records them machine-readably.
+///
+///  1. Sweep wall-clock — a 4-point reduced Figure 18 sweep run serially
+///     (jobs=1) and fanned out (jobs=N), with the two `SweepCurves` verified
+///     bitwise identical before any timing is reported.
+///  2. Engine throughput — events/sec of the GpuServer-shaped same-instant
+///     burst workload (the pattern the engine's FIFO ring fast path serves).
+///
+/// Output: `BENCH_harness.json` (coophet.metrics schema v1) in the current
+/// directory, or at argv[1] when given. Environment knobs:
+///   COOPHET_HARNESS_TIMESTEPS — per-run timesteps  (default 100, the paper's)
+///   COOPHET_HARNESS_POINTS    — sweep points       (default 4)
+///   COOPHET_HARNESS_JOBS      — parallel fan-out   (default 4)
+/// Wall-clock numbers are machine-dependent; the CI job prints them and the
+/// determinism check fails hard, but no speedup threshold is enforced here —
+/// that's EXPERIMENTS.md's before/after table backed by the perf-baseline
+/// gate.
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "coop/des/engine.hpp"
+#include "coop/devmodel/gpu_server.hpp"
+#include "coop/devmodel/specs.hpp"
+#include "coop/obs/metrics.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
+
+namespace {
+
+namespace des = coop::des;
+namespace devmodel = coop::devmodel;
+namespace sweeps = coop::sweeps;
+
+int env_int(const char* name, int fallback) {
+  if (const char* v = std::getenv(name))
+    if (const int n = std::atoi(v); n >= 1) return n;
+  return fallback;
+}
+
+double wall_of(const auto& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool bitwise_equal(const sweeps::SweepCurves& a, const sweeps::SweepCurves& b) {
+  if (a.points.size() != b.points.size()) return false;
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const auto& p = a.points[i];
+    const auto& q = b.points[i];
+    if (p.x != q.x || p.y != q.y || p.z != q.z) return false;
+    if (bits(p.t_default) != bits(q.t_default) ||
+        bits(p.t_mps) != bits(q.t_mps) ||
+        bits(p.t_hetero) != bits(q.t_hetero) ||
+        bits(p.steady_default) != bits(q.steady_default) ||
+        bits(p.steady_mps) != bits(q.steady_mps) ||
+        bits(p.steady_hetero) != bits(q.steady_hetero) ||
+        bits(p.hetero_cpu_share) != bits(q.hetero_cpu_share))
+      return false;
+  }
+  return true;
+}
+
+des::Task<void> burst_rank(des::Engine& eng, devmodel::GpuServer& srv,
+                           int steps, int kernels_per_step) {
+  const devmodel::KernelWork work{6.0, 48.0};
+  for (int s = 0; s < steps; ++s) {
+    for (int k = 0; k < kernels_per_step; ++k)
+      co_await srv.execute(work, 40000.0, 100.0, /*mps=*/true);
+    co_await eng.delay(1e-3);
+  }
+}
+
+double burst_events_per_sec() {
+  const auto run_once = [] {
+    des::Engine eng;
+    devmodel::GpuServer srv(eng, devmodel::NodeSpec::rzhasgpu().gpu);
+    for (int r = 0; r < 16; ++r) eng.spawn(burst_rank(eng, srv, 10, 20));
+    eng.run();
+    return eng.events_processed();
+  };
+  (void)run_once();  // warmup
+  std::uint64_t events = 0;
+  double wall = 0.0;
+  while (wall < 0.3) {
+    const auto t0 = std::chrono::steady_clock::now();
+    events += run_once();
+    wall +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return static_cast<double>(events) / wall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int timesteps = env_int("COOPHET_HARNESS_TIMESTEPS", 100);
+  const int points = env_int("COOPHET_HARNESS_POINTS", 4);
+  const int jobs = env_int("COOPHET_HARNESS_JOBS", 4);
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_harness.json";
+
+  sweeps::SweepOptions options;
+  options.timesteps = timesteps;
+  const auto spec = sweeps::reduced(sweeps::figure_spec(18),
+                                    static_cast<std::size_t>(points));
+
+  sweeps::SweepCurves serial, parallel;
+  options.jobs = 1;
+  const double serial_s =
+      wall_of([&] { serial = sweeps::run_figure_sweep(spec, options); });
+  options.jobs = jobs;
+  const double parallel_s =
+      wall_of([&] { parallel = sweeps::run_figure_sweep(spec, options); });
+
+  if (!bitwise_equal(serial, parallel)) {
+    std::fprintf(stderr,
+                 "bench_harness: parallel sweep (jobs=%d) is NOT bitwise "
+                 "identical to the serial run\n",
+                 jobs);
+    return 1;
+  }
+
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  const double events_per_sec = burst_events_per_sec();
+
+  std::printf("=== harness benchmark: reduced Figure 18, %zu points, "
+              "%d timesteps ===\n",
+              serial.points.size(), timesteps);
+  std::printf("sweep wall-clock  jobs=1: %7.3f s\n", serial_s);
+  std::printf("sweep wall-clock  jobs=%d: %7.3f s  (speedup %.2fx, "
+              "bitwise identical)\n",
+              jobs, parallel_s, speedup);
+  std::printf("engine burst throughput: %.0f events/s\n", events_per_sec);
+
+  coop::obs::MetricsRegistry reg;
+  reg.gauge("harness.sweep_points").set(static_cast<double>(points));
+  reg.gauge("harness.sweep_timesteps").set(static_cast<double>(timesteps));
+  reg.gauge("harness.sweep_wall_s", coop::obs::Labels{{"jobs", "1"}})
+      .set(serial_s);
+  reg.gauge("harness.sweep_wall_s",
+            coop::obs::Labels{{"jobs", std::to_string(jobs)}})
+      .set(parallel_s);
+  reg.gauge("harness.sweep_speedup").set(speedup);
+  reg.gauge("harness.sweep_bitwise_identical").set(1.0);
+  reg.gauge("des.events_per_sec",
+            coop::obs::Labels{{"workload", "gpu_server_burst"}})
+      .set(events_per_sec);
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "bench_harness: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  reg.write_json(os, 0.0);
+  os << '\n';
+  std::printf("(harness benchmark written to %s)\n", out_path.c_str());
+  return 0;
+}
