@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Kill-and-resume drill for the fault-tolerant sweep pipeline (DESIGN.md 11),
+# run by the CI `resilience` job against a built tree:
+#
+#   scripts/ci_resilience.sh <build-dir> <out-dir>
+#
+# 1. Clean reference: a reduced fault-heavy Fig 18 campaign journaled to
+#    journal_clean.json.
+# 2. Crash: the same campaign killed (exit 3 via --exit-after) after 4
+#    journal appends; the partial journal must already lint as
+#    coophet.sweep_journal v1.
+# 3. Resume: re-running the command must resume exactly 4 cells from the
+#    journal, re-run zero completed cells, and leave a journal byte-identical
+#    to the clean reference (`cmp`).
+# 4. Poison: a campaign with one unrecoverably failing cell must still
+#    complete (exit 0), quarantine exactly that cell, and journal the
+#    other 8.
+# Every artifact lands in <out-dir> for upload.
+
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: ci_resilience.sh <build-dir> <out-dir>}
+OUT_DIR=${2:?usage: ci_resilience.sh <build-dir> <out-dir>}
+SWEEP_RESUME="$BUILD_DIR/tools/sweep_resume"
+JSON_LINT="$BUILD_DIR/tests/json_lint"
+# A reduced fault-heavy Fig 18 campaign: 3 points x 3 modes = 9 cells, with
+# the exemplar fault plan on every heterogeneous cell.
+ARGS=(--figure 18 --max-points 3 --timesteps 4)
+export COOPHET_BENCH_FAULTS=1
+
+mkdir -p "$OUT_DIR"
+cd "$OUT_DIR"
+rm -f journal_clean.json journal_crash.json journal_poison.json \
+  metrics_clean.json metrics_poison.json resilience_summary.txt
+
+expect_line() {  # expect_line <file> <literal-line>
+  if ! grep -qxF -- "$2" "$1"; then
+    echo "FAIL: expected \"$2\" in $1:" >&2
+    cat "$1" >&2
+    exit 1
+  fi
+}
+
+echo "== 1. clean reference campaign =="
+"$SWEEP_RESUME" "${ARGS[@]}" --journal journal_clean.json \
+  --metrics metrics_clean.json | tee clean.out
+expect_line clean.out "cells_total=9"
+expect_line clean.out "quarantined=0"
+expect_line clean.out "journal=journal_clean.json cells=9"
+
+echo "== 2. campaign killed after 4 journal appends =="
+set +e
+"$SWEEP_RESUME" "${ARGS[@]}" --journal journal_crash.json \
+  --exit-after 4 | tee crash.out
+crash_rc=$?
+set -e
+if [ "$crash_rc" -ne 3 ]; then
+  echo "FAIL: simulated crash exited $crash_rc, expected 3" >&2
+  exit 1
+fi
+"$JSON_LINT" --schema coophet.sweep_journal journal_crash.json
+
+echo "== 3. resumed campaign re-runs zero completed cells =="
+"$SWEEP_RESUME" "${ARGS[@]}" --journal journal_crash.json | tee resume.out
+expect_line resume.out "resumed=4"
+expect_line resume.out "resume_hits=4"
+expect_line resume.out "quarantined=0"
+if ! cmp journal_clean.json journal_crash.json; then
+  echo "FAIL: resumed journal differs from the clean reference" >&2
+  exit 1
+fi
+echo "resumed journal is byte-identical to the clean reference"
+
+echo "== 4. poisoned cell is quarantined, campaign still completes =="
+"$SWEEP_RESUME" "${ARGS[@]}" --journal journal_poison.json \
+  --poison 1:hetero --metrics metrics_poison.json | tee poison.out
+expect_line poison.out "failed_cells=1"
+expect_line poison.out "quarantined=1"
+expect_line poison.out "journal=journal_poison.json cells=8"
+grep -q "failed_cell point=1 mode=heterogeneous kind=fault_unrecoverable" \
+  poison.out
+
+echo "== 5. lint every emitted artifact =="
+"$JSON_LINT" --schema coophet.sweep_journal journal_clean.json \
+  journal_crash.json journal_poison.json
+"$JSON_LINT" --schema coophet.metrics metrics_clean.json metrics_poison.json
+
+{
+  echo "# ci_resilience summary"
+  echo "## clean"; cat clean.out
+  echo "## crash (exit $crash_rc)"; cat crash.out
+  echo "## resume"; cat resume.out
+  echo "## poison"; cat poison.out
+} > resilience_summary.txt
+echo "ci_resilience: all checks passed"

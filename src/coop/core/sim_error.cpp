@@ -1,0 +1,53 @@
+#include "coop/core/sim_error.hpp"
+
+#include <exception>
+#include <ios>
+
+namespace coop::core {
+
+const char* to_string(SimErrorKind kind) noexcept {
+  switch (kind) {
+    case SimErrorKind::kConfig: return "config";
+    case SimErrorKind::kModel: return "model";
+    case SimErrorKind::kFaultUnrecoverable: return "fault_unrecoverable";
+    case SimErrorKind::kIo: return "io";
+    case SimErrorKind::kTimeout: return "timeout";
+    case SimErrorKind::kCancelled: return "cancelled";
+  }
+  return "model";
+}
+
+std::string SimError::to_string() const {
+  std::string out = core::to_string(kind);
+  if (cell >= 0) out += ": cell " + std::to_string(cell);
+  if (!context.empty()) {
+    out += ": ";
+    out += context;
+  }
+  return out;
+}
+
+void throw_sim_error(SimErrorKind kind, std::string context, int cell) {
+  SimError err{kind, std::move(context), cell};
+  if (kind == SimErrorKind::kConfig || kind == SimErrorKind::kModel)
+    throw SimConfigException(std::move(err));
+  throw SimRuntimeException(std::move(err));
+}
+
+SimError classify_current_exception() noexcept {
+  try {
+    throw;
+  } catch (const SimErrorCarrier& c) {
+    return c.error();
+  } catch (const std::invalid_argument& e) {
+    return SimError{SimErrorKind::kConfig, e.what()};
+  } catch (const std::ios_base::failure& e) {
+    return SimError{SimErrorKind::kIo, e.what()};
+  } catch (const std::exception& e) {
+    return SimError{SimErrorKind::kModel, e.what()};
+  } catch (...) {
+    return SimError{SimErrorKind::kModel, "unknown exception"};
+  }
+}
+
+}  // namespace coop::core

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+/// \file sim_error.hpp
+/// Typed error taxonomy for the simulation pipeline.
+///
+/// `run_timed` and the sweep analytics historically threw bare
+/// `std::invalid_argument` / `std::runtime_error`; a sweep campaign that
+/// hits one poisoned cell therefore could not tell a config typo from a
+/// transient I/O failure from a watchdog timeout, and had no choice but to
+/// abort everything. `SimError` is the classification the sweep supervisor
+/// retries, quarantines, or aborts on:
+///
+///  * kConfig             — invalid configuration; deterministic, never retry.
+///  * kModel              — the simulation model itself failed an invariant.
+///  * kFaultUnrecoverable — the *simulated* fault schedule exceeded the
+///                          recovery policy (the run is valid, the modeled
+///                          machine died); never retry, quarantine.
+///  * kIo                 — filesystem/artifact failure; transient, retry.
+///  * kTimeout            — a per-cell watchdog budget (events, simulated
+///                          seconds, or wall seconds) expired.
+///  * kCancelled          — the campaign's CancelToken was triggered.
+///
+/// Exceptions carrying a `SimError` keep their legacy standard base so all
+/// pre-taxonomy call sites (and tests) continue to catch what they always
+/// caught: config/model errors ARE `std::invalid_argument`, runtime kinds
+/// ARE `std::runtime_error`. New code catches `SimErrorCarrier` (or calls
+/// `classify_current_exception`) to read the typed payload.
+
+namespace coop::core {
+
+enum class SimErrorKind {
+  kConfig,
+  kModel,
+  kFaultUnrecoverable,
+  kIo,
+  kTimeout,
+  kCancelled,
+};
+
+[[nodiscard]] const char* to_string(SimErrorKind kind) noexcept;
+
+/// The typed payload: kind + human context + (optionally) the flat sweep
+/// cell index the error belongs to (-1 outside a sweep).
+struct SimError {
+  SimErrorKind kind = SimErrorKind::kModel;
+  std::string context;
+  int cell = -1;
+
+  /// "timeout: cell 7: wall budget exceeded" — the `what()` of carriers.
+  [[nodiscard]] std::string to_string() const;
+
+  /// True for kinds worth a bounded retry (the failure is environmental,
+  /// not a deterministic property of the cell config). Deterministic
+  /// simulation failures would fail identically on every attempt.
+  [[nodiscard]] bool transient() const noexcept {
+    return kind == SimErrorKind::kIo;
+  }
+};
+
+/// Mixin interface every typed simulation exception implements; lets a
+/// single `catch (const SimErrorCarrier&)` read the payload regardless of
+/// which standard base the exception was given.
+class SimErrorCarrier {
+ public:
+  virtual ~SimErrorCarrier() = default;
+  [[nodiscard]] virtual const SimError& error() const noexcept = 0;
+};
+
+namespace detail {
+
+template <typename Base>
+class SimExceptionImpl : public Base, public SimErrorCarrier {
+ public:
+  explicit SimExceptionImpl(SimError err)
+      : Base(err.to_string()), err_(std::move(err)) {}
+  [[nodiscard]] const SimError& error() const noexcept override {
+    return err_;
+  }
+
+ private:
+  SimError err_;
+};
+
+}  // namespace detail
+
+/// Config/model errors: deterministic misuse, still an invalid_argument for
+/// every legacy catch site.
+using SimConfigException = detail::SimExceptionImpl<std::invalid_argument>;
+/// Runtime kinds (io/timeout/cancelled/fault_unrecoverable).
+using SimRuntimeException = detail::SimExceptionImpl<std::runtime_error>;
+
+/// Throws the exception type matching `kind` (config/model ->
+/// SimConfigException, the rest -> SimRuntimeException).
+[[noreturn]] void throw_sim_error(SimErrorKind kind, std::string context,
+                                  int cell = -1);
+
+/// Maps the in-flight exception (callable only inside a catch block) onto
+/// the taxonomy: carriers pass their payload through; bare
+/// `std::invalid_argument` was a pre-taxonomy config throw; everything else
+/// is a model failure. Never throws.
+[[nodiscard]] SimError classify_current_exception() noexcept;
+
+/// Cooperative cancellation for long campaigns: the owner requests, the
+/// supervised `run_timed` step loop polls between event slices and raises
+/// kCancelled. Thread-safe; a token may be shared by many concurrent cells.
+class CancelToken {
+ public:
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace coop::core

@@ -1,6 +1,7 @@
 #include "coop/core/timed_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <numeric>
@@ -646,27 +647,26 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
 }  // namespace
 
 TimedResult run_timed(const TimedConfig& cfg) {
-  if (cfg.global.empty())
-    throw std::invalid_argument("run_timed: empty global box");
-  if (cfg.timesteps <= 0)
-    throw std::invalid_argument("run_timed: timesteps <= 0");
-  if (cfg.nodes <= 0) throw std::invalid_argument("run_timed: nodes <= 0");
-  if (cfg.ranks_per_gpu <= 0)
-    throw std::invalid_argument("run_timed: ranks_per_gpu <= 0");
-  if (cfg.cpu_fraction > 1.0)
-    throw std::invalid_argument("run_timed: cpu_fraction > 1");
-  if (cfg.ghosts < 0) throw std::invalid_argument("run_timed: ghosts < 0");
+  // Config validation throws the typed taxonomy (sim_error.hpp). Every site
+  // is still a std::invalid_argument via SimConfigException, so legacy
+  // catch sites keep working; the sweep supervisor reads the kind.
+  const auto bad = [](const char* what) {
+    throw_sim_error(SimErrorKind::kConfig, std::string("run_timed: ") + what);
+  };
+  if (cfg.global.empty()) bad("empty global box");
+  if (cfg.timesteps <= 0) bad("timesteps <= 0");
+  if (cfg.nodes <= 0) bad("nodes <= 0");
+  if (cfg.ranks_per_gpu <= 0) bad("ranks_per_gpu <= 0");
+  if (cfg.cpu_fraction > 1.0) bad("cpu_fraction > 1");
+  if (cfg.ghosts < 0) bad("ghosts < 0");
   if (static_cast<long>(cfg.nodes) > cfg.global.nz())
-    throw std::invalid_argument(
-        "run_timed: nodes exceed the global z extent");
+    bad("nodes exceed the global z extent");
   if (cfg.faults != nullptr) {
-    if (cfg.recovery.max_launch_attempts < 1)
-      throw std::invalid_argument("run_timed: max_launch_attempts < 1");
-    if (cfg.recovery.checkpoint_interval < 0)
-      throw std::invalid_argument("run_timed: checkpoint_interval < 0");
+    if (cfg.recovery.max_launch_attempts < 1) bad("max_launch_attempts < 1");
+    if (cfg.recovery.checkpoint_interval < 0) bad("checkpoint_interval < 0");
     if (cfg.recovery.checkpoint_bandwidth_bytes_per_s <= 0.0 ||
         cfg.recovery.pool_fallback_bandwidth_bytes_per_s <= 0.0)
-      throw std::invalid_argument("run_timed: nonpositive recovery bandwidth");
+      bad("nonpositive recovery bandwidth");
   }
 
   World w;
@@ -750,7 +750,42 @@ TimedResult run_timed(const TimedConfig& cfg) {
   if (cfg.hb != nullptr) commw.bind_hb_log(cfg.hb);
   for (int r = 0; r < w.dec.ranks(); ++r)
     eng.spawn(rank_process(eng, w, commw, r));
-  const double makespan = eng.run();
+  double makespan = 0.0;
+  if (cfg.cancel == nullptr && !cfg.budget.any()) {
+    makespan = eng.run();
+  } else {
+    // Supervised drive: fixed event slices with watchdog/cancellation
+    // checks in between. Slicing never reorders events (run_for pops the
+    // same (t, seq) order run() would), so a run that stays inside its
+    // budgets is bitwise identical to the unsupervised one. Throwing here —
+    // from the driver, never inside a coroutine — leaves suspended rank
+    // frames to the Engine's destructor.
+    constexpr std::uint64_t kSliceEvents = 4096;
+    const auto wall_start = std::chrono::steady_clock::now();
+    const std::uint64_t start_events = eng.events_processed();
+    bool live = true;
+    while (live) {
+      live = eng.run_for(kSliceEvents);
+      if (cfg.cancel != nullptr && cfg.cancel->cancelled())
+        throw_sim_error(SimErrorKind::kCancelled, "run_timed: cancelled");
+      const auto& b = cfg.budget;
+      if (b.max_events > 0 &&
+          eng.events_processed() - start_events > b.max_events)
+        throw_sim_error(SimErrorKind::kTimeout,
+                        "run_timed: event budget exceeded (" +
+                            std::to_string(b.max_events) + " events)");
+      if (b.max_sim_s > 0.0 && eng.now() > b.max_sim_s)
+        throw_sim_error(SimErrorKind::kTimeout,
+                        "run_timed: simulated-time budget exceeded");
+      if (b.max_wall_s > 0.0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+                  .count() > b.max_wall_s)
+        throw_sim_error(SimErrorKind::kTimeout,
+                        "run_timed: wall-clock budget exceeded");
+    }
+    makespan = eng.now();
+  }
   if (cfg.tracer != nullptr) cfg.tracer->close_counter_tracks(makespan);
 
   TimedResult res;

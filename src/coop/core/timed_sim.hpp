@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "coop/core/node_mode.hpp"
+#include "coop/core/sim_error.hpp"
 #include "coop/core/trace.hpp"
 #include "coop/decomp/decomposition.hpp"
 #include "coop/devmodel/specs.hpp"
@@ -33,6 +34,18 @@ class HbLog;
 }  // namespace coop::obs::analysis
 
 namespace coop::core {
+
+/// Watchdog budgets for one supervised `run_timed` call; 0 = unlimited.
+/// Exceeding any budget raises a `SimError` of kind kTimeout from inside
+/// the run loop (between event slices, never inside a coroutine).
+struct RunBudget {
+  std::uint64_t max_events = 0;  ///< DES events processed
+  double max_sim_s = 0.0;        ///< simulated seconds
+  double max_wall_s = 0.0;       ///< wall-clock seconds
+  [[nodiscard]] bool any() const noexcept {
+    return max_events > 0 || max_sim_s > 0.0 || max_wall_s > 0.0;
+  }
+};
 
 struct TimedConfig {
   NodeMode mode = NodeMode::kOneRankPerGpu;
@@ -103,6 +116,16 @@ struct TimedConfig {
   const fault::FaultPlan* faults = nullptr;
   /// Recovery-policy knobs; only consulted when `faults` is set.
   fault::RecoveryConfig recovery{};
+
+  /// Per-call watchdog budgets (sweep supervision). When any budget is set
+  /// (or `cancel` is non-null) the engine is driven in fixed event slices
+  /// with budget/cancellation checks between slices — bitwise identical
+  /// event order, a few branches per ~4k events of overhead. Exceeding a
+  /// budget throws kTimeout; a triggered token throws kCancelled.
+  RunBudget budget{};
+  /// Optional cooperative cancellation (not owned; may be nullptr). Shared
+  /// across concurrent cells of a campaign; polled between event slices.
+  const CancelToken* cancel = nullptr;
 };
 
 struct TimedResult {

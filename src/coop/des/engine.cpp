@@ -129,6 +129,16 @@ SimTime Engine::run() {
   return now_;
 }
 
+bool Engine::run_for(std::uint64_t max_events) {
+  Event ev;
+  for (std::uint64_t i = 0;
+       i < max_events && pop_next(std::numeric_limits<SimTime>::infinity(), ev);
+       ++i)
+    step(ev);
+  reap_finished_roots();
+  return !idle();
+}
+
 SimTime Engine::run_until(SimTime t_end) {
   Event ev;
   while (pop_next(t_end, ev)) step(ev);

@@ -91,6 +91,13 @@ class Engine {
   /// Events at exactly `t_end` are processed.
   SimTime run_until(SimTime t_end);
 
+  /// Processes at most `max_events` events, then returns whether work
+  /// remains. Slicing a run into `while (eng.run_for(n)) { ... }` is bitwise
+  /// identical to one `run()` call — the event order is untouched — which is
+  /// how the supervised `run_timed` path interleaves watchdog/cancellation
+  /// checks without adding per-event cost to the unsupervised hot loop.
+  bool run_for(std::uint64_t max_events);
+
   /// True when no further events are queued.
   [[nodiscard]] bool idle() const noexcept {
     return heap_.empty() && ring_head_ == ring_.size();

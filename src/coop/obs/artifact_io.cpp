@@ -1,0 +1,34 @@
+#include "coop/obs/artifact_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace coop::obs {
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& write) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw IoError("atomic_write_file: cannot open " + tmp);
+    try {
+      write(os);
+    } catch (...) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    os.flush();
+    if (!os) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw IoError("atomic_write_file: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("atomic_write_file: cannot rename " + tmp + " -> " + path);
+  }
+}
+
+}  // namespace coop::obs

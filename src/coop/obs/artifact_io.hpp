@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <ios>
+#include <ostream>
+#include <string>
+
+/// \file artifact_io.hpp
+/// Crash-safe artifact writing: every machine-readable output (BENCH_*.json,
+/// traces, sweep journals, metrics snapshots) goes through
+/// `atomic_write_file`, which writes `<path>.tmp` and renames it into place
+/// only after a successful flush. A reader — CI's json_lint, a resuming
+/// sweep, a dashboard — therefore never observes a truncated file at the
+/// final path: it sees the old content or the new content, nothing between.
+
+namespace coop::obs {
+
+/// Typed I/O failure. Derives from std::ios_base::failure (and therefore
+/// std::runtime_error), so legacy `catch (std::runtime_error)` sites still
+/// work while `core::classify_current_exception` maps it to SimError kIo —
+/// the transient kind the sweep supervisor retries.
+class IoError : public std::ios_base::failure {
+ public:
+  explicit IoError(const std::string& what) : std::ios_base::failure(what) {}
+};
+
+/// Writes `path` atomically: `write` streams the content into `<path>.tmp`,
+/// which is flushed, closed, and renamed over `path`. On any failure —
+/// open, stream error (badbit/failbit), or rename — the tmp file is removed
+/// and IoError is thrown; `path` is left untouched. Exceptions thrown by
+/// `write` itself propagate unchanged (tmp still cleaned up).
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& write);
+
+}  // namespace coop::obs

@@ -132,6 +132,25 @@ void RunReport::write_json(std::ostream& os) const {
   os << ']';
   kv(os, "max_hetero_gain_pct", max_hetero_gain_pct);
   kv(os, "gain_at_zones", gain_at_zones);
+
+  os << ",\"sweep_resilience\":{";
+  kv(os, "cells_total", sweep_resilience.cells_total, false);
+  kv(os, "cells_failed", sweep_resilience.cells_failed);
+  kv(os, "retries", sweep_resilience.retries);
+  kv(os, "resume_hits", sweep_resilience.resume_hits);
+  os << ",\"failed_cells\":[";
+  for (std::size_t i = 0; i < sweep_resilience.failed_cells.size(); ++i) {
+    const FailedCellReport& f = sweep_resilience.failed_cells[i];
+    if (i > 0) os << ',';
+    os << '{';
+    kv(os, "point", f.point, false);
+    kv(os, "mode", f.mode);
+    kv(os, "kind", f.kind);
+    kv(os, "context", f.context);
+    kv(os, "attempts", f.attempts);
+    os << '}';
+  }
+  os << "]}";
   os << '}';
 }
 
@@ -191,6 +210,18 @@ void RunReport::write_table(std::ostream& os) const {
     os << "  sweep: " << sweep.size() << " points, max hetero gain "
        << std::setprecision(1) << max_hetero_gain_pct << " % at "
        << gain_at_zones << " zones\n";
+  }
+
+  if (sweep_resilience.cells_failed > 0 || sweep_resilience.retries > 0 ||
+      sweep_resilience.resume_hits > 0) {
+    os << "  resilience: " << sweep_resilience.cells_total << " cells, "
+       << sweep_resilience.cells_failed << " quarantined, "
+       << sweep_resilience.retries << " retries, "
+       << sweep_resilience.resume_hits << " resumed from journal\n";
+    for (const FailedCellReport& f : sweep_resilience.failed_cells)
+      os << "    quarantined point " << f.point << " (" << f.mode << "): "
+         << f.kind << ": " << f.context << " after " << f.attempts
+         << " attempt(s)\n";
   }
 
   os.flags(flags);

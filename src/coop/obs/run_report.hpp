@@ -25,7 +25,9 @@
 namespace coop::obs {
 
 inline constexpr const char* kRunReportSchemaName = "coophet.run_report";
-inline constexpr int kRunReportSchemaVersion = 1;
+/// v2: added the "sweep_resilience" object (campaign supervision tallies +
+/// quarantined-cell rows). Readers of v1 fields are unaffected.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 struct PhaseBreakdown {
   double compute_s = 0.0;
@@ -71,6 +73,25 @@ struct SweepRow {
   double hetero_cpu_share = 0.0;
 };
 
+/// One quarantined sweep cell (sweeps::SweepCurves::FailedCell, flattened
+/// to plain strings so obs stays independent of the sweeps layer).
+struct FailedCellReport {
+  long point = -1;      ///< sweep point index
+  std::string mode;     ///< core::to_string(NodeMode)
+  std::string kind;     ///< core::to_string(SimErrorKind)
+  std::string context;  ///< human error context
+  int attempts = 0;
+};
+
+/// Campaign-supervision tallies of the sweep that produced this report.
+struct SweepResilienceReport {
+  int cells_total = 0;
+  int cells_failed = 0;
+  int retries = 0;
+  int resume_hits = 0;
+  std::vector<FailedCellReport> failed_cells;
+};
+
 struct RunReport {
   // Identity.
   std::string label;  ///< e.g. "Figure 18"
@@ -113,6 +134,9 @@ struct RunReport {
   std::vector<SweepRow> sweep;
   double max_hetero_gain_pct = 0.0;
   long gain_at_zones = 0;
+
+  /// Sweep-pipeline resilience (schema v2; all-zero for clean campaigns).
+  SweepResilienceReport sweep_resilience;
 
   void write_json(std::ostream& os) const;
   void write_table(std::ostream& os) const;

@@ -1,0 +1,139 @@
+#include "coop/service/admission.hpp"
+
+#include <algorithm>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/obs/metrics.hpp"
+
+namespace coop::service {
+
+void AdmissionConfig::validate() const {
+  const auto bad = [](const char* what) {
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          std::string("AdmissionConfig: ") + what);
+  };
+  if (rate_per_s <= 0.0) bad("rate_per_s must be > 0");
+  if (burst < 1.0) bad("burst must be >= 1");
+  if (max_in_flight < 1) bad("max_in_flight must be >= 1");
+  if (max_queue < 0) bad("max_queue must be >= 0");
+}
+
+const char* to_string(AdmissionDecision d) noexcept {
+  switch (d) {
+    case AdmissionDecision::kAdmitted: return "admitted";
+    case AdmissionDecision::kQueued: return "queued";
+    case AdmissionDecision::kShedRate: return "shed_rate";
+    case AdmissionDecision::kShedQueueFull: return "shed_queue_full";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config), tokens_(config.burst) {
+  config_.validate();
+}
+
+void AdmissionController::refill_locked(double now) {
+  if (!refilled_once_) {
+    // First observation pins the clock origin; the bucket starts full.
+    refilled_once_ = true;
+    last_refill_ = now;
+    return;
+  }
+  if (now <= last_refill_) return;  // time never runs backwards here
+  tokens_ = std::min(config_.burst,
+                     tokens_ + (now - last_refill_) * config_.rate_per_s);
+  last_refill_ = now;
+}
+
+AdmissionDecision AdmissionController::offer(std::uint64_t id, int priority,
+                                             double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(now);
+  ++stats_.offered;
+  // Queue capacity is checked before the token: a request the server has
+  // no room to even hold should not drain the bucket for requests it could
+  // actually take.
+  if (in_flight_ >= config_.max_in_flight &&
+      static_cast<int>(queue_.size()) >= config_.max_queue) {
+    ++stats_.shed_queue_full;
+    return AdmissionDecision::kShedQueueFull;
+  }
+  if (tokens_ < 1.0) {
+    ++stats_.shed_rate;
+    return AdmissionDecision::kShedRate;
+  }
+  tokens_ -= 1.0;
+  if (in_flight_ < config_.max_in_flight) {
+    ++in_flight_;
+    ++stats_.admitted;
+    stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
+    return AdmissionDecision::kAdmitted;
+  }
+  queue_.push_back(Waiting{id, priority});
+  ++stats_.queued;
+  stats_.peak_queue_depth =
+      std::max(stats_.peak_queue_depth, static_cast<int>(queue_.size()));
+  return AdmissionDecision::kQueued;
+}
+
+std::size_t AdmissionController::best_waiting_locked() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i)
+    if (queue_[i].priority > queue_[best].priority) best = i;
+  return best;
+}
+
+long long AdmissionController::complete(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(now);
+  if (in_flight_ <= 0)
+    core::throw_sim_error(core::SimErrorKind::kModel,
+                          "AdmissionController: complete with none in flight");
+  ++stats_.completed;
+  if (queue_.empty()) {
+    --in_flight_;
+    return -1;
+  }
+  const std::size_t i = best_waiting_locked();
+  const long long id = static_cast<long long>(queue_[i].id);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+  ++stats_.promoted;  // the freed slot goes straight to the promoted request
+  return id;
+}
+
+int AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+int AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void AdmissionController::publish_metrics(obs::MetricsRegistry& metrics) const {
+  const AdmissionStats s = stats();
+  metrics.gauge("admission.offered").set(static_cast<double>(s.offered));
+  metrics.gauge("admission.admitted").set(static_cast<double>(s.admitted));
+  metrics.gauge("admission.queued").set(static_cast<double>(s.queued));
+  metrics.gauge("admission.promoted").set(static_cast<double>(s.promoted));
+  metrics.gauge("admission.shed_rate").set(static_cast<double>(s.shed_rate));
+  metrics.gauge("admission.shed_queue_full")
+      .set(static_cast<double>(s.shed_queue_full));
+  metrics.gauge("admission.completed").set(static_cast<double>(s.completed));
+  metrics.gauge("admission.peak_in_flight")
+      .set(static_cast<double>(s.peak_in_flight));
+  metrics.gauge("admission.peak_queue_depth")
+      .set(static_cast<double>(s.peak_queue_depth));
+  metrics.gauge("admission.in_flight").set(static_cast<double>(in_flight()));
+  metrics.gauge("admission.queue_depth")
+      .set(static_cast<double>(queue_depth()));
+}
+
+}  // namespace coop::service

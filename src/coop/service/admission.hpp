@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+/// \file admission.hpp
+/// Token-bucket admission control + bounded in-flight queue — the front
+/// door of the scenario service (ROADMAP: "long-running sweep server with
+/// caching and admission control").
+///
+/// A sweep request is `offer`ed with a priority; the controller either
+/// admits it (an in-flight slot is free and the rate bucket has a token),
+/// queues it (slots full, queue not), or sheds it (rate exhausted, or the
+/// queue is full). `complete` releases a slot and promotes the
+/// highest-priority queued request. Load-shedding at the door is what keeps
+/// an overloaded sweep server answering *some* requests predictably instead
+/// of thrashing on all of them.
+///
+/// Determinism: the controller never reads a clock — callers pass `now`
+/// (seconds, any monotonic origin) into `offer`/`complete`. Tests and the
+/// simulation drive it with simulated time; a daemon passes wall time.
+/// Thread-safe; all statistics are monotonic counters suitable for
+/// `obs::MetricsRegistry` export via `publish_metrics`.
+
+namespace coop::obs {
+class MetricsRegistry;
+}  // namespace coop::obs
+
+namespace coop::service {
+
+struct AdmissionConfig {
+  double rate_per_s = 10.0;  ///< token refill rate (requests/second)
+  double burst = 20.0;       ///< bucket capacity (max tokens banked)
+  int max_in_flight = 4;     ///< concurrently admitted requests
+  int max_queue = 16;        ///< waiting requests before shedding
+
+  void validate() const;  ///< throws kConfig on nonsensical values
+};
+
+enum class AdmissionDecision {
+  kAdmitted,       ///< runs now (slot + token consumed)
+  kQueued,         ///< waiting for a slot (token consumed)
+  kShedRate,       ///< rejected: token bucket empty
+  kShedQueueFull,  ///< rejected: queue at capacity (no token consumed)
+};
+
+[[nodiscard]] const char* to_string(AdmissionDecision d) noexcept;
+
+struct AdmissionStats {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;  ///< immediate admissions
+  std::uint64_t queued = 0;
+  std::uint64_t promoted = 0;  ///< queued -> running on a completion
+  std::uint64_t shed_rate = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t completed = 0;
+  int peak_in_flight = 0;
+  int peak_queue_depth = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// Offers request `id` with `priority` (higher runs first among queued
+  /// requests; FIFO within a priority) at time `now`.
+  AdmissionDecision offer(std::uint64_t id, int priority, double now);
+
+  /// Marks one admitted request finished at `now`; promotes the best
+  /// queued request into the freed slot when one is waiting. Returns the
+  /// promoted id, or -1 when the queue was empty.
+  long long complete(double now);
+
+  [[nodiscard]] int in_flight() const;
+  [[nodiscard]] int queue_depth() const;
+  [[nodiscard]] AdmissionStats stats() const;
+
+  /// Snapshots the counters into `admission.*` metrics.
+  void publish_metrics(obs::MetricsRegistry& metrics) const;
+
+ private:
+  struct Waiting {
+    std::uint64_t id;
+    int priority;
+  };
+
+  void refill_locked(double now);
+  /// Highest priority first, FIFO within equal priority.
+  [[nodiscard]] std::size_t best_waiting_locked() const;
+
+  AdmissionConfig config_;
+  mutable std::mutex mutex_;
+  double tokens_;
+  double last_refill_ = 0.0;
+  bool refilled_once_ = false;
+  int in_flight_ = 0;
+  std::deque<Waiting> queue_;
+  AdmissionStats stats_;
+};
+
+}  // namespace coop::service

@@ -1,0 +1,374 @@
+#include "coop/service/sweep_journal.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/obs/artifact_io.hpp"
+#include "coop/obs/json.hpp"
+
+namespace coop::service {
+
+namespace {
+
+// --- Campaign hashing -------------------------------------------------------
+
+class Fnv1a64 {
+ public:
+  void mix(const std::string& s) {
+    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0x1f);  // field separator: "ab"+"c" never collides with "a"+"bc"
+  }
+  void mix(long v) { mix(std::to_string(v)); }
+  void mix(int v) { mix(std::to_string(v)); }
+  void mix(bool v) { mix(std::string(v ? "1" : "0")); }
+
+  [[nodiscard]] std::string hex() const {
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i)
+      out[static_cast<std::size_t>(i)] =
+          kDigits[(hash_ >> (60 - 4 * i)) & 0xf];
+    return out;
+  }
+
+ private:
+  void mix_byte(unsigned char b) {
+    hash_ ^= b;
+    hash_ *= 1099511628211ULL;
+  }
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+// --- Mode round-trip --------------------------------------------------------
+
+core::NodeMode mode_from_string(const std::string& s) {
+  for (const core::NodeMode m :
+       {core::NodeMode::kCpuOnly, core::NodeMode::kOneRankPerGpu,
+        core::NodeMode::kMpsPerGpu, core::NodeMode::kHeterogeneous})
+    if (s == core::to_string(m)) return m;
+  core::throw_sim_error(core::SimErrorKind::kIo,
+                        "sweep_journal: unknown mode \"" + s + "\"");
+}
+
+// --- Minimal JSON reader ----------------------------------------------------
+// The journal is both written and consumed by this module; the strict
+// artifact checker in tests/ lints the schema in CI. This reader only needs
+// the subset the writer emits: objects, arrays, strings (plain + the two
+// mandatory escapes), numbers, bools.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const char* key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* why) const {
+    core::throw_sim_error(core::SimErrorKind::kIo,
+                          std::string("sweep_journal: malformed JSON (") +
+                              why + " at byte " + std::to_string(pos_) + ")");
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return bool_value();
+    if (c == 'n') return null_value();
+    return number_value();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key.string), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    expect('"');
+    while (peek() != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        const char e = peek();
+        ++pos_;
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: fail("unsupported escape");
+        }
+      }
+      v.string.push_back(c);
+    }
+    ++pos_;
+    return v;
+  }
+
+  JsonValue bool_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null_value() {
+    if (s_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue number_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    char* end = nullptr;
+    v.number = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) fail("bad number");
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+double require_number(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber)
+    core::throw_sim_error(
+        core::SimErrorKind::kIo,
+        std::string("sweep_journal: missing numeric field \"") + key + "\"");
+  return v->number;
+}
+
+const std::string& require_string(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kString)
+    core::throw_sim_error(
+        core::SimErrorKind::kIo,
+        std::string("sweep_journal: missing string field \"") + key + "\"");
+  return v->string;
+}
+
+}  // namespace
+
+std::string campaign_hash(const sweeps::FigureSpec& spec,
+                          const sweeps::SweepOptions& options) {
+  Fnv1a64 h;
+  h.mix(spec.figure);
+  h.mix(std::string(1, spec.vary));
+  for (const long v : spec.values) h.mix(v);
+  for (const long f : spec.fixed) h.mix(f);
+  h.mix(options.timesteps);
+  h.mix(options.model_um_threshold);
+  h.mix(options.model_mps_overlap);
+  h.mix(options.compiler_bug);
+  h.mix(options.hetero_faults != nullptr && !options.hetero_faults->empty());
+  return h.hex();
+}
+
+SweepJournal::SweepJournal(std::string path, const sweeps::FigureSpec& spec,
+                           const sweeps::SweepOptions& options)
+    : path_(std::move(path)),
+      campaign_(campaign_hash(spec, options)),
+      figure_(spec.figure) {
+  load_existing();
+}
+
+void SweepJournal::load_existing() {
+  std::ifstream is(path_, std::ios::binary);
+  if (!is) return;  // first run: no journal yet
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty()) return;  // treat an empty file as a fresh journal
+
+  const JsonValue root = JsonReader(text).parse();
+  if (require_string(root, "schema") != kSweepJournalSchemaName)
+    core::throw_sim_error(core::SimErrorKind::kIo,
+                          "sweep_journal: " + path_ + " is not a journal");
+  if (static_cast<int>(require_number(root, "schema_version")) !=
+      kSweepJournalSchemaVersion)
+    core::throw_sim_error(core::SimErrorKind::kIo,
+                          "sweep_journal: unsupported schema_version in " +
+                              path_);
+  const std::string& found = require_string(root, "campaign");
+  if (found != campaign_)
+    core::throw_sim_error(
+        core::SimErrorKind::kConfig,
+        "sweep_journal: " + path_ + " belongs to campaign " + found +
+            ", not " + campaign_ +
+            " — refusing to resume a different sweep (delete the journal or "
+            "pass a matching spec)");
+  const JsonValue* cells = root.find("cells");
+  if (cells == nullptr || cells->type != JsonValue::Type::kArray)
+    core::throw_sim_error(core::SimErrorKind::kIo,
+                          "sweep_journal: missing \"cells\" in " + path_);
+  for (const JsonValue& c : cells->array) {
+    sweeps::SweepCellRecord rec;
+    rec.point = static_cast<std::size_t>(require_number(c, "point"));
+    rec.mode = mode_from_string(require_string(c, "mode"));
+    rec.x = static_cast<long>(require_number(c, "x"));
+    rec.y = static_cast<long>(require_number(c, "y"));
+    rec.z = static_cast<long>(require_number(c, "z"));
+    rec.t = require_number(c, "t");
+    rec.steady = require_number(c, "steady");
+    rec.cpu_share = require_number(c, "cpu_share");
+    cells_[Key{rec.point, static_cast<int>(rec.mode)}] = rec;
+  }
+}
+
+bool SweepJournal::lookup(std::size_t point, core::NodeMode mode,
+                          sweeps::SweepCellRecord& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cells_.find(Key{point, static_cast<int>(mode)});
+  if (it == cells_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void SweepJournal::record(const sweeps::SweepCellRecord& rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{rec.point, static_cast<int>(rec.mode)};
+  if (!cells_.emplace(key, rec).second) return;  // idempotent
+  rewrite_locked();
+}
+
+std::size_t SweepJournal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cells_.size();
+}
+
+void SweepJournal::rewrite_locked() const {
+  // Full rewrite per append, atomically. Journals hold tens of cells, each
+  // append is preceded by a multi-second simulation, and the map's
+  // (point, mode) iteration order makes the finished file byte-identical
+  // however the cells raced in — which is what lets the resume acceptance
+  // test `cmp` a resumed journal against a clean one.
+  obs::atomic_write_file(path_, [&](std::ostream& os) {
+    os << "{\"schema\":\"" << kSweepJournalSchemaName
+       << "\",\"schema_version\":" << kSweepJournalSchemaVersion
+       << ",\"campaign\":\"" << campaign_ << "\",\"figure\":" << figure_
+       << ",\"cells\":[";
+    bool first = true;
+    for (const auto& [key, rec] : cells_) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"point\":" << rec.point << ",\"mode\":";
+      obs::write_json_string(os, core::to_string(rec.mode));
+      os << ",\"x\":" << rec.x << ",\"y\":" << rec.y << ",\"z\":" << rec.z
+         << ",\"t\":";
+      obs::write_json_number(os, rec.t);
+      os << ",\"steady\":";
+      obs::write_json_number(os, rec.steady);
+      os << ",\"cpu_share\":";
+      obs::write_json_number(os, rec.cpu_share);
+      os << '}';
+    }
+    os << "]}\n";
+  });
+}
+
+void SweepJournal::bind(sweeps::SweepOptions& options) {
+  options.cell_lookup = [this](std::size_t point, core::NodeMode mode,
+                               sweeps::SweepCellRecord& out) {
+    return lookup(point, mode, out);
+  };
+  options.on_cell_complete = [this](const sweeps::SweepCellRecord& rec) {
+    record(rec);
+  };
+}
+
+}  // namespace coop::service

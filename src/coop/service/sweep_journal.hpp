@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "coop/sweeps/figure_sweeps.hpp"
+
+/// \file sweep_journal.hpp
+/// Crash-safe journal of completed sweep cells — the persistence half of
+/// the scenario service (ROADMAP: "long-running sweep server").
+///
+/// A sweep campaign opens a journal before fanning out; every completed
+/// (point, mode) cell is recorded as one row keyed by the campaign's
+/// canonical config hash, and every write replaces the file atomically
+/// (tmp + rename via `obs::atomic_write_file`). Killing the process at ANY
+/// instant therefore leaves a valid journal holding exactly the cells whose
+/// `record` call returned. A restarted campaign with the same spec +
+/// options hashes to the same campaign id, loads the journal, and skips
+/// completed cells through `SweepOptions::cell_lookup` — re-running zero
+/// finished work and, because the stored doubles round-trip exactly
+/// (%.17g), producing bitwise-identical final curves.
+///
+/// File format: `coophet.sweep_journal` schema v1 —
+///   {"schema":"coophet.sweep_journal","schema_version":1,
+///    "campaign":"<16-hex FNV-1a of the canonical config>",
+///    "figure":18,"cells":[{"point":0,"mode":"heterogeneous",
+///      "x":...,"y":...,"z":...,"t":...,"steady":...,"cpu_share":...},...]}
+/// Cells are kept sorted by (point, mode), so the journal of a finished
+/// campaign is byte-identical however its cells were ordered in time.
+
+namespace coop::service {
+
+inline constexpr const char* kSweepJournalSchemaName = "coophet.sweep_journal";
+inline constexpr int kSweepJournalSchemaVersion = 1;
+
+/// Canonical campaign identity: a 16-hex-digit FNV-1a-64 over the knobs
+/// that change the simulated results — figure, varied dimension, sweep
+/// values, fixed extents, timesteps, the ablation/compiler toggles, and
+/// whether a heterogeneous fault plan is attached. Execution knobs (jobs,
+/// grain, verbosity, supervision budgets, hooks) deliberately do NOT hash:
+/// they change how the sweep runs, not what it computes, and a journal must
+/// be reusable across them.
+[[nodiscard]] std::string campaign_hash(const sweeps::FigureSpec& spec,
+                                        const sweeps::SweepOptions& options);
+
+class SweepJournal {
+ public:
+  /// Opens (creating on first use) the journal at `path` for the campaign
+  /// identified by `spec` + `options`. An existing file must parse as
+  /// schema v1 and carry the same campaign hash; a mismatch (different
+  /// campaign, corrupt content) throws a typed kConfig/kIo error rather
+  /// than silently resuming the wrong sweep.
+  SweepJournal(std::string path, const sweeps::FigureSpec& spec,
+               const sweeps::SweepOptions& options);
+
+  /// True + fills `out` when (point, mode) completed in a previous run.
+  /// Thread-safe.
+  [[nodiscard]] bool lookup(std::size_t point, core::NodeMode mode,
+                            sweeps::SweepCellRecord& out) const;
+
+  /// Persists one completed cell: updates the in-memory table and
+  /// atomically rewrites the journal file. Idempotent — re-recording a
+  /// (point, mode) already present is a no-op. Thread-safe. Throws
+  /// `obs::IoError` when the file cannot be written.
+  void record(const sweeps::SweepCellRecord& rec);
+
+  /// Completed cells currently journaled. Thread-safe.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::string& campaign() const noexcept {
+    return campaign_;
+  }
+
+  /// Wires this journal into a sweep: `cell_lookup` resumes from it,
+  /// `on_cell_complete` appends to it. The journal must outlive the sweep.
+  void bind(sweeps::SweepOptions& options);
+
+ private:
+  using Key = std::pair<std::size_t, int>;  ///< (point, mode enum value)
+
+  void load_existing();
+  void rewrite_locked() const;  ///< caller holds mutex_
+
+  std::string path_;
+  std::string campaign_;
+  int figure_ = 0;
+  mutable std::mutex mutex_;
+  /// Ordered by (point, mode): iteration order IS the on-disk cell order,
+  /// which makes the final journal byte-deterministic.
+  std::map<Key, sweeps::SweepCellRecord> cells_;
+};
+
+}  // namespace coop::service

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "coop/core/report.hpp"
+#include "coop/obs/artifact_io.hpp"
 
 namespace coop::sweeps {
 
@@ -66,7 +68,8 @@ double SweepPoint::time(core::NodeMode mode) const {
     case core::NodeMode::kMpsPerGpu: return t_mps;
     case core::NodeMode::kHeterogeneous: return t_hetero;
     default:
-      throw std::invalid_argument("SweepPoint::time: mode not swept");
+      core::throw_sim_error(core::SimErrorKind::kConfig,
+                            "SweepPoint::time: mode not swept");
   }
 }
 
@@ -76,7 +79,8 @@ double SweepPoint::steady(core::NodeMode mode) const {
     case core::NodeMode::kMpsPerGpu: return steady_mps;
     case core::NodeMode::kHeterogeneous: return steady_hetero;
     default:
-      throw std::invalid_argument("SweepPoint::steady: mode not swept");
+      core::throw_sim_error(core::SimErrorKind::kConfig,
+                            "SweepPoint::steady: mode not swept");
   }
 }
 
@@ -141,15 +145,17 @@ const FigureSpec& figure_spec(int figure) {
   };
   for (const auto& s : kSpecs)
     if (s.figure == figure) return s;
-  throw std::invalid_argument("figure_spec: no sweep for figure " +
-                              std::to_string(figure));
+  core::throw_sim_error(
+      core::SimErrorKind::kConfig,
+      "figure_spec: no sweep for figure " + std::to_string(figure));
 }
 
 std::vector<int> figure_numbers() { return {12, 13, 14, 15, 16, 17, 18}; }
 
 FigureSpec reduced(const FigureSpec& spec, std::size_t max_points) {
   if (max_points < 2)
-    throw std::invalid_argument("reduced: need at least 2 points");
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "reduced: need at least 2 points");
   FigureSpec out = spec;
   const std::size_t n = spec.values.size();
   if (n <= max_points) return out;
@@ -170,11 +176,41 @@ const std::array<core::NodeMode, 3>& swept_modes() {
   return kModes;
 }
 
+namespace {
+
+/// Lands a cell's results in its SweepPoint slot — the single place both a
+/// fresh `run_timed` result and a journal-restored record go through, so a
+/// resume is bitwise identical to having run the cell.
+void apply_cell_record(SweepPoint& p, const SweepCellRecord& rec) {
+  switch (rec.mode) {
+    case core::NodeMode::kOneRankPerGpu:
+      p.t_default = rec.t;
+      p.steady_default = rec.steady;
+      break;
+    case core::NodeMode::kMpsPerGpu:
+      p.t_mps = rec.t;
+      p.steady_mps = rec.steady;
+      break;
+    case core::NodeMode::kHeterogeneous:
+      p.t_hetero = rec.t;
+      p.steady_hetero = rec.steady;
+      p.hetero_cpu_share = rec.cpu_share;
+      break;
+    default: break;
+  }
+}
+
+}  // namespace
+
 SweepCurves run_figure_sweep(const FigureSpec& spec,
                              const SweepOptions& options,
                              SweepObservability* obs) {
   if (options.timesteps <= 0)
-    throw std::invalid_argument("run_figure_sweep: timesteps must be >= 1");
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "run_figure_sweep: timesteps must be >= 1");
+  if (options.max_cell_attempts < 1)
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "run_figure_sweep: max_cell_attempts must be >= 1");
   SweepCurves curves;
   curves.spec = spec;
   curves.options = options;
@@ -191,13 +227,39 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
   }
 
   const auto& modes = swept_modes();
+  curves.supervision.cells_total =
+      static_cast<int>(curves.points.size() * modes.size());
+  if (options.metrics != nullptr)
+    options.metrics->counter("sweep.cells_total")
+        .add(curves.supervision.cells_total);
+  // Guards the supervisor's shared bookkeeping (failed_cells, stats,
+  // journal append). The hot path — running cells — never holds it.
+  std::mutex supervision_mutex;
+
   // One sweep cell = one `run_timed` call. Every write lands in distinct
   // members of `curves.points[pi]` (or `obs->points[pi]`), and `run_timed`
   // itself is re-entrant (see the contract in timed_sim.hpp), so cells may
   // run in any order or concurrently and the curves stay bitwise identical.
+  //
+  // Supervision wraps each cell: journal lookup first (resume hit = skip),
+  // then up to `max_cell_attempts` runs with transient failures retried and
+  // persistent ones quarantined into `failed_cells` — one poisoned cell
+  // cannot take the campaign down.
   auto run_cell = [&](std::size_t pi, std::size_t mi) {
     SweepPoint& p = curves.points[pi];
     const core::NodeMode mode = modes[mi];
+    const int cell_id = static_cast<int>(pi * modes.size() + mi);
+    if (options.cell_lookup) {
+      SweepCellRecord rec;
+      if (options.cell_lookup(pi, mode, rec)) {
+        apply_cell_record(p, rec);
+        std::lock_guard<std::mutex> lock(supervision_mutex);
+        ++curves.supervision.resume_hits;
+        if (options.metrics != nullptr)
+          options.metrics->counter("sweep.cells_resumed").add();
+        return;
+      }
+    }
     core::TimedConfig tc;
     tc.mode = mode;
     tc.global = {{0, 0, 0}, {p.x, p.y, p.z}};
@@ -205,30 +267,82 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
     tc.model_um_threshold = options.model_um_threshold;
     tc.model_mps_overlap = options.model_mps_overlap;
     tc.compiler_bug = options.compiler_bug;
+    tc.budget = options.cell_budget;
+    tc.cancel = options.cancel;
+    if (mode == core::NodeMode::kHeterogeneous &&
+        options.hetero_faults != nullptr && !options.hetero_faults->empty()) {
+      tc.faults = options.hetero_faults;
+      tc.recovery.checkpoint_interval = 2;
+    }
     if (obs != nullptr && mode == core::NodeMode::kHeterogeneous) {
       tc.tracer = &obs->points[pi].tracer;
       tc.metrics = &obs->points[pi].metrics;
       tc.hb = &obs->points[pi].hb;
     }
-    const auto r = core::run_timed(tc);
-    const double last =
-        r.iteration_times.empty() ? r.makespan : r.iteration_times.back();
-    switch (mode) {
-      case core::NodeMode::kOneRankPerGpu:
-        p.t_default = r.makespan;
-        p.steady_default = last;
-        break;
-      case core::NodeMode::kMpsPerGpu:
-        p.t_mps = r.makespan;
-        p.steady_mps = last;
-        break;
-      case core::NodeMode::kHeterogeneous:
-        p.t_hetero = r.makespan;
-        p.steady_hetero = last;
-        p.hetero_cpu_share = r.final_cpu_fraction;
-        break;
-      default: break;
+    for (int attempt = 1;; ++attempt) {
+      try {
+        if (options.cell_hook) options.cell_hook(pi, mode, attempt);
+        const auto r = core::run_timed(tc);
+        SweepCellRecord rec;
+        rec.point = pi;
+        rec.mode = mode;
+        rec.x = p.x;
+        rec.y = p.y;
+        rec.z = p.z;
+        rec.t = r.makespan;
+        rec.steady =
+            r.iteration_times.empty() ? r.makespan : r.iteration_times.back();
+        rec.cpu_share = mode == core::NodeMode::kHeterogeneous
+                            ? r.final_cpu_fraction
+                            : 0.0;
+        apply_cell_record(p, rec);
+        if (options.metrics != nullptr || options.on_cell_complete) {
+          std::lock_guard<std::mutex> lock(supervision_mutex);
+          if (options.metrics != nullptr)
+            options.metrics->counter("sweep.cells_ok").add();
+          if (options.on_cell_complete) options.on_cell_complete(rec);
+        }
+        return;
+      } catch (...) {
+        core::SimError err = core::classify_current_exception();
+        err.cell = cell_id;
+        // A cancelled campaign must stop claiming cells, not quarantine
+        // them: rethrow and let the executor aggregate.
+        if (err.kind == core::SimErrorKind::kCancelled) throw;
+        if (err.transient() && attempt < options.max_cell_attempts) {
+          {
+            std::lock_guard<std::mutex> lock(supervision_mutex);
+            ++curves.supervision.retries;
+            if (options.metrics != nullptr)
+              options.metrics->counter("sweep.cell_retries").add();
+          }
+          if (options.retry_backoff_s > 0.0)
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                options.retry_backoff_s * attempt));
+          continue;
+        }
+        if (!options.quarantine_failures) throw;
+        std::lock_guard<std::mutex> lock(supervision_mutex);
+        curves.failed_cells.push_back(
+            SweepCurves::FailedCell{pi, mode, std::move(err), attempt});
+        ++curves.supervision.quarantined;
+        if (options.metrics != nullptr)
+          options.metrics->counter("sweep.cells_quarantined").add();
+        return;
+      }
     }
+  };
+
+  // Quarantine order must not depend on worker interleaving: sort by
+  // (point, swept-mode order) so `failed_cells` is deterministic.
+  auto finalize = [&]() -> SweepCurves&& {
+    std::sort(curves.failed_cells.begin(), curves.failed_cells.end(),
+              [&](const SweepCurves::FailedCell& a,
+                  const SweepCurves::FailedCell& b) {
+                if (a.point != b.point) return a.point < b.point;
+                return a.error.cell < b.error.cell;
+              });
+    return std::move(curves);
   };
 
   SweepExecutor ex(options.jobs);
@@ -239,7 +353,7 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
       for (std::size_t mi = 0; mi < modes.size(); ++mi) run_cell(pi, mi);
       if (options.verbose) print_table_row(curves.points[pi]);
     }
-    return curves;
+    return finalize();
   }
 
   // Parallel path: fan the (point, mode) cells across the executor, ordered
@@ -274,7 +388,7 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
       static_cast<std::size_t>(options.grain < 1 ? 1 : options.grain));
   if (options.verbose)
     for (const auto& p : curves.points) print_table_row(p);
-  return curves;
+  return finalize();
 }
 
 SweepCurves run_figure_sweep(const FigureSpec& spec,
@@ -333,14 +447,17 @@ SlopeBreak detect_slope_break(const std::vector<long>& zones,
                               const std::vector<double>& times,
                               double min_ratio) {
   if (zones.size() != times.size())
-    throw std::invalid_argument("detect_slope_break: length mismatch");
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "detect_slope_break: length mismatch");
   const int n = static_cast<int>(zones.size());
   if (n < 4)
-    throw std::invalid_argument("detect_slope_break: need >= 4 points");
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "detect_slope_break: need >= 4 points");
   for (int i = 1; i < n; ++i)
     if (zones[static_cast<std::size_t>(i)] <=
         zones[static_cast<std::size_t>(i - 1)])
-      throw std::invalid_argument(
+      core::throw_sim_error(
+          core::SimErrorKind::kConfig,
           "detect_slope_break: zones must be strictly increasing");
 
   SlopeBreak best;
@@ -478,7 +595,8 @@ core::TimedResult run_traced_exemplar(const FigureSpec& spec,
                                       core::TimedConfig* config_out) {
   const auto sizes = spec.sizes();
   if (sizes.empty())
-    throw std::invalid_argument("run_traced_exemplar: empty sweep spec");
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "run_traced_exemplar: empty sweep spec");
   std::array<long, 3> biggest = sizes.front();
   for (const auto& s : sizes)
     if (s[0] * s[1] * s[2] > biggest[0] * biggest[1] * biggest[2]) biggest = s;
@@ -510,7 +628,8 @@ BenchArtifacts make_bench_artifacts(const SweepCurves& curves,
                                     const fault::FaultPlan* faults,
                                     int exemplar_timesteps) {
   if (curves.points.empty())
-    throw std::invalid_argument("make_bench_artifacts: empty sweep");
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "make_bench_artifacts: empty sweep");
 
   BenchArtifacts a;
   core::TimedConfig tc;
@@ -538,6 +657,20 @@ BenchArtifacts make_bench_artifacts(const SweepCurves& curves,
                        core::NodeMode::kHeterogeneous, &zones_at);
   a.report.gain_at_zones = zones_at;
 
+  a.report.sweep_resilience.cells_total = curves.supervision.cells_total;
+  a.report.sweep_resilience.cells_failed = curves.supervision.quarantined;
+  a.report.sweep_resilience.retries = curves.supervision.retries;
+  a.report.sweep_resilience.resume_hits = curves.supervision.resume_hits;
+  for (const auto& f : curves.failed_cells) {
+    obs::FailedCellReport row;
+    row.point = static_cast<long>(f.point);
+    row.mode = core::to_string(f.mode);
+    row.kind = core::to_string(f.error.kind);
+    row.context = f.error.context;
+    row.attempts = f.attempts;
+    a.report.sweep_resilience.failed_cells.push_back(std::move(row));
+  }
+
   a.critpath = core::build_critical_path_report(tc, a.exemplar, a.tracer, a.hb);
   a.critpath.label = curves.spec.title;
   a.critpath.figure = curves.spec.figure;
@@ -547,37 +680,25 @@ BenchArtifacts make_bench_artifacts(const SweepCurves& curves,
 
 std::string write_bench_artifacts(const BenchArtifacts& artifacts,
                                   const std::string& dir) {
+  // Crash-safe: each artifact lands at its final path only via a completed
+  // tmp + rename, so a reader (CI's json_lint, a dashboard) can never see a
+  // truncated BENCH_*.json even if this process dies mid-write.
   const std::string fig = std::to_string(artifacts.report.figure);
   const std::string report_path = dir + "/BENCH_fig" + fig + ".json";
-  {
-    std::ofstream os(report_path);
-    if (!os) {
-      throw std::runtime_error("write_bench_artifacts: cannot open " +
-                               report_path);
-    }
+  obs::atomic_write_file(report_path, [&](std::ostream& os) {
     artifacts.report.write_json(os);
     os << '\n';
-  }
+  });
   const std::string trace_path = dir + "/trace_fig" + fig + ".json";
-  {
-    std::ofstream os(trace_path);
-    if (!os) {
-      throw std::runtime_error("write_bench_artifacts: cannot open " +
-                               trace_path);
-    }
+  obs::atomic_write_file(trace_path, [&](std::ostream& os) {
     artifacts.tracer.write_chrome_trace(os);
     os << '\n';
-  }
+  });
   const std::string critpath_path = dir + "/critpath_fig" + fig + ".json";
-  {
-    std::ofstream os(critpath_path);
-    if (!os) {
-      throw std::runtime_error("write_bench_artifacts: cannot open " +
-                               critpath_path);
-    }
+  obs::atomic_write_file(critpath_path, [&](std::ostream& os) {
     artifacts.critpath.write_json(os);
     os << '\n';
-  }
+  });
   std::printf("(report written to %s, trace to %s, critical path to %s)\n",
               report_path.c_str(), trace_path.c_str(), critpath_path.c_str());
   return report_path;

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,19 @@ struct FigureSpec {
 [[nodiscard]] FigureSpec reduced(const FigureSpec& spec,
                                  std::size_t max_points);
 
+/// One completed (point, mode) cell, the unit the sweep journal persists
+/// and a resumed sweep restores. `t`/`steady`/`cpu_share` are the exact
+/// doubles `run_timed` produced (cpu_share is 0 outside Heterogeneous), so
+/// a resume is bitwise indistinguishable from having run the cell.
+struct SweepCellRecord {
+  std::size_t point = 0;
+  core::NodeMode mode = core::NodeMode::kOneRankPerGpu;
+  long x = 0, y = 0, z = 0;
+  double t = 0.0;          ///< makespan, simulated s
+  double steady = 0.0;     ///< final-iteration time
+  double cpu_share = 0.0;  ///< final CPU zone fraction (Heterogeneous only)
+};
+
 /// Knobs for a sweep run. The ablation toggles mirror
 /// `core::TimedConfig`; the tier-2 negative tests flip them to prove the
 /// curve locks bite.
@@ -103,6 +117,47 @@ struct SweepOptions {
   /// (point, mode) tasks claimed per worker grab; >1 trades load balance
   /// for fewer cursor round-trips on very large sweeps.
   int grain = 1;
+
+  // --- Per-cell supervision (all off by default; the default path is the
+  // --- exact pre-supervision code path the determinism suite locks) -------
+
+  /// Attempts per cell before it is quarantined. Only errors classified
+  /// transient (`SimError::transient`, today kIo) are retried at all —
+  /// deterministic failures would fail identically every time.
+  int max_cell_attempts = 3;
+  /// Wall-clock sleep before retry attempt k is `k * retry_backoff_s`.
+  double retry_backoff_s = 0.0;
+  /// Watchdog budgets applied to every cell's `run_timed` call (0 = off).
+  /// A cell that exceeds one raises kTimeout and is quarantined.
+  core::RunBudget cell_budget{};
+  /// Campaign-wide cooperative cancellation (not owned; may be nullptr).
+  const core::CancelToken* cancel = nullptr;
+  /// When true (default) a persistently failing cell lands in
+  /// `SweepCurves::failed_cells` and the sweep keeps going; when false the
+  /// first failure propagates out of `run_figure_sweep` (legacy behavior).
+  bool quarantine_failures = true;
+  /// Fault plan applied to every Heterogeneous cell (with a 2-step
+  /// checkpoint cadence), for fault-heavy resilience sweeps. Not owned;
+  /// nullptr/empty = fault-free cells.
+  const fault::FaultPlan* hetero_faults = nullptr;
+
+  /// Test/CLI seam, called before every attempt of every cell (point, mode,
+  /// 1-based attempt). Throwing here fails the attempt exactly like a
+  /// `run_timed` failure — how the tests and the kill-and-resume script
+  /// inject poisoned and transient cells.
+  std::function<void(std::size_t, core::NodeMode, int)> cell_hook;
+  /// Resume seam: return true and fill the record to skip running the cell
+  /// (a sweep-journal hit). Must be thread-safe; called once per cell.
+  std::function<bool(std::size_t, core::NodeMode, SweepCellRecord&)>
+      cell_lookup;
+  /// Completion seam: called once per freshly computed cell (never for
+  /// `cell_lookup` hits), serialized under the sweep's bookkeeping mutex —
+  /// the sweep journal appends here.
+  std::function<void(const SweepCellRecord&)> on_cell_complete;
+  /// Optional campaign metrics (not owned): sweep.cells_total /
+  /// sweep.cells_ok / sweep.cell_retries / sweep.cells_quarantined /
+  /// sweep.cells_resumed counters.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One figure's curves: mode -> (dims -> seconds).
@@ -110,6 +165,27 @@ struct SweepCurves {
   FigureSpec spec;
   SweepOptions options;
   std::vector<SweepPoint> points;
+
+  /// A cell that exhausted its attempts (or failed non-transiently) under
+  /// `quarantine_failures`; its SweepPoint slot keeps the zero default.
+  struct FailedCell {
+    std::size_t point = 0;
+    core::NodeMode mode = core::NodeMode::kOneRankPerGpu;
+    core::SimError error;
+    int attempts = 0;
+  };
+  /// Quarantined cells, sorted by (point, swept-mode order) — deterministic
+  /// regardless of worker interleaving. Empty on a clean run.
+  std::vector<FailedCell> failed_cells;
+
+  /// Campaign resilience tallies (mirrored into metrics/RunReport).
+  struct SupervisionStats {
+    int cells_total = 0;   ///< points x modes
+    int retries = 0;       ///< extra attempts spent on transient cells
+    int quarantined = 0;   ///< == failed_cells.size()
+    int resume_hits = 0;   ///< cells restored via `cell_lookup`
+  };
+  SupervisionStats supervision;
 
   [[nodiscard]] std::vector<long> zones() const;
   /// Makespans of `mode` across the sweep, in sweep order.
@@ -270,7 +346,10 @@ struct BenchArtifacts {
 /// Writes `<dir>/BENCH_fig<NN>.json` (the run report),
 /// `<dir>/trace_fig<NN>.json` (the Chrome/Perfetto trace, flow-annotated)
 /// and `<dir>/critpath_fig<NN>.json` (the critical-path report); returns
-/// the report path. Throws std::runtime_error when a file cannot be opened.
+/// the report path. Each file is written crash-safely via
+/// `obs::atomic_write_file` (tmp + rename), so an interrupted bench never
+/// leaves a truncated artifact at a final path. Throws `obs::IoError` (a
+/// std::runtime_error) on failure.
 std::string write_bench_artifacts(const BenchArtifacts& artifacts,
                                   const std::string& dir);
 

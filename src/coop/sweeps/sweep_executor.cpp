@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "coop/forall/thread_pool.hpp"
 
@@ -18,6 +20,26 @@ int resolve_sweep_jobs(int requested) {
   return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 }
 
+namespace {
+
+std::string summarize(const std::vector<SweepIndexError::Failure>& failures) {
+  std::string out = "sweep fan-out: " + std::to_string(failures.size()) +
+                    " of the claimed indices failed;";
+  for (const auto& f : failures) {
+    out += " [" + std::to_string(f.index) + "] " + f.message + ";";
+    if (out.size() > 512) {
+      out += " ...";
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepIndexError::SweepIndexError(std::vector<Failure> failures)
+    : std::runtime_error(summarize(failures)), failures_(std::move(failures)) {}
+
 SweepExecutor::SweepExecutor(int jobs) : jobs_(resolve_sweep_jobs(jobs)) {}
 
 void SweepExecutor::for_each_index(std::size_t n,
@@ -25,31 +47,53 @@ void SweepExecutor::for_each_index(std::size_t n,
                                    std::size_t grain) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
+
+  // Failures are collected, not propagated: a bad index must not take the
+  // rest of its worker's claiming loop (let alone the sweep) down with it.
+  std::vector<SweepIndexError::Failure> failures;
+  std::mutex failures_mutex;
+  auto run_index = [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(failures_mutex);
+      failures.push_back({i, std::current_exception(), e.what()});
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(failures_mutex);
+      failures.push_back({i, std::current_exception(), "unknown exception"});
+    }
+  };
+
   const std::size_t workers =
       std::min(static_cast<std::size_t>(jobs_), (n + grain - 1) / grain);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
+    for (std::size_t i = 0; i < n; ++i) run_index(i);
+  } else {
+    // A pool sized to the request rather than `ThreadPool::global()`: the
+    // global pool is hardware-sized, and a sweep pinned to
+    // COOPHET_SWEEP_JOBS must get exactly that many concurrent points —
+    // including more workers than cores, which the determinism suite uses
+    // to force interleaving. Worker threads cost microseconds against sweep
+    // points that cost milliseconds to seconds each.
+    forall::ThreadPool pool(static_cast<unsigned>(workers));
+    std::atomic<std::size_t> cursor{0};
+    pool.parallel_for(
+        0, static_cast<long>(workers),
+        [&](long, long) {
+          for (;;) {
+            const std::size_t start = cursor.fetch_add(grain);
+            if (start >= n) return;
+            const std::size_t stop = std::min(n, start + grain);
+            for (std::size_t i = start; i < stop; ++i) run_index(i);
+          }
+        },
+        /*grain=*/1);
   }
-  // A pool sized to the request rather than `ThreadPool::global()`: the
-  // global pool is hardware-sized, and a sweep pinned to COOPHET_SWEEP_JOBS
-  // must get exactly that many concurrent points — including more workers
-  // than cores, which the determinism suite uses to force interleaving.
-  // Worker threads cost microseconds against sweep points that cost
-  // milliseconds to seconds each.
-  forall::ThreadPool pool(static_cast<unsigned>(workers));
-  std::atomic<std::size_t> cursor{0};
-  pool.parallel_for(
-      0, static_cast<long>(workers),
-      [&](long, long) {
-        for (;;) {
-          const std::size_t start = cursor.fetch_add(grain);
-          if (start >= n) return;
-          const std::size_t stop = std::min(n, start + grain);
-          for (std::size_t i = start; i < stop; ++i) fn(i);
-        }
-      },
-      /*grain=*/1);
+  if (!failures.empty()) {
+    std::sort(failures.begin(), failures.end(),
+              [](const auto& a, const auto& b) { return a.index < b.index; });
+    throw SweepIndexError(std::move(failures));
+  }
 }
 
 }  // namespace coop::sweeps

@@ -1,6 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "coop/forall/function_ref.hpp"
 
@@ -29,6 +33,31 @@ namespace coop::sweeps {
 /// comment). Always >= 1.
 [[nodiscard]] int resolve_sweep_jobs(int requested = 0);
 
+/// Aggregate failure of a `for_each_index` fan-out: EVERY index that threw,
+/// with its exception, sorted by index. The underlying ThreadPool keeps
+/// only the first worker exception; the executor instead records each
+/// failing index so a sweep supervisor can quarantine all bad cells in one
+/// pass instead of rediscovering them one run at a time. Indexes that were
+/// never *started* because workers drained early are not failures — every
+/// claimed index either completes or is listed here.
+class SweepIndexError : public std::runtime_error {
+ public:
+  struct Failure {
+    std::size_t index = 0;
+    std::exception_ptr error;  ///< rethrowable original exception
+    std::string message;       ///< its what() (or a placeholder)
+  };
+
+  explicit SweepIndexError(std::vector<Failure> failures);
+
+  [[nodiscard]] const std::vector<Failure>& failures() const noexcept {
+    return failures_;
+  }
+
+ private:
+  std::vector<Failure> failures_;
+};
+
 class SweepExecutor {
  public:
   /// `jobs` <= 0 resolves via `resolve_sweep_jobs`.
@@ -41,8 +70,10 @@ class SweepExecutor {
   /// cursor, so callers that order their work items most-expensive-first
   /// get LPT-style balance. `fn` must be re-entrant: it is invoked
   /// concurrently for distinct indices and must not touch shared mutable
-  /// state (distinct result slots are fine). The first exception thrown by
-  /// any index is rethrown after all workers drain.
+  /// state (distinct result slots are fine). A throwing index never stops
+  /// the others: all remaining indices still run, and after the fan-out
+  /// drains every failure is rethrown together as `SweepIndexError`
+  /// (a std::runtime_error), sorted by index.
   void for_each_index(std::size_t n, forall::FunctionRef<void(std::size_t)> fn,
                       std::size_t grain = 1);
 

@@ -1,0 +1,315 @@
+/// The typed error taxonomy (core/sim_error.hpp): kind formatting and
+/// classification, the dual-inheritance compatibility contract (typed
+/// config errors are still std::invalid_argument, runtime kinds are still
+/// std::runtime_error), and — table-driven — every invalid-config throw
+/// site in `run_timed` and the `figure_sweeps` analytics mapping to the
+/// right SimError kind and message.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ios>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/core/timed_sim.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
+
+namespace core = coop::core;
+namespace sweeps = coop::sweeps;
+
+namespace {
+
+// --- Taxonomy basics --------------------------------------------------------
+
+TEST(SimError, KindNamesAreStable) {
+  EXPECT_STREQ(core::to_string(core::SimErrorKind::kConfig), "config");
+  EXPECT_STREQ(core::to_string(core::SimErrorKind::kModel), "model");
+  EXPECT_STREQ(core::to_string(core::SimErrorKind::kFaultUnrecoverable),
+               "fault_unrecoverable");
+  EXPECT_STREQ(core::to_string(core::SimErrorKind::kIo), "io");
+  EXPECT_STREQ(core::to_string(core::SimErrorKind::kTimeout), "timeout");
+  EXPECT_STREQ(core::to_string(core::SimErrorKind::kCancelled), "cancelled");
+}
+
+TEST(SimError, FormatsKindCellAndContext) {
+  core::SimError err{core::SimErrorKind::kTimeout, "wall budget", 7};
+  EXPECT_EQ(err.to_string(), "timeout: cell 7: wall budget");
+  err.cell = -1;
+  EXPECT_EQ(err.to_string(), "timeout: wall budget");
+}
+
+TEST(SimError, OnlyIoIsTransient) {
+  for (const auto kind :
+       {core::SimErrorKind::kConfig, core::SimErrorKind::kModel,
+        core::SimErrorKind::kFaultUnrecoverable, core::SimErrorKind::kTimeout,
+        core::SimErrorKind::kCancelled})
+    EXPECT_FALSE((core::SimError{kind, ""}.transient()));
+  EXPECT_TRUE((core::SimError{core::SimErrorKind::kIo, ""}.transient()));
+}
+
+// The compatibility contract: pre-taxonomy call sites catch what they
+// always caught.
+TEST(SimError, ConfigKindIsStillInvalidArgument) {
+  EXPECT_THROW(core::throw_sim_error(core::SimErrorKind::kConfig, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(core::throw_sim_error(core::SimErrorKind::kModel, "x"),
+               std::invalid_argument);
+}
+
+TEST(SimError, RuntimeKindsAreStillRuntimeError) {
+  for (const auto kind :
+       {core::SimErrorKind::kIo, core::SimErrorKind::kTimeout,
+        core::SimErrorKind::kCancelled,
+        core::SimErrorKind::kFaultUnrecoverable})
+    EXPECT_THROW(core::throw_sim_error(kind, "x"), std::runtime_error);
+}
+
+TEST(SimError, CarrierExposesPayloadAndWhatMatches) {
+  try {
+    core::throw_sim_error(core::SimErrorKind::kTimeout, "budget blown", 3);
+    FAIL() << "did not throw";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kTimeout);
+    EXPECT_EQ(c.error().context, "budget blown");
+    EXPECT_EQ(c.error().cell, 3);
+    const auto* as_std = dynamic_cast<const std::exception*>(&c);
+    ASSERT_NE(as_std, nullptr);
+    EXPECT_EQ(std::string(as_std->what()), "timeout: cell 3: budget blown");
+  }
+}
+
+TEST(SimError, ClassifyMapsStandardExceptions) {
+  const auto classify_thrown = [](auto&& thrower) {
+    try {
+      thrower();
+    } catch (...) {
+      return core::classify_current_exception();
+    }
+    return core::SimError{};
+  };
+  EXPECT_EQ(classify_thrown([] {
+              core::throw_sim_error(core::SimErrorKind::kIo, "disk");
+            }).kind,
+            core::SimErrorKind::kIo);
+  EXPECT_EQ(classify_thrown([] { throw std::invalid_argument("legacy"); })
+                .kind,
+            core::SimErrorKind::kConfig);
+  EXPECT_EQ(classify_thrown([] { throw std::ios_base::failure("io"); }).kind,
+            core::SimErrorKind::kIo);
+  EXPECT_EQ(classify_thrown([] { throw std::runtime_error("boom"); }).kind,
+            core::SimErrorKind::kModel);
+  const auto unknown = classify_thrown([] { throw 42; });
+  EXPECT_EQ(unknown.kind, core::SimErrorKind::kModel);
+  EXPECT_EQ(unknown.context, "unknown exception");
+}
+
+TEST(CancelToken, StartsClearAndLatches) {
+  core::CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+// --- Table-driven config throw sites ----------------------------------------
+
+struct ThrowSite {
+  const char* name;
+  std::function<void()> trigger;
+  core::SimErrorKind kind;
+  const char* message;  ///< required substring of the context
+};
+
+core::TimedConfig valid_config() {
+  core::TimedConfig tc;
+  tc.global = {{0, 0, 0}, {64, 64, 64}};
+  tc.timesteps = 1;
+  return tc;
+}
+
+std::vector<ThrowSite> run_timed_sites() {
+  const auto with = [](auto&& mutate) {
+    return [mutate] {
+      core::TimedConfig tc = valid_config();
+      mutate(tc);
+      (void)core::run_timed(tc);
+    };
+  };
+  static const coop::fault::FaultPlan kEmptyPlan;
+  return {
+      {"empty_box", with([](core::TimedConfig& tc) { tc.global = {}; }),
+       core::SimErrorKind::kConfig, "empty global box"},
+      {"timesteps", with([](core::TimedConfig& tc) { tc.timesteps = 0; }),
+       core::SimErrorKind::kConfig, "timesteps <= 0"},
+      {"nodes", with([](core::TimedConfig& tc) { tc.nodes = 0; }),
+       core::SimErrorKind::kConfig, "nodes <= 0"},
+      {"ranks_per_gpu",
+       with([](core::TimedConfig& tc) { tc.ranks_per_gpu = 0; }),
+       core::SimErrorKind::kConfig, "ranks_per_gpu <= 0"},
+      {"cpu_fraction",
+       with([](core::TimedConfig& tc) { tc.cpu_fraction = 1.5; }),
+       core::SimErrorKind::kConfig, "cpu_fraction > 1"},
+      {"ghosts", with([](core::TimedConfig& tc) { tc.ghosts = -1; }),
+       core::SimErrorKind::kConfig, "ghosts < 0"},
+      {"nodes_vs_z", with([](core::TimedConfig& tc) { tc.nodes = 10000; }),
+       core::SimErrorKind::kConfig, "nodes exceed the global z extent"},
+      {"launch_attempts",
+       with([](core::TimedConfig& tc) {
+         tc.faults = &kEmptyPlan;
+         tc.recovery.max_launch_attempts = 0;
+       }),
+       core::SimErrorKind::kConfig, "max_launch_attempts < 1"},
+      {"checkpoint_interval",
+       with([](core::TimedConfig& tc) {
+         tc.faults = &kEmptyPlan;
+         tc.recovery.checkpoint_interval = -1;
+       }),
+       core::SimErrorKind::kConfig, "checkpoint_interval < 0"},
+      {"recovery_bandwidth",
+       with([](core::TimedConfig& tc) {
+         tc.faults = &kEmptyPlan;
+         tc.recovery.checkpoint_bandwidth_bytes_per_s = 0.0;
+       }),
+       core::SimErrorKind::kConfig, "nonpositive recovery bandwidth"},
+  };
+}
+
+std::vector<ThrowSite> sweep_analytics_sites() {
+  return {
+      {"figure_spec", [] { (void)sweeps::figure_spec(11); },
+       core::SimErrorKind::kConfig, "no sweep for figure 11"},
+      {"reduced",
+       [] { (void)sweeps::reduced(sweeps::figure_spec(12), 1); },
+       core::SimErrorKind::kConfig, "need at least 2 points"},
+      {"slope_break_mismatch",
+       [] {
+         (void)sweeps::detect_slope_break({1, 2, 3, 4}, {1.0, 2.0, 3.0});
+       },
+       core::SimErrorKind::kConfig, "length mismatch"},
+      {"slope_break_short",
+       [] { (void)sweeps::detect_slope_break({1, 2, 3}, {1.0, 2.0, 3.0}); },
+       core::SimErrorKind::kConfig, "need >= 4 points"},
+      {"slope_break_nonincreasing",
+       [] {
+         (void)sweeps::detect_slope_break({1, 3, 2, 4},
+                                          {1.0, 2.0, 3.0, 4.0});
+       },
+       core::SimErrorKind::kConfig, "strictly increasing"},
+      {"point_mode_not_swept",
+       [] { (void)sweeps::SweepPoint{}.time(core::NodeMode::kCpuOnly); },
+       core::SimErrorKind::kConfig, "mode not swept"},
+      {"steady_mode_not_swept",
+       [] { (void)sweeps::SweepPoint{}.steady(core::NodeMode::kCpuOnly); },
+       core::SimErrorKind::kConfig, "mode not swept"},
+      {"sweep_timesteps",
+       [] {
+         sweeps::SweepOptions options;
+         options.timesteps = 0;
+         (void)sweeps::run_figure_sweep(sweeps::figure_spec(12), options);
+       },
+       core::SimErrorKind::kConfig, "timesteps must be >= 1"},
+      {"sweep_attempts",
+       [] {
+         sweeps::SweepOptions options;
+         options.max_cell_attempts = 0;
+         (void)sweeps::run_figure_sweep(sweeps::figure_spec(12), options);
+       },
+       core::SimErrorKind::kConfig, "max_cell_attempts must be >= 1"},
+  };
+}
+
+class ConfigThrowSites : public ::testing::TestWithParam<ThrowSite> {};
+
+TEST_P(ConfigThrowSites, MapsToTypedSimError) {
+  const ThrowSite& site = GetParam();
+  try {
+    site.trigger();
+    FAIL() << site.name << " did not throw";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, site.kind) << site.name;
+    EXPECT_NE(c.error().context.find(site.message), std::string::npos)
+        << site.name << ": context was \"" << c.error().context << "\"";
+  } catch (const std::exception& e) {
+    FAIL() << site.name << " threw an untyped exception: " << e.what();
+  }
+}
+
+// Every site must ALSO still be a std::invalid_argument (legacy contract).
+TEST_P(ConfigThrowSites, StillThrowsInvalidArgument) {
+  EXPECT_THROW(GetParam().trigger(), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(RunTimed, ConfigThrowSites,
+                         ::testing::ValuesIn(run_timed_sites()),
+                         [](const auto& pi) {
+                           return std::string(pi.param.name);
+                         });
+INSTANTIATE_TEST_SUITE_P(SweepAnalytics, ConfigThrowSites,
+                         ::testing::ValuesIn(sweep_analytics_sites()),
+                         [](const auto& pi) {
+                           return std::string(pi.param.name);
+                         });
+
+// --- Watchdog budgets and cancellation through run_timed --------------------
+
+TEST(RunTimedSupervision, EventBudgetRaisesTimeout) {
+  core::TimedConfig tc = valid_config();
+  tc.timesteps = 5;
+  tc.budget.max_events = 50;  // a 4-rank step needs far more events
+  try {
+    (void)core::run_timed(tc);
+    FAIL() << "budget did not trip";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kTimeout);
+    EXPECT_NE(c.error().context.find("event budget"), std::string::npos);
+  }
+}
+
+TEST(RunTimedSupervision, SimTimeBudgetRaisesTimeout) {
+  core::TimedConfig tc = valid_config();
+  tc.timesteps = 20;
+  tc.budget.max_sim_s = 1e-9;
+  try {
+    (void)core::run_timed(tc);
+    FAIL() << "budget did not trip";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kTimeout);
+    EXPECT_NE(c.error().context.find("simulated-time"), std::string::npos);
+  }
+}
+
+TEST(RunTimedSupervision, PreCancelledTokenRaisesCancelled) {
+  core::TimedConfig tc = valid_config();
+  core::CancelToken token;
+  token.request_cancel();
+  tc.cancel = &token;
+  try {
+    (void)core::run_timed(tc);
+    FAIL() << "cancellation did not trip";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kCancelled);
+  }
+}
+
+TEST(RunTimedSupervision, GenerousBudgetIsBitwiseIdentical) {
+  core::TimedConfig tc = valid_config();
+  tc.timesteps = 3;
+  const auto plain = core::run_timed(tc);
+  core::CancelToken token;  // attached but never triggered
+  tc.cancel = &token;
+  tc.budget.max_events = 100000000;
+  const auto supervised = core::run_timed(tc);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(plain.makespan),
+            std::bit_cast<std::uint64_t>(supervised.makespan));
+  ASSERT_EQ(plain.iteration_times.size(), supervised.iteration_times.size());
+  for (std::size_t i = 0; i < plain.iteration_times.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(plain.iteration_times[i]),
+              std::bit_cast<std::uint64_t>(supervised.iteration_times[i]));
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+/// AdmissionController: token-bucket refill and rate shedding, the bounded
+/// queue with priority promotion (FIFO within a priority), the
+/// no-token-burned-on-queue-full guarantee, peak/monotonic statistics, and
+/// config validation — all driven with caller-supplied time, never a clock.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/obs/metrics.hpp"
+#include "coop/service/admission.hpp"
+
+namespace core = coop::core;
+namespace service = coop::service;
+
+namespace {
+
+using service::AdmissionDecision;
+
+service::AdmissionConfig small_config() {
+  service::AdmissionConfig cfg;
+  cfg.rate_per_s = 1.0;
+  cfg.burst = 4.0;
+  cfg.max_in_flight = 2;
+  cfg.max_queue = 2;
+  return cfg;
+}
+
+TEST(AdmissionConfig, ValidateRejectsNonsense) {
+  const auto expect_config_error = [](auto&& mutate) {
+    service::AdmissionConfig cfg = small_config();
+    mutate(cfg);
+    try {
+      cfg.validate();
+      FAIL() << "validate accepted a nonsense config";
+    } catch (const core::SimErrorCarrier& c) {
+      EXPECT_EQ(c.error().kind, core::SimErrorKind::kConfig);
+    }
+  };
+  expect_config_error([](auto& c) { c.rate_per_s = 0.0; });
+  expect_config_error([](auto& c) { c.burst = 0.0; });
+  expect_config_error([](auto& c) { c.max_in_flight = 0; });
+  expect_config_error([](auto& c) { c.max_queue = -1; });
+  EXPECT_NO_THROW(small_config().validate());
+}
+
+TEST(AdmissionDecisionNames, AreStable) {
+  EXPECT_STREQ(service::to_string(AdmissionDecision::kAdmitted), "admitted");
+  EXPECT_STREQ(service::to_string(AdmissionDecision::kQueued), "queued");
+  EXPECT_STREQ(service::to_string(AdmissionDecision::kShedRate), "shed_rate");
+  EXPECT_STREQ(service::to_string(AdmissionDecision::kShedQueueFull),
+               "shed_queue_full");
+}
+
+TEST(AdmissionController, AdmitsUpToSlotsThenQueuesThenSheds) {
+  service::AdmissionController ctl(small_config());
+  EXPECT_EQ(ctl.offer(1, 0, 0.0), AdmissionDecision::kAdmitted);
+  EXPECT_EQ(ctl.offer(2, 0, 0.0), AdmissionDecision::kAdmitted);
+  EXPECT_EQ(ctl.in_flight(), 2);
+  EXPECT_EQ(ctl.offer(3, 0, 0.0), AdmissionDecision::kQueued);
+  EXPECT_EQ(ctl.offer(4, 0, 0.0), AdmissionDecision::kQueued);
+  EXPECT_EQ(ctl.queue_depth(), 2);
+  // Queue full: shed — regardless of how many tokens remain banked.
+  EXPECT_EQ(ctl.offer(5, 0, 0.0), AdmissionDecision::kShedQueueFull);
+  const auto s = ctl.stats();
+  EXPECT_EQ(s.offered, 5u);
+  EXPECT_EQ(s.admitted, 2u);
+  EXPECT_EQ(s.queued, 2u);
+  EXPECT_EQ(s.shed_queue_full, 1u);
+  EXPECT_EQ(s.peak_in_flight, 2);
+  EXPECT_EQ(s.peak_queue_depth, 2);
+}
+
+TEST(AdmissionController, RateShedsWhenTheBucketRunsDry) {
+  service::AdmissionConfig cfg = small_config();
+  cfg.burst = 2.0;
+  cfg.max_in_flight = 8;  // slots are not the constraint here
+  service::AdmissionController ctl(cfg);
+  EXPECT_EQ(ctl.offer(1, 0, 0.0), AdmissionDecision::kAdmitted);
+  EXPECT_EQ(ctl.offer(2, 0, 0.0), AdmissionDecision::kAdmitted);
+  EXPECT_EQ(ctl.offer(3, 0, 0.0), AdmissionDecision::kShedRate);
+  EXPECT_EQ(ctl.stats().shed_rate, 1u);
+  // One second at 1 req/s banks one token again.
+  EXPECT_EQ(ctl.offer(4, 0, 1.0), AdmissionDecision::kAdmitted);
+  EXPECT_EQ(ctl.offer(5, 0, 1.0), AdmissionDecision::kShedRate);
+}
+
+TEST(AdmissionController, QueueFullShedConsumesNoToken) {
+  service::AdmissionConfig cfg = small_config();
+  cfg.burst = 4.0;
+  cfg.max_in_flight = 1;
+  cfg.max_queue = 1;
+  service::AdmissionController ctl(cfg);
+  EXPECT_EQ(ctl.offer(1, 0, 0.0), AdmissionDecision::kAdmitted);  // token 1
+  EXPECT_EQ(ctl.offer(2, 0, 0.0), AdmissionDecision::kQueued);    // token 2
+  // Two sheds at the full queue must not burn the two remaining tokens...
+  EXPECT_EQ(ctl.offer(3, 0, 0.0), AdmissionDecision::kShedQueueFull);
+  EXPECT_EQ(ctl.offer(4, 0, 0.0), AdmissionDecision::kShedQueueFull);
+  // ...so after draining the queue the bank still admits two requests.
+  EXPECT_EQ(ctl.complete(0.0), 2);   // promotes id 2
+  EXPECT_EQ(ctl.complete(0.0), -1);  // queue empty, slot freed
+  EXPECT_EQ(ctl.offer(5, 0, 0.0), AdmissionDecision::kAdmitted);  // token 3
+  EXPECT_EQ(ctl.complete(0.0), -1);
+  EXPECT_EQ(ctl.offer(6, 0, 0.0), AdmissionDecision::kAdmitted);  // token 4
+  EXPECT_EQ(ctl.complete(0.0), -1);
+  EXPECT_EQ(ctl.offer(7, 0, 0.0), AdmissionDecision::kShedRate);
+}
+
+TEST(AdmissionController, PromotesByPriorityThenFifo) {
+  service::AdmissionConfig cfg = small_config();
+  cfg.burst = 8.0;
+  cfg.max_in_flight = 1;
+  cfg.max_queue = 8;
+  service::AdmissionController ctl(cfg);
+  EXPECT_EQ(ctl.offer(1, 0, 0.0), AdmissionDecision::kAdmitted);
+  EXPECT_EQ(ctl.offer(10, 0, 0.0), AdmissionDecision::kQueued);
+  EXPECT_EQ(ctl.offer(11, 5, 0.0), AdmissionDecision::kQueued);
+  EXPECT_EQ(ctl.offer(12, 5, 0.0), AdmissionDecision::kQueued);
+  EXPECT_EQ(ctl.offer(13, 1, 0.0), AdmissionDecision::kQueued);
+  // Highest priority first; FIFO between the two priority-5 entries.
+  EXPECT_EQ(ctl.complete(0.0), 11);
+  EXPECT_EQ(ctl.complete(0.0), 12);
+  EXPECT_EQ(ctl.complete(0.0), 13);
+  EXPECT_EQ(ctl.complete(0.0), 10);
+  EXPECT_EQ(ctl.complete(0.0), -1);
+  EXPECT_EQ(ctl.in_flight(), 0);
+  const auto s = ctl.stats();
+  EXPECT_EQ(s.promoted, 4u);
+  EXPECT_EQ(s.completed, 5u);
+}
+
+TEST(AdmissionController, CompleteWithNothingInFlightIsATypedError) {
+  service::AdmissionController ctl(small_config());
+  try {
+    (void)ctl.complete(0.0);
+    FAIL() << "complete on an idle controller did not throw";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kModel);
+  }
+}
+
+TEST(AdmissionController, BucketIsCappedAtBurst) {
+  service::AdmissionConfig cfg = small_config();
+  cfg.rate_per_s = 100.0;
+  cfg.burst = 2.0;
+  cfg.max_in_flight = 8;
+  service::AdmissionController ctl(cfg);
+  // A long idle stretch cannot bank more than `burst` tokens.
+  EXPECT_EQ(ctl.offer(1, 0, 1000.0), AdmissionDecision::kAdmitted);
+  EXPECT_EQ(ctl.offer(2, 0, 1000.0), AdmissionDecision::kAdmitted);
+  EXPECT_EQ(ctl.offer(3, 0, 1000.0), AdmissionDecision::kShedRate);
+}
+
+TEST(AdmissionController, PublishesMetricsSnapshot) {
+  service::AdmissionController ctl(small_config());
+  EXPECT_EQ(ctl.offer(1, 0, 0.0), AdmissionDecision::kAdmitted);
+  EXPECT_EQ(ctl.offer(2, 0, 0.0), AdmissionDecision::kAdmitted);
+  EXPECT_EQ(ctl.offer(3, 0, 0.0), AdmissionDecision::kQueued);
+  coop::obs::MetricsRegistry metrics;
+  ctl.publish_metrics(metrics);
+  std::ostringstream os;
+  metrics.write_json(os, 0.0);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("admission.offered"), std::string::npos);
+  EXPECT_NE(json.find("admission.admitted"), std::string::npos);
+  EXPECT_NE(json.find("admission.queued"), std::string::npos);
+  EXPECT_NE(json.find("admission.shed_rate"), std::string::npos);
+  EXPECT_NE(json.find("admission.in_flight"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,329 @@
+/// SweepJournal: crash-safe record/lookup round-trips, idempotent appends,
+/// byte-deterministic file content, campaign-hash identity (semantic knobs
+/// hash, execution knobs don't), typed refusal of foreign or corrupt
+/// journals, schema-registry conformance — and the resume contract end to
+/// end: a campaign restarted over a partial journal re-runs zero completed
+/// cells and produces curves bitwise identical to a clean run.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/service/sweep_journal.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
+#include "support/json_check.hpp"
+
+namespace core = coop::core;
+namespace service = coop::service;
+namespace sweeps = coop::sweeps;
+namespace fs = std::filesystem;
+namespace cj = coophet_test::json;
+
+namespace {
+
+std::uint64_t bits_of(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("coophet_journal_" + std::to_string(counter_++));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string file(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+sweeps::SweepOptions base_options() {
+  sweeps::SweepOptions options;
+  options.timesteps = 4;
+  options.jobs = 1;
+  return options;
+}
+
+sweeps::FigureSpec fig18_reduced() {
+  return sweeps::reduced(sweeps::figure_spec(18), 3);
+}
+
+sweeps::SweepCellRecord sample_record(std::size_t point, core::NodeMode mode) {
+  sweeps::SweepCellRecord rec;
+  rec.point = point;
+  rec.mode = mode;
+  rec.x = 100;
+  rec.y = 480;
+  rec.z = 160;
+  rec.t = 0.1234567890123456789;  // exercises the %.17g exact round-trip
+  rec.steady = 3.0e-5;
+  rec.cpu_share = mode == core::NodeMode::kHeterogeneous ? 0.11 : 0.0;
+  return rec;
+}
+
+// --- Campaign identity -------------------------------------------------------
+
+TEST(CampaignHash, SemanticKnobsChangeItExecutionKnobsDoNot) {
+  const auto spec = fig18_reduced();
+  const auto options = base_options();
+  const std::string h = service::campaign_hash(spec, options);
+  EXPECT_EQ(h.size(), 16u);
+  EXPECT_EQ(h, service::campaign_hash(spec, options));  // stable
+
+  sweeps::SweepOptions execution = options;
+  execution.jobs = 8;
+  execution.grain = 3;
+  execution.verbose = true;
+  execution.max_cell_attempts = 7;
+  execution.cell_budget.max_events = 1000000;
+  EXPECT_EQ(h, service::campaign_hash(spec, execution));
+
+  sweeps::SweepOptions semantic = options;
+  semantic.timesteps = 5;
+  EXPECT_NE(h, service::campaign_hash(spec, semantic));
+  semantic = options;
+  semantic.model_um_threshold = false;
+  EXPECT_NE(h, service::campaign_hash(spec, semantic));
+
+  const auto other_spec = sweeps::reduced(sweeps::figure_spec(12), 3);
+  EXPECT_NE(h, service::campaign_hash(other_spec, options));
+}
+
+// --- Record / lookup ---------------------------------------------------------
+
+TEST(SweepJournal, RecordLookupRoundTripsExactDoubles) {
+  TempDir tmp;
+  service::SweepJournal journal(tmp.file("j.json"), fig18_reduced(),
+                                base_options());
+  EXPECT_EQ(journal.size(), 0u);
+
+  const auto rec = sample_record(1, core::NodeMode::kHeterogeneous);
+  journal.record(rec);
+  EXPECT_EQ(journal.size(), 1u);
+
+  sweeps::SweepCellRecord out;
+  EXPECT_FALSE(journal.lookup(0, core::NodeMode::kHeterogeneous, out));
+  EXPECT_FALSE(journal.lookup(1, core::NodeMode::kMpsPerGpu, out));
+  ASSERT_TRUE(journal.lookup(1, core::NodeMode::kHeterogeneous, out));
+  EXPECT_EQ(out.point, rec.point);
+  EXPECT_EQ(out.mode, rec.mode);
+  EXPECT_EQ(out.x, rec.x);
+  EXPECT_EQ(bits_of(out.t), bits_of(rec.t));
+  EXPECT_EQ(bits_of(out.steady), bits_of(rec.steady));
+  EXPECT_EQ(bits_of(out.cpu_share), bits_of(rec.cpu_share));
+}
+
+TEST(SweepJournal, RecordIsIdempotent) {
+  TempDir tmp;
+  service::SweepJournal journal(tmp.file("j.json"), fig18_reduced(),
+                                base_options());
+  journal.record(sample_record(0, core::NodeMode::kOneRankPerGpu));
+  const std::string after_first = slurp(journal.path());
+  journal.record(sample_record(0, core::NodeMode::kOneRankPerGpu));
+  EXPECT_EQ(journal.size(), 1u);
+  EXPECT_EQ(slurp(journal.path()), after_first);
+}
+
+TEST(SweepJournal, CellsSurviveReopenBitwise) {
+  TempDir tmp;
+  const auto spec = fig18_reduced();
+  const auto rec = sample_record(2, core::NodeMode::kMpsPerGpu);
+  {
+    service::SweepJournal journal(tmp.file("j.json"), spec, base_options());
+    journal.record(rec);
+    journal.record(sample_record(0, core::NodeMode::kHeterogeneous));
+  }
+  service::SweepJournal reopened(tmp.file("j.json"), spec, base_options());
+  EXPECT_EQ(reopened.size(), 2u);
+  sweeps::SweepCellRecord out;
+  ASSERT_TRUE(reopened.lookup(2, core::NodeMode::kMpsPerGpu, out));
+  EXPECT_EQ(bits_of(out.t), bits_of(rec.t));
+  EXPECT_EQ(bits_of(out.steady), bits_of(rec.steady));
+}
+
+TEST(SweepJournal, FileIsByteDeterministicAcrossInsertionOrder) {
+  TempDir tmp;
+  const auto spec = fig18_reduced();
+  service::SweepJournal forward(tmp.file("fwd.json"), spec, base_options());
+  service::SweepJournal backward(tmp.file("bwd.json"), spec, base_options());
+  const core::NodeMode modes[] = {core::NodeMode::kOneRankPerGpu,
+                                  core::NodeMode::kMpsPerGpu,
+                                  core::NodeMode::kHeterogeneous};
+  for (std::size_t p = 0; p < 3; ++p)
+    for (const auto m : modes) forward.record(sample_record(p, m));
+  for (std::size_t p = 3; p-- > 0;)
+    for (const auto m : {modes[2], modes[1], modes[0]})
+      backward.record(sample_record(p, m));
+  EXPECT_EQ(slurp(forward.path()), slurp(backward.path()));
+}
+
+// --- Refusing the wrong journal ----------------------------------------------
+
+TEST(SweepJournal, ForeignCampaignIsRefusedAsConfigError) {
+  TempDir tmp;
+  const auto spec = fig18_reduced();
+  {
+    service::SweepJournal journal(tmp.file("j.json"), spec, base_options());
+    journal.record(sample_record(0, core::NodeMode::kOneRankPerGpu));
+  }
+  sweeps::SweepOptions other = base_options();
+  other.timesteps = 9;  // a semantic knob: different campaign
+  try {
+    service::SweepJournal journal(tmp.file("j.json"), spec, other);
+    FAIL() << "foreign journal was accepted";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kConfig);
+    EXPECT_NE(c.error().context.find("refusing to resume"),
+              std::string::npos);
+  }
+}
+
+TEST(SweepJournal, CorruptFileIsRefusedAsIoError) {
+  TempDir tmp;
+  {
+    std::ofstream out(tmp.file("j.json"), std::ios::binary);
+    out << "{\"schema\":\"coophet.sweep_journal\",\"schema_version\":1,"
+           "\"campaign\":\"deadbeef\",\"cells\":[{\"point\":tru";
+  }
+  try {
+    service::SweepJournal journal(tmp.file("j.json"), fig18_reduced(),
+                                  base_options());
+    FAIL() << "corrupt journal was accepted";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kIo);
+  }
+}
+
+TEST(SweepJournal, WrongSchemaIsRefusedAsIoError) {
+  TempDir tmp;
+  {
+    std::ofstream out(tmp.file("j.json"), std::ios::binary);
+    out << "{\"schema\":\"coophet.metrics\",\"schema_version\":1}";
+  }
+  EXPECT_THROW(service::SweepJournal(tmp.file("j.json"), fig18_reduced(),
+                                     base_options()),
+               std::runtime_error);
+}
+
+TEST(SweepJournal, EmptyOrMissingFileIsAFreshJournal) {
+  TempDir tmp;
+  {  // zero-byte file, e.g. a crash before the very first rename
+    std::ofstream out(tmp.file("empty.json"), std::ios::binary);
+  }
+  service::SweepJournal from_empty(tmp.file("empty.json"), fig18_reduced(),
+                                   base_options());
+  EXPECT_EQ(from_empty.size(), 0u);
+  service::SweepJournal from_missing(tmp.file("missing.json"),
+                                     fig18_reduced(), base_options());
+  EXPECT_EQ(from_missing.size(), 0u);
+}
+
+// --- Schema conformance ------------------------------------------------------
+
+TEST(SweepJournal, FileLintsAgainstTheArtifactRegistry) {
+  TempDir tmp;
+  service::SweepJournal journal(tmp.file("j.json"), fig18_reduced(),
+                                base_options());
+  journal.record(sample_record(0, core::NodeMode::kHeterogeneous));
+  journal.record(sample_record(1, core::NodeMode::kMpsPerGpu));
+
+  const auto parsed = cj::parse(slurp(journal.path()));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(cj::check_artifact_schema(parsed.value,
+                                      service::kSweepJournalSchemaName),
+            "");
+  EXPECT_EQ(cj::first_missing_key(parsed.value,
+                                  {"schema", "schema_version", "campaign",
+                                   "figure", "cells"}),
+            "");
+  const auto* cells = parsed.value.find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_TRUE(cells->is_array());
+  ASSERT_EQ(cells->array.size(), 2u);
+  EXPECT_EQ(cj::first_missing_key(cells->array[0],
+                                  {"point", "mode", "x", "y", "z", "t",
+                                   "steady", "cpu_share"}),
+            "");
+}
+
+// --- The resume contract (ISSUE acceptance) ----------------------------------
+
+TEST(SweepJournal, ResumedCampaignRerunsNothingAndMatchesCleanRunBitwise) {
+  TempDir tmp;
+  const auto spec = fig18_reduced();
+  const auto clean = sweeps::run_figure_sweep(spec, base_options());
+  const int cells_total = static_cast<int>(3 * clean.points.size());
+
+  // First pass: one poisoned cell stands in for the crash — the journal
+  // ends up holding every cell except (1, hetero).
+  service::SweepJournal journal(tmp.file("j.json"), spec, base_options());
+  {
+    sweeps::SweepOptions options = base_options();
+    journal.bind(options);
+    options.cell_hook = [](std::size_t point, core::NodeMode mode, int) {
+      if (point == 1 && mode == core::NodeMode::kHeterogeneous)
+        core::throw_sim_error(core::SimErrorKind::kFaultUnrecoverable,
+                              "test: poison");
+    };
+    const auto partial = sweeps::run_figure_sweep(spec, options);
+    EXPECT_EQ(partial.supervision.quarantined, 1);
+    EXPECT_EQ(journal.size(), static_cast<std::size_t>(cells_total - 1));
+  }
+
+  // Second pass, poison gone: only the missing cell runs; everything else
+  // is a resume hit, and the final curves equal the clean run bit for bit.
+  service::SweepJournal resumed(tmp.file("j.json"), spec, base_options());
+  sweeps::SweepOptions options = base_options();
+  resumed.bind(options);
+  const auto curves = sweeps::run_figure_sweep(spec, options);
+  EXPECT_EQ(curves.supervision.resume_hits, cells_total - 1);
+  EXPECT_TRUE(curves.failed_cells.empty());
+  EXPECT_EQ(resumed.size(), static_cast<std::size_t>(cells_total));
+
+  ASSERT_EQ(clean.points.size(), curves.points.size());
+  for (std::size_t i = 0; i < clean.points.size(); ++i) {
+    const auto& c = clean.points[i];
+    const auto& r = curves.points[i];
+    EXPECT_EQ(bits_of(c.t_default), bits_of(r.t_default)) << "point " << i;
+    EXPECT_EQ(bits_of(c.t_mps), bits_of(r.t_mps)) << "point " << i;
+    EXPECT_EQ(bits_of(c.t_hetero), bits_of(r.t_hetero)) << "point " << i;
+    EXPECT_EQ(bits_of(c.steady_default), bits_of(r.steady_default))
+        << "point " << i;
+    EXPECT_EQ(bits_of(c.steady_mps), bits_of(r.steady_mps)) << "point " << i;
+    EXPECT_EQ(bits_of(c.steady_hetero), bits_of(r.steady_hetero))
+        << "point " << i;
+    EXPECT_EQ(bits_of(c.hetero_cpu_share), bits_of(r.hetero_cpu_share))
+        << "point " << i;
+  }
+
+  // Third pass: a fully journaled campaign is pure resume.
+  service::SweepJournal full(tmp.file("j.json"), spec, base_options());
+  sweeps::SweepOptions options2 = base_options();
+  full.bind(options2);
+  const auto replay = sweeps::run_figure_sweep(spec, options2);
+  EXPECT_EQ(replay.supervision.resume_hits, cells_total);
+  EXPECT_EQ(bits_of(replay.points[1].t_hetero),
+            bits_of(clean.points[1].t_hetero));
+}
+
+}  // namespace

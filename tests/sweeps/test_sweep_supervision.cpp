@@ -1,0 +1,370 @@
+/// Fault-tolerant sweep supervision: poisoned cells are quarantined into
+/// `failed_cells` without taking the campaign down, transient (kIo)
+/// failures retry with bounded attempts, watchdog budgets quarantine as
+/// kTimeout, cancellation aborts the campaign — and in every case the
+/// surviving cells stay bitwise identical to a clean serial run. Also the
+/// satellite regressions: `SweepExecutor` aggregates *every* failed index
+/// (not just the first), and `obs::atomic_write_file` never exposes a
+/// partial file at the final path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/obs/artifact_io.hpp"
+#include "coop/obs/metrics.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
+#include "coop/sweeps/sweep_executor.hpp"
+
+namespace core = coop::core;
+namespace sweeps = coop::sweeps;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::uint64_t bits_of(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+sweeps::SweepOptions reduced_options() {
+  sweeps::SweepOptions options;
+  options.timesteps = 4;
+  options.jobs = 1;
+  return options;
+}
+
+sweeps::FigureSpec fig18_reduced() {
+  return sweeps::reduced(sweeps::figure_spec(18), 3);
+}
+
+/// Every mode of every point except the (point, mode) cells in `skip` must
+/// be bitwise identical between the two curve sets.
+void expect_surviving_cells_bitwise_equal(
+    const sweeps::SweepCurves& clean, const sweeps::SweepCurves& supervised,
+    const std::vector<std::pair<std::size_t, core::NodeMode>>& skip = {}) {
+  const auto skipped = [&](std::size_t pi, core::NodeMode mode) {
+    for (const auto& s : skip)
+      if (s.first == pi && s.second == mode) return true;
+    return false;
+  };
+  ASSERT_EQ(clean.points.size(), supervised.points.size());
+  for (std::size_t i = 0; i < clean.points.size(); ++i) {
+    const auto& c = clean.points[i];
+    const auto& s = supervised.points[i];
+    EXPECT_EQ(c.x, s.x);
+    EXPECT_EQ(c.y, s.y);
+    EXPECT_EQ(c.z, s.z);
+    if (!skipped(i, core::NodeMode::kOneRankPerGpu)) {
+      EXPECT_EQ(bits_of(c.t_default), bits_of(s.t_default)) << "point " << i;
+      EXPECT_EQ(bits_of(c.steady_default), bits_of(s.steady_default))
+          << "point " << i;
+    }
+    if (!skipped(i, core::NodeMode::kMpsPerGpu)) {
+      EXPECT_EQ(bits_of(c.t_mps), bits_of(s.t_mps)) << "point " << i;
+      EXPECT_EQ(bits_of(c.steady_mps), bits_of(s.steady_mps))
+          << "point " << i;
+    }
+    if (!skipped(i, core::NodeMode::kHeterogeneous)) {
+      EXPECT_EQ(bits_of(c.t_hetero), bits_of(s.t_hetero)) << "point " << i;
+      EXPECT_EQ(bits_of(c.steady_hetero), bits_of(s.steady_hetero))
+          << "point " << i;
+      EXPECT_EQ(bits_of(c.hetero_cpu_share), bits_of(s.hetero_cpu_share))
+          << "point " << i;
+    }
+  }
+}
+
+// --- Quarantine (the ISSUE acceptance scenario) ------------------------------
+
+TEST(SweepSupervision, PoisonedCellIsQuarantinedSurvivorsBitwiseIdentical) {
+  const auto spec = fig18_reduced();
+  const auto clean = sweeps::run_figure_sweep(spec, reduced_options());
+
+  coop::obs::MetricsRegistry metrics;
+  sweeps::SweepOptions options = reduced_options();
+  options.metrics = &metrics;
+  options.cell_hook = [](std::size_t point, core::NodeMode mode, int) {
+    if (point == 1 && mode == core::NodeMode::kHeterogeneous)
+      core::throw_sim_error(core::SimErrorKind::kFaultUnrecoverable,
+                            "test: injected poison cell");
+  };
+  const auto poisoned = sweeps::run_figure_sweep(spec, options);
+
+  ASSERT_EQ(poisoned.failed_cells.size(), 1u);
+  const auto& f = poisoned.failed_cells[0];
+  EXPECT_EQ(f.point, 1u);
+  EXPECT_EQ(f.mode, core::NodeMode::kHeterogeneous);
+  EXPECT_EQ(f.error.kind, core::SimErrorKind::kFaultUnrecoverable);
+  EXPECT_EQ(f.attempts, 1);  // deterministic failures are never retried
+  EXPECT_EQ(poisoned.supervision.quarantined, 1);
+  EXPECT_EQ(poisoned.supervision.retries, 0);
+  EXPECT_EQ(poisoned.supervision.cells_total,
+            static_cast<int>(3 * clean.points.size()));
+
+  expect_surviving_cells_bitwise_equal(
+      clean, poisoned, {{1, core::NodeMode::kHeterogeneous}});
+
+  std::ostringstream json;
+  metrics.write_json(json, 0.0);
+  EXPECT_NE(json.str().find("sweep.cells_total"), std::string::npos);
+  EXPECT_NE(json.str().find("sweep.cells_quarantined"), std::string::npos);
+}
+
+TEST(SweepSupervision, QuarantineIsDeterministicAcrossWorkerCounts) {
+  const auto spec = fig18_reduced();
+  sweeps::SweepOptions options = reduced_options();
+  options.cell_hook = [](std::size_t point, core::NodeMode mode, int) {
+    if ((point == 0 && mode == core::NodeMode::kMpsPerGpu) ||
+        (point == 2 && mode == core::NodeMode::kOneRankPerGpu))
+      core::throw_sim_error(core::SimErrorKind::kFaultUnrecoverable,
+                            "test: poison");
+  };
+  const auto serial = sweeps::run_figure_sweep(spec, options);
+  options.jobs = 4;
+  const auto parallel = sweeps::run_figure_sweep(spec, options);
+
+  expect_surviving_cells_bitwise_equal(serial, parallel);
+  ASSERT_EQ(serial.failed_cells.size(), 2u);
+  ASSERT_EQ(parallel.failed_cells.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(serial.failed_cells[i].point, parallel.failed_cells[i].point);
+    EXPECT_EQ(serial.failed_cells[i].mode, parallel.failed_cells[i].mode);
+    EXPECT_EQ(serial.failed_cells[i].error.cell,
+              parallel.failed_cells[i].error.cell);
+  }
+  // Sorted by (point, cell) regardless of completion order.
+  EXPECT_EQ(serial.failed_cells[0].point, 0u);
+  EXPECT_EQ(serial.failed_cells[1].point, 2u);
+}
+
+TEST(SweepSupervision, QuarantineDisabledPropagatesTypedError) {
+  const auto spec = fig18_reduced();
+  sweeps::SweepOptions options = reduced_options();
+  options.quarantine_failures = false;
+  options.cell_hook = [](std::size_t point, core::NodeMode mode, int) {
+    if (point == 0 && mode == core::NodeMode::kOneRankPerGpu)
+      core::throw_sim_error(core::SimErrorKind::kFaultUnrecoverable,
+                            "test: poison");
+  };
+  try {
+    (void)sweeps::run_figure_sweep(spec, options);
+    FAIL() << "poison did not propagate";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kFaultUnrecoverable);
+  }
+  // Parallel path: the executor aggregates the propagated error instead.
+  options.jobs = 4;
+  EXPECT_THROW((void)sweeps::run_figure_sweep(spec, options),
+               sweeps::SweepIndexError);
+}
+
+// --- Retry ------------------------------------------------------------------
+
+TEST(SweepSupervision, TransientFailureRetriesThenMatchesCleanRun) {
+  const auto spec = fig18_reduced();
+  const auto clean = sweeps::run_figure_sweep(spec, reduced_options());
+
+  sweeps::SweepOptions options = reduced_options();
+  options.max_cell_attempts = 3;
+  std::atomic<int> flaky_calls{0};
+  options.cell_hook = [&flaky_calls](std::size_t point, core::NodeMode mode,
+                                     int attempt) {
+    if (point == 0 && mode == core::NodeMode::kOneRankPerGpu) {
+      ++flaky_calls;
+      if (attempt < 3)
+        core::throw_sim_error(core::SimErrorKind::kIo,
+                              "test: transient cell");
+    }
+  };
+  const auto retried = sweeps::run_figure_sweep(spec, options);
+
+  EXPECT_EQ(flaky_calls.load(), 3);
+  EXPECT_EQ(retried.supervision.retries, 2);
+  EXPECT_EQ(retried.supervision.quarantined, 0);
+  EXPECT_TRUE(retried.failed_cells.empty());
+  // The retried cell eventually ran clean, so the whole sweep is bitwise
+  // identical to the unsupervised run.
+  expect_surviving_cells_bitwise_equal(clean, retried);
+}
+
+TEST(SweepSupervision, TransientFailureExhaustsAttemptsAndQuarantines) {
+  const auto spec = fig18_reduced();
+  sweeps::SweepOptions options = reduced_options();
+  options.max_cell_attempts = 2;
+  options.cell_hook = [](std::size_t point, core::NodeMode mode, int) {
+    if (point == 1 && mode == core::NodeMode::kMpsPerGpu)
+      core::throw_sim_error(core::SimErrorKind::kIo, "test: always flaky");
+  };
+  const auto curves = sweeps::run_figure_sweep(spec, options);
+  ASSERT_EQ(curves.failed_cells.size(), 1u);
+  EXPECT_EQ(curves.failed_cells[0].error.kind, core::SimErrorKind::kIo);
+  EXPECT_EQ(curves.failed_cells[0].attempts, 2);
+  EXPECT_EQ(curves.supervision.retries, 1);
+  EXPECT_EQ(curves.supervision.quarantined, 1);
+}
+
+// --- Watchdog budgets and cancellation ---------------------------------------
+
+TEST(SweepSupervision, EventBudgetQuarantinesEveryCellAsTimeout) {
+  const auto spec = fig18_reduced();
+  sweeps::SweepOptions options = reduced_options();
+  options.cell_budget.max_events = 10;  // far below any cell's event count
+  const auto curves = sweeps::run_figure_sweep(spec, options);
+  ASSERT_EQ(curves.failed_cells.size(),
+            static_cast<std::size_t>(curves.supervision.cells_total));
+  for (const auto& f : curves.failed_cells) {
+    EXPECT_EQ(f.error.kind, core::SimErrorKind::kTimeout);
+    EXPECT_NE(f.error.context.find("event budget"), std::string::npos);
+  }
+}
+
+TEST(SweepSupervision, CancellationAbortsTheCampaign) {
+  const auto spec = fig18_reduced();
+  sweeps::SweepOptions options = reduced_options();
+  core::CancelToken token;
+  token.request_cancel();
+  options.cancel = &token;
+  try {
+    (void)sweeps::run_figure_sweep(spec, options);
+    FAIL() << "cancellation did not propagate";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kCancelled);
+  }
+}
+
+// --- SweepExecutor failure aggregation (satellite regression) ----------------
+
+TEST(SweepExecutorFailures, EveryFailedIndexIsReportedSorted) {
+  sweeps::SweepExecutor ex(4);
+  std::atomic<int> visited{0};
+  try {
+    ex.for_each_index(60, [&](std::size_t i) {
+      ++visited;
+      if (i == 10 || i == 20 || i == 30)
+        throw std::runtime_error("cell " + std::to_string(i) + " failed");
+    });
+    FAIL() << "failures did not propagate";
+  } catch (const sweeps::SweepIndexError& e) {
+    ASSERT_EQ(e.failures().size(), 3u);
+    EXPECT_EQ(e.failures()[0].index, 10u);
+    EXPECT_EQ(e.failures()[1].index, 20u);
+    EXPECT_EQ(e.failures()[2].index, 30u);
+    EXPECT_NE(e.failures()[1].message.find("cell 20"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("3 of the claimed indices failed"),
+              std::string::npos);
+    for (const auto& f : e.failures()) ASSERT_NE(f.error, nullptr);
+  }
+  // One throw must not strand the remaining indices.
+  EXPECT_EQ(visited.load(), 60);
+}
+
+TEST(SweepExecutorFailures, SerialPathAggregatesToo) {
+  sweeps::SweepExecutor ex(1);
+  std::vector<std::size_t> order;
+  try {
+    ex.for_each_index(5, [&](std::size_t i) {
+      order.push_back(i);
+      if (i == 1 || i == 3) throw std::runtime_error("boom");
+    });
+    FAIL() << "failures did not propagate";
+  } catch (const sweeps::SweepIndexError& e) {
+    ASSERT_EQ(e.failures().size(), 2u);
+    EXPECT_EQ(e.failures()[0].index, 1u);
+    EXPECT_EQ(e.failures()[1].index, 3u);
+  }
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+// --- Crash-safe artifact writes (satellite regression) -----------------------
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("coophet_supervision_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return dir_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+TEST(AtomicWrite, SuccessfulWriteLeavesNoTempFile) {
+  TempDir tmp;
+  const auto target = tmp.path() / "artifact.json";
+  coop::obs::atomic_write_file(target.string(),
+                               [](std::ostream& os) { os << "{\"ok\":1}\n"; });
+  std::ifstream in(target);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{\"ok\":1}\n");
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+}
+
+TEST(AtomicWrite, FailedWriteNeverTouchesTheFinalPath) {
+  TempDir tmp;
+  const auto target = tmp.path() / "artifact.json";
+  EXPECT_THROW(coop::obs::atomic_write_file(target.string(),
+                                            [](std::ostream& os) {
+                                              os << "{\"partial\":";
+                                              throw std::runtime_error(
+                                                  "writer died mid-artifact");
+                                            }),
+               std::runtime_error);
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+}
+
+TEST(AtomicWrite, FailedRewriteKeepsThePriorContents) {
+  TempDir tmp;
+  const auto target = tmp.path() / "artifact.json";
+  coop::obs::atomic_write_file(target.string(),
+                               [](std::ostream& os) { os << "v1\n"; });
+  EXPECT_THROW(coop::obs::atomic_write_file(
+                   target.string(),
+                   [](std::ostream& os) {
+                     os << "v2-partial";
+                     throw std::runtime_error("crash");
+                   }),
+               std::runtime_error);
+  std::ifstream in(target);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "v1\n");  // the v1 artifact survived the failed rewrite
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+}
+
+TEST(AtomicWrite, BenchArtifactsLandAtomically) {
+  TempDir tmp;
+  const auto spec = sweeps::reduced(sweeps::figure_spec(18), 2);
+  const auto curves = sweeps::run_figure_sweep(spec, reduced_options());
+  const auto artifacts =
+      sweeps::make_bench_artifacts(curves, nullptr, /*exemplar_timesteps=*/2);
+  const auto report_path =
+      sweeps::write_bench_artifacts(artifacts, tmp.path().string());
+  EXPECT_TRUE(fs::exists(report_path));
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(tmp.path())) {
+    ++files;
+    EXPECT_EQ(entry.path().extension(), ".json")
+        << "stray file: " << entry.path();
+  }
+  EXPECT_EQ(files, 3);  // report + trace + critpath, no .tmp leftovers
+}
+
+}  // namespace

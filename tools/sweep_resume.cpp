@@ -1,0 +1,186 @@
+/// sweep_resume — resumable, fault-tolerant figure-sweep runner.
+///
+/// Runs one paper figure's sweep under full supervision (typed errors,
+/// retry/quarantine, watchdog budgets) with every completed cell journaled
+/// crash-safely to --journal. Re-running the same command after a crash (or
+/// a kill) resumes: journaled cells are restored bit-for-bit and only the
+/// remaining cells run. The CI resilience job drives this binary through a
+/// kill-and-resume script; the fault-injection flags below exist so that
+/// script (and the tests) can manufacture crashes and poisoned cells on
+/// demand.
+///
+///   sweep_resume --figure 18 --journal sweep.json [options]
+///     --max-points N     subsample the sweep spec (reduced())
+///     --timesteps N      timesteps per cell (default 4)
+///     --jobs N           sweep fan-out width (default 1)
+///     --poison P:MODE    make point P of MODE (default|mps|hetero) fail
+///                        unrecoverably on every attempt
+///     --exit-after N     _Exit(3) right after the Nth journal append —
+///                        a simulated crash with the journal intact
+///     --faults           attach the exemplar fault plan to every
+///                        Heterogeneous cell (COOPHET_BENCH_FAULTS=1 too)
+///     --metrics PATH     write the campaign metrics snapshot (atomic)
+///
+/// Prints machine-parseable `key=value` summary lines (cells_total,
+/// resumed, retries, quarantined, failed_cells). Exit 0 when the campaign
+/// completed — quarantined cells included: partial results are the point —
+/// and 2 on usage/config errors.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/obs/artifact_io.hpp"
+#include "coop/obs/metrics.hpp"
+#include "coop/service/sweep_journal.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
+
+namespace {
+
+using coop::core::NodeMode;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --figure N --journal PATH [--max-points N] "
+               "[--timesteps N] [--jobs N] [--poison P:MODE] "
+               "[--exit-after N] [--faults] [--metrics PATH]\n",
+               argv0);
+  std::exit(2);
+}
+
+NodeMode parse_mode(const std::string& s, const char* argv0) {
+  if (s == "default") return NodeMode::kOneRankPerGpu;
+  if (s == "mps") return NodeMode::kMpsPerGpu;
+  if (s == "hetero") return NodeMode::kHeterogeneous;
+  std::fprintf(stderr, "sweep_resume: bad mode \"%s\"\n", s.c_str());
+  usage(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int figure = 0;
+  std::string journal_path;
+  std::string metrics_path;
+  std::size_t max_points = 0;
+  int timesteps = 4;
+  int jobs = 1;
+  long poison_point = -1;
+  NodeMode poison_mode = NodeMode::kHeterogeneous;
+  long exit_after = 0;
+  bool with_faults = false;
+  if (const char* env = std::getenv("COOPHET_BENCH_FAULTS"))
+    with_faults = env[0] == '1';
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--figure") {
+      figure = std::atoi(next());
+    } else if (arg == "--journal") {
+      journal_path = next();
+    } else if (arg == "--max-points") {
+      max_points = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--timesteps") {
+      timesteps = std::atoi(next());
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(next());
+    } else if (arg == "--poison") {
+      const std::string spec = next();
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) usage(argv[0]);
+      poison_point = std::atol(spec.substr(0, colon).c_str());
+      poison_mode = parse_mode(spec.substr(colon + 1), argv[0]);
+    } else if (arg == "--exit-after") {
+      exit_after = std::atol(next());
+    } else if (arg == "--faults") {
+      with_faults = true;
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (figure == 0 || journal_path.empty()) usage(argv[0]);
+
+  try {
+    namespace sweeps = coop::sweeps;
+    sweeps::FigureSpec spec = sweeps::figure_spec(figure);
+    if (max_points >= 2) spec = sweeps::reduced(spec, max_points);
+
+    const coop::fault::FaultPlan fault_plan = sweeps::exemplar_fault_plan();
+    coop::obs::MetricsRegistry metrics;
+    sweeps::SweepOptions options;
+    options.timesteps = timesteps;
+    options.jobs = jobs;
+    options.metrics = &metrics;
+    if (with_faults) options.hetero_faults = &fault_plan;
+
+    coop::service::SweepJournal journal(journal_path, spec, options);
+    const std::size_t journaled_before = journal.size();
+    journal.bind(options);
+
+    // The simulated crash rides on the journal append: by the time the
+    // counter trips, the Nth cell's rename has completed, so the journal
+    // on disk holds exactly N more cells than we started with.
+    std::atomic<long> appended{0};
+    if (exit_after > 0) {
+      options.on_cell_complete =
+          [&journal, &appended,
+           exit_after](const sweeps::SweepCellRecord& rec) {
+            journal.record(rec);
+            if (appended.fetch_add(1) + 1 >= exit_after) {
+              std::printf("exiting after %ld journal appends (simulated "
+                          "crash)\n",
+                          exit_after);
+              std::fflush(stdout);
+              std::_Exit(3);
+            }
+          };
+    }
+    if (poison_point >= 0) {
+      options.cell_hook = [poison_point, poison_mode](std::size_t point,
+                                                      NodeMode mode, int) {
+        if (static_cast<long>(point) == poison_point && mode == poison_mode)
+          coop::core::throw_sim_error(
+              coop::core::SimErrorKind::kFaultUnrecoverable,
+              "sweep_resume: injected poison cell");
+      };
+    }
+
+    const auto curves = sweeps::run_figure_sweep(spec, options);
+
+    std::printf("campaign=%s\n", journal.campaign().c_str());
+    std::printf("cells_total=%d\n", curves.supervision.cells_total);
+    std::printf("resumed=%zu\n", journaled_before);
+    std::printf("resume_hits=%d\n", curves.supervision.resume_hits);
+    std::printf("retries=%d\n", curves.supervision.retries);
+    std::printf("quarantined=%d\n", curves.supervision.quarantined);
+    std::printf("failed_cells=%zu\n", curves.failed_cells.size());
+    for (const auto& f : curves.failed_cells)
+      std::printf("failed_cell point=%zu mode=%s kind=%s attempts=%d: %s\n",
+                  f.point, coop::core::to_string(f.mode),
+                  coop::core::to_string(f.error.kind), f.attempts,
+                  f.error.context.c_str());
+    std::printf("journal=%s cells=%zu\n", journal.path().c_str(),
+                journal.size());
+
+    if (!metrics_path.empty()) {
+      coop::obs::atomic_write_file(metrics_path, [&](std::ostream& os) {
+        metrics.write_json(os, 0.0);
+        os << '\n';
+      });
+      std::printf("metrics=%s\n", metrics_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_resume: %s\n", e.what());
+    return 2;
+  }
+}
