@@ -1,0 +1,48 @@
+#include "coop/service/config_key.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "coop/core/sim_error.hpp"
+
+namespace coop::service {
+
+double canonical_double(double v) {
+  switch (std::fpclassify(v)) {
+    case FP_NAN:
+    case FP_INFINITE:
+      core::throw_sim_error(core::SimErrorKind::kConfig,
+                            "config_key: non-finite double in a semantic "
+                            "config field");
+    case FP_ZERO:
+    case FP_SUBNORMAL:
+      return 0.0;  // -0.0 and subnormals collapse to the canonical zero
+    default:
+      return v;
+  }
+}
+
+void ConfigKeyHasher::mix(std::string_view s) {
+  const auto mix_byte = [this](unsigned char b) {
+    hash_ ^= b;
+    hash_ *= 1099511628211ULL;  // FNV prime
+  };
+  for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+  mix_byte(0x1f);  // field separator: "ab"+"c" never collides with "a"+"bc"
+}
+
+void ConfigKeyHasher::mix(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", canonical_double(v));
+  mix(std::string_view(buf));
+}
+
+std::string ConfigKeyHasher::hex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(i)] = kDigits[(hash_ >> (60 - 4 * i)) & 0xf];
+  return out;
+}
+
+}  // namespace coop::service

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file config_key.hpp
+/// Canonical content-addressing for scenario configurations.
+///
+/// Both halves of the scenario service key their state by a semantic config
+/// hash: the sweep journal refuses to resume a foreign campaign by it, and
+/// the result cache serves memoized run reports by it. This header owns the
+/// one hashing idiom both use — FNV-1a-64 over field-separated canonical
+/// encodings — so the two identities can never drift apart silently. The
+/// journal's campaign hash is additionally pinned by a checked-in golden
+/// vector (tests/service/test_config_key.cpp): changing the encoding is a
+/// schema event, not a refactor.
+///
+/// Canonicalization rules (the properties the prop suite asserts):
+///  * every field is hashed in one fixed order with a 0x1f separator after
+///    each encoded field, so "ab"+"c" never collides with "a"+"bc";
+///  * doubles are canonicalized before hashing: -0.0 hashes like +0.0 and
+///    subnormals flush to 0.0, so any two doubles that the simulation's
+///    %.17g round-trip pipeline would treat as the same knob value hash
+///    equal; NaN/Inf are config errors (no simulation knob accepts them);
+///  * integral and bool fields hash their decimal encodings, which is
+///    byte-stable across platforms.
+
+namespace coop::service {
+
+/// Canonical double for hashing: -0.0 -> +0.0, subnormals -> 0.0. Throws a
+/// kConfig `SimError` on NaN/Inf — no semantic knob ever holds one.
+[[nodiscard]] double canonical_double(double v);
+
+/// Incremental FNV-1a-64 over field-separated canonical encodings. The
+/// encoding of every `mix` overload is part of the persisted campaign/cache
+/// identity; treat any change like a schema version bump.
+class ConfigKeyHasher {
+ public:
+  /// Mixes the raw bytes of `s` followed by the 0x1f field separator.
+  void mix(std::string_view s);
+  void mix(long v) { mix_decimal(std::to_string(v)); }
+  void mix(int v) { mix_decimal(std::to_string(v)); }
+  void mix(std::uint64_t v) { mix_decimal(std::to_string(v)); }
+  void mix(bool v) { mix(std::string_view(v ? "1" : "0")); }
+  /// Mixes `canonical_double(v)` in shortest-round-trip (%.17g) form.
+  void mix(double v);
+
+  /// The 16-lowercase-hex-digit digest (most significant nibble first).
+  [[nodiscard]] std::string hex() const;
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  void mix_decimal(const std::string& s) { mix(std::string_view(s)); }
+
+  std::uint64_t hash_ = 14695981039346656037ULL;  ///< FNV offset basis
+};
+
+}  // namespace coop::service

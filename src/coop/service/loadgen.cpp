@@ -1,0 +1,268 @@
+#include "coop/service/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/obs/metrics.hpp"
+#include "coop/service/scenario_server.hpp"
+
+namespace coop::service {
+
+namespace {
+
+// SplitMix64: the repo's standard seeded generator (tests/support/prop.hpp
+// uses the same recurrence); good enough to drive a Zipf table and cheap
+// enough to be obviously reproducible.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+/// Scenario `i` of the universe: identical dims/mode, distinct cpu_fraction
+/// — every index is a distinct cache key but costs the same to cold-run.
+ScenarioQuery scenario_of(const LoadgenConfig& cfg, int i) {
+  ScenarioQuery q;
+  q.x = q.y = q.z = cfg.dim;
+  q.timesteps = cfg.timesteps;
+  q.mode = core::NodeMode::kHeterogeneous;
+  q.cpu_fraction =
+      0.1 + 0.8 * static_cast<double>(i) / static_cast<double>(cfg.universe);
+  return q;
+}
+
+/// One scheduled group: which scenario, and how many identical concurrent
+/// requests (1 = a plain request, >1 = a duplicate burst).
+struct Group {
+  int scenario = 0;
+  int fanout = 1;
+};
+
+std::vector<Group> build_schedule(const LoadgenConfig& cfg) {
+  // Zipf(s) CDF over ranks 0..universe-1.
+  std::vector<double> cdf(static_cast<std::size_t>(cfg.universe));
+  double total = 0.0;
+  for (int r = 0; r < cfg.universe; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), cfg.zipf_s);
+    cdf[static_cast<std::size_t>(r)] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  SplitMix64 rng{cfg.seed};
+  std::vector<Group> schedule;
+  schedule.reserve(static_cast<std::size_t>(cfg.groups));
+  for (int g = 0; g < cfg.groups; ++g) {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    Group grp;
+    grp.scenario = static_cast<int>(it - cdf.begin());
+    if (grp.scenario >= cfg.universe) grp.scenario = cfg.universe - 1;
+    if (cfg.burst_every > 0 && (g + 1) % cfg.burst_every == 0)
+      grp.fanout = cfg.burst_size;
+    schedule.push_back(grp);
+  }
+  return schedule;
+}
+
+/// Serial replay of the schedule against a model LRU: predicts every
+/// counter the live run must report. Groups execute one after another (the
+/// generator only overlaps requests *within* a group), so the prediction is
+/// exact, not probabilistic.
+LoadgenCounters replay(const LoadgenConfig& cfg,
+                       const std::vector<Group>& schedule) {
+  LoadgenCounters c;
+  std::list<int> mru;  // front = most recently used scenario index
+  for (const Group& g : schedule) {
+    c.requests += static_cast<std::uint64_t>(g.fanout);
+    const auto it = std::find(mru.begin(), mru.end(), g.scenario);
+    if (it != mru.end()) {
+      // Cached: every member of the group hits.
+      c.hits += static_cast<std::uint64_t>(g.fanout);
+      mru.splice(mru.begin(), mru, it);
+      continue;
+    }
+    // Cold: one leader executes, the rest of the burst coalesces onto it.
+    c.executions += 1;
+    c.misses += 1;
+    c.coalesced += static_cast<std::uint64_t>(g.fanout - 1);
+    c.cache_insertions += 1;
+    mru.push_front(g.scenario);
+    if (mru.size() > cfg.cache_capacity) {
+      mru.pop_back();
+      c.cache_evictions += 1;
+    }
+  }
+  return c;
+}
+
+double percentile_us(const std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted_us.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank > 0) --rank;  // nearest-rank, 1-based -> 0-based
+  if (rank >= sorted_us.size()) rank = sorted_us.size() - 1;
+  return sorted_us[rank];
+}
+
+}  // namespace
+
+void LoadgenConfig::validate() const {
+  const auto bad = [](const std::string& what) {
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "LoadgenConfig: " + what);
+  };
+  if (groups < 1) bad("groups must be >= 1");
+  if (universe < 1) bad("universe must be >= 1");
+  if (!(zipf_s >= 0.0)) bad("zipf_s must be >= 0");
+  if (burst_every < 0) bad("burst_every must be >= 0");
+  if (burst_every > 0 && burst_size < 2)
+    bad("burst_size must be >= 2 when bursts are enabled");
+  if (cache_capacity == 0) bad("cache_capacity must be >= 1");
+  if (dim < 1) bad("dim must be >= 1");
+  if (timesteps < 1) bad("timesteps must be >= 1");
+}
+
+LoadgenReport run_loadgen(const LoadgenConfig& config,
+                          obs::MetricsRegistry* metrics) {
+  config.validate();
+  const std::vector<Group> schedule = build_schedule(config);
+
+  LoadgenReport report;
+  report.expected = replay(config, schedule);
+  report.expected_hit_ratio =
+      static_cast<double>(report.expected.hits) /
+      static_cast<double>(report.expected.requests);
+
+  // The rendezvous that makes burst coalescing exact: the cold-run leader
+  // parks in the execution hook until every other member of the current
+  // burst is registered as a waiter on its flight. Plain requests (expected
+  // waiters 0) pass straight through.
+  std::atomic<int> expected_waiters{0};
+  ScenarioServerConfig server_config;
+  server_config.cache_capacity = config.cache_capacity;
+  ScenarioServer* server_ptr = nullptr;
+  server_config.execution_hook = [&](const ScenarioQuery&,
+                                     const std::string& key) {
+    const auto want =
+        static_cast<std::uint64_t>(expected_waiters.load());
+    while (server_ptr->inflight_waiters(key) < want)
+      std::this_thread::yield();
+  };
+  ScenarioServer server(std::move(server_config));
+  server_ptr = &server;
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(report.expected.requests));
+  double hit_us_sum = 0.0, cold_us_sum = 0.0;
+  std::uint64_t hit_n = 0, cold_n = 0;
+  std::mutex record_mutex;
+
+  const auto timed_submit = [&](const ScenarioQuery& q, double now) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ScenarioResponse resp = server.submit(q, now);
+    const double us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    std::lock_guard<std::mutex> lock(record_mutex);
+    latencies_us.push_back(us);
+    if (resp.outcome == ServeOutcome::kHit) {
+      hit_us_sum += us;
+      ++hit_n;
+    } else if (resp.outcome == ServeOutcome::kMiss) {
+      cold_us_sum += us;
+      ++cold_n;
+    }
+  };
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (std::size_t g = 0; g < schedule.size(); ++g) {
+    const Group& grp = schedule[g];
+    const ScenarioQuery q = scenario_of(config, grp.scenario);
+    const double now = static_cast<double>(g);  // logical seconds
+    if (grp.fanout == 1) {
+      expected_waiters.store(0);
+      timed_submit(q, now);
+      continue;
+    }
+    // A cached key never reaches the hook, so the rendezvous target only
+    // matters on a miss — where all fanout-1 followers must coalesce.
+    expected_waiters.store(grp.fanout - 1);
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(grp.fanout));
+    for (int t = 0; t < grp.fanout; ++t)
+      clients.emplace_back([&] { timed_submit(q, now); });
+    for (std::thread& t : clients) t.join();
+  }
+  report.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall0)
+                      .count();
+
+  const ScenarioServer::Stats s = server.stats();
+  const ResultCache::Stats c = server.cache().stats();
+  report.actual = {s.requests,  s.hits,      s.misses,
+                   s.executions, s.coalesced, s.shed_rate,
+                   s.shed_queue_full, s.errors, c.insertions, c.evictions};
+  report.expectations_match = report.actual == report.expected;
+
+  report.served_qps =
+      report.wall_s > 0.0
+          ? static_cast<double>(s.requests) / report.wall_s
+          : 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  report.p50_us = percentile_us(latencies_us, 0.50);
+  report.p95_us = percentile_us(latencies_us, 0.95);
+  report.p99_us = percentile_us(latencies_us, 0.99);
+  report.mean_hit_us =
+      hit_n == 0 ? 0.0 : hit_us_sum / static_cast<double>(hit_n);
+  report.mean_cold_us =
+      cold_n == 0 ? 0.0 : cold_us_sum / static_cast<double>(cold_n);
+  report.hit_speedup = report.mean_hit_us > 0.0
+                           ? report.mean_cold_us / report.mean_hit_us
+                           : 0.0;
+
+  std::ostringstream stats_os;
+  server.write_service_stats(stats_os);
+  report.service_stats_json = stats_os.str();
+
+  if (metrics != nullptr) {
+    server.publish_metrics(*metrics);
+    report.publish_metrics(*metrics);
+  }
+  return report;
+}
+
+void LoadgenReport::publish_metrics(obs::MetricsRegistry& metrics) const {
+  const auto set = [&metrics](const char* name, double v) {
+    metrics.gauge(name).set(v);
+  };
+  set("loadgen.requests", static_cast<double>(actual.requests));
+  set("loadgen.expected_hit_ratio", expected_hit_ratio);
+  set("loadgen.expectations_match", expectations_match ? 1.0 : 0.0);
+  set("loadgen.wall_s", wall_s);
+  set("loadgen.served_qps", served_qps);
+  set("loadgen.p50_us", p50_us);
+  set("loadgen.p95_us", p95_us);
+  set("loadgen.p99_us", p99_us);
+  set("loadgen.mean_hit_us", mean_hit_us);
+  set("loadgen.mean_cold_us", mean_cold_us);
+  set("loadgen.hit_speedup", hit_speedup);
+}
+
+}  // namespace coop::service

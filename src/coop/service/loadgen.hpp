@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+/// \file loadgen.hpp
+/// Deterministic load generator for the scenario service daemon.
+///
+/// The generator drives a `ScenarioServer` with a seeded request schedule —
+/// Zipf-skewed scenario popularity over a configurable universe, with every
+/// `burst_every`-th group fanned out as `burst_size` *identical concurrent*
+/// requests — and reports two kinds of results:
+///
+///  * **Exact counters.** The schedule is replayed serially against a model
+///    LRU before any thread runs, predicting hits / misses / executions /
+///    coalesced / insertions / evictions to the exact integer. The live run
+///    must match (`expectations_match`); CI gates on it. This works because
+///    the server is clock-free (the generator passes logical time to
+///    `submit`) and bursts rendezvous: the cold-run leader blocks in the
+///    execution hook until every other burst member has coalesced onto its
+///    flight, so the coalesce count per burst is `burst_size - 1` by
+///    construction, not by racing the scheduler.
+///  * **Measured latency.** Wall-clock per-request latency percentiles and
+///    served QPS (steady_clock; the only non-deterministic outputs), plus
+///    the cache-hit vs cold-run speedup the ISSUE's acceptance gate checks.
+///
+/// Popularity is Zipf(s) over ranks 0..universe-1: weight(r) = 1/(r+1)^s.
+/// The hit ratio is *shaped* by (universe, zipf_s, cache_capacity, groups)
+/// and *known* exactly via the replay — `expected_hit_ratio` in the report.
+
+namespace coop::obs {
+class MetricsRegistry;
+}  // namespace coop::obs
+
+namespace coop::service {
+
+struct LoadgenConfig {
+  std::uint64_t seed = 42;
+  int groups = 200;      ///< request groups; each issues 1 or burst_size
+  int universe = 24;     ///< distinct scenarios in the popularity table
+  double zipf_s = 1.1;   ///< popularity skew (0 = uniform)
+  int burst_every = 8;   ///< every k-th group is a duplicate burst; 0 = never
+  int burst_size = 4;    ///< identical concurrent requests per burst group
+  std::size_t cache_capacity = 16;  ///< < universe makes eviction churn real
+  long dim = 24;     ///< cube extent of every scenario (dim^3 zones)
+  /// Per cold run. Cold cost scales with simulated timesteps (DES events),
+  /// and the hit-vs-cold speedup gate needs cold runs that dwarf a cache
+  /// lookup: 30 steps is ~0.6 ms cold vs ~1 us hit.
+  int timesteps = 30;
+
+  void validate() const;  ///< throws kConfig on nonsensical values
+};
+
+/// The counters the replay predicts and the live run must reproduce.
+struct LoadgenCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t shed_rate = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_evictions = 0;
+
+  friend bool operator==(const LoadgenCounters&,
+                         const LoadgenCounters&) = default;
+};
+
+struct LoadgenReport {
+  LoadgenCounters expected;  ///< serial replay prediction
+  LoadgenCounters actual;    ///< live server counters after the run
+  bool expectations_match = false;
+  double expected_hit_ratio = 0.0;  ///< expected.hits / expected.requests
+
+  double wall_s = 0.0;      ///< wall clock over the whole request schedule
+  double served_qps = 0.0;  ///< requests / wall_s
+
+  // Nearest-rank percentiles over every request's submit latency.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_hit_us = 0.0;   ///< mean latency of kHit requests
+  double mean_cold_us = 0.0;  ///< mean latency of kMiss (cold run) requests
+  /// mean_cold_us / mean_hit_us — the ISSUE gate demands >= 100x.
+  double hit_speedup = 0.0;
+
+  /// The server's `coophet.service_stats` v1 artifact, captured after the
+  /// run (so the CLI can write it without keeping the server alive).
+  std::string service_stats_json;
+
+  /// Writes `loadgen.*` gauges (counters, percentiles, QPS, speedup,
+  /// expectation verdict) into `metrics`.
+  void publish_metrics(obs::MetricsRegistry& metrics) const;
+};
+
+/// Runs the full schedule against a fresh ScenarioServer. Thread fan-out is
+/// internal (burst groups spawn burst_size client threads). When `metrics`
+/// is non-null, the server's `service.*` / `admission.*` gauges are
+/// published into it alongside the report's own `loadgen.*` set.
+[[nodiscard]] LoadgenReport run_loadgen(const LoadgenConfig& config,
+                                        obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace coop::service

@@ -1,0 +1,66 @@
+#include "coop/service/result_cache.hpp"
+
+#include "coop/core/sim_error.hpp"
+
+namespace coop::service {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0)
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "ResultCache: capacity must be >= 1");
+}
+
+ResultCache::Bytes ResultCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
+  return it->second->second;
+}
+
+ResultCache::Bytes ResultCache::peek(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : it->second->second;
+}
+
+void ResultCache::put(const std::string& key, Bytes bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->second = std::move(bytes);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(bytes));
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<std::string> ResultCache::keys_mru_first() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(lru_.size());
+  for (const Entry& e : lru_) keys.push_back(e.first);
+  return keys;
+}
+
+}  // namespace coop::service

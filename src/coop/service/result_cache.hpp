@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+/// \file result_cache.hpp
+/// Content-addressed LRU cache of completed scenario results.
+///
+/// The scenario server memoizes finished `coophet.run_report` JSON under the
+/// query's canonical config key (service/config_key.hpp). Because the timed
+/// simulation is deterministic (same config => bitwise-identical
+/// TimedResult, PR 5) and the report writer is deterministic too, a cache
+/// hit returns bytes identical to what a cold run would have produced — the
+/// cache is an exact memo table, not an approximation, which is what lets
+/// the load-test gate compare hit bytes against the cold-run artifact.
+///
+/// Entries are shared immutable strings: a hit hands out a refcounted
+/// pointer, so eviction never invalidates bytes a concurrent reader is
+/// still streaming. Capacity-bounded, least-recently-used eviction;
+/// thread-safe; all statistics are monotonic counters.
+
+namespace coop::service {
+
+class ResultCache {
+ public:
+  using Bytes = std::shared_ptr<const std::string>;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// `capacity` >= 1 entries; throws kConfig on 0.
+  explicit ResultCache(std::size_t capacity);
+
+  /// The bytes under `key`, bumping it to most-recently-used; nullptr on a
+  /// miss. Thread-safe.
+  [[nodiscard]] Bytes get(const std::string& key);
+
+  /// Peeks without touching recency or the hit/miss counters (used by the
+  /// server to distinguish "served from cache" from introspection).
+  [[nodiscard]] Bytes peek(const std::string& key) const;
+
+  /// Inserts (or refreshes) `key` as most-recently-used, evicting the
+  /// least-recently-used entry when full. Thread-safe.
+  void put(const std::string& key, Bytes bytes);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Stats stats() const;
+
+  /// Keys most-recently-used first (test/debug aid).
+  [[nodiscard]] std::vector<std::string> keys_mru_first() const;
+
+ private:
+  using Entry = std::pair<std::string, Bytes>;  ///< (key, bytes)
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace coop::service

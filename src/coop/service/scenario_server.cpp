@@ -1,0 +1,328 @@
+#include "coop/service/scenario_server.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "coop/core/report.hpp"
+#include "coop/core/sim_error.hpp"
+#include "coop/obs/json.hpp"
+#include "coop/obs/metrics.hpp"
+#include "coop/obs/run_report.hpp"
+#include "coop/service/config_key.hpp"
+
+namespace coop::service {
+
+// --- Query canonicalization --------------------------------------------------
+
+void ScenarioQuery::validate() const {
+  const auto bad = [](const std::string& what) {
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "ScenarioQuery: " + what);
+  };
+  if (x < 1 || y < 1 || z < 1)
+    bad("extents must be >= 1 (got " + std::to_string(x) + "x" +
+        std::to_string(y) + "x" + std::to_string(z) + ")");
+  if (timesteps < 1) bad("timesteps must be >= 1");
+  if (nodes < 1) bad("nodes must be >= 1");
+  if (ranks_per_gpu < 1) bad("ranks_per_gpu must be >= 1");
+  if (cpu_fraction > 1.0) bad("cpu_fraction must be <= 1");
+  (void)canonical_double(cpu_fraction);  // rejects NaN/Inf
+  (void)resolve_node_spec(node);         // rejects unknown node names
+}
+
+devmodel::NodeSpec resolve_node_spec(const std::string& name) {
+  if (name == "rzhasgpu") return devmodel::NodeSpec::rzhasgpu();
+  if (name == "sierra-ea") return devmodel::NodeSpec::sierra_ea();
+  core::throw_sim_error(core::SimErrorKind::kConfig,
+                        "resolve_node_spec: unknown node spec \"" + name +
+                            "\" (known: rzhasgpu, sierra-ea)");
+}
+
+std::string scenario_key(const ScenarioQuery& q) {
+  q.validate();
+  ConfigKeyHasher h;
+  h.mix(std::string_view("coophet.scenario"));  // domain tag vs campaign_hash
+  h.mix(std::string_view(q.node));
+  h.mix(std::string_view(core::to_string(q.mode)));
+  h.mix(q.x);
+  h.mix(q.y);
+  h.mix(q.z);
+  h.mix(q.timesteps);
+  h.mix(q.nodes);
+  h.mix(q.ranks_per_gpu);
+  // Every negative cpu_fraction selects the same FLOPS-based initial guess,
+  // so all of them are one canonical scenario.
+  h.mix(q.cpu_fraction < 0.0 ? -1.0 : q.cpu_fraction);
+  h.mix(q.model_um_threshold);
+  h.mix(q.model_mps_overlap);
+  h.mix(q.compiler_bug);
+  h.mix(static_cast<long>(q.faults.events.size()));
+  for (const fault::FaultEvent& e : q.faults.events) {
+    h.mix(e.time);
+    h.mix(std::string_view(fault::to_string(e.kind)));
+    h.mix(e.rank);
+    h.mix(e.node);
+    h.mix(e.gpu);
+    h.mix(e.count);
+    h.mix(e.duration);
+    h.mix(e.factor);
+  }
+  return h.hex();
+}
+
+core::TimedConfig to_timed_config(const ScenarioQuery& q) {
+  core::TimedConfig tc;
+  tc.mode = q.mode;
+  tc.node = resolve_node_spec(q.node);
+  tc.global = {{0, 0, 0}, {q.x, q.y, q.z}};
+  tc.timesteps = q.timesteps;
+  tc.nodes = q.nodes;
+  tc.ranks_per_gpu = q.ranks_per_gpu;
+  tc.cpu_fraction = q.cpu_fraction;
+  tc.model_um_threshold = q.model_um_threshold;
+  tc.model_mps_overlap = q.model_mps_overlap;
+  tc.compiler_bug = q.compiler_bug;
+  if (!q.faults.empty()) {
+    // Points at the query's plan: the query must outlive the run (true for
+    // the synchronous submit path, where the leader holds the caller's ref).
+    tc.faults = &q.faults;
+    tc.recovery.checkpoint_interval = 2;
+  }
+  return tc;
+}
+
+const char* to_string(ServeOutcome o) noexcept {
+  switch (o) {
+    case ServeOutcome::kHit: return "hit";
+    case ServeOutcome::kMiss: return "miss";
+    case ServeOutcome::kCoalesced: return "coalesced";
+    case ServeOutcome::kShedRate: return "shed_rate";
+    case ServeOutcome::kShedQueueFull: return "shed_queue_full";
+  }
+  return "?";
+}
+
+// --- Server ------------------------------------------------------------------
+
+void ScenarioServerConfig::validate() const {
+  if (cache_capacity == 0)
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "ScenarioServerConfig: cache_capacity must be >= 1");
+  admission.validate();
+}
+
+ScenarioServer::ScenarioServer(ScenarioServerConfig config)
+    : config_(std::move(config)),
+      // AdmissionController and ResultCache each validate their own slice of
+      // the config; nothing else in ScenarioServerConfig can be nonsensical.
+      admission_(config_.admission),
+      cache_(config_.cache_capacity) {}
+
+ScenarioServer::~ScenarioServer() = default;
+
+ScenarioResponse ScenarioServer::submit(const ScenarioQuery& query, double now,
+                                        int priority) {
+  const std::string key = scenario_key(query);
+
+  std::shared_ptr<Flight> flight;
+  std::shared_ptr<QueuedTicket> ticket;
+  bool leader = false;
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    if (ResultCache::Bytes bytes = cache_.get(key)) {
+      ++stats_.hits;
+      return {ServeOutcome::kHit, key, std::move(bytes)};
+    }
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+      // Single-flight dedup: join the execution already under way.
+      flight = it->second;
+      ++stats_.coalesced;
+      std::lock_guard<std::mutex> flock(flight->m);
+      ++flight->waiters;
+    } else {
+      // Leader path: the admission decision is taken under the server lock,
+      // so between "no flight exists" and "flight registered" no duplicate
+      // can slip in and start a second execution.
+      id = next_request_id_++;
+      switch (admission_.offer(id, priority, now)) {
+        case AdmissionDecision::kShedRate:
+          ++stats_.shed_rate;
+          return {ServeOutcome::kShedRate, key, nullptr};
+        case AdmissionDecision::kShedQueueFull:
+          ++stats_.shed_queue_full;
+          return {ServeOutcome::kShedQueueFull, key, nullptr};
+        case AdmissionDecision::kQueued:
+          ticket = std::make_shared<QueuedTicket>();
+          queued_[id] = ticket;
+          [[fallthrough]];
+        case AdmissionDecision::kAdmitted:
+          flight = std::make_shared<Flight>();
+          inflight_[key] = flight;
+          leader = true;
+          break;
+      }
+    }
+  }
+
+  if (!leader) {
+    std::unique_lock<std::mutex> flock(flight->m);
+    flight->cv.wait(flock, [&] { return flight->done; });
+    if (flight->failed) {
+      const core::SimError err = flight->error;
+      flock.unlock();
+      core::throw_sim_error(err.kind, err.context, err.cell);
+    }
+    return {ServeOutcome::kCoalesced, key, flight->bytes};
+  }
+
+  if (ticket != nullptr) {
+    // Queued: wait for a finishing execution to promote this id.
+    std::unique_lock<std::mutex> tlock(ticket->m);
+    ticket->cv.wait(tlock, [&] { return ticket->promoted; });
+    tlock.unlock();
+    std::lock_guard<std::mutex> lock(mutex_);
+    queued_.erase(id);
+  }
+
+  return run_as_leader(query, key, flight, now);
+}
+
+ScenarioResponse ScenarioServer::run_as_leader(
+    const ScenarioQuery& query, const std::string& key,
+    const std::shared_ptr<Flight>& flight, double now) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.executions;
+  }
+  ResultCache::Bytes bytes;
+  try {
+    if (config_.execution_hook) config_.execution_hook(query, key);
+    const core::TimedConfig tc = to_timed_config(query);
+    const core::TimedResult res = core::run_timed(tc);
+    const obs::RunReport report = core::build_run_report(tc, res, nullptr);
+    std::ostringstream os;
+    report.write_json(os);
+    os << '\n';
+    bytes = std::make_shared<const std::string>(os.str());
+  } catch (...) {
+    const core::SimError err = core::classify_current_exception();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.errors;
+      inflight_.erase(key);  // never poison the cache: next submit re-runs
+    }
+    complete_and_promote(now);
+    {
+      std::lock_guard<std::mutex> flock(flight->m);
+      flight->failed = true;
+      flight->error = err;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    throw;  // the leader rethrows the original typed exception
+  }
+
+  // Publish before retiring the flight: a request arriving in between sees
+  // either the in-flight entry (coalesces) or the cached bytes (hits) —
+  // never a gap that would start a second execution.
+  cache_.put(key, bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    inflight_.erase(key);
+  }
+  complete_and_promote(now);
+  {
+    std::lock_guard<std::mutex> flock(flight->m);
+    flight->bytes = bytes;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return {ServeOutcome::kMiss, key, std::move(bytes)};
+}
+
+void ScenarioServer::complete_and_promote(double now) {
+  const long long promoted = admission_.complete(now);
+  if (promoted < 0) return;
+  std::shared_ptr<QueuedTicket> ticket;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = queued_.find(static_cast<std::uint64_t>(promoted));
+    if (it != queued_.end()) ticket = it->second;
+  }
+  if (ticket == nullptr) return;  // promoted id already gone (never expected)
+  {
+    std::lock_guard<std::mutex> tlock(ticket->m);
+    ticket->promoted = true;
+  }
+  ticket->cv.notify_all();
+}
+
+ScenarioServer::Stats ScenarioServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::uint64_t ScenarioServer::inflight_waiters(const std::string& key) const {
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) return 0;
+    flight = it->second;
+  }
+  std::lock_guard<std::mutex> flock(flight->m);
+  return flight->waiters;
+}
+
+void ScenarioServer::publish_metrics(obs::MetricsRegistry& metrics) const {
+  const Stats s = stats();
+  const ResultCache::Stats c = cache_.stats();
+  const auto set = [&metrics](const char* name, double v) {
+    metrics.gauge(name).set(v);
+  };
+  set("service.requests", static_cast<double>(s.requests));
+  set("service.hits", static_cast<double>(s.hits));
+  set("service.misses", static_cast<double>(s.misses));
+  set("service.executions", static_cast<double>(s.executions));
+  set("service.coalesced", static_cast<double>(s.coalesced));
+  set("service.shed_rate", static_cast<double>(s.shed_rate));
+  set("service.shed_queue_full", static_cast<double>(s.shed_queue_full));
+  set("service.errors", static_cast<double>(s.errors));
+  set("service.hit_ratio",
+      s.requests == 0
+          ? 0.0
+          : static_cast<double>(s.hits) / static_cast<double>(s.requests));
+  set("service.cache_size", static_cast<double>(cache_.size()));
+  set("service.cache_capacity", static_cast<double>(cache_.capacity()));
+  set("service.cache_insertions", static_cast<double>(c.insertions));
+  set("service.cache_evictions", static_cast<double>(c.evictions));
+  admission_.publish_metrics(metrics);
+}
+
+void ScenarioServer::write_service_stats(std::ostream& os) const {
+  const Stats s = stats();
+  const ResultCache::Stats c = cache_.stats();
+  const AdmissionStats a = admission_.stats();
+  os << "{\"schema\":\"" << kServiceStatsSchemaName
+     << "\",\"schema_version\":" << kServiceStatsSchemaVersion
+     << ",\"requests\":" << s.requests << ",\"hits\":" << s.hits
+     << ",\"misses\":" << s.misses << ",\"executions\":" << s.executions
+     << ",\"coalesced\":" << s.coalesced << ",\"shed_rate\":" << s.shed_rate
+     << ",\"shed_queue_full\":" << s.shed_queue_full
+     << ",\"errors\":" << s.errors << ",\"cache\":{\"capacity\":"
+     << cache_.capacity() << ",\"size\":" << cache_.size()
+     << ",\"hits\":" << c.hits << ",\"misses\":" << c.misses
+     << ",\"insertions\":" << c.insertions << ",\"evictions\":" << c.evictions
+     << "},\"admission\":{\"offered\":" << a.offered
+     << ",\"admitted\":" << a.admitted << ",\"queued\":" << a.queued
+     << ",\"promoted\":" << a.promoted << ",\"shed_rate\":" << a.shed_rate
+     << ",\"shed_queue_full\":" << a.shed_queue_full
+     << ",\"completed\":" << a.completed
+     << ",\"peak_in_flight\":" << a.peak_in_flight
+     << ",\"peak_queue_depth\":" << a.peak_queue_depth << "}}\n";
+}
+
+}  // namespace coop::service

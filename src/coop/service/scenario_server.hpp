@@ -1,0 +1,215 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coop/core/node_mode.hpp"
+#include "coop/core/timed_sim.hpp"
+#include "coop/fault/fault_plan.hpp"
+#include "coop/service/admission.hpp"
+#include "coop/service/result_cache.hpp"
+
+/// \file scenario_server.hpp
+/// The scenario service daemon: a long-running, in-process query server over
+/// the deterministic timed simulation (ROADMAP: the "heavy traffic" tier).
+///
+/// A client submits a `ScenarioQuery` — node spec + problem dims + mode +
+/// fault plan — and receives the versioned `coophet.run_report` JSON for
+/// that what-if capacity-planning question. The request path:
+///
+///   query -> canonical key (config_key) -> ResultCache hit?
+///         -> single-flight: identical in-flight query? join it
+///         -> AdmissionController (priority + shedding)
+///         -> run_timed -> build_run_report -> JSON bytes -> cache
+///
+/// Three properties make this a correct memo server rather than a best-effort
+/// cache:
+///  * **Exactness** — run_timed is deterministic and the report writer is
+///    byte-deterministic, so a hit returns bytes identical to the cold run.
+///  * **Single-flight dedup** — N identical in-flight queries block on ONE
+///    execution and all N receive the same bytes; a mid-flight `SimError`
+///    fans the same typed failure out to every waiter without poisoning the
+///    cache (the next submit re-executes).
+///  * **Clock-free** — like the AdmissionController, `submit` takes `now`
+///    from the caller; the load generator drives logical time, a real daemon
+///    passes wall time. No counter ever depends on a clock read, which is
+///    what makes the CI load-test gate exact.
+///
+/// `submit` is synchronous and thread-safe: concurrent client threads (the
+/// load generator fans each duplicate burst out across its own client
+/// threads) each get hit/coalesce/shed decisions under one lock, and cold
+/// runs execute on the leader's thread after admission.
+
+namespace coop::obs {
+class MetricsRegistry;
+}  // namespace coop::obs
+
+namespace coop::service {
+
+inline constexpr const char* kServiceStatsSchemaName = "coophet.service_stats";
+inline constexpr int kServiceStatsSchemaVersion = 1;
+
+/// One what-if capacity-planning question. Every field below is a semantic
+/// knob: it changes the simulated result, so it is part of the cache key.
+/// (Priority is NOT part of the query — it shapes scheduling, not results —
+/// which is why it rides on `submit` instead.)
+struct ScenarioQuery {
+  std::string node = "rzhasgpu";  ///< named node spec (resolve_node_spec)
+  core::NodeMode mode = core::NodeMode::kHeterogeneous;
+  long x = 64, y = 64, z = 64;  ///< global problem extents, zones
+  int timesteps = 4;
+  int nodes = 1;           ///< simulated cluster size
+  int ranks_per_gpu = 4;   ///< GPU-sharing factor (MPS mode)
+  double cpu_fraction = -1.0;  ///< initial hetero CPU share; <0 = model guess
+  bool model_um_threshold = true;
+  bool model_mps_overlap = true;
+  bool compiler_bug = true;
+  /// Fault schedule applied to the run (empty = fault-free). Hashed
+  /// event-by-event: two plans with the same time-sorted event list are the
+  /// same scenario however their `add` calls were ordered.
+  fault::FaultPlan faults;
+
+  /// Throws kConfig on nonsensical extents/counts or an unknown node name.
+  void validate() const;
+};
+
+/// The named node specs a query may reference ("rzhasgpu", "sierra-ea");
+/// throws kConfig on anything else.
+[[nodiscard]] devmodel::NodeSpec resolve_node_spec(const std::string& name);
+
+/// Canonical content-address of `q`: 16-hex FNV-1a-64 over every semantic
+/// knob (config_key canonicalization: -0.0 == +0.0, subnormals flush).
+/// Validates first, so an unserveable query never produces a key.
+[[nodiscard]] std::string scenario_key(const ScenarioQuery& q);
+
+/// The `core::TimedConfig` a cold run of `q` executes (observability
+/// pointers unset; the server attaches nothing — reports must be
+/// byte-deterministic).
+[[nodiscard]] core::TimedConfig to_timed_config(const ScenarioQuery& q);
+
+/// How one submit was served.
+enum class ServeOutcome {
+  kHit,           ///< bytes straight from the result cache
+  kMiss,          ///< this request executed the simulation (cold run)
+  kCoalesced,     ///< joined an identical in-flight execution
+  kShedRate,      ///< rejected: admission token bucket empty
+  kShedQueueFull, ///< rejected: admission queue at capacity
+};
+
+[[nodiscard]] const char* to_string(ServeOutcome o) noexcept;
+
+struct ScenarioResponse {
+  ServeOutcome outcome = ServeOutcome::kShedRate;
+  std::string key;            ///< canonical scenario key
+  ResultCache::Bytes report;  ///< run_report JSON; nullptr when shed
+};
+
+struct ScenarioServerConfig {
+  std::size_t cache_capacity = 64;
+  /// Admission defaults are sized for an in-process daemon: effectively
+  /// unlimited rate, bounded concurrency. Tests/loadgen override freely.
+  AdmissionConfig admission{/*rate_per_s=*/1.0e9, /*burst=*/1.0e9,
+                            /*max_in_flight=*/16, /*max_queue=*/64};
+  /// Test/loadgen seam: runs on the leader thread after the in-flight entry
+  /// is registered and admission admitted, before the simulation. Throwing
+  /// here fails the execution exactly like a run_timed failure (typed
+  /// fan-out to all waiters, cache untouched).
+  std::function<void(const ScenarioQuery&, const std::string& key)>
+      execution_hook;
+
+  void validate() const;  ///< throws kConfig on nonsensical values
+};
+
+class ScenarioServer {
+ public:
+  explicit ScenarioServer(ScenarioServerConfig config = {});
+  ~ScenarioServer();
+
+  ScenarioServer(const ScenarioServer&) = delete;
+  ScenarioServer& operator=(const ScenarioServer&) = delete;
+
+  /// Serves one query at logical time `now` (seconds, any monotonic origin;
+  /// passed through to the admission controller). Blocks until the response
+  /// is ready: a hit returns immediately, a coalesced request waits for the
+  /// leader, a queued miss waits for an admission slot, then executes.
+  /// Throws the typed `SimError` of a failed execution (leader and all
+  /// coalesced waiters receive the same kind + context).
+  ScenarioResponse submit(const ScenarioQuery& query, double now,
+                          int priority = 0);
+
+  /// Monotonic request-path counters. `executions` is the dedup contract's
+  /// witness: K concurrent identical queries bump it exactly once.
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;       ///< cold runs completed successfully
+    std::uint64_t executions = 0;   ///< simulations started (incl. failed)
+    std::uint64_t coalesced = 0;    ///< joined an in-flight execution
+    std::uint64_t shed_rate = 0;
+    std::uint64_t shed_queue_full = 0;
+    std::uint64_t errors = 0;       ///< executions that threw
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] AdmissionStats admission_stats() const {
+    return admission_.stats();
+  }
+  [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
+
+  /// Identical in-flight requests currently blocked on `key`'s leader
+  /// (0 when the key is not executing). The loadgen's rendezvous hook uses
+  /// this to make coalesce counts exact.
+  [[nodiscard]] std::uint64_t inflight_waiters(const std::string& key) const;
+
+  /// Snapshots every counter into `service.*` gauges (plus the admission
+  /// controller's `admission.*` set).
+  void publish_metrics(obs::MetricsRegistry& metrics) const;
+
+  /// Writes the `coophet.service_stats` v1 artifact: request-path counters,
+  /// cache occupancy/hit statistics, and admission tallies.
+  void write_service_stats(std::ostream& os) const;
+
+ private:
+  /// One in-flight cold execution; waiters block on its condition variable.
+  struct Flight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool failed = false;
+    core::SimError error;       ///< valid when failed
+    ResultCache::Bytes bytes;   ///< valid when done && !failed
+    std::uint64_t waiters = 0;  ///< coalesced requests currently blocked
+  };
+
+  /// Blocks a queued leader until `complete` promotes its admission id.
+  struct QueuedTicket {
+    std::mutex m;
+    std::condition_variable cv;
+    bool promoted = false;
+  };
+
+  ScenarioResponse run_as_leader(const ScenarioQuery& query,
+                                 const std::string& key,
+                                 const std::shared_ptr<Flight>& flight,
+                                 double now);
+  /// Releases the leader's admission slot and wakes the promoted request.
+  void complete_and_promote(double now);
+
+  ScenarioServerConfig config_;
+  AdmissionController admission_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;  ///< guards inflight_, queued_, stats_
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<QueuedTicket>> queued_;
+  std::uint64_t next_request_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace coop::service

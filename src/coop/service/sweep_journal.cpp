@@ -10,39 +10,11 @@
 #include "coop/core/sim_error.hpp"
 #include "coop/obs/artifact_io.hpp"
 #include "coop/obs/json.hpp"
+#include "coop/service/config_key.hpp"
 
 namespace coop::service {
 
 namespace {
-
-// --- Campaign hashing -------------------------------------------------------
-
-class Fnv1a64 {
- public:
-  void mix(const std::string& s) {
-    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
-    mix_byte(0x1f);  // field separator: "ab"+"c" never collides with "a"+"bc"
-  }
-  void mix(long v) { mix(std::to_string(v)); }
-  void mix(int v) { mix(std::to_string(v)); }
-  void mix(bool v) { mix(std::string(v ? "1" : "0")); }
-
-  [[nodiscard]] std::string hex() const {
-    static const char* kDigits = "0123456789abcdef";
-    std::string out(16, '0');
-    for (int i = 0; i < 16; ++i)
-      out[static_cast<std::size_t>(i)] =
-          kDigits[(hash_ >> (60 - 4 * i)) & 0xf];
-    return out;
-  }
-
- private:
-  void mix_byte(unsigned char b) {
-    hash_ ^= b;
-    hash_ *= 1099511628211ULL;
-  }
-  std::uint64_t hash_ = 14695981039346656037ULL;
-};
 
 // --- Mode round-trip --------------------------------------------------------
 
@@ -246,7 +218,11 @@ const std::string& require_string(const JsonValue& obj, const char* key) {
 
 std::string campaign_hash(const sweeps::FigureSpec& spec,
                           const sweeps::SweepOptions& options) {
-  Fnv1a64 h;
+  // Delegates to the shared semantic-knob hasher (service/config_key.hpp).
+  // Persisted journals store this digest, so the field order and encodings
+  // below are a byte-stability contract — the config_key golden-vector test
+  // pins them.
+  ConfigKeyHasher h;
   h.mix(spec.figure);
   h.mix(std::string(1, spec.vary));
   for (const long v : spec.values) h.mix(v);
@@ -273,7 +249,10 @@ void SweepJournal::load_existing() {
   std::ostringstream buf;
   buf << is.rdbuf();
   const std::string text = buf.str();
-  if (text.empty()) return;  // treat an empty file as a fresh journal
+  // A zero-byte (or whitespace-only) journal is what a crash between open
+  // and first write leaves behind: treat it as a fresh campaign, not as
+  // corruption — there is nothing to resume and nothing to lose.
+  if (text.find_first_not_of(" \t\r\n") == std::string::npos) return;
 
   const JsonValue root = JsonReader(text).parse();
   if (require_string(root, "schema") != kSweepJournalSchemaName)

@@ -1,0 +1,216 @@
+/// Multi-threaded stress of the AdmissionController — the properties that
+/// only break under real concurrency (CI runs this binary under TSan):
+///
+///  * token conservation — with a fixed logical time the bucket never
+///    refills, so token-consuming decisions (admitted + queued) can never
+///    exceed the configured burst, and once anything was rate-shed the
+///    bucket must have been spent to the last token first;
+///  * no lost or duplicated promotions — every id `complete` returns was
+///    previously queued, is returned exactly once, and is itself completed
+///    by the promoting thread (the obligation-chain protocol the scenario
+///    server runs);
+///  * the ledger balances — offered splits exactly into the four decisions,
+///    completed == admitted + promoted after the drain, in_flight returns
+///    to zero, and the peaks respect the configured bounds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "coop/service/admission.hpp"
+
+namespace service = coop::service;
+
+namespace {
+
+using service::AdmissionDecision;
+
+struct StressResult {
+  service::AdmissionStats stats;
+  int final_in_flight = 0;
+  int final_queue_depth = 0;
+  std::uint64_t offers_made = 0;
+  std::set<std::uint64_t> queued_ids;
+  std::vector<long long> promoted_ids;  ///< in promotion order, with dupes
+};
+
+/// `threads` workers each make `offers_per_thread` offers at logical time 0
+/// and retire every obligation they acquire: an admitted offer is completed,
+/// and a completion that promotes a queued id takes over that id's
+/// completion too (transitively). After the join nothing is left running.
+///
+/// With `hold_slot_during_offers`, the main thread takes one slot up front
+/// and keeps it until every worker finished offering, then drains its
+/// obligation chain. Against max_in_flight == 1 that makes promotion
+/// pressure deterministic instead of an interleaving accident: no worker
+/// can ever be admitted, the queue fills, and the drain promotes each
+/// queued id exactly once.
+StressResult run_stress(const service::AdmissionConfig& cfg, int threads,
+                        int offers_per_thread,
+                        bool hold_slot_during_offers = false) {
+  service::AdmissionController ctl(cfg);
+  std::atomic<std::uint64_t> next_id{1};
+  std::mutex record_mutex;
+  StressResult r;
+
+  if (hold_slot_during_offers) {
+    const std::uint64_t id = next_id.fetch_add(1);
+    const AdmissionDecision d = ctl.offer(id, /*priority=*/0, 0.0);
+    // A fresh controller with a token available must admit the first offer.
+    EXPECT_EQ(d, AdmissionDecision::kAdmitted);
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < offers_per_thread; ++i) {
+        const std::uint64_t id = next_id.fetch_add(1);
+        const int priority = static_cast<int>((t + i) % 3);
+        const AdmissionDecision d = ctl.offer(id, priority, 0.0);
+        if (d == AdmissionDecision::kQueued) {
+          std::lock_guard<std::mutex> lock(record_mutex);
+          r.queued_ids.insert(id);
+        }
+        if (d != AdmissionDecision::kAdmitted) continue;
+        // Obligation chain: completing may promote a queued request, whose
+        // completion this thread then owns as well.
+        int obligations = 1;
+        while (obligations > 0) {
+          const long long promoted = ctl.complete(0.0);
+          --obligations;
+          if (promoted >= 0) {
+            ++obligations;
+            std::lock_guard<std::mutex> lock(record_mutex);
+            r.promoted_ids.push_back(promoted);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  if (hold_slot_during_offers) {
+    // Retire the held slot's obligation chain: every completion that
+    // promotes a queued id hands this thread that id's completion too.
+    int obligations = 1;
+    while (obligations > 0) {
+      const long long promoted = ctl.complete(0.0);
+      --obligations;
+      if (promoted >= 0) {
+        ++obligations;
+        r.promoted_ids.push_back(promoted);
+      }
+    }
+  }
+
+  r.stats = ctl.stats();
+  r.final_in_flight = ctl.in_flight();
+  r.final_queue_depth = ctl.queue_depth();
+  r.offers_made = static_cast<std::uint64_t>(threads) *
+                      static_cast<std::uint64_t>(offers_per_thread) +
+                  (hold_slot_during_offers ? 1u : 0u);
+  return r;
+}
+
+void check_invariants(const service::AdmissionConfig& cfg,
+                      const StressResult& r) {
+  const service::AdmissionStats& s = r.stats;
+
+  // The ledger balances: every offer got exactly one decision.
+  EXPECT_EQ(s.offered, r.offers_made);
+  EXPECT_EQ(s.offered, s.admitted + s.queued + s.shed_rate + s.shed_queue_full);
+
+  // Token conservation at frozen time: the bucket cannot refill, so at most
+  // `burst` decisions ever consumed a token — and a rate shed proves the
+  // bucket was fully spent, not leaked.
+  EXPECT_LE(s.admitted + s.queued, static_cast<std::uint64_t>(cfg.burst));
+  if (s.shed_rate > 0) {
+    EXPECT_EQ(s.admitted + s.queued, static_cast<std::uint64_t>(cfg.burst));
+  }
+
+  // No lost or duplicated promotions: exactly-once, and only of queued ids.
+  EXPECT_EQ(r.promoted_ids.size(), s.promoted);
+  std::set<long long> unique_promoted(r.promoted_ids.begin(),
+                                      r.promoted_ids.end());
+  EXPECT_EQ(unique_promoted.size(), r.promoted_ids.size())
+      << "an id was promoted twice";
+  for (const long long id : r.promoted_ids) {
+    EXPECT_TRUE(r.queued_ids.count(static_cast<std::uint64_t>(id)) == 1)
+        << "promoted id " << id << " was never queued";
+  }
+
+  // Every obligation was retired: slots drained, and whatever was queued
+  // but never promoted is still sitting in the queue — nothing vanished.
+  EXPECT_EQ(r.final_in_flight, 0);
+  EXPECT_EQ(s.completed, s.admitted + s.promoted);
+  EXPECT_EQ(static_cast<std::uint64_t>(r.final_queue_depth),
+            s.queued - s.promoted);
+
+  // Peaks respect the configured bounds.
+  EXPECT_LE(s.peak_in_flight, cfg.max_in_flight);
+  EXPECT_LE(s.peak_queue_depth, cfg.max_queue);
+  EXPECT_GE(s.peak_in_flight, 0);
+  EXPECT_GE(s.peak_queue_depth, 0);
+}
+
+TEST(AdmissionConcurrent, ContendedOfferCompleteKeepsTheLedgerExact) {
+  service::AdmissionConfig cfg;
+  cfg.rate_per_s = 0.001;  // no meaningful refill at frozen time
+  cfg.burst = 64.0;
+  cfg.max_in_flight = 4;
+  cfg.max_queue = 8;
+  const StressResult r = run_stress(cfg, /*threads=*/16,
+                                    /*offers_per_thread=*/50);
+  check_invariants(cfg, r);
+  // 800 offers against 64 tokens: shedding must have happened, and both
+  // admission and queuing must have been exercised.
+  EXPECT_GT(r.stats.shed_rate + r.stats.shed_queue_full, 0u);
+  EXPECT_GT(r.stats.admitted, 0u);
+}
+
+TEST(AdmissionConcurrent, SingleSlotServerPromotesWithoutLoss) {
+  // The main thread holds the single slot while 8 workers race 512 offers
+  // at it, so the queue must fill to max_queue before anything completes;
+  // the post-join drain then promotes exactly those queued ids.
+  service::AdmissionConfig cfg;
+  cfg.rate_per_s = 0.001;
+  cfg.burst = 512.0;
+  cfg.max_in_flight = 1;
+  cfg.max_queue = 16;
+  const StressResult r = run_stress(cfg, /*threads=*/8,
+                                    /*offers_per_thread=*/64,
+                                    /*hold_slot_during_offers=*/true);
+  check_invariants(cfg, r);
+  // With the slot pinned, no worker is admitted and no dequeue happens
+  // during the offer phase — queued == max_queue exactly, and the drain
+  // promotes every one of them.
+  EXPECT_EQ(r.stats.admitted, 1u);
+  EXPECT_EQ(r.stats.queued, static_cast<std::uint64_t>(cfg.max_queue));
+  EXPECT_EQ(r.stats.promoted, static_cast<std::uint64_t>(cfg.max_queue));
+  EXPECT_GT(r.stats.shed_queue_full, 0u);
+}
+
+TEST(AdmissionConcurrent, AmpleCapacityAdmitsEverythingConcurrently) {
+  // With capacity beyond demand nothing may queue or shed, no matter the
+  // interleaving.
+  service::AdmissionConfig cfg;
+  cfg.rate_per_s = 1.0e9;
+  cfg.burst = 1.0e9;
+  cfg.max_in_flight = 1024;
+  cfg.max_queue = 16;
+  const StressResult r = run_stress(cfg, /*threads=*/16,
+                                    /*offers_per_thread=*/50);
+  check_invariants(cfg, r);
+  EXPECT_EQ(r.stats.admitted, r.offers_made);
+  EXPECT_EQ(r.stats.queued, 0u);
+  EXPECT_EQ(r.stats.shed_rate, 0u);
+  EXPECT_EQ(r.stats.shed_queue_full, 0u);
+}
+
+}  // namespace

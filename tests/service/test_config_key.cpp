@@ -1,0 +1,306 @@
+/// Property suite for the shared semantic-knob hasher (service/config_key)
+/// and the two digests built on it: the sweep journal's campaign hash and
+/// the scenario server's cache key. The contract under test:
+///
+///  * equivalent configs hash equal — -0.0 vs +0.0, subnormals vs zero,
+///    fault plans assembled in any add order, every "use the model's guess"
+///    negative cpu_fraction;
+///  * semantically distinct configs hash different — flipping any knob of a
+///    scenario changes its key;
+///  * the digest is BYTE-STABLE — golden vectors pin the FNV-1a-64
+///    basis/prime, the field-separator framing, and the exact campaign /
+///    scenario digests. Persisted journals store these strings, so a
+///    mismatch here means on-disk state would be orphaned: never "fix" a
+///    golden value without a migration story.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/fault/fault_plan.hpp"
+#include "coop/service/config_key.hpp"
+#include "coop/service/scenario_server.hpp"
+#include "coop/service/sweep_journal.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
+#include "support/prop.hpp"
+
+namespace core = coop::core;
+namespace fault = coop::fault;
+namespace prop = coop::prop;
+namespace service = coop::service;
+namespace sweeps = coop::sweeps;
+
+namespace {
+
+// --- Golden vectors ----------------------------------------------------------
+// Computed once from the implementation this PR extracted out of
+// sweep_journal.cpp; pinning them is what makes the extraction an
+// equivalence proof rather than a rewrite.
+
+TEST(ConfigKeyGolden, EmptyDigestIsTheFnv1a64OffsetBasis) {
+  EXPECT_EQ(service::ConfigKeyHasher{}.hex(), "cbf29ce484222325");
+}
+
+TEST(ConfigKeyGolden, MixedFieldSequenceIsByteStable) {
+  service::ConfigKeyHasher h;
+  h.mix(std::string_view("figure18"));
+  h.mix(42L);
+  h.mix(7);
+  h.mix(true);
+  h.mix(false);
+  h.mix(0.25);
+  h.mix(-1.0);
+  h.mix(-0.0);
+  EXPECT_EQ(h.hex(), "d58f354e85b3b869");
+}
+
+TEST(ConfigKeyGolden, CampaignHashOfFigure18IsByteStable) {
+  sweeps::SweepOptions options;
+  options.timesteps = 10;
+  EXPECT_EQ(service::campaign_hash(sweeps::figure_spec(18), options),
+            "bc359c5896022e8c");
+}
+
+TEST(ConfigKeyGolden, DefaultScenarioKeyIsByteStable) {
+  EXPECT_EQ(service::scenario_key(service::ScenarioQuery{}),
+            "15dcb6b770b0c416");
+}
+
+// --- Framing and canonicalization -------------------------------------------
+
+TEST(ConfigKey, FieldSeparatorPreventsConcatenationCollisions) {
+  service::ConfigKeyHasher ab_c;
+  ab_c.mix(std::string_view("ab"));
+  ab_c.mix(std::string_view("c"));
+  service::ConfigKeyHasher a_bc;
+  a_bc.mix(std::string_view("a"));
+  a_bc.mix(std::string_view("bc"));
+  EXPECT_NE(ab_c.hex(), a_bc.hex());
+}
+
+TEST(ConfigKey, NonFiniteDoublesAreTypedConfigErrors) {
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    try {
+      (void)service::canonical_double(bad);
+      FAIL() << "canonical_double accepted " << bad;
+    } catch (const core::SimErrorCarrier& c) {
+      EXPECT_EQ(c.error().kind, core::SimErrorKind::kConfig);
+    }
+  }
+}
+
+TEST(ConfigKeyProp, SignedZeroAndSubnormalsCollapseToCanonicalZero) {
+  prop::check(prop::Property<double>{
+      "zero-equivalents hash like 0.0",
+      [](prop::Gen& g) {
+        // Draw from the zero equivalence class: +0, -0, or a subnormal of
+        // either sign.
+        switch (g.int_in(0, 3)) {
+          case 0: return 0.0;
+          case 1: return -0.0;
+          case 2:
+            return std::numeric_limits<double>::denorm_min() *
+                   static_cast<double>(g.int_in(1, 1000));
+          default:
+            return -std::numeric_limits<double>::denorm_min() *
+                   static_cast<double>(g.int_in(1, 1000));
+        }
+      },
+      [](const double& v, std::ostream& why) {
+        service::ConfigKeyHasher a, b;
+        a.mix(v);
+        b.mix(0.0);
+        if (a.hex() == b.hex()) return true;
+        why << "mix(" << v << ") -> " << a.hex() << " but mix(0.0) -> "
+            << b.hex();
+        return false;
+      },
+      nullptr, nullptr});
+}
+
+TEST(ConfigKeyProp, NormalDoublesRoundTripDenormalFree) {
+  // %.17g is a shortest-round-trip encoding for normal doubles: hashing the
+  // same value twice is identical, and a value re-parsed from its encoding
+  // canonicalizes to itself (no double-rounding drift between equal keys).
+  prop::check(prop::Property<double>{
+      "normal doubles hash reproducibly",
+      [](prop::Gen& g) {
+        const double mag = std::pow(10.0, g.real_in(-300.0, 300.0));
+        return g.coin() ? mag : -mag;
+      },
+      [](const double& v, std::ostream& why) {
+        service::ConfigKeyHasher a, b;
+        a.mix(v);
+        b.mix(service::canonical_double(v));
+        if (a.hex() != b.hex()) {
+          why << "canonical_double changed a normal value's digest";
+          return false;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        if (std::strtod(buf, nullptr) != v) {
+          why << "%.17g did not round-trip " << buf;
+          return false;
+        }
+        return true;
+      },
+      nullptr, nullptr});
+}
+
+// --- Scenario-key semantics --------------------------------------------------
+
+service::ScenarioQuery random_query(prop::Gen& g) {
+  service::ScenarioQuery q;
+  q.node = g.coin() ? "rzhasgpu" : "sierra-ea";
+  q.mode = g.pick(std::vector<core::NodeMode>{
+      core::NodeMode::kCpuOnly, core::NodeMode::kOneRankPerGpu,
+      core::NodeMode::kMpsPerGpu, core::NodeMode::kHeterogeneous});
+  q.x = g.int_in(1, 96);
+  q.y = g.int_in(1, 96);
+  q.z = g.int_in(1, 96);
+  q.timesteps = static_cast<int>(g.int_in(1, 50));
+  q.nodes = static_cast<int>(g.int_in(1, 8));
+  q.ranks_per_gpu = static_cast<int>(g.int_in(1, 8));
+  q.cpu_fraction = g.coin() ? -1.0 : g.real_in(0.0, 1.0);
+  q.model_um_threshold = g.coin();
+  q.model_mps_overlap = g.coin();
+  q.compiler_bug = g.coin();
+  if (g.coin(0.4)) {
+    const int n = static_cast<int>(g.int_in(1, 4));
+    for (int i = 0; i < n; ++i) {
+      fault::FaultEvent e;
+      e.time = static_cast<double>(i + 1) * g.real_in(0.5, 2.0);
+      e.kind = g.coin() ? fault::FaultKind::kGpuDeath
+                        : fault::FaultKind::kSlowdown;
+      e.rank = static_cast<int>(g.int_in(0, 7));
+      q.faults.add(e);
+    }
+  }
+  return q;
+}
+
+TEST(ScenarioKeyProp, FlippingAnySemanticKnobChangesTheKey) {
+  struct Input {
+    service::ScenarioQuery base;
+    int knob = 0;
+  };
+  prop::check(prop::Property<Input>{
+      "semantic knob flips change scenario_key",
+      [](prop::Gen& g) {
+        return Input{random_query(g), static_cast<int>(g.int_in(0, 9))};
+      },
+      [](const Input& in, std::ostream& why) {
+        service::ScenarioQuery flipped = in.base;
+        const char* what = "?";
+        switch (in.knob) {
+          case 0:
+            flipped.node =
+                in.base.node == "rzhasgpu" ? "sierra-ea" : "rzhasgpu";
+            what = "node";
+            break;
+          case 1:
+            flipped.mode = in.base.mode == core::NodeMode::kCpuOnly
+                               ? core::NodeMode::kHeterogeneous
+                               : core::NodeMode::kCpuOnly;
+            what = "mode";
+            break;
+          case 2: flipped.x += 1; what = "x"; break;
+          case 3: flipped.timesteps += 1; what = "timesteps"; break;
+          case 4: flipped.nodes += 1; what = "nodes"; break;
+          case 5: flipped.ranks_per_gpu += 1; what = "ranks_per_gpu"; break;
+          case 6:
+            flipped.cpu_fraction =
+                in.base.cpu_fraction < 0.0 ? 0.5 : in.base.cpu_fraction / 2.0 + 0.25;
+            what = "cpu_fraction";
+            break;
+          case 7:
+            flipped.model_um_threshold = !in.base.model_um_threshold;
+            what = "model_um_threshold";
+            break;
+          case 8:
+            flipped.compiler_bug = !in.base.compiler_bug;
+            what = "compiler_bug";
+            break;
+          default: {
+            fault::FaultEvent extra;
+            extra.time = 99.0;
+            extra.kind = fault::FaultKind::kGpuDeath;
+            flipped.faults.add(extra);
+            what = "faults";
+            break;
+          }
+        }
+        if (service::scenario_key(in.base) == service::scenario_key(flipped) &&
+            !(in.knob == 6 && in.base.cpu_fraction ==
+                                  flipped.cpu_fraction)) {
+          why << "flipping " << what << " left the key unchanged";
+          return false;
+        }
+        return true;
+      },
+      nullptr, nullptr});
+}
+
+TEST(ScenarioKeyProp, FaultPlanAddOrderDoesNotChangeTheKey) {
+  // FaultPlan::add keeps events time-sorted, so two plans with the same
+  // event set are the same scenario no matter the insertion order. Distinct
+  // times make the sorted order unique.
+  prop::check(prop::Property<std::vector<fault::FaultEvent>>{
+      "fault add order is canonicalized away",
+      [](prop::Gen& g) {
+        std::vector<fault::FaultEvent> events;
+        const int n = static_cast<int>(g.int_in(2, 6));
+        for (int i = 0; i < n; ++i) {
+          fault::FaultEvent e;
+          e.time = static_cast<double>(i + 1) + g.real_in(0.0, 0.5);
+          e.kind = g.coin() ? fault::FaultKind::kGpuDeath
+                            : fault::FaultKind::kSlowdown;
+          e.rank = static_cast<int>(g.int_in(0, 7));
+          events.push_back(e);
+        }
+        return events;
+      },
+      [](const std::vector<fault::FaultEvent>& events, std::ostream& why) {
+        service::ScenarioQuery fwd, rev;
+        for (const auto& e : events) fwd.faults.add(e);
+        for (auto it = events.rbegin(); it != events.rend(); ++it)
+          rev.faults.add(*it);
+        if (service::scenario_key(fwd) == service::scenario_key(rev))
+          return true;
+        why << "reversed insertion order changed the key";
+        return false;
+      },
+      nullptr, nullptr});
+}
+
+TEST(ScenarioKey, EveryNegativeCpuFractionIsTheSameScenario) {
+  service::ScenarioQuery a, b, c;
+  a.cpu_fraction = -1.0;
+  b.cpu_fraction = -0.25;
+  c.cpu_fraction = 0.25;
+  EXPECT_EQ(service::scenario_key(a), service::scenario_key(b));
+  EXPECT_NE(service::scenario_key(a), service::scenario_key(c));
+}
+
+TEST(ScenarioKey, InvalidQueriesNeverProduceAKey) {
+  service::ScenarioQuery q;
+  q.x = 0;
+  EXPECT_THROW((void)service::scenario_key(q), core::SimErrorCarrier);
+  q = {};
+  q.node = "quartz";
+  EXPECT_THROW((void)service::scenario_key(q), core::SimErrorCarrier);
+  q = {};
+  q.cpu_fraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)service::scenario_key(q), core::SimErrorCarrier);
+}
+
+}  // namespace

@@ -1,0 +1,421 @@
+/// Scenario service daemon tests: the content-addressed LRU result cache,
+/// the single-flight dedup contract (K identical concurrent queries => one
+/// execution, K identical byte streams; a mid-flight failure fans the same
+/// typed error to every waiter without poisoning the cache), admission
+/// integration (queued leaders promoted, shed outcomes), and the
+/// coophet.service_stats artifact.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/obs/metrics.hpp"
+#include "coop/service/result_cache.hpp"
+#include "coop/service/scenario_server.hpp"
+#include "support/json_check.hpp"
+
+namespace core = coop::core;
+namespace service = coop::service;
+namespace json = coophet_test::json;
+
+namespace {
+
+service::ScenarioQuery tiny_query(int timesteps = 2) {
+  // 16^3 is the smallest extent every mode's rank decomposition accepts;
+  // distinct scenarios therefore differ by timesteps, not by dims.
+  service::ScenarioQuery q;
+  q.x = q.y = q.z = 16;
+  q.timesteps = timesteps;
+  return q;
+}
+
+service::ResultCache::Bytes bytes_of(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+// --- ResultCache -------------------------------------------------------------
+
+TEST(ResultCache, ZeroCapacityIsATypedConfigError) {
+  try {
+    service::ResultCache cache(0);
+    FAIL() << "capacity 0 accepted";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kConfig);
+  }
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAtCapacity) {
+  service::ResultCache cache(2);
+  cache.put("a", bytes_of("A"));
+  cache.put("b", bytes_of("B"));
+  // Touch "a": "b" becomes the eviction victim.
+  EXPECT_NE(cache.get("a"), nullptr);
+  cache.put("c", bytes_of("C"));
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(cache.keys_mru_first(), (std::vector<std::string>{"c", "a"}));
+}
+
+TEST(ResultCache, PeekDoesNotTouchRecencyOrCounters) {
+  service::ResultCache cache(2);
+  cache.put("a", bytes_of("A"));
+  cache.put("b", bytes_of("B"));
+  EXPECT_NE(cache.peek("a"), nullptr);  // no recency bump
+  const auto before = cache.stats();
+  EXPECT_EQ(before.hits, 0u);
+  EXPECT_EQ(before.misses, 0u);
+  cache.put("c", bytes_of("C"));
+  EXPECT_EQ(cache.peek("a"), nullptr) << "peek must not have protected 'a'";
+}
+
+TEST(ResultCache, EvictionNeverInvalidatesHandedOutBytes) {
+  service::ResultCache cache(1);
+  cache.put("a", bytes_of("the old content"));
+  const service::ResultCache::Bytes held = cache.get("a");
+  cache.put("b", bytes_of("B"));  // evicts "a"
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(*held, "the old content");
+}
+
+TEST(ResultCache, PutRefreshesExistingKeyWithoutGrowth) {
+  service::ResultCache cache(2);
+  cache.put("a", bytes_of("v1"));
+  cache.put("b", bytes_of("B"));
+  cache.put("a", bytes_of("v2"));  // refresh, not insert
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.get("a"), "v2");
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.keys_mru_first(), (std::vector<std::string>{"a", "b"}));
+}
+
+// --- Server basics -----------------------------------------------------------
+
+TEST(ScenarioServer, OutcomeNamesAreStable) {
+  EXPECT_STREQ(service::to_string(service::ServeOutcome::kHit), "hit");
+  EXPECT_STREQ(service::to_string(service::ServeOutcome::kMiss), "miss");
+  EXPECT_STREQ(service::to_string(service::ServeOutcome::kCoalesced),
+               "coalesced");
+  EXPECT_STREQ(service::to_string(service::ServeOutcome::kShedRate),
+               "shed_rate");
+  EXPECT_STREQ(service::to_string(service::ServeOutcome::kShedQueueFull),
+               "shed_queue_full");
+}
+
+TEST(ScenarioServer, ColdRunThenHitServesIdenticalRunReportBytes) {
+  service::ScenarioServer server;
+  const auto q = tiny_query();
+  const auto cold = server.submit(q, 0.0);
+  EXPECT_EQ(cold.outcome, service::ServeOutcome::kMiss);
+  ASSERT_NE(cold.report, nullptr);
+
+  // The served bytes are a schema-valid versioned run report.
+  const json::ParseResult parsed = json::parse(*cold.report);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(json::check_artifact_schema(parsed.value, "coophet.run_report"),
+            "");
+
+  const auto hit = server.submit(q, 1.0);
+  EXPECT_EQ(hit.outcome, service::ServeOutcome::kHit);
+  ASSERT_NE(hit.report, nullptr);
+  // Deterministic simulation + deterministic writer: the hit returns the
+  // exact bytes of the cold run (same shared buffer, in fact).
+  EXPECT_EQ(hit.report, cold.report);
+  EXPECT_EQ(hit.key, cold.key);
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.requests, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.executions, 1u);
+}
+
+TEST(ScenarioServer, LruCapacityBoundsTheScenarioUniverse) {
+  service::ScenarioServerConfig cfg;
+  cfg.cache_capacity = 2;
+  service::ScenarioServer server(std::move(cfg));
+  const auto q1 = tiny_query(3);
+  const auto q2 = tiny_query(4);
+  const auto q3 = tiny_query(5);
+  EXPECT_EQ(server.submit(q1, 0.0).outcome, service::ServeOutcome::kMiss);
+  EXPECT_EQ(server.submit(q2, 1.0).outcome, service::ServeOutcome::kMiss);
+  EXPECT_EQ(server.submit(q3, 2.0).outcome, service::ServeOutcome::kMiss);
+  // q1 was evicted; q3 and q2 remain.
+  EXPECT_EQ(server.submit(q2, 3.0).outcome, service::ServeOutcome::kHit);
+  EXPECT_EQ(server.submit(q1, 4.0).outcome, service::ServeOutcome::kMiss);
+  EXPECT_EQ(server.cache().stats().evictions, 2u);
+}
+
+// --- Single-flight dedup -----------------------------------------------------
+
+TEST(ScenarioServer, ConcurrentIdenticalQueriesExecuteExactlyOnce) {
+  constexpr int kClients = 8;
+  service::ScenarioServerConfig cfg;
+  service::ScenarioServer* server_ptr = nullptr;
+  // Rendezvous: the leader parks in the hook until the other kClients - 1
+  // requests joined its flight, so coalescing is certain, not timing luck.
+  cfg.execution_hook = [&](const service::ScenarioQuery&,
+                           const std::string& key) {
+    while (server_ptr->inflight_waiters(key) <
+           static_cast<std::uint64_t>(kClients - 1))
+      std::this_thread::yield();
+  };
+  service::ScenarioServer server(std::move(cfg));
+  server_ptr = &server;
+
+  const auto q = tiny_query();
+  std::vector<service::ScenarioResponse> responses(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i)
+    clients.emplace_back(
+        [&, i] { responses[static_cast<std::size_t>(i)] = server.submit(q, 0.0); });
+  for (auto& t : clients) t.join();
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.executions, 1u) << "dedup contract: one simulation for "
+                              << kClients << " identical queries";
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.coalesced, static_cast<std::uint64_t>(kClients - 1));
+  EXPECT_EQ(s.hits, 0u);
+
+  int miss_count = 0, coalesced_count = 0;
+  for (const auto& r : responses) {
+    ASSERT_NE(r.report, nullptr);
+    // All K responses carry the same bytes — pointer-identical buffers.
+    EXPECT_EQ(r.report, responses[0].report);
+    if (r.outcome == service::ServeOutcome::kMiss) ++miss_count;
+    if (r.outcome == service::ServeOutcome::kCoalesced) ++coalesced_count;
+  }
+  EXPECT_EQ(miss_count, 1);
+  EXPECT_EQ(coalesced_count, kClients - 1);
+}
+
+TEST(ScenarioServer, MidFlightFailureFansTheTypedErrorToAllWaiters) {
+  constexpr int kClients = 6;
+  std::atomic<bool> fail_once{true};
+  std::atomic<std::uint64_t> want_waiters{kClients - 1};
+  service::ScenarioServerConfig cfg;
+  service::ScenarioServer* server_ptr = nullptr;
+  cfg.execution_hook = [&](const service::ScenarioQuery&,
+                           const std::string& key) {
+    while (server_ptr->inflight_waiters(key) < want_waiters.load())
+      std::this_thread::yield();
+    if (fail_once.exchange(false))
+      core::throw_sim_error(core::SimErrorKind::kFaultUnrecoverable,
+                            "injected mid-flight failure", 7);
+  };
+  service::ScenarioServer server(std::move(cfg));
+  server_ptr = &server;
+
+  const auto q = tiny_query();
+  std::vector<core::SimError> errors(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i)
+    clients.emplace_back([&, i] {
+      try {
+        (void)server.submit(q, 0.0);
+        ADD_FAILURE() << "client " << i << " did not observe the failure";
+      } catch (const core::SimErrorCarrier& c) {
+        errors[static_cast<std::size_t>(i)] = c.error();
+      }
+    });
+  for (auto& t : clients) t.join();
+
+  // Leader and every waiter saw the same typed payload.
+  for (const auto& e : errors) {
+    EXPECT_EQ(e.kind, core::SimErrorKind::kFaultUnrecoverable);
+    EXPECT_EQ(e.context, "injected mid-flight failure");
+    EXPECT_EQ(e.cell, 7);
+  }
+  auto s = server.stats();
+  EXPECT_EQ(s.executions, 1u);
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.misses, 0u);
+
+  // The failure never reached the cache: the next submit re-executes and
+  // succeeds (the hook's one-shot failure is spent, and the rendezvous
+  // target drops to zero so the solo retry passes straight through).
+  want_waiters.store(0);
+  EXPECT_EQ(server.cache().size(), 0u);
+  const auto retry = server.submit(q, 1.0);
+  EXPECT_EQ(retry.outcome, service::ServeOutcome::kMiss);
+  ASSERT_NE(retry.report, nullptr);
+  s = server.stats();
+  EXPECT_EQ(s.executions, 2u);
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+// --- Admission integration ---------------------------------------------------
+
+TEST(ScenarioServer, RateShedReturnsNoBytesAndTouchesNothing) {
+  service::ScenarioServerConfig cfg;
+  cfg.admission.rate_per_s = 0.001;
+  cfg.admission.burst = 1.0;
+  service::ScenarioServer server(std::move(cfg));
+  const auto first = server.submit(tiny_query(3), 0.0);
+  EXPECT_EQ(first.outcome, service::ServeOutcome::kMiss);
+  // The single banked token is spent: a *different* scenario is shed...
+  const auto shed = server.submit(tiny_query(4), 0.0);
+  EXPECT_EQ(shed.outcome, service::ServeOutcome::kShedRate);
+  EXPECT_EQ(shed.report, nullptr);
+  // ...but a repeat of the cached scenario is served without admission.
+  EXPECT_EQ(server.submit(tiny_query(3), 0.0).outcome,
+            service::ServeOutcome::kHit);
+  const auto s = server.stats();
+  EXPECT_EQ(s.shed_rate, 1u);
+  EXPECT_EQ(s.executions, 1u);
+}
+
+TEST(ScenarioServer, FullQueueShedsWhileALeaderIsExecuting) {
+  std::atomic<bool> release{false};
+  std::atomic<bool> executing{false};
+  service::ScenarioServerConfig cfg;
+  cfg.admission.max_in_flight = 1;
+  cfg.admission.max_queue = 0;
+  cfg.execution_hook = [&](const service::ScenarioQuery&,
+                           const std::string&) {
+    executing.store(true);
+    while (!release.load()) std::this_thread::yield();
+  };
+  service::ScenarioServer server(std::move(cfg));
+
+  std::thread leader(
+      [&] { (void)server.submit(tiny_query(3), 0.0); });
+  while (!executing.load()) std::this_thread::yield();
+  // The only slot is occupied and the queue holds zero: shed.
+  const auto shed = server.submit(tiny_query(4), 0.0);
+  EXPECT_EQ(shed.outcome, service::ServeOutcome::kShedQueueFull);
+  EXPECT_EQ(shed.report, nullptr);
+  release.store(true);
+  leader.join();
+  EXPECT_EQ(server.stats().shed_queue_full, 1u);
+}
+
+TEST(ScenarioServer, QueuedLeaderIsPromotedAndExecutes) {
+  std::atomic<bool> release{false};
+  std::atomic<bool> executing{false};
+  std::atomic<int> executions{0};
+  service::ScenarioServerConfig cfg;
+  cfg.admission.max_in_flight = 1;
+  cfg.admission.max_queue = 4;
+  cfg.execution_hook = [&](const service::ScenarioQuery&,
+                           const std::string&) {
+    // Only the first execution parks; the promoted one runs straight through.
+    if (executions.fetch_add(1) == 0) {
+      executing.store(true);
+      while (!release.load()) std::this_thread::yield();
+    }
+  };
+  service::ScenarioServer server(std::move(cfg));
+
+  std::thread first([&] {
+    EXPECT_EQ(server.submit(tiny_query(3), 0.0).outcome,
+              service::ServeOutcome::kMiss);
+  });
+  while (!executing.load()) std::this_thread::yield();
+  std::thread second([&] {
+    // Queued behind the busy slot; promoted when `first` completes; then
+    // executes its own scenario.
+    const auto r = server.submit(tiny_query(4), 0.0);
+    EXPECT_EQ(r.outcome, service::ServeOutcome::kMiss);
+    ASSERT_NE(r.report, nullptr);
+  });
+  // Wait until the second request is actually queued before releasing.
+  while (server.admission_stats().queued == 0) std::this_thread::yield();
+  release.store(true);
+  first.join();
+  second.join();
+
+  const auto a = server.admission_stats();
+  EXPECT_EQ(a.admitted, 1u);
+  EXPECT_EQ(a.queued, 1u);
+  EXPECT_EQ(a.promoted, 1u);
+  EXPECT_EQ(a.completed, 2u);
+  EXPECT_EQ(server.stats().executions, 2u);
+}
+
+// --- Artifacts and metrics ---------------------------------------------------
+
+TEST(ScenarioServer, ServiceStatsArtifactIsSchemaValid) {
+  service::ScenarioServer server;
+  (void)server.submit(tiny_query(), 0.0);
+  (void)server.submit(tiny_query(), 1.0);
+  std::ostringstream os;
+  server.write_service_stats(os);
+
+  const json::ParseResult parsed = json::parse(os.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(json::check_artifact_schema(parsed.value,
+                                        service::kServiceStatsSchemaName),
+            "");
+  EXPECT_EQ(json::first_missing_key(
+                parsed.value,
+                {"requests", "hits", "misses", "executions", "coalesced",
+                 "shed_rate", "shed_queue_full", "errors", "cache",
+                 "admission"}),
+            "");
+  EXPECT_EQ(parsed.value.find("requests")->number, 2.0);
+  EXPECT_EQ(parsed.value.find("hits")->number, 1.0);
+  const json::Value* cache = parsed.value.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(json::first_missing_key(*cache, {"capacity", "size", "hits",
+                                             "misses", "insertions",
+                                             "evictions"}),
+            "");
+  const json::Value* admission = parsed.value.find("admission");
+  ASSERT_NE(admission, nullptr);
+  EXPECT_EQ(json::first_missing_key(
+                *admission, {"offered", "admitted", "queued", "promoted",
+                             "shed_rate", "shed_queue_full", "completed",
+                             "peak_in_flight", "peak_queue_depth"}),
+            "");
+}
+
+TEST(ScenarioServer, PublishesServiceMetrics) {
+  service::ScenarioServer server;
+  (void)server.submit(tiny_query(), 0.0);
+  (void)server.submit(tiny_query(), 1.0);
+  coop::obs::MetricsRegistry metrics;
+  server.publish_metrics(metrics);
+  std::ostringstream os;
+  metrics.write_json(os, 0.0);
+  const std::string out = os.str();
+  for (const char* name :
+       {"service.requests", "service.hits", "service.misses",
+        "service.executions", "service.coalesced", "service.hit_ratio",
+        "service.cache_size", "service.cache_evictions",
+        "admission.offered"})
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+}
+
+TEST(ScenarioServerConfig, ZeroCacheCapacityIsATypedConfigError) {
+  service::ScenarioServerConfig cfg;
+  cfg.cache_capacity = 0;
+  try {
+    cfg.validate();
+    FAIL() << "validate accepted cache_capacity 0";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kConfig);
+  }
+  try {
+    service::ScenarioServer server(std::move(cfg));
+    FAIL() << "server constructed with cache_capacity 0";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kConfig);
+  }
+}
+
+}  // namespace

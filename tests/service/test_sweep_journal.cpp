@@ -238,6 +238,23 @@ TEST(SweepJournal, EmptyOrMissingFileIsAFreshJournal) {
   EXPECT_EQ(from_missing.size(), 0u);
 }
 
+TEST(SweepJournal, WhitespaceOnlyFileIsAFreshJournalNotCorruption) {
+  // A crash can also leave a file holding only whitespace (a partially
+  // flushed buffer); like the zero-byte case there is nothing to resume and
+  // nothing to lose, so this must NOT be reported as a corrupt journal.
+  TempDir tmp;
+  {
+    std::ofstream out(tmp.file("ws.json"), std::ios::binary);
+    out << " \t\r\n \n";
+  }
+  service::SweepJournal journal(tmp.file("ws.json"), fig18_reduced(),
+                                base_options());
+  EXPECT_EQ(journal.size(), 0u);
+  // And the journal is fully usable afterwards: recording rewrites it.
+  journal.record(sample_record(0, core::NodeMode::kHeterogeneous));
+  EXPECT_EQ(journal.size(), 1u);
+}
+
 // --- Schema conformance ------------------------------------------------------
 
 TEST(SweepJournal, FileLintsAgainstTheArtifactRegistry) {

@@ -326,6 +326,7 @@ struct SchemaSpec {
       {"coophet.critical_path", {1}},
       {"coophet.perf_tolerances", {1}},
       {"coophet.sweep_journal", {1}},
+      {"coophet.service_stats", {1}},
   };
   return kSchemas;
 }
