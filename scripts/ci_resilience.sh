@@ -15,14 +15,22 @@
 # 4. Poison: a campaign with one unrecoverably failing cell must still
 #    complete (exit 0), quarantine exactly that cell, and journal the
 #    other 8.
-# Every artifact lands in <out-dir> for upload.
+# The crashed and poisoned runs also fly with the flight recorder
+# (--flight-dir): the kill must leave a crash dump (flight_kill.json) and
+# the quarantine a cid-scoped dump (flight_cell5.json) whose filtered
+# events show the quarantine decision — both must lint as
+# coophet.flight_log v1. Every artifact lands in <out-dir> for upload.
 
 set -euo pipefail
 
 BUILD_DIR=${1:?usage: ci_resilience.sh <build-dir> <out-dir>}
 OUT_DIR=${2:?usage: ci_resilience.sh <build-dir> <out-dir>}
+# The script cd's into OUT_DIR below, so a relative build dir must be
+# resolved first.
+BUILD_DIR=$(cd "$BUILD_DIR" && pwd)
 SWEEP_RESUME="$BUILD_DIR/tools/sweep_resume"
 JSON_LINT="$BUILD_DIR/tests/json_lint"
+FLIGHT_LOG="$BUILD_DIR/tools/flight_log"
 # A reduced fault-heavy Fig 18 campaign: 3 points x 3 modes = 9 cells, with
 # the exemplar fault plan on every heterogeneous cell.
 ARGS=(--figure 18 --max-points 3 --timesteps 4)
@@ -31,7 +39,8 @@ export COOPHET_BENCH_FAULTS=1
 mkdir -p "$OUT_DIR"
 cd "$OUT_DIR"
 rm -f journal_clean.json journal_crash.json journal_poison.json \
-  metrics_clean.json metrics_poison.json resilience_summary.txt
+  metrics_clean.json metrics_poison.json resilience_summary.txt \
+  flight_kill.json flight_cell5.json flight_sweep.json
 
 expect_line() {  # expect_line <file> <literal-line>
   if ! grep -qxF -- "$2" "$1"; then
@@ -51,7 +60,7 @@ expect_line clean.out "journal=journal_clean.json cells=9"
 echo "== 2. campaign killed after 4 journal appends =="
 set +e
 "$SWEEP_RESUME" "${ARGS[@]}" --journal journal_crash.json \
-  --exit-after 4 | tee crash.out
+  --exit-after 4 --flight-dir . | tee crash.out
 crash_rc=$?
 set -e
 if [ "$crash_rc" -ne 3 ]; then
@@ -59,6 +68,12 @@ if [ "$crash_rc" -ne 3 ]; then
   exit 1
 fi
 "$JSON_LINT" --schema coophet.sweep_journal journal_crash.json
+if [ ! -f flight_kill.json ]; then
+  echo "FAIL: simulated kill left no flight_kill.json crash dump" >&2
+  exit 1
+fi
+"$JSON_LINT" --schema coophet.flight_log flight_kill.json
+echo "kill left a schema-valid flight-recorder crash dump"
 
 echo "== 3. resumed campaign re-runs zero completed cells =="
 "$SWEEP_RESUME" "${ARGS[@]}" --journal journal_crash.json | tee resume.out
@@ -73,17 +88,30 @@ echo "resumed journal is byte-identical to the clean reference"
 
 echo "== 4. poisoned cell is quarantined, campaign still completes =="
 "$SWEEP_RESUME" "${ARGS[@]}" --journal journal_poison.json \
-  --poison 1:hetero --metrics metrics_poison.json | tee poison.out
+  --poison 1:hetero --metrics metrics_poison.json --flight-dir . \
+  | tee poison.out
 expect_line poison.out "failed_cells=1"
 expect_line poison.out "quarantined=1"
 expect_line poison.out "journal=journal_poison.json cells=8"
 grep -q "failed_cell point=1 mode=heterogeneous kind=fault_unrecoverable" \
   poison.out
+# Cell (point 1, hetero) is cell 5 / correlation id 6; the quarantine must
+# have dumped a cid-scoped crash dump whose events name the decision.
+if [ ! -f flight_cell5.json ]; then
+  echo "FAIL: quarantine left no flight_cell5.json crash dump" >&2
+  exit 1
+fi
+"$FLIGHT_LOG" flight_cell5.json --cid 6 | tee flight_cell5.out
+grep -q "cell:quarantine" flight_cell5.out
+grep -q "cell:attempt" flight_cell5.out
+echo "quarantine dump carries the cell's attempt + quarantine events"
 
 echo "== 5. lint every emitted artifact =="
 "$JSON_LINT" --schema coophet.sweep_journal journal_clean.json \
   journal_crash.json journal_poison.json
 "$JSON_LINT" --schema coophet.metrics metrics_clean.json metrics_poison.json
+"$JSON_LINT" --schema coophet.flight_log flight_kill.json flight_cell5.json \
+  flight_sweep.json
 
 {
   echo "# ci_resilience summary"
@@ -91,5 +119,6 @@ echo "== 5. lint every emitted artifact =="
   echo "## crash (exit $crash_rc)"; cat crash.out
   echo "## resume"; cat resume.out
   echo "## poison"; cat poison.out
+  echo "## quarantine flight dump (cid 6)"; cat flight_cell5.out
 } > resilience_summary.txt
 echo "ci_resilience: all checks passed"

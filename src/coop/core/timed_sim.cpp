@@ -16,6 +16,7 @@
 #include "coop/lb/load_balancer.hpp"
 #include "coop/mesh/halo.hpp"
 #include "coop/obs/analysis/hb_log.hpp"
+#include "coop/obs/log/flight_recorder.hpp"
 #include "coop/obs/metrics.hpp"
 #include "coop/obs/trace.hpp"
 #include "coop/simmpi/sim_comm.hpp"
@@ -46,6 +47,7 @@ struct World {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   obs::analysis::HbLog* hb = nullptr;
+  obs::log::FlightWriter* flight = nullptr;
   double pool_high_water = 0.0;  ///< modeled device-pool bytes, run maximum
 
   // Optional event-driven GPU backend (one server per physical GPU).
@@ -479,6 +481,17 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
             {{"target_step", static_cast<double>(target)},
              {"replayed", static_cast<double>(w.aborted_step - target + 1)}});
       }
+      if (w.flight != nullptr) {
+        w.flight->record(obs::log::Severity::kWarn, obs::log::Component::kRun,
+                         t_now, "recovery:rebalance",
+                         {{"deaths", static_cast<double>(dead_devices.size())},
+                          {"step", static_cast<double>(step)}});
+        w.flight->record(
+            obs::log::Severity::kWarn, obs::log::Component::kRun, eng.now(),
+            "recovery:rollback",
+            {{"target", static_cast<double>(target)},
+             {"replayed", static_cast<double>(w.aborted_step - target + 1)}});
+      }
     } else if (w.injector != nullptr && r == 0 && w.degraded &&
                w.cfg->load_balance) {
       // Measured-rate survivor rebalance: the feedback balancer's
@@ -594,6 +607,11 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
                 my_node, r, "checkpoint", "recovery", eng.now(),
                 obs::InstantScope::kGlobal,
                 {{"through_step", static_cast<double>(step + 1)}});
+          if (w.flight != nullptr)
+            w.flight->record(obs::log::Severity::kInfo,
+                             obs::log::Component::kRun, eng.now(),
+                             "recovery:checkpoint",
+                             {{"step", static_cast<double>(step + 1)}});
         }
       }
       if (my_rollback_epoch < w.rollback_epoch) {
@@ -614,6 +632,12 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
       w.iteration_times.push_back(iter_s);
 
       // Per-step observability sampling (pure observation, no co_awaits).
+      if (w.flight != nullptr)
+        w.flight->record(obs::log::Severity::kDebug, obs::log::Component::kRun,
+                         eng.now(), "run:step",
+                         {{"step", static_cast<double>(step)},
+                          {"iter_s", iter_s},
+                          {"cpu_frac", w.dec.cpu_zone_fraction()}});
       const double pool_bytes = modeled_pool_bytes(w);
       w.pool_high_water = std::max(w.pool_high_water, pool_bytes);
       if (w.tracer != nullptr) {
@@ -674,6 +698,13 @@ TimedResult run_timed(const TimedConfig& cfg) {
   w.tracer = cfg.tracer;
   w.metrics = cfg.metrics;
   w.hb = cfg.hb;
+  w.flight = cfg.flight;
+  if (cfg.flight != nullptr)
+    cfg.flight->record(obs::log::Severity::kInfo, obs::log::Component::kRun,
+                       0.0, "run:start",
+                       {{"mode", static_cast<double>(cfg.mode)},
+                        {"zones", static_cast<double>(cfg.global.zones())},
+                        {"steps", static_cast<double>(cfg.timesteps)}});
   w.layout = make_rank_layout(cfg.mode, cfg.node, cfg.ranks_per_gpu);
   w.catalog = hydro::KernelCatalog::scaled(cfg.catalog_kernels);
 
@@ -723,6 +754,7 @@ TimedResult run_timed(const TimedConfig& cfg) {
     injector =
         std::make_unique<fault::FaultInjector>(*cfg.faults, cfg.recovery);
     if (cfg.tracer != nullptr) injector->bind_tracer(cfg.tracer);
+    if (cfg.flight != nullptr) injector->bind_flight(cfg.flight);
     w.injector = injector.get();
     const auto work = w.catalog.total();
     const double penalty =
@@ -763,30 +795,42 @@ TimedResult run_timed(const TimedConfig& cfg) {
     constexpr std::uint64_t kSliceEvents = 4096;
     const auto wall_start = std::chrono::steady_clock::now();
     const std::uint64_t start_events = eng.events_processed();
+    // Budget trips are flight-recorded before throwing: the watchdog is
+    // exactly the failure mode whose history a crash dump must explain.
+    const auto trip = [&](const char* event, const std::string& what) {
+      if (cfg.flight != nullptr)
+        cfg.flight->record(obs::log::Severity::kError,
+                           obs::log::Component::kRun, eng.now(), event);
+      throw_sim_error(event == std::string_view("run:cancelled")
+                          ? SimErrorKind::kCancelled
+                          : SimErrorKind::kTimeout,
+                      what);
+    };
     bool live = true;
     while (live) {
       live = eng.run_for(kSliceEvents);
       if (cfg.cancel != nullptr && cfg.cancel->cancelled())
-        throw_sim_error(SimErrorKind::kCancelled, "run_timed: cancelled");
+        trip("run:cancelled", "run_timed: cancelled");
       const auto& b = cfg.budget;
       if (b.max_events > 0 &&
           eng.events_processed() - start_events > b.max_events)
-        throw_sim_error(SimErrorKind::kTimeout,
-                        "run_timed: event budget exceeded (" +
-                            std::to_string(b.max_events) + " events)");
+        trip("budget:events", "run_timed: event budget exceeded (" +
+                                  std::to_string(b.max_events) + " events)");
       if (b.max_sim_s > 0.0 && eng.now() > b.max_sim_s)
-        throw_sim_error(SimErrorKind::kTimeout,
-                        "run_timed: simulated-time budget exceeded");
+        trip("budget:sim_time", "run_timed: simulated-time budget exceeded");
       if (b.max_wall_s > 0.0 &&
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         wall_start)
                   .count() > b.max_wall_s)
-        throw_sim_error(SimErrorKind::kTimeout,
-                        "run_timed: wall-clock budget exceeded");
+        trip("budget:wall", "run_timed: wall-clock budget exceeded");
     }
     makespan = eng.now();
   }
   if (cfg.tracer != nullptr) cfg.tracer->close_counter_tracks(makespan);
+  if (cfg.flight != nullptr)
+    cfg.flight->record(obs::log::Severity::kInfo, obs::log::Component::kRun,
+                       makespan, "run:complete",
+                       {{"iters", static_cast<double>(w.iteration_times.size())}});
 
   TimedResult res;
   res.makespan = makespan;

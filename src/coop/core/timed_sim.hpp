@@ -33,6 +33,10 @@ namespace coop::obs::analysis {
 class HbLog;
 }  // namespace coop::obs::analysis
 
+namespace coop::obs::log {
+class FlightWriter;
+}  // namespace coop::obs::log
+
 namespace coop::core {
 
 /// Watchdog budgets for one supervised `run_timed` call; 0 = unlimited.
@@ -102,6 +106,14 @@ struct TimedConfig {
   /// records queue-drain waits — the causal edges `obs::analysis` matches
   /// into wait states and the critical path. Pure observation.
   obs::analysis::HbLog* hb = nullptr;
+
+  /// Optional flight-recorder writer (not owned; may be nullptr), carrying
+  /// the caller's correlation id. run_timed records run boundaries,
+  /// per-iteration steps, budget/cancellation trips and recovery milestones
+  /// under that id, and the fault injector mirrors every consumed injection
+  /// — the black-box history a crash dump reconstructs. Pure observation:
+  /// attaching a writer never changes the schedule or the TimedResult bytes.
+  obs::log::FlightWriter* flight = nullptr;
 
   /// Use the event-driven processor-sharing GPU queue (devmodel::GpuServer)
   /// instead of the closed-form kernel times. Exact for the symmetric

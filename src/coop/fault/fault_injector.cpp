@@ -30,6 +30,16 @@ void FaultInjector::consume(Tracked& t) {
                      std::string("fault:") + to_string(e.kind), "fault",
                      e.time, obs::InstantScope::kGlobal, std::move(args));
   }
+  if (flight_ != nullptr) {
+    const FaultEvent& e = t.event;
+    namespace log = obs::log;
+    flight_->record(log::Severity::kWarn, log::Component::kFault, e.time,
+                    std::string("inject:") + to_string(e.kind),
+                    {{"rank", double(e.rank)},
+                     {"node", double(e.node)},
+                     {"gpu", double(e.gpu)},
+                     {"factor", e.factor}});
+  }
 }
 
 bool FaultInjector::gpu_dead(int node, int gpu, double now) const {

@@ -5,6 +5,7 @@
 
 #include "coop/devmodel/calibration.hpp"
 #include "coop/fault/fault_plan.hpp"
+#include "coop/obs/log/flight_recorder.hpp"
 #include "coop/obs/trace.hpp"
 
 /// \file fault_injector.hpp
@@ -149,6 +150,13 @@ class FaultInjector {
     trace_pid_ = pid;
   }
 
+  /// Mirrors every consumed fault into the flight recorder as an
+  /// "inject:<kind>" event (component kFault, severity kWarn) at the event's
+  /// scheduled time, with the targeting fields as key=values — the causal
+  /// link a crash dump needs between an injection and the failure it caused.
+  /// Pure observation, same contract as `bind_tracer`.
+  void bind_flight(obs::log::FlightWriter* flight) noexcept { flight_ = flight; }
+
  private:
   struct Tracked {
     FaultEvent event;
@@ -163,6 +171,7 @@ class FaultInjector {
   ResilienceStats stats_;
   obs::Tracer* tracer_ = nullptr;  ///< not owned; may be nullptr
   int trace_pid_ = 0;
+  obs::log::FlightWriter* flight_ = nullptr;  ///< not owned; may be nullptr
 };
 
 }  // namespace coop::fault

@@ -1,0 +1,258 @@
+#include "coop/obs/log/flight_recorder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+#include "coop/obs/artifact_io.hpp"
+#include "coop/obs/json.hpp"
+
+namespace coop::obs::log {
+
+namespace detail {
+
+// Slot layout: one stamp word (per-slot seqlock) plus 15 payload words.
+//   w0  cid
+//   w1  per-writer seq
+//   w2  sim_time (double bits)
+//   w3  packed: severity | component<<8 | kv_count<<16 | name_len<<24
+//   w4..w6   name, 24 bytes zero-padded
+//   w7..w14  4 x { key (8 bytes zero-padded), value (double bits) }
+// Every word is a relaxed atomic: a drain racing a writer can read a mix of
+// old and new words, but the stamp protocol below detects that and the torn
+// slot is skipped — no word is ever read non-atomically.
+inline constexpr std::size_t kPayloadWords = 15;
+inline constexpr std::size_t kNameChars = 24;
+inline constexpr std::size_t kMaxKv = 4;
+inline constexpr std::size_t kKeyChars = 8;
+
+struct Slot {
+  std::atomic<std::uint64_t> stamp{0};  // odd = write in progress; 0 = empty
+  std::array<std::atomic<std::uint64_t>, kPayloadWords> words{};
+};
+
+struct Staged {
+  std::uint64_t words[kPayloadWords] = {};
+};
+
+struct Ring {
+  explicit Ring(std::size_t capacity) : slots(capacity) {}
+
+  std::vector<Slot> slots;
+  std::atomic<std::uint64_t> written{0};  // total pushes; single writer
+
+  // Seqlock writer (Boehm, "Can seqlocks get along with programming
+  // language memory models?"): odd stamp, release fence, payload, even
+  // stamp with release. A reader that observed any payload word from this
+  // push must then observe a stamp >= st+1 and reject the slot.
+  void push(const Staged& s) noexcept {
+    const std::uint64_t n = written.load(std::memory_order_relaxed);
+    Slot& sl = slots[n % slots.size()];
+    const std::uint64_t st = sl.stamp.load(std::memory_order_relaxed);
+    sl.stamp.store(st + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    for (std::size_t w = 0; w < kPayloadWords; ++w)
+      sl.words[w].store(s.words[w], std::memory_order_relaxed);
+    sl.stamp.store(st + 2, std::memory_order_release);
+    written.store(n + 1, std::memory_order_release);
+  }
+};
+
+namespace {
+
+std::uint64_t double_bits(double v) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) noexcept {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+// Seqlock reader: accept only if the stamp is even, nonzero, and unchanged
+// across the payload copy.
+bool read_slot(const Slot& sl, FlightEvent& ev) {
+  const std::uint64_t s1 = sl.stamp.load(std::memory_order_acquire);
+  if (s1 == 0 || (s1 & 1u) != 0) return false;
+  std::uint64_t w[kPayloadWords];
+  for (std::size_t i = 0; i < kPayloadWords; ++i)
+    w[i] = sl.words[i].load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (sl.stamp.load(std::memory_order_relaxed) != s1) return false;
+
+  ev.cid = w[0];
+  ev.seq = w[1];
+  ev.sim_time = bits_double(w[2]);
+  ev.severity = static_cast<Severity>(w[3] & 0xffu);
+  ev.component = static_cast<Component>((w[3] >> 8) & 0xffu);
+  const std::size_t kv_count = std::min<std::size_t>((w[3] >> 16) & 0xffu, kMaxKv);
+  const std::size_t name_len = std::min<std::size_t>((w[3] >> 24) & 0xffu, kNameChars);
+  char namebuf[kNameChars];
+  std::memcpy(namebuf, &w[4], kNameChars);
+  ev.name.assign(namebuf, name_len);
+  ev.kv.clear();
+  ev.kv.reserve(kv_count);
+  for (std::size_t i = 0; i < kv_count; ++i) {
+    char keybuf[kKeyChars];
+    std::memcpy(keybuf, &w[7 + 2 * i], kKeyChars);
+    std::size_t key_len = 0;
+    while (key_len < kKeyChars && keybuf[key_len] != '\0') ++key_len;
+    ev.kv.emplace_back(std::string(keybuf, key_len), bits_double(w[8 + 2 * i]));
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace detail
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "info";
+}
+
+const char* to_string(Component c) noexcept {
+  switch (c) {
+    case Component::kService: return "service";
+    case Component::kAdmission: return "admission";
+    case Component::kCache: return "cache";
+    case Component::kSweep: return "sweep";
+    case Component::kRun: return "run";
+    case Component::kFault: return "fault";
+  }
+  return "run";
+}
+
+void FlightWriter::record(
+    Severity sev, Component comp, double sim_time, std::string_view name,
+    std::initializer_list<std::pair<std::string_view, double>> kv) noexcept {
+  if (ring_ == nullptr) return;
+  detail::Staged st;
+  st.words[0] = cid_;
+  st.words[1] = next_seq_++;
+  st.words[2] = detail::double_bits(sim_time);
+  const std::size_t name_len = std::min(name.size(), detail::kNameChars);
+  const std::size_t kv_count = std::min(kv.size(), detail::kMaxKv);
+  st.words[3] = static_cast<std::uint64_t>(sev) |
+                (static_cast<std::uint64_t>(comp) << 8) |
+                (static_cast<std::uint64_t>(kv_count) << 16) |
+                (static_cast<std::uint64_t>(name_len) << 24);
+  std::memcpy(&st.words[4], name.data(), name_len);
+  std::size_t i = 0;
+  for (const auto& [key, value] : kv) {
+    if (i == kv_count) break;
+    std::memcpy(&st.words[7 + 2 * i], key.data(), std::min(key.size(), detail::kKeyChars));
+    st.words[8 + 2 * i] = detail::double_bits(value);
+    ++i;
+  }
+  ring_->push(st);
+}
+
+void FlightRecorderConfig::validate() const {
+  if (ring_capacity == 0)
+    throw std::invalid_argument("FlightRecorderConfig: ring_capacity must be > 0");
+  if (crash_dump_last_n == 0)
+    throw std::invalid_argument("FlightRecorderConfig: crash_dump_last_n must be > 0");
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig cfg) : cfg_(cfg) { cfg_.validate(); }
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightWriter FlightRecorder::writer(CorrelationId cid) {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto tid = std::this_thread::get_id();
+  auto it = ring_index_.find(tid);
+  if (it == ring_index_.end()) {
+    rings_.push_back(std::make_unique<detail::Ring>(cfg_.ring_capacity));
+    it = ring_index_.emplace(tid, rings_.size() - 1).first;
+  }
+  return FlightWriter(rings_[it->second].get(), cid);
+}
+
+FlightRecorder::Drained FlightRecorder::collect(bool tail_only, std::size_t last_n,
+                                                CorrelationId focus) const {
+  Drained out;
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& ring : rings_) {
+    const std::uint64_t written = ring->written.load(std::memory_order_acquire);
+    const std::size_t cap = ring->slots.size();
+    const std::uint64_t first = written > cap ? written - cap : 0;
+    out.dropped += first;
+    const std::uint64_t tail_first =
+        tail_only && written - first > last_n ? written - last_n : first;
+    for (std::uint64_t i = first; i < written; ++i) {
+      FlightEvent ev;
+      if (!detail::read_slot(ring->slots[i % cap], ev)) {
+        ++out.dropped;  // torn by a concurrent writer
+        continue;
+      }
+      if (i < tail_first && !(focus != 0 && ev.cid == focus)) continue;
+      out.events.push_back(std::move(ev));
+    }
+  }
+  // (cid, seq) is a total order because each correlation id has exactly one
+  // writer; the trailing keys only break ties for ill-behaved callers that
+  // share a cid across writers, keeping the sort deterministic regardless.
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     if (a.cid != b.cid) return a.cid < b.cid;
+                     if (a.seq != b.seq) return a.seq < b.seq;
+                     if (a.sim_time != b.sim_time) return a.sim_time < b.sim_time;
+                     return a.name < b.name;
+                   });
+  return out;
+}
+
+FlightRecorder::Drained FlightRecorder::drain() const { return collect(false, 0, 0); }
+
+void FlightRecorder::write_flight_log(std::ostream& os, const Drained& d,
+                                      std::string_view reason, CorrelationId focus) const {
+  os << "{\n";
+  os << "  \"schema\": \"" << kSchemaName << "\",\n";
+  os << "  \"schema_version\": " << kSchemaVersion << ",\n";
+  os << "  \"reason\": ";
+  write_json_string(os, reason);
+  os << ",\n";
+  os << "  \"focus_cid\": " << focus << ",\n";
+  os << "  \"dropped\": " << d.dropped << ",\n";
+  os << "  \"event_count\": " << d.events.size() << ",\n";
+  os << "  \"events\": [";
+  bool first = true;
+  for (const FlightEvent& ev : d.events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"cid\": " << ev.cid << ", \"seq\": " << ev.seq << ", \"t\": ";
+    write_json_number(os, ev.sim_time);
+    os << ", \"sev\": \"" << to_string(ev.severity) << "\", \"comp\": \""
+       << to_string(ev.component) << "\", \"name\": ";
+    write_json_string(os, ev.name);
+    os << ", \"kv\": {";
+    bool first_kv = true;
+    for (const auto& [key, value] : ev.kv) {
+      if (!first_kv) os << ", ";
+      first_kv = false;
+      write_json_string(os, key);
+      os << ": ";
+      write_json_number(os, value);
+    }
+    os << "}}";
+  }
+  os << (first ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+void FlightRecorder::dump_crash(const std::string& path, std::string_view reason,
+                                CorrelationId focus) const {
+  const Drained d = collect(true, cfg_.crash_dump_last_n, focus);
+  atomic_write_file(path, [&](std::ostream& os) { write_flight_log(os, d, reason, focus); });
+}
+
+}  // namespace coop::obs::log

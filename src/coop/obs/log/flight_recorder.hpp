@@ -1,0 +1,194 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+/// \file flight_recorder.hpp
+/// Structured, bounded, clock-free flight recorder.
+///
+/// The resilience pipeline (supervised sweeps, the scenario daemon) produces
+/// failures whose *history* matters: which admission decision let the request
+/// in, how many supervision attempts ran, which injected fault actually
+/// caused the quarantine. The metrics registry aggregates that history away
+/// and the Perfetto trace only exists for runs that asked for one. The
+/// flight recorder is the black box in between: every layer appends typed
+/// events (severity, component, correlation id, sim-time, small key=value
+/// payload) into per-thread lock-free ring buffers, and on a crash —
+/// SimError escape, watchdog/budget trip, quarantine — the recorder dumps
+/// the relevant slice as a versioned `coophet.flight_log` artifact so the
+/// postmortem needs no re-run.
+///
+/// Design constraints, in order:
+///  * Bounded: each writer thread owns a fixed-capacity ring; old events are
+///    overwritten, never buffered without limit. Overwrites are counted and
+///    reported as `dropped` in the artifact.
+///  * Clock-free: events carry caller-supplied sim-time (or a logical 0) and
+///    a per-writer monotonic sequence number — no wall clock ever reaches
+///    the artifact, so identical seeds produce byte-identical flight logs.
+///  * Lock-free recording: `FlightWriter::record` touches only its own
+///    ring's atomics (a per-slot seqlock). The registry mutex is taken once,
+///    at `writer()` open, never on the hot path.
+///  * Torn reads are impossible by construction: a drain that races a
+///    writer detects the in-progress slot via its stamp and counts it as
+///    dropped instead of decoding garbage.
+///
+/// Payload limits (events are fixed 16-word slots): names are truncated to
+/// 24 bytes, at most 4 key=value pairs per event, keys truncated to 8 bytes,
+/// values are doubles. That is enough for "cell:quarantine point=3 mode=2
+/// attempt=3 kind=5" — the recorder stores facts, not prose.
+
+namespace coop::obs::log {
+
+/// Request-scoped correlation id. `ScenarioServer::submit` mints one per
+/// request; sweep cells derive one from the cell id. 0 means "uncorrelated"
+/// and is reserved — product code always records under a nonzero id.
+using CorrelationId = std::uint64_t;
+
+enum class Severity : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Which layer recorded the event; the CLI and tests filter on it.
+enum class Component : std::uint8_t {
+  kService = 0,    // scenario_server request lifecycle
+  kAdmission = 1,  // token bucket / queue decisions
+  kCache = 2,      // result-cache hits/stores/evictions
+  kSweep = 3,      // per-cell supervision (attempt/retry/quarantine)
+  kRun = 4,        // run_timed phase boundaries, budget trips, recovery
+  kFault = 5,      // FaultInjector injections
+};
+
+const char* to_string(Severity s) noexcept;
+const char* to_string(Component c) noexcept;
+
+/// One decoded event, as drained from the rings.
+struct FlightEvent {
+  CorrelationId cid = 0;
+  std::uint64_t seq = 0;  ///< per-writer monotonic, 0-based
+  double sim_time = 0.0;  ///< caller-supplied simulated seconds (or 0)
+  Severity severity = Severity::kInfo;
+  Component component = Component::kRun;
+  std::string name;  ///< e.g. "cell:quarantine", "inject:slowdown"
+  std::vector<std::pair<std::string, double>> kv;
+};
+
+namespace detail {
+struct Ring;
+}
+
+/// A lightweight handle for appending events under one correlation id.
+/// Obtained from `FlightRecorder::writer(cid)`; a default-constructed writer
+/// is detached and `record` is a no-op, so call sites can thread a writer
+/// unconditionally. Move-only: the writer carries the per-writer sequence
+/// counter, and a copy would fork it (duplicate (cid, seq) keys would break
+/// the deterministic drain order).
+///
+/// Thread affinity: a writer appends to the ring of the thread that opened
+/// it. Use it from that thread only (the same contract as run_timed's
+/// single-threaded execution).
+class FlightWriter {
+ public:
+  FlightWriter() = default;
+  FlightWriter(const FlightWriter&) = delete;
+  FlightWriter& operator=(const FlightWriter&) = delete;
+  FlightWriter(FlightWriter&& other) noexcept { *this = std::move(other); }
+  FlightWriter& operator=(FlightWriter&& other) noexcept {
+    ring_ = other.ring_;
+    cid_ = other.cid_;
+    next_seq_ = other.next_seq_;
+    other.ring_ = nullptr;
+    return *this;
+  }
+
+  /// Appends one event. Lock-free; no allocation; never throws. Detached
+  /// writers ignore the call. `name` beyond 24 bytes and keys beyond 8
+  /// bytes are truncated; at most 4 kv pairs are kept.
+  void record(Severity sev, Component comp, double sim_time, std::string_view name,
+              std::initializer_list<std::pair<std::string_view, double>> kv = {}) noexcept;
+
+  CorrelationId cid() const noexcept { return cid_; }
+  bool attached() const noexcept { return ring_ != nullptr; }
+
+ private:
+  friend class FlightRecorder;
+  FlightWriter(detail::Ring* ring, CorrelationId cid) : ring_(ring), cid_(cid) {}
+
+  detail::Ring* ring_ = nullptr;  ///< not owned; the recorder outlives it
+  CorrelationId cid_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+struct FlightRecorderConfig {
+  /// Events retained per writer thread before the ring wraps.
+  std::size_t ring_capacity = 4096;
+  /// Ambient-context tail kept per writer thread in a crash dump (the
+  /// focused correlation id is always kept in full).
+  std::size_t crash_dump_last_n = 256;
+
+  /// Throws std::invalid_argument (-> SimError kConfig at the classify
+  /// boundary) on zero capacities.
+  void validate() const;
+};
+
+/// Owns the per-thread rings and turns them into artifacts. One recorder
+/// typically spans a whole server or sweep campaign; rings persist after
+/// their writer threads exit so the black box keeps bounded history.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig cfg = {});
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Opens a writer for `cid` bound to the calling thread's ring (created on
+  /// first use; registry mutex taken once here, never in `record`).
+  FlightWriter writer(CorrelationId cid);
+
+  struct Drained {
+    /// Sorted by (cid, seq) — one writer per correlation id in every product
+    /// flow, so the order is total and independent of thread arrival order.
+    std::vector<FlightEvent> events;
+    /// Ring-overflow overwrites plus slots torn by a concurrent writer.
+    std::uint64_t dropped = 0;
+  };
+
+  /// Snapshots every ring. Safe to call while writers are recording; events
+  /// being written during the snapshot are skipped and counted as dropped.
+  Drained drain() const;
+
+  /// Serializes a drained snapshot as the `coophet.flight_log` v1 artifact.
+  void write_flight_log(std::ostream& os, const Drained& d, std::string_view reason,
+                        CorrelationId focus = 0) const;
+
+  /// Crash-dump policy: keeps every event of `focus` (the failing request)
+  /// plus each ring's most recent `crash_dump_last_n` events as ambient
+  /// context, and writes the artifact atomically (tmp + rename) to `path`.
+  /// Throws IoError if the write fails; callers on failure paths decide
+  /// whether that is fatal.
+  void dump_crash(const std::string& path, std::string_view reason,
+                  CorrelationId focus = 0) const;
+
+  const FlightRecorderConfig& config() const noexcept { return cfg_; }
+
+  static constexpr const char* kSchemaName = "coophet.flight_log";
+  static constexpr int kSchemaVersion = 1;
+
+ private:
+  Drained collect(bool tail_only, std::size_t last_n, CorrelationId focus) const;
+
+  FlightRecorderConfig cfg_;
+  mutable std::mutex registry_mutex_;
+  std::map<std::thread::id, std::size_t> ring_index_;
+  std::vector<std::unique_ptr<detail::Ring>> rings_;
+};
+
+}  // namespace coop::obs::log

@@ -167,10 +167,13 @@ LoadgenReport run_loadgen(const LoadgenConfig& config,
   ScenarioServer server(std::move(server_config));
   server_ptr = &server;
 
-  std::vector<double> latencies_us;
-  latencies_us.reserve(static_cast<std::size_t>(report.expected.requests));
-  double hit_us_sum = 0.0, cold_us_sum = 0.0;
-  std::uint64_t hit_n = 0, cold_n = 0;
+  // One latency series per outcome: blending them produces a bimodal
+  // distribution whose percentiles describe neither the ~1us hit path nor
+  // the ~ms cold path.
+  std::vector<double> hit_us, cold_us, coalesced_us;
+  hit_us.reserve(static_cast<std::size_t>(report.expected.hits));
+  cold_us.reserve(static_cast<std::size_t>(report.expected.misses));
+  coalesced_us.reserve(static_cast<std::size_t>(report.expected.coalesced));
   std::mutex record_mutex;
 
   const auto timed_submit = [&](const ScenarioQuery& q, double now) {
@@ -181,13 +184,12 @@ LoadgenReport run_loadgen(const LoadgenConfig& config,
             std::chrono::steady_clock::now() - t0)
             .count();
     std::lock_guard<std::mutex> lock(record_mutex);
-    latencies_us.push_back(us);
     if (resp.outcome == ServeOutcome::kHit) {
-      hit_us_sum += us;
-      ++hit_n;
+      hit_us.push_back(us);
     } else if (resp.outcome == ServeOutcome::kMiss) {
-      cold_us_sum += us;
-      ++cold_n;
+      cold_us.push_back(us);
+    } else if (resp.outcome == ServeOutcome::kCoalesced) {
+      coalesced_us.push_back(us);
     }
   };
 
@@ -225,14 +227,27 @@ LoadgenReport run_loadgen(const LoadgenConfig& config,
       report.wall_s > 0.0
           ? static_cast<double>(s.requests) / report.wall_s
           : 0.0;
-  std::sort(latencies_us.begin(), latencies_us.end());
-  report.p50_us = percentile_us(latencies_us, 0.50);
-  report.p95_us = percentile_us(latencies_us, 0.95);
-  report.p99_us = percentile_us(latencies_us, 0.99);
-  report.mean_hit_us =
-      hit_n == 0 ? 0.0 : hit_us_sum / static_cast<double>(hit_n);
-  report.mean_cold_us =
-      cold_n == 0 ? 0.0 : cold_us_sum / static_cast<double>(cold_n);
+  const auto summarize = [](std::vector<double>& us) {
+    std::sort(us.begin(), us.end());
+    LoadgenReport::OutcomeLatency o;
+    o.count = static_cast<std::uint64_t>(us.size());
+    o.p50_us = percentile_us(us, 0.50);
+    o.p95_us = percentile_us(us, 0.95);
+    o.p99_us = percentile_us(us, 0.99);
+    return o;
+  };
+  report.hit = summarize(hit_us);
+  report.cold = summarize(cold_us);
+  report.coalesced = summarize(coalesced_us);
+
+  const auto mean = [](const std::vector<double>& us) {
+    if (us.empty()) return 0.0;
+    double sum = 0.0;
+    for (double u : us) sum += u;
+    return sum / static_cast<double>(us.size());
+  };
+  report.mean_hit_us = mean(hit_us);
+  report.mean_cold_us = mean(cold_us);
   report.hit_speedup = report.mean_hit_us > 0.0
                            ? report.mean_cold_us / report.mean_hit_us
                            : 0.0;
@@ -257,9 +272,20 @@ void LoadgenReport::publish_metrics(obs::MetricsRegistry& metrics) const {
   set("loadgen.expectations_match", expectations_match ? 1.0 : 0.0);
   set("loadgen.wall_s", wall_s);
   set("loadgen.served_qps", served_qps);
-  set("loadgen.p50_us", p50_us);
-  set("loadgen.p95_us", p95_us);
-  set("loadgen.p99_us", p99_us);
+  // Per-outcome percentiles (one labeled series per serve path) replace the
+  // old blended loadgen.p50_us/p95_us/p99_us gauges.
+  const auto set_outcome = [&metrics](const char* outcome,
+                                      const OutcomeLatency& o) {
+    const obs::Labels labels{{"outcome", outcome}};
+    metrics.gauge("loadgen.latency_count", labels)
+        .set(static_cast<double>(o.count));
+    metrics.gauge("loadgen.p50_us", labels).set(o.p50_us);
+    metrics.gauge("loadgen.p95_us", labels).set(o.p95_us);
+    metrics.gauge("loadgen.p99_us", labels).set(o.p99_us);
+  };
+  set_outcome("hit", hit);
+  set_outcome("miss", cold);
+  set_outcome("coalesced", coalesced);
   set("loadgen.mean_hit_us", mean_hit_us);
   set("loadgen.mean_cold_us", mean_cold_us);
   set("loadgen.hit_speedup", hit_speedup);

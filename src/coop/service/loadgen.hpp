@@ -78,21 +78,32 @@ struct LoadgenReport {
   double wall_s = 0.0;      ///< wall clock over the whole request schedule
   double served_qps = 0.0;  ///< requests / wall_s
 
-  // Nearest-rank percentiles over every request's submit latency.
-  double p50_us = 0.0;
-  double p95_us = 0.0;
-  double p99_us = 0.0;
+  /// Nearest-rank latency percentiles of one serve outcome. Blending hit,
+  /// cold-run, and coalesced latencies into one distribution hid all three
+  /// stories (a bimodal mix whose p50 was whichever mode had more mass), so
+  /// percentiles are reported per outcome.
+  struct OutcomeLatency {
+    std::uint64_t count = 0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+  };
+  OutcomeLatency hit;        ///< kHit requests (cache lookups)
+  OutcomeLatency cold;       ///< kMiss requests (cold simulation runs)
+  OutcomeLatency coalesced;  ///< kCoalesced requests (waited on a leader)
+
   double mean_hit_us = 0.0;   ///< mean latency of kHit requests
   double mean_cold_us = 0.0;  ///< mean latency of kMiss (cold run) requests
   /// mean_cold_us / mean_hit_us — the ISSUE gate demands >= 100x.
   double hit_speedup = 0.0;
 
-  /// The server's `coophet.service_stats` v1 artifact, captured after the
+  /// The server's `coophet.service_stats` v2 artifact, captured after the
   /// run (so the CLI can write it without keeping the server alive).
   std::string service_stats_json;
 
-  /// Writes `loadgen.*` gauges (counters, percentiles, QPS, speedup,
-  /// expectation verdict) into `metrics`.
+  /// Writes `loadgen.*` gauges (counters, per-outcome percentiles labeled
+  /// outcome=hit|miss|coalesced, QPS, speedup, expectation verdict) into
+  /// `metrics`.
   void publish_metrics(obs::MetricsRegistry& metrics) const;
 };
 

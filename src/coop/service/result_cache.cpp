@@ -19,27 +19,31 @@ ResultCache::Bytes ResultCache::get(const std::string& key) {
   }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
-  return it->second->second;
+  return it->second->bytes;
 }
 
 ResultCache::Bytes ResultCache::peek(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
-  return it == index_.end() ? nullptr : it->second->second;
+  return it == index_.end() ? nullptr : it->second->bytes;
 }
 
 void ResultCache::put(const std::string& key, Bytes bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
-    it->second->second = std::move(bytes);
+    it->second->bytes = std::move(bytes);
+    it->second->tick = stats_.insertions;  // refresh restarts the age clock
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(bytes));
-  index_[key] = lru_.begin();
   ++stats_.insertions;
+  lru_.push_front(Entry{key, std::move(bytes), stats_.insertions});
+  index_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+    const Entry& victim = lru_.back();
+    if (victim.bytes != nullptr) stats_.evicted_bytes += victim.bytes->size();
+    stats_.last_eviction_age = stats_.insertions - victim.tick;
+    index_.erase(victim.key);
     lru_.pop_back();
     ++stats_.evictions;
   }
@@ -59,7 +63,7 @@ std::vector<std::string> ResultCache::keys_mru_first() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> keys;
   keys.reserve(lru_.size());
-  for (const Entry& e : lru_) keys.push_back(e.first);
+  for (const Entry& e : lru_) keys.push_back(e.key);
   return keys;
 }
 

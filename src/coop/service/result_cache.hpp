@@ -37,6 +37,13 @@ class ResultCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    /// Cumulative payload bytes evicted — the cost of refilling what LRU
+    /// pressure threw away.
+    std::uint64_t evicted_bytes = 0;
+    /// Age of the most recent victim in insertion ticks (insertions counted
+    /// between the victim's last `put` and its eviction). Small values mean
+    /// the cache is churning entries it barely held.
+    std::uint64_t last_eviction_age = 0;
   };
 
   /// `capacity` >= 1 entries; throws kConfig on 0.
@@ -62,7 +69,11 @@ class ResultCache {
   [[nodiscard]] std::vector<std::string> keys_mru_first() const;
 
  private:
-  using Entry = std::pair<std::string, Bytes>;  ///< (key, bytes)
+  struct Entry {
+    std::string key;
+    Bytes bytes;
+    std::uint64_t tick = 0;  ///< stats_.insertions at the entry's last put
+  };
 
   std::size_t capacity_;
   mutable std::mutex mutex_;

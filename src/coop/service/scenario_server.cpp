@@ -1,16 +1,53 @@
 #include "coop/service/scenario_server.hpp"
 
+#include <iterator>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "coop/core/report.hpp"
 #include "coop/core/sim_error.hpp"
+#include "coop/obs/artifact_io.hpp"
 #include "coop/obs/json.hpp"
-#include "coop/obs/metrics.hpp"
 #include "coop/obs/run_report.hpp"
+#include "coop/obs/trace.hpp"
 #include "coop/service/config_key.hpp"
 
 namespace coop::service {
+
+namespace {
+
+namespace flog = obs::log;
+
+/// Outcome labels of the SLO histograms, in emission order. "error" covers
+/// executions (and coalesced waits) that rethrew a SimError.
+constexpr const char* kLatencyOutcomes[] = {"hit", "miss", "coalesced",
+                                            "shed", "error"};
+
+/// Nearest-rank quantile estimate over a fixed-bucket histogram: the upper
+/// bound of the bucket holding rank ceil(q * count) (overflow reports the
+/// last finite bound — a floor, clearly marked by saturation).
+double histogram_quantile(const obs::MetricsRegistry::Histogram& h, double q) {
+  if (h.count() == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(h.count()) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < h.counts().size(); ++i) {
+    seen += h.counts()[i];
+    if (seen >= rank)
+      return h.bounds()[i < h.bounds().size() ? i : h.bounds().size() - 1];
+  }
+  return h.bounds().back();
+}
+
+}  // namespace
+
+const std::vector<double>& service_latency_bounds() {
+  static const std::vector<double> bounds{
+      10.0,     31.6,     100.0,    316.0,     1000.0,   3162.0,
+      10000.0,  31623.0,  100000.0, 316228.0,  1.0e6};
+  return bounds;
+}
 
 // --- Query canonicalization --------------------------------------------------
 
@@ -108,21 +145,44 @@ void ScenarioServerConfig::validate() const {
   if (cache_capacity == 0)
     core::throw_sim_error(core::SimErrorKind::kConfig,
                           "ScenarioServerConfig: cache_capacity must be >= 1");
+  if (max_attempts < 1)
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "ScenarioServerConfig: max_attempts must be >= 1");
   admission.validate();
 }
 
 ScenarioServer::ScenarioServer(ScenarioServerConfig config)
     : config_(std::move(config)),
       // AdmissionController and ResultCache each validate their own slice of
-      // the config; nothing else in ScenarioServerConfig can be nonsensical.
+      // the config; max_attempts is checked here because nothing downstream
+      // owns it.
       admission_(config_.admission),
-      cache_(config_.cache_capacity) {}
+      cache_(config_.cache_capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (config_.max_attempts < 1)
+    core::throw_sim_error(core::SimErrorKind::kConfig,
+                          "ScenarioServerConfig: max_attempts must be >= 1");
+  latency_.reserve(std::size(kLatencyOutcomes));
+  for (const char* outcome : kLatencyOutcomes)
+    latency_.emplace_back(
+        outcome, obs::MetricsRegistry::Histogram(service_latency_bounds()));
+}
 
 ScenarioServer::~ScenarioServer() = default;
 
 ScenarioResponse ScenarioServer::submit(const ScenarioQuery& query, double now,
                                         int priority) {
+  const auto t_submit = std::chrono::steady_clock::now();
   const std::string key = scenario_key(query);
+  // Mint the correlation id and open the per-thread writer before touching
+  // any lock: `record` below is lock-free, so the hot path adds no
+  // serialization beyond what the server already had.
+  const flog::CorrelationId cid =
+      next_cid_.fetch_add(1, std::memory_order_relaxed);
+  flog::FlightWriter fw = config_.flight != nullptr ? config_.flight->writer(cid)
+                                                    : flog::FlightWriter{};
+  fw.record(flog::Severity::kInfo, flog::Component::kService, now,
+            "req:submit", {{"priority", static_cast<double>(priority)}});
 
   std::shared_ptr<Flight> flight;
   std::shared_ptr<QueuedTicket> ticket;
@@ -133,7 +193,11 @@ ScenarioResponse ScenarioServer::submit(const ScenarioQuery& query, double now,
     ++stats_.requests;
     if (ResultCache::Bytes bytes = cache_.get(key)) {
       ++stats_.hits;
-      return {ServeOutcome::kHit, key, std::move(bytes)};
+      fw.record(flog::Severity::kInfo, flog::Component::kCache, now,
+                "cache:hit", {{"bytes", static_cast<double>(bytes->size())}});
+      trace_span(cid, "cache-hit", t_submit);
+      observe_latency("hit", us_since(t_submit));
+      return {ServeOutcome::kHit, key, std::move(bytes), cid};
     }
     if (const auto it = inflight_.find(key); it != inflight_.end()) {
       // Single-flight dedup: join the execution already under way.
@@ -141,6 +205,9 @@ ScenarioResponse ScenarioServer::submit(const ScenarioQuery& query, double now,
       ++stats_.coalesced;
       std::lock_guard<std::mutex> flock(flight->m);
       ++flight->waiters;
+      fw.record(flog::Severity::kInfo, flog::Component::kService, now,
+                "dedup:attach",
+                {{"waiters", static_cast<double>(flight->waiters)}});
     } else {
       // Leader path: the admission decision is taken under the server lock,
       // so between "no flight exists" and "flight registered" no duplicate
@@ -149,15 +216,26 @@ ScenarioResponse ScenarioServer::submit(const ScenarioQuery& query, double now,
       switch (admission_.offer(id, priority, now)) {
         case AdmissionDecision::kShedRate:
           ++stats_.shed_rate;
-          return {ServeOutcome::kShedRate, key, nullptr};
+          fw.record(flog::Severity::kWarn, flog::Component::kAdmission, now,
+                    "admission:shed_rate");
+          observe_latency("shed", us_since(t_submit));
+          return {ServeOutcome::kShedRate, key, nullptr, cid};
         case AdmissionDecision::kShedQueueFull:
           ++stats_.shed_queue_full;
-          return {ServeOutcome::kShedQueueFull, key, nullptr};
+          fw.record(flog::Severity::kWarn, flog::Component::kAdmission, now,
+                    "admission:shed_queue_full");
+          observe_latency("shed", us_since(t_submit));
+          return {ServeOutcome::kShedQueueFull, key, nullptr, cid};
         case AdmissionDecision::kQueued:
           ticket = std::make_shared<QueuedTicket>();
           queued_[id] = ticket;
+          fw.record(flog::Severity::kInfo, flog::Component::kAdmission, now,
+                    "admission:queued", {{"id", static_cast<double>(id)}});
           [[fallthrough]];
         case AdmissionDecision::kAdmitted:
+          if (ticket == nullptr)
+            fw.record(flog::Severity::kInfo, flog::Component::kAdmission, now,
+                      "admission:admitted", {{"id", static_cast<double>(id)}});
           flight = std::make_shared<Flight>();
           inflight_[key] = flight;
           leader = true;
@@ -172,62 +250,119 @@ ScenarioResponse ScenarioServer::submit(const ScenarioQuery& query, double now,
     if (flight->failed) {
       const core::SimError err = flight->error;
       flock.unlock();
+      fw.record(flog::Severity::kError, flog::Component::kService, now,
+                "dedup:error",
+                {{"kind", static_cast<double>(
+                      static_cast<int>(err.kind))}});
+      trace_span(cid, "coalesce-wait", t_submit);
+      observe_latency("error", us_since(t_submit));
       core::throw_sim_error(err.kind, err.context, err.cell);
     }
-    return {ServeOutcome::kCoalesced, key, flight->bytes};
+    ResultCache::Bytes bytes = flight->bytes;
+    flock.unlock();
+    fw.record(flog::Severity::kInfo, flog::Component::kService, now,
+              "dedup:served");
+    trace_span(cid, "coalesce-wait", t_submit);
+    observe_latency("coalesced", us_since(t_submit));
+    return {ServeOutcome::kCoalesced, key, std::move(bytes), cid};
   }
 
   if (ticket != nullptr) {
     // Queued: wait for a finishing execution to promote this id.
+    const auto t_queued = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> tlock(ticket->m);
     ticket->cv.wait(tlock, [&] { return ticket->promoted; });
     tlock.unlock();
-    std::lock_guard<std::mutex> lock(mutex_);
-    queued_.erase(id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queued_.erase(id);
+    }
+    fw.record(flog::Severity::kInfo, flog::Component::kAdmission, now,
+              "admission:promoted", {{"id", static_cast<double>(id)}});
+    trace_span(cid, "queue-wait", t_queued);
   }
 
-  return run_as_leader(query, key, flight, now);
+  return run_as_leader(query, key, flight, now, fw, cid, t_submit);
 }
 
 ScenarioResponse ScenarioServer::run_as_leader(
     const ScenarioQuery& query, const std::string& key,
-    const std::shared_ptr<Flight>& flight, double now) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.executions;
-  }
+    const std::shared_ptr<Flight>& flight, double now,
+    obs::log::FlightWriter& fw, obs::log::CorrelationId cid,
+    std::chrono::steady_clock::time_point t_submit) {
+  const auto t_exec = std::chrono::steady_clock::now();
   ResultCache::Bytes bytes;
-  try {
-    if (config_.execution_hook) config_.execution_hook(query, key);
-    const core::TimedConfig tc = to_timed_config(query);
-    const core::TimedResult res = core::run_timed(tc);
-    const obs::RunReport report = core::build_run_report(tc, res, nullptr);
-    std::ostringstream os;
-    report.write_json(os);
-    os << '\n';
-    bytes = std::make_shared<const std::string>(os.str());
-  } catch (...) {
-    const core::SimError err = core::classify_current_exception();
+  for (int attempt = 1;; ++attempt) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.errors;
-      inflight_.erase(key);  // never poison the cache: next submit re-runs
+      ++stats_.executions;
     }
-    complete_and_promote(now);
-    {
-      std::lock_guard<std::mutex> flock(flight->m);
-      flight->failed = true;
-      flight->error = err;
-      flight->done = true;
+    try {
+      fw.record(flog::Severity::kInfo, flog::Component::kService, now,
+                "exec:attempt", {{"attempt", static_cast<double>(attempt)}});
+      if (config_.execution_hook) config_.execution_hook(query, key);
+      core::TimedConfig tc = to_timed_config(query);
+      tc.budget = config_.budget;
+      // Pure observation: the run's events land on this request's id.
+      if (fw.attached()) tc.flight = &fw;
+      const core::TimedResult res = core::run_timed(tc);
+      const obs::RunReport report = core::build_run_report(tc, res, nullptr);
+      std::ostringstream os;
+      report.write_json(os);
+      os << '\n';
+      bytes = std::make_shared<const std::string>(os.str());
+      fw.record(flog::Severity::kInfo, flog::Component::kService, now,
+                "exec:ok", {{"attempt", static_cast<double>(attempt)}});
+      break;
+    } catch (...) {
+      const core::SimError err = core::classify_current_exception();
+      if (err.transient() && attempt < config_.max_attempts) {
+        fw.record(flog::Severity::kWarn, flog::Component::kService, now,
+                  "exec:retry",
+                  {{"attempt", static_cast<double>(attempt)},
+                   {"kind", static_cast<double>(static_cast<int>(err.kind))}});
+        continue;
+      }
+      fw.record(flog::Severity::kError, flog::Component::kService, now,
+                "exec:error",
+                {{"attempt", static_cast<double>(attempt)},
+                 {"kind", static_cast<double>(static_cast<int>(err.kind))}});
+      // Crash-dump the black box before fanning the failure out: the dump
+      // must exist even if a waiter's rethrow escapes the process.
+      if (config_.flight != nullptr && !config_.flight_dump_dir.empty()) {
+        try {
+          config_.flight->dump_crash(config_.flight_dump_dir + "/flight_req" +
+                                         std::to_string(cid) + ".json",
+                                     "request_error", cid);
+        } catch (const obs::IoError&) {
+          // Best effort: a failing dump never masks the original error.
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.errors;
+        inflight_.erase(key);  // never poison the cache: next submit re-runs
+      }
+      complete_and_promote(now);
+      {
+        std::lock_guard<std::mutex> flock(flight->m);
+        flight->failed = true;
+        flight->error = err;
+        flight->done = true;
+      }
+      flight->cv.notify_all();
+      trace_span(cid, "execute", t_exec);
+      observe_latency("error", us_since(t_submit));
+      throw;  // the leader rethrows the original typed exception
     }
-    flight->cv.notify_all();
-    throw;  // the leader rethrows the original typed exception
   }
 
   // Publish before retiring the flight: a request arriving in between sees
   // either the in-flight entry (coalesces) or the cached bytes (hits) —
   // never a gap that would start a second execution.
   cache_.put(key, bytes);
+  fw.record(flog::Severity::kInfo, flog::Component::kCache, now, "cache:store",
+            {{"bytes", static_cast<double>(bytes->size())}});
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.misses;
@@ -240,7 +375,38 @@ ScenarioResponse ScenarioServer::run_as_leader(
     flight->done = true;
   }
   flight->cv.notify_all();
-  return {ServeOutcome::kMiss, key, std::move(bytes)};
+  trace_span(cid, "execute", t_exec);
+  observe_latency("miss", us_since(t_submit));
+  return {ServeOutcome::kMiss, key, std::move(bytes), cid};
+}
+
+void ScenarioServer::observe_latency(const char* outcome, double us) const {
+  std::lock_guard<std::mutex> lock(slo_mutex_);
+  for (auto& [name, hist] : latency_) {
+    if (std::string_view(name) == outcome) {
+      hist.observe(us);
+      return;
+    }
+  }
+}
+
+void ScenarioServer::trace_span(obs::log::CorrelationId cid, const char* name,
+                                std::chrono::steady_clock::time_point t0) const {
+  if (config_.tracer == nullptr) return;
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> begin = t0 - epoch_;
+  const std::chrono::duration<double> end = t1 - epoch_;
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  // One Perfetto track per request: tid = correlation id, so concurrent
+  // requests render as parallel lanes instead of interleaved spans.
+  config_.tracer->span(0, static_cast<int>(cid & 0x7fffffff), name, "service",
+                       begin.count(), end.count());
+}
+
+double ScenarioServer::us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 void ScenarioServer::complete_and_promote(double now) {
@@ -299,6 +465,29 @@ void ScenarioServer::publish_metrics(obs::MetricsRegistry& metrics) const {
   set("service.cache_capacity", static_cast<double>(cache_.capacity()));
   set("service.cache_insertions", static_cast<double>(c.insertions));
   set("service.cache_evictions", static_cast<double>(c.evictions));
+  // Eviction pressure: cumulative bytes pushed out (a counter, so repeated
+  // snapshots advance it by the delta) and the age-at-eviction of the most
+  // recent victim in insertion ticks — a growing value means the LRU horizon
+  // is shrinking relative to the working set.
+  auto& evicted = metrics.counter("service.cache_evicted_bytes");
+  evicted.add(static_cast<double>(c.evicted_bytes) - evicted.value());
+  set("service.cache_last_eviction_age",
+      static_cast<double>(c.last_eviction_age));
+  {
+    std::lock_guard<std::mutex> lock(slo_mutex_);
+    for (const auto& [name, hist] : latency_) {
+      const obs::Labels labels{{"outcome", name}};
+      metrics.gauge("service.latency_count", labels)
+          .set(static_cast<double>(hist.count()));
+      metrics.gauge("service.latency_mean_us", labels).set(hist.mean());
+      metrics.gauge("service.latency_p50_us", labels)
+          .set(histogram_quantile(hist, 0.50));
+      metrics.gauge("service.latency_p95_us", labels)
+          .set(histogram_quantile(hist, 0.95));
+      metrics.gauge("service.latency_p99_us", labels)
+          .set(histogram_quantile(hist, 0.99));
+    }
+  }
   admission_.publish_metrics(metrics);
 }
 
@@ -322,7 +511,34 @@ void ScenarioServer::write_service_stats(std::ostream& os) const {
      << ",\"shed_queue_full\":" << a.shed_queue_full
      << ",\"completed\":" << a.completed
      << ",\"peak_in_flight\":" << a.peak_in_flight
-     << ",\"peak_queue_depth\":" << a.peak_queue_depth << "}}\n";
+     << ",\"peak_queue_depth\":" << a.peak_queue_depth << "}";
+  // v2: per-outcome SLO latency histograms. Bucket fills are wall-clock
+  // observations — structure (keys, bounds, outcome set) is fixed, values
+  // are not part of any byte-exactness gate.
+  os << ",\"latency_us\":{\"bounds\":[";
+  const std::vector<double>& bounds = service_latency_bounds();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (i != 0) os << ',';
+    obs::write_json_number(os, bounds[i]);
+  }
+  os << "],\"outcomes\":{";
+  {
+    std::lock_guard<std::mutex> lock(slo_mutex_);
+    bool first = true;
+    for (const auto& [name, hist] : latency_) {
+      if (!first) os << ',';
+      first = false;
+      os << '\"' << name << "\":{\"count\":" << hist.count() << ",\"sum\":";
+      obs::write_json_number(os, hist.sum());
+      os << ",\"buckets\":[";
+      for (std::size_t i = 0; i < hist.counts().size(); ++i) {
+        if (i != 0) os << ',';
+        os << hist.counts()[i];
+      }
+      os << "]}";
+    }
+  }
+  os << "}}}\n";
 }
 
 }  // namespace coop::service

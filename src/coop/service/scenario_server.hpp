@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -8,11 +10,14 @@
 #include <ostream>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "coop/core/node_mode.hpp"
 #include "coop/core/timed_sim.hpp"
 #include "coop/fault/fault_plan.hpp"
+#include "coop/obs/log/flight_recorder.hpp"
+#include "coop/obs/metrics.hpp"
 #include "coop/service/admission.hpp"
 #include "coop/service/result_cache.hpp"
 
@@ -48,13 +53,15 @@
 /// runs execute on the leader's thread after admission.
 
 namespace coop::obs {
-class MetricsRegistry;
+class Tracer;
 }  // namespace coop::obs
 
 namespace coop::service {
 
 inline constexpr const char* kServiceStatsSchemaName = "coophet.service_stats";
-inline constexpr int kServiceStatsSchemaVersion = 1;
+/// v2 added the per-outcome `latency_us` SLO histogram block; every v1 key
+/// is unchanged, so consumers of the counters read both versions alike.
+inline constexpr int kServiceStatsSchemaVersion = 2;
 
 /// One what-if capacity-planning question. Every field below is a semantic
 /// knob: it changes the simulated result, so it is part of the cache key.
@@ -89,9 +96,9 @@ struct ScenarioQuery {
 /// Validates first, so an unserveable query never produces a key.
 [[nodiscard]] std::string scenario_key(const ScenarioQuery& q);
 
-/// The `core::TimedConfig` a cold run of `q` executes (observability
-/// pointers unset; the server attaches nothing — reports must be
-/// byte-deterministic).
+/// The `core::TimedConfig` a cold run of `q` executes. Observability
+/// pointers are unset here; the server attaches only its flight-recorder
+/// writer, which is pure observation — reports stay byte-deterministic.
 [[nodiscard]] core::TimedConfig to_timed_config(const ScenarioQuery& q);
 
 /// How one submit was served.
@@ -109,6 +116,10 @@ struct ScenarioResponse {
   ServeOutcome outcome = ServeOutcome::kShedRate;
   std::string key;            ///< canonical scenario key
   ResultCache::Bytes report;  ///< run_report JSON; nullptr when shed
+  /// Correlation id minted for this submit — every flight-recorder event and
+  /// trace span of the request carries it, so a failure report names the
+  /// exact id to filter the crash dump by.
+  obs::log::CorrelationId correlation_id = 0;
 };
 
 struct ScenarioServerConfig {
@@ -123,6 +134,32 @@ struct ScenarioServerConfig {
   /// fan-out to all waiters, cache untouched).
   std::function<void(const ScenarioQuery&, const std::string& key)>
       execution_hook;
+
+  /// Execution attempts per cold run before the failure fans out to the
+  /// waiters (>= 1; only transient `SimError`s — kIo — retry). The default
+  /// of 1 keeps `executions` an exact witness of cold runs for the loadgen's
+  /// counter gate; retries bump it once per attempt.
+  int max_attempts = 1;
+
+  /// Watchdog budgets applied to every cold run (default: all disabled).
+  core::RunBudget budget{};
+
+  /// Flight recorder for request-scoped events (not owned; may be nullptr).
+  /// Each submit mints a fresh correlation id and records its admission
+  /// decision, dedup joins, execution attempts, and failure kind under it.
+  obs::log::FlightRecorder* flight = nullptr;
+
+  /// When non-empty (and `flight` is set), a failed execution dumps a
+  /// crash-scoped `coophet.flight_log` to `<dir>/flight_req<cid>.json`,
+  /// focused on the failing request's correlation id. Dump IO failures are
+  /// swallowed — the black box must never mask the original error.
+  std::string flight_dump_dir;
+
+  /// Per-request service spans (cache-hit, coalesce-wait, queue-wait,
+  /// execute) into a Perfetto tracer (not owned; may be nullptr). Span
+  /// coordinates are wall seconds since server construction and the track
+  /// id is the correlation id — observability only, never byte-gated.
+  obs::Tracer* tracer = nullptr;
 
   void validate() const;  ///< throws kConfig on nonsensical values
 };
@@ -171,8 +208,9 @@ class ScenarioServer {
   /// controller's `admission.*` set).
   void publish_metrics(obs::MetricsRegistry& metrics) const;
 
-  /// Writes the `coophet.service_stats` v1 artifact: request-path counters,
-  /// cache occupancy/hit statistics, and admission tallies.
+  /// Writes the `coophet.service_stats` v2 artifact: request-path counters,
+  /// cache occupancy/hit statistics, admission tallies, and the per-outcome
+  /// `latency_us` SLO histogram block.
   void write_service_stats(std::ostream& os) const;
 
  private:
@@ -197,9 +235,21 @@ class ScenarioServer {
   ScenarioResponse run_as_leader(const ScenarioQuery& query,
                                  const std::string& key,
                                  const std::shared_ptr<Flight>& flight,
-                                 double now);
+                                 double now, obs::log::FlightWriter& fw,
+                                 obs::log::CorrelationId cid,
+                                 std::chrono::steady_clock::time_point t_submit);
   /// Releases the leader's admission slot and wakes the promoted request.
   void complete_and_promote(double now);
+
+  /// Records `us` into the SLO histogram of `outcome` (one of the
+  /// ServeOutcome names or "error"). Leaf lock: safe under `mutex_`.
+  void observe_latency(const char* outcome, double us) const;
+  /// Emits a service span [t0, now) on the request's track. Leaf lock.
+  void trace_span(obs::log::CorrelationId cid, const char* name,
+                  std::chrono::steady_clock::time_point t0) const;
+  /// Wall microseconds elapsed since `t0`.
+  [[nodiscard]] static double us_since(
+      std::chrono::steady_clock::time_point t0);
 
   ScenarioServerConfig config_;
   AdmissionController admission_;
@@ -210,6 +260,27 @@ class ScenarioServer {
   std::unordered_map<std::uint64_t, std::shared_ptr<QueuedTicket>> queued_;
   std::uint64_t next_request_id_ = 1;
   Stats stats_;
+
+  /// Correlation ids are minted outside `mutex_` so a hit never serializes
+  /// behind a leader's bookkeeping just to get its id.
+  std::atomic<std::uint64_t> next_cid_{1};
+
+  /// Wall-clock epoch for trace spans and SLO latencies. Wall time is fine
+  /// here: latency observability is explicitly outside the byte-deterministic
+  /// contract (counters and artifact *structure* stay exact; bucket fills
+  /// vary run to run).
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex trace_mutex_;  ///< guards config_.tracer emission
+  mutable std::mutex slo_mutex_;    ///< guards latency_
+  /// Per-outcome request latency histograms (microseconds), fixed outcome
+  /// set so metric cardinality is stable from the first snapshot.
+  mutable std::vector<std::pair<const char*, obs::MetricsRegistry::Histogram>>
+      latency_;
 };
+
+/// Inclusive upper bounds (microseconds) of the service latency histograms:
+/// half-decade log spacing from 10us to 1s, overflow bucket past that.
+[[nodiscard]] const std::vector<double>& service_latency_bounds();
 
 }  // namespace coop::service

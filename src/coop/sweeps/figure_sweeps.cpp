@@ -249,9 +249,22 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
     SweepPoint& p = curves.points[pi];
     const core::NodeMode mode = modes[mi];
     const int cell_id = static_cast<int>(pi * modes.size() + mi);
+    // Cell correlation id: deterministic from the cell's grid position, so
+    // identical campaigns produce byte-identical flight logs and a failed
+    // cell's id can be reconstructed offline (base + point * modes + mode).
+    obs::log::FlightWriter fw =
+        options.flight != nullptr
+            ? options.flight->writer(
+                  options.flight_cid_base +
+                  static_cast<obs::log::CorrelationId>(cell_id))
+            : obs::log::FlightWriter{};
     if (options.cell_lookup) {
       SweepCellRecord rec;
       if (options.cell_lookup(pi, mode, rec)) {
+        fw.record(obs::log::Severity::kInfo, obs::log::Component::kSweep, 0.0,
+                  "cell:resume",
+                  {{"point", static_cast<double>(pi)},
+                   {"mode", static_cast<double>(mi)}});
         apply_cell_record(p, rec);
         std::lock_guard<std::mutex> lock(supervision_mutex);
         ++curves.supervision.resume_hits;
@@ -269,6 +282,7 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
     tc.compiler_bug = options.compiler_bug;
     tc.budget = options.cell_budget;
     tc.cancel = options.cancel;
+    if (fw.attached()) tc.flight = &fw;
     if (mode == core::NodeMode::kHeterogeneous &&
         options.hetero_faults != nullptr && !options.hetero_faults->empty()) {
       tc.faults = options.hetero_faults;
@@ -279,8 +293,15 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
       tc.metrics = &obs->points[pi].metrics;
       tc.hb = &obs->points[pi].hb;
     }
+    fw.record(obs::log::Severity::kInfo, obs::log::Component::kSweep, 0.0,
+              "cell:start",
+              {{"point", static_cast<double>(pi)},
+               {"mode", static_cast<double>(mi)},
+               {"zones", static_cast<double>(tc.global.zones())}});
     for (int attempt = 1;; ++attempt) {
       try {
+        fw.record(obs::log::Severity::kInfo, obs::log::Component::kSweep, 0.0,
+                  "cell:attempt", {{"attempt", static_cast<double>(attempt)}});
         if (options.cell_hook) options.cell_hook(pi, mode, attempt);
         const auto r = core::run_timed(tc);
         SweepCellRecord rec;
@@ -295,6 +316,10 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
         rec.cpu_share = mode == core::NodeMode::kHeterogeneous
                             ? r.final_cpu_fraction
                             : 0.0;
+        fw.record(obs::log::Severity::kInfo, obs::log::Component::kSweep,
+                  r.makespan, "cell:ok",
+                  {{"attempt", static_cast<double>(attempt)},
+                   {"t", r.makespan}});
         apply_cell_record(p, rec);
         if (options.metrics != nullptr || options.on_cell_complete) {
           std::lock_guard<std::mutex> lock(supervision_mutex);
@@ -308,8 +333,17 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
         err.cell = cell_id;
         // A cancelled campaign must stop claiming cells, not quarantine
         // them: rethrow and let the executor aggregate.
-        if (err.kind == core::SimErrorKind::kCancelled) throw;
+        if (err.kind == core::SimErrorKind::kCancelled) {
+          fw.record(obs::log::Severity::kWarn, obs::log::Component::kSweep,
+                    0.0, "cell:cancelled",
+                    {{"attempt", static_cast<double>(attempt)}});
+          throw;
+        }
         if (err.transient() && attempt < options.max_cell_attempts) {
+          fw.record(obs::log::Severity::kWarn, obs::log::Component::kSweep,
+                    0.0, "cell:retry",
+                    {{"attempt", static_cast<double>(attempt)},
+                     {"kind", static_cast<double>(err.kind)}});
           {
             std::lock_guard<std::mutex> lock(supervision_mutex);
             ++curves.supervision.retries;
@@ -320,6 +354,25 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
             std::this_thread::sleep_for(std::chrono::duration<double>(
                 options.retry_backoff_s * attempt));
           continue;
+        }
+        fw.record(obs::log::Severity::kError, obs::log::Component::kSweep, 0.0,
+                  "cell:quarantine",
+                  {{"attempt", static_cast<double>(attempt)},
+                   {"kind", static_cast<double>(err.kind)},
+                   {"cell", static_cast<double>(cell_id)}});
+        // Crash-dump policy: the black box is written at the moment of
+        // quarantine, scoped to this cell's correlation id, before the
+        // failure is even recorded in `failed_cells` — a postmortem works
+        // off the dump alone, no re-run needed.
+        if (options.flight != nullptr && !options.flight_dump_dir.empty()) {
+          try {
+            options.flight->dump_crash(options.flight_dump_dir +
+                                           "/flight_cell" +
+                                           std::to_string(cell_id) + ".json",
+                                       "quarantine", fw.cid());
+          } catch (const obs::IoError&) {
+            // Best-effort: a failed dump must not escalate the quarantine.
+          }
         }
         if (!options.quarantine_failures) throw;
         std::lock_guard<std::mutex> lock(supervision_mutex);

@@ -11,6 +11,7 @@
 #include "coop/fault/fault_plan.hpp"
 #include "coop/obs/analysis/hb_log.hpp"
 #include "coop/obs/analysis/report.hpp"
+#include "coop/obs/log/flight_recorder.hpp"
 #include "coop/obs/metrics.hpp"
 #include "coop/obs/run_report.hpp"
 #include "coop/obs/trace.hpp"
@@ -158,6 +159,20 @@ struct SweepOptions {
   /// sweep.cells_ok / sweep.cell_retries / sweep.cells_quarantined /
   /// sweep.cells_resumed counters.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional flight recorder (not owned). Every cell opens a writer under
+  /// correlation id `flight_cid_base + cell_id` (cell_id = point-index *
+  /// modes + mode-index) and records its supervision life — start, each
+  /// attempt, retries, resume hits, quarantine — and `run_timed` + the
+  /// fault injector record under the same id. Pure observation: attaching
+  /// a recorder never changes curves, journals, or failure handling.
+  obs::log::FlightRecorder* flight = nullptr;
+  obs::log::CorrelationId flight_cid_base = 1;
+  /// When set (and `flight` is set), a quarantined cell dumps a
+  /// crash-scoped coophet.flight_log to `<dir>/flight_cell<id>.json`
+  /// before the failure is recorded. Dump I/O failures are swallowed —
+  /// a best-effort black box must not turn quarantine into sweep abort.
+  std::string flight_dump_dir;
 };
 
 /// One figure's curves: mode -> (dims -> seconds).

@@ -1,0 +1,236 @@
+/// Flight-recorder core: lock-free recording into bounded per-thread rings,
+/// deterministic (cid, seq) drain order, payload truncation limits, the
+/// crash-dump policy (focused cid in full + per-ring recency tail), and the
+/// byte-determinism contract of the coophet.flight_log artifact.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coop/obs/log/flight_recorder.hpp"
+#include "support/json_check.hpp"
+
+namespace log = coop::obs::log;
+namespace json = coophet_test::json;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(FlightRecorder, RecordAndDrainRoundTrips) {
+  log::FlightRecorder rec;
+  log::FlightWriter w = rec.writer(7);
+  ASSERT_TRUE(w.attached());
+  EXPECT_EQ(w.cid(), 7u);
+  w.record(log::Severity::kInfo, log::Component::kSweep, 0.5, "cell:start",
+           {{"point", 3.0}, {"mode", 2.0}});
+  w.record(log::Severity::kError, log::Component::kRun, 1.25, "budget:sim_time");
+
+  const auto d = rec.drain();
+  EXPECT_EQ(d.dropped, 0u);
+  ASSERT_EQ(d.events.size(), 2u);
+  const log::FlightEvent& e0 = d.events[0];
+  EXPECT_EQ(e0.cid, 7u);
+  EXPECT_EQ(e0.seq, 0u);
+  EXPECT_EQ(e0.sim_time, 0.5);
+  EXPECT_EQ(e0.severity, log::Severity::kInfo);
+  EXPECT_EQ(e0.component, log::Component::kSweep);
+  EXPECT_EQ(e0.name, "cell:start");
+  ASSERT_EQ(e0.kv.size(), 2u);
+  EXPECT_EQ(e0.kv[0].first, "point");
+  EXPECT_EQ(e0.kv[0].second, 3.0);
+  EXPECT_EQ(e0.kv[1].first, "mode");
+  EXPECT_EQ(e0.kv[1].second, 2.0);
+  const log::FlightEvent& e1 = d.events[1];
+  EXPECT_EQ(e1.seq, 1u);
+  EXPECT_EQ(e1.severity, log::Severity::kError);
+  EXPECT_EQ(e1.name, "budget:sim_time");
+  EXPECT_TRUE(e1.kv.empty());
+}
+
+TEST(FlightRecorder, TruncatesOversizedPayloads) {
+  log::FlightRecorder rec;
+  log::FlightWriter w = rec.writer(1);
+  w.record(log::Severity::kInfo, log::Component::kService, 0.0,
+           "a-very-long-event-name-that-exceeds-the-slot",
+           {{"longkeyname", 1.0}, {"b", 2.0}, {"c", 3.0}, {"d", 4.0}, {"e", 5.0}});
+  const auto d = rec.drain();
+  ASSERT_EQ(d.events.size(), 1u);
+  EXPECT_EQ(d.events[0].name, "a-very-long-event-name-t");  // hard 24-byte cap
+  EXPECT_EQ(d.events[0].name.size(), 24u);
+  ASSERT_EQ(d.events[0].kv.size(), 4u);                  // 5th pair dropped
+  EXPECT_EQ(d.events[0].kv[0].first, "longkeyn");        // 8-byte key cap
+  EXPECT_EQ(d.events[0].kv[3].first, "d");
+  EXPECT_EQ(d.events[0].kv[3].second, 4.0);
+}
+
+TEST(FlightRecorder, BoundedRingKeepsNewestAndCountsDropped) {
+  log::FlightRecorderConfig cfg;
+  cfg.ring_capacity = 8;
+  log::FlightRecorder rec(cfg);
+  log::FlightWriter w = rec.writer(3);
+  for (int i = 0; i < 20; ++i)
+    w.record(log::Severity::kDebug, log::Component::kRun, 0.0, "e", {{"i", double(i)}});
+  const auto d = rec.drain();
+  EXPECT_EQ(d.dropped, 12u);
+  ASSERT_EQ(d.events.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(d.events[size_t(i)].seq, std::uint64_t(12 + i));
+    EXPECT_EQ(d.events[size_t(i)].kv[0].second, double(12 + i));
+  }
+}
+
+TEST(FlightRecorder, DetachedWriterIsANoOp) {
+  log::FlightWriter w;
+  EXPECT_FALSE(w.attached());
+  w.record(log::Severity::kInfo, log::Component::kRun, 0.0, "ignored");  // must not crash
+}
+
+TEST(FlightRecorder, ZeroCapacityConfigIsRejected) {
+  log::FlightRecorderConfig cfg;
+  cfg.ring_capacity = 0;
+  EXPECT_THROW(log::FlightRecorder rec(cfg), std::invalid_argument);
+}
+
+TEST(FlightRecorder, DrainSortsByCidThenSeqAcrossThreads) {
+  log::FlightRecorder rec;
+  // Two writer threads, distinct correlation ids, deliberately started in an
+  // order the drain must not depend on.
+  std::thread t2([&] {
+    log::FlightWriter w = rec.writer(20);
+    for (int i = 0; i < 3; ++i)
+      w.record(log::Severity::kInfo, log::Component::kSweep, 0.0, "b");
+  });
+  t2.join();
+  std::thread t1([&] {
+    log::FlightWriter w = rec.writer(10);
+    for (int i = 0; i < 3; ++i)
+      w.record(log::Severity::kInfo, log::Component::kSweep, 0.0, "a");
+  });
+  t1.join();
+  const auto d = rec.drain();
+  ASSERT_EQ(d.events.size(), 6u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(d.events[size_t(i)].cid, 10u);
+    EXPECT_EQ(d.events[size_t(i)].seq, std::uint64_t(i));
+    EXPECT_EQ(d.events[size_t(i + 3)].cid, 20u);
+    EXPECT_EQ(d.events[size_t(i + 3)].seq, std::uint64_t(i));
+  }
+}
+
+TEST(FlightRecorder, ConcurrentRecordingAndDrainingIsSafe) {
+  log::FlightRecorderConfig cfg;
+  cfg.ring_capacity = 64;  // small: force wrap-around under the drains
+  log::FlightRecorder rec(cfg);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 2000;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rec, t] {
+      log::FlightWriter w = rec.writer(log::CorrelationId(t + 1));
+      for (int i = 0; i < kEvents; ++i)
+        w.record(log::Severity::kDebug, log::Component::kRun, double(i), "spin",
+                 {{"i", double(i)}});
+    });
+  }
+  std::thread drainer([&] {
+    while (!stop.load()) {
+      const auto d = rec.drain();
+      // Every decoded event must be internally consistent (seq echoes kv).
+      for (const auto& ev : d.events) {
+        ASSERT_GE(ev.cid, 1u);
+        ASSERT_LE(ev.cid, std::uint64_t(kThreads));
+        ASSERT_EQ(ev.kv.size(), 1u);
+        ASSERT_EQ(ev.kv[0].second, double(ev.seq));
+      }
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  drainer.join();
+  const auto d = rec.drain();
+  // Quiescent drain: per-ring events + dropped must account for every push.
+  EXPECT_EQ(d.events.size() + d.dropped, std::size_t(kThreads) * kEvents);
+  EXPECT_EQ(d.events.size(), std::size_t(kThreads) * cfg.ring_capacity);
+}
+
+TEST(FlightRecorder, ArtifactIsSchemaValidAndByteDeterministic) {
+  auto run = [](log::FlightRecorder& rec) {
+    log::FlightWriter w = rec.writer(42);
+    w.record(log::Severity::kInfo, log::Component::kService, 0.0, "req:submit");
+    w.record(log::Severity::kWarn, log::Component::kFault, 0.125, "inject:slowdown",
+             {{"rank", 0.0}, {"factor", 50.0}});
+    w.record(log::Severity::kError, log::Component::kRun, 0.25, "budget:sim_time");
+    std::ostringstream os;
+    rec.write_flight_log(os, rec.drain(), "unit_test", 42);
+    return os.str();
+  };
+  log::FlightRecorder a, b;
+  const std::string ja = run(a);
+  const std::string jb = run(b);
+  EXPECT_EQ(ja, jb) << "identical event streams must serialize identically";
+
+  const json::ParseResult parsed = json::parse(ja);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(json::check_artifact_schema(parsed.value, log::FlightRecorder::kSchemaName), "");
+  EXPECT_EQ(parsed.value.find("event_count")->number, 3.0);
+  EXPECT_EQ(parsed.value.find("focus_cid")->number, 42.0);
+  const json::Value* events = parsed.value.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 3u);
+  EXPECT_EQ(events->array[1].find("name")->str, "inject:slowdown");
+  EXPECT_EQ(events->array[1].find("sev")->str, "warn");
+  EXPECT_EQ(events->array[1].find("comp")->str, "fault");
+  EXPECT_EQ(events->array[1].find("kv")->find("factor")->number, 50.0);
+}
+
+TEST(FlightRecorder, CrashDumpKeepsFocusInFullPlusRecencyTail) {
+  log::FlightRecorderConfig cfg;
+  cfg.ring_capacity = 256;
+  cfg.crash_dump_last_n = 4;
+  log::FlightRecorder rec(cfg);
+  {
+    // Focused request: recorded early, so a pure last-N policy would lose it.
+    log::FlightWriter w = rec.writer(5);
+    w.record(log::Severity::kInfo, log::Component::kAdmission, 0.0, "admission:admitted");
+    w.record(log::Severity::kError, log::Component::kSweep, 0.0, "cell:quarantine");
+  }
+  {
+    // 50 ambient events under another cid bury the focused ones.
+    log::FlightWriter w = rec.writer(6);
+    for (int i = 0; i < 50; ++i)
+      w.record(log::Severity::kDebug, log::Component::kRun, 0.0, "noise");
+  }
+  const std::string path = "flight_test_dump.json";
+  rec.dump_crash(path, "unit_test_crash", 5);
+  const std::string body = slurp(path);
+  std::remove(path.c_str());
+
+  const json::ParseResult parsed = json::parse(body);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(json::check_artifact_schema(parsed.value, "coophet.flight_log"), "");
+  const json::Value* events = parsed.value.find("events");
+  ASSERT_NE(events, nullptr);
+  // Both cid-5 events survive; ambient cid-6 noise is capped at last_n = 4.
+  int focus_events = 0, ambient = 0;
+  for (const auto& ev : events->array)
+    (ev.find("cid")->number == 5.0 ? focus_events : ambient) += 1;
+  EXPECT_EQ(focus_events, 2);
+  EXPECT_EQ(ambient, 4);
+  EXPECT_EQ(parsed.value.find("reason")->str, "unit_test_crash");
+}
+
+}  // namespace

@@ -1,0 +1,319 @@
+/// ISSUE acceptance: the flight recorder's end-to-end story. A failing
+/// request through the scenario server must leave a `coophet.flight_log`
+/// crash dump whose events — filtered by the failing request's correlation
+/// id — contain the admission decision, every supervision attempt, and the
+/// fault injection that caused the failure. Plus the request-scoped
+/// satellites: correlation ids on responses, service spans in the Perfetto
+/// tracer, and the per-outcome SLO latency block in service_stats v2.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/core/timed_sim.hpp"
+#include "coop/obs/log/flight_recorder.hpp"
+#include "coop/obs/trace.hpp"
+#include "coop/service/scenario_server.hpp"
+#include "support/json_check.hpp"
+
+namespace core = coop::core;
+namespace flog = coop::obs::log;
+namespace service = coop::service;
+namespace json = coophet_test::json;
+namespace fs = std::filesystem;
+
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("coophet_flight_" + std::to_string(counter_++));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// A small query whose run a kSlowdown fault covers from t = 0 (consumed at
+/// the first compute phase, so the injection always precedes any later
+/// budget trip).
+service::ScenarioQuery slowed_query() {
+  service::ScenarioQuery q;
+  q.x = q.y = q.z = 16;
+  q.timesteps = 4;
+  coop::fault::FaultEvent e;
+  e.time = 0.0;
+  e.kind = coop::fault::FaultKind::kSlowdown;
+  e.rank = 0;
+  e.duration = 1.0e6;  // covers the whole run
+  e.factor = 4.0;
+  q.faults.add(e);
+  return q;
+}
+
+/// Events of `cid`, as "name" strings in (seq) order, from a parsed dump.
+std::vector<std::string> names_of_cid(const json::Value& dump,
+                                      double cid) {
+  std::vector<std::string> names;
+  const json::Value* events = dump.find("events");
+  if (events == nullptr || !events->is_array()) return names;
+  for (const json::Value& ev : events->array) {
+    const json::Value* c = ev.find("cid");
+    const json::Value* name = ev.find("name");
+    if (c != nullptr && c->is_number() && c->number == cid &&
+        name != nullptr && name->is_string())
+      names.push_back(name->str);
+  }
+  return names;
+}
+
+int count_of(const std::vector<std::string>& names, const std::string& want) {
+  int n = 0;
+  for (const std::string& s : names) n += s == want ? 1 : 0;
+  return n;
+}
+
+}  // namespace
+
+TEST(FlightAcceptance, CrashDumpNamesAdmissionEveryAttemptAndTheInjection) {
+  const service::ScenarioQuery query = slowed_query();
+
+  // Calibrate the watchdog from the query's own clean (budget-free)
+  // makespan, so the budget provably trips mid-run after the t=0 injection.
+  const core::TimedResult clean = core::run_timed(
+      service::to_timed_config(query));
+  ASSERT_GT(clean.makespan, 0.0);
+
+  TempDir tmp;
+  flog::FlightRecorder recorder;
+  service::ScenarioServerConfig cfg;
+  cfg.flight = &recorder;
+  cfg.flight_dump_dir = tmp.file("");
+  cfg.max_attempts = 3;
+  cfg.budget.max_sim_s = clean.makespan * 0.5;
+  // Attempts 1 and 2 die with a transient (kIo) failure before the
+  // simulation starts; attempt 3 reaches run_timed, where the slowdown
+  // injection pushes the run across the sim-time budget -> kTimeout.
+  int calls = 0;
+  cfg.execution_hook = [&calls](const service::ScenarioQuery&,
+                                const std::string&) {
+    if (++calls <= 2)
+      core::throw_sim_error(core::SimErrorKind::kIo,
+                            "flight test: transient artifact failure");
+  };
+  service::ScenarioServer server(std::move(cfg));
+
+  flog::CorrelationId cid = 0;
+  try {
+    (void)server.submit(query, /*now=*/0.0);
+    FAIL() << "submit must rethrow the leader's kTimeout";
+  } catch (const core::SimErrorCarrier& c) {
+    EXPECT_EQ(c.error().kind, core::SimErrorKind::kTimeout);
+    cid = 1;  // first submit of a fresh server mints correlation id 1
+  }
+  EXPECT_EQ(calls, 3);
+
+  const std::string dump_path =
+      tmp.file("flight_req" + std::to_string(cid) + ".json");
+  ASSERT_TRUE(fs::exists(dump_path)) << dump_path;
+
+  const json::ParseResult parsed = json::parse(slurp(dump_path));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(
+      json::check_artifact_schema(parsed.value, "coophet.flight_log").empty());
+  const json::Value* reason = parsed.value.find("reason");
+  ASSERT_NE(reason, nullptr);
+  EXPECT_EQ(reason->str, "request_error");
+  const json::Value* focus = parsed.value.find("focus_cid");
+  ASSERT_NE(focus, nullptr);
+  EXPECT_EQ(focus->number, static_cast<double>(cid));
+
+  // The acceptance criterion, verbatim: filtered by the failing request's
+  // correlation id, the dump holds (a) the admission decision, (b) each
+  // supervision attempt, and (c) the causal fault injection.
+  const std::vector<std::string> names =
+      names_of_cid(parsed.value, static_cast<double>(cid));
+  EXPECT_EQ(count_of(names, "admission:admitted"), 1);
+  EXPECT_EQ(count_of(names, "exec:attempt"), 3);
+  EXPECT_EQ(count_of(names, "exec:retry"), 2);
+  EXPECT_EQ(count_of(names, "inject:slowdown"), 1);
+  EXPECT_EQ(count_of(names, "budget:sim_time"), 1);
+  EXPECT_EQ(count_of(names, "exec:error"), 1);
+
+  // Causality reads top to bottom: the injection precedes the budget trip,
+  // which precedes the final error.
+  const auto pos = [&names](const char* want) {
+    for (std::size_t i = 0; i < names.size(); ++i)
+      if (names[i] == want) return static_cast<long>(i);
+    return -1L;
+  };
+  EXPECT_LT(pos("admission:admitted"), pos("inject:slowdown"));
+  EXPECT_LT(pos("inject:slowdown"), pos("budget:sim_time"));
+  EXPECT_LT(pos("budget:sim_time"), pos("exec:error"));
+
+  // The failed execution never poisoned anything: the error path counted.
+  EXPECT_EQ(server.stats().errors, 1u);
+  EXPECT_EQ(server.stats().executions, 3u);  // one per attempt
+}
+
+TEST(FlightAcceptance, ResponsesCarryDistinctCorrelationIds) {
+  service::ScenarioQuery q;
+  q.x = q.y = q.z = 16;
+  q.timesteps = 2;
+  flog::FlightRecorder recorder;
+  service::ScenarioServerConfig cfg;
+  cfg.flight = &recorder;
+  service::ScenarioServer server(std::move(cfg));
+
+  const service::ScenarioResponse a = server.submit(q, 0.0);
+  const service::ScenarioResponse b = server.submit(q, 1.0);
+  EXPECT_EQ(a.outcome, service::ServeOutcome::kMiss);
+  EXPECT_EQ(b.outcome, service::ServeOutcome::kHit);
+  EXPECT_NE(a.correlation_id, 0u);
+  EXPECT_NE(b.correlation_id, 0u);
+  EXPECT_NE(a.correlation_id, b.correlation_id);
+
+  // Both requests' stories are separable in one drained log.
+  const flog::FlightRecorder::Drained d = recorder.drain();
+  std::ostringstream os;
+  recorder.write_flight_log(os, d, "test");
+  const json::ParseResult parsed = json::parse(os.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const std::vector<std::string> first =
+      names_of_cid(parsed.value, static_cast<double>(a.correlation_id));
+  const std::vector<std::string> second =
+      names_of_cid(parsed.value, static_cast<double>(b.correlation_id));
+  EXPECT_EQ(count_of(first, "exec:ok"), 1);
+  EXPECT_EQ(count_of(first, "cache:store"), 1);
+  EXPECT_EQ(count_of(second, "cache:hit"), 1);
+  EXPECT_EQ(count_of(second, "exec:attempt"), 0);
+}
+
+TEST(FlightAcceptance, ServiceSpansLandOnPerRequestTracks) {
+  service::ScenarioQuery q;
+  q.x = q.y = q.z = 16;
+  q.timesteps = 2;
+  coop::obs::Tracer tracer;
+  service::ScenarioServerConfig cfg;
+  cfg.tracer = &tracer;
+  service::ScenarioServer server(std::move(cfg));
+
+  const service::ScenarioResponse miss = server.submit(q, 0.0);
+  const service::ScenarioResponse hit = server.submit(q, 1.0);
+  ASSERT_EQ(miss.outcome, service::ServeOutcome::kMiss);
+  ASSERT_EQ(hit.outcome, service::ServeOutcome::kHit);
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const json::ParseResult parsed = json::parse(os.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const json::Value* events = parsed.value.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Every service span rides the tid of its own correlation id.
+  std::map<std::string, double> span_tid;
+  for (const json::Value& ev : events->array) {
+    const json::Value* ph = ev.find("ph");
+    const json::Value* cat = ev.find("cat");
+    if (ph == nullptr || !ph->is_string() || ph->str != "X") continue;
+    if (cat == nullptr || !cat->is_string() || cat->str != "service") continue;
+    const json::Value* name = ev.find("name");
+    const json::Value* tid = ev.find("tid");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(tid, nullptr);
+    span_tid[name->str] = tid->number;
+  }
+  ASSERT_EQ(span_tid.count("execute"), 1u);
+  ASSERT_EQ(span_tid.count("cache-hit"), 1u);
+  EXPECT_EQ(span_tid["execute"],
+            static_cast<double>(miss.correlation_id));
+  EXPECT_EQ(span_tid["cache-hit"],
+            static_cast<double>(hit.correlation_id));
+}
+
+TEST(FlightAcceptance, ServiceStatsV2CarriesPerOutcomeLatencyHistograms) {
+  service::ScenarioQuery q;
+  q.x = q.y = q.z = 16;
+  q.timesteps = 2;
+  service::ScenarioServer server;
+  (void)server.submit(q, 0.0);  // miss
+  (void)server.submit(q, 1.0);  // hit
+
+  std::ostringstream os;
+  server.write_service_stats(os);
+  const json::ParseResult parsed = json::parse(os.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(json::check_artifact_schema(parsed.value,
+                                          "coophet.service_stats")
+                  .empty());
+  const json::Value* version = parsed.value.find("schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->number, 2.0);
+
+  const json::Value* latency = parsed.value.find("latency_us");
+  ASSERT_NE(latency, nullptr);
+  const json::Value* bounds = latency->find("bounds");
+  ASSERT_NE(bounds, nullptr);
+  EXPECT_EQ(bounds->array.size(), service::service_latency_bounds().size());
+  const json::Value* outcomes = latency->find("outcomes");
+  ASSERT_NE(outcomes, nullptr);
+  for (const char* outcome : {"hit", "miss", "coalesced", "shed", "error"}) {
+    const json::Value* o = outcomes->find(outcome);
+    ASSERT_NE(o, nullptr) << outcome;
+    const json::Value* count = o->find("count");
+    const json::Value* buckets = o->find("buckets");
+    ASSERT_NE(count, nullptr);
+    ASSERT_NE(buckets, nullptr);
+    // One overflow bucket past the bounds.
+    EXPECT_EQ(buckets->array.size(), bounds->array.size() + 1);
+  }
+  EXPECT_EQ(outcomes->find("hit")->find("count")->number, 1.0);
+  EXPECT_EQ(outcomes->find("miss")->find("count")->number, 1.0);
+  EXPECT_EQ(outcomes->find("coalesced")->find("count")->number, 0.0);
+}
+
+TEST(FlightAcceptance, CacheEvictionMetricsTrackBytesAndAge) {
+  service::ResultCache cache(2);
+  const auto sized = [](std::size_t n) {
+    return std::make_shared<const std::string>(std::string(n, 'x'));
+  };
+  cache.put("a", sized(100));
+  cache.put("b", sized(200));
+  cache.put("c", sized(300));  // evicts "a": 100 bytes, age 2 insertions
+  service::ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.evicted_bytes, 100u);
+  EXPECT_EQ(s.last_eviction_age, 2u);
+
+  // Refreshing an entry restarts its age clock.
+  cache.put("b", sized(250));
+  cache.put("d", sized(400));  // evicts "c" (b was refreshed more recently)
+  s = cache.stats();
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.evicted_bytes, 100u + 300u);
+  EXPECT_EQ(s.last_eviction_age, 1u);
+}

@@ -326,7 +326,9 @@ struct SchemaSpec {
       {"coophet.critical_path", {1}},
       {"coophet.perf_tolerances", {1}},
       {"coophet.sweep_journal", {1}},
-      {"coophet.service_stats", {1}},
+      // v2 added the "latency_us" SLO histogram block; v1 stays valid.
+      {"coophet.service_stats", {1, 2}},
+      {"coophet.flight_log", {1}},
   };
   return kSchemas;
 }

@@ -21,9 +21,11 @@
 
 #include "coop/core/sim_error.hpp"
 #include "coop/obs/artifact_io.hpp"
+#include "coop/obs/log/flight_recorder.hpp"
 #include "coop/obs/metrics.hpp"
 #include "coop/sweeps/figure_sweeps.hpp"
 #include "coop/sweeps/sweep_executor.hpp"
+#include "support/json_check.hpp"
 
 namespace core = coop::core;
 namespace sweeps = coop::sweeps;
@@ -347,6 +349,73 @@ TEST(AtomicWrite, FailedRewriteKeepsThePriorContents) {
                       std::istreambuf_iterator<char>());
   EXPECT_EQ(content, "v1\n");  // the v1 artifact survived the failed rewrite
   EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+}
+
+// --- Flight recorder end-to-end through sweep supervision --------------------
+
+TEST(SweepFlightRecorder, QuarantineDumpsACidScopedCrashDump) {
+  TempDir tmp;
+  coop::obs::log::FlightRecorder recorder;
+  sweeps::SweepOptions options = reduced_options();
+  options.flight = &recorder;
+  options.flight_dump_dir = tmp.path().string();
+  options.cell_hook = [](std::size_t point, core::NodeMode mode, int) {
+    if (point == 1 && mode == core::NodeMode::kHeterogeneous)
+      core::throw_sim_error(core::SimErrorKind::kFaultUnrecoverable,
+                            "test: poisoned cell");
+  };
+
+  const sweeps::SweepCurves curves =
+      sweeps::run_figure_sweep(fig18_reduced(), options);
+  ASSERT_EQ(curves.failed_cells.size(), 1u);
+
+  // Cell ids are (point * modes + mode-index); heterogeneous is the third
+  // swept mode, so (point 1, hetero) is cell 5 and its correlation id is
+  // flight_cid_base + 5 = 6.
+  const auto dump_path = tmp.path() / "flight_cell5.json";
+  ASSERT_TRUE(fs::exists(dump_path));
+  std::ifstream in(dump_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  const auto parsed = coophet_test::json::parse(content);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(coophet_test::json::check_artifact_schema(parsed.value,
+                                                        "coophet.flight_log")
+                  .empty());
+  EXPECT_EQ(parsed.value.find("reason")->str, "quarantine");
+  EXPECT_EQ(parsed.value.find("focus_cid")->number, 6.0);
+
+  // The poisoned cell's full story is in the dump under its own id.
+  int attempts = 0, quarantines = 0;
+  for (const auto& ev : parsed.value.find("events")->array) {
+    if (ev.find("cid")->number != 6.0) continue;
+    const std::string& name = ev.find("name")->str;
+    attempts += name == "cell:attempt" ? 1 : 0;
+    quarantines += name == "cell:quarantine" ? 1 : 0;
+  }
+  EXPECT_EQ(attempts, 1);  // kFaultUnrecoverable never retries
+  EXPECT_EQ(quarantines, 1);
+}
+
+TEST(SweepFlightRecorder, IdenticalSweepsProduceByteIdenticalFlightLogs) {
+  const auto run_once = [](int jobs) {
+    coop::obs::log::FlightRecorder recorder;
+    sweeps::SweepOptions options = reduced_options();
+    options.jobs = jobs;
+    options.flight = &recorder;
+    (void)sweeps::run_figure_sweep(fig18_reduced(), options);
+    const auto drained = recorder.drain();
+    EXPECT_EQ(drained.dropped, 0u);
+    std::ostringstream os;
+    recorder.write_flight_log(os, drained, "determinism");
+    return os.str();
+  };
+  // Same seed/schedule => byte-identical flight logs, serial or parallel:
+  // events are ordered by (cid, per-writer seq), never by thread arrival.
+  const std::string serial = run_once(1);
+  const std::string parallel = run_once(3);
+  EXPECT_GT(serial.size(), 100u);
+  EXPECT_EQ(serial, parallel);
 }
 
 TEST(AtomicWrite, BenchArtifactsLandAtomically) {

@@ -1,0 +1,204 @@
+/// Dump/filter CLI for `coophet.flight_log` artifacts (DESIGN.md section 13).
+///
+/// A crash dump is only as useful as the speed of answering "what happened
+/// to THIS request": this tool parses a flight log (strict test-side JSON
+/// parser + schema registry), filters its events, and prints one event per
+/// line in causal (cid, seq) order.
+///
+///   flight_log FILE [--cid N] [--component NAME] [--min-severity LEVEL]
+///                   [--last N]
+///
+///   --cid N            keep only events of correlation id N
+///   --component NAME   keep only one component (service, admission, cache,
+///                      sweep, run, fault)
+///   --min-severity L   drop events below L (debug, info, warn, error)
+///   --last N           after the other filters, keep only the newest N
+///                      events per correlation id
+///
+/// Exit status: 0 on a valid artifact (even when every event was filtered
+/// out — emptiness is grep's job), 1 on a missing/invalid/mis-schema'd file
+/// or bad flags. The header line always reports reason, focus cid, event
+/// count, and drop count, so a truncated black box is visible at a glance.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json_check.hpp"
+
+namespace {
+
+namespace json = coophet_test::json;
+
+int severity_rank(const std::string& sev) {
+  if (sev == "debug") return 0;
+  if (sev == "info") return 1;
+  if (sev == "warn") return 2;
+  if (sev == "error") return 3;
+  return -1;
+}
+
+struct Options {
+  std::string path;
+  long long cid = -1;          ///< -1 = any
+  std::string component;       ///< empty = any
+  int min_severity = 0;        ///< debug
+  long long last = -1;         ///< -1 = all
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flight_log: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--cid") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.cid = std::atoll(v);
+    } else if (arg == "--component") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.component = v;
+    } else if (arg == "--min-severity") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.min_severity = severity_rank(v);
+      if (opt.min_severity < 0) {
+        std::fprintf(stderr,
+                     "flight_log: unknown severity \"%s\" (debug, info, "
+                     "warn, error)\n",
+                     v);
+        return false;
+      }
+    } else if (arg == "--last") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.last = std::atoll(v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "flight_log: unknown flag %s\n", arg.c_str());
+      return false;
+    } else if (opt.path.empty()) {
+      opt.path = arg;
+    } else {
+      std::fprintf(stderr, "flight_log: more than one input file\n");
+      return false;
+    }
+  }
+  if (opt.path.empty()) {
+    std::fprintf(stderr,
+                 "usage: flight_log FILE [--cid N] [--component NAME] "
+                 "[--min-severity LEVEL] [--last N]\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 1;
+
+  std::ifstream is(opt.path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "flight_log: cannot open %s\n", opt.path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const json::ParseResult parsed = json::parse(buf.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "flight_log: %s: %s\n", opt.path.c_str(),
+                 parsed.error.c_str());
+    return 1;
+  }
+  if (const std::string err =
+          json::check_artifact_schema(parsed.value, "coophet.flight_log");
+      !err.empty()) {
+    std::fprintf(stderr, "flight_log: %s: %s\n", opt.path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+
+  const json::Value* reason = parsed.value.find("reason");
+  const json::Value* focus = parsed.value.find("focus_cid");
+  const json::Value* dropped = parsed.value.find("dropped");
+  const json::Value* events = parsed.value.find("events");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "flight_log: %s: missing events array\n",
+                 opt.path.c_str());
+    return 1;
+  }
+  std::printf("# %s  reason=%s  focus_cid=%.0f  events=%zu  dropped=%.0f\n",
+              opt.path.c_str(),
+              reason != nullptr && reason->is_string() ? reason->str.c_str()
+                                                       : "?",
+              focus != nullptr && focus->is_number() ? focus->number : -1.0,
+              events->array.size(),
+              dropped != nullptr && dropped->is_number() ? dropped->number
+                                                         : -1.0);
+
+  // Filter pass; events are already in (cid, seq) order in the artifact.
+  std::vector<const json::Value*> kept;
+  for (const json::Value& ev : events->array) {
+    const json::Value* cid = ev.find("cid");
+    const json::Value* sev = ev.find("sev");
+    const json::Value* comp = ev.find("comp");
+    if (cid == nullptr || !cid->is_number() || sev == nullptr ||
+        !sev->is_string() || comp == nullptr || !comp->is_string())
+      continue;
+    if (opt.cid >= 0 &&
+        static_cast<long long>(cid->number) != opt.cid)
+      continue;
+    if (!opt.component.empty() && comp->str != opt.component) continue;
+    if (severity_rank(sev->str) < opt.min_severity) continue;
+    kept.push_back(&ev);
+  }
+  if (opt.last >= 0) {
+    // Newest N per correlation id (the artifact orders each cid by seq).
+    std::map<long long, long long> per_cid;
+    for (const json::Value* ev : kept)
+      ++per_cid[static_cast<long long>(ev->find("cid")->number)];
+    std::vector<const json::Value*> tail;
+    std::map<long long, long long> seen;
+    for (const json::Value* ev : kept) {
+      const auto cid = static_cast<long long>(ev->find("cid")->number);
+      if (per_cid[cid] - seen[cid] <= opt.last) tail.push_back(ev);
+      ++seen[cid];
+    }
+    kept.swap(tail);
+  }
+
+  for (const json::Value* ev : kept) {
+    const json::Value* seq = ev->find("seq");
+    const json::Value* t = ev->find("t");
+    const json::Value* name = ev->find("name");
+    const json::Value* kv = ev->find("kv");
+    std::printf("cid=%lld seq=%lld t=%.9g [%s/%s] %s",
+                static_cast<long long>(ev->find("cid")->number),
+                seq != nullptr && seq->is_number()
+                    ? static_cast<long long>(seq->number)
+                    : -1LL,
+                t != nullptr && t->is_number() ? t->number : -1.0,
+                ev->find("sev")->str.c_str(), ev->find("comp")->str.c_str(),
+                name != nullptr && name->is_string() ? name->str.c_str()
+                                                     : "?");
+    if (kv != nullptr && kv->is_object())
+      for (const auto& [key, value] : kv->object)
+        if (value.is_number()) std::printf(" %s=%.9g", key.c_str(),
+                                           value.number);
+    std::printf("\n");
+  }
+  std::printf("# matched %zu event(s)\n", kept.size());
+  return 0;
+}

@@ -10,7 +10,7 @@
 ///             `loadgen.*` / `service.*` / `admission.*` gauges land in the
 ///             same coophet.metrics snapshot instead of clobbering it.
 ///   argv[2] — service-stats output, default `service_stats.json`
-///             (coophet.service_stats v1, straight from the server).
+///             (coophet.service_stats v2, straight from the server).
 ///
 /// Environment knobs (all optional):
 ///   COOPHET_LOADGEN_SEED             request-schedule seed      (default 42)
@@ -136,8 +136,17 @@ int main(int argc, char** argv) {
   std::printf("requests: %llu   served: %.0f req/s   wall: %.3f s\n",
               static_cast<unsigned long long>(report.actual.requests),
               report.served_qps, report.wall_s);
-  std::printf("latency  p50 %.1f us   p95 %.1f us   p99 %.1f us\n",
-              report.p50_us, report.p95_us, report.p99_us);
+  const auto print_latency = [](const char* outcome,
+                                const service::LoadgenReport::OutcomeLatency&
+                                    o) {
+    std::printf("latency[%-9s] n=%-5llu p50 %.1f us   p95 %.1f us   "
+                "p99 %.1f us\n",
+                outcome, static_cast<unsigned long long>(o.count), o.p50_us,
+                o.p95_us, o.p99_us);
+  };
+  print_latency("hit", report.hit);
+  print_latency("miss", report.cold);
+  print_latency("coalesced", report.coalesced);
   std::printf("hit path %.2f us vs cold run %.1f us  (speedup %.0fx, "
               "floor %.0fx)\n",
               report.mean_hit_us, report.mean_cold_us, report.hit_speedup,

@@ -20,6 +20,11 @@
 ///     --faults           attach the exemplar fault plan to every
 ///                        Heterogeneous cell (COOPHET_BENCH_FAULTS=1 too)
 ///     --metrics PATH     write the campaign metrics snapshot (atomic)
+///     --flight-dir DIR   attach a flight recorder: quarantined cells dump
+///                        DIR/flight_cell<id>.json, a simulated crash
+///                        (--exit-after) dumps DIR/flight_kill.json before
+///                        _Exit, and a completed run drains the full log to
+///                        DIR/flight_sweep.json
 ///
 /// Prints machine-parseable `key=value` summary lines (cells_total,
 /// resumed, retries, quarantined, failed_cells). Exit 0 when the campaign
@@ -34,6 +39,7 @@
 
 #include "coop/core/sim_error.hpp"
 #include "coop/obs/artifact_io.hpp"
+#include "coop/obs/log/flight_recorder.hpp"
 #include "coop/obs/metrics.hpp"
 #include "coop/service/sweep_journal.hpp"
 #include "coop/sweeps/figure_sweeps.hpp"
@@ -46,7 +52,8 @@ using coop::core::NodeMode;
   std::fprintf(stderr,
                "usage: %s --figure N --journal PATH [--max-points N] "
                "[--timesteps N] [--jobs N] [--poison P:MODE] "
-               "[--exit-after N] [--faults] [--metrics PATH]\n",
+               "[--exit-after N] [--faults] [--metrics PATH] "
+               "[--flight-dir DIR]\n",
                argv0);
   std::exit(2);
 }
@@ -65,6 +72,7 @@ int main(int argc, char** argv) {
   int figure = 0;
   std::string journal_path;
   std::string metrics_path;
+  std::string flight_dir;
   std::size_t max_points = 0;
   int timesteps = 4;
   int jobs = 1;
@@ -103,6 +111,8 @@ int main(int argc, char** argv) {
       with_faults = true;
     } else if (arg == "--metrics") {
       metrics_path = next();
+    } else if (arg == "--flight-dir") {
+      flight_dir = next();
     } else {
       usage(argv[0]);
     }
@@ -116,11 +126,16 @@ int main(int argc, char** argv) {
 
     const coop::fault::FaultPlan fault_plan = sweeps::exemplar_fault_plan();
     coop::obs::MetricsRegistry metrics;
+    coop::obs::log::FlightRecorder flight;
     sweeps::SweepOptions options;
     options.timesteps = timesteps;
     options.jobs = jobs;
     options.metrics = &metrics;
     if (with_faults) options.hetero_faults = &fault_plan;
+    if (!flight_dir.empty()) {
+      options.flight = &flight;
+      options.flight_dump_dir = flight_dir;
+    }
 
     coop::service::SweepJournal journal(journal_path, spec, options);
     const std::size_t journaled_before = journal.size();
@@ -132,10 +147,20 @@ int main(int argc, char** argv) {
     std::atomic<long> appended{0};
     if (exit_after > 0) {
       options.on_cell_complete =
-          [&journal, &appended,
-           exit_after](const sweeps::SweepCellRecord& rec) {
+          [&journal, &appended, exit_after, &flight,
+           &flight_dir](const sweeps::SweepCellRecord& rec) {
             journal.record(rec);
             if (appended.fetch_add(1) + 1 >= exit_after) {
+              // Black-box dump before the hard exit: the kill is exactly the
+              // situation the flight recorder exists for.
+              if (!flight_dir.empty()) {
+                try {
+                  flight.dump_crash(flight_dir + "/flight_kill.json",
+                                    "simulated_kill");
+                } catch (const coop::obs::IoError&) {
+                  // Best effort — the simulated crash proceeds regardless.
+                }
+              }
               std::printf("exiting after %ld journal appends (simulated "
                           "crash)\n",
                           exit_after);
@@ -177,6 +202,16 @@ int main(int argc, char** argv) {
         os << '\n';
       });
       std::printf("metrics=%s\n", metrics_path.c_str());
+    }
+    if (!flight_dir.empty()) {
+      const std::string path = flight_dir + "/flight_sweep.json";
+      const auto drained = flight.drain();
+      coop::obs::atomic_write_file(path, [&](std::ostream& os) {
+        flight.write_flight_log(os, drained, "sweep_complete");
+      });
+      std::printf("flight_log=%s events=%zu dropped=%llu\n", path.c_str(),
+                  drained.events.size(),
+                  static_cast<unsigned long long>(drained.dropped));
     }
     return 0;
   } catch (const std::exception& e) {
