@@ -19,7 +19,11 @@
 # (--flight-dir): the kill must leave a crash dump (flight_kill.json) and
 # the quarantine a cid-scoped dump (flight_cell5.json) whose filtered
 # events show the quarantine decision — both must lint as
-# coophet.flight_log v1. Every artifact lands in <out-dir> for upload.
+# coophet.flight_log v1. The clean and poisoned runs also carry a windowed
+# telemetry sampler (--telemetry): the clean artifact must fire no
+# quarantine-rate alert, the poisoned one must show the quarantine burn-rate
+# alert in `telemetry_report`, and both must lint as coophet.telemetry v1.
+# Every artifact lands in <out-dir> for upload.
 
 set -euo pipefail
 
@@ -31,6 +35,7 @@ BUILD_DIR=$(cd "$BUILD_DIR" && pwd)
 SWEEP_RESUME="$BUILD_DIR/tools/sweep_resume"
 JSON_LINT="$BUILD_DIR/tests/json_lint"
 FLIGHT_LOG="$BUILD_DIR/tools/flight_log"
+TELEMETRY_REPORT="$BUILD_DIR/tools/telemetry_report"
 # A reduced fault-heavy Fig 18 campaign: 3 points x 3 modes = 9 cells, with
 # the exemplar fault plan on every heterogeneous cell.
 ARGS=(--figure 18 --max-points 3 --timesteps 4)
@@ -40,7 +45,8 @@ mkdir -p "$OUT_DIR"
 cd "$OUT_DIR"
 rm -f journal_clean.json journal_crash.json journal_poison.json \
   metrics_clean.json metrics_poison.json resilience_summary.txt \
-  flight_kill.json flight_cell5.json flight_sweep.json
+  flight_kill.json flight_cell5.json flight_sweep.json \
+  telemetry_clean.json telemetry_poison.json
 
 expect_line() {  # expect_line <file> <literal-line>
   if ! grep -qxF -- "$2" "$1"; then
@@ -52,10 +58,17 @@ expect_line() {  # expect_line <file> <literal-line>
 
 echo "== 1. clean reference campaign =="
 "$SWEEP_RESUME" "${ARGS[@]}" --journal journal_clean.json \
-  --metrics metrics_clean.json | tee clean.out
+  --metrics metrics_clean.json --telemetry telemetry_clean.json | tee clean.out
 expect_line clean.out "cells_total=9"
 expect_line clean.out "quarantined=0"
 expect_line clean.out "journal=journal_clean.json cells=9"
+# 9 cells at 3 cells/window = 3 windows; a clean campaign must not trip the
+# quarantine-rate SLO.
+"$TELEMETRY_REPORT" telemetry_clean.json --alerts-only | tee telemetry_clean.out
+if grep -q "slo=quarantine-rate" telemetry_clean.out; then
+  echo "FAIL: clean campaign fired a quarantine-rate alert" >&2
+  exit 1
+fi
 
 echo "== 2. campaign killed after 4 journal appends =="
 set +e
@@ -89,7 +102,7 @@ echo "resumed journal is byte-identical to the clean reference"
 echo "== 4. poisoned cell is quarantined, campaign still completes =="
 "$SWEEP_RESUME" "${ARGS[@]}" --journal journal_poison.json \
   --poison 1:hetero --metrics metrics_poison.json --flight-dir . \
-  | tee poison.out
+  --telemetry telemetry_poison.json | tee poison.out
 expect_line poison.out "failed_cells=1"
 expect_line poison.out "quarantined=1"
 expect_line poison.out "journal=journal_poison.json cells=8"
@@ -105,6 +118,14 @@ fi
 grep -q "cell:quarantine" flight_cell5.out
 grep -q "cell:attempt" flight_cell5.out
 echo "quarantine dump carries the cell's attempt + quarantine events"
+# The quarantined cell burns the quarantine-rate SLO budget; the burn-rate
+# alerter must fire, pinned to the window holding canonical cell 5.
+"$TELEMETRY_REPORT" telemetry_poison.json --alerts-only | tee telemetry_poison.out
+if ! grep "slo=quarantine-rate" telemetry_poison.out | grep -q "fired=1"; then
+  echo "FAIL: poisoned campaign fired no quarantine-rate alert" >&2
+  exit 1
+fi
+echo "quarantine-rate burn alert fired in the poisoned campaign"
 
 echo "== 5. lint every emitted artifact =="
 "$JSON_LINT" --schema coophet.sweep_journal journal_clean.json \
@@ -112,6 +133,8 @@ echo "== 5. lint every emitted artifact =="
 "$JSON_LINT" --schema coophet.metrics metrics_clean.json metrics_poison.json
 "$JSON_LINT" --schema coophet.flight_log flight_kill.json flight_cell5.json \
   flight_sweep.json
+"$JSON_LINT" --schema coophet.telemetry telemetry_clean.json \
+  telemetry_poison.json
 
 {
   echo "# ci_resilience summary"
@@ -120,5 +143,6 @@ echo "== 5. lint every emitted artifact =="
   echo "## resume"; cat resume.out
   echo "## poison"; cat poison.out
   echo "## quarantine flight dump (cid 6)"; cat flight_cell5.out
+  echo "## telemetry alert timelines"; cat telemetry_clean.out telemetry_poison.out
 } > resilience_summary.txt
 echo "ci_resilience: all checks passed"

@@ -18,6 +18,7 @@
 #include "coop/obs/analysis/hb_log.hpp"
 #include "coop/obs/log/flight_recorder.hpp"
 #include "coop/obs/metrics.hpp"
+#include "coop/obs/telemetry/sampler.hpp"
 #include "coop/obs/trace.hpp"
 #include "coop/simmpi/sim_comm.hpp"
 
@@ -48,6 +49,7 @@ struct World {
   obs::MetricsRegistry* metrics = nullptr;
   obs::analysis::HbLog* hb = nullptr;
   obs::log::FlightWriter* flight = nullptr;
+  obs::telemetry::TelemetrySampler* telemetry = nullptr;
   double pool_high_water = 0.0;  ///< modeled device-pool bytes, run maximum
 
   // Optional event-driven GPU backend (one server per physical GPU).
@@ -664,6 +666,30 @@ des::Task<void> rank_process(des::Engine& eng, World& w,
         m.gauge("pool.modeled_bytes_in_use").set(pool_bytes);
         m.gauge("pool.modeled_high_water_bytes").set_max(w.pool_high_water);
       }
+      if (w.telemetry != nullptr) {
+        auto& tm = w.telemetry->metrics();
+        tm.counter("sim.iterations").add();
+        tm.histogram("sim.iteration_seconds",
+                     {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0})
+            .observe(iter_s);
+        // Imbalance of this iteration: slowest active rank over the mean of
+        // active ranks, minus 1 (0 = perfectly balanced).
+        double max_t = 0.0, sum_t = 0.0;
+        int active = 0;
+        for (const double t : w.compute_time)
+          if (t > 0.0) {
+            max_t = std::max(max_t, t);
+            sum_t += t;
+            ++active;
+          }
+        tm.gauge("sim.imbalance")
+            .set(active > 0 && sum_t > 0.0
+                     ? max_t * static_cast<double>(active) / sum_t - 1.0
+                     : 0.0);
+        tm.gauge("sim.des_queue_depth")
+            .set(static_cast<double>(eng.queue_depth()));
+        w.telemetry->tick(eng.now());
+      }
     }
   }
 }
@@ -699,6 +725,7 @@ TimedResult run_timed(const TimedConfig& cfg) {
   w.metrics = cfg.metrics;
   w.hb = cfg.hb;
   w.flight = cfg.flight;
+  w.telemetry = cfg.telemetry;
   if (cfg.flight != nullptr)
     cfg.flight->record(obs::log::Severity::kInfo, obs::log::Component::kRun,
                        0.0, "run:start",

@@ -37,6 +37,10 @@ namespace coop::obs::log {
 class FlightWriter;
 }  // namespace coop::obs::log
 
+namespace coop::obs::telemetry {
+class TelemetrySampler;
+}  // namespace coop::obs::telemetry
+
 namespace coop::core {
 
 /// Watchdog budgets for one supervised `run_timed` call; 0 = unlimited.
@@ -114,6 +118,18 @@ struct TimedConfig {
   /// — the black-box history a crash dump reconstructs. Pure observation:
   /// attaching a writer never changes the schedule or the TimedResult bytes.
   obs::log::FlightWriter* flight = nullptr;
+
+  /// Optional windowed telemetry sampler (not owned; may be nullptr). Rank 0
+  /// records per-iteration series into the sampler's own registry —
+  /// sim.iterations counter, sim.iteration_seconds histogram, and the
+  /// sim.imbalance / sim.des_queue_depth gauges — then ticks the sampler's
+  /// sim-time cadence axis, closing windows as simulated time crosses
+  /// window boundaries (DESIGN.md 14; never wall clock). The run does NOT
+  /// flush: the caller closes the final partial window with
+  /// `flush(result.makespan)` before writing the artifact, so several runs
+  /// may share one cadence. Same re-entrancy contract as the other sinks:
+  /// one sampler per concurrent call. Pure observation.
+  obs::telemetry::TelemetrySampler* telemetry = nullptr;
 
   /// Use the event-driven processor-sharing GPU queue (devmodel::GpuServer)
   /// instead of the closed-form kernel times. Exact for the symmetric

@@ -127,6 +127,7 @@ const char* to_string(Component c) noexcept {
     case Component::kSweep: return "sweep";
     case Component::kRun: return "run";
     case Component::kFault: return "fault";
+    case Component::kTelemetry: return "telemetry";
   }
   return "run";
 }

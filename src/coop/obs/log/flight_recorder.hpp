@@ -65,6 +65,7 @@ enum class Component : std::uint8_t {
   kSweep = 3,      // per-cell supervision (attempt/retry/quarantine)
   kRun = 4,        // run_timed phase boundaries, budget trips, recovery
   kFault = 5,      // FaultInjector injections
+  kTelemetry = 6,  // telemetry windows + SLO burn-rate alerts
 };
 
 const char* to_string(Severity s) noexcept;

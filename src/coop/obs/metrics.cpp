@@ -130,6 +130,39 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot(double sim_time) const {
   return snap;
 }
 
+MetricsRegistry::Snapshot MetricsRegistry::snapshot_since(
+    Snapshot* prev, double sim_time) const {
+  Snapshot cur = snapshot(sim_time);
+  Snapshot delta = cur;
+  if (prev != nullptr && !prev->samples.empty()) {
+    // Both sample lists are (name, labels)-sorted; a single merge walk pairs
+    // each current sample with its predecessor, if any.
+    auto pit = prev->samples.begin();
+    const auto before = [](const Sample& a, const Sample& b) {
+      if (a.name != b.name) return a.name < b.name;
+      return a.labels < b.labels;
+    };
+    for (Sample& s : delta.samples) {
+      while (pit != prev->samples.end() && before(*pit, s)) ++pit;
+      if (pit == prev->samples.end() || before(s, *pit)) continue;
+      const Sample& p = *pit;
+      if (s.kind == "counter" && p.kind == "counter") {
+        s.value -= p.value;
+      } else if (s.kind == "histogram" && p.kind == "histogram" &&
+                 s.bucket_bounds == p.bucket_bounds) {
+        s.value -= p.value;
+        s.count -= p.count;
+        for (std::size_t i = 0; i < s.bucket_counts.size(); ++i)
+          s.bucket_counts[i] -= p.bucket_counts[i];
+      }
+      // Gauges (and kind/bounds mismatches, which the registry itself
+      // forbids) keep the current value.
+    }
+  }
+  if (prev != nullptr) *prev = std::move(cur);
+  return delta;
+}
+
 void MetricsRegistry::write_json(std::ostream& os, double sim_time) const {
   const Snapshot snap = snapshot(sim_time);
   os << "{\"schema\":\"coophet.metrics\",\"schema_version\":1,\"sim_time_s\":";

@@ -140,6 +140,16 @@ class MetricsRegistry {
   /// Freezes every cell at simulated time `sim_time`.
   [[nodiscard]] Snapshot snapshot(double sim_time) const;
 
+  /// Delta snapshot for windowed telemetry: counters and histograms report
+  /// the change since `*prev` (per-bucket counts, count, and sum for
+  /// histograms); gauges report their current value — an instantaneous
+  /// reading has no meaningful delta. A sample absent from `*prev` reports
+  /// its full value. `*prev` is then replaced with the current cumulative
+  /// snapshot, so calling this in a loop yields consecutive,
+  /// non-overlapping deltas without the caller re-diffing by hand. A null
+  /// or default-constructed `prev` yields the full snapshot.
+  [[nodiscard]] Snapshot snapshot_since(Snapshot* prev, double sim_time) const;
+
   /// Writes `snapshot(sim_time)` as one JSON object
   /// ({"schema":"coophet.metrics","schema_version":1,...}).
   void write_json(std::ostream& os, double sim_time) const;

@@ -1,0 +1,384 @@
+#include "coop/obs/telemetry/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "coop/obs/json.hpp"
+
+namespace coop::obs::telemetry {
+
+void TelemetryConfig::validate() const {
+  if (axis.empty())
+    throw std::invalid_argument("TelemetryConfig: axis must be non-empty");
+  if (!(window_width > 0.0))
+    throw std::invalid_argument("TelemetryConfig: window_width must be > 0");
+  if (max_windows == 0)
+    throw std::invalid_argument("TelemetryConfig: max_windows must be >= 1");
+  if (period_windows == 0)
+    throw std::invalid_argument(
+        "TelemetryConfig: period_windows must be >= 1");
+  if (flight_cid == 0)
+    throw std::invalid_argument("TelemetryConfig: flight_cid 0 is reserved");
+  for (const SloSpec& s : slos) s.validate();
+}
+
+TelemetrySampler::TelemetrySampler(TelemetryConfig cfg)
+    : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  slo_history_.resize(cfg_.slos.size());
+  rule_active_.reserve(cfg_.slos.size());
+  for (const SloSpec& s : cfg_.slos)
+    rule_active_.emplace_back(s.rules.size(), false);
+}
+
+void TelemetrySampler::tick(double axis) {
+  while (axis >= window_start_ + cfg_.window_width)
+    close_window(window_start_ + cfg_.window_width);
+}
+
+void TelemetrySampler::flush(double axis) {
+  tick(axis);
+  if (axis > window_start_) close_window(axis);
+}
+
+void TelemetrySampler::close_window(double end) {
+  TelemetryWindow w;
+  w.index = next_index_++;
+  w.axis_start = window_start_;
+  w.axis_end = end;
+  w.delta = reg_.snapshot_since(&prev_, end);
+  w.slo.reserve(cfg_.slos.size());
+  for (std::size_t i = 0; i < cfg_.slos.size(); ++i) {
+    w.slo.push_back(eval_slo_window(cfg_.slos[i], w.delta));
+    slo_history_[i].push_back(w.slo.back());
+  }
+  window_start_ = end;
+  if (cfg_.flight != nullptr && !fw_opened_) {
+    fw_ = cfg_.flight->writer(cfg_.flight_cid);
+    fw_opened_ = true;
+  }
+  fw_.record(log::Severity::kDebug, log::Component::kTelemetry, end,
+             "telemetry:window",
+             {{"window", static_cast<double>(w.index)},
+              {"start", w.axis_start},
+              {"end", w.axis_end}});
+  evaluate_rules(w);
+  windows_.push_back(std::move(w));
+  if (windows_.size() > cfg_.max_windows) {
+    windows_.pop_front();
+    ++dropped_;
+  }
+}
+
+void TelemetrySampler::evaluate_rules(const TelemetryWindow& w) {
+  for (std::size_t i = 0; i < cfg_.slos.size(); ++i) {
+    const SloSpec& spec = cfg_.slos[i];
+    for (std::size_t j = 0; j < spec.rules.size(); ++j) {
+      const BurnRateRule& r = spec.rules[j];
+      const double thr = r.threshold(cfg_.period_windows);
+      const double burn_long =
+          pooled_burn(slo_history_[i], r.long_windows, spec.objective);
+      const double burn_short =
+          pooled_burn(slo_history_[i], r.short_windows, spec.objective);
+      const bool firing = burn_long >= thr && burn_short >= thr;
+      if (firing == static_cast<bool>(rule_active_[i][j])) continue;
+      rule_active_[i][j] = firing;
+      SloAlert a;
+      a.window = w.index;
+      a.slo = spec.name;
+      a.rule = r.label;
+      a.fired = firing;
+      a.burn_long = burn_long;
+      a.burn_short = burn_short;
+      a.threshold = thr;
+      alerts_.push_back(std::move(a));
+      const std::string name =
+          (firing ? "alert:" : "clear:") + spec.name;
+      fw_.record(firing ? r.severity : log::Severity::kInfo,
+                 log::Component::kTelemetry, w.axis_end, name,
+                 {{"window", static_cast<double>(w.index)},
+                  {"rule", static_cast<double>(j)},
+                  {"burn", burn_long},
+                  {"thr", thr}});
+    }
+  }
+}
+
+namespace {
+
+void write_labels_object(std::ostream& os, const Labels& labels) {
+  os << '{';
+  for (std::size_t j = 0; j < labels.items().size(); ++j) {
+    if (j > 0) os << ',';
+    write_json_string(os, labels.items()[j].first);
+    os << ':';
+    write_json_string(os, labels.items()[j].second);
+  }
+  os << '}';
+}
+
+/// Nearest-rank quantile over one window's delta buckets: the inclusive
+/// upper bound of the bucket holding the ceil(q*count)-th observation; the
+/// overflow bucket reports the last finite bound (a conservative floor).
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts,
+                       std::uint64_t count, double q) {
+  if (count == 0 || bounds.empty()) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank)
+      return bounds[std::min(i, bounds.size() - 1)];
+  }
+  return bounds.back();
+}
+
+/// One accumulated series: per-kept-window values for a (name, labels) key.
+struct SeriesAcc {
+  std::string kind;
+  std::vector<double> values;             // counter deltas / gauge values
+  std::vector<std::uint64_t> counts;      // histogram
+  std::vector<double> sums, p50, p95, p99;  // histogram
+};
+
+}  // namespace
+
+void TelemetrySampler::write_json(std::ostream& os) const {
+  os << "{\"schema\":\"" << kSchemaName
+     << "\",\"schema_version\":" << kSchemaVersion << ",\"axis\":";
+  write_json_string(os, cfg_.axis);
+  os << ",\"window_width\":";
+  write_json_number(os, cfg_.window_width);
+  os << ",\"period_windows\":" << cfg_.period_windows
+     << ",\"windows_closed\":" << next_index_
+     << ",\"windows_dropped\":" << dropped_;
+
+  os << ",\"windows\":[";
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const TelemetryWindow& w = windows_[i];
+    if (i > 0) os << ',';
+    os << "{\"index\":" << w.index << ",\"start\":";
+    write_json_number(os, w.axis_start);
+    os << ",\"end\":";
+    write_json_number(os, w.axis_end);
+    os << '}';
+  }
+  os << ']';
+
+  // Union of every series seen in a kept window, keyed (name, labels);
+  // windows that predate a series (or lost it) contribute zeros so every
+  // array is windows().size() long.
+  std::map<std::pair<std::string, Labels>, SeriesAcc> series;
+  for (std::size_t wi = 0; wi < windows_.size(); ++wi) {
+    for (const auto& s : windows_[wi].delta.samples) {
+      SeriesAcc& acc = series[{s.name, s.labels}];
+      acc.kind = s.kind;
+      const auto pad = [wi](auto& v) { v.resize(wi, {}); };
+      if (s.kind == "histogram") {
+        pad(acc.counts);
+        pad(acc.sums);
+        pad(acc.p50);
+        pad(acc.p95);
+        pad(acc.p99);
+        acc.counts.push_back(s.count);
+        acc.sums.push_back(s.value);
+        acc.p50.push_back(
+            bucket_quantile(s.bucket_bounds, s.bucket_counts, s.count, 0.50));
+        acc.p95.push_back(
+            bucket_quantile(s.bucket_bounds, s.bucket_counts, s.count, 0.95));
+        acc.p99.push_back(
+            bucket_quantile(s.bucket_bounds, s.bucket_counts, s.count, 0.99));
+      } else {
+        pad(acc.values);
+        acc.values.push_back(s.value);
+      }
+    }
+    for (auto& [key, acc] : series) {
+      if (acc.kind == "histogram") {
+        acc.counts.resize(wi + 1, 0);
+        acc.sums.resize(wi + 1, 0.0);
+        acc.p50.resize(wi + 1, 0.0);
+        acc.p95.resize(wi + 1, 0.0);
+        acc.p99.resize(wi + 1, 0.0);
+      } else {
+        acc.values.resize(wi + 1, 0.0);
+      }
+    }
+  }
+
+  const auto write_number_array = [&os](const char* key,
+                                        const std::vector<double>& v) {
+    os << ",\"" << key << "\":[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) os << ',';
+      write_json_number(os, v[i]);
+    }
+    os << ']';
+  };
+
+  os << ",\"series\":[";
+  bool first = true;
+  for (const auto& [key, acc] : series) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    write_json_string(os, key.first);
+    os << ",\"kind\":";
+    write_json_string(os, acc.kind);
+    os << ",\"labels\":";
+    write_labels_object(os, key.second);
+    if (acc.kind == "histogram") {
+      os << ",\"counts\":[";
+      for (std::size_t i = 0; i < acc.counts.size(); ++i) {
+        if (i > 0) os << ',';
+        os << acc.counts[i];
+      }
+      os << ']';
+      write_number_array("sums", acc.sums);
+      write_number_array("p50", acc.p50);
+      write_number_array("p95", acc.p95);
+      write_number_array("p99", acc.p99);
+    } else if (acc.kind == "counter") {
+      write_number_array("deltas", acc.values);
+      std::vector<double> rates;
+      rates.reserve(acc.values.size());
+      for (std::size_t i = 0; i < acc.values.size(); ++i) {
+        const double span =
+            windows_[i].axis_end - windows_[i].axis_start;
+        rates.push_back(span > 0.0 ? acc.values[i] / span : 0.0);
+      }
+      write_number_array("rates", rates);
+    } else {
+      write_number_array("values", acc.values);
+    }
+    os << '}';
+  }
+  os << ']';
+
+  os << ",\"slos\":[";
+  for (std::size_t i = 0; i < cfg_.slos.size(); ++i) {
+    const SloSpec& spec = cfg_.slos[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":";
+    write_json_string(os, spec.name);
+    os << ",\"kind\":";
+    write_json_string(os, to_string(spec.kind));
+    os << ",\"objective\":";
+    write_json_number(os, spec.objective);
+    std::vector<double> bad, total, burn;
+    for (const TelemetryWindow& w : windows_) {
+      bad.push_back(w.slo[i].bad);
+      total.push_back(w.slo[i].total);
+      burn.push_back(w.slo[i].burn);
+    }
+    write_number_array("bad", bad);
+    write_number_array("total", total);
+    write_number_array("burn", burn);
+    os << ",\"rules\":[";
+    for (std::size_t j = 0; j < spec.rules.size(); ++j) {
+      const BurnRateRule& r = spec.rules[j];
+      if (j > 0) os << ',';
+      os << "{\"label\":";
+      write_json_string(os, r.label);
+      os << ",\"budget_fraction\":";
+      write_json_number(os, r.budget_fraction);
+      os << ",\"long_windows\":" << r.long_windows
+         << ",\"short_windows\":" << r.short_windows << ",\"threshold\":";
+      write_json_number(os, r.threshold(cfg_.period_windows));
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << ']';
+
+  os << ",\"alerts\":[";
+  for (std::size_t i = 0; i < alerts_.size(); ++i) {
+    const SloAlert& a = alerts_[i];
+    if (i > 0) os << ',';
+    os << "{\"window\":" << a.window << ",\"slo\":";
+    write_json_string(os, a.slo);
+    os << ",\"rule\":";
+    write_json_string(os, a.rule);
+    os << ",\"fired\":" << (a.fired ? "true" : "false")
+       << ",\"burn_long\":";
+    write_json_number(os, a.burn_long);
+    os << ",\"burn_short\":";
+    write_json_number(os, a.burn_short);
+    os << ",\"threshold\":";
+    write_json_number(os, a.threshold);
+    os << '}';
+  }
+  os << "]}";
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels, const char* extra_key,
+                        const std::string& extra_value) {
+  std::string out;
+  for (const auto& [k, v] : labels.items()) {
+    if (!out.empty()) out += ',';
+    out += k + "=\"" + v + "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!out.empty()) out += ',';
+    out += std::string(extra_key) + "=\"" + extra_value + "\"";
+  }
+  return out.empty() ? "" : "{" + out + "}";
+}
+
+std::string prom_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void TelemetrySampler::write_prometheus(std::ostream& os) const {
+  const MetricsRegistry::Snapshot snap = reg_.snapshot(0.0);
+  std::string last_typed;
+  for (const auto& s : snap.samples) {
+    const std::string name = prom_name(s.name);
+    if (name != last_typed) {
+      os << "# TYPE " << name << ' ' << s.kind << '\n';
+      last_typed = name;
+    }
+    if (s.kind == "histogram") {
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < s.bucket_bounds.size(); ++i) {
+        cum += s.bucket_counts[i];
+        os << name << "_bucket"
+           << prom_labels(s.labels, "le", prom_number(s.bucket_bounds[i]))
+           << ' ' << cum << '\n';
+      }
+      os << name << "_bucket" << prom_labels(s.labels, "le", "+Inf") << ' '
+         << s.count << '\n';
+      os << name << "_sum" << prom_labels(s.labels, nullptr, "") << ' '
+         << prom_number(s.value) << '\n';
+      os << name << "_count" << prom_labels(s.labels, nullptr, "") << ' '
+         << s.count << '\n';
+    } else {
+      os << name << prom_labels(s.labels, nullptr, "") << ' '
+         << prom_number(s.value) << '\n';
+    }
+  }
+}
+
+}  // namespace coop::obs::telemetry

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "coop/obs/log/flight_recorder.hpp"
+#include "coop/obs/metrics.hpp"
+#include "coop/obs/telemetry/slo.hpp"
+
+/// \file sampler.hpp
+/// Windowed, clock-free telemetry: rate-over-time series + SLO alerting.
+///
+/// The metrics registry answers "how much, in total"; production triage
+/// needs "how much, per window, and when did it start going wrong". The
+/// `TelemetrySampler` owns a private `MetricsRegistry` that producers write
+/// into, and periodically freezes registry *deltas* into bounded
+/// ring-buffered windows keyed on a logical cadence axis — sim-time for
+/// `run_timed`, cumulative request count for the scenario service,
+/// canonical cell index for sweeps. **Never wall clock**: the axis, the
+/// window contents, the SLO tallies, and the alert timeline are all
+/// functions of simulated work, so identical seeds produce byte-identical
+/// telemetry artifacts serial vs parallel, run after run.
+///
+/// Cadence rules (DESIGN.md §14):
+///  * `tick(axis)` may only be called at quiescent points — between request
+///    groups, between canonically-ordered cell replays, between simulation
+///    steps — never while another thread is mid-update. The registry itself
+///    is externally synchronized, exactly like `MetricsRegistry`.
+///  * Window k covers the half-open axis range [k*W, (k+1)*W). A tick at or
+///    past a window's end closes it; everything recorded since the previous
+///    close lands in the first window closed by that tick, and any further
+///    boundaries crossed by the same tick close as empty windows. This
+///    attribution is deterministic by construction.
+///  * `flush(axis)` closes the in-progress partial window so end-of-run
+///    activity is never silently dropped from the artifact.
+///
+/// Each closed window carries the delta snapshot
+/// (`MetricsRegistry::snapshot_since`) plus one `SloWindowStat` per
+/// configured SLO; burn-rate rules are evaluated on close and fire
+/// edge-triggered alerts both into the alert timeline and — when a flight
+/// recorder is attached — as typed `Component::kTelemetry` events (name
+/// `alert:<slo>` / `clear:<slo>`, kv: window, rule index, pooled burns,
+/// threshold), so a crash dump shows the alert that preceded the failure.
+///
+/// Output: `write_json` emits the `coophet.telemetry` v1 artifact (windows,
+/// per-series delta/rate/quantile arrays, SLO tallies, alert timeline);
+/// `write_prometheus` emits the cumulative registry state in Prometheus
+/// text exposition format for scrape-style consumers.
+
+namespace coop::obs::telemetry {
+
+/// Correlation id the sampler's flight events record under; distinctive so
+/// `flight_log --cid` can isolate the telemetry stream from request cids.
+inline constexpr log::CorrelationId kTelemetryCid = 0x7e1e;
+
+struct TelemetryConfig {
+  /// Cadence axis label, recorded in the artifact ("sim_time", "requests",
+  /// "cells"). Purely descriptive — the sampler only sees axis values.
+  std::string axis = "sim_time";
+  double window_width = 1.0;   ///< axis units per window (> 0)
+  std::size_t max_windows = 256;  ///< ring capacity; oldest windows drop
+  /// SLO period in windows — the "30 days" the error budget spans; burn
+  /// thresholds derive from it (slo.hpp).
+  std::size_t period_windows = 100;
+  std::vector<SloSpec> slos;
+
+  /// Flight recorder for window + alert events (not owned; may be nullptr).
+  /// The writer opens lazily on the first window close and is bound to that
+  /// thread — close windows from one thread, like FlightWriter requires.
+  log::FlightRecorder* flight = nullptr;
+  log::CorrelationId flight_cid = kTelemetryCid;
+
+  void validate() const;  ///< throws std::invalid_argument
+};
+
+/// One closed telemetry window.
+struct TelemetryWindow {
+  std::uint64_t index = 0;  ///< global window index (survives ring drops)
+  double axis_start = 0.0;
+  double axis_end = 0.0;
+  /// Registry delta over the window (gauges: value at close).
+  MetricsRegistry::Snapshot delta;
+  std::vector<SloWindowStat> slo;  ///< parallel to TelemetryConfig::slos
+};
+
+class TelemetrySampler {
+ public:
+  explicit TelemetrySampler(TelemetryConfig cfg = {});
+
+  /// The sampler-owned registry producers record into. Externally
+  /// synchronized, same as a bare MetricsRegistry.
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return reg_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return reg_;
+  }
+  [[nodiscard]] const TelemetryConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  /// Advances the cadence axis, closing every window boundary at or before
+  /// `axis`. Quiescent points only; axis must not go backwards.
+  void tick(double axis);
+
+  /// Closes the in-progress partial window ending at `axis` (no-op when no
+  /// axis progress happened since the last close).
+  void flush(double axis);
+
+  [[nodiscard]] const std::deque<TelemetryWindow>& windows() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] const std::vector<SloAlert>& alerts() const noexcept {
+    return alerts_;
+  }
+  [[nodiscard]] std::uint64_t windows_closed() const noexcept {
+    return next_index_;
+  }
+  [[nodiscard]] std::uint64_t windows_dropped() const noexcept {
+    return dropped_;
+  }
+
+  /// Writes the `coophet.telemetry` v1 artifact.
+  void write_json(std::ostream& os) const;
+
+  /// Writes the cumulative registry state in Prometheus text exposition
+  /// format ('.' in metric names becomes '_'; histograms expand to
+  /// _bucket/_sum/_count with cumulative le= labels).
+  void write_prometheus(std::ostream& os) const;
+
+  static constexpr const char* kSchemaName = "coophet.telemetry";
+  static constexpr int kSchemaVersion = 1;
+
+ private:
+  void close_window(double end);
+  void evaluate_rules(const TelemetryWindow& w);
+
+  TelemetryConfig cfg_;
+  MetricsRegistry reg_;
+  MetricsRegistry::Snapshot prev_;  ///< cumulative snapshot at last close
+  double window_start_ = 0.0;
+  std::uint64_t next_index_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::deque<TelemetryWindow> windows_;
+  /// Full per-window tallies per SLO (never ring-dropped: one small struct
+  /// per window; burn rules need trailing ranges even after series drop).
+  std::vector<std::vector<SloWindowStat>> slo_history_;
+  std::vector<std::vector<bool>> rule_active_;  ///< [slo][rule] firing state
+  std::vector<SloAlert> alerts_;
+  log::FlightWriter fw_;
+  bool fw_opened_ = false;
+};
+
+}  // namespace coop::obs::telemetry

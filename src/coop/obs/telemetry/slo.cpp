@@ -1,0 +1,115 @@
+#include "coop/obs/telemetry/slo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coop::obs::telemetry {
+
+double BurnRateRule::threshold(std::size_t period_windows) const {
+  return budget_fraction * static_cast<double>(period_windows) /
+         static_cast<double>(long_windows);
+}
+
+void BurnRateRule::validate() const {
+  if (label.empty())
+    throw std::invalid_argument("BurnRateRule: label must be non-empty");
+  if (!(budget_fraction > 0.0 && budget_fraction <= 1.0))
+    throw std::invalid_argument(
+        "BurnRateRule: budget_fraction must be in (0, 1]");
+  if (long_windows == 0)
+    throw std::invalid_argument("BurnRateRule: long_windows must be >= 1");
+  if (short_windows == 0 || short_windows > long_windows)
+    throw std::invalid_argument(
+        "BurnRateRule: short_windows must be in [1, long_windows]");
+}
+
+std::vector<BurnRateRule> default_burn_rules() {
+  BurnRateRule fast;
+  fast.label = "fast";
+  fast.budget_fraction = 0.05;
+  fast.long_windows = 2;
+  fast.short_windows = 1;
+  fast.severity = log::Severity::kError;
+  BurnRateRule slow;
+  slow.label = "slow";
+  slow.budget_fraction = 0.01;
+  slow.long_windows = 8;
+  slow.short_windows = 2;
+  slow.severity = log::Severity::kWarn;
+  return {fast, slow};
+}
+
+void SloSpec::validate() const {
+  const auto bad = [this](const std::string& what) {
+    throw std::invalid_argument("SloSpec '" + name + "': " + what);
+  };
+  if (name.empty())
+    throw std::invalid_argument("SloSpec: name must be non-empty");
+  if (!(objective > 0.0 && objective < 1.0))
+    bad("objective must be in (0, 1)");
+  if (kind == Kind::kAvailability) {
+    if (total_metric.empty() || bad_metric.empty())
+      bad("availability needs total_metric and bad_metric");
+  } else {
+    if (latency_metric.empty()) bad("latency needs latency_metric");
+  }
+  if (rules.empty()) bad("needs at least one burn-rate rule");
+  for (const BurnRateRule& r : rules) r.validate();
+}
+
+const char* to_string(SloSpec::Kind k) noexcept {
+  return k == SloSpec::Kind::kAvailability ? "availability" : "latency";
+}
+
+namespace {
+
+const MetricsRegistry::Sample* find_sample(
+    const MetricsRegistry::Snapshot& snap, const std::string& name,
+    const Labels& labels) {
+  // Snapshot samples are (name, labels)-sorted; linear scan is fine at the
+  // handful-of-series scale telemetry windows carry.
+  for (const auto& s : snap.samples)
+    if (s.name == name && s.labels == labels) return &s;
+  return nullptr;
+}
+
+}  // namespace
+
+SloWindowStat eval_slo_window(const SloSpec& spec,
+                              const MetricsRegistry::Snapshot& delta) {
+  SloWindowStat stat;
+  if (spec.kind == SloSpec::Kind::kAvailability) {
+    if (const auto* t =
+            find_sample(delta, spec.total_metric, spec.total_labels))
+      stat.total = t->value;
+    if (const auto* b = find_sample(delta, spec.bad_metric, spec.bad_labels))
+      stat.bad = b->value;
+  } else {
+    if (const auto* h =
+            find_sample(delta, spec.latency_metric, spec.latency_labels)) {
+      stat.total = static_cast<double>(h->count);
+      double good = 0.0;
+      for (std::size_t i = 0; i < h->bucket_bounds.size(); ++i)
+        if (h->bucket_bounds[i] <= spec.latency_threshold)
+          good += static_cast<double>(h->bucket_counts[i]);
+      stat.bad = stat.total - good;
+    }
+  }
+  if (stat.total > 0.0)
+    stat.burn = (stat.bad / stat.total) / (1.0 - spec.objective);
+  return stat;
+}
+
+double pooled_burn(const std::vector<SloWindowStat>& stats,
+                   std::size_t trailing, double objective) {
+  const std::size_t n = std::min(trailing, stats.size());
+  double bad = 0.0, total = 0.0;
+  for (std::size_t i = stats.size() - n; i < stats.size(); ++i) {
+    bad += stats[i].bad;
+    total += stats[i].total;
+  }
+  if (total <= 0.0) return 0.0;
+  return (bad / total) / (1.0 - objective);
+}
+
+}  // namespace coop::obs::telemetry

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coop/obs/log/flight_recorder.hpp"
+#include "coop/obs/metrics.hpp"
+
+/// \file slo.hpp
+/// Declarative service-level objectives over windowed metric deltas, with
+/// multi-window burn-rate alerting in the Google-SRE style.
+///
+/// An `SloSpec` names which series of a telemetry window count as "bad" and
+/// "total" events:
+///
+///  * availability — bad/total are two counter series (e.g. errors over
+///    requests); the objective is the good fraction (0.99 = "at most 1% of
+///    requests may fail over the SLO period").
+///  * latency — one histogram series plus an inclusive threshold; a window's
+///    good events are the observations that landed in buckets whose upper
+///    bound is <= the threshold, bad = the rest. (Deterministic producers
+///    observe *logical* cost — work units, not wall time — so the latency
+///    objective stays byte-reproducible.)
+///
+/// Burn rate is error-budget consumption speed: with objective `o`, the
+/// budget is the `1 - o` bad fraction the SLO tolerates over its period, and
+///
+///     burn(range) = (bad(range) / total(range)) / (1 - o)
+///
+/// so burn 1.0 consumes the budget exactly at period's end, burn 10 exhausts
+/// it in a tenth of the period. A `BurnRateRule` fires when the burn over
+/// its `long_windows` trailing windows AND over its `short_windows` trailing
+/// windows (the fast-reset confirmation window) both reach the threshold at
+/// which `budget_fraction` of the period budget would be consumed within the
+/// long window:
+///
+///     threshold = budget_fraction * period_windows / long_windows
+///
+/// — the workbook's "x% of budget in y time" construction, on a logical
+/// window axis instead of wall hours. Rules are edge-triggered: an alert
+/// event fires on the window where the condition first holds and a resolve
+/// event on the window where it first clears.
+
+namespace coop::obs::telemetry {
+
+/// One multi-window burn-rate alerting rule of an SLO.
+struct BurnRateRule {
+  std::string label = "fast";  ///< names the rule in alerts ("fast"/"slow")
+  /// Fraction of the period's error budget whose consumption within
+  /// `long_windows` fires the rule (0.05 = the fast 5%-budget rule).
+  double budget_fraction = 0.05;
+  std::size_t long_windows = 2;   ///< trailing windows of the main condition
+  std::size_t short_windows = 1;  ///< trailing windows of the confirmation
+  /// Severity of the fired alert's flight-recorder event (resolves are
+  /// always kInfo).
+  log::Severity severity = log::Severity::kError;
+
+  /// burn-rate threshold for an SLO evaluated over `period_windows`.
+  [[nodiscard]] double threshold(std::size_t period_windows) const;
+
+  void validate() const;  ///< throws std::invalid_argument
+};
+
+/// The conventional two-rule set: a fast 5%-budget page (2-window burn
+/// confirmed over 1) and a slow 1%-budget ticket (8-window burn confirmed
+/// over 2).
+[[nodiscard]] std::vector<BurnRateRule> default_burn_rules();
+
+/// One declarative objective evaluated per telemetry window.
+struct SloSpec {
+  enum class Kind : std::uint8_t { kAvailability = 0, kLatency = 1 };
+
+  std::string name;  ///< alert + artifact identifier, e.g. "availability"
+  Kind kind = Kind::kAvailability;
+  double objective = 0.99;  ///< good fraction in (0, 1)
+
+  /// availability: the two counter series (by metric name + labels).
+  std::string total_metric;
+  Labels total_labels;
+  std::string bad_metric;
+  Labels bad_labels;
+
+  /// latency: the histogram series and the inclusive good-bucket threshold
+  /// (observations in buckets with upper bound <= threshold are good; the
+  /// overflow bucket is always bad).
+  std::string latency_metric;
+  Labels latency_labels;
+  double latency_threshold = 0.0;
+
+  std::vector<BurnRateRule> rules = default_burn_rules();
+
+  void validate() const;  ///< throws std::invalid_argument
+};
+
+[[nodiscard]] const char* to_string(SloSpec::Kind k) noexcept;
+
+/// One window's tally for one SLO.
+struct SloWindowStat {
+  double bad = 0.0;
+  double total = 0.0;
+  double burn = 0.0;  ///< (bad/total)/(1-objective); 0 when total == 0
+};
+
+/// Extracts `spec`'s (bad, total, burn) tally from one window's delta
+/// snapshot. Series the window does not contain count as 0.
+[[nodiscard]] SloWindowStat eval_slo_window(
+    const SloSpec& spec, const MetricsRegistry::Snapshot& delta);
+
+/// Burn rate pooled over a trailing range of window stats:
+/// (sum bad / sum total) / (1 - objective); 0 when no events landed.
+[[nodiscard]] double pooled_burn(const std::vector<SloWindowStat>& stats,
+                                 std::size_t trailing, double objective);
+
+/// One edge of an alert timeline: fired (rising) or resolved (falling).
+struct SloAlert {
+  std::uint64_t window = 0;  ///< window index where the edge occurred
+  std::string slo;           ///< SloSpec::name
+  std::string rule;          ///< BurnRateRule::label
+  bool fired = true;         ///< false = resolve edge
+  double burn_long = 0.0;    ///< pooled burn over the rule's long range
+  double burn_short = 0.0;   ///< pooled burn over the short range
+  double threshold = 0.0;
+};
+
+}  // namespace coop::obs::telemetry

@@ -12,6 +12,7 @@
 
 #include "coop/core/sim_error.hpp"
 #include "coop/obs/metrics.hpp"
+#include "coop/obs/telemetry/sampler.hpp"
 #include "coop/service/scenario_server.hpp"
 
 namespace coop::service {
@@ -84,23 +85,38 @@ std::vector<Group> build_schedule(const LoadgenConfig& cfg) {
 /// counter the live run must report. Groups execute one after another (the
 /// generator only overlaps requests *within* a group), so the prediction is
 /// exact, not probabilistic.
+bool in_error_burst(const LoadgenConfig& cfg, std::size_t group_index) {
+  return cfg.error_burst_groups > 0 &&
+         group_index >= static_cast<std::size_t>(cfg.error_burst_start) &&
+         group_index < static_cast<std::size_t>(cfg.error_burst_start) +
+                           static_cast<std::size_t>(cfg.error_burst_groups);
+}
+
 LoadgenCounters replay(const LoadgenConfig& cfg,
                        const std::vector<Group>& schedule) {
   LoadgenCounters c;
   std::list<int> mru;  // front = most recently used scenario index
-  for (const Group& g : schedule) {
+  for (std::size_t gi = 0; gi < schedule.size(); ++gi) {
+    const Group& g = schedule[gi];
     c.requests += static_cast<std::uint64_t>(g.fanout);
     const auto it = std::find(mru.begin(), mru.end(), g.scenario);
     if (it != mru.end()) {
-      // Cached: every member of the group hits.
+      // Cached: every member of the group hits. (A cached scenario never
+      // reaches the execution hook, so the error burst cannot touch it.)
       c.hits += static_cast<std::uint64_t>(g.fanout);
       mru.splice(mru.begin(), mru, it);
       continue;
     }
     // Cold: one leader executes, the rest of the burst coalesces onto it.
     c.executions += 1;
-    c.misses += 1;
     c.coalesced += static_cast<std::uint64_t>(g.fanout - 1);
+    if (in_error_burst(cfg, gi)) {
+      // The injected failure fans out to every waiter; the cache is never
+      // poisoned, so the scenario stays cold for later groups.
+      c.errors += 1;
+      continue;
+    }
+    c.misses += 1;
     c.cache_insertions += 1;
     mru.push_front(g.scenario);
     if (mru.size() > cfg.cache_capacity) {
@@ -136,6 +152,8 @@ void LoadgenConfig::validate() const {
   if (cache_capacity == 0) bad("cache_capacity must be >= 1");
   if (dim < 1) bad("dim must be >= 1");
   if (timesteps < 1) bad("timesteps must be >= 1");
+  if (error_burst_start < 0) bad("error_burst_start must be >= 0");
+  if (error_burst_groups < 0) bad("error_burst_groups must be >= 0");
 }
 
 LoadgenReport run_loadgen(const LoadgenConfig& config,
@@ -154,8 +172,10 @@ LoadgenReport run_loadgen(const LoadgenConfig& config,
   // burst is registered as a waiter on its flight. Plain requests (expected
   // waiters 0) pass straight through.
   std::atomic<int> expected_waiters{0};
+  std::atomic<std::size_t> current_group{0};
   ScenarioServerConfig server_config;
   server_config.cache_capacity = config.cache_capacity;
+  server_config.telemetry = config.telemetry;
   ScenarioServer* server_ptr = nullptr;
   server_config.execution_hook = [&](const ScenarioQuery&,
                                      const std::string& key) {
@@ -163,6 +183,12 @@ LoadgenReport run_loadgen(const LoadgenConfig& config,
         static_cast<std::uint64_t>(expected_waiters.load());
     while (server_ptr->inflight_waiters(key) < want)
       std::this_thread::yield();
+    // The synthetic error burst rides the hook *after* the rendezvous, so
+    // every burst member has attached before the leader's failure fans out
+    // — the coalesce count stays exact even for errored groups.
+    if (in_error_burst(config, current_group.load()))
+      core::throw_sim_error(core::SimErrorKind::kFaultUnrecoverable,
+                            "loadgen: injected error burst");
   };
   ScenarioServer server(std::move(server_config));
   server_ptr = &server;
@@ -178,7 +204,14 @@ LoadgenReport run_loadgen(const LoadgenConfig& config,
 
   const auto timed_submit = [&](const ScenarioQuery& q, double now) {
     const auto t0 = std::chrono::steady_clock::now();
-    const ScenarioResponse resp = server.submit(q, now);
+    ScenarioResponse resp;
+    try {
+      resp = server.submit(q, now);
+    } catch (const std::runtime_error&) {
+      // Injected error-burst failure (leader or fanned-out waiter): the
+      // server already counted it; errored requests have no latency series.
+      return;
+    }
     const double us =
         std::chrono::duration<double, std::micro>(
             std::chrono::steady_clock::now() - t0)
@@ -194,23 +227,43 @@ LoadgenReport run_loadgen(const LoadgenConfig& config,
   };
 
   const auto wall0 = std::chrono::steady_clock::now();
+  std::uint64_t issued = 0;
+  // Quiescent-point telemetry tick: between groups no request is in flight,
+  // so the sampler sees exactly the schedule's counter state — the cadence
+  // axis is cumulative requests, never wall clock (DESIGN.md 14).
+  const auto telemetry_tick = [&] {
+    if (config.telemetry == nullptr) return;
+    auto& tm = config.telemetry->metrics();
+    const ScenarioServer::Stats st = server.stats();
+    tm.gauge("service.cache_entries")
+        .set(static_cast<double>(server.cache().size()));
+    tm.gauge("service.hit_ratio")
+        .set(st.requests > 0
+                 ? static_cast<double>(st.hits) /
+                       static_cast<double>(st.requests)
+                 : 0.0);
+    config.telemetry->tick(static_cast<double>(issued));
+  };
   for (std::size_t g = 0; g < schedule.size(); ++g) {
     const Group& grp = schedule[g];
     const ScenarioQuery q = scenario_of(config, grp.scenario);
     const double now = static_cast<double>(g);  // logical seconds
+    current_group.store(g);
     if (grp.fanout == 1) {
       expected_waiters.store(0);
       timed_submit(q, now);
-      continue;
+    } else {
+      // A cached key never reaches the hook, so the rendezvous target only
+      // matters on a miss — where all fanout-1 followers must coalesce.
+      expected_waiters.store(grp.fanout - 1);
+      std::vector<std::thread> clients;
+      clients.reserve(static_cast<std::size_t>(grp.fanout));
+      for (int t = 0; t < grp.fanout; ++t)
+        clients.emplace_back([&] { timed_submit(q, now); });
+      for (std::thread& t : clients) t.join();
     }
-    // A cached key never reaches the hook, so the rendezvous target only
-    // matters on a miss — where all fanout-1 followers must coalesce.
-    expected_waiters.store(grp.fanout - 1);
-    std::vector<std::thread> clients;
-    clients.reserve(static_cast<std::size_t>(grp.fanout));
-    for (int t = 0; t < grp.fanout; ++t)
-      clients.emplace_back([&] { timed_submit(q, now); });
-    for (std::thread& t : clients) t.join();
+    issued += static_cast<std::uint64_t>(grp.fanout);
+    telemetry_tick();
   }
   report.wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wall0)
@@ -256,6 +309,14 @@ LoadgenReport run_loadgen(const LoadgenConfig& config,
   server.write_service_stats(stats_os);
   report.service_stats_json = stats_os.str();
 
+  if (config.telemetry != nullptr) {
+    config.telemetry->flush(static_cast<double>(issued));
+    std::ostringstream tel_os;
+    config.telemetry->write_json(tel_os);
+    tel_os << '\n';
+    report.telemetry_json = tel_os.str();
+  }
+
   if (metrics != nullptr) {
     server.publish_metrics(*metrics);
     report.publish_metrics(*metrics);
@@ -289,6 +350,25 @@ void LoadgenReport::publish_metrics(obs::MetricsRegistry& metrics) const {
   set("loadgen.mean_hit_us", mean_hit_us);
   set("loadgen.mean_cold_us", mean_cold_us);
   set("loadgen.hit_speedup", hit_speedup);
+}
+
+std::vector<obs::telemetry::SloSpec> default_service_slos() {
+  namespace tel = obs::telemetry;
+  tel::SloSpec avail;
+  avail.name = "availability";
+  avail.kind = tel::SloSpec::Kind::kAvailability;
+  avail.objective = 0.99;
+  avail.total_metric = "service.requests_total";
+  avail.bad_metric = "service.outcome_total";
+  avail.bad_labels = obs::Labels{{"outcome", "error"}};
+
+  tel::SloSpec fast_path;
+  fast_path.name = "fast-path";
+  fast_path.kind = tel::SloSpec::Kind::kLatency;
+  fast_path.objective = 0.50;
+  fast_path.latency_metric = "service.work_steps";
+  fast_path.latency_threshold = 0.0;
+  return {avail, fast_path};
 }
 
 }  // namespace coop::service

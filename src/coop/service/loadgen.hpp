@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 /// \file loadgen.hpp
 /// Deterministic load generator for the scenario service daemon.
@@ -33,6 +34,11 @@ namespace coop::obs {
 class MetricsRegistry;
 }  // namespace coop::obs
 
+namespace coop::obs::telemetry {
+class TelemetrySampler;
+struct SloSpec;
+}  // namespace coop::obs::telemetry
+
 namespace coop::service {
 
 struct LoadgenConfig {
@@ -49,8 +55,37 @@ struct LoadgenConfig {
   /// lookup: 30 steps is ~0.6 ms cold vs ~1 us hit.
   int timesteps = 30;
 
+  /// Optional windowed telemetry (not owned; nullptr = none). The generator
+  /// wires the sampler into the server (which records the deterministic
+  /// per-request series) and *itself* ticks the sampler's request-count
+  /// cadence axis between groups — a quiescent point where no request is in
+  /// flight — then flushes the final partial window. The replay counter
+  /// gate plus driver-side ticking make the resulting coophet.telemetry
+  /// artifact byte-identical across reruns.
+  obs::telemetry::TelemetrySampler* telemetry = nullptr;
+
+  /// Synthetic error-burst fixture for the burn-rate alert tests: the cold
+  /// executions of groups in [error_burst_start, error_burst_start +
+  /// error_burst_groups) fail unrecoverably, so their leaders — and every
+  /// coalesced burst member — receive the typed error. Failed executions
+  /// never populate the cache, so a burst starting at group 0 makes the
+  /// first `error_burst_groups` groups all-error: the alert window is
+  /// pinned by construction. 0 groups = no burst.
+  int error_burst_start = 0;
+  int error_burst_groups = 0;
+
   void validate() const;  ///< throws kConfig on nonsensical values
 };
+
+/// The default service SLO set the loadgen CLI and the tests evaluate:
+///  * "availability" — errors over requests, objective 0.99.
+///  * "fast-path"    — latency objective over the deterministic
+///    service.work_steps histogram with threshold 0 ("at least half of the
+///    served requests ride the free hit/coalesced path"), objective 0.50 —
+///    a clock-free stand-in for a latency SLO, since hit-vs-cold wall time
+///    is exactly what the work-unit histogram models.
+/// Both carry the default fast (5%-budget) + slow (1%-budget) burn rules.
+[[nodiscard]] std::vector<obs::telemetry::SloSpec> default_service_slos();
 
 /// The counters the replay predicts and the live run must reproduce.
 struct LoadgenCounters {
@@ -61,7 +96,7 @@ struct LoadgenCounters {
   std::uint64_t coalesced = 0;
   std::uint64_t shed_rate = 0;
   std::uint64_t shed_queue_full = 0;
-  std::uint64_t errors = 0;
+  std::uint64_t errors = 0;  ///< failed executions (one per errored group)
   std::uint64_t cache_insertions = 0;
   std::uint64_t cache_evictions = 0;
 
@@ -100,6 +135,11 @@ struct LoadgenReport {
   /// The server's `coophet.service_stats` v2 artifact, captured after the
   /// run (so the CLI can write it without keeping the server alive).
   std::string service_stats_json;
+
+  /// The sampler's `coophet.telemetry` v1 artifact, captured after the
+  /// final window flush (empty when no sampler was attached). Byte-identical
+  /// across reruns of the same config.
+  std::string telemetry_json;
 
   /// Writes `loadgen.*` gauges (counters, per-outcome percentiles labeled
   /// outcome=hit|miss|coalesced, QPS, speedup, expectation verdict) into

@@ -10,6 +10,7 @@
 #include "coop/obs/artifact_io.hpp"
 #include "coop/obs/json.hpp"
 #include "coop/obs/run_report.hpp"
+#include "coop/obs/telemetry/sampler.hpp"
 #include "coop/obs/trace.hpp"
 #include "coop/service/config_key.hpp"
 
@@ -46,6 +47,14 @@ const std::vector<double>& service_latency_bounds() {
   static const std::vector<double> bounds{
       10.0,     31.6,     100.0,    316.0,     1000.0,   3162.0,
       10000.0,  31623.0,  100000.0, 316228.0,  1.0e6};
+  return bounds;
+}
+
+const std::vector<double>& service_work_step_bounds() {
+  // Logical timesteps per request: bound 0 catches the free outcomes (hit,
+  // coalesced), the doubling ladder the cold-run costs.
+  static const std::vector<double> bounds{0.0,  8.0,   16.0,  32.0,
+                                          64.0, 128.0, 256.0};
   return bounds;
 }
 
@@ -197,6 +206,7 @@ ScenarioResponse ScenarioServer::submit(const ScenarioQuery& query, double now,
                 "cache:hit", {{"bytes", static_cast<double>(bytes->size())}});
       trace_span(cid, "cache-hit", t_submit);
       observe_latency("hit", us_since(t_submit));
+      observe_telemetry("hit", query);
       return {ServeOutcome::kHit, key, std::move(bytes), cid};
     }
     if (const auto it = inflight_.find(key); it != inflight_.end()) {
@@ -219,12 +229,14 @@ ScenarioResponse ScenarioServer::submit(const ScenarioQuery& query, double now,
           fw.record(flog::Severity::kWarn, flog::Component::kAdmission, now,
                     "admission:shed_rate");
           observe_latency("shed", us_since(t_submit));
+          observe_telemetry("shed", query);
           return {ServeOutcome::kShedRate, key, nullptr, cid};
         case AdmissionDecision::kShedQueueFull:
           ++stats_.shed_queue_full;
           fw.record(flog::Severity::kWarn, flog::Component::kAdmission, now,
                     "admission:shed_queue_full");
           observe_latency("shed", us_since(t_submit));
+          observe_telemetry("shed", query);
           return {ServeOutcome::kShedQueueFull, key, nullptr, cid};
         case AdmissionDecision::kQueued:
           ticket = std::make_shared<QueuedTicket>();
@@ -256,6 +268,7 @@ ScenarioResponse ScenarioServer::submit(const ScenarioQuery& query, double now,
                       static_cast<int>(err.kind))}});
       trace_span(cid, "coalesce-wait", t_submit);
       observe_latency("error", us_since(t_submit));
+      observe_telemetry("error", query);
       core::throw_sim_error(err.kind, err.context, err.cell);
     }
     ResultCache::Bytes bytes = flight->bytes;
@@ -264,6 +277,7 @@ ScenarioResponse ScenarioServer::submit(const ScenarioQuery& query, double now,
               "dedup:served");
     trace_span(cid, "coalesce-wait", t_submit);
     observe_latency("coalesced", us_since(t_submit));
+    observe_telemetry("coalesced", query);
     return {ServeOutcome::kCoalesced, key, std::move(bytes), cid};
   }
 
@@ -353,6 +367,7 @@ ScenarioResponse ScenarioServer::run_as_leader(
       flight->cv.notify_all();
       trace_span(cid, "execute", t_exec);
       observe_latency("error", us_since(t_submit));
+      observe_telemetry("error", query);
       throw;  // the leader rethrows the original typed exception
     }
   }
@@ -377,7 +392,30 @@ ScenarioResponse ScenarioServer::run_as_leader(
   flight->cv.notify_all();
   trace_span(cid, "execute", t_exec);
   observe_latency("miss", us_since(t_submit));
+  observe_telemetry("miss", query);
   return {ServeOutcome::kMiss, key, std::move(bytes), cid};
+}
+
+void ScenarioServer::observe_telemetry(const char* outcome,
+                                       const ScenarioQuery& query) const {
+  if (config_.telemetry == nullptr) return;
+  // Logical cost only: a cold run (or a failed one) simulates the query's
+  // timesteps; hits and coalesced joins ride an existing execution. Wall
+  // time never reaches this registry — that is what keeps the telemetry
+  // artifact byte-identical across reruns.
+  const std::string_view o(outcome);
+  std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  auto& m = config_.telemetry->metrics();
+  m.counter("service.requests_total").add();
+  m.counter("service.outcome_total", obs::Labels{{"outcome", outcome}}).add();
+  if (o != "shed") {
+    const double work =
+        (o == "miss" || o == "error")
+            ? static_cast<double>(query.timesteps)
+            : 0.0;
+    m.histogram("service.work_steps", service_work_step_bounds())
+        .observe(work);
+  }
 }
 
 void ScenarioServer::observe_latency(const char* outcome, double us) const {

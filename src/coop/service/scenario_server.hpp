@@ -56,6 +56,10 @@ namespace coop::obs {
 class Tracer;
 }  // namespace coop::obs
 
+namespace coop::obs::telemetry {
+class TelemetrySampler;
+}  // namespace coop::obs::telemetry
+
 namespace coop::service {
 
 inline constexpr const char* kServiceStatsSchemaName = "coophet.service_stats";
@@ -161,6 +165,21 @@ struct ScenarioServerConfig {
   /// id is the correlation id — observability only, never byte-gated.
   obs::Tracer* tracer = nullptr;
 
+  /// Optional windowed telemetry sampler (not owned; may be nullptr). The
+  /// server records only *deterministic* per-request series into the
+  /// sampler's registry — service.requests_total, the per-outcome
+  /// service.outcome_total counters, and the service.work_steps histogram
+  /// of logical cost (a cold run or failed execution costs the query's
+  /// timesteps; hits and coalesced joins ride an existing execution and
+  /// cost 0; sheds are not served and observe nothing) — never wall-clock
+  /// latency, which stays in the service_stats artifact. The server NEVER
+  /// ticks the sampler: counter updates are commutative, so concurrent
+  /// bursts commute, and the *driver* (loadgen, a daemon loop) ticks the
+  /// request-count axis at quiescent points between groups. That split is
+  /// what makes telemetry artifacts byte-identical run to run (DESIGN.md
+  /// 14).
+  obs::telemetry::TelemetrySampler* telemetry = nullptr;
+
   void validate() const;  ///< throws kConfig on nonsensical values
 };
 
@@ -244,6 +263,9 @@ class ScenarioServer {
   /// Records `us` into the SLO histogram of `outcome` (one of the
   /// ServeOutcome names or "error"). Leaf lock: safe under `mutex_`.
   void observe_latency(const char* outcome, double us) const;
+  /// Bumps the deterministic telemetry series for one served request
+  /// (no-op without a sampler). Leaf lock: safe under `mutex_`.
+  void observe_telemetry(const char* outcome, const ScenarioQuery& query) const;
   /// Emits a service span [t0, now) on the request's track. Leaf lock.
   void trace_span(obs::log::CorrelationId cid, const char* name,
                   std::chrono::steady_clock::time_point t0) const;
@@ -273,6 +295,9 @@ class ScenarioServer {
 
   mutable std::mutex trace_mutex_;  ///< guards config_.tracer emission
   mutable std::mutex slo_mutex_;    ///< guards latency_
+  /// Guards config_.telemetry's registry: submit runs on many client
+  /// threads, and the sampler registry is externally synchronized.
+  mutable std::mutex telemetry_mutex_;
   /// Per-outcome request latency histograms (microseconds), fixed outcome
   /// set so metric cardinality is stable from the first snapshot.
   mutable std::vector<std::pair<const char*, obs::MetricsRegistry::Histogram>>
@@ -282,5 +307,10 @@ class ScenarioServer {
 /// Inclusive upper bounds (microseconds) of the service latency histograms:
 /// half-decade log spacing from 10us to 1s, overflow bucket past that.
 [[nodiscard]] const std::vector<double>& service_latency_bounds();
+
+/// Inclusive upper bounds (logical timesteps) of the deterministic
+/// service.work_steps telemetry histogram; bucket 0 holds the free
+/// outcomes (hit/coalesced), higher buckets the cold-run costs.
+[[nodiscard]] const std::vector<double>& service_work_step_bounds();
 
 }  // namespace coop::service

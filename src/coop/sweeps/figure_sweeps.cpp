@@ -236,6 +236,21 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
   // journal append). The hot path — running cells — never holds it.
   std::mutex supervision_mutex;
 
+  // Per-cell telemetry outcomes, collected race-free (each cell writes only
+  // its own slot) and replayed into the sampler in canonical cell order at
+  // finalize — live ticking would key windows on completion order, which
+  // the parallel executor does not determinize.
+  struct CellTelemetry {
+    enum Outcome : int { kNone = 0, kOk, kResumed, kQuarantined };
+    Outcome outcome = kNone;
+    int retries = 0;
+    double t = 0.0;  ///< cell makespan (simulated seconds); 0 on quarantine
+  };
+  std::vector<CellTelemetry> cell_telemetry(
+      options.telemetry != nullptr
+          ? static_cast<std::size_t>(curves.supervision.cells_total)
+          : 0);
+
   // One sweep cell = one `run_timed` call. Every write lands in distinct
   // members of `curves.points[pi]` (or `obs->points[pi]`), and `run_timed`
   // itself is re-entrant (see the contract in timed_sim.hpp), so cells may
@@ -266,6 +281,9 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
                   {{"point", static_cast<double>(pi)},
                    {"mode", static_cast<double>(mi)}});
         apply_cell_record(p, rec);
+        if (!cell_telemetry.empty())
+          cell_telemetry[static_cast<std::size_t>(cell_id)] = {
+              CellTelemetry::kResumed, 0, rec.t};
         std::lock_guard<std::mutex> lock(supervision_mutex);
         ++curves.supervision.resume_hits;
         if (options.metrics != nullptr)
@@ -321,6 +339,9 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
                   {{"attempt", static_cast<double>(attempt)},
                    {"t", r.makespan}});
         apply_cell_record(p, rec);
+        if (!cell_telemetry.empty())
+          cell_telemetry[static_cast<std::size_t>(cell_id)] = {
+              CellTelemetry::kOk, attempt - 1, r.makespan};
         if (options.metrics != nullptr || options.on_cell_complete) {
           std::lock_guard<std::mutex> lock(supervision_mutex);
           if (options.metrics != nullptr)
@@ -375,6 +396,9 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
           }
         }
         if (!options.quarantine_failures) throw;
+        if (!cell_telemetry.empty())
+          cell_telemetry[static_cast<std::size_t>(cell_id)] = {
+              CellTelemetry::kQuarantined, attempt - 1, 0.0};
         std::lock_guard<std::mutex> lock(supervision_mutex);
         curves.failed_cells.push_back(
             SweepCurves::FailedCell{pi, mode, std::move(err), attempt});
@@ -395,6 +419,30 @@ SweepCurves run_figure_sweep(const FigureSpec& spec,
                 if (a.point != b.point) return a.point < b.point;
                 return a.error.cell < b.error.cell;
               });
+    if (options.telemetry != nullptr) {
+      // Canonical-order replay: one tick per cell on the cell-count axis,
+      // byte-identical whatever order the executor completed them in.
+      auto& tm = options.telemetry->metrics();
+      for (std::size_t i = 0; i < cell_telemetry.size(); ++i) {
+        const CellTelemetry& ct = cell_telemetry[i];
+        if (ct.outcome == CellTelemetry::kNone) continue;
+        tm.counter("sweep.cells_total").add();
+        tm.counter(ct.outcome == CellTelemetry::kOk ? "sweep.cells_ok"
+                   : ct.outcome == CellTelemetry::kResumed
+                       ? "sweep.cells_resumed"
+                       : "sweep.cells_quarantined")
+            .add();
+        if (ct.retries > 0)
+          tm.counter("sweep.cell_retries").add(ct.retries);
+        if (ct.outcome != CellTelemetry::kQuarantined)
+          tm.histogram("sweep.cell_makespan_s",
+                       {0.05, 0.15, 0.5, 1.5, 5.0, 15.0, 50.0})
+              .observe(ct.t);
+        options.telemetry->tick(static_cast<double>(i + 1));
+      }
+      options.telemetry->flush(
+          static_cast<double>(cell_telemetry.size()));
+    }
     return std::move(curves);
   };
 
@@ -876,5 +924,33 @@ void run_fig10_bench() {
       "face neighbors and preserves the full x extent for every rank,\n"
       "unlike the 'square' 16-rank decomposition.\n");
 }
+
+namespace telemetry_defaults {
+
+std::vector<obs::telemetry::SloSpec> sweep_slos() {
+  using obs::telemetry::SloSpec;
+  std::vector<SloSpec> slos(2);
+  slos[0].name = "quarantine-rate";
+  slos[0].kind = SloSpec::Kind::kAvailability;
+  slos[0].objective = 0.9;
+  slos[0].total_metric = "sweep.cells_total";
+  slos[0].bad_metric = "sweep.cells_quarantined";
+  slos[1].name = "retry-rate";
+  slos[1].kind = SloSpec::Kind::kAvailability;
+  slos[1].objective = 0.8;
+  slos[1].total_metric = "sweep.cells_total";
+  slos[1].bad_metric = "sweep.cell_retries";
+  return slos;
+}
+
+obs::telemetry::TelemetryConfig sweep_telemetry_config(double window_cells) {
+  obs::telemetry::TelemetryConfig cfg;
+  cfg.axis = "cells";
+  cfg.window_width = window_cells;
+  cfg.slos = sweep_slos();
+  return cfg;
+}
+
+}  // namespace telemetry_defaults
 
 }  // namespace coop::sweeps

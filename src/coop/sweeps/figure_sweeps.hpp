@@ -14,6 +14,7 @@
 #include "coop/obs/log/flight_recorder.hpp"
 #include "coop/obs/metrics.hpp"
 #include "coop/obs/run_report.hpp"
+#include "coop/obs/telemetry/sampler.hpp"
 #include "coop/obs/trace.hpp"
 #include "coop/sweeps/sweep_executor.hpp"
 
@@ -173,7 +174,37 @@ struct SweepOptions {
   /// before the failure is recorded. Dump I/O failures are swallowed —
   /// a best-effort black box must not turn quarantine into sweep abort.
   std::string flight_dump_dir;
+
+  /// Optional windowed telemetry sampler (not owned; may be nullptr).
+  /// Under the parallel executor cells *complete* in nondeterministic
+  /// order, so the sweep never ticks live: each cell's outcome (ok /
+  /// resumed / quarantined, retries, makespan) is collected race-free and
+  /// replayed into the sampler in canonical cell order (cell_id = point *
+  /// modes + mode) when the sweep finishes, one tick per cell on the
+  /// cell-count axis. Telemetry artifacts are therefore byte-identical
+  /// across COOPHET_SWEEP_JOBS values (DESIGN.md 14). The sweep flushes
+  /// the final partial window itself. Series: sweep.cells_total,
+  /// sweep.cells_ok / _resumed / _quarantined, sweep.cell_retries, and
+  /// the sweep.cell_makespan_s histogram. Pure observation.
+  obs::telemetry::TelemetrySampler* telemetry = nullptr;
 };
+
+namespace telemetry_defaults {
+
+/// The SLO set supervised sweeps evaluate (sweep_resume --telemetry and
+/// the tests): quarantine-rate — at most 10% of cells may quarantine
+/// (objective 0.9 over sweep.cells_quarantined / sweep.cells_total) — and
+/// retry-rate — at most 20% of cells may burn retries (objective 0.8 over
+/// sweep.cell_retries / sweep.cells_total) — with the default fast+slow
+/// burn rules.
+[[nodiscard]] std::vector<obs::telemetry::SloSpec> sweep_slos();
+
+/// Ready-to-use sweep telemetry config: cell-count axis, `window_cells`
+/// cells per window, `sweep_slos()` attached.
+[[nodiscard]] obs::telemetry::TelemetryConfig sweep_telemetry_config(
+    double window_cells = 3.0);
+
+}  // namespace telemetry_defaults
 
 /// One figure's curves: mode -> (dims -> seconds).
 struct SweepCurves {

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "coop/core/timed_sim.hpp"
+#include "coop/obs/telemetry/sampler.hpp"
 
 namespace core = coop::core;
+namespace tel = coop::obs::telemetry;
 using coop::mesh::Box;
 
 namespace {
@@ -40,6 +42,36 @@ TEST(TimedSim, IterationRecordsMatchTimesteps) {
     sum += t;
   }
   EXPECT_NEAR(sum, r.makespan, 1e-9);
+}
+
+TEST(TimedSim, TelemetryTicksOnSimTimeAndIsPureObservation) {
+  const auto cfg = base_config(core::NodeMode::kHeterogeneous, 160, 240, 160);
+  const auto bare = core::run_timed(cfg);
+
+  // Window width in *simulated* seconds — the cadence axis is eng.now(),
+  // never wall clock, so the window layout is a pure function of the run.
+  tel::TelemetryConfig tcfg;
+  tcfg.axis = "sim_time";
+  tcfg.window_width = bare.makespan / 4.0;
+  tel::TelemetrySampler sampler(tcfg);
+  core::TimedConfig instrumented = cfg;
+  instrumented.telemetry = &sampler;
+  const auto r = core::run_timed(instrumented);
+  // The run does not flush; the caller closes the final partial window.
+  sampler.flush(r.makespan);
+
+  // Attaching the sampler never perturbs the schedule.
+  EXPECT_DOUBLE_EQ(r.makespan, bare.makespan);
+  EXPECT_EQ(r.iteration_times, bare.iteration_times);
+
+  // Four full windows plus (possibly) a partial tail; every iteration is
+  // attributed to exactly one window.
+  EXPECT_GE(sampler.windows().size(), 4u);
+  double iterations = 0.0;
+  for (const auto& w : sampler.windows())
+    for (const auto& s : w.delta.samples)
+      if (s.name == "sim.iterations") iterations += s.value;
+  EXPECT_DOUBLE_EQ(iterations, static_cast<double>(cfg.timesteps));
 }
 
 TEST(TimedSim, RuntimeGrowsWithProblemSize) {

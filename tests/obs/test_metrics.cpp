@@ -129,6 +129,81 @@ TEST(Metrics, WriteJsonIsStrictlyValidWithSchemaKeys) {
   }
 }
 
+TEST(Metrics, SnapshotSinceDeltasCountersKeepsGauges) {
+  obs::MetricsRegistry reg;
+  reg.counter("req").add(10);
+  reg.gauge("depth").set(5);
+  obs::MetricsRegistry::Snapshot prev;
+
+  // First call against a default-constructed prev: full values.
+  auto d1 = reg.snapshot_since(&prev, 1.0);
+  ASSERT_EQ(d1.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(d1.samples[1].value, 10.0);  // "req" counter
+  EXPECT_DOUBLE_EQ(d1.samples[0].value, 5.0);   // "depth" gauge
+
+  // Second call: counter reports only the change; the gauge reports its
+  // current reading (an instantaneous value has no meaningful delta).
+  reg.counter("req").add(3);
+  reg.gauge("depth").set(2);
+  auto d2 = reg.snapshot_since(&prev, 2.0);
+  EXPECT_DOUBLE_EQ(d2.sim_time, 2.0);
+  EXPECT_DOUBLE_EQ(d2.samples[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(d2.samples[0].value, 2.0);
+
+  // No activity: zero counter delta, gauge unchanged.
+  auto d3 = reg.snapshot_since(&prev, 3.0);
+  EXPECT_DOUBLE_EQ(d3.samples[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(d3.samples[0].value, 2.0);
+}
+
+TEST(Metrics, SnapshotSinceDeltasHistogramBuckets) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("lat", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  obs::MetricsRegistry::Snapshot prev;
+  (void)reg.snapshot_since(&prev, 1.0);
+
+  h.observe(0.5);
+  h.observe(100.0);  // overflow bucket
+  const auto d = reg.snapshot_since(&prev, 2.0);
+  ASSERT_EQ(d.samples.size(), 1u);
+  const auto& s = d.samples[0];
+  EXPECT_EQ(s.count, 2u);                    // only the new observations
+  EXPECT_DOUBLE_EQ(s.value, 100.5);          // delta of the sum
+  ASSERT_EQ(s.bucket_counts.size(), 3u);
+  EXPECT_EQ(s.bucket_counts[0], 1u);
+  EXPECT_EQ(s.bucket_counts[1], 0u);
+  EXPECT_EQ(s.bucket_counts[2], 1u);
+}
+
+TEST(Metrics, SnapshotSinceNewSeriesReportsFullValue) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").add(7);
+  obs::MetricsRegistry::Snapshot prev;
+  (void)reg.snapshot_since(&prev, 1.0);
+  // A series born mid-stream is absent from prev: its first delta is its
+  // full value, so nothing recorded between closes can be lost.
+  reg.counter("b", {{"rank", "1"}}).add(4);
+  const auto d = reg.snapshot_since(&prev, 2.0);
+  ASSERT_EQ(d.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.samples[0].value, 0.0);  // "a" unchanged
+  EXPECT_EQ(d.samples[1].name, "b");
+  EXPECT_DOUBLE_EQ(d.samples[1].value, 4.0);
+  // prev was advanced: b deltas from 4 now on.
+  reg.counter("b", {{"rank", "1"}}).add(1);
+  const auto d2 = reg.snapshot_since(&prev, 3.0);
+  EXPECT_DOUBLE_EQ(d2.samples[1].value, 1.0);
+}
+
+TEST(Metrics, SnapshotSinceNullPrevIsFullSnapshot) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").add(3);
+  const auto d = reg.snapshot_since(nullptr, 1.0);
+  ASSERT_EQ(d.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.samples[0].value, 3.0);
+}
+
 TEST(Metrics, ClearResetsEverything) {
   obs::MetricsRegistry reg;
   reg.counter("a").add(1);

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "coop/obs/log/flight_recorder.hpp"
+#include "coop/obs/telemetry/sampler.hpp"
+#include "coop/obs/telemetry/slo.hpp"
+#include "support/json_check.hpp"
+
+namespace obs = coop::obs;
+namespace tel = coop::obs::telemetry;
+namespace flog = coop::obs::log;
+namespace cj = coophet_test::json;
+
+namespace {
+
+tel::SloSpec availability_slo(double objective = 0.99) {
+  tel::SloSpec s;
+  s.name = "availability";
+  s.kind = tel::SloSpec::Kind::kAvailability;
+  s.objective = objective;
+  s.total_metric = "req";
+  s.bad_metric = "err";
+  return s;
+}
+
+// --- window mechanics -------------------------------------------------------
+
+TEST(TelemetrySampler, TickClosesCrossedWindowsAndAttributesDeltas) {
+  tel::TelemetryConfig cfg;
+  cfg.window_width = 10.0;
+  tel::TelemetrySampler ts(cfg);
+
+  ts.metrics().counter("req").add(4);
+  ts.tick(5.0);  // still inside window 0: nothing closes
+  EXPECT_TRUE(ts.windows().empty());
+
+  ts.metrics().counter("req").add(2);
+  ts.tick(10.0);  // boundary reached: window 0 = [0, 10) closes
+  ASSERT_EQ(ts.windows().size(), 1u);
+  EXPECT_EQ(ts.windows()[0].index, 0u);
+  EXPECT_DOUBLE_EQ(ts.windows()[0].axis_start, 0.0);
+  EXPECT_DOUBLE_EQ(ts.windows()[0].axis_end, 10.0);
+  ASSERT_EQ(ts.windows()[0].delta.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.windows()[0].delta.samples[0].value, 6.0);
+
+  // One tick crossing several boundaries: everything since the previous
+  // close lands in the *first* window closed by the tick, the later
+  // crossings close as empty windows, and the partially-entered window
+  // [30, 40) stays open — deterministic attribution.
+  ts.metrics().counter("req").add(7);
+  ts.tick(35.0);
+  ASSERT_EQ(ts.windows().size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.windows()[1].delta.samples[0].value, 7.0);
+  EXPECT_DOUBLE_EQ(ts.windows()[2].delta.samples[0].value, 0.0);
+  EXPECT_EQ(ts.windows_closed(), 3u);
+}
+
+TEST(TelemetrySampler, FlushClosesPartialFinalWindow) {
+  tel::TelemetryConfig cfg;
+  cfg.window_width = 10.0;
+  tel::TelemetrySampler ts(cfg);
+  ts.metrics().counter("req").add(3);
+  ts.flush(7.5);  // partial window [0, 7.5)
+  ASSERT_EQ(ts.windows().size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.windows()[0].axis_end, 7.5);
+  EXPECT_DOUBLE_EQ(ts.windows()[0].delta.samples[0].value, 3.0);
+  // Flush with no further axis progress is a no-op.
+  ts.flush(7.5);
+  EXPECT_EQ(ts.windows().size(), 1u);
+}
+
+TEST(TelemetrySampler, RingDropsOldestBeyondCapacity) {
+  tel::TelemetryConfig cfg;
+  cfg.window_width = 1.0;
+  cfg.max_windows = 3;
+  tel::TelemetrySampler ts(cfg);
+  ts.tick(5.0);  // closes windows 0..4
+  EXPECT_EQ(ts.windows().size(), 3u);
+  EXPECT_EQ(ts.windows()[0].index, 2u);  // 0 and 1 dropped
+  EXPECT_EQ(ts.windows_closed(), 5u);
+  EXPECT_EQ(ts.windows_dropped(), 2u);
+}
+
+// --- SLO / burn-rate math ---------------------------------------------------
+
+TEST(Slo, BurnThresholdMatchesWorkbookConstruction) {
+  const auto rules = tel::default_burn_rules();
+  ASSERT_EQ(rules.size(), 2u);
+  // fast: 5% of budget in 2 windows of a 100-window period -> 2.5
+  EXPECT_DOUBLE_EQ(rules[0].threshold(100), 2.5);
+  // slow: 1% of budget in 8 windows -> 0.125
+  EXPECT_DOUBLE_EQ(rules[1].threshold(100), 0.125);
+}
+
+TEST(Slo, EvalAvailabilityWindow) {
+  obs::MetricsRegistry reg;
+  reg.counter("req").add(200);
+  reg.counter("err").add(4);
+  const auto snap = reg.snapshot(0.0);
+  const auto stat = tel::eval_slo_window(availability_slo(0.99), snap);
+  EXPECT_DOUBLE_EQ(stat.total, 200.0);
+  EXPECT_DOUBLE_EQ(stat.bad, 4.0);
+  // burn = (4/200) / 0.01 = 2 (1 - objective is inexact in binary)
+  EXPECT_NEAR(stat.burn, 2.0, 1e-9);
+}
+
+TEST(Slo, EvalLatencyWindowCountsBucketsAboveThresholdAsBad) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // good (bucket <= 10)
+  h.observe(5.0);    // good
+  h.observe(50.0);   // bad (bucket bound 100 > 10)
+  h.observe(1e6);    // bad (overflow is always bad)
+  tel::SloSpec s;
+  s.name = "latency";
+  s.kind = tel::SloSpec::Kind::kLatency;
+  s.objective = 0.5;
+  s.latency_metric = "lat";
+  s.latency_threshold = 10.0;
+  const auto stat = tel::eval_slo_window(s, reg.snapshot(0.0));
+  EXPECT_DOUBLE_EQ(stat.total, 4.0);
+  EXPECT_DOUBLE_EQ(stat.bad, 2.0);
+  EXPECT_DOUBLE_EQ(stat.burn, 1.0);  // (2/4) / (1 - 0.5)
+}
+
+TEST(Slo, PooledBurnSpansTrailingWindows) {
+  std::vector<tel::SloWindowStat> stats = {
+      {0.0, 100.0, 0.0},  // clean window
+      {10.0, 100.0, 0.0},  // bad window
+  };
+  // Pooled over both: (10/200)/0.01 = 5; over the last 1: (10/100)/0.01 = 10.
+  EXPECT_NEAR(tel::pooled_burn(stats, 2, 0.99), 5.0, 1e-9);
+  EXPECT_NEAR(tel::pooled_burn(stats, 1, 0.99), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(tel::pooled_burn({}, 2, 0.99), 0.0);
+}
+
+// --- burn-rate alerting -----------------------------------------------------
+
+TEST(TelemetrySampler, ErrorBurstFiresFastRuleAtPinnedWindowAndResolves) {
+  tel::TelemetryConfig cfg;
+  cfg.window_width = 100.0;  // 100 requests per window
+  cfg.period_windows = 100;
+  cfg.slos = {availability_slo(0.99)};
+  tel::TelemetrySampler ts(cfg);
+
+  // Window 0: clean traffic.
+  ts.metrics().counter("req").add(100);
+  ts.tick(100.0);
+  EXPECT_TRUE(ts.alerts().empty());
+
+  // Window 1: synthetic error burst — 100% errors, burn = 100 >= 2.5. The
+  // fast rule pools over (long=2, short=1) trailing windows; both ranges
+  // include the burst, so the alert edge lands exactly in window 1.
+  ts.metrics().counter("req").add(100);
+  ts.metrics().counter("err").add(100);
+  ts.tick(200.0);
+  ASSERT_GE(ts.alerts().size(), 1u);
+  const tel::SloAlert& a = ts.alerts()[0];
+  EXPECT_EQ(a.window, 1u);
+  EXPECT_EQ(a.slo, "availability");
+  EXPECT_EQ(a.rule, "fast");
+  EXPECT_TRUE(a.fired);
+  EXPECT_DOUBLE_EQ(a.threshold, 2.5);
+  EXPECT_NEAR(a.burn_short, 100.0, 1e-6);
+
+  // The slow rule fired too (burn over 8 trailing windows is 50 >= 0.125).
+  ASSERT_EQ(ts.alerts().size(), 2u);
+  EXPECT_EQ(ts.alerts()[1].rule, "slow");
+
+  // Two clean windows: the fast rule's 1-window confirmation range is the
+  // fast reset — it clears on the first clean window — and the resolve edge
+  // is emitted exactly once (edge-triggered, not level).
+  ts.metrics().counter("req").add(100);
+  ts.tick(300.0);
+  ts.metrics().counter("req").add(100);
+  ts.tick(400.0);
+  bool fast_resolved = false;
+  for (const auto& al : ts.alerts())
+    if (al.rule == "fast" && !al.fired) {
+      EXPECT_FALSE(fast_resolved);
+      fast_resolved = true;
+      EXPECT_EQ(al.window, 2u);  // short range [w2] is burst-free
+    }
+  EXPECT_TRUE(fast_resolved);
+}
+
+TEST(TelemetrySampler, AlertsLandInFlightRecorderAsTelemetryComponent) {
+  flog::FlightRecorder recorder;
+  tel::TelemetryConfig cfg;
+  cfg.window_width = 10.0;
+  cfg.slos = {availability_slo(0.99)};
+  cfg.flight = &recorder;
+  tel::TelemetrySampler ts(cfg);
+  ts.metrics().counter("req").add(10);
+  ts.metrics().counter("err").add(10);
+  ts.tick(10.0);
+
+  const auto drained = recorder.drain();
+  bool saw_window = false, saw_page = false;
+  for (const auto& ev : drained.events) {
+    EXPECT_EQ(ev.component, flog::Component::kTelemetry);
+    EXPECT_EQ(ev.cid, tel::kTelemetryCid);
+    if (ev.name == "telemetry:window") saw_window = true;
+    if (ev.name == "alert:availability" &&
+        ev.severity == flog::Severity::kError) {
+      // The fast (paging) rule carries kError; the slow rule rides along
+      // at kWarn.
+      saw_page = true;
+      bool saw_kv_window = false;
+      for (const auto& [k, v] : ev.kv)
+        if (k == "window") {
+          saw_kv_window = true;
+          EXPECT_DOUBLE_EQ(v, 0.0);
+        }
+      EXPECT_TRUE(saw_kv_window);
+    }
+  }
+  EXPECT_TRUE(saw_window);
+  EXPECT_TRUE(saw_page);
+}
+
+// --- artifact ---------------------------------------------------------------
+
+std::string artifact_of(tel::TelemetrySampler& ts) {
+  std::ostringstream os;
+  ts.write_json(os);
+  return os.str();
+}
+
+void drive_exemplar(tel::TelemetrySampler& ts) {
+  for (int w = 0; w < 3; ++w) {
+    ts.metrics().counter("req").add(50);
+    if (w == 1) ts.metrics().counter("err").add(50);
+    ts.metrics().gauge("depth").set(static_cast<double>(w));
+    ts.metrics()
+        .histogram("work", {1.0, 10.0, 100.0})
+        .observe(w == 2 ? 50.0 : 5.0);
+    ts.tick(10.0 * (w + 1));
+  }
+  ts.metrics().counter("req").add(5);
+  ts.flush(35.0);
+}
+
+tel::TelemetryConfig exemplar_config() {
+  tel::TelemetryConfig cfg;
+  cfg.axis = "requests";
+  cfg.window_width = 10.0;
+  cfg.slos = {availability_slo(0.99)};
+  return cfg;
+}
+
+TEST(TelemetryArtifact, IsStrictJsonWithRegisteredSchemaAndExpectedKeys) {
+  tel::TelemetrySampler ts(exemplar_config());
+  drive_exemplar(ts);
+  const std::string text = artifact_of(ts);
+  const auto r = cj::parse(text);
+  ASSERT_TRUE(r.ok) << r.error << " at " << r.offset;
+  EXPECT_EQ(cj::check_artifact_schema(r.value, "coophet.telemetry"), "");
+  EXPECT_EQ(cj::first_missing_key(
+                r.value, {"axis", "window_width", "period_windows",
+                          "windows_closed", "windows_dropped", "windows",
+                          "series", "slos", "alerts"}),
+            "");
+  const auto* windows = r.value.find("windows");
+  ASSERT_TRUE(windows->is_array());
+  EXPECT_EQ(windows->array.size(), 4u);  // 3 full + 1 partial
+
+  // Every series array is exactly windows() long, zero-padded for windows
+  // that predate the series.
+  const auto* series = r.value.find("series");
+  ASSERT_TRUE(series->is_array());
+  ASSERT_EQ(series->array.size(), 4u);  // depth, err, req, work
+  for (const auto& s : series->array) {
+    EXPECT_EQ(cj::first_missing_key(s, {"name", "kind", "labels"}), "");
+    const std::string kind = s.find("kind")->str;
+    const char* key = kind == "histogram" ? "counts"
+                      : kind == "counter" ? "deltas"
+                                          : "values";
+    ASSERT_NE(s.find(key), nullptr) << s.find("name")->str;
+    EXPECT_EQ(s.find(key)->array.size(), 4u) << s.find("name")->str;
+  }
+  // The err counter was born in window 1: window 0 must be zero-padded.
+  for (const auto& s : series->array)
+    if (s.find("name")->str == "err") {
+      EXPECT_DOUBLE_EQ(s.find("deltas")->array[0].number, 0.0);
+      EXPECT_DOUBLE_EQ(s.find("deltas")->array[1].number, 50.0);
+      // rate = delta / window span
+      EXPECT_DOUBLE_EQ(s.find("rates")->array[1].number, 5.0);
+    }
+  // Histogram quantiles: window 2's single 50.0 observation lands in the
+  // 100-bound bucket, so every quantile reports that bucket's bound.
+  for (const auto& s : series->array)
+    if (s.find("name")->str == "work") {
+      EXPECT_DOUBLE_EQ(s.find("p99")->array[2].number, 100.0);
+    }
+
+  // SLO block: burst window burn = (50/50)/0.01 = 100; alert fired there.
+  const auto* slos = r.value.find("slos");
+  ASSERT_EQ(slos->array.size(), 1u);
+  EXPECT_NEAR(slos->array[0].find("burn")->array[1].number, 100.0, 1e-6);
+  const auto* alerts = r.value.find("alerts");
+  ASSERT_GE(alerts->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(alerts->array[0].find("window")->number, 1.0);
+  EXPECT_TRUE(alerts->array[0].find("fired")->boolean);
+}
+
+TEST(TelemetryArtifact, ByteIdenticalAcrossIdenticalRuns) {
+  tel::TelemetrySampler a(exemplar_config());
+  tel::TelemetrySampler b(exemplar_config());
+  drive_exemplar(a);
+  drive_exemplar(b);
+  EXPECT_EQ(artifact_of(a), artifact_of(b));
+}
+
+TEST(TelemetryArtifact, PrometheusTextExposesCumulativeState) {
+  tel::TelemetrySampler ts(exemplar_config());
+  drive_exemplar(ts);
+  std::ostringstream os;
+  ts.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE req counter"), std::string::npos);
+  EXPECT_NE(text.find("req 155"), std::string::npos);  // 3*50 + 5
+  EXPECT_NE(text.find("# TYPE work histogram"), std::string::npos);
+  EXPECT_NE(text.find("work_bucket{le=\"1\"}"), std::string::npos);
+  EXPECT_NE(text.find("work_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("work_count 3"), std::string::npos);
+}
+
+// --- validation -------------------------------------------------------------
+
+TEST(TelemetryConfig, ValidatesWindowAndSloShape) {
+  tel::TelemetryConfig cfg;
+  cfg.window_width = 0.0;
+  EXPECT_THROW(tel::TelemetrySampler{cfg}, std::invalid_argument);
+  cfg.window_width = 1.0;
+  cfg.max_windows = 0;
+  EXPECT_THROW(tel::TelemetrySampler{cfg}, std::invalid_argument);
+  cfg.max_windows = 16;
+  tel::SloSpec bad = availability_slo();
+  bad.objective = 1.0;  // budget would be zero
+  cfg.slos = {bad};
+  EXPECT_THROW(tel::TelemetrySampler{cfg}, std::invalid_argument);
+  bad.objective = 0.99;
+  bad.total_metric.clear();  // availability needs both counters
+  cfg.slos = {bad};
+  EXPECT_THROW(tel::TelemetrySampler{cfg}, std::invalid_argument);
+  tel::BurnRateRule r;
+  r.short_windows = 4;
+  r.long_windows = 2;  // confirmation window longer than the main one
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+/// ISSUE acceptance: windowed telemetry through the scenario service. The
+/// seeded loadgen must produce byte-identical `coophet.telemetry` artifacts
+/// across reruns (the series are counters of logical work, ticked at
+/// quiescent points — never wall clock), and the synthetic error-burst
+/// fixture must trip the fast burn-rate alert in its pinned window, visible
+/// in the artifact's alert timeline AND in a flight-recorder crash dump.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "coop/obs/log/flight_recorder.hpp"
+#include "coop/obs/telemetry/sampler.hpp"
+#include "coop/service/loadgen.hpp"
+#include "support/json_check.hpp"
+
+namespace flog = coop::obs::log;
+namespace tel = coop::obs::telemetry;
+namespace service = coop::service;
+namespace json = coophet_test::json;
+namespace fs = std::filesystem;
+
+namespace {
+
+service::LoadgenConfig small_config() {
+  service::LoadgenConfig cfg;
+  cfg.seed = 42;
+  cfg.groups = 40;
+  cfg.universe = 8;
+  cfg.cache_capacity = 4;
+  cfg.burst_every = 8;
+  cfg.burst_size = 3;
+  cfg.dim = 16;  // smallest extent every mode's rank decomposition accepts
+  cfg.timesteps = 4;
+  return cfg;
+}
+
+tel::TelemetryConfig telemetry_config(flog::FlightRecorder* flight = nullptr) {
+  tel::TelemetryConfig cfg;
+  cfg.axis = "requests";
+  cfg.window_width = 20.0;
+  cfg.slos = service::default_service_slos();
+  cfg.flight = flight;
+  return cfg;
+}
+
+TEST(ServiceTelemetry, LoadgenArtifactIsByteIdenticalAcrossReruns) {
+  const service::LoadgenConfig cfg = small_config();
+
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    tel::TelemetrySampler sampler(telemetry_config());
+    service::LoadgenConfig c = cfg;
+    c.telemetry = &sampler;
+    const service::LoadgenReport report = service::run_loadgen(c);
+    ASSERT_TRUE(report.expectations_match);
+    ASSERT_FALSE(report.telemetry_json.empty());
+    if (run == 0) {
+      first = report.telemetry_json;
+      // The artifact must be strict JSON with the registered schema.
+      const auto r = json::parse(first);
+      ASSERT_TRUE(r.ok) << r.error;
+      EXPECT_EQ(json::check_artifact_schema(r.value, "coophet.telemetry"),
+                "");
+      // Deterministic series landed: requests_total deltas sum to the
+      // replay-predicted request count.
+      const auto* series = r.value.find("series");
+      ASSERT_NE(series, nullptr);
+      double total = 0.0;
+      for (const auto& s : series->array)
+        if (s.find("name")->str == "service.requests_total")
+          for (const auto& d : s.find("deltas")->array) total += d.number;
+      EXPECT_DOUBLE_EQ(total,
+                       static_cast<double>(report.expected.requests));
+    } else {
+      EXPECT_EQ(report.telemetry_json, first)
+          << "telemetry artifact differs between identical reruns";
+    }
+  }
+}
+
+TEST(ServiceTelemetry, ErrorBurstTripsFastBurnAlertInPinnedWindow) {
+  flog::FlightRecorder recorder;
+  tel::TelemetrySampler sampler(telemetry_config(&recorder));
+  service::LoadgenConfig cfg = small_config();
+  cfg.telemetry = &sampler;
+  // Groups 0..4 fail unrecoverably. Errored executions never populate the
+  // cache, so every burst group is a cold miss -> error; with 20 requests
+  // per window the burst is fully inside window 0 — pinned by construction.
+  cfg.error_burst_start = 0;
+  cfg.error_burst_groups = 5;
+  const service::LoadgenReport report = service::run_loadgen(cfg);
+  ASSERT_TRUE(report.expectations_match);
+  EXPECT_GE(report.actual.errors, 5u);
+
+  // The alert timeline starts with the fast availability page at window 0.
+  ASSERT_FALSE(sampler.alerts().empty());
+  const tel::SloAlert& a = sampler.alerts()[0];
+  EXPECT_EQ(a.window, 0u);
+  EXPECT_EQ(a.slo, "availability");
+  EXPECT_EQ(a.rule, "fast");
+  EXPECT_TRUE(a.fired);
+  EXPECT_GE(a.burn_long, a.threshold);
+
+  // Same edge in the artifact's timeline.
+  const auto r = json::parse(report.telemetry_json);
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto* alerts = r.value.find("alerts");
+  ASSERT_NE(alerts, nullptr);
+  ASSERT_FALSE(alerts->array.empty());
+  EXPECT_DOUBLE_EQ(alerts->array[0].find("window")->number, 0.0);
+  EXPECT_EQ(alerts->array[0].find("slo")->str, "availability");
+  EXPECT_TRUE(alerts->array[0].find("fired")->boolean);
+
+  // And in a flight crash dump focused on the telemetry stream: the black
+  // box must show the alert that preceded the failure.
+  const fs::path dump =
+      fs::temp_directory_path() / "coophet_service_telemetry_dump.json";
+  recorder.dump_crash(dump.string(), "test_error_burst", tel::kTelemetryCid);
+  std::ifstream in(dump);
+  std::ostringstream os;
+  os << in.rdbuf();
+  fs::remove(dump);
+  const auto dumped = json::parse(os.str());
+  ASSERT_TRUE(dumped.ok) << dumped.error;
+  EXPECT_EQ(json::check_artifact_schema(dumped.value, "coophet.flight_log"),
+            "");
+  bool saw_alert = false;
+  for (const auto& ev : dumped.value.find("events")->array)
+    if (ev.find("name")->str == "alert:availability" &&
+        ev.find("comp")->str == "telemetry")
+      saw_alert = true;
+  EXPECT_TRUE(saw_alert);
+}
+
+TEST(ServiceTelemetry, CleanRunFiresNoAvailabilityAlert) {
+  tel::TelemetrySampler sampler(telemetry_config());
+  service::LoadgenConfig cfg = small_config();
+  cfg.telemetry = &sampler;
+  const service::LoadgenReport report = service::run_loadgen(cfg);
+  ASSERT_TRUE(report.expectations_match);
+  for (const auto& a : sampler.alerts())
+    EXPECT_NE(a.slo, "availability")
+        << "clean run tripped the availability SLO";
+}
+
+}  // namespace

@@ -329,6 +329,7 @@ struct SchemaSpec {
       // v2 added the "latency_us" SLO histogram block; v1 stays valid.
       {"coophet.service_stats", {1, 2}},
       {"coophet.flight_log", {1}},
+      {"coophet.telemetry", {1}},
   };
   return kSchemas;
 }

@@ -1,0 +1,131 @@
+/// ISSUE acceptance: windowed telemetry through the sweep harness. Cells
+/// complete in nondeterministic order under the parallel executor, so the
+/// sweep replays per-cell outcomes into the sampler in canonical cell order
+/// at finalize — the `coophet.telemetry` artifact must be byte-identical
+/// across fan-out widths, attaching a sampler must leave the curves
+/// bitwise untouched, and a poisoned cell must trip the quarantine-rate
+/// SLO's burn-rate alert.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "coop/core/sim_error.hpp"
+#include "coop/obs/telemetry/sampler.hpp"
+#include "coop/sweeps/figure_sweeps.hpp"
+#include "support/json_check.hpp"
+
+namespace core = coop::core;
+namespace sweeps = coop::sweeps;
+namespace tel = coop::obs::telemetry;
+namespace json = coophet_test::json;
+
+namespace {
+
+sweeps::FigureSpec small_spec() {
+  return sweeps::reduced(sweeps::figure_spec(18), 3);
+}
+
+std::string artifact_of(tel::TelemetrySampler& ts) {
+  std::ostringstream os;
+  ts.write_json(os);
+  return os.str();
+}
+
+bool curves_bitwise_equal(const sweeps::SweepCurves& a,
+                          const sweeps::SweepCurves& b) {
+  if (a.points.size() != b.points.size()) return false;
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (bits(a.points[i].t_default) != bits(b.points[i].t_default) ||
+        bits(a.points[i].t_mps) != bits(b.points[i].t_mps) ||
+        bits(a.points[i].t_hetero) != bits(b.points[i].t_hetero))
+      return false;
+  }
+  return true;
+}
+
+TEST(SweepTelemetry, ArtifactByteIdenticalAcrossJobCounts) {
+  const auto spec = small_spec();
+  std::string serial_artifact;
+  sweeps::SweepCurves serial_curves;
+  for (const int jobs : {1, 4}) {
+    tel::TelemetrySampler sampler(
+        sweeps::telemetry_defaults::sweep_telemetry_config());
+    sweeps::SweepOptions options;
+    options.timesteps = 4;
+    options.jobs = jobs;
+    options.telemetry = &sampler;
+    const auto curves = sweeps::run_figure_sweep(spec, options);
+    const std::string artifact = artifact_of(sampler);
+    // 9 cells (3 points x 3 modes) at 3 cells/window = 3 full windows.
+    EXPECT_EQ(sampler.windows().size(), 3u);
+    if (jobs == 1) {
+      serial_artifact = artifact;
+      serial_curves = curves;
+      const auto r = json::parse(artifact);
+      ASSERT_TRUE(r.ok) << r.error;
+      EXPECT_EQ(json::check_artifact_schema(r.value, "coophet.telemetry"),
+                "");
+    } else {
+      EXPECT_EQ(artifact, serial_artifact)
+          << "sweep telemetry differs between jobs=1 and jobs=" << jobs;
+      EXPECT_TRUE(curves_bitwise_equal(serial_curves, curves));
+    }
+  }
+}
+
+TEST(SweepTelemetry, AttachingSamplerLeavesCurvesBitwiseUnchanged) {
+  const auto spec = small_spec();
+  sweeps::SweepOptions bare;
+  bare.timesteps = 4;
+  bare.jobs = 1;
+  const auto bare_curves = sweeps::run_figure_sweep(spec, bare);
+
+  tel::TelemetrySampler sampler(
+      sweeps::telemetry_defaults::sweep_telemetry_config());
+  sweeps::SweepOptions instrumented = bare;
+  instrumented.telemetry = &sampler;
+  const auto curves = sweeps::run_figure_sweep(spec, instrumented);
+  EXPECT_TRUE(curves_bitwise_equal(bare_curves, curves));
+  // All nine cells replayed ok, none quarantined, no alert fired.
+  EXPECT_TRUE(sampler.alerts().empty());
+}
+
+TEST(SweepTelemetry, PoisonedCellTripsQuarantineRateAlert) {
+  const auto spec = small_spec();
+  tel::TelemetrySampler sampler(
+      sweeps::telemetry_defaults::sweep_telemetry_config());
+  sweeps::SweepOptions options;
+  options.timesteps = 4;
+  options.jobs = 2;
+  options.telemetry = &sampler;
+  options.cell_hook = [](std::size_t point, core::NodeMode mode, int) {
+    if (point == 1 && mode == core::NodeMode::kHeterogeneous)
+      core::throw_sim_error(core::SimErrorKind::kFaultUnrecoverable,
+                            "test: poisoned cell");
+  };
+  const auto curves = sweeps::run_figure_sweep(spec, options);
+  ASSERT_EQ(curves.failed_cells.size(), 1u);
+
+  // One quarantined cell in a 3-cell window burns (1/3)/0.1 = 3.33 of the
+  // quarantine-rate budget per window — past the fast rule's 2.5.
+  bool saw_quarantine_alert = false;
+  for (const auto& a : sampler.alerts())
+    if (a.slo == "quarantine-rate" && a.fired) saw_quarantine_alert = true;
+  EXPECT_TRUE(saw_quarantine_alert);
+
+  // The artifact carries the quarantine series with exactly one count.
+  const auto r = json::parse(artifact_of(sampler));
+  ASSERT_TRUE(r.ok) << r.error;
+  double quarantined = 0.0;
+  for (const auto& s : r.value.find("series")->array)
+    if (s.find("name")->str == "sweep.cells_quarantined")
+      for (const auto& d : s.find("deltas")->array) quarantined += d.number;
+  EXPECT_DOUBLE_EQ(quarantined, 1.0);
+}
+
+}  // namespace

@@ -6,12 +6,15 @@
 /// line in causal (cid, seq) order.
 ///
 ///   flight_log FILE [--cid N] [--component NAME] [--min-severity LEVEL]
-///                   [--last N]
+///                   [--window N] [--last N]
 ///
 ///   --cid N            keep only events of correlation id N
 ///   --component NAME   keep only one component (service, admission, cache,
-///                      sweep, run, fault)
+///                      sweep, run, fault, telemetry)
 ///   --min-severity L   drop events below L (debug, info, warn, error)
+///   --window N         keep only events whose kv carries window=N (the
+///                      telemetry sampler stamps every window-close and
+///                      burn-rate alert with its window index)
 ///   --last N           after the other filters, keep only the newest N
 ///                      events per correlation id
 ///
@@ -48,6 +51,7 @@ struct Options {
   long long cid = -1;          ///< -1 = any
   std::string component;       ///< empty = any
   int min_severity = 0;        ///< debug
+  long long window = -1;       ///< -1 = any; matches kv window=N
   long long last = -1;         ///< -1 = all
 };
 
@@ -80,6 +84,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
                      v);
         return false;
       }
+    } else if (arg == "--window") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.window = std::atoll(v);
     } else if (arg == "--last") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -97,7 +105,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
   if (opt.path.empty()) {
     std::fprintf(stderr,
                  "usage: flight_log FILE [--cid N] [--component NAME] "
-                 "[--min-severity LEVEL] [--last N]\n");
+                 "[--min-severity LEVEL] [--window N] [--last N]\n");
     return false;
   }
   return true;
@@ -162,6 +170,14 @@ int main(int argc, char** argv) {
       continue;
     if (!opt.component.empty() && comp->str != opt.component) continue;
     if (severity_rank(sev->str) < opt.min_severity) continue;
+    if (opt.window >= 0) {
+      const json::Value* kv = ev.find("kv");
+      const json::Value* w =
+          kv != nullptr && kv->is_object() ? kv->find("window") : nullptr;
+      if (w == nullptr || !w->is_number() ||
+          static_cast<long long>(w->number) != opt.window)
+        continue;
+    }
     kept.push_back(&ev);
   }
   if (opt.last >= 0) {

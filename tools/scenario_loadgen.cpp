@@ -11,6 +11,16 @@
 ///             same coophet.metrics snapshot instead of clobbering it.
 ///   argv[2] — service-stats output, default `service_stats.json`
 ///             (coophet.service_stats v2, straight from the server).
+///   argv[3] — telemetry output, default `telemetry.json` (coophet.telemetry
+///             v1: per-window request/outcome series on the request-count
+///             axis, the default service SLOs, and the burn-rate alert
+///             timeline). Byte-identical for identical knobs — the CI
+///             determinism gate runs the tool twice and `cmp`s the files.
+///   argv[4] — optional flight crash-dump output (coophet.flight_log v2).
+///             When given, the telemetry sampler records window closes and
+///             SLO alert edges into a flight recorder and the tool dumps it
+///             focused on the telemetry stream — `flight_log DUMP
+///             --component telemetry --window N` replays the alert history.
 ///
 /// Environment knobs (all optional):
 ///   COOPHET_LOADGEN_SEED             request-schedule seed      (default 42)
@@ -23,6 +33,10 @@
 ///   COOPHET_LOADGEN_DIM              scenario cube extent       (default 24)
 ///   COOPHET_LOADGEN_TIMESTEPS        per cold run               (default 30)
 ///   COOPHET_LOADGEN_MIN_HIT_SPEEDUP  acceptance floor           (default 100)
+///   COOPHET_LOADGEN_TELEMETRY_WINDOW requests per window        (default 50)
+///   COOPHET_LOADGEN_ERROR_BURST_START  first all-error group    (default 0)
+///   COOPHET_LOADGEN_ERROR_BURST_GROUPS groups in the injected   (default 0)
+///                                      error burst; 0 disables injection
 ///
 /// Exit status is the CI gate: nonzero when the live counters diverge from
 /// the serial-replay prediction (hit ratio and dedup-coalesce counts must
@@ -34,9 +48,12 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "coop/obs/artifact_io.hpp"
+#include "coop/obs/log/flight_recorder.hpp"
 #include "coop/obs/metrics.hpp"
+#include "coop/obs/telemetry/sampler.hpp"
 #include "coop/service/loadgen.hpp"
 #include "support/json_check.hpp"
 
@@ -109,6 +126,8 @@ void carry_over_metrics(const std::string& path, obs::MetricsRegistry& reg) {
 int main(int argc, char** argv) {
   const std::string metrics_path = argc > 1 ? argv[1] : "BENCH_harness.json";
   const std::string stats_path = argc > 2 ? argv[2] : "service_stats.json";
+  const std::string telemetry_path = argc > 3 ? argv[3] : "telemetry.json";
+  const std::string flight_dump_path = argc > 4 ? argv[4] : "";
 
   service::LoadgenConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(env_long("COOPHET_LOADGEN_SEED", 42));
@@ -124,6 +143,19 @@ int main(int argc, char** argv) {
   cfg.timesteps = static_cast<int>(env_long("COOPHET_LOADGEN_TIMESTEPS", 30));
   const double min_hit_speedup =
       env_double("COOPHET_LOADGEN_MIN_HIT_SPEEDUP", 100.0);
+  cfg.error_burst_start =
+      static_cast<int>(env_long("COOPHET_LOADGEN_ERROR_BURST_START", 0));
+  cfg.error_burst_groups =
+      static_cast<int>(env_long("COOPHET_LOADGEN_ERROR_BURST_GROUPS", 0));
+
+  obs::log::FlightRecorder recorder;
+  coop::obs::telemetry::TelemetryConfig tel_cfg;
+  tel_cfg.axis = "requests";
+  tel_cfg.window_width = env_double("COOPHET_LOADGEN_TELEMETRY_WINDOW", 50.0);
+  tel_cfg.slos = service::default_service_slos();
+  if (!flight_dump_path.empty()) tel_cfg.flight = &recorder;
+  coop::obs::telemetry::TelemetrySampler sampler(std::move(tel_cfg));
+  cfg.telemetry = &sampler;
 
   obs::MetricsRegistry reg;
   carry_over_metrics(metrics_path, reg);
@@ -170,12 +202,23 @@ int main(int argc, char** argv) {
     obs::atomic_write_file(stats_path, [&](std::ostream& os) {
       os << report.service_stats_json;
     });
+    obs::atomic_write_file(telemetry_path, [&](std::ostream& os) {
+      os << report.telemetry_json << '\n';
+    });
+    if (!flight_dump_path.empty())
+      recorder.dump_crash(flight_dump_path,
+                          sampler.alerts().empty() ? "loadgen_complete"
+                                                   : "slo_alert",
+                          coop::obs::telemetry::kTelemetryCid);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "scenario_loadgen: write failed: %s\n", e.what());
     return 1;
   }
-  std::printf("(metrics written to %s, service stats to %s)\n",
-              metrics_path.c_str(), stats_path.c_str());
+  std::printf("(metrics written to %s, service stats to %s, telemetry to "
+              "%s%s%s)\n",
+              metrics_path.c_str(), stats_path.c_str(), telemetry_path.c_str(),
+              flight_dump_path.empty() ? "" : ", flight dump to ",
+              flight_dump_path.c_str());
 
   if (!report.expectations_match) {
     const auto diff = [](const char* what, std::uint64_t got,

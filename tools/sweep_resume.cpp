@@ -53,7 +53,7 @@ using coop::core::NodeMode;
                "usage: %s --figure N --journal PATH [--max-points N] "
                "[--timesteps N] [--jobs N] [--poison P:MODE] "
                "[--exit-after N] [--faults] [--metrics PATH] "
-               "[--flight-dir DIR]\n",
+               "[--flight-dir DIR] [--telemetry PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   std::string journal_path;
   std::string metrics_path;
   std::string flight_dir;
+  std::string telemetry_path;
   std::size_t max_points = 0;
   int timesteps = 4;
   int jobs = 1;
@@ -113,6 +114,8 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (arg == "--flight-dir") {
       flight_dir = next();
+    } else if (arg == "--telemetry") {
+      telemetry_path = next();
     } else {
       usage(argv[0]);
     }
@@ -127,6 +130,8 @@ int main(int argc, char** argv) {
     const coop::fault::FaultPlan fault_plan = sweeps::exemplar_fault_plan();
     coop::obs::MetricsRegistry metrics;
     coop::obs::log::FlightRecorder flight;
+    coop::obs::telemetry::TelemetrySampler telemetry(
+        sweeps::telemetry_defaults::sweep_telemetry_config());
     sweeps::SweepOptions options;
     options.timesteps = timesteps;
     options.jobs = jobs;
@@ -136,6 +141,7 @@ int main(int argc, char** argv) {
       options.flight = &flight;
       options.flight_dump_dir = flight_dir;
     }
+    if (!telemetry_path.empty()) options.telemetry = &telemetry;
 
     coop::service::SweepJournal journal(journal_path, spec, options);
     const std::size_t journaled_before = journal.size();
@@ -202,6 +208,15 @@ int main(int argc, char** argv) {
         os << '\n';
       });
       std::printf("metrics=%s\n", metrics_path.c_str());
+    }
+    if (!telemetry_path.empty()) {
+      coop::obs::atomic_write_file(telemetry_path, [&](std::ostream& os) {
+        telemetry.write_json(os);
+        os << '\n';
+      });
+      std::printf("telemetry=%s windows=%zu alerts=%zu\n",
+                  telemetry_path.c_str(), telemetry.windows().size(),
+                  telemetry.alerts().size());
     }
     if (!flight_dir.empty()) {
       const std::string path = flight_dir + "/flight_sweep.json";

@@ -1,0 +1,286 @@
+/// Render CLI for `coophet.telemetry` artifacts (DESIGN.md section 14).
+///
+/// The artifact is arrays-of-arrays tuned for machines; this tool turns it
+/// back into the operator's view: one table per series (window range +
+/// delta/rate, gauge value, or histogram count/p50/p95/p99 per row), one
+/// table per SLO (bad/total + per-window burn), and a greppable alert
+/// timeline — the first place to look when a burn-rate rule fired.
+///
+///   telemetry_report FILE [--series NAME] [--slo NAME] [--alerts-only]
+///
+///   --series NAME   keep only series whose metric name is NAME
+///   --slo NAME      keep only the SLO named NAME
+///   --alerts-only   skip the series/SLO tables, print just the timeline
+///
+/// Alert lines are stable and grep-friendly:
+///   alert window=3 slo=availability rule=fast fired=1 burn=100 thr=2.5
+///
+/// Exit status: 0 on a valid artifact (even with zero windows or alerts),
+/// 1 on a missing/invalid/mis-schema'd file or bad flags.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json_check.hpp"
+
+namespace {
+
+namespace json = coophet_test::json;
+
+struct Options {
+  std::string path;
+  std::string series;  ///< empty = all
+  std::string slo;     ///< empty = all
+  bool alerts_only = false;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "telemetry_report: %s needs a value\n",
+                     arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--series") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.series = v;
+    } else if (arg == "--slo") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.slo = v;
+    } else if (arg == "--alerts-only") {
+      opt.alerts_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "telemetry_report: unknown flag %s\n",
+                   arg.c_str());
+      return false;
+    } else if (opt.path.empty()) {
+      opt.path = arg;
+    } else {
+      std::fprintf(stderr, "telemetry_report: more than one input file\n");
+      return false;
+    }
+  }
+  if (opt.path.empty()) {
+    std::fprintf(stderr,
+                 "usage: telemetry_report FILE [--series NAME] [--slo NAME] "
+                 "[--alerts-only]\n");
+    return false;
+  }
+  return true;
+}
+
+double num_at(const json::Value* arr, std::size_t i) {
+  if (arr == nullptr || !arr->is_array() || i >= arr->array.size())
+    return 0.0;
+  const json::Value& v = arr->array[i];
+  return v.is_number() ? v.number : 0.0;
+}
+
+std::string labels_suffix(const json::Value* labels) {
+  if (labels == nullptr || !labels->is_object() || labels->object.empty())
+    return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels->object.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels->object[i].first + "=";
+    out += labels->object[i].second.is_string()
+               ? labels->object[i].second.str
+               : "?";
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 1;
+
+  std::ifstream is(opt.path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "telemetry_report: cannot open %s\n",
+                 opt.path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const json::ParseResult parsed = json::parse(buf.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "telemetry_report: %s: %s\n", opt.path.c_str(),
+                 parsed.error.c_str());
+    return 1;
+  }
+  if (const std::string err =
+          json::check_artifact_schema(parsed.value, "coophet.telemetry");
+      !err.empty()) {
+    std::fprintf(stderr, "telemetry_report: %s: %s\n", opt.path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+
+  const json::Value& root = parsed.value;
+  const json::Value* axis = root.find("axis");
+  const json::Value* width = root.find("window_width");
+  const json::Value* closed = root.find("windows_closed");
+  const json::Value* dropped = root.find("windows_dropped");
+  const json::Value* windows = root.find("windows");
+  const json::Value* series = root.find("series");
+  const json::Value* slos = root.find("slos");
+  const json::Value* alerts = root.find("alerts");
+  if (windows == nullptr || !windows->is_array() || series == nullptr ||
+      !series->is_array() || slos == nullptr || !slos->is_array() ||
+      alerts == nullptr || !alerts->is_array()) {
+    std::fprintf(stderr, "telemetry_report: %s: missing artifact arrays\n",
+                 opt.path.c_str());
+    return 1;
+  }
+  const std::size_t nw = windows->array.size();
+  std::printf(
+      "# %s  axis=%s  window_width=%g  windows=%zu (closed=%.0f "
+      "dropped=%.0f)  series=%zu  alerts=%zu\n",
+      opt.path.c_str(),
+      axis != nullptr && axis->is_string() ? axis->str.c_str() : "?",
+      width != nullptr && width->is_number() ? width->number : 0.0, nw,
+      closed != nullptr && closed->is_number() ? closed->number : -1.0,
+      dropped != nullptr && dropped->is_number() ? dropped->number : -1.0,
+      series->array.size(), alerts->array.size());
+
+  const auto window_range = [&](std::size_t i, double* start, double* end,
+                                double* index) {
+    const json::Value& w = windows->array[i];
+    const json::Value* s = w.find("start");
+    const json::Value* e = w.find("end");
+    const json::Value* ix = w.find("index");
+    *start = s != nullptr && s->is_number() ? s->number : 0.0;
+    *end = e != nullptr && e->is_number() ? e->number : 0.0;
+    *index = ix != nullptr && ix->is_number() ? ix->number : 0.0;
+  };
+
+  if (!opt.alerts_only) {
+    for (const json::Value& s : series->array) {
+      const json::Value* name = s.find("name");
+      const json::Value* kind = s.find("kind");
+      if (name == nullptr || !name->is_string() || kind == nullptr ||
+          !kind->is_string())
+        continue;
+      if (!opt.series.empty() && name->str != opt.series) continue;
+      std::printf("\n== series %s%s (%s)\n", name->str.c_str(),
+                  labels_suffix(s.find("labels")).c_str(),
+                  kind->str.c_str());
+      if (kind->str == "histogram") {
+        std::printf("%6s %12s %12s %8s %10s %10s %10s %10s\n", "win",
+                    "start", "end", "count", "sum", "p50", "p95", "p99");
+        const json::Value* counts = s.find("counts");
+        const json::Value* sums = s.find("sums");
+        const json::Value* p50 = s.find("p50");
+        const json::Value* p95 = s.find("p95");
+        const json::Value* p99 = s.find("p99");
+        for (std::size_t i = 0; i < nw; ++i) {
+          double st = 0.0, en = 0.0, ix = 0.0;
+          window_range(i, &st, &en, &ix);
+          std::printf("%6.0f %12g %12g %8.0f %10g %10g %10g %10g\n", ix, st,
+                      en, num_at(counts, i), num_at(sums, i), num_at(p50, i),
+                      num_at(p95, i), num_at(p99, i));
+        }
+      } else if (kind->str == "counter") {
+        std::printf("%6s %12s %12s %12s %12s\n", "win", "start", "end",
+                    "delta", "rate");
+        const json::Value* deltas = s.find("deltas");
+        const json::Value* rates = s.find("rates");
+        for (std::size_t i = 0; i < nw; ++i) {
+          double st = 0.0, en = 0.0, ix = 0.0;
+          window_range(i, &st, &en, &ix);
+          std::printf("%6.0f %12g %12g %12g %12g\n", ix, st, en,
+                      num_at(deltas, i), num_at(rates, i));
+        }
+      } else {
+        std::printf("%6s %12s %12s %12s\n", "win", "start", "end", "value");
+        const json::Value* values = s.find("values");
+        for (std::size_t i = 0; i < nw; ++i) {
+          double st = 0.0, en = 0.0, ix = 0.0;
+          window_range(i, &st, &en, &ix);
+          std::printf("%6.0f %12g %12g %12g\n", ix, st, en,
+                      num_at(values, i));
+        }
+      }
+    }
+
+    for (const json::Value& s : slos->array) {
+      const json::Value* name = s.find("name");
+      const json::Value* kind = s.find("kind");
+      const json::Value* objective = s.find("objective");
+      if (name == nullptr || !name->is_string()) continue;
+      if (!opt.slo.empty() && name->str != opt.slo) continue;
+      std::printf("\n== slo %s (%s, objective=%g)\n", name->str.c_str(),
+                  kind != nullptr && kind->is_string() ? kind->str.c_str()
+                                                       : "?",
+                  objective != nullptr && objective->is_number()
+                      ? objective->number
+                      : 0.0);
+      const json::Value* rules = s.find("rules");
+      if (rules != nullptr && rules->is_array())
+        for (const json::Value& r : rules->array) {
+          const json::Value* label = r.find("label");
+          const auto field = [&r](const char* key) {
+            const json::Value* v = r.find(key);
+            return v != nullptr && v->is_number() ? v->number : 0.0;
+          };
+          std::printf(
+              "   rule %-6s budget=%g%% long=%.0f short=%.0f thr=%g\n",
+              label != nullptr && label->is_string() ? label->str.c_str()
+                                                     : "?",
+              field("budget_fraction") * 100.0, field("long_windows"),
+              field("short_windows"), field("threshold"));
+        }
+      std::printf("%6s %12s %12s %10s %10s %12s\n", "win", "start", "end",
+                  "bad", "total", "burn");
+      const json::Value* bad = s.find("bad");
+      const json::Value* total = s.find("total");
+      const json::Value* burn = s.find("burn");
+      for (std::size_t i = 0; i < nw; ++i) {
+        double st = 0.0, en = 0.0, ix = 0.0;
+        window_range(i, &st, &en, &ix);
+        std::printf("%6.0f %12g %12g %10g %10g %12g\n", ix, st, en,
+                    num_at(bad, i), num_at(total, i), num_at(burn, i));
+      }
+    }
+  }
+
+  std::printf("\n== alert timeline\n");
+  std::size_t shown = 0;
+  for (const json::Value& a : alerts->array) {
+    const json::Value* slo = a.find("slo");
+    if (slo == nullptr || !slo->is_string()) continue;
+    if (!opt.slo.empty() && slo->str != opt.slo) continue;
+    const json::Value* window = a.find("window");
+    const json::Value* rule = a.find("rule");
+    const json::Value* fired = a.find("fired");
+    const json::Value* burn_long = a.find("burn_long");
+    const json::Value* thr = a.find("threshold");
+    std::printf("alert window=%.0f slo=%s rule=%s fired=%d burn=%g thr=%g\n",
+                window != nullptr && window->is_number() ? window->number
+                                                         : -1.0,
+                slo->str.c_str(),
+                rule != nullptr && rule->is_string() ? rule->str.c_str()
+                                                     : "?",
+                fired != nullptr && fired->is_bool() && fired->boolean ? 1
+                                                                       : 0,
+                burn_long != nullptr && burn_long->is_number()
+                    ? burn_long->number
+                    : 0.0,
+                thr != nullptr && thr->is_number() ? thr->number : 0.0);
+    ++shown;
+  }
+  std::printf("# %zu alert transition(s)\n", shown);
+  return 0;
+}
