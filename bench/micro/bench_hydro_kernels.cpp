@@ -1,0 +1,112 @@
+/// A/B gate for the SoA hydro refactor: seed layout (seven independent
+/// arrays, every interior face's Rusanov flux evaluated twice per step)
+/// versus the production pooled-SoA face-sweep solver, on a Fig-18-
+/// proportioned blast problem. The interleaved best-of-N scheme, the
+/// bitwise-equivalence precheck, and the best-pair gate are documented in
+/// hydro_ab.hpp.
+///
+/// Output: `BENCH_hydro_kernels.json` (coophet.metrics schema v1) in the
+/// current directory, or at argv[1] when given. Environment knobs:
+///   COOPHET_HYDRO_NX/NY/NZ   — grid extents (default 100x96x32: Fig. 18's
+///                              smallest sweep point, x kept, 1/5 the
+///                              transverse resolution; the paper-size point
+///                              is NX=100 NY=480 NZ=160)
+///   COOPHET_HYDRO_STEPS      — hydro steps per timed sample (default 2)
+///   COOPHET_HYDRO_REPS       — A/B pairs                    (default 9)
+///   COOPHET_HYDRO_MIN_SPEEDUP — gate floor on the best-pair step-time
+///                              ratio seed/soa (default 1.3; the ISSUE's
+///                              acceptance threshold). Exit 1 below it, or
+///                              if the two solvers ever disagree bitwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "coop/obs/metrics.hpp"
+#include "hydro_ab.hpp"
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  if (const char* v = std::getenv(name))
+    if (const long n = std::atol(v); n >= 1) return n;
+  return fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  if (const char* v = std::getenv(name))
+    if (const double x = std::atof(v); x > 0.0) return x;
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace ab = coop::hydro::ab;
+  ab::AbConfig cfg;
+  cfg.nx = env_long("COOPHET_HYDRO_NX", cfg.nx);
+  cfg.ny = env_long("COOPHET_HYDRO_NY", cfg.ny);
+  cfg.nz = env_long("COOPHET_HYDRO_NZ", cfg.nz);
+  cfg.steps = static_cast<int>(env_long("COOPHET_HYDRO_STEPS", cfg.steps));
+  cfg.reps = static_cast<int>(env_long("COOPHET_HYDRO_REPS", cfg.reps));
+  const double floor = env_double("COOPHET_HYDRO_MIN_SPEEDUP", 1.3);
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_hydro_kernels.json";
+
+  const ab::AbResult r = ab::run(cfg);
+  if (!r.bitwise_identical) {
+    std::fprintf(stderr,
+                 "bench_hydro_kernels: SoA solver is NOT bitwise identical "
+                 "to the seed formulation on %ldx%ldx%ld — refusing to time "
+                 "divergent kernels\n",
+                 cfg.nx, cfg.ny, cfg.nz);
+    return 1;
+  }
+
+  const double mzps_seed = static_cast<double>(r.zones) / r.seed_cpu_s / 1e6;
+  const double mzps_soa = static_cast<double>(r.zones) / r.soa_cpu_s / 1e6;
+  std::printf("=== hydro step A/B: %ldx%ldx%ld (%llu zones), %d steps x %d "
+              "pairs ===\n",
+              cfg.nx, cfg.ny, cfg.nz,
+              static_cast<unsigned long long>(r.zones), cfg.steps, cfg.reps);
+  std::printf("seed layout (per-cell, 2x flux): %8.4f cpu-s/step "
+              "(%6.1f Mzones/s)\n",
+              r.seed_cpu_s, mzps_seed);
+  std::printf("SoA face-sweep (blocked, SIMD):  %8.4f cpu-s/step "
+              "(%6.1f Mzones/s)\n",
+              r.soa_cpu_s, mzps_soa);
+  std::printf("speedup: best-pair %.2fx, median %.2fx (floor %.2fx, "
+              "bitwise identical)\n",
+              r.speedup_best, r.speedup_median, floor);
+
+  coop::obs::MetricsRegistry reg;
+  reg.gauge("hydro.zones").set(static_cast<double>(r.zones));
+  reg.gauge("hydro.steps_per_sample").set(static_cast<double>(cfg.steps));
+  reg.gauge("hydro.step_cpu_s", coop::obs::Labels{{"layout", "seed"}})
+      .set(r.seed_cpu_s);
+  reg.gauge("hydro.step_cpu_s", coop::obs::Labels{{"layout", "soa"}})
+      .set(r.soa_cpu_s);
+  reg.gauge("hydro.step_speedup_best").set(r.speedup_best);
+  reg.gauge("hydro.step_speedup_median").set(r.speedup_median);
+  reg.gauge("hydro.step_speedup_floor").set(floor);
+  reg.gauge("hydro.bitwise_identical").set(1.0);
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "bench_hydro_kernels: cannot open %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  reg.write_json(os, 0.0);
+  os << '\n';
+  std::printf("(hydro kernel benchmark written to %s)\n", out_path.c_str());
+
+  if (r.speedup_best < floor) {
+    std::fprintf(stderr,
+                 "bench_hydro_kernels: best-pair speedup %.2fx is below the "
+                 "%.2fx floor\n",
+                 r.speedup_best, floor);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Vectorization lint for the hydro hot path (src/coop/hydro/soa_kernels.cpp).
+#
+# Every loop in that TU is annotated with COOPHET_PRAGMA_SIMD and the build
+# forces the full vectorizer on it (src/coop/hydro/CMakeLists.txt); this
+# script proves the compiler actually vectorized each one, so a future edit
+# that quietly breaks vectorization (a stray branch, an aliasing pointer, a
+# libm call with an errno side effect) fails CI instead of silently eating
+# the SoA refactor's speedup.
+#
+# Usage: scripts/check_vectorization.sh [build-dir]
+#   build-dir  defaults to build-vec; configured (Release +
+#              COOPHET_VEC_REPORT=ON) and built here. The GCC
+#              -fopt-info-vec-all report lands in
+#              <build-dir>/vec_report_soa_kernels.txt and is kept as a CI
+#              artifact.
+#
+# Contract: for every COOPHET_PRAGMA_SIMD in soa_kernels.cpp the next line
+# must be the loop statement (keep it that way when editing), and the report
+# must contain "optimized: loop vectorized" for exactly that line. Only GCC
+# reports are linted — under Clang the remarks go to stderr with a different
+# shape, and CI runs this lint with GCC.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-vec}"
+kernels_src="${repo_root}/src/coop/hydro/soa_kernels.cpp"
+report="${build_dir}/vec_report_soa_kernels.txt"
+
+cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release \
+  -DCOOPHET_VEC_REPORT=ON >/dev/null
+# Force the kernels TU to recompile so the report reflects the current
+# source even in a reused build tree (GCC appends to -fopt-info files; a
+# fresh file keeps stale lines out).
+rm -f "${report}"
+touch "${kernels_src}"
+cmake --build "${build_dir}" --target coop_hydro -j >/dev/null
+
+if [[ ! -s "${report}" ]]; then
+  echo "check_vectorization: no report at ${report} (non-GCC toolchain?)" >&2
+  exit 1
+fi
+
+status=0
+checked=0
+while IFS= read -r pragma_line; do
+  loop_line=$((pragma_line + 1))
+  checked=$((checked + 1))
+  if grep -q "soa_kernels.cpp:${loop_line}:.*optimized: loop vectorized" \
+      "${report}"; then
+    echo "ok   soa_kernels.cpp:${loop_line}: loop vectorized"
+  else
+    status=1
+    echo "FAIL soa_kernels.cpp:${loop_line}: loop NOT vectorized" >&2
+    grep "soa_kernels.cpp:${loop_line}:" "${report}" | sort -u | sed 's/^/     /' >&2 || true
+  fi
+done < <(grep -n 'COOPHET_PRAGMA_SIMD' "${kernels_src}" | cut -d: -f1)
+
+if [[ "${checked}" -eq 0 ]]; then
+  echo "check_vectorization: found no COOPHET_PRAGMA_SIMD sites in ${kernels_src}" >&2
+  exit 1
+fi
+
+if [[ "${status}" -ne 0 ]]; then
+  echo "check_vectorization: ${checked} sites checked, some loops lost" \
+    "vectorization (full report: ${report})" >&2
+else
+  echo "check_vectorization: all ${checked} COOPHET_PRAGMA_SIMD loops" \
+    "vectorized (report: ${report})"
+fi
+exit "${status}"

@@ -44,7 +44,8 @@ obs::RunReport build_run_report(const TimedConfig& cfg, const TimedResult& res,
   // Achieved vs. roofline-peak FLOPS. "Achieved" counts useful work only
   // (the configured mesh times the configured steps); replayed iterations
   // stretch the makespan without adding useful zones, so faults depress it.
-  const auto work = hydro::KernelCatalog::scaled(cfg.catalog_kernels).total();
+  const auto catalog = hydro::KernelCatalog::scaled(cfg.catalog_kernels);
+  const auto work = catalog.total();
   const double zones = static_cast<double>(cfg.global.zones());
   if (res.makespan > 0.0)
     rep.achieved_flops =
@@ -66,6 +67,30 @@ obs::RunReport build_run_report(const TimedConfig& cfg, const TimedResult& res,
   if (rep.model_peak_flops > 0.0)
     rep.flops_efficiency_pct =
         100.0 * rep.achieved_flops / rep.model_peak_flops;
+
+  // Roofline position: pair the mode's peak-flops mix with the matching
+  // bandwidth mix, then place the catalog's aggregate intensity (and each
+  // top kernel's, below) on that roof. flops_efficiency_pct is best read
+  // against roofline_frac_pct — a bandwidth-bound step can't reach 100% of
+  // peak no matter how perfectly it is balanced.
+  const double cpu_bw = static_cast<double>(layout.active_cores) *
+                        cfg.node.cpu.core_bandwidth_bytes_per_s;
+  const double gpu_bw = static_cast<double>(cfg.node.gpu_count) *
+                        cfg.node.gpu.bandwidth_bytes_per_s;
+  double node_bw = 0.0;
+  switch (cfg.mode) {
+    case NodeMode::kCpuOnly: node_bw = cpu_bw; break;
+    case NodeMode::kOneRankPerGpu:
+    case NodeMode::kMpsPerGpu: node_bw = gpu_bw; break;
+    case NodeMode::kHeterogeneous: node_bw = cpu_bw + gpu_bw; break;
+  }
+  const double node_bw_total = node_bw * cfg.nodes;
+  rep.intensity_flops_per_byte =
+      work.bytes_per_zone > 0.0 ? work.flops_per_zone / work.bytes_per_zone
+                                : 0.0;
+  rep.roofline_frac_pct =
+      100.0 * hydro::roofline_fraction(rep.intensity_flops_per_byte,
+                                       rep.model_peak_flops, node_bw_total);
 
   if (tracer == nullptr || tracer->spans().empty()) {
     // No trace: the coarse imbalance from the per-iteration maxima.
@@ -127,7 +152,9 @@ obs::RunReport build_run_report(const TimedConfig& cfg, const TimedResult& res,
     rep.min_utilization_pct = util_min;
   }
 
-  // Top-N kernels by summed simulated time over every rank and step.
+  // Top-N kernels by summed simulated time over every rank and step,
+  // annotated with their catalog roofline position (synthetic spans such
+  // as um-spill are not catalog kernels and keep zeros).
   std::map<std::string, obs::KernelReport> by_name;
   for (const auto& s : tracer->spans()) {
     if (s.cat != "kernel") continue;
@@ -135,6 +162,14 @@ obs::RunReport build_run_report(const TimedConfig& cfg, const TimedResult& res,
     k.name = s.name;
     k.calls += 1;
     k.seconds += s.t_end - s.t_begin;
+  }
+  for (const auto& desc : catalog.kernels()) {
+    const auto it = by_name.find(desc.name);
+    if (it == by_name.end()) continue;
+    it->second.intensity_flops_per_byte = desc.intensity();
+    it->second.roofline_frac_pct =
+        100.0 * hydro::roofline_fraction(desc.intensity(),
+                                         rep.model_peak_flops, node_bw_total);
   }
   rep.top_kernels.reserve(by_name.size());
   for (auto& [name, k] : by_name) rep.top_kernels.push_back(std::move(k));

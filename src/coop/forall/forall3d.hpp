@@ -79,4 +79,39 @@ inline void forall_box_tiled(DynamicPolicy policy, const mesh::Box& box,
   });
 }
 
+/// Cache-blocked traversal handing the body WHOLE TILES instead of zones:
+/// `box` is partitioned into (y, z) tiles of `tile_j` x `tile_k` rows — the
+/// x extent is never split, keeping unit-stride rows intact for pencil
+/// buffers and SIMD lanes — and `body(tile)` runs once per tile box under
+/// `policy`. This is the traversal the face-sweep hydro kernels use: the
+/// tile is the parallel work unit (so per-tile scratch is touched by exactly
+/// one worker at a time), and within a tile the body owns the loop nest.
+///
+/// Tiles partition the box exactly: every zone of `box` lies in exactly one
+/// tile, so a body whose per-zone effect is independent of tiling produces
+/// identical results for every (tile_j, tile_k) — the blocked-traversal
+/// property tests sweep tile sizes against that contract. Passing extents
+/// >= the box dimensions degenerates to one tile per (full-y, full-z) span,
+/// which the axis-sweep kernels rely on when a sweep direction must not be
+/// split (each face is computed exactly once inside a tile).
+template <typename Body>
+inline void forall_box_blocked(DynamicPolicy policy, const mesh::Box& box,
+                               long tile_j, long tile_k, Body&& body) {
+  if (box.zones() <= 0) return;
+  if (tile_j <= 0 || tile_k <= 0)
+    throw std::invalid_argument("forall_box_blocked: nonpositive tile size");
+  const long ny = box.ny(), nz = box.nz();
+  const long tj = (ny + tile_j - 1) / tile_j;
+  const long tk = (nz + tile_k - 1) / tile_k;
+  const long y0 = box.lo.y, z0 = box.lo.z;
+  const long y1 = box.hi.y, z1 = box.hi.z;
+  const long x0 = box.lo.x, x1 = box.hi.x;
+  forall(policy, 0, tj * tk, [=](long t) {
+    const long jt = t % tj, kt = t / tj;
+    const long jb = y0 + jt * tile_j, je = std::min(y1, jb + tile_j);
+    const long kb = z0 + kt * tile_k, ke = std::min(z1, kb + tile_k);
+    body(mesh::Box{{x0, jb, kb}, {x1, je, ke}});
+  });
+}
+
 }  // namespace coop::forall

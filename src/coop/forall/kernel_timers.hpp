@@ -25,12 +25,24 @@ class KernelTimerRegistry {
   struct Entry {
     std::uint64_t calls = 0;
     double seconds = 0;
+    /// Accumulated work units (kernel-defined: flux-face evaluations for the
+    /// hydro sweeps). Lets tests pin algorithmic operation counts — e.g.
+    /// the face-sweep Rusanov kernels must evaluate each face's flux exactly
+    /// once, so a per-step count above the face count means the seed
+    /// layout's 2x redundant evaluation crept back in.
+    std::uint64_t work = 0;
   };
 
   void add(const std::string& name, double seconds) {
     auto& e = entries_[name];
     e.calls += 1;
     e.seconds += seconds;
+  }
+
+  /// Charges `units` of work to `name` without touching call count or time
+  /// (pair with `add`, or use standalone for pure operation counting).
+  void add_work(const std::string& name, std::uint64_t units) {
+    entries_[name].work += units;
   }
 
   [[nodiscard]] const Entry* find(const std::string& name) const {

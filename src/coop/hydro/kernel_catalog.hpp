@@ -21,7 +21,30 @@ namespace coop::hydro {
 struct KernelDesc {
   std::string name;
   devmodel::KernelWork work;  ///< per-zone demands of this kernel
+
+  /// Arithmetic intensity (flops per byte moved) — the kernel's x position
+  /// on a roofline plot. The catalog spreads intensities deterministically
+  /// around the calibrated mean, so some kernels sit bandwidth-bound and
+  /// some compute-bound on a given device.
+  [[nodiscard]] double intensity() const noexcept {
+    return work.bytes_per_zone > 0.0
+               ? work.flops_per_zone / work.bytes_per_zone
+               : 0.0;
+  }
 };
+
+/// Fraction (in (0, 1]) of `peak_flops` the roofline model permits at
+/// arithmetic intensity `I`: min(peak_flops, I * peak_bandwidth) /
+/// peak_flops. Kernels left of the machine-balance point are bandwidth-
+/// bound (< 1); at or right of it the roof is flat (== 1).
+[[nodiscard]] inline double roofline_fraction(
+    double intensity_flops_per_byte, double peak_flops,
+    double peak_bandwidth_bytes_per_s) noexcept {
+  if (peak_flops <= 0.0) return 0.0;
+  const double attainable =
+      intensity_flops_per_byte * peak_bandwidth_bytes_per_s;
+  return attainable < peak_flops ? attainable / peak_flops : 1.0;
+}
 
 class KernelCatalog {
  public:

@@ -1,0 +1,188 @@
+#include "coop/hydro/soa_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "coop/forall/forall.hpp"
+
+/// \file soa_kernels.cpp
+/// The hydro hot path. Every loop here is unit-stride over `__restrict`
+/// planes and must auto-vectorize — scripts/check_vectorization.sh fails CI
+/// if the compiler's -fopt-info-vec report loses any of them. Keep the
+/// bodies branch-light: selects (`?:`) on already-computed values are fine
+/// (they compile to blends), control-flow branches are not.
+///
+/// Bitwise contract (see the header): each element evaluates the seed
+/// per-cell expression sequence exactly — same operations, same order — so
+/// do NOT reassociate, strength-reduce, or hoist floating-point arithmetic
+/// when editing these loops.
+
+namespace coop::hydro::kern {
+
+template <int Axis>
+void rusanov_flux_row(const double* __restrict rho,
+                      const double* __restrict mx,
+                      const double* __restrict my,
+                      const double* __restrict mz,
+                      const double* __restrict ener,
+                      const double* __restrict prs,
+                      const double* __restrict snd, long l0, long r0, long n,
+                      double* __restrict f_rho, double* __restrict f_mx,
+                      double* __restrict f_my, double* __restrict f_mz,
+                      double* __restrict f_ener) {
+  COOPHET_PRAGMA_SIMD
+  for (long t = 0; t < n; ++t) {
+    const double rl = rho[l0 + t], rr = rho[r0 + t];
+    const double pl = prs[l0 + t], pr = prs[r0 + t];
+    const double cl = snd[l0 + t], cr = snd[r0 + t];
+    const double mxl = mx[l0 + t], mxr = mx[r0 + t];
+    const double myl = my[l0 + t], myr = my[r0 + t];
+    const double mzl = mz[l0 + t], mzr = mz[r0 + t];
+    const double el = ener[l0 + t], er = ener[r0 + t];
+
+    const double mdl = Axis == 0 ? mxl : (Axis == 1 ? myl : mzl);
+    const double mdr = Axis == 0 ? mxr : (Axis == 1 ? myr : mzr);
+    const double ul = mdl / rl, ur = mdr / rr;
+    const double s = std::max(std::abs(ul) + cl, std::abs(ur) + cr);
+
+    f_rho[t] = 0.5 * (mdl + mdr) - 0.5 * s * (rr - rl);
+    double gx = 0.5 * (mxl * ul + mxr * ur) - 0.5 * s * (mxr - mxl);
+    double gy = 0.5 * (myl * ul + myr * ur) - 0.5 * s * (myr - myl);
+    double gz = 0.5 * (mzl * ul + mzr * ur) - 0.5 * s * (mzr - mzl);
+    if constexpr (Axis == 0) gx += 0.5 * (pl + pr);
+    if constexpr (Axis == 1) gy += 0.5 * (pl + pr);
+    if constexpr (Axis == 2) gz += 0.5 * (pl + pr);
+    f_mx[t] = gx;
+    f_my[t] = gy;
+    f_mz[t] = gz;
+    f_ener[t] =
+        0.5 * ((el + pl) * ul + (er + pr) * ur) - 0.5 * s * (er - el);
+  }
+}
+
+template void rusanov_flux_row<0>(const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict, long, long, long,
+                                  double* __restrict, double* __restrict,
+                                  double* __restrict, double* __restrict,
+                                  double* __restrict);
+template void rusanov_flux_row<1>(const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict, long, long, long,
+                                  double* __restrict, double* __restrict,
+                                  double* __restrict, double* __restrict,
+                                  double* __restrict);
+template void rusanov_flux_row<2>(const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict,
+                                  const double* __restrict, long, long, long,
+                                  double* __restrict, double* __restrict,
+                                  double* __restrict, double* __restrict,
+                                  double* __restrict);
+
+void rusanov_mass_flux_row(const double* __restrict rho,
+                           const double* __restrict md,
+                           const double* __restrict snd, long l0, long r0,
+                           long n, double* __restrict f_rho) {
+  COOPHET_PRAGMA_SIMD
+  for (long t = 0; t < n; ++t) {
+    const double rl = rho[l0 + t], rr = rho[r0 + t];
+    const double mdl = md[l0 + t], mdr = md[r0 + t];
+    const double cl = snd[l0 + t], cr = snd[r0 + t];
+    const double ul = mdl / rl, ur = mdr / rr;
+    const double s = std::max(std::abs(ul) + cl, std::abs(ur) + cr);
+    f_rho[t] = 0.5 * (mdl + mdr) - 0.5 * s * (rr - rl);
+  }
+}
+
+void scalar_upwind_flux_row(const double* __restrict scal,
+                            const double* __restrict rho, long l0, long r0,
+                            long n, const double* __restrict mf,
+                            double* __restrict out) {
+  COOPHET_PRAGMA_SIMD
+  for (long t = 0; t < n; ++t) {
+    const double m = mf[t];
+    // Both donor candidates are evaluated and one is selected — a blend,
+    // not a branch. phi of the non-donor cell never enters the result, so
+    // the value is bit-identical to the branching seed form (density is
+    // floored, the speculative division cannot fault).
+    const double phi_l = scal[l0 + t] / rho[l0 + t];
+    const double phi_r = scal[r0 + t] / rho[r0 + t];
+    out[t] = m * (m >= 0 ? phi_l : phi_r);
+  }
+}
+
+void diff_pencil_row(double* __restrict d, const double* __restrict f, long n,
+                     double inv) {
+  COOPHET_PRAGMA_SIMD
+  for (long t = 0; t < n; ++t) d[t] -= (f[t + 1] - f[t]) * inv;
+}
+
+void diff_plane_row(double* __restrict d, const double* __restrict fhi,
+                    const double* __restrict flo, long n, double inv) {
+  COOPHET_PRAGMA_SIMD
+  for (long t = 0; t < n; ++t) d[t] -= (fhi[t] - flo[t]) * inv;
+}
+
+void primitives_row(const double* __restrict rho, const double* __restrict mx,
+                    const double* __restrict my, const double* __restrict mz,
+                    const double* __restrict ener, long n, IdealGas eos,
+                    double p_floor, double* __restrict prs,
+                    double* __restrict snd) {
+  COOPHET_PRAGMA_SIMD
+  for (long t = 0; t < n; ++t) {
+    const double r = rho[t];
+    const double p = std::max(
+        p_floor, eos.pressure_conserved(r, mx[t], my[t], mz[t], ener[t]));
+    prs[t] = p;
+    snd[t] = eos.sound_speed(r, p);
+  }
+}
+
+void apply_update_row(double* __restrict rho, double* __restrict mx,
+                      double* __restrict my, double* __restrict mz,
+                      double* __restrict ener,
+                      const double* __restrict drho,
+                      const double* __restrict dmx,
+                      const double* __restrict dmy,
+                      const double* __restrict dmz,
+                      const double* __restrict dener, long n, double dt,
+                      double rho_floor, double e_floor) {
+  COOPHET_PRAGMA_SIMD
+  for (long t = 0; t < n; ++t) {
+    rho[t] = std::max(rho_floor, rho[t] + dt * drho[t]);
+    mx[t] += dt * dmx[t];
+    my[t] += dt * dmy[t];
+    mz[t] += dt * dmz[t];
+    ener[t] = std::max(e_floor, ener[t] + dt * dener[t]);
+  }
+}
+
+void axpy_row(double* __restrict x, const double* __restrict d, long n,
+              double dt) {
+  COOPHET_PRAGMA_SIMD
+  for (long t = 0; t < n; ++t) x[t] += dt * d[t];
+}
+
+double* pencil(std::size_t doubles) {
+  // One growing scratch vector per thread: tiles are the parallel work unit
+  // (forall_box_blocked), so a tile body's pencil is touched by exactly one
+  // worker, and reuse across tiles keeps the rows hot in L1.
+  thread_local std::vector<double> buf;
+  if (buf.size() < doubles) buf.resize(doubles);
+  return buf.data();
+}
+
+}  // namespace coop::hydro::kern

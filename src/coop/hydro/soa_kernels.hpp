@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+
+#include "coop/hydro/eos.hpp"
+
+/// \file soa_kernels.hpp
+/// Flat-array (hal3d-style) row kernels for the SoA hydro hot path.
+///
+/// Every kernel works on raw `double* __restrict` planes from the pooled
+/// `mesh::FieldBlock` storage plus explicit element offsets — no Array3D
+/// indexing, no per-zone index arithmetic beyond one add. The inner loops
+/// are unit-stride, branch-light, and annotated with `COOPHET_PRAGMA_SIMD`;
+/// the CI vectorization lint (scripts/check_vectorization.sh) asserts the
+/// compiler actually vectorized each of them.
+///
+/// Bitwise-determinism contract: each kernel evaluates, per element, the
+/// EXACT floating-point expression sequence of the seed per-cell solver
+/// (`ReferenceSolver` in reference_kernels.hpp). Vector lanes perform the
+/// same per-element arithmetic as scalar iterations, so results are bitwise
+/// identical across `seq`/`simd`/`threads`/`sim_gpu`/`indirect` policies,
+/// tile sizes, and the seed layout itself — the property the curve-lock and
+/// backend-equivalence suites pin.
+///
+/// Offsets are into the padded (state) or owned (accumulator) plane of the
+/// respective field block; `l0`/`r0` are the offsets of the LEFT and RIGHT
+/// cells of face 0 of the row, both advancing with unit stride.
+
+namespace coop::hydro::kern {
+
+/// Rusanov flux through `n` consecutive faces along `Axis` (0 = x, 1 = y,
+/// 2 = z): face t sits between cells at offsets `l0 + t` and `r0 + t`.
+/// Writes the five conserved-component fluxes into the pencil rows.
+template <int Axis>
+void rusanov_flux_row(const double* __restrict rho,
+                      const double* __restrict mx,
+                      const double* __restrict my,
+                      const double* __restrict mz,
+                      const double* __restrict ener,
+                      const double* __restrict prs,
+                      const double* __restrict snd, long l0, long r0, long n,
+                      double* __restrict f_rho, double* __restrict f_mx,
+                      double* __restrict f_my, double* __restrict f_mz,
+                      double* __restrict f_ener);
+
+/// The mass component of the Rusanov flux only (the scalar package's donor
+/// mass flux): `md` is the axis-direction momentum plane. Identical
+/// arithmetic to `rusanov_flux_row`'s `f_rho` output.
+void rusanov_mass_flux_row(const double* __restrict rho,
+                           const double* __restrict md,
+                           const double* __restrict snd, long l0, long r0,
+                           long n, double* __restrict f_rho);
+
+/// Donor-cell (upwind) scalar flux through `n` faces: face t carries
+/// `mf[t] * phi(upwind)` with `phi = scal / rho` of the donor cell.
+void scalar_upwind_flux_row(const double* __restrict scal,
+                            const double* __restrict rho, long l0, long r0,
+                            long n, const double* __restrict mf,
+                            double* __restrict out);
+
+/// Pencil-form flux divergence (x sweeps): `d[t] -= (f[t+1] - f[t]) * inv`
+/// over `n` cells; `f` holds `n + 1` face fluxes.
+void diff_pencil_row(double* __restrict d, const double* __restrict f, long n,
+                     double inv);
+
+/// Plane-form flux divergence (y/z sweeps): `d[t] -= (fhi[t] - flo[t]) *
+/// inv` over `n` cells.
+void diff_plane_row(double* __restrict d, const double* __restrict fhi,
+                    const double* __restrict flo, long n, double inv);
+
+/// Primitive recovery over `n` consecutive zones (whole padded rows):
+/// pressure-floored gamma-law pressure and sound speed.
+void primitives_row(const double* __restrict rho, const double* __restrict mx,
+                    const double* __restrict my, const double* __restrict mz,
+                    const double* __restrict ener, long n, IdealGas eos,
+                    double p_floor, double* __restrict prs,
+                    double* __restrict snd);
+
+/// Conserved update with density/energy floors over one row of `n` zones.
+/// State pointers are offset into the padded planes, accumulator pointers
+/// into the owned (ghost-free) planes.
+void apply_update_row(double* __restrict rho, double* __restrict mx,
+                      double* __restrict my, double* __restrict mz,
+                      double* __restrict ener,
+                      const double* __restrict drho,
+                      const double* __restrict dmx,
+                      const double* __restrict dmy,
+                      const double* __restrict dmz,
+                      const double* __restrict dener, long n, double dt,
+                      double rho_floor, double e_floor);
+
+/// `x[t] += dt * d[t]` over one row (scalar-package apply).
+void axpy_row(double* __restrict x, const double* __restrict d, long n,
+              double dt);
+
+/// Per-thread pencil scratch: returns a buffer of at least `doubles`
+/// elements, reused across calls on the same thread. AT MOST ONE live
+/// `pencil()` result per kernel body — a second call may grow the buffer
+/// and invalidate the first pointer; carve sub-rows from a single request.
+[[nodiscard]] double* pencil(std::size_t doubles);
+
+}  // namespace coop::hydro::kern

@@ -1,8 +1,10 @@
 #include "coop/hydro/solver.hpp"
 
 #include "coop/forall/forall3d.hpp"
+#include "coop/hydro/soa_kernels.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 
@@ -12,22 +14,40 @@ using forall::DynamicPolicy;
 using mesh::Box;
 
 using forall::forall_box;
+using forall::forall_box_blocked;
+
+namespace {
+
+SolverTuning clamped(SolverTuning t) noexcept {
+  t.tile_j = std::max<long>(1, t.tile_j);
+  t.tile_k = std::max<long>(1, t.tile_k);
+  t.sweep_tile = std::max<long>(1, t.sweep_tile);
+  return t;
+}
+
+}  // namespace
 
 Solver::Solver(memory::MemoryManager& mm, const ProblemConfig& cfg,
-               const Box& owned, DynamicPolicy policy)
-    : cfg_(cfg), policy_(policy),
+               const Box& owned, DynamicPolicy policy, SolverTuning tuning)
+    : cfg_(cfg), policy_(policy), tuning_(clamped(tuning)),
       state_(mm, owned, 1, cfg.packages.passive_scalar),
-      d_rho_(mm, memory::AllocationContext::kTemporary, owned, 0),
-      d_mx_(mm, memory::AllocationContext::kTemporary, owned, 0),
-      d_my_(mm, memory::AllocationContext::kTemporary, owned, 0),
-      d_mz_(mm, memory::AllocationContext::kTemporary, owned, 0),
-      d_ener_(mm, memory::AllocationContext::kTemporary, owned, 0) {
-  if (cfg.packages.passive_scalar)
-    d_scal_ = mesh::Array3D<double>(mm, memory::AllocationContext::kTemporary,
-                                    owned, 0);
+      du_block_(mm, memory::AllocationContext::kTemporary, owned, 0,
+                cfg.packages.passive_scalar ? kNumConserved + 1
+                                            : kNumConserved),
+      d_rho_(du_block_.view(kRho)), d_mx_(du_block_.view(kMx)),
+      d_my_(du_block_.view(kMy)), d_mz_(du_block_.view(kMz)),
+      d_ener_(du_block_.view(kEner)) {
+  if (cfg.packages.passive_scalar) d_scal_ = du_block_.view(kScal);
   if (cfg.packages.diffusion)
     eint_ = mesh::Array3D<double>(mm, memory::AllocationContext::kTemporary,
                                   owned, 1);
+}
+
+std::uint64_t Solver::interior_face_count(const Box& owned) noexcept {
+  const auto nx = static_cast<std::uint64_t>(owned.nx());
+  const auto ny = static_cast<std::uint64_t>(owned.ny());
+  const auto nz = static_cast<std::uint64_t>(owned.nz());
+  return (nx + 1) * ny * nz + nx * (ny + 1) * nz + nx * ny * (nz + 1);
 }
 
 void Solver::initialize() {
@@ -143,110 +163,172 @@ void Solver::apply_physical_boundaries() {
 }
 
 void Solver::compute_primitives() {
-  auto* rho = &state_.rho;
-  auto* mx = &state_.mx;
-  auto* my = &state_.my;
-  auto* mz = &state_.mz;
-  auto* ener = &state_.ener;
-  auto* prs = &state_.prs;
-  auto* snd = &state_.snd;
+  // Row-parallel over the padded planes: each work item hands one
+  // unit-stride row of `pnx` zones to the vectorized flat kernel. Same
+  // per-zone arithmetic as the seed per-cell loop, just batched.
+  const Box padded = state_.owned.grown(state_.ghosts);
+  const long pnx = padded.nx();
+  const long nrows = padded.ny() * padded.nz();
+  const double* rho = state_.mesh_block.plane(kRho);
+  const double* mx = state_.mesh_block.plane(kMx);
+  const double* my = state_.mesh_block.plane(kMy);
+  const double* mz = state_.mesh_block.plane(kMz);
+  const double* ener = state_.mesh_block.plane(kEner);
+  double* prs = state_.temp_block.plane(0);
+  double* snd = state_.temp_block.plane(1);
   const IdealGas eos = cfg_.eos;
   const double p_floor = 1e-12;
-  forall_box(policy_, state_.owned.grown(state_.ghosts),
-             [=](long i, long j, long k) {
-               const double r = (*rho)(i, j, k);
-               const double p = std::max(
-                   p_floor, eos.pressure_conserved(r, (*mx)(i, j, k),
-                                                   (*my)(i, j, k),
-                                                   (*mz)(i, j, k),
-                                                   (*ener)(i, j, k)));
-               (*prs)(i, j, k) = p;
-               (*snd)(i, j, k) = eos.sound_speed(r, p);
-             });
+  forall::forall(policy_, 0, nrows, [=](long r) {
+    const long off = r * pnx;
+    kern::primitives_row(rho + off, mx + off, my + off, mz + off, ener + off,
+                         pnx, eos, p_floor, prs + off, snd + off);
+  });
 }
-
-namespace {
-
-struct ZoneRef {
-  const mesh::Array3D<double>* rho;
-  const mesh::Array3D<double>* mx;
-  const mesh::Array3D<double>* my;
-  const mesh::Array3D<double>* mz;
-  const mesh::Array3D<double>* ener;
-  const mesh::Array3D<double>* prs;
-  const mesh::Array3D<double>* snd;
-};
-
-struct Flux {
-  double rho, mx, my, mz, ener;
-};
-
-/// Rusanov flux through the face between zones L and R along `axis`
-/// (0 = x, 1 = y, 2 = z).
-inline Flux rusanov(const ZoneRef& f, int axis, long li, long lj, long lk,
-                    long ri, long rj, long rk) {
-  const double rl = (*f.rho)(li, lj, lk), rr = (*f.rho)(ri, rj, rk);
-  const double pl = (*f.prs)(li, lj, lk), pr = (*f.prs)(ri, rj, rk);
-  const double cl = (*f.snd)(li, lj, lk), cr = (*f.snd)(ri, rj, rk);
-  const double mxl = (*f.mx)(li, lj, lk), mxr = (*f.mx)(ri, rj, rk);
-  const double myl = (*f.my)(li, lj, lk), myr = (*f.my)(ri, rj, rk);
-  const double mzl = (*f.mz)(li, lj, lk), mzr = (*f.mz)(ri, rj, rk);
-  const double el = (*f.ener)(li, lj, lk), er = (*f.ener)(ri, rj, rk);
-
-  const double mdl = axis == 0 ? mxl : (axis == 1 ? myl : mzl);
-  const double mdr = axis == 0 ? mxr : (axis == 1 ? myr : mzr);
-  const double ul = mdl / rl, ur = mdr / rr;
-  const double s = std::max(std::abs(ul) + cl, std::abs(ur) + cr);
-
-  Flux out;
-  out.rho = 0.5 * (mdl + mdr) - 0.5 * s * (rr - rl);
-  out.mx = 0.5 * (mxl * ul + mxr * ur) - 0.5 * s * (mxr - mxl);
-  out.my = 0.5 * (myl * ul + myr * ur) - 0.5 * s * (myr - myl);
-  out.mz = 0.5 * (mzl * ul + mzr * ur) - 0.5 * s * (mzr - mzl);
-  if (axis == 0) out.mx += 0.5 * (pl + pr);
-  if (axis == 1) out.my += 0.5 * (pl + pr);
-  if (axis == 2) out.mz += 0.5 * (pl + pr);
-  out.ener = 0.5 * ((el + pl) * ul + (er + pr) * ur) - 0.5 * s * (er - el);
-  return out;
-}
-
-}  // namespace
 
 void Solver::advance(double dt) {
-  const ZoneRef f{&state_.rho, &state_.mx,  &state_.my, &state_.mz,
-                  &state_.ener, &state_.prs, &state_.snd};
-  auto* drho = &d_rho_;
-  auto* dmx = &d_mx_;
-  auto* dmy = &d_my_;
-  auto* dmz = &d_mz_;
-  auto* dener = &d_ener_;
+  // Face-sweep formulation: per axis, every interior face's Rusanov flux is
+  // computed EXACTLY ONCE into unit-stride pencil rows, then differenced
+  // into the accumulators — the seed per-cell rusanov(lo)/rusanov(hi) form
+  // evaluated each face twice (once per adjacent cell). Per cell the
+  // accumulated arithmetic is identical (same expressions, same axis order,
+  // same hi/lo difference), so the result is bitwise equal to the seed.
+  const Box o = state_.owned;
+  const Box padded = o.grown(state_.ghosts);
+  const long pnx = padded.nx(), pny = padded.ny();
+  const long onx = o.nx(), ony = o.ny();
+  const long px0 = padded.lo.x, py0 = padded.lo.y, pz0 = padded.lo.z;
+  const long ox0 = o.lo.x, oy0 = o.lo.y, oz0 = o.lo.z;
+  const long oy1 = o.hi.y, oz1 = o.hi.z;
+  // Offset of zone (i, j, k) in a padded (state) / owned (accumulator)
+  // plane.
+  auto pofs = [=](long i, long j, long k) {
+    return ((k - pz0) * pny + (j - py0)) * pnx + (i - px0);
+  };
+  auto oofs = [=](long i, long j, long k) {
+    return ((k - oz0) * ony + (j - oy0)) * onx + (i - ox0);
+  };
 
-  // Kernel 1: clear accumulators.
-  forall_box(policy_, state_.owned, [=](long i, long j, long k) {
-    (*drho)(i, j, k) = 0.0;
-    (*dmx)(i, j, k) = 0.0;
-    (*dmy)(i, j, k) = 0.0;
-    (*dmz)(i, j, k) = 0.0;
-    (*dener)(i, j, k) = 0.0;
+  const double* rho = state_.mesh_block.plane(kRho);
+  const double* mx = state_.mesh_block.plane(kMx);
+  const double* my = state_.mesh_block.plane(kMy);
+  const double* mz = state_.mesh_block.plane(kMz);
+  const double* ener = state_.mesh_block.plane(kEner);
+  const double* prs = state_.temp_block.plane(0);
+  const double* snd = state_.temp_block.plane(1);
+  double* drho = du_block_.plane(kRho);
+  double* dmx = du_block_.plane(kMx);
+  double* dmy = du_block_.plane(kMy);
+  double* dmz = du_block_.plane(kMz);
+  double* dener = du_block_.plane(kEner);
+
+  flux_faces_.store(0, std::memory_order_relaxed);
+  mass_faces_.store(0, std::memory_order_relaxed);
+  auto* faces_total = &flux_faces_;
+
+  // Kernel 1: clear the (contiguous) accumulator planes.
+  const long n_clear = static_cast<long>(kNumConserved) * o.zones();
+  forall::forall(policy_, 0, n_clear, [=](long t) { drho[t] = 0.0; });
+
+  const double invx = 1.0 / cfg_.dx();
+  const double invy = 1.0 / cfg_.dy();
+  const double invz = 1.0 / cfg_.dz();
+  const long tile_j = tuning_.tile_j, tile_k = tuning_.tile_k;
+  const long sweep_tile = tuning_.sweep_tile;
+
+  // Kernel 2: x sweep. Pencil rows span the row's nx+1 faces; tiles block
+  // (j, k) freely since the sweep direction is the row itself.
+  forall_box_blocked(policy_, o, tile_j, tile_k, [=](const Box& tile) {
+    const long nf = onx + 1;
+    double* buf = kern::pencil(5 * static_cast<std::size_t>(nf));
+    double* fr = buf;
+    double* fmx = buf + nf;
+    double* fmy = buf + 2 * nf;
+    double* fmz = buf + 3 * nf;
+    double* fe = buf + 4 * nf;
+    std::uint64_t faces = 0;
+    for (long k = tile.lo.z; k < tile.hi.z; ++k)
+      for (long j = tile.lo.y; j < tile.hi.y; ++j) {
+        const long c0 = pofs(ox0, j, k);
+        kern::rusanov_flux_row<0>(rho, mx, my, mz, ener, prs, snd, c0 - 1, c0,
+                                  nf, fr, fmx, fmy, fmz, fe);
+        const long d0 = oofs(ox0, j, k);
+        kern::diff_pencil_row(drho + d0, fr, onx, invx);
+        kern::diff_pencil_row(dmx + d0, fmx, onx, invx);
+        kern::diff_pencil_row(dmy + d0, fmy, onx, invx);
+        kern::diff_pencil_row(dmz + d0, fmz, onx, invx);
+        kern::diff_pencil_row(dener + d0, fe, onx, invx);
+        faces += static_cast<std::uint64_t>(nf);
+      }
+    faces_total->fetch_add(faces, std::memory_order_relaxed);
   });
 
-  // Kernels 2-4: one flux-divergence sweep per axis.
-  const double inv_d[3] = {1.0 / cfg_.dx(), 1.0 / cfg_.dy(), 1.0 / cfg_.dz()};
-  for (int axis = 0; axis < 3; ++axis) {
-    const double inv = inv_d[axis];
-    forall_box(policy_, state_.owned, [=](long i, long j, long k) {
-      const long di = axis == 0 ? 1 : 0;
-      const long dj = axis == 1 ? 1 : 0;
-      const long dk = axis == 2 ? 1 : 0;
-      const Flux lo = rusanov(f, axis, i - di, j - dj, k - dk, i, j, k);
-      const Flux hi = rusanov(f, axis, i, j, k, i + di, j + dj, k + dk);
-      (*drho)(i, j, k) -= (hi.rho - lo.rho) * inv;
-      (*dmx)(i, j, k) -= (hi.mx - lo.mx) * inv;
-      (*dmy)(i, j, k) -= (hi.my - lo.my) * inv;
-      (*dmz)(i, j, k) -= (hi.mz - lo.mz) * inv;
-      (*dener)(i, j, k) -= (hi.ener - lo.ener) * inv;
-    });
-  }
+  // Kernel 3: y sweep. The sweep direction must not be split (each face
+  // flux feeds both adjacent j rows via the lo/hi buffer swap), so tiles
+  // block only k; rows stay unit-stride in x.
+  forall_box_blocked(policy_, o, std::max<long>(ony, 1), sweep_tile,
+                     [=](const Box& tile) {
+    double* buf = kern::pencil(10 * static_cast<std::size_t>(onx));
+    double* lo[5];
+    double* hi[5];
+    for (int c = 0; c < 5; ++c) {
+      lo[c] = buf + c * onx;
+      hi[c] = buf + (5 + c) * onx;
+    }
+    std::uint64_t faces = 0;
+    for (long k = tile.lo.z; k < tile.hi.z; ++k) {
+      kern::rusanov_flux_row<1>(rho, mx, my, mz, ener, prs, snd,
+                                pofs(ox0, oy0 - 1, k), pofs(ox0, oy0, k), onx,
+                                lo[0], lo[1], lo[2], lo[3], lo[4]);
+      faces += static_cast<std::uint64_t>(onx);
+      for (long j = oy0; j < oy1; ++j) {
+        kern::rusanov_flux_row<1>(rho, mx, my, mz, ener, prs, snd,
+                                  pofs(ox0, j, k), pofs(ox0, j + 1, k), onx,
+                                  hi[0], hi[1], hi[2], hi[3], hi[4]);
+        faces += static_cast<std::uint64_t>(onx);
+        const long d0 = oofs(ox0, j, k);
+        kern::diff_plane_row(drho + d0, hi[0], lo[0], onx, invy);
+        kern::diff_plane_row(dmx + d0, hi[1], lo[1], onx, invy);
+        kern::diff_plane_row(dmy + d0, hi[2], lo[2], onx, invy);
+        kern::diff_plane_row(dmz + d0, hi[3], lo[3], onx, invy);
+        kern::diff_plane_row(dener + d0, hi[4], lo[4], onx, invy);
+        for (int c = 0; c < 5; ++c) std::swap(lo[c], hi[c]);
+      }
+    }
+    faces_total->fetch_add(faces, std::memory_order_relaxed);
+  });
+
+  // Kernel 4: z sweep — mirror of the y sweep; tiles block only j.
+  forall_box_blocked(policy_, o, sweep_tile, std::max<long>(o.nz(), 1),
+                     [=](const Box& tile) {
+    double* buf = kern::pencil(10 * static_cast<std::size_t>(onx));
+    double* lo[5];
+    double* hi[5];
+    for (int c = 0; c < 5; ++c) {
+      lo[c] = buf + c * onx;
+      hi[c] = buf + (5 + c) * onx;
+    }
+    std::uint64_t faces = 0;
+    for (long j = tile.lo.y; j < tile.hi.y; ++j) {
+      kern::rusanov_flux_row<2>(rho, mx, my, mz, ener, prs, snd,
+                                pofs(ox0, j, oz0 - 1), pofs(ox0, j, oz0), onx,
+                                lo[0], lo[1], lo[2], lo[3], lo[4]);
+      faces += static_cast<std::uint64_t>(onx);
+      for (long k = oz0; k < oz1; ++k) {
+        kern::rusanov_flux_row<2>(rho, mx, my, mz, ener, prs, snd,
+                                  pofs(ox0, j, k), pofs(ox0, j, k + 1), onx,
+                                  hi[0], hi[1], hi[2], hi[3], hi[4]);
+        faces += static_cast<std::uint64_t>(onx);
+        const long d0 = oofs(ox0, j, k);
+        kern::diff_plane_row(drho + d0, hi[0], lo[0], onx, invz);
+        kern::diff_plane_row(dmx + d0, hi[1], lo[1], onx, invz);
+        kern::diff_plane_row(dmy + d0, hi[2], lo[2], onx, invz);
+        kern::diff_plane_row(dmz + d0, hi[3], lo[3], onx, invz);
+        kern::diff_plane_row(dener + d0, hi[4], lo[4], onx, invz);
+        for (int c = 0; c < 5; ++c) std::swap(lo[c], hi[c]);
+      }
+    }
+    faces_total->fetch_add(faces, std::memory_order_relaxed);
+  });
 
   // Package phases read the time-n state and fold into the accumulators /
   // their own updates BEFORE the hydro apply, so every flux (including
@@ -255,29 +337,47 @@ void Solver::advance(double dt) {
   if (cfg_.packages.diffusion) accumulate_diffusion_fluxes();
   if (cfg_.packages.passive_scalar) accumulate_scalar_fluxes();
 
-  // Kernel 5: apply the update with density/energy floors.
-  auto* rho = &state_.rho;
-  auto* mx = &state_.mx;
-  auto* my = &state_.my;
-  auto* mz = &state_.mz;
-  auto* ener = &state_.ener;
+  // Kernel 5: apply the update with density/energy floors, row-wise.
+  double* rho_w = state_.mesh_block.plane(kRho);
+  double* mx_w = state_.mesh_block.plane(kMx);
+  double* my_w = state_.mesh_block.plane(kMy);
+  double* mz_w = state_.mesh_block.plane(kMz);
+  double* ener_w = state_.mesh_block.plane(kEner);
   const double rho_floor = 1e-10, e_floor = 1e-14;
-  forall_box(policy_, state_.owned, [=](long i, long j, long k) {
-    (*rho)(i, j, k) =
-        std::max(rho_floor, (*rho)(i, j, k) + dt * (*drho)(i, j, k));
-    (*mx)(i, j, k) += dt * (*dmx)(i, j, k);
-    (*my)(i, j, k) += dt * (*dmy)(i, j, k);
-    (*mz)(i, j, k) += dt * (*dmz)(i, j, k);
-    (*ener)(i, j, k) =
-        std::max(e_floor, (*ener)(i, j, k) + dt * (*dener)(i, j, k));
+  forall_box_blocked(policy_, o, tile_j, tile_k, [=](const Box& tile) {
+    for (long k = tile.lo.z; k < tile.hi.z; ++k)
+      for (long j = tile.lo.y; j < tile.hi.y; ++j) {
+        const long c0 = pofs(ox0, j, k);
+        const long d0 = oofs(ox0, j, k);
+        kern::apply_update_row(rho_w + c0, mx_w + c0, my_w + c0, mz_w + c0,
+                               ener_w + c0, drho + d0, dmx + d0, dmy + d0,
+                               dmz + d0, dener + d0, onx, dt, rho_floor,
+                               e_floor);
+      }
   });
 
   if (cfg_.packages.passive_scalar) {
-    auto* scal = &state_.scal;
-    auto* dscal = &d_scal_;
-    forall_box(policy_, state_.owned, [=](long i, long j, long k) {
-      (*scal)(i, j, k) += dt * (*dscal)(i, j, k);
+    double* scal_w = state_.mesh_block.plane(kScal);
+    double* dscal = du_block_.plane(kScal);
+    forall_box_blocked(policy_, o, tile_j, tile_k, [=](const Box& tile) {
+      for (long k = tile.lo.z; k < tile.hi.z; ++k)
+        for (long j = tile.lo.y; j < tile.hi.y; ++j)
+          kern::axpy_row(scal_w + pofs(ox0, j, k), dscal + oofs(ox0, j, k),
+                         onx, dt);
     });
+  }
+
+  // Operation-count invariant: one flux evaluation per face, per step. The
+  // registry lets run reports and tests pin this (a count above the face
+  // total means the seed's redundant per-cell evaluation crept back).
+  assert(flux_faces_.load(std::memory_order_relaxed) ==
+         interior_face_count(o));
+  if (timers_ != nullptr) {
+    timers_->add_work("hydro.rusanov_faces",
+                      flux_faces_.load(std::memory_order_relaxed));
+    if (cfg_.packages.passive_scalar)
+      timers_->add_work("hydro.scalar_mass_faces",
+                        mass_faces_.load(std::memory_order_relaxed));
   }
 }
 
@@ -285,38 +385,106 @@ void Solver::accumulate_scalar_fluxes() {
   // Mixing package: conservative donor-cell advection of rho*phi using the
   // SAME Rusanov mass flux as the hydro density update, so phi stays in
   // [min, max] of its neighborhood and the scalar integral is conserved.
-  const ZoneRef f{&state_.rho, &state_.mx,  &state_.my, &state_.mz,
-                  &state_.ener, &state_.prs, &state_.snd};
-  const auto* rho = &state_.rho;
-  const auto* scal = &state_.scal;
-  auto* dscal = &d_scal_;
-  const double inv_d[3] = {1.0 / cfg_.dx(), 1.0 / cfg_.dy(), 1.0 / cfg_.dz()};
+  // Face-sweep structure mirrors advance(): one mass flux per face.
+  const Box o = state_.owned;
+  const Box padded = o.grown(state_.ghosts);
+  const long pnx = padded.nx(), pny = padded.ny();
+  const long onx = o.nx(), ony = o.ny();
+  const long px0 = padded.lo.x, py0 = padded.lo.y, pz0 = padded.lo.z;
+  const long ox0 = o.lo.x, oy0 = o.lo.y, oz0 = o.lo.z;
+  const long oy1 = o.hi.y, oz1 = o.hi.z;
+  auto pofs = [=](long i, long j, long k) {
+    return ((k - pz0) * pny + (j - py0)) * pnx + (i - px0);
+  };
+  auto oofs = [=](long i, long j, long k) {
+    return ((k - oz0) * ony + (j - oy0)) * onx + (i - ox0);
+  };
 
-  forall_box(policy_, state_.owned, [=](long i, long j, long k) {
-    (*dscal)(i, j, k) = 0.0;
+  const double* rho = state_.mesh_block.plane(kRho);
+  const double* mx = state_.mesh_block.plane(kMx);
+  const double* my = state_.mesh_block.plane(kMy);
+  const double* mz = state_.mesh_block.plane(kMz);
+  const double* snd = state_.temp_block.plane(1);
+  const double* scal = state_.mesh_block.plane(kScal);
+  double* dscal = du_block_.plane(kScal);
+  auto* mass_total = &mass_faces_;
+
+  const long n_clear = o.zones();
+  forall::forall(policy_, 0, n_clear, [=](long t) { dscal[t] = 0.0; });
+
+  const double invx = 1.0 / cfg_.dx();
+  const double invy = 1.0 / cfg_.dy();
+  const double invz = 1.0 / cfg_.dz();
+  const long tile_j = tuning_.tile_j, tile_k = tuning_.tile_k;
+  const long sweep_tile = tuning_.sweep_tile;
+
+  // x sweep: mass-flux pencil, donor-cell scalar flux, difference.
+  forall_box_blocked(policy_, o, tile_j, tile_k, [=](const Box& tile) {
+    const long nf = onx + 1;
+    double* buf = kern::pencil(2 * static_cast<std::size_t>(nf));
+    double* mf = buf;
+    double* sf = buf + nf;
+    std::uint64_t faces = 0;
+    for (long k = tile.lo.z; k < tile.hi.z; ++k)
+      for (long j = tile.lo.y; j < tile.hi.y; ++j) {
+        const long c0 = pofs(ox0, j, k);
+        kern::rusanov_mass_flux_row(rho, mx, snd, c0 - 1, c0, nf, mf);
+        kern::scalar_upwind_flux_row(scal, rho, c0 - 1, c0, nf, mf, sf);
+        kern::diff_pencil_row(dscal + oofs(ox0, j, k), sf, onx, invx);
+        faces += static_cast<std::uint64_t>(nf);
+      }
+    mass_total->fetch_add(faces, std::memory_order_relaxed);
   });
-  for (int axis = 0; axis < 3; ++axis) {
-    const double inv = inv_d[axis];
-    forall_box(policy_, state_.owned, [=](long i, long j, long k) {
-      const long di = axis == 0 ? 1 : 0;
-      const long dj = axis == 1 ? 1 : 0;
-      const long dk = axis == 2 ? 1 : 0;
-      // Mass flux through the low and high faces (identical arithmetic to
-      // the hydro sweep), upwinded phi by its sign.
-      const double mf_lo =
-          rusanov(f, axis, i - di, j - dj, k - dk, i, j, k).rho;
-      const double mf_hi =
-          rusanov(f, axis, i, j, k, i + di, j + dj, k + dk).rho;
-      auto phi = [&](long ii, long jj, long kk) {
-        return (*scal)(ii, jj, kk) / (*rho)(ii, jj, kk);
-      };
-      const double flux_lo =
-          mf_lo * (mf_lo >= 0 ? phi(i - di, j - dj, k - dk) : phi(i, j, k));
-      const double flux_hi =
-          mf_hi * (mf_hi >= 0 ? phi(i, j, k) : phi(i + di, j + dj, k + dk));
-      (*dscal)(i, j, k) -= (flux_hi - flux_lo) * inv;
-    });
-  }
+
+  // y sweep: tiles block only k (sweep direction unsplit).
+  forall_box_blocked(policy_, o, std::max<long>(ony, 1), sweep_tile,
+                     [=](const Box& tile) {
+    double* buf = kern::pencil(3 * static_cast<std::size_t>(onx));
+    double* mf = buf;
+    double* slo = buf + onx;
+    double* shi = buf + 2 * onx;
+    std::uint64_t faces = 0;
+    for (long k = tile.lo.z; k < tile.hi.z; ++k) {
+      long l0 = pofs(ox0, oy0 - 1, k), r0 = pofs(ox0, oy0, k);
+      kern::rusanov_mass_flux_row(rho, my, snd, l0, r0, onx, mf);
+      kern::scalar_upwind_flux_row(scal, rho, l0, r0, onx, mf, slo);
+      faces += static_cast<std::uint64_t>(onx);
+      for (long j = oy0; j < oy1; ++j) {
+        l0 = pofs(ox0, j, k), r0 = pofs(ox0, j + 1, k);
+        kern::rusanov_mass_flux_row(rho, my, snd, l0, r0, onx, mf);
+        kern::scalar_upwind_flux_row(scal, rho, l0, r0, onx, mf, shi);
+        faces += static_cast<std::uint64_t>(onx);
+        kern::diff_plane_row(dscal + oofs(ox0, j, k), shi, slo, onx, invy);
+        std::swap(slo, shi);
+      }
+    }
+    mass_total->fetch_add(faces, std::memory_order_relaxed);
+  });
+
+  // z sweep: tiles block only j.
+  forall_box_blocked(policy_, o, sweep_tile, std::max<long>(o.nz(), 1),
+                     [=](const Box& tile) {
+    double* buf = kern::pencil(3 * static_cast<std::size_t>(onx));
+    double* mf = buf;
+    double* slo = buf + onx;
+    double* shi = buf + 2 * onx;
+    std::uint64_t faces = 0;
+    for (long j = tile.lo.y; j < tile.hi.y; ++j) {
+      long l0 = pofs(ox0, j, oz0 - 1), r0 = pofs(ox0, j, oz0);
+      kern::rusanov_mass_flux_row(rho, mz, snd, l0, r0, onx, mf);
+      kern::scalar_upwind_flux_row(scal, rho, l0, r0, onx, mf, slo);
+      faces += static_cast<std::uint64_t>(onx);
+      for (long k = oz0; k < oz1; ++k) {
+        l0 = pofs(ox0, j, k), r0 = pofs(ox0, j, k + 1);
+        kern::rusanov_mass_flux_row(rho, mz, snd, l0, r0, onx, mf);
+        kern::scalar_upwind_flux_row(scal, rho, l0, r0, onx, mf, shi);
+        faces += static_cast<std::uint64_t>(onx);
+        kern::diff_plane_row(dscal + oofs(ox0, j, k), shi, slo, onx, invz);
+        std::swap(slo, shi);
+      }
+    }
+    mass_total->fetch_add(faces, std::memory_order_relaxed);
+  });
 }
 
 void Solver::accumulate_diffusion_fluxes() {

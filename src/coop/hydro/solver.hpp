@@ -1,9 +1,11 @@
 #pragma once
 
-#include <vector>
+#include <atomic>
+#include <cstdint>
 
 #include "coop/forall/dynamic_policy.hpp"
 #include "coop/forall/forall3d.hpp"
+#include "coop/forall/kernel_timers.hpp"
 #include "coop/hydro/eos.hpp"
 #include "coop/hydro/packages.hpp"
 #include "coop/hydro/state.hpp"
@@ -67,12 +69,24 @@ struct Diagnostics {
   double scalar_max = 0;          ///< max concentration phi
 };
 
+/// Cache-blocking knobs for the face-sweep kernels. Results are bitwise
+/// identical for every positive tile size (the blocked traversal partitions
+/// the box exactly and each face flux is evaluated once regardless of
+/// tiling); the knobs trade only locality. Nonpositive values are clamped
+/// to 1.
+struct SolverTuning {
+  long tile_j = 8;      ///< y rows per tile (x sweep, apply, clears)
+  long tile_k = 4;      ///< z planes per tile (x sweep, apply, clears)
+  long sweep_tile = 8;  ///< cross-axis tile width for the y/z face sweeps
+};
+
 class Solver {
  public:
   /// Builds the state for `owned` (a subdomain of `cfg.global`) with one
-  /// ghost layer; all kernels run under `policy`.
+  /// ghost layer; all kernels run under `policy`, blocked per `tuning`.
   Solver(memory::MemoryManager& mm, const ProblemConfig& cfg,
-         const mesh::Box& owned, forall::DynamicPolicy policy);
+         const mesh::Box& owned, forall::DynamicPolicy policy,
+         SolverTuning tuning = {});
 
   /// Sets the Sedov initial condition (ambient gas + central energy spike);
   /// each rank initializes exactly its owned zones.
@@ -145,6 +159,34 @@ class Solver {
   [[nodiscard]] forall::DynamicPolicy policy() const noexcept {
     return policy_;
   }
+  [[nodiscard]] const SolverTuning& tuning() const noexcept {
+    return tuning_;
+  }
+
+  /// Charges per-step work counts (`hydro.rusanov_faces`, and
+  /// `hydro.scalar_mass_faces` with the mixing package) to `timers` at the
+  /// end of every `advance`. Pass nullptr to detach.
+  void bind_kernel_timers(forall::KernelTimerRegistry* timers) noexcept {
+    timers_ = timers;
+  }
+
+  /// Rusanov flux evaluations performed by the LAST `advance` call. The
+  /// face-sweep formulation computes each face exactly once, so this must
+  /// equal `interior_face_count(owned)` — the seed per-cell formulation
+  /// evaluated every interior face twice, and the operation-count tests pin
+  /// that the redundancy cannot silently return.
+  [[nodiscard]] std::uint64_t flux_face_evaluations() const noexcept {
+    return flux_faces_.load(std::memory_order_relaxed);
+  }
+  /// Mass-flux evaluations of the last `advance`'s scalar sweep (zero when
+  /// the package is off); also exactly one per face.
+  [[nodiscard]] std::uint64_t scalar_mass_flux_evaluations() const noexcept {
+    return mass_faces_.load(std::memory_order_relaxed);
+  }
+  /// Faces touched by one axis-sweep pass over `owned` (each axis sweeps
+  /// the owned cells' low and high faces): (nx+1)*ny*nz + x-permutations.
+  [[nodiscard]] static std::uint64_t interior_face_count(
+      const mesh::Box& owned) noexcept;
 
  private:
   void accumulate_scalar_fluxes();
@@ -152,11 +194,19 @@ class Solver {
 
   ProblemConfig cfg_;
   forall::DynamicPolicy policy_;
+  SolverTuning tuning_;
   HydroState state_;
-  // Update scratch (temporary data): dU accumulators.
+  // Update scratch (temporary data): dU accumulators pooled in one SoA
+  // block (MeshPlane order), with named views for the package kernels.
+  mesh::FieldBlock du_block_;
   mesh::Array3D<double> d_rho_, d_mx_, d_my_, d_mz_, d_ener_;
   mesh::Array3D<double> d_scal_;  ///< scalar package accumulator
   mesh::Array3D<double> eint_;    ///< diffusion package: e_int incl. ghosts
+  // Per-step operation counters (tiles add their row counts; relaxed is
+  // enough — advance() joins every worker before reading).
+  std::atomic<std::uint64_t> flux_faces_{0};
+  std::atomic<std::uint64_t> mass_faces_{0};
+  forall::KernelTimerRegistry* timers_ = nullptr;
 };
 
 /// Analytic Sedov-Taylor strong-shock radius at time t for a spherical blast

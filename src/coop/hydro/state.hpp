@@ -2,11 +2,12 @@
 
 #include <array>
 #include <cstddef>
-#include <vector>
+#include <span>
 
 #include "coop/memory/memory_manager.hpp"
 #include "coop/mesh/array3d.hpp"
 #include "coop/mesh/box.hpp"
+#include "coop/mesh/field_block.hpp"
 
 /// \file state.hpp
 /// Conserved-variable state for the compressible Euler equations on one
@@ -16,15 +17,39 @@
 /// (unified memory on GPU-driving ranks), primitive scratch is *temporary*
 /// (device pool on GPU-driving ranks, reallocated per step in ARES; we keep
 /// them alive but route them through the same pool).
+///
+/// Storage is structure-of-arrays: ONE pooled `mesh::FieldBlock` per
+/// allocation context holds all field planes at a fixed stride (conserved
+/// fields in the mesh-data block, primitive scratch in the temporary block).
+/// The named members (`rho`, `mx`, ...) are non-owning `Array3D` views into
+/// the blocks, so halo exchange, boundary fills, and diagnostics keep the
+/// ghost-aware (i, j, k) indexing unchanged while the hot kernels consume
+/// the raw contiguous planes (`mesh_planes()`, hal3d-style flat signatures).
 
 namespace coop::hydro {
 
 /// Number of core conserved fields: rho, mom_x/y/z, total energy.
 inline constexpr int kNumConserved = 5;
 
+/// Plane order inside the mesh-data block.
+enum MeshPlane : int {
+  kRho = 0,
+  kMx = 1,
+  kMy = 2,
+  kMz = 3,
+  kEner = 4,
+  kScal = 5,  ///< present only when the mixing package is enabled
+};
+
 struct HydroState {
   mesh::Box owned{};
   long ghosts = 1;
+
+  // Pooled SoA storage (see file comment). `mesh_block` holds the conserved
+  // fields (+ scalar when enabled) in MeshPlane order; `temp_block` holds
+  // pressure then sound speed.
+  mesh::FieldBlock mesh_block;
+  mesh::FieldBlock temp_block;
 
   // Conserved (mesh data): density, momentum density, total energy density.
   mesh::Array3D<double> rho, mx, my, mz, ener;
@@ -36,19 +61,28 @@ struct HydroState {
   HydroState(memory::MemoryManager& mm, const mesh::Box& owned_box,
              long ghost_width = 1, bool with_scalar = false)
       : owned(owned_box), ghosts(ghost_width),
-        rho(mm, memory::AllocationContext::kMeshData, owned_box, ghost_width),
-        mx(mm, memory::AllocationContext::kMeshData, owned_box, ghost_width),
-        my(mm, memory::AllocationContext::kMeshData, owned_box, ghost_width),
-        mz(mm, memory::AllocationContext::kMeshData, owned_box, ghost_width),
-        ener(mm, memory::AllocationContext::kMeshData, owned_box, ghost_width),
-        prs(mm, memory::AllocationContext::kTemporary, owned_box, ghost_width),
-        snd(mm, memory::AllocationContext::kTemporary, owned_box,
-            ghost_width) {
-    if (with_scalar) {
-      scal = mesh::Array3D<double>(mm, memory::AllocationContext::kMeshData,
-                                   owned_box, ghost_width);
-    }
+        mesh_block(mm, memory::AllocationContext::kMeshData, owned_box,
+                   ghost_width, with_scalar ? kNumConserved + 1
+                                            : kNumConserved),
+        temp_block(mm, memory::AllocationContext::kTemporary, owned_box,
+                   ghost_width, 2),
+        rho(mesh_block.view(kRho)), mx(mesh_block.view(kMx)),
+        my(mesh_block.view(kMy)), mz(mesh_block.view(kMz)),
+        ener(mesh_block.view(kEner)), prs(temp_block.view(0)),
+        snd(temp_block.view(1)) {
+    if (with_scalar) scal = mesh_block.view(kScal);
+    exchanged_[0] = &rho;
+    exchanged_[1] = &mx;
+    exchanged_[2] = &my;
+    exchanged_[3] = &mz;
+    exchanged_[4] = &ener;
+    n_exchanged_ = kNumConserved;
+    if (with_scalar) exchanged_[n_exchanged_++] = &scal;
   }
+
+  // The exchange list points at the members above; pin the object.
+  HydroState(const HydroState&) = delete;
+  HydroState& operator=(const HydroState&) = delete;
 
   /// The core conserved fields in exchange order (halo packing).
   [[nodiscard]] std::array<mesh::Array3D<double>*, kNumConserved> conserved() {
@@ -57,11 +91,16 @@ struct HydroState {
 
   /// Every field that must participate in halo exchange (core conserved
   /// plus enabled package fields), in a stable order usable as message tags.
-  [[nodiscard]] std::vector<mesh::Array3D<double>*> exchanged_fields() {
-    std::vector<mesh::Array3D<double>*> f = {&rho, &mx, &my, &mz, &ener};
-    if (scal.valid()) f.push_back(&scal);
-    return f;
+  /// The list is fixed at construction — this sits on the per-step halo
+  /// path, so it must not allocate.
+  [[nodiscard]] std::span<mesh::Array3D<double>* const> exchanged_fields()
+      const noexcept {
+    return {exchanged_.data(), n_exchanged_};
   }
+
+ private:
+  std::array<mesh::Array3D<double>*, kNumConserved + 1> exchanged_{};
+  std::size_t n_exchanged_ = 0;
 };
 
 }  // namespace coop::hydro

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <utility>
 
 #include "coop/memory/memory_manager.hpp"
 #include "coop/mesh/box.hpp"
@@ -13,6 +14,12 @@
 /// stored x-fastest (x is the innermost/unit-stride dimension, as in ARES).
 /// Indexing uses *global* zone indices, so kernels written against the global
 /// index space work unchanged on any rank's subdomain.
+///
+/// Storage is either *owned* (allocated from the `MemoryManager`) or a
+/// *view* over external storage — a plane of a pooled `mesh::FieldBlock`.
+/// Views carry full Array3D indexing but no ownership; the block outlives
+/// them. Both modes index through the same raw pointer, so `operator()`
+/// costs the same either way.
 
 namespace coop::mesh {
 
@@ -25,22 +32,48 @@ class Array3D {
   Array3D(memory::MemoryManager& mm, memory::AllocationContext ctx,
           const Box& owned, long ghosts)
       : owned_(owned), padded_(owned.grown(ghosts)), ghosts_(ghosts),
-        buf_(mm.make_buffer<T>(ctx, static_cast<std::size_t>(padded_.zones()))) {
+        buf_(mm.make_buffer<T>(ctx, static_cast<std::size_t>(padded_.zones()))),
+        data_(buf_.data()), size_(buf_.size()) {
     assert(!owned.empty());
   }
+
+  /// Non-owning view over `external`, which must hold
+  /// `owned.grown(ghosts).zones()` elements that outlive the view.
+  Array3D(T* external, const Box& owned, long ghosts) noexcept
+      : owned_(owned), padded_(owned.grown(ghosts)), ghosts_(ghosts),
+        data_(external), size_(static_cast<std::size_t>(padded_.zones())) {}
+
+  Array3D(Array3D&& o) noexcept
+      : owned_(o.owned_), padded_(o.padded_), ghosts_(o.ghosts_),
+        buf_(std::move(o.buf_)), data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)) {}
+  Array3D& operator=(Array3D&& o) noexcept {
+    if (this != &o) {
+      owned_ = o.owned_;
+      padded_ = o.padded_;
+      ghosts_ = o.ghosts_;
+      buf_ = std::move(o.buf_);
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+  Array3D(const Array3D&) = delete;
+  Array3D& operator=(const Array3D&) = delete;
+  ~Array3D() = default;
 
   [[nodiscard]] const Box& owned() const noexcept { return owned_; }
   [[nodiscard]] const Box& padded() const noexcept { return padded_; }
   [[nodiscard]] long ghosts() const noexcept { return ghosts_; }
-  [[nodiscard]] bool valid() const noexcept { return !buf_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] bool valid() const noexcept { return data_ != nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
   /// Element at global index (i, j, k); must lie in the padded box.
   [[nodiscard]] T& operator()(long i, long j, long k) noexcept {
-    return buf_[index(i, j, k)];
+    return data_[index(i, j, k)];
   }
   [[nodiscard]] const T& operator()(long i, long j, long k) const noexcept {
-    return buf_[index(i, j, k)];
+    return data_[index(i, j, k)];
   }
 
   /// Linear offset of global (i, j, k) in the padded storage.
@@ -53,18 +86,20 @@ class Array3D {
                                     li);
   }
 
-  [[nodiscard]] T* data() noexcept { return buf_.data(); }
-  [[nodiscard]] const T* data() const noexcept { return buf_.data(); }
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
 
   void fill(const T& v) {
-    for (std::size_t i = 0; i < buf_.size(); ++i) buf_[i] = v;
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = v;
   }
 
  private:
   Box owned_{};
   Box padded_{};
   long ghosts_ = 0;
-  memory::Buffer<T> buf_{};
+  memory::Buffer<T> buf_{};  ///< empty for views
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 }  // namespace coop::mesh

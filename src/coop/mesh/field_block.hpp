@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+
+#include "coop/memory/memory_manager.hpp"
+#include "coop/mesh/array3d.hpp"
+#include "coop/mesh/box.hpp"
+
+/// \file field_block.hpp
+/// Pooled structure-of-arrays storage for a set of same-shaped fields.
+///
+/// A `FieldBlock` is ONE contiguous allocation holding `nfields` field
+/// planes over the same padded box, each plane `plane_stride()` doubles
+/// long. This is the SoA layout the flat-array kernel signatures want (cf.
+/// hal3d's `const double* density, double* energy, ...` interfaces): every
+/// field is a dense unit-stride array, adjacent fields sit at a fixed
+/// stride, and a kernel touching all fields of a tile walks a bounded
+/// working set instead of seven unrelated heap allocations.
+///
+/// Placement semantics are unchanged from the per-field layout (paper
+/// Fig. 8): the whole block lives in the single `AllocationContext` given at
+/// construction, so a mesh-data block lands in unified memory on GPU-driving
+/// ranks and a temporary block in the device pool — same total bytes, one
+/// allocation instead of `nfields`.
+///
+/// `view(f)` adapts a plane back into the ghost-aware `Array3D` indexing
+/// used by halo exchange, boundary fills, and diagnostics; `plane(f)` is the
+/// raw pointer the vectorized kernels consume.
+
+namespace coop::mesh {
+
+class FieldBlock {
+ public:
+  FieldBlock() = default;
+
+  /// One allocation of `nfields * owned.grown(ghosts).zones()` doubles from
+  /// `mm` in `ctx`; plane `f` starts at `data() + f * plane_stride()`.
+  FieldBlock(memory::MemoryManager& mm, memory::AllocationContext ctx,
+             const Box& owned, long ghosts, int nfields)
+      : owned_(owned), padded_(owned.grown(ghosts)), ghosts_(ghosts),
+        nfields_(nfields),
+        buf_(mm.make_buffer<double>(
+            ctx, static_cast<std::size_t>(nfields) *
+                     static_cast<std::size_t>(padded_.zones()))) {}
+
+  [[nodiscard]] bool valid() const noexcept { return !buf_.empty(); }
+  [[nodiscard]] int nfields() const noexcept { return nfields_; }
+  [[nodiscard]] const Box& owned() const noexcept { return owned_; }
+  [[nodiscard]] const Box& padded() const noexcept { return padded_; }
+  [[nodiscard]] long ghosts() const noexcept { return ghosts_; }
+
+  /// Doubles per field plane (= padded zones).
+  [[nodiscard]] std::size_t plane_stride() const noexcept {
+    return static_cast<std::size_t>(padded_.zones());
+  }
+
+  /// Raw base of field plane `f` — the flat-kernel entry point.
+  [[nodiscard]] double* plane(int f) noexcept {
+    return buf_.data() + static_cast<std::size_t>(f) * plane_stride();
+  }
+  [[nodiscard]] const double* plane(int f) const noexcept {
+    return buf_.data() + static_cast<std::size_t>(f) * plane_stride();
+  }
+
+  /// Ghost-aware non-owning view of plane `f` (Array3D indexing, storage
+  /// stays here). Views stay valid for the lifetime of the block; the
+  /// underlying allocation never moves.
+  [[nodiscard]] Array3D<double> view(int f) noexcept {
+    return Array3D<double>(plane(f), owned_, ghosts_);
+  }
+
+ private:
+  Box owned_{};
+  Box padded_{};
+  long ghosts_ = 0;
+  int nfields_ = 0;
+  memory::Buffer<double> buf_{};
+};
+
+}  // namespace coop::mesh

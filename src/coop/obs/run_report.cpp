@@ -87,6 +87,8 @@ void RunReport::write_json(std::ostream& os) const {
     kv(os, "name", k.name, false);
     kv(os, "calls", k.calls);
     kv(os, "seconds", k.seconds);
+    kv(os, "intensity_flops_per_byte", k.intensity_flops_per_byte);
+    kv(os, "roofline_frac_pct", k.roofline_frac_pct);
     os << '}';
   }
   os << ']';
@@ -112,6 +114,8 @@ void RunReport::write_json(std::ostream& os) const {
   kv(os, "achieved", achieved_flops, false);
   kv(os, "model_peak", model_peak_flops);
   kv(os, "efficiency_pct", flops_efficiency_pct);
+  kv(os, "intensity_flops_per_byte", intensity_flops_per_byte);
+  kv(os, "roofline_frac_pct", roofline_frac_pct);
   os << '}';
 
   os << ",\"sweep\":[";
@@ -173,6 +177,10 @@ void RunReport::write_table(std::ostream& os) const {
   os << "  flops achieved " << std::scientific << std::setprecision(3)
      << achieved_flops << " / model peak " << model_peak_flops << " ("
      << std::fixed << std::setprecision(1) << flops_efficiency_pct << " %)\n";
+  if (intensity_flops_per_byte > 0.0)
+    os << "  roofline: step intensity " << std::setprecision(3)
+       << intensity_flops_per_byte << " flop/B caps "
+       << std::setprecision(1) << roofline_frac_pct << " % of peak\n";
 
   if (!per_rank.empty()) {
     os << "  rank  dev  " << std::setw(10) << "zones" << std::setw(11)
@@ -192,10 +200,16 @@ void RunReport::write_table(std::ostream& os) const {
 
   if (!top_kernels.empty()) {
     os << "  top kernels (by summed simulated time):\n";
-    for (const KernelReport& k : top_kernels)
+    for (const KernelReport& k : top_kernels) {
       os << "    " << std::setw(28) << std::left << k.name << std::right
          << std::setw(8) << k.calls << " calls  " << std::setprecision(5)
-         << k.seconds << " s\n";
+         << k.seconds << " s";
+      if (k.intensity_flops_per_byte > 0.0)
+        os << "  (" << std::setprecision(3) << k.intensity_flops_per_byte
+           << " flop/B, roofline " << std::setprecision(1)
+           << k.roofline_frac_pct << "% of peak)" << std::setprecision(4);
+      os << '\n';
+    }
   }
 
   if (faults.injected > 0 || faults.recovered > 0) {

@@ -27,7 +27,11 @@ namespace coop::obs {
 inline constexpr const char* kRunReportSchemaName = "coophet.run_report";
 /// v2: added the "sweep_resilience" object (campaign supervision tallies +
 /// quarantined-cell rows). Readers of v1 fields are unaffected.
-inline constexpr int kRunReportSchemaVersion = 2;
+/// v3: roofline annotations — per-kernel "intensity_flops_per_byte" and
+/// "roofline_frac_pct" in "top_kernels", and the same pair (catalog
+/// aggregate) in the "flops" object. Readers of v1/v2 fields are
+/// unaffected.
+inline constexpr int kRunReportSchemaVersion = 3;
 
 struct PhaseBreakdown {
   double compute_s = 0.0;
@@ -48,6 +52,12 @@ struct KernelReport {
   std::string name;
   std::uint64_t calls = 0;
   double seconds = 0.0;  ///< summed simulated span time across ranks/steps
+  // Roofline position (schema v3; zero when the kernel is not in the cost
+  // catalog, e.g. the synthetic um-spill span):
+  double intensity_flops_per_byte = 0.0;  ///< catalog arithmetic intensity
+  /// min(peak, intensity * bandwidth) / peak on this run's device mix, % —
+  /// the share of model peak the roofline permits at that intensity.
+  double roofline_frac_pct = 0.0;
 };
 
 struct FaultReport {
@@ -129,6 +139,12 @@ struct RunReport {
   double achieved_flops = 0.0;
   double model_peak_flops = 0.0;
   double flops_efficiency_pct = 0.0;
+  // Catalog-aggregate roofline position (schema v3): the full hydro step's
+  // flops/bytes intensity and the fraction of model peak the roofline
+  // permits there — the ceiling flops_efficiency_pct should be read
+  // against.
+  double intensity_flops_per_byte = 0.0;
+  double roofline_frac_pct = 0.0;
 
   /// Optional figure-sweep summary (the per-PR perf trajectory rows).
   std::vector<SweepRow> sweep;

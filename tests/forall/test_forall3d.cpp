@@ -103,6 +103,71 @@ TEST(TiledForall, BadTileSizesRejected) {
                std::invalid_argument);
 }
 
+class BlockedPartition
+    : public ::testing::TestWithParam<std::pair<long, long>> {};
+
+TEST_P(BlockedPartition, TilesPartitionBoxExactlyAndNeverSplitX) {
+  const auto [tj, tk] = GetParam();
+  const Box b{{2, 1, 3}, {11, 14, 12}};
+  std::vector<int> hits(static_cast<std::size_t>(b.zones()), 0);
+  int* hp = hits.data();
+  const long nx = b.nx(), ny = b.ny();
+  fa::forall_box_blocked(
+      fa::DynamicPolicy{fa::PolicyKind::kThreads}, b, tj, tk,
+      [=](const Box& tile) {
+        // The x extent is never split and tiles honor the requested sizes.
+        EXPECT_EQ(tile.lo.x, b.lo.x);
+        EXPECT_EQ(tile.hi.x, b.hi.x);
+        EXPECT_LE(tile.ny(), tj);
+        EXPECT_LE(tile.nz(), tk);
+        EXPECT_FALSE(tile.empty());
+        for (long k = tile.lo.z; k < tile.hi.z; ++k)
+          for (long j = tile.lo.y; j < tile.hi.y; ++j)
+            for (long i = tile.lo.x; i < tile.hi.x; ++i) {
+              const long t =
+                  ((k - b.lo.z) * ny + (j - b.lo.y)) * nx + (i - b.lo.x);
+              // Tiles are disjoint, so no two workers touch the same zone.
+              hp[t] += 1;
+            }
+      });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, BlockedPartition,
+                         ::testing::Values(std::pair<long, long>{1, 1},
+                                           std::pair<long, long>{5, 3},
+                                           std::pair<long, long>{13, 2},
+                                           std::pair<long, long>{64, 64}));
+
+TEST(BlockedForall, BadTileSizesRejected) {
+  const Box b{{0, 0, 0}, {4, 4, 4}};
+  EXPECT_THROW(fa::forall_box_blocked(fa::DynamicPolicy{fa::PolicyKind::kSeq},
+                                      b, 4, -1, [](const Box&) {}),
+               std::invalid_argument);
+}
+
+TEST(BlockedForall, EmptyBoxRunsNothing) {
+  const Box b{{0, 0, 0}, {4, 0, 4}};
+  int tiles = 0;
+  fa::forall_box_blocked(fa::DynamicPolicy{fa::PolicyKind::kSeq}, b, 2, 2,
+                         [&](const Box&) { ++tiles; });
+  EXPECT_EQ(tiles, 0);
+}
+
+TEST(KernelTimers, AddWorkAccumulatesWithoutTouchingCallsOrTime) {
+  fa::KernelTimerRegistry reg;
+  reg.add_work("hydro.rusanov_faces", 100);
+  reg.add_work("hydro.rusanov_faces", 50);
+  const auto* e = reg.find("hydro.rusanov_faces");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->work, 150u);
+  EXPECT_EQ(e->calls, 0u);
+  EXPECT_DOUBLE_EQ(e->seconds, 0.0);
+  reg.add("hydro.rusanov_faces", 0.25);
+  EXPECT_EQ(reg.find("hydro.rusanov_faces")->work, 150u);
+  EXPECT_EQ(reg.find("hydro.rusanov_faces")->calls, 1u);
+}
+
 TEST(KernelTimers, AccumulatesCallsAndTime) {
   fa::KernelTimerRegistry reg;
   for (int rep = 0; rep < 3; ++rep) {

@@ -1,0 +1,464 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "coop/forall/dynamic_policy.hpp"
+#include "coop/forall/forall3d.hpp"
+#include "coop/hydro/solver.hpp"
+
+/// \file reference_solver.hpp
+/// The SEED hydro solver, preserved verbatim as a differential oracle.
+///
+/// This is the pre-SoA formulation: seven independent `Array3D` allocations
+/// and a per-cell update that evaluates `rusanov(lo)` and `rusanov(hi)` for
+/// every zone — i.e. every interior face's flux TWICE. The production
+/// `Solver` replaced this with pooled SoA planes and face-sweep kernels that
+/// compute each flux once; the refactor's contract is that every conserved
+/// field (and dt, and the diagnostics) stays BITWISE identical to this
+/// formulation. The equivalence suite (test_soa_equivalence.cpp) runs both
+/// side by side and compares bit patterns zone by zone.
+///
+/// Do not "improve" this file: its value is that it stays frozen at the
+/// seed's exact expression sequence.
+
+namespace coop::hydro::seedref {
+
+class ReferenceSolver {
+ public:
+  ReferenceSolver(memory::MemoryManager& mm, const ProblemConfig& cfg,
+                  const mesh::Box& owned, forall::DynamicPolicy policy)
+      : rho(mm, memory::AllocationContext::kMeshData, owned, 1),
+        mx(mm, memory::AllocationContext::kMeshData, owned, 1),
+        my(mm, memory::AllocationContext::kMeshData, owned, 1),
+        mz(mm, memory::AllocationContext::kMeshData, owned, 1),
+        ener(mm, memory::AllocationContext::kMeshData, owned, 1),
+        prs(mm, memory::AllocationContext::kTemporary, owned, 1),
+        snd(mm, memory::AllocationContext::kTemporary, owned, 1),
+        cfg_(cfg), policy_(policy), owned_(owned), ghosts_(1),
+        d_rho_(mm, memory::AllocationContext::kTemporary, owned, 0),
+        d_mx_(mm, memory::AllocationContext::kTemporary, owned, 0),
+        d_my_(mm, memory::AllocationContext::kTemporary, owned, 0),
+        d_mz_(mm, memory::AllocationContext::kTemporary, owned, 0),
+        d_ener_(mm, memory::AllocationContext::kTemporary, owned, 0) {
+    if (cfg.packages.passive_scalar) {
+      scal = mesh::Array3D<double>(mm, memory::AllocationContext::kMeshData,
+                                   owned, 1);
+      d_scal_ = mesh::Array3D<double>(
+          mm, memory::AllocationContext::kTemporary, owned, 0);
+    }
+    if (cfg.packages.diffusion)
+      eint_ = mesh::Array3D<double>(mm, memory::AllocationContext::kTemporary,
+                                    owned, 1);
+  }
+
+  void initialize() {
+    const double dx = cfg_.dx(), dy = cfg_.dy(), dz = cfg_.dz();
+    const double cx = 0.5 * cfg_.length, cy = 0.5 * cfg_.length,
+                 cz = 0.5 * cfg_.length;
+    const double r0 = cfg_.blast_radius_zones * dx;
+
+    const long icx = cfg_.global.nx() / 2, icy = cfg_.global.ny() / 2,
+               icz = cfg_.global.nz() / 2;
+    const long rz = static_cast<long>(std::ceil(cfg_.blast_radius_zones)) + 1;
+    long n_dep = 0;
+    auto in_ball = [&](long i, long j, long k) {
+      const double x = (static_cast<double>(i) + 0.5) * dx - cx;
+      const double y = (static_cast<double>(j) + 0.5) * dy - cy;
+      const double z = (static_cast<double>(k) + 0.5) * dz - cz;
+      return std::sqrt(x * x + y * y + z * z) <= r0;
+    };
+    for (long k = icz - rz; k <= icz + rz; ++k)
+      for (long j = icy - rz; j <= icy + rz; ++j)
+        for (long i = icx - rz; i <= icx + rz; ++i)
+          if (cfg_.global.contains({i, j, k}) && in_ball(i, j, k)) ++n_dep;
+    if (n_dep == 0) n_dep = 1;
+    const double dv = dx * dy * dz;
+    const double e_spike =
+        cfg_.blast_energy / (static_cast<double>(n_dep) * dv);
+    const double e_ambient = cfg_.p0 / (cfg_.eos.gamma - 1.0);
+
+    auto* rho_p = &rho;
+    auto* mx_p = &mx;
+    auto* my_p = &my;
+    auto* mz_p = &mz;
+    auto* ener_p = &ener;
+    const double rho0 = cfg_.rho0;
+    forall::forall_box(policy_, owned_.grown(ghosts_),
+                       [=](long i, long j, long k) {
+                         (*rho_p)(i, j, k) = rho0;
+                         (*mx_p)(i, j, k) = 0.0;
+                         (*my_p)(i, j, k) = 0.0;
+                         (*mz_p)(i, j, k) = 0.0;
+                         (*ener_p)(i, j, k) =
+                             e_ambient + (in_ball(i, j, k) ? e_spike : 0.0);
+                       });
+
+    if (cfg_.packages.passive_scalar) {
+      auto* scal_p = &scal;
+      const double rb = cfg_.packages.scalar_ball_radius * cfg_.length;
+      forall::forall_box(policy_, owned_.grown(ghosts_),
+                         [=](long i, long j, long k) {
+                           const double px =
+                               (static_cast<double>(i) + 0.5) * dx - cx;
+                           const double py =
+                               (static_cast<double>(j) + 0.5) * dy - cy;
+                           const double pz =
+                               (static_cast<double>(k) + 0.5) * dz - cz;
+                           const bool inside =
+                               std::sqrt(px * px + py * py + pz * pz) <= rb;
+                           (*scal_p)(i, j, k) =
+                               inside ? (*rho_p)(i, j, k) : 0.0;
+                         });
+    }
+  }
+
+  template <typename Ic>
+  void initialize_with(Ic&& ic) {
+    auto* rho_p = &rho;
+    auto* mx_p = &mx;
+    auto* my_p = &my;
+    auto* mz_p = &mz;
+    auto* ener_p = &ener;
+    const double dx = cfg_.dx(), dy = cfg_.dy(), dz = cfg_.dz();
+    const IdealGas eos = cfg_.eos;
+    forall::forall_box(
+        policy_, owned_.grown(ghosts_), [=](long i, long j, long k) {
+          const Solver::Primitives s =
+              ic((static_cast<double>(i) + 0.5) * dx,
+                 (static_cast<double>(j) + 0.5) * dy,
+                 (static_cast<double>(k) + 0.5) * dz);
+          (*rho_p)(i, j, k) = s.rho;
+          (*mx_p)(i, j, k) = s.rho * s.u;
+          (*my_p)(i, j, k) = s.rho * s.v;
+          (*mz_p)(i, j, k) = s.rho * s.w;
+          (*ener_p)(i, j, k) = eos.total_energy(s.rho, s.u, s.v, s.w, s.p);
+        });
+    if (cfg_.packages.passive_scalar) {
+      auto* scal_p = &scal;
+      forall::forall_box(policy_, owned_.grown(ghosts_),
+                         [=](long i, long j, long k) {
+                           (*scal_p)(i, j, k) = 0.0;
+                         });
+    }
+  }
+
+  void apply_physical_boundaries() {
+    const mesh::Box& o = owned_;
+    const mesh::Box& g = cfg_.global;
+    const long gh = ghosts_;
+    mesh::Array3D<double>* fields[6] = {&rho, &mx, &my, &mz, &ener, nullptr};
+    int nf = 5;
+    if (cfg_.packages.passive_scalar) fields[nf++] = &scal;
+
+    const bool reflect = cfg_.boundary == BoundaryCondition::kReflecting;
+    auto fill_face = [&](const mesh::Box& ghost_region,
+                         mesh::Array3D<double>* normal_mom) {
+      for (int f = 0; f < nf; ++f) {
+        auto* a = fields[f];
+        for (long k = ghost_region.lo.z; k < ghost_region.hi.z; ++k)
+          for (long j = ghost_region.lo.y; j < ghost_region.hi.y; ++j)
+            for (long i = ghost_region.lo.x; i < ghost_region.hi.x; ++i)
+              (*a)(i, j, k) = (*a)(std::clamp(i, o.lo.x, o.hi.x - 1),
+                                   std::clamp(j, o.lo.y, o.hi.y - 1),
+                                   std::clamp(k, o.lo.z, o.hi.z - 1));
+      }
+      if (reflect) {
+        for (long k = ghost_region.lo.z; k < ghost_region.hi.z; ++k)
+          for (long j = ghost_region.lo.y; j < ghost_region.hi.y; ++j)
+            for (long i = ghost_region.lo.x; i < ghost_region.hi.x; ++i)
+              (*normal_mom)(i, j, k) = -(*normal_mom)(i, j, k);
+      }
+    };
+    const mesh::Box padded = o.grown(gh);
+    if (o.lo.x == g.lo.x)
+      fill_face(mesh::Box{{padded.lo.x, padded.lo.y, padded.lo.z},
+                          {o.lo.x, padded.hi.y, padded.hi.z}}, &mx);
+    if (o.hi.x == g.hi.x)
+      fill_face(mesh::Box{{o.hi.x, padded.lo.y, padded.lo.z},
+                          {padded.hi.x, padded.hi.y, padded.hi.z}}, &mx);
+    if (o.lo.y == g.lo.y)
+      fill_face(mesh::Box{{padded.lo.x, padded.lo.y, padded.lo.z},
+                          {padded.hi.x, o.lo.y, padded.hi.z}}, &my);
+    if (o.hi.y == g.hi.y)
+      fill_face(mesh::Box{{padded.lo.x, o.hi.y, padded.lo.z},
+                          {padded.hi.x, padded.hi.y, padded.hi.z}}, &my);
+    if (o.lo.z == g.lo.z)
+      fill_face(mesh::Box{{padded.lo.x, padded.lo.y, padded.lo.z},
+                          {padded.hi.x, padded.hi.y, o.lo.z}}, &mz);
+    if (o.hi.z == g.hi.z)
+      fill_face(mesh::Box{{padded.lo.x, padded.lo.y, o.hi.z},
+                          {padded.hi.x, padded.hi.y, padded.hi.z}}, &mz);
+  }
+
+  void compute_primitives() {
+    auto* rho_p = &rho;
+    auto* mx_p = &mx;
+    auto* my_p = &my;
+    auto* mz_p = &mz;
+    auto* ener_p = &ener;
+    auto* prs_p = &prs;
+    auto* snd_p = &snd;
+    const IdealGas eos = cfg_.eos;
+    const double p_floor = 1e-12;
+    forall::forall_box(policy_, owned_.grown(ghosts_),
+                       [=](long i, long j, long k) {
+                         const double r = (*rho_p)(i, j, k);
+                         const double p = std::max(
+                             p_floor,
+                             eos.pressure_conserved(r, (*mx_p)(i, j, k),
+                                                    (*my_p)(i, j, k),
+                                                    (*mz_p)(i, j, k),
+                                                    (*ener_p)(i, j, k)));
+                         (*prs_p)(i, j, k) = p;
+                         (*snd_p)(i, j, k) = eos.sound_speed(r, p);
+                       });
+  }
+
+  void advance(double dt) {
+    const ZoneRef f{&rho, &mx, &my, &mz, &ener, &prs, &snd};
+    auto* drho = &d_rho_;
+    auto* dmx = &d_mx_;
+    auto* dmy = &d_my_;
+    auto* dmz = &d_mz_;
+    auto* dener = &d_ener_;
+
+    forall::forall_box(policy_, owned_, [=](long i, long j, long k) {
+      (*drho)(i, j, k) = 0.0;
+      (*dmx)(i, j, k) = 0.0;
+      (*dmy)(i, j, k) = 0.0;
+      (*dmz)(i, j, k) = 0.0;
+      (*dener)(i, j, k) = 0.0;
+    });
+
+    const double inv_d[3] = {1.0 / cfg_.dx(), 1.0 / cfg_.dy(),
+                             1.0 / cfg_.dz()};
+    for (int axis = 0; axis < 3; ++axis) {
+      const double inv = inv_d[axis];
+      forall::forall_box(policy_, owned_, [=](long i, long j, long k) {
+        const long di = axis == 0 ? 1 : 0;
+        const long dj = axis == 1 ? 1 : 0;
+        const long dk = axis == 2 ? 1 : 0;
+        const Flux lo = rusanov(f, axis, i - di, j - dj, k - dk, i, j, k);
+        const Flux hi = rusanov(f, axis, i, j, k, i + di, j + dj, k + dk);
+        (*drho)(i, j, k) -= (hi.rho - lo.rho) * inv;
+        (*dmx)(i, j, k) -= (hi.mx - lo.mx) * inv;
+        (*dmy)(i, j, k) -= (hi.my - lo.my) * inv;
+        (*dmz)(i, j, k) -= (hi.mz - lo.mz) * inv;
+        (*dener)(i, j, k) -= (hi.ener - lo.ener) * inv;
+      });
+    }
+
+    if (cfg_.packages.diffusion) accumulate_diffusion_fluxes();
+    if (cfg_.packages.passive_scalar) accumulate_scalar_fluxes();
+
+    auto* rho_p = &rho;
+    auto* mx_p = &mx;
+    auto* my_p = &my;
+    auto* mz_p = &mz;
+    auto* ener_p = &ener;
+    const double rho_floor = 1e-10, e_floor = 1e-14;
+    forall::forall_box(policy_, owned_, [=](long i, long j, long k) {
+      (*rho_p)(i, j, k) =
+          std::max(rho_floor, (*rho_p)(i, j, k) + dt * (*drho)(i, j, k));
+      (*mx_p)(i, j, k) += dt * (*dmx)(i, j, k);
+      (*my_p)(i, j, k) += dt * (*dmy)(i, j, k);
+      (*mz_p)(i, j, k) += dt * (*dmz)(i, j, k);
+      (*ener_p)(i, j, k) =
+          std::max(e_floor, (*ener_p)(i, j, k) + dt * (*dener)(i, j, k));
+    });
+
+    if (cfg_.packages.passive_scalar) {
+      auto* scal_p = &scal;
+      auto* dscal = &d_scal_;
+      forall::forall_box(policy_, owned_, [=](long i, long j, long k) {
+        (*scal_p)(i, j, k) += dt * (*dscal)(i, j, k);
+      });
+    }
+  }
+
+  [[nodiscard]] double local_dt() const {
+    const mesh::Box& o = owned_;
+    const double dx = cfg_.dx(), dy = cfg_.dy(), dz = cfg_.dz();
+    double min_dt = std::numeric_limits<double>::max();
+    for (long k = o.lo.z; k < o.hi.z; ++k)
+      for (long j = o.lo.y; j < o.hi.y; ++j)
+        for (long i = o.lo.x; i < o.hi.x; ++i) {
+          const double r = rho(i, j, k);
+          const double c = snd(i, j, k);
+          const double u = std::abs(mx(i, j, k) / r);
+          const double v = std::abs(my(i, j, k) / r);
+          const double w = std::abs(mz(i, j, k) / r);
+          min_dt =
+              std::min({min_dt, dx / (u + c), dy / (v + c), dz / (w + c)});
+        }
+    double dt = cfg_.cfl * min_dt;
+    if (cfg_.packages.diffusion && cfg_.packages.diffusivity > 0) {
+      const double h2 = std::min({dx * dx, dy * dy, dz * dz});
+      dt = std::min(dt, cfg_.packages.diffusion_safety * h2 /
+                            (6.0 * cfg_.packages.diffusivity));
+    }
+    return dt;
+  }
+
+  [[nodiscard]] Diagnostics local_diagnostics() const {
+    const mesh::Box& o = owned_;
+    const double dv = cfg_.dx() * cfg_.dy() * cfg_.dz();
+    const double cx = 0.5 * cfg_.length, cy = 0.5 * cfg_.length,
+                 cz = 0.5 * cfg_.length;
+    Diagnostics d;
+    const bool has_scal = cfg_.packages.passive_scalar;
+    if (has_scal) {
+      d.scalar_min = std::numeric_limits<double>::max();
+      d.scalar_max = std::numeric_limits<double>::lowest();
+    }
+    for (long k = o.lo.z; k < o.hi.z; ++k)
+      for (long j = o.lo.y; j < o.hi.y; ++j)
+        for (long i = o.lo.x; i < o.hi.x; ++i) {
+          const double r = rho(i, j, k);
+          d.mass += r * dv;
+          d.total_energy += ener(i, j, k) * dv;
+          if (r > d.max_density) {
+            d.max_density = r;
+            const double x = (static_cast<double>(i) + 0.5) * cfg_.dx() - cx;
+            const double y = (static_cast<double>(j) + 0.5) * cfg_.dy() - cy;
+            const double z = (static_cast<double>(k) + 0.5) * cfg_.dz() - cz;
+            d.max_density_radius = std::sqrt(x * x + y * y + z * z);
+          }
+          if (has_scal) {
+            d.scalar_mass += scal(i, j, k) * dv;
+            const double phi = scal(i, j, k) / r;
+            d.scalar_min = std::min(d.scalar_min, phi);
+            d.scalar_max = std::max(d.scalar_max, phi);
+          }
+        }
+    return d;
+  }
+
+  [[nodiscard]] const mesh::Box& owned() const noexcept { return owned_; }
+  [[nodiscard]] long ghosts() const noexcept { return ghosts_; }
+
+  // Seed layout: seven independent allocations, public for the differential
+  // comparison.
+  mesh::Array3D<double> rho, mx, my, mz, ener, prs, snd, scal;
+
+ private:
+  struct ZoneRef {
+    const mesh::Array3D<double>* rho;
+    const mesh::Array3D<double>* mx;
+    const mesh::Array3D<double>* my;
+    const mesh::Array3D<double>* mz;
+    const mesh::Array3D<double>* ener;
+    const mesh::Array3D<double>* prs;
+    const mesh::Array3D<double>* snd;
+  };
+
+  struct Flux {
+    double rho, mx, my, mz, ener;
+  };
+
+  static Flux rusanov(const ZoneRef& f, int axis, long li, long lj, long lk,
+                      long ri, long rj, long rk) {
+    const double rl = (*f.rho)(li, lj, lk), rr = (*f.rho)(ri, rj, rk);
+    const double pl = (*f.prs)(li, lj, lk), pr = (*f.prs)(ri, rj, rk);
+    const double cl = (*f.snd)(li, lj, lk), cr = (*f.snd)(ri, rj, rk);
+    const double mxl = (*f.mx)(li, lj, lk), mxr = (*f.mx)(ri, rj, rk);
+    const double myl = (*f.my)(li, lj, lk), myr = (*f.my)(ri, rj, rk);
+    const double mzl = (*f.mz)(li, lj, lk), mzr = (*f.mz)(ri, rj, rk);
+    const double el = (*f.ener)(li, lj, lk), er = (*f.ener)(ri, rj, rk);
+
+    const double mdl = axis == 0 ? mxl : (axis == 1 ? myl : mzl);
+    const double mdr = axis == 0 ? mxr : (axis == 1 ? myr : mzr);
+    const double ul = mdl / rl, ur = mdr / rr;
+    const double s = std::max(std::abs(ul) + cl, std::abs(ur) + cr);
+
+    Flux out;
+    out.rho = 0.5 * (mdl + mdr) - 0.5 * s * (rr - rl);
+    out.mx = 0.5 * (mxl * ul + mxr * ur) - 0.5 * s * (mxr - mxl);
+    out.my = 0.5 * (myl * ul + myr * ur) - 0.5 * s * (myr - myl);
+    out.mz = 0.5 * (mzl * ul + mzr * ur) - 0.5 * s * (mzr - mzl);
+    if (axis == 0) out.mx += 0.5 * (pl + pr);
+    if (axis == 1) out.my += 0.5 * (pl + pr);
+    if (axis == 2) out.mz += 0.5 * (pl + pr);
+    out.ener = 0.5 * ((el + pl) * ul + (er + pr) * ur) - 0.5 * s * (er - el);
+    return out;
+  }
+
+  void accumulate_scalar_fluxes() {
+    const ZoneRef f{&rho, &mx, &my, &mz, &ener, &prs, &snd};
+    const auto* rho_p = &rho;
+    const auto* scal_p = &scal;
+    auto* dscal = &d_scal_;
+    const double inv_d[3] = {1.0 / cfg_.dx(), 1.0 / cfg_.dy(),
+                             1.0 / cfg_.dz()};
+
+    forall::forall_box(policy_, owned_, [=](long i, long j, long k) {
+      (*dscal)(i, j, k) = 0.0;
+    });
+    for (int axis = 0; axis < 3; ++axis) {
+      const double inv = inv_d[axis];
+      forall::forall_box(policy_, owned_, [=](long i, long j, long k) {
+        const long di = axis == 0 ? 1 : 0;
+        const long dj = axis == 1 ? 1 : 0;
+        const long dk = axis == 2 ? 1 : 0;
+        const double mf_lo =
+            rusanov(f, axis, i - di, j - dj, k - dk, i, j, k).rho;
+        const double mf_hi =
+            rusanov(f, axis, i, j, k, i + di, j + dj, k + dk).rho;
+        auto phi = [&](long ii, long jj, long kk) {
+          return (*scal_p)(ii, jj, kk) / (*rho_p)(ii, jj, kk);
+        };
+        const double flux_lo =
+            mf_lo *
+            (mf_lo >= 0 ? phi(i - di, j - dj, k - dk) : phi(i, j, k));
+        const double flux_hi =
+            mf_hi *
+            (mf_hi >= 0 ? phi(i, j, k) : phi(i + di, j + dj, k + dk));
+        (*dscal)(i, j, k) -= (flux_hi - flux_lo) * inv;
+      });
+    }
+  }
+
+  void accumulate_diffusion_fluxes() {
+    auto* eint = &eint_;
+    const auto* rho_p = &rho;
+    const auto* mx_p = &mx;
+    const auto* my_p = &my;
+    const auto* mz_p = &mz;
+    const auto* ener_p = &ener;
+    forall::forall_box(policy_, owned_.grown(1), [=](long i, long j, long k) {
+      const double r = (*rho_p)(i, j, k);
+      const double ke = 0.5 *
+                        ((*mx_p)(i, j, k) * (*mx_p)(i, j, k) +
+                         (*my_p)(i, j, k) * (*my_p)(i, j, k) +
+                         (*mz_p)(i, j, k) * (*mz_p)(i, j, k)) /
+                        r;
+      (*eint)(i, j, k) = (*ener_p)(i, j, k) - ke;
+    });
+
+    auto* dener = &d_ener_;
+    const double kappa = cfg_.packages.diffusivity;
+    const double ix2 = 1.0 / (cfg_.dx() * cfg_.dx());
+    const double iy2 = 1.0 / (cfg_.dy() * cfg_.dy());
+    const double iz2 = 1.0 / (cfg_.dz() * cfg_.dz());
+    forall::forall_box(policy_, owned_, [=](long i, long j, long k) {
+      const double e = (*eint)(i, j, k);
+      const double lap =
+          ((*eint)(i + 1, j, k) + (*eint)(i - 1, j, k) - 2 * e) * ix2 +
+          ((*eint)(i, j + 1, k) + (*eint)(i, j - 1, k) - 2 * e) * iy2 +
+          ((*eint)(i, j, k + 1) + (*eint)(i, j, k - 1) - 2 * e) * iz2;
+      (*dener)(i, j, k) += kappa * lap;
+    });
+  }
+
+  ProblemConfig cfg_;
+  forall::DynamicPolicy policy_;
+  mesh::Box owned_;
+  long ghosts_;
+  mesh::Array3D<double> d_rho_, d_mx_, d_my_, d_mz_, d_ener_;
+  mesh::Array3D<double> d_scal_;
+  mesh::Array3D<double> eint_;
+};
+
+}  // namespace coop::hydro::seedref

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "coop/hydro/solver.hpp"
 #include "support/prop.hpp"
@@ -34,6 +35,9 @@ struct Scenario {
   bool passive_scalar = false;
   bool diffusion = false;
   int steps = 5;
+  // Face-sweep blocking knobs: conservation must hold for ANY tiling (the
+  // blocked traversal partitions the box exactly).
+  long tile_j = 8, tile_k = 4, sweep_tile = 8;
 };
 
 Scenario generate_scenario(prop::Gen& g) {
@@ -45,6 +49,9 @@ Scenario generate_scenario(prop::Gen& g) {
   s.passive_scalar = g.coin();
   s.diffusion = g.coin();
   s.steps = static_cast<int>(g.int_in(2, 8));
+  s.tile_j = g.int_in(1, 24);
+  s.tile_k = g.int_in(1, 24);
+  s.sweep_tile = g.int_in(1, 24);
   return s;
 }
 
@@ -67,13 +74,22 @@ prop::Property<Scenario> closed_box_conserves() {
     const hy::ProblemConfig cfg = make_config(s);
     hy::Solver solver(mm, cfg, cfg.global,
                       coop::forall::DynamicPolicy{
-                          coop::forall::PolicyKind::kSeq});
+                          coop::forall::PolicyKind::kSeq},
+                      hy::SolverTuning{s.tile_j, s.tile_k, s.sweep_tile});
     solver.initialize();
     const auto before = solver.local_diagnostics();
+    const std::uint64_t faces = hy::Solver::interior_face_count(cfg.global);
     for (int i = 0; i < s.steps; ++i) {
       solver.apply_physical_boundaries();
       solver.compute_primitives();
       solver.advance(solver.local_dt());
+      // Face-sweep invariant: each face's flux computed exactly once, no
+      // matter the tiling.
+      if (solver.flux_face_evaluations() != faces) {
+        why << "flux evaluations " << solver.flux_face_evaluations()
+            << " != faces " << faces << " at step " << i;
+        return false;
+      }
     }
     const auto after = solver.local_diagnostics();
 
@@ -124,12 +140,18 @@ prop::Property<Scenario> closed_box_conserves() {
       t.nx = t.ny = t.nz = 6;
       out.push_back(t);
     }
+    if (s.tile_j > 1 || s.tile_k > 1 || s.sweep_tile > 1) {
+      Scenario t = s;
+      t.tile_j = t.tile_k = t.sweep_tile = 1;
+      out.push_back(t);
+    }
     return out;
   };
   p.show = [](const Scenario& s, std::ostream& os) {
     os << s.nx << "x" << s.ny << "x" << s.nz << ", blast=" << s.blast
        << ", scalar=" << s.passive_scalar << ", diffusion=" << s.diffusion
-       << ", steps=" << s.steps;
+       << ", steps=" << s.steps << ", tiles=(" << s.tile_j << ","
+       << s.tile_k << "," << s.sweep_tile << ")";
   };
   return p;
 }

@@ -69,4 +69,30 @@ TEST(KernelCatalog, ScaledVariantKeepsAverageIntensity) {
               calib::kFlopsPerZonePerKernel * 10, 1e-9);
 }
 
+TEST(KernelCatalog, IntensityIsFlopsOverBytes) {
+  const auto cat = hy::KernelCatalog::ares_sedov();
+  for (const auto& k : cat.kernels()) {
+    EXPECT_DOUBLE_EQ(k.intensity(),
+                     k.work.flops_per_zone / k.work.bytes_per_zone)
+        << k.name;
+    EXPECT_GT(k.intensity(), 0.0) << k.name;
+  }
+  // The deterministic spread must straddle the calibrated mean: both
+  // lighter and heavier-than-average kernels exist.
+  const double mean =
+      calib::kFlopsPerZonePerKernel / calib::kBytesPerZonePerKernel;
+  int below = 0, above = 0;
+  for (const auto& k : cat.kernels()) (k.intensity() < mean ? below : above)++;
+  EXPECT_GT(below, 0);
+  EXPECT_GT(above, 0);
+}
+
+TEST(KernelCatalog, RooflineFractionClampsAtMachineBalance) {
+  // Machine balance of (peak 100 flops/s, 10 B/s) is 10 flop/B.
+  EXPECT_DOUBLE_EQ(hy::roofline_fraction(5.0, 100.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(hy::roofline_fraction(10.0, 100.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(hy::roofline_fraction(1e9, 100.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(hy::roofline_fraction(5.0, 0.0, 10.0), 0.0);
+}
+
 }  // namespace

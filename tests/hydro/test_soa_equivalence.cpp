@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "coop/forall/kernel_timers.hpp"
+#include "coop/hydro/solver.hpp"
+#include "hydro/reference_solver.hpp"
+#include "support/prop.hpp"
+
+/// Differential bitwise-equivalence suite for the SoA face-sweep solver.
+///
+/// The production `Solver` stores its fields in pooled SoA blocks and
+/// computes each interior face's Rusanov flux exactly once via blocked,
+/// vectorized face sweeps; the seed formulation (tests/hydro/
+/// reference_solver.hpp) uses seven independent allocations and evaluates
+/// every face twice from per-cell loops. Identical IEEE expressions in
+/// identical per-element order must give identical bits, so the two are run
+/// in lockstep on Sod and Sedov problems — under EVERY dispatch policy and
+/// package combination — and every conserved field, dt, and diagnostic is
+/// compared bit for bit, ghosts included. Tile sizes are swept through the
+/// property harness: blocking must never change a single bit either.
+
+namespace hy = coop::hydro;
+namespace ref = coop::hydro::seedref;
+namespace mem = coop::memory;
+namespace fa = coop::forall;
+namespace prop = coop::prop;
+using coop::mesh::Box;
+
+namespace {
+
+mem::MemoryManager make_mm() {
+  mem::MemoryManager::Config c;
+  c.target = mem::ExecutionTarget::kCpuCore;
+  c.host_capacity = std::size_t{1} << 30;
+  return mem::MemoryManager(c);
+}
+
+constexpr fa::PolicyKind kAllPolicies[] = {
+    fa::PolicyKind::kSeq, fa::PolicyKind::kSimd, fa::PolicyKind::kThreads,
+    fa::PolicyKind::kSimGpu, fa::PolicyKind::kIndirect};
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Bit-exact comparison of one field over `region` (padded box: ghosts are
+/// part of the contract — halo packing reads them).
+void expect_field_bits_equal(const coop::mesh::Array3D<double>& a,
+                             const coop::mesh::Array3D<double>& b,
+                             const Box& region, const char* field,
+                             const std::string& ctx) {
+  for (long k = region.lo.z; k < region.hi.z; ++k)
+    for (long j = region.lo.y; j < region.hi.y; ++j)
+      for (long i = region.lo.x; i < region.hi.x; ++i)
+        ASSERT_EQ(bits(a(i, j, k)), bits(b(i, j, k)))
+            << ctx << ": " << field << " differs at (" << i << "," << j
+            << "," << k << "): " << a(i, j, k) << " vs " << b(i, j, k);
+}
+
+void expect_states_bits_equal(hy::Solver& sol, ref::ReferenceSolver& seed,
+                              bool with_scalar, const std::string& ctx) {
+  const Box padded = seed.owned().grown(seed.ghosts());
+  expect_field_bits_equal(sol.state().rho, seed.rho, padded, "rho", ctx);
+  expect_field_bits_equal(sol.state().mx, seed.mx, padded, "mx", ctx);
+  expect_field_bits_equal(sol.state().my, seed.my, padded, "my", ctx);
+  expect_field_bits_equal(sol.state().mz, seed.mz, padded, "mz", ctx);
+  expect_field_bits_equal(sol.state().ener, seed.ener, padded, "ener", ctx);
+  if (with_scalar)
+    expect_field_bits_equal(sol.state().scal, seed.scal, padded, "scal", ctx);
+}
+
+void expect_diagnostics_bits_equal(const hy::Diagnostics& a,
+                                   const hy::Diagnostics& b,
+                                   const std::string& ctx) {
+  EXPECT_EQ(bits(a.mass), bits(b.mass)) << ctx;
+  EXPECT_EQ(bits(a.total_energy), bits(b.total_energy)) << ctx;
+  EXPECT_EQ(bits(a.max_density), bits(b.max_density)) << ctx;
+  EXPECT_EQ(bits(a.max_density_radius), bits(b.max_density_radius)) << ctx;
+  EXPECT_EQ(bits(a.scalar_mass), bits(b.scalar_mass)) << ctx;
+  EXPECT_EQ(bits(a.scalar_min), bits(b.scalar_min)) << ctx;
+  EXPECT_EQ(bits(a.scalar_max), bits(b.scalar_max)) << ctx;
+}
+
+/// Runs SoA and seed solvers in lockstep for `steps`, asserting bitwise
+/// agreement of dt and all fields after every step.
+void run_lockstep(hy::Solver& sol, ref::ReferenceSolver& seed, int steps,
+                  bool with_scalar, const std::string& ctx) {
+  expect_states_bits_equal(sol, seed, with_scalar, ctx + " after init");
+  for (int s = 0; s < steps; ++s) {
+    sol.apply_physical_boundaries();
+    seed.apply_physical_boundaries();
+    sol.compute_primitives();
+    seed.compute_primitives();
+    const double dt_sol = sol.local_dt();
+    const double dt_seed = seed.local_dt();
+    ASSERT_EQ(bits(dt_sol), bits(dt_seed))
+        << ctx << ": dt diverged at step " << s << ": " << dt_sol << " vs "
+        << dt_seed;
+    sol.advance(dt_sol);
+    seed.advance(dt_seed);
+    expect_states_bits_equal(sol, seed, with_scalar,
+                             ctx + " after step " + std::to_string(s));
+  }
+  expect_diagnostics_bits_equal(sol.local_diagnostics(),
+                                seed.local_diagnostics(), ctx);
+}
+
+hy::ProblemConfig sedov_config(long nx, long ny, long nz, bool scalar,
+                               bool diffusion) {
+  hy::ProblemConfig cfg;
+  cfg.global = Box{{0, 0, 0}, {nx, ny, nz}};
+  cfg.packages.passive_scalar = scalar;
+  cfg.packages.diffusion = diffusion;
+  return cfg;
+}
+
+TEST(SoaEquivalence, SodBitwiseMatchesSeedUnderEveryPolicy) {
+  for (auto kind : kAllPolicies) {
+    mem::MemoryManager mm_sol = make_mm();
+    mem::MemoryManager mm_seed = make_mm();
+    hy::ProblemConfig cfg;
+    cfg.global = Box{{0, 0, 0}, {32, 6, 5}};
+    const fa::DynamicPolicy policy{kind};
+    hy::Solver sol(mm_sol, cfg, cfg.global, policy);
+    ref::ReferenceSolver seed(mm_seed, cfg, cfg.global, policy);
+    auto sod = [](double x, double, double) {
+      return x < 0.5 ? hy::Solver::Primitives{1.0, 0, 0, 0, 1.0}
+                     : hy::Solver::Primitives{0.125, 0, 0, 0, 0.1};
+    };
+    sol.initialize_with(sod);
+    seed.initialize_with(sod);
+    run_lockstep(sol, seed, 8, /*with_scalar=*/false,
+                 std::string("sod/") + to_string(kind));
+  }
+}
+
+TEST(SoaEquivalence, SedovWithPackagesBitwiseMatchesSeedUnderEveryPolicy) {
+  for (auto kind : kAllPolicies) {
+    mem::MemoryManager mm_sol = make_mm();
+    mem::MemoryManager mm_seed = make_mm();
+    // Anisotropic odd extents: tiles get remainders on every axis.
+    const hy::ProblemConfig cfg = sedov_config(11, 9, 10, true, true);
+    const fa::DynamicPolicy policy{kind};
+    hy::Solver sol(mm_sol, cfg, cfg.global, policy);
+    ref::ReferenceSolver seed(mm_seed, cfg, cfg.global, policy);
+    sol.initialize();
+    seed.initialize();
+    run_lockstep(sol, seed, 6, /*with_scalar=*/true,
+                 std::string("sedov/") + to_string(kind));
+  }
+}
+
+TEST(SoaEquivalence, PackageCombosBitwiseMatchSeed) {
+  struct Combo {
+    bool scalar, diffusion;
+    const char* name;
+  };
+  for (const Combo c : {Combo{false, false, "none"}, Combo{true, false, "scal"},
+                        Combo{false, true, "diff"}}) {
+    mem::MemoryManager mm_sol = make_mm();
+    mem::MemoryManager mm_seed = make_mm();
+    const hy::ProblemConfig cfg = sedov_config(10, 12, 7, c.scalar,
+                                               c.diffusion);
+    const fa::DynamicPolicy policy{fa::PolicyKind::kSeq};
+    hy::Solver sol(mm_sol, cfg, cfg.global, policy);
+    ref::ReferenceSolver seed(mm_seed, cfg, cfg.global, policy);
+    sol.initialize();
+    seed.initialize();
+    run_lockstep(sol, seed, 5, c.scalar, std::string("combo/") + c.name);
+  }
+}
+
+TEST(SoaEquivalence, ReflectingBoundariesBitwiseMatchSeed) {
+  mem::MemoryManager mm_sol = make_mm();
+  mem::MemoryManager mm_seed = make_mm();
+  hy::ProblemConfig cfg = sedov_config(9, 8, 7, true, false);
+  cfg.boundary = hy::BoundaryCondition::kReflecting;
+  const fa::DynamicPolicy policy{fa::PolicyKind::kSimd};
+  hy::Solver sol(mm_sol, cfg, cfg.global, policy);
+  ref::ReferenceSolver seed(mm_seed, cfg, cfg.global, policy);
+  sol.initialize();
+  seed.initialize();
+  run_lockstep(sol, seed, 6, /*with_scalar=*/true, "reflecting");
+}
+
+// --- Tile-size invariance (property) ----------------------------------------
+
+struct TileScenario {
+  long nx = 8, ny = 8, nz = 8;
+  long tile_j = 1, tile_k = 1, sweep_tile = 1;
+  bool scalar = false;
+  int steps = 3;
+};
+
+TileScenario generate_tiles(prop::Gen& g) {
+  TileScenario s;
+  s.nx = g.int_in(4, 14);
+  s.ny = g.int_in(4, 14);
+  s.nz = g.int_in(4, 14);
+  // Deliberately exceed the extents sometimes: oversized tiles must
+  // degenerate to one tile and still be exact.
+  s.tile_j = g.int_in(1, 20);
+  s.tile_k = g.int_in(1, 20);
+  s.sweep_tile = g.int_in(1, 20);
+  s.scalar = g.coin();
+  s.steps = static_cast<int>(g.int_in(1, 4));
+  return s;
+}
+
+prop::Property<TileScenario> tiling_is_bitwise_invariant() {
+  prop::Property<TileScenario> p;
+  p.name = "face-sweep results are bitwise independent of tile sizes";
+  p.generate = generate_tiles;
+  p.holds = [](const TileScenario& s, std::ostream& why) {
+    const hy::ProblemConfig cfg = sedov_config(s.nx, s.ny, s.nz, s.scalar,
+                                               false);
+    const fa::DynamicPolicy policy{fa::PolicyKind::kSeq};
+    mem::MemoryManager mm_a = make_mm();
+    mem::MemoryManager mm_b = make_mm();
+    hy::Solver base(mm_a, cfg, cfg.global, policy);  // default tuning
+    hy::Solver tuned(mm_b, cfg, cfg.global, policy,
+                     hy::SolverTuning{s.tile_j, s.tile_k, s.sweep_tile});
+    base.initialize();
+    tuned.initialize();
+    for (int i = 0; i < s.steps; ++i) {
+      base.apply_physical_boundaries();
+      tuned.apply_physical_boundaries();
+      base.compute_primitives();
+      tuned.compute_primitives();
+      const double dt = base.local_dt();
+      if (bits(dt) != bits(tuned.local_dt())) {
+        why << "dt diverged at step " << i;
+        return false;
+      }
+      base.advance(dt);
+      tuned.advance(dt);
+    }
+    const Box padded = cfg.global.grown(1);
+    const auto& a = base.state();
+    const auto& b = tuned.state();
+    for (long k = padded.lo.z; k < padded.hi.z; ++k)
+      for (long j = padded.lo.y; j < padded.hi.y; ++j)
+        for (long i = padded.lo.x; i < padded.hi.x; ++i) {
+          if (bits(a.rho(i, j, k)) != bits(b.rho(i, j, k)) ||
+              bits(a.mx(i, j, k)) != bits(b.mx(i, j, k)) ||
+              bits(a.my(i, j, k)) != bits(b.my(i, j, k)) ||
+              bits(a.mz(i, j, k)) != bits(b.mz(i, j, k)) ||
+              bits(a.ener(i, j, k)) != bits(b.ener(i, j, k)) ||
+              (s.scalar &&
+               bits(a.scal(i, j, k)) != bits(b.scal(i, j, k)))) {
+            why << "state diverged at (" << i << "," << j << "," << k << ")";
+            return false;
+          }
+        }
+    return true;
+  };
+  p.shrink = [](const TileScenario& s) {
+    std::vector<TileScenario> out;
+    if (s.steps > 1) {
+      TileScenario t = s;
+      t.steps = 1;
+      out.push_back(t);
+    }
+    if (s.scalar) {
+      TileScenario t = s;
+      t.scalar = false;
+      out.push_back(t);
+    }
+    if (s.nx > 4 || s.ny > 4 || s.nz > 4) {
+      TileScenario t = s;
+      t.nx = t.ny = t.nz = 4;
+      out.push_back(t);
+    }
+    if (s.tile_j > 1 || s.tile_k > 1 || s.sweep_tile > 1) {
+      TileScenario t = s;
+      t.tile_j = t.tile_k = t.sweep_tile = 1;
+      out.push_back(t);
+    }
+    return out;
+  };
+  p.show = [](const TileScenario& s, std::ostream& os) {
+    os << s.nx << "x" << s.ny << "x" << s.nz << ", tiles=(" << s.tile_j
+       << "," << s.tile_k << "," << s.sweep_tile << "), scalar=" << s.scalar
+       << ", steps=" << s.steps;
+  };
+  return p;
+}
+
+TEST(SoaEquivalence, TileSizeSweepIsBitwiseInvariant) {
+  prop::Config cfg;
+  cfg.cases = 15;
+  prop::check(tiling_is_bitwise_invariant(), cfg);
+}
+
+// --- Operation-count invariants ---------------------------------------------
+
+TEST(SoaFluxCount, ExactlyOneFluxEvaluationPerFacePerStep) {
+  // The seed formulation evaluated 2*faces - boundary faces once each; the
+  // face sweeps must evaluate exactly `interior_face_count`. A regression to
+  // per-cell double evaluation doubles this count and fails here.
+  for (auto kind : {fa::PolicyKind::kSeq, fa::PolicyKind::kThreads}) {
+    mem::MemoryManager mm = make_mm();
+    const hy::ProblemConfig cfg = sedov_config(7, 6, 5, true, false);
+    hy::Solver sol(mm, cfg, cfg.global, fa::DynamicPolicy{kind});
+    sol.initialize();
+    sol.apply_physical_boundaries();
+    sol.compute_primitives();
+    sol.advance(sol.local_dt());
+
+    const std::uint64_t expect = hy::Solver::interior_face_count(cfg.global);
+    EXPECT_EQ(expect,
+              std::uint64_t{8 * 6 * 5} + 7 * 7 * 5 + 7 * 6 * 6);
+    EXPECT_EQ(sol.flux_face_evaluations(), expect) << to_string(kind);
+    // The scalar package's donor mass flux is also once-per-face.
+    EXPECT_EQ(sol.scalar_mass_flux_evaluations(), expect) << to_string(kind);
+  }
+}
+
+TEST(SoaFluxCount, KernelTimerRegistryAccumulatesWorkAcrossSteps) {
+  mem::MemoryManager mm = make_mm();
+  const hy::ProblemConfig cfg = sedov_config(6, 6, 6, false, false);
+  hy::Solver sol(mm, cfg, cfg.global,
+                 fa::DynamicPolicy{fa::PolicyKind::kSeq});
+  fa::KernelTimerRegistry timers;
+  sol.bind_kernel_timers(&timers);
+  sol.initialize();
+  const int steps = 3;
+  for (int i = 0; i < steps; ++i) {
+    sol.apply_physical_boundaries();
+    sol.compute_primitives();
+    sol.advance(sol.local_dt());
+  }
+  const auto* e = timers.find("hydro.rusanov_faces");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->work, static_cast<std::uint64_t>(steps) *
+                         hy::Solver::interior_face_count(cfg.global));
+  // No scalar package -> no mass-flux entry.
+  EXPECT_EQ(timers.find("hydro.scalar_mass_faces"), nullptr);
+
+  sol.bind_kernel_timers(nullptr);
+  sol.advance(sol.local_dt());
+  EXPECT_EQ(e->work, static_cast<std::uint64_t>(steps) *
+                         hy::Solver::interior_face_count(cfg.global));
+}
+
+}  // namespace

@@ -32,13 +32,15 @@ obs::RunReport sample_report() {
   r.min_utilization_pct = 51.4;
   r.per_rank.push_back({0, "gpu", 14688000, {8.9, 0.0, 1.2, 0.0}, 82.1});
   r.per_rank.push_back({4, "cpu", 96000, {5.6, 3.8, 1.2, 0.0}, 51.4});
-  r.top_kernels.push_back({"cfl_courant_1", 111, 2.59});
+  r.top_kernels.push_back({"cfl_courant_1", 111, 2.59, 6.87, 100.0});
   r.faults.injected = 4;
   r.faults.recovered = 4;
   r.faults.gpu_deaths = 1;
   r.achieved_flops = 5.1e10;
   r.model_peak_flops = 4.6e12;
   r.flops_efficiency_pct = 1.1;
+  r.intensity_flops_per_byte = 0.125;
+  r.roofline_frac_pct = 19.0;
   r.sweep.push_back({100, 480, 160, 7680000, 1.0, 1.1, 0.9, 0.04});
   r.max_hetero_gain_pct = 18.5;
   r.gain_at_zones = 46080000;
@@ -75,7 +77,12 @@ TEST(RunReport, JsonIsStrictlyValidAndCarriesTheSchema) {
   EXPECT_EQ(rank0.find("device")->str, "gpu");
 
   const auto& kern = v.find("top_kernels")->array.at(0);
-  EXPECT_EQ(cj::first_missing_key(kern, {"name", "calls", "seconds"}), "");
+  EXPECT_EQ(cj::first_missing_key(kern,
+                                  {"name", "calls", "seconds",
+                                   "intensity_flops_per_byte",
+                                   "roofline_frac_pct"}),
+            "");
+  EXPECT_DOUBLE_EQ(kern.find("intensity_flops_per_byte")->number, 6.87);
 
   EXPECT_EQ(cj::first_missing_key(
                 *v.find("faults"),
@@ -85,9 +92,12 @@ TEST(RunReport, JsonIsStrictlyValidAndCarriesTheSchema) {
                  "replayed_iterations", "retry_time_s", "checkpoint_time_s",
                  "rework_time_s"}),
             "");
-  EXPECT_EQ(cj::first_missing_key(
-                *v.find("flops"), {"achieved", "model_peak", "efficiency_pct"}),
+  EXPECT_EQ(cj::first_missing_key(*v.find("flops"),
+                                  {"achieved", "model_peak", "efficiency_pct",
+                                   "intensity_flops_per_byte",
+                                   "roofline_frac_pct"}),
             "");
+  EXPECT_DOUBLE_EQ(v.find("flops")->find("roofline_frac_pct")->number, 19.0);
 
   const auto& row = v.find("sweep")->array.at(0);
   EXPECT_EQ(cj::first_missing_key(

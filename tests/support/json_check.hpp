@@ -322,7 +322,7 @@ struct SchemaSpec {
   static const std::vector<SchemaSpec> kSchemas = {
       {"coophet.metrics", {1}},
       // v2 added the "sweep_resilience" object; v1 baselines stay valid.
-      {"coophet.run_report", {1, 2}},
+      {"coophet.run_report", {1, 2, 3}},
       {"coophet.critical_path", {1}},
       {"coophet.perf_tolerances", {1}},
       {"coophet.sweep_journal", {1}},

@@ -120,11 +120,12 @@ TEST(ArtifactSchema, EveryEmittedSchemaNameIsRegistered) {
 }
 
 TEST(ArtifactSchema, RejectsUnknownVersionsAndNames) {
-  // run_report v2 (sweep_resilience) is registered; v3 does not exist yet.
-  const auto v3 =
-      cj::parse(R"({"schema": "coophet.run_report", "schema_version": 3})");
-  ASSERT_TRUE(v3.ok);
-  EXPECT_NE(cj::check_artifact_schema(v3.value), "");
+  // run_report v3 (roofline annotations) is registered; v4 does not exist
+  // yet.
+  const auto v4 =
+      cj::parse(R"({"schema": "coophet.run_report", "schema_version": 4})");
+  ASSERT_TRUE(v4.ok);
+  EXPECT_NE(cj::check_artifact_schema(v4.value), "");
 
   const auto bogus =
       cj::parse(R"({"schema": "coophet.bogus", "schema_version": 1})");

@@ -6,6 +6,10 @@
 ///     bitwise identical before any timing is reported.
 ///  2. Engine throughput — events/sec of the GpuServer-shaped same-instant
 ///     burst workload (the pattern the engine's FIFO ring fast path serves).
+///  3. Hydro step A/B — the SoA face-sweep solver against the frozen seed
+///     formulation (bench/micro/hydro_ab.hpp) on a Fig-18-proportioned
+///     blast; the best-pair step-time ratio must clear the speedup floor
+///     and the two solvers must agree bitwise before any timing counts.
 ///
 /// Output: `BENCH_harness.json` (coophet.metrics schema v1) in the current
 /// directory, or at argv[1] when given. Environment knobs:
@@ -19,6 +23,8 @@
 ///     ceiling on the serial sweep, percent (default 1; same interleaved
 ///     best-of-N scheme — the sampler replays per-cell outcomes and closes
 ///     windows only at sweep finalize, so its cost must stay in the noise)
+///   COOPHET_HYDRO_MIN_SPEEDUP — floor on the SoA-vs-seed best-pair hydro
+///     step speedup (default 1.3; same knob as bench_hydro_kernels)
 /// Wall-clock numbers are machine-dependent; the CI job prints them and the
 /// determinism + flight-overhead checks fail hard, but no speedup threshold
 /// is enforced here — that's EXPERIMENTS.md's before/after table backed by
@@ -42,6 +48,7 @@
 #include "coop/obs/metrics.hpp"
 #include "coop/obs/telemetry/sampler.hpp"
 #include "coop/sweeps/figure_sweeps.hpp"
+#include "hydro_ab.hpp"
 
 namespace {
 
@@ -292,6 +299,20 @@ int main(int argc, char** argv) {
   const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
   const double events_per_sec = burst_events_per_sec();
 
+  // Hydro SoA-vs-seed step A/B (defaults in hydro_ab.hpp: Fig. 18's
+  // smallest sweep point at 1/5 transverse resolution). Divergent
+  // arithmetic fails hard — timing two solvers that disagree bitwise would
+  // gate on nothing.
+  const double hydro_floor = env_double("COOPHET_HYDRO_MIN_SPEEDUP", 1.3);
+  const coop::hydro::ab::AbResult hydro =
+      coop::hydro::ab::run(coop::hydro::ab::AbConfig{});
+  if (!hydro.bitwise_identical) {
+    std::fprintf(stderr,
+                 "bench_harness: SoA hydro solver is NOT bitwise identical "
+                 "to the seed formulation\n");
+    return 1;
+  }
+
   std::printf("=== harness benchmark: reduced Figure 18, %zu points, "
               "%d timesteps ===\n",
               serial.points.size(), timesteps);
@@ -310,6 +331,12 @@ int main(int argc, char** argv) {
               "ceiling %.1f%%)\n",
               telemetry_pct, telemetry_median_pct, bare2_s, telemetry_s,
               max_telemetry_pct);
+  std::printf("hydro step A/B (%llu zones): seed %.4f cpu-s/step vs SoA "
+              "%.4f cpu-s/step — best-pair %.2fx median %.2fx (floor %.2fx, "
+              "bitwise identical)\n",
+              static_cast<unsigned long long>(hydro.zones), hydro.seed_cpu_s,
+              hydro.soa_cpu_s, hydro.speedup_best, hydro.speedup_median,
+              hydro_floor);
 
   coop::obs::MetricsRegistry reg;
   reg.gauge("harness.sweep_points").set(static_cast<double>(points));
@@ -328,6 +355,16 @@ int main(int argc, char** argv) {
   reg.gauge("des.events_per_sec",
             coop::obs::Labels{{"workload", "gpu_server_burst"}})
       .set(events_per_sec);
+  reg.gauge("harness.hydro_zones").set(static_cast<double>(hydro.zones));
+  reg.gauge("harness.hydro_step_cpu_s",
+            coop::obs::Labels{{"layout", "seed"}})
+      .set(hydro.seed_cpu_s);
+  reg.gauge("harness.hydro_step_cpu_s", coop::obs::Labels{{"layout", "soa"}})
+      .set(hydro.soa_cpu_s);
+  reg.gauge("harness.hydro_step_speedup_best").set(hydro.speedup_best);
+  reg.gauge("harness.hydro_step_speedup_median").set(hydro.speedup_median);
+  reg.gauge("harness.hydro_step_speedup_floor").set(hydro_floor);
+  reg.gauge("harness.hydro_bitwise_identical").set(1.0);
 
   std::ofstream os(out_path);
   if (!os) {
@@ -350,6 +387,13 @@ int main(int argc, char** argv) {
                  "bench_harness: telemetry-sampler overhead %.2f%% exceeds "
                  "the %.1f%% ceiling\n",
                  telemetry_pct, max_telemetry_pct);
+    return 1;
+  }
+  if (hydro.speedup_best < hydro_floor) {
+    std::fprintf(stderr,
+                 "bench_harness: hydro SoA best-pair speedup %.2fx is below "
+                 "the %.2fx floor\n",
+                 hydro.speedup_best, hydro_floor);
     return 1;
   }
   return 0;
